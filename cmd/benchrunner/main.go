@@ -1,0 +1,61 @@
+// Command benchrunner regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrunner -list
+//	benchrunner all
+//	benchrunner E2 E5
+//
+// Each experiment prints the same table the root bench harness measures, with
+// the default parameters recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the available experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [-list] <experiment id>... | all\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if len(args) == 1 && strings.EqualFold(args[0], "all") {
+		selected = experiments.All()
+	} else {
+		for _, id := range args {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(e.Run().String())
+	}
+}

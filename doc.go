@@ -1,0 +1,25 @@
+// Package repro is a constructive reproduction of Simone Santini's position
+// paper "Summa Contra Ontologiam" (EDBT 2006 Workshops, LNCS 4254). The paper
+// publishes no system and no evaluation; this repository builds, as working
+// Go substrates, every formal device the paper names, endorses or attacks —
+// order-sorted algebras and Bench-Capon/Malcolm ontology signatures, Guarino's
+// intensional-relation machinery, formal grammars, a description logic with
+// structural and tableau subsumption, definition graphs and their
+// isomorphisms, lexical fields, a fixed-point hermeneutic interpreter, and an
+// indexed triple store with ontology-mediated query answering — and turns each
+// of the paper's three arguments (definitional, semantic, pragmatic) into a
+// measurable synthetic experiment.
+//
+// The public entry points are:
+//
+//   - internal/core: the ontology audit that runs all three critiques over an
+//     ontonomy and its surrounding data;
+//   - internal/experiments: the E1–E6 and A1 experiments whose tables
+//     EXPERIMENTS.md records;
+//   - cmd/ontoaudit and cmd/benchrunner: the command-line front ends;
+//   - examples/: five runnable walkthroughs of the paper's own examples.
+//
+// The benchmarks in bench_test.go regenerate one experiment per table; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the measured
+// results.
+package repro

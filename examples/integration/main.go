@@ -1,0 +1,52 @@
+// Integration: the paper's §4 pragmatic scenario on a database-shaped
+// substrate. A synthetic collection is annotated under a class hierarchy;
+// usage then drifts away from the annotations while the ontonomy stays fixed.
+// For each drift level the program queries every class with and without
+// ontology-mediated expansion and reports macro precision/recall — the
+// miniature of experiment E5.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("Ontology-mediated retrieval as usage drifts away from the ontonomy")
+	fmt.Println("===================================================================")
+	fmt.Printf("%8s  %10s  %28s  %28s\n", "drift", "drifted", "expanded (P / R / F1)", "plain (P / R / F1)")
+
+	for _, drift := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		// The same seed at every drift level: the only thing that changes is
+		// how many annotations have gone stale.
+		rng := rand.New(rand.NewSource(42))
+		corpus := workload.SyntheticCorpus(rng, workload.CorpusParams{
+			Hierarchy:         workload.HierarchyParams{Classes: 30, MaxParents: 2},
+			InstancesPerClass: 20,
+			Drift:             drift,
+		})
+		index, err := store.NewOntologyIndex(corpus.TBox)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var expanded, plain []store.RetrievalResult
+		for _, class := range corpus.Classes {
+			relevant := corpus.RelevantTo(index, class)
+			expanded = append(expanded, store.Evaluate(store.InstancesOfExpanded(corpus.Store, index, class), relevant))
+			plain = append(plain, store.Evaluate(store.InstancesOf(corpus.Store, class), relevant))
+		}
+		e, p := store.Macro(expanded), store.Macro(plain)
+		fmt.Printf("%8.2f  %10d  %8.3f / %5.3f / %5.3f     %8.3f / %5.3f / %5.3f\n",
+			drift, corpus.Drifted, e.Precision, e.Recall, e.F1, p.Precision, p.Recall, p.F1)
+	}
+
+	fmt.Println()
+	fmt.Println("At drift 0 the ontonomy pays for itself (recall without it is poor); as usage")
+	fmt.Println("moves on, the normative annotations and the expansion built on them decay —")
+	fmt.Println("\"by forcing computerized data bases, normative semantics, and taxonomies on a")
+	fmt.Println("vital but not yet settled discipline we might take away its vitality\" — §4.")
+}

@@ -1,0 +1,65 @@
+// Lexicalfields: the paper's §3 semantic-field examples. The program builds
+// the doorknob/pomello field and the Italian/Spanish/French old-age adjective
+// field, prints how each language divides the shared space, and measures what
+// an atomistic word-to-word dictionary loses compared with a field-relative
+// translation.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/semfield"
+)
+
+func main() {
+	fmt.Println("Doorknob / pomello (the paper's first schema)")
+	fmt.Println("=============================================")
+	space, english, italian := semfield.DoorknobExample()
+	printDivision(space, english)
+	printDivision(space, italian)
+
+	mapping := semfield.AtomisticMapping(english, italian)
+	fmt.Println("\nAtomistic dictionary:")
+	for _, word := range english.Words() {
+		fmt.Printf("  %-12s ↦ %s\n", word, mapping[word])
+	}
+	atom := semfield.TranslationLoss(english, italian, semfield.Atomistic)
+	field := semfield.TranslationLoss(english, italian, semfield.FieldRelative)
+	fmt.Printf("\n  atomistic:      %s\n  field-relative: %s\n", atom, field)
+	fmt.Printf("  divergence of the two divisions: %.3f\n", semfield.Divergence(english, italian))
+
+	fmt.Println("\nAdjectives of old age (the paper's second schema)")
+	fmt.Println("=================================================")
+	ageSpace, it, es, fr := semfield.AgeAdjectivesExample()
+	for _, lang := range []*semfield.Language{it, es, fr} {
+		printDivision(ageSpace, lang)
+	}
+	fmt.Println("\nTranslation losses between the three languages:")
+	langs := []*semfield.Language{it, es, fr}
+	for _, src := range langs {
+		for _, dst := range langs {
+			if src == dst {
+				continue
+			}
+			atom := semfield.TranslationLoss(src, dst, semfield.Atomistic)
+			field := semfield.TranslationLoss(src, dst, semfield.FieldRelative)
+			fmt.Printf("  %-8s → %-8s  atomistic error %.3f   field-relative error %.3f\n",
+				src.Name(), dst.Name(), atom.ErrorRate(), field.ErrorRate())
+		}
+	}
+	fmt.Println("\n\"Different languages break the semantic field in different ways, and concepts")
+	fmt.Println(" arise at the fissures of these divisions\" — §3.")
+}
+
+// printDivision prints which word each language files every cell under.
+func printDivision(space *semfield.Space, lang *semfield.Language) {
+	fmt.Printf("\n%s:\n", lang.Name())
+	for _, cell := range space.Cells() {
+		words := lang.WordsFor(cell)
+		if len(words) == 0 {
+			fmt.Printf("  %-22s (not lexicalized)\n", cell)
+			continue
+		}
+		fmt.Printf("  %-22s %v\n", cell, words)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: write a small ontonomy in the text format, audit it, and print
+// the findings. This is the five-minute tour of the library's public surface:
+// tboxio for input, core.Audit for the analysis, Report.Render for output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/tboxio"
+)
+
+const myOntology = `
+# a small product catalogue ontology
+product        <= exists has.price
+book           <= product and exists made-of.paper and exists size.small
+poster         <= product and exists made-of.paper and exists size.big
+ebook          <= product and exists made-of.bits and exists size.small
+furniture-item <= product and exists made-of.wood
+bookcase       <= furniture-item and exists size.big
+`
+
+func main() {
+	tbox, err := tboxio.ParseString(myOntology)
+	if err != nil {
+		log.Fatalf("parsing ontology: %v", err)
+	}
+
+	report, err := core.Audit(core.Input{TBox: tbox, MaxDepth: 3})
+	if err != nil {
+		log.Fatalf("auditing ontology: %v", err)
+	}
+
+	fmt.Println("Findings:")
+	for _, finding := range report.Findings {
+		fmt.Printf("  - %s\n", finding)
+	}
+
+	fmt.Println()
+	fmt.Println("Structural collisions as written (concept names erased):")
+	for _, group := range report.Structural.AsWritten.Groups {
+		fmt.Printf("  %v share one structural meaning\n", group.Names)
+	}
+	if len(report.Structural.AsWritten.Groups) == 0 {
+		fmt.Println("  none")
+	}
+
+	last := report.Structural.Curve[len(report.Structural.Curve)-1]
+	fmt.Printf("\nAfter unfolding to depth %d: %d colliding pairs remain, mean definition size %.1f nodes\n",
+		last.Depth, last.CollidingPairs, last.MeanTreeSize)
+}

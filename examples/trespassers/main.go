@@ -1,0 +1,38 @@
+// Trespassers: the paper's §3 worked example of situated interpretation. The
+// same three cues — "trespassers", "will be prosecuted", undated durable
+// lettering — are read by the same shared code under two different reader
+// contexts (a sign on a door, a newspaper headline) and once with the reader
+// removed, which is the configuration the paper accuses ontology of assuming.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hermeneutic"
+)
+
+func main() {
+	text, code, door, news := hermeneutic.TrespassersSign()
+
+	fmt.Println("Reader at the door of a private building")
+	fmt.Println("----------------------------------------")
+	onDoor := hermeneutic.Interpret(text, code, door, 10)
+	fmt.Print(hermeneutic.Describe(text, onDoor))
+
+	fmt.Println("\nReader of a newspaper headline")
+	fmt.Println("------------------------------")
+	inPaper := hermeneutic.Interpret(text, code, news, 10)
+	fmt.Print(hermeneutic.Describe(text, inPaper))
+
+	fmt.Println("\nReader removed (the \"death of the reader\")")
+	fmt.Println("-------------------------------------------")
+	removed := hermeneutic.Interpret(text, code, hermeneutic.Acontextual(), 10)
+	fmt.Print(hermeneutic.Describe(text, removed))
+
+	fmt.Printf("\nAgreement between the door reading and the headline reading: %.2f\n",
+		hermeneutic.Agreement(onDoor, inPaper))
+	fmt.Printf("Under-determination of the text without a situation: %.2f\n",
+		hermeneutic.UnderDetermination(text, code, 10))
+	fmt.Println("\n\"None of these elements, necessary for understanding, is in the text:")
+	fmt.Println(" they must be supplied by a specific situation\" — §3.")
+}

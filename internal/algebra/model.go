@@ -1,0 +1,269 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is an element of a carrier set in a finite algebra. Values are
+// compared by string identity.
+type Value string
+
+// Model is a finite order-sorted algebra for a signature: a carrier set for
+// every sort (with carriers of subsorts contained in carriers of supersorts)
+// and a total interpretation for every operator declaration. A Theory paired
+// with a Model of it is a "data domain" in the Bench-Capon/Malcolm sense.
+type Model struct {
+	sig      *Signature
+	carriers map[Sort][]Value
+	// ops maps operator name and argument tuple (joined) to a result value.
+	ops map[string]Value
+}
+
+// NewModel creates an empty model of the signature. Carriers and operations
+// are added with SetCarrier and DefineOp, and the result checked with
+// Validate.
+func NewModel(sig *Signature) *Model {
+	return &Model{sig: sig, carriers: map[Sort][]Value{}, ops: map[string]Value{}}
+}
+
+// SetCarrier assigns the carrier set of a sort. The slice is copied and
+// deduplicated, preserving first occurrence order.
+func (m *Model) SetCarrier(s Sort, values []Value) {
+	seen := map[Value]bool{}
+	var out []Value
+	for _, v := range values {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	m.carriers[s] = out
+}
+
+// Carrier returns the carrier of a sort (nil if unset).
+func (m *Model) Carrier(s Sort) []Value {
+	out := make([]Value, len(m.carriers[s]))
+	copy(out, m.carriers[s])
+	return out
+}
+
+func opKey(name string, args []Value) string {
+	key := name
+	for _, a := range args {
+		key += "\x00" + string(a)
+	}
+	return key
+}
+
+// DefineOp defines the result of applying the named operator to the given
+// argument values.
+func (m *Model) DefineOp(name string, args []Value, result Value) {
+	m.ops[opKey(name, args)] = result
+}
+
+// Apply evaluates the named operator on argument values, reporting whether an
+// interpretation was defined for that tuple.
+func (m *Model) Apply(name string, args []Value) (Value, bool) {
+	v, ok := m.ops[opKey(name, args)]
+	return v, ok
+}
+
+// Validate checks that the model is a genuine order-sorted algebra for its
+// signature:
+//
+//   - every declared sort has a carrier (possibly empty);
+//   - the carrier of a subsort is a subset of the carrier of each supersort;
+//   - every operator declaration is total on the carriers of its argument
+//     sorts and lands in the carrier of its result sort.
+func (m *Model) Validate() error {
+	for _, s := range m.sig.Sorts() {
+		if _, ok := m.carriers[s]; !ok {
+			return fmt.Errorf("algebra: sort %q has no carrier", s)
+		}
+	}
+	for _, sub := range m.sig.Sorts() {
+		for _, super := range m.sig.Sorts() {
+			if sub == super || !m.sig.Subsort(sub, super) {
+				continue
+			}
+			superSet := map[Value]bool{}
+			for _, v := range m.carriers[super] {
+				superSet[v] = true
+			}
+			for _, v := range m.carriers[sub] {
+				if !superSet[v] {
+					return fmt.Errorf("algebra: carrier of %q contains %q, missing from supersort %q", sub, v, super)
+				}
+			}
+		}
+	}
+	for _, op := range m.sig.Operators() {
+		if err := m.checkTotal(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTotal verifies that op is defined on every argument tuple drawn from
+// the carriers and lands in the result carrier.
+func (m *Model) checkTotal(op Operator) error {
+	resultSet := map[Value]bool{}
+	for _, v := range m.carriers[op.Result] {
+		resultSet[v] = true
+	}
+	tuples := cartesian(m, op.Args)
+	for _, args := range tuples {
+		res, ok := m.Apply(op.Name, args)
+		if !ok {
+			return fmt.Errorf("algebra: operator %s undefined on %v", op, args)
+		}
+		if !resultSet[res] {
+			return fmt.Errorf("algebra: operator %s maps %v to %q outside carrier of %q", op, args, res, op.Result)
+		}
+	}
+	return nil
+}
+
+func cartesian(m *Model, sorts []Sort) [][]Value {
+	result := [][]Value{nil}
+	for _, s := range sorts {
+		carrier := m.carriers[s]
+		var next [][]Value
+		for _, prefix := range result {
+			for _, v := range carrier {
+				row := make([]Value, len(prefix)+1)
+				copy(row, prefix)
+				row[len(prefix)] = v
+				next = append(next, row)
+			}
+		}
+		result = next
+	}
+	if len(sorts) == 0 {
+		return [][]Value{{}}
+	}
+	return result
+}
+
+// Assignment maps variable names to values.
+type Assignment map[string]Value
+
+// Eval evaluates a term in the model under an assignment of its variables.
+// It returns an error for unassigned variables or undefined operations.
+func (m *Model) Eval(t *Term, a Assignment) (Value, error) {
+	if t.IsVar() {
+		v, ok := a[t.Var]
+		if !ok {
+			return "", fmt.Errorf("algebra: variable %q unassigned", t.Var)
+		}
+		return v, nil
+	}
+	args := make([]Value, len(t.Children))
+	for i, c := range t.Children {
+		v, err := m.Eval(c, a)
+		if err != nil {
+			return "", err
+		}
+		args[i] = v
+	}
+	v, ok := m.Apply(t.Op, args)
+	if !ok {
+		return "", fmt.Errorf("algebra: operation %q undefined on %v", t.Op, args)
+	}
+	return v, nil
+}
+
+// Satisfies reports whether the model satisfies the equation: both sides
+// evaluate to the same value under every assignment of the equation's
+// variables to carrier elements of their sorts. It returns an error if
+// evaluation itself fails (e.g. undefined operations).
+func (m *Model) Satisfies(e Equation) (bool, error) {
+	vars := append(e.Left.Vars(), e.Right.Vars()...)
+	// Deduplicate by name, keep sorts.
+	varSorts := map[string]Sort{}
+	var names []string
+	for _, v := range vars {
+		if _, ok := varSorts[v.Var]; !ok {
+			varSorts[v.Var] = v.VarSort
+			names = append(names, v.Var)
+		}
+	}
+	sort.Strings(names)
+	assignments := m.assignments(names, varSorts)
+	for _, a := range assignments {
+		lv, err := m.Eval(e.Left, a)
+		if err != nil {
+			return false, err
+		}
+		rv, err := m.Eval(e.Right, a)
+		if err != nil {
+			return false, err
+		}
+		if lv != rv {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (m *Model) assignments(names []string, sorts map[string]Sort) []Assignment {
+	result := []Assignment{{}}
+	for _, n := range names {
+		carrier := m.carriers[sorts[n]]
+		var next []Assignment
+		for _, prefix := range result {
+			for _, v := range carrier {
+				a := Assignment{}
+				for k, pv := range prefix {
+					a[k] = pv
+				}
+				a[n] = v
+				next = append(next, a)
+			}
+		}
+		result = next
+	}
+	return result
+}
+
+// SatisfiesTheory reports whether the model satisfies every equation of the
+// theory, returning the first failing equation's label (or its rendering when
+// unlabeled) when it does not.
+func (m *Model) SatisfiesTheory(th *Theory) (bool, string, error) {
+	for _, e := range th.Equations {
+		ok, err := m.Satisfies(e)
+		if err != nil {
+			return false, e.String(), err
+		}
+		if !ok {
+			return false, e.String(), nil
+		}
+	}
+	return true, "", nil
+}
+
+// DataDomain couples a theory with a model of it, the pair (T, D) from the
+// Bench-Capon/Malcolm Definition 1.
+type DataDomain struct {
+	Theory *Theory
+	Model  *Model
+}
+
+// NewDataDomain validates that the model is a well-formed algebra for the
+// theory's signature and that it satisfies the theory's equations, and
+// returns the pair.
+func NewDataDomain(th *Theory, m *Model) (*DataDomain, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ok, failing, err := m.SatisfiesTheory(th)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("algebra: model does not satisfy equation %s", failing)
+	}
+	return &DataDomain{Theory: th, Model: m}, nil
+}

@@ -1,0 +1,208 @@
+package algebra
+
+import "testing"
+
+// boolSig builds the two-element Boolean signature with not and and.
+func boolSig(t testing.TB) *Signature {
+	t.Helper()
+	s := NewSignature()
+	s.AddSort("Bool")
+	must := func(op Operator) {
+		if err := s.AddOperator(op); err != nil {
+			t.Fatalf("AddOperator: %v", err)
+		}
+	}
+	must(Operator{Name: "true", Result: "Bool"})
+	must(Operator{Name: "false", Result: "Bool"})
+	must(Operator{Name: "not", Args: []Sort{"Bool"}, Result: "Bool"})
+	must(Operator{Name: "and", Args: []Sort{"Bool", "Bool"}, Result: "Bool"})
+	return s
+}
+
+// boolModel builds the standard two-element Boolean algebra.
+func boolModel(t testing.TB) (*Signature, *Model) {
+	t.Helper()
+	s := boolSig(t)
+	m := NewModel(s)
+	m.SetCarrier("Bool", []Value{"T", "F"})
+	m.DefineOp("true", nil, "T")
+	m.DefineOp("false", nil, "F")
+	m.DefineOp("not", []Value{"T"}, "F")
+	m.DefineOp("not", []Value{"F"}, "T")
+	m.DefineOp("and", []Value{"T", "T"}, "T")
+	m.DefineOp("and", []Value{"T", "F"}, "F")
+	m.DefineOp("and", []Value{"F", "T"}, "F")
+	m.DefineOp("and", []Value{"F", "F"}, "F")
+	return s, m
+}
+
+func TestModelValidateOK(t *testing.T) {
+	_, m := boolModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestModelValidateMissingCarrier(t *testing.T) {
+	s := boolSig(t)
+	m := NewModel(s)
+	if err := m.Validate(); err == nil {
+		t.Error("model with no carriers should fail validation")
+	}
+}
+
+func TestModelValidatePartialOperation(t *testing.T) {
+	s := boolSig(t)
+	m := NewModel(s)
+	m.SetCarrier("Bool", []Value{"T", "F"})
+	m.DefineOp("true", nil, "T")
+	m.DefineOp("false", nil, "F")
+	m.DefineOp("not", []Value{"T"}, "F")
+	// not(F) left undefined, and completely undefined.
+	if err := m.Validate(); err == nil {
+		t.Error("partial operation table should fail validation")
+	}
+}
+
+func TestModelValidateResultOutsideCarrier(t *testing.T) {
+	s := NewSignature()
+	s.AddSort("A")
+	if err := s.AddOperator(Operator{Name: "c", Result: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(s)
+	m.SetCarrier("A", []Value{"x"})
+	m.DefineOp("c", nil, "y") // y not in carrier
+	if err := m.Validate(); err == nil {
+		t.Error("operation result outside carrier should fail validation")
+	}
+}
+
+func TestModelValidateSubsortContainment(t *testing.T) {
+	s := NewSignature()
+	s.AddSort("Sub")
+	s.AddSort("Super")
+	if err := s.AddSubsort("Sub", "Super"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(s)
+	m.SetCarrier("Super", []Value{"a"})
+	m.SetCarrier("Sub", []Value{"a", "b"}) // b missing from Super
+	if err := m.Validate(); err == nil {
+		t.Error("subsort carrier must be contained in supersort carrier")
+	}
+	m.SetCarrier("Super", []Value{"a", "b"})
+	if err := m.Validate(); err != nil {
+		t.Errorf("containment satisfied, expected validation to pass: %v", err)
+	}
+}
+
+func TestSetCarrierDeduplicates(t *testing.T) {
+	s := boolSig(t)
+	m := NewModel(s)
+	m.SetCarrier("Bool", []Value{"T", "F", "T"})
+	if got := len(m.Carrier("Bool")); got != 2 {
+		t.Errorf("carrier size = %d, want 2", got)
+	}
+}
+
+func TestEvalGroundTerms(t *testing.T) {
+	_, m := boolModel(t)
+	v, err := m.Eval(Apply("and", Constant("true"), Apply("not", Constant("false"))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "T" {
+		t.Errorf("and(true, not(false)) = %q, want T", v)
+	}
+}
+
+func TestEvalWithAssignment(t *testing.T) {
+	_, m := boolModel(t)
+	tm := Apply("and", Variable("p", "Bool"), Constant("true"))
+	v, err := m.Eval(tm, Assignment{"p": "F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "F" {
+		t.Errorf("and(F, true) = %q, want F", v)
+	}
+	if _, err := m.Eval(tm, nil); err == nil {
+		t.Error("evaluating with unassigned variable should fail")
+	}
+}
+
+func TestSatisfiesEquation(t *testing.T) {
+	_, m := boolModel(t)
+	p := Variable("p", "Bool")
+	involution := Equation{Label: "double-negation", Left: Apply("not", Apply("not", p)), Right: p}
+	ok, err := m.Satisfies(involution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Boolean algebra satisfies double negation")
+	}
+	wrong := Equation{Label: "not-id", Left: Apply("not", p), Right: p}
+	ok, err = m.Satisfies(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("not(p) = p should not be satisfied")
+	}
+}
+
+func TestSatisfiesTheoryAndDataDomain(t *testing.T) {
+	s, m := boolModel(t)
+	p := Variable("p", "Bool")
+	q := Variable("q", "Bool")
+	eqs := []Equation{
+		{Label: "and-comm", Left: Apply("and", p, q), Right: Apply("and", q, p)},
+		{Label: "and-true", Left: Apply("and", p, Constant("true")), Right: p},
+	}
+	th, err := NewTheory(s, eqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, failing, err := m.SatisfiesTheory(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("theory not satisfied, failing equation %s", failing)
+	}
+	dd, err := NewDataDomain(th, m)
+	if err != nil {
+		t.Fatalf("NewDataDomain: %v", err)
+	}
+	if dd.Theory != th || dd.Model != m {
+		t.Error("data domain does not reference its components")
+	}
+}
+
+func TestNewDataDomainRejectsBadModel(t *testing.T) {
+	s, m := boolModel(t)
+	p := Variable("p", "Bool")
+	falseEq := []Equation{{Label: "absurd", Left: Apply("not", p), Right: p}}
+	th, err := NewTheory(s, falseEq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDataDomain(th, m); err == nil {
+		t.Error("data domain construction should fail when the model violates an equation")
+	}
+}
+
+func BenchmarkSatisfiesEquation(b *testing.B) {
+	_, m := boolModel(b)
+	p := Variable("p", "Bool")
+	q := Variable("q", "Bool")
+	eq := Equation{Left: Apply("and", p, Apply("and", q, p)), Right: Apply("and", Apply("and", p, q), p)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := m.Satisfies(eq); err != nil || !ok {
+			b.Fatal("equation should hold")
+		}
+	}
+}

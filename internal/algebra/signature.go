@@ -1,0 +1,457 @@
+// Package algebra implements order-sorted equational algebra in the sense of
+// Goguen and Meseguer, which the paper identifies (via Bench-Capon and
+// Malcolm) as the theoretical presupposition of the one structural definition
+// of "ontonomy" it finds acceptable.
+//
+// The package provides:
+//
+//   - sorted signatures with a sub-sort partial order and ranked operator
+//     declarations;
+//   - terms (variables and operator applications) with sort inference under
+//     sub-sorting;
+//   - substitutions, equations, and equational theories;
+//   - a simple left-to-right term-rewriting engine that normalizes terms with
+//     respect to the oriented equations;
+//   - finite algebras (models) with carriers and operation tables, and
+//     satisfaction checking of equations in a model.
+//
+// Together with package signature it forms the "data domain" half of the
+// Bench-Capon/Malcolm ontology-signature construction exercised by the core
+// audit and by experiment E1.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/order"
+)
+
+// Sort is the name of a sort (a syntactic type).
+type Sort string
+
+// Operator declares an operation symbol with its rank: argument sorts and
+// result sort. A nullary operator (len(Args) == 0) is a constant.
+type Operator struct {
+	Name   string
+	Args   []Sort
+	Result Sort
+}
+
+// String renders the operator declaration in the usual rank notation.
+func (o Operator) String() string {
+	if len(o.Args) == 0 {
+		return fmt.Sprintf("%s : -> %s", o.Name, o.Result)
+	}
+	parts := make([]string, len(o.Args))
+	for i, a := range o.Args {
+		parts[i] = string(a)
+	}
+	return fmt.Sprintf("%s : %s -> %s", o.Name, strings.Join(parts, " "), o.Result)
+}
+
+// Signature is an order-sorted signature: a partially ordered set of sorts
+// and a family of operator declarations over those sorts.
+type Signature struct {
+	sorts *order.Poset[Sort]
+	ops   map[string][]Operator // name -> overloaded declarations
+}
+
+// NewSignature returns an empty signature.
+func NewSignature() *Signature {
+	return &Signature{sorts: order.New[Sort](), ops: make(map[string][]Operator)}
+}
+
+// AddSort declares a sort. Declaring the same sort twice is harmless.
+func (s *Signature) AddSort(x Sort) { s.sorts.Add(x) }
+
+// AddSubsort declares sub ≤ super in the sub-sort order, adding the sorts if
+// needed. It returns an error if the relation would create a cycle.
+func (s *Signature) AddSubsort(sub, super Sort) error {
+	return s.sorts.Relate(sub, super)
+}
+
+// Subsort reports whether a ≤ b in the sub-sort order.
+func (s *Signature) Subsort(a, b Sort) bool { return s.sorts.Leq(a, b) }
+
+// Sorts returns the declared sorts.
+func (s *Signature) Sorts() []Sort { return s.sorts.Elements() }
+
+// SortOrder exposes the underlying sub-sort poset (read-only use intended).
+func (s *Signature) SortOrder() *order.Poset[Sort] { return s.sorts }
+
+// AddOperator declares an operator. All sorts mentioned in the rank must have
+// been declared. Overloading (same name, different ranks) is allowed, as in
+// order-sorted algebra, provided the ranks differ.
+func (s *Signature) AddOperator(op Operator) error {
+	for _, a := range append(append([]Sort{}, op.Args...), op.Result) {
+		if !s.sorts.Contains(a) {
+			return fmt.Errorf("algebra: operator %s uses undeclared sort %q", op.Name, a)
+		}
+	}
+	for _, existing := range s.ops[op.Name] {
+		if sameRank(existing, op) {
+			return fmt.Errorf("algebra: operator %s redeclared with identical rank", op)
+		}
+	}
+	cp := Operator{Name: op.Name, Args: append([]Sort(nil), op.Args...), Result: op.Result}
+	s.ops[op.Name] = append(s.ops[op.Name], cp)
+	return nil
+}
+
+func sameRank(a, b Operator) bool {
+	if a.Result != b.Result || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Operators returns all operator declarations sorted by name then arity, so
+// the listing is deterministic.
+func (s *Signature) Operators() []Operator {
+	var out []Operator
+	for _, decls := range s.ops {
+		out = append(out, decls...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return len(out[i].Args) < len(out[j].Args)
+	})
+	return out
+}
+
+// Declarations returns the (possibly overloaded) declarations of an operator
+// name, or nil if undeclared.
+func (s *Signature) Declarations(name string) []Operator {
+	decls := s.ops[name]
+	out := make([]Operator, len(decls))
+	copy(out, decls)
+	return out
+}
+
+// Constants returns the nullary operators of the given sort, including those
+// declared at a subsort of it.
+func (s *Signature) Constants(of Sort) []Operator {
+	var out []Operator
+	for _, op := range s.Operators() {
+		if len(op.Args) == 0 && s.Subsort(op.Result, of) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Term is a variable or an operator application.
+type Term struct {
+	// Var is non-empty for a variable term; VarSort gives its sort.
+	Var     string
+	VarSort Sort
+	// Op and Children describe an application term when Var is empty.
+	Op       string
+	Children []*Term
+}
+
+// Variable constructs a variable term of the given sort.
+func Variable(name string, sort Sort) *Term { return &Term{Var: name, VarSort: sort} }
+
+// Apply constructs an application term.
+func Apply(op string, children ...*Term) *Term { return &Term{Op: op, Children: children} }
+
+// Constant constructs a nullary application term.
+func Constant(op string) *Term { return &Term{Op: op} }
+
+// IsVar reports whether the term is a variable.
+func (t *Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term in prefix notation.
+func (t *Term) String() string {
+	if t.IsVar() {
+		return fmt.Sprintf("%s:%s", t.Var, t.VarSort)
+	}
+	if len(t.Children) == 0 {
+		return t.Op
+	}
+	parts := make([]string, len(t.Children))
+	for i, c := range t.Children {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.Op, strings.Join(parts, ","))
+}
+
+// Size returns the number of nodes in the term.
+func (t *Term) Size() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the term.
+func (t *Term) Clone() *Term {
+	if t.IsVar() {
+		return &Term{Var: t.Var, VarSort: t.VarSort}
+	}
+	cs := make([]*Term, len(t.Children))
+	for i, c := range t.Children {
+		cs[i] = c.Clone()
+	}
+	return &Term{Op: t.Op, Children: cs}
+}
+
+// Equal reports structural equality of two terms.
+func (t *Term) Equal(u *Term) bool {
+	if t.IsVar() || u.IsVar() {
+		return t.IsVar() && u.IsVar() && t.Var == u.Var && t.VarSort == u.VarSort
+	}
+	if t.Op != u.Op || len(t.Children) != len(u.Children) {
+		return false
+	}
+	for i := range t.Children {
+		if !t.Children[i].Equal(u.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the variables occurring in the term, each once, in first-seen
+// order.
+func (t *Term) Vars() []*Term {
+	var out []*Term
+	seen := map[string]bool{}
+	var walk func(*Term)
+	walk = func(x *Term) {
+		if x.IsVar() {
+			if !seen[x.Var] {
+				seen[x.Var] = true
+				out = append(out, x)
+			}
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// SortOf infers the least result sort of the term in the signature. It
+// returns an error for ill-sorted terms: undeclared operators, arity
+// mismatches, or arguments whose sort is not a subsort of the declared
+// argument sort. When an operator is overloaded, the first declaration whose
+// argument sorts accept the children (in declaration order) is used.
+func (s *Signature) SortOf(t *Term) (Sort, error) {
+	if t.IsVar() {
+		if !s.sorts.Contains(t.VarSort) {
+			return "", fmt.Errorf("algebra: variable %s has undeclared sort %q", t.Var, t.VarSort)
+		}
+		return t.VarSort, nil
+	}
+	decls := s.ops[t.Op]
+	if len(decls) == 0 {
+		return "", fmt.Errorf("algebra: undeclared operator %q", t.Op)
+	}
+	childSorts := make([]Sort, len(t.Children))
+	for i, c := range t.Children {
+		cs, err := s.SortOf(c)
+		if err != nil {
+			return "", err
+		}
+		childSorts[i] = cs
+	}
+	var lastErr error
+	for _, d := range decls {
+		if len(d.Args) != len(t.Children) {
+			lastErr = fmt.Errorf("algebra: operator %q applied to %d arguments, declaration wants %d", t.Op, len(t.Children), len(d.Args))
+			continue
+		}
+		ok := true
+		for i, want := range d.Args {
+			if !s.Subsort(childSorts[i], want) {
+				lastErr = fmt.Errorf("algebra: argument %d of %q has sort %q, not a subsort of %q", i, t.Op, childSorts[i], want)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return d.Result, nil
+		}
+	}
+	return "", lastErr
+}
+
+// WellSorted reports whether the term is well-sorted in the signature.
+func (s *Signature) WellSorted(t *Term) bool {
+	_, err := s.SortOf(t)
+	return err == nil
+}
+
+// Substitution maps variable names to terms.
+type Substitution map[string]*Term
+
+// Apply returns a copy of t with every bound variable replaced by its image.
+func (sub Substitution) Apply(t *Term) *Term {
+	if t.IsVar() {
+		if r, ok := sub[t.Var]; ok {
+			return r.Clone()
+		}
+		return t.Clone()
+	}
+	cs := make([]*Term, len(t.Children))
+	for i, c := range t.Children {
+		cs[i] = sub.Apply(c)
+	}
+	return &Term{Op: t.Op, Children: cs}
+}
+
+// Match attempts to match pattern against subject (subject must be at least
+// as instantiated as the pattern: pattern variables bind to subject subterms,
+// subject variables only match equal pattern variables). Sort constraints are
+// checked against sig: a pattern variable of sort s only binds a subterm
+// whose sort is a subsort of s. It returns the substitution and true on
+// success.
+func Match(sig *Signature, pattern, subject *Term) (Substitution, bool) {
+	sub := Substitution{}
+	if matchInto(sig, pattern, subject, sub) {
+		return sub, true
+	}
+	return nil, false
+}
+
+func matchInto(sig *Signature, pattern, subject *Term, sub Substitution) bool {
+	if pattern.IsVar() {
+		if bound, ok := sub[pattern.Var]; ok {
+			return bound.Equal(subject)
+		}
+		if sig != nil {
+			st, err := sig.SortOf(subject)
+			if err != nil || !sig.Subsort(st, pattern.VarSort) {
+				return false
+			}
+		}
+		sub[pattern.Var] = subject.Clone()
+		return true
+	}
+	if subject.IsVar() {
+		return false
+	}
+	if pattern.Op != subject.Op || len(pattern.Children) != len(subject.Children) {
+		return false
+	}
+	for i := range pattern.Children {
+		if !matchInto(sig, pattern.Children[i], subject.Children[i], sub) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equation is an equality between two terms, universally quantified over
+// their variables.
+type Equation struct {
+	Left, Right *Term
+	Label       string
+}
+
+// String renders the equation.
+func (e Equation) String() string {
+	label := ""
+	if e.Label != "" {
+		label = "[" + e.Label + "] "
+	}
+	return fmt.Sprintf("%s%s = %s", label, e.Left, e.Right)
+}
+
+// Theory is an order-sorted equational theory (S, Σ, E): a signature plus a
+// set of equations over it. It corresponds to the T of the data domain
+// (T, D) in the Bench-Capon/Malcolm construction.
+type Theory struct {
+	Sig       *Signature
+	Equations []Equation
+}
+
+// NewTheory builds a theory, validating that both sides of every equation are
+// well-sorted and that their sorts are comparable in the sub-sort order.
+func NewTheory(sig *Signature, eqs []Equation) (*Theory, error) {
+	for _, e := range eqs {
+		ls, err := sig.SortOf(e.Left)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: equation %s: left side ill-sorted: %w", e, err)
+		}
+		rs, err := sig.SortOf(e.Right)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: equation %s: right side ill-sorted: %w", e, err)
+		}
+		if !sig.Subsort(ls, rs) && !sig.Subsort(rs, ls) {
+			return nil, fmt.Errorf("algebra: equation %s equates incomparable sorts %q and %q", e, ls, rs)
+		}
+	}
+	return &Theory{Sig: sig, Equations: append([]Equation(nil), eqs...)}, nil
+}
+
+// RewriteResult reports the outcome of normalization.
+type RewriteResult struct {
+	Term    *Term
+	Steps   int
+	Reached bool // true if a normal form was reached within the step budget
+}
+
+// Normalize rewrites the term with the theory's equations oriented
+// left-to-right, innermost-first, until no rule applies or the step budget is
+// exhausted.
+func (th *Theory) Normalize(t *Term, maxSteps int) RewriteResult {
+	cur := t.Clone()
+	steps := 0
+	for steps < maxSteps {
+		next, changed := th.rewriteOnce(cur)
+		if !changed {
+			return RewriteResult{Term: cur, Steps: steps, Reached: true}
+		}
+		cur = next
+		steps++
+	}
+	return RewriteResult{Term: cur, Steps: steps, Reached: false}
+}
+
+// rewriteOnce applies a single rewrite step at the innermost-leftmost redex.
+func (th *Theory) rewriteOnce(t *Term) (*Term, bool) {
+	if !t.IsVar() {
+		for i, c := range t.Children {
+			if nc, changed := th.rewriteOnce(c); changed {
+				cs := make([]*Term, len(t.Children))
+				copy(cs, t.Children)
+				cs[i] = nc
+				return &Term{Op: t.Op, Children: cs}, true
+			}
+		}
+	}
+	for _, e := range th.Equations {
+		if sub, ok := Match(th.Sig, e.Left, t); ok {
+			replaced := sub.Apply(e.Right)
+			if !replaced.Equal(t) {
+				return replaced, true
+			}
+		}
+	}
+	return t, false
+}
+
+// EquivalentUnder reports whether the two terms have identical normal forms
+// under the theory within the step budget. This is a sound but incomplete
+// equality check (complete when the oriented rules are confluent and
+// terminating, which the built-in and generated theories are).
+func (th *Theory) EquivalentUnder(a, b *Term, maxSteps int) bool {
+	na := th.Normalize(a, maxSteps)
+	nb := th.Normalize(b, maxSteps)
+	return na.Reached && nb.Reached && na.Term.Equal(nb.Term)
+}

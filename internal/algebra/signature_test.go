@@ -1,0 +1,338 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// natSig builds the signature of naturals with zero, succ, plus, and a
+// subsort NzNat ≤ Nat of non-zero naturals.
+func natSig(t testing.TB) *Signature {
+	t.Helper()
+	s := NewSignature()
+	s.AddSort("Nat")
+	s.AddSort("NzNat")
+	if err := s.AddSubsort("NzNat", "Nat"); err != nil {
+		t.Fatalf("AddSubsort: %v", err)
+	}
+	mustOp := func(op Operator) {
+		if err := s.AddOperator(op); err != nil {
+			t.Fatalf("AddOperator(%v): %v", op, err)
+		}
+	}
+	mustOp(Operator{Name: "zero", Result: "Nat"})
+	mustOp(Operator{Name: "succ", Args: []Sort{"Nat"}, Result: "NzNat"})
+	mustOp(Operator{Name: "plus", Args: []Sort{"Nat", "Nat"}, Result: "Nat"})
+	return s
+}
+
+// natTheory builds the usual Peano addition rules over natSig.
+func natTheory(t testing.TB) *Theory {
+	t.Helper()
+	s := natSig(t)
+	x := Variable("x", "Nat")
+	y := Variable("y", "Nat")
+	eqs := []Equation{
+		{Label: "plus-zero", Left: Apply("plus", Constant("zero"), x), Right: x},
+		{Label: "plus-succ", Left: Apply("plus", Apply("succ", x), y), Right: Apply("succ", Apply("plus", x, y))},
+	}
+	th, err := NewTheory(s, eqs)
+	if err != nil {
+		t.Fatalf("NewTheory: %v", err)
+	}
+	return th
+}
+
+func num(n int) *Term {
+	t := Constant("zero")
+	for i := 0; i < n; i++ {
+		t = Apply("succ", t)
+	}
+	return t
+}
+
+func TestSignatureSubsort(t *testing.T) {
+	s := natSig(t)
+	if !s.Subsort("NzNat", "Nat") {
+		t.Error("NzNat should be a subsort of Nat")
+	}
+	if s.Subsort("Nat", "NzNat") {
+		t.Error("Nat should not be a subsort of NzNat")
+	}
+	if !s.Subsort("Nat", "Nat") {
+		t.Error("subsort order must be reflexive")
+	}
+}
+
+func TestAddSubsortCycle(t *testing.T) {
+	s := NewSignature()
+	s.AddSort("A")
+	s.AddSort("B")
+	if err := s.AddSubsort("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSubsort("B", "A"); err == nil {
+		t.Error("cyclic subsort declaration should fail")
+	}
+}
+
+func TestAddOperatorValidation(t *testing.T) {
+	s := NewSignature()
+	s.AddSort("Nat")
+	if err := s.AddOperator(Operator{Name: "f", Args: []Sort{"Missing"}, Result: "Nat"}); err == nil {
+		t.Error("operator with undeclared argument sort should be rejected")
+	}
+	if err := s.AddOperator(Operator{Name: "zero", Result: "Nat"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddOperator(Operator{Name: "zero", Result: "Nat"}); err == nil {
+		t.Error("identical redeclaration should be rejected")
+	}
+	// Overloading with a different rank is allowed.
+	s.AddSort("Int")
+	if err := s.AddOperator(Operator{Name: "zero", Result: "Int"}); err != nil {
+		t.Errorf("overloading with distinct rank should be allowed: %v", err)
+	}
+}
+
+func TestOperatorsSortedAndConstants(t *testing.T) {
+	s := natSig(t)
+	ops := s.Operators()
+	if len(ops) != 3 {
+		t.Fatalf("Operators() = %d, want 3", len(ops))
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Name > ops[i].Name {
+			t.Error("Operators() not sorted by name")
+		}
+	}
+	consts := s.Constants("Nat")
+	if len(consts) != 1 || consts[0].Name != "zero" {
+		t.Errorf("Constants(Nat) = %v, want [zero]", consts)
+	}
+	if got := s.Constants("NzNat"); len(got) != 0 {
+		t.Errorf("Constants(NzNat) = %v, want none (zero is not NzNat)", got)
+	}
+	if got := s.Declarations("plus"); len(got) != 1 {
+		t.Errorf("Declarations(plus) = %v", got)
+	}
+}
+
+func TestSortOfInference(t *testing.T) {
+	s := natSig(t)
+	cases := []struct {
+		term *Term
+		want Sort
+	}{
+		{Constant("zero"), "Nat"},
+		{Apply("succ", Constant("zero")), "NzNat"},
+		{Apply("plus", num(1), num(2)), "Nat"},
+		// succ accepts Nat, and NzNat ≤ Nat, so succ(succ(zero)) is fine.
+		{Apply("succ", Apply("succ", Constant("zero"))), "NzNat"},
+		{Variable("x", "NzNat"), "NzNat"},
+	}
+	for _, c := range cases {
+		got, err := s.SortOf(c.term)
+		if err != nil {
+			t.Errorf("SortOf(%v): %v", c.term, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("SortOf(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestSortOfErrors(t *testing.T) {
+	s := natSig(t)
+	bad := []*Term{
+		Constant("undeclared"),
+		Apply("succ", Constant("zero"), Constant("zero")), // arity
+		Variable("x", "Missing"),
+	}
+	for _, b := range bad {
+		if _, err := s.SortOf(b); err == nil {
+			t.Errorf("SortOf(%v) should fail", b)
+		}
+	}
+	if s.WellSorted(bad[0]) {
+		t.Error("WellSorted should be false for ill-sorted term")
+	}
+	if !s.WellSorted(num(3)) {
+		t.Error("WellSorted should be true for num(3)")
+	}
+}
+
+func TestTermBasics(t *testing.T) {
+	tm := Apply("plus", num(2), Variable("x", "Nat"))
+	if tm.Size() != 5 {
+		t.Errorf("Size = %d, want 5", tm.Size())
+	}
+	if got := tm.String(); got != "plus(succ(succ(zero)),x:Nat)" {
+		t.Errorf("String = %q", got)
+	}
+	clone := tm.Clone()
+	if !clone.Equal(tm) {
+		t.Error("clone not equal to original")
+	}
+	clone.Children[0] = Constant("zero")
+	if clone.Equal(tm) {
+		t.Error("mutating clone should break equality")
+	}
+	vars := tm.Vars()
+	if len(vars) != 1 || vars[0].Var != "x" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestMatchAndSubstitution(t *testing.T) {
+	s := natSig(t)
+	pattern := Apply("plus", Apply("succ", Variable("x", "Nat")), Variable("y", "Nat"))
+	subject := Apply("plus", num(2), num(1))
+	sub, ok := Match(s, pattern, subject)
+	if !ok {
+		t.Fatal("expected match")
+	}
+	if !sub["x"].Equal(num(1)) || !sub["y"].Equal(num(1)) {
+		t.Errorf("substitution = %v", sub)
+	}
+	// Applying the substitution to the pattern reproduces the subject.
+	if !sub.Apply(pattern).Equal(subject) {
+		t.Error("sub(pattern) != subject")
+	}
+}
+
+func TestMatchRespectSorts(t *testing.T) {
+	s := natSig(t)
+	// A variable of sort NzNat must not bind zero (sort Nat, not ≤ NzNat).
+	pattern := Apply("succ", Variable("x", "NzNat"))
+	subject := Apply("succ", Constant("zero"))
+	if _, ok := Match(s, pattern, subject); ok {
+		t.Error("match should fail: zero is not of sort NzNat")
+	}
+	subject2 := Apply("succ", num(1))
+	if _, ok := Match(s, pattern, subject2); !ok {
+		t.Error("match should succeed: succ(zero) has sort NzNat")
+	}
+}
+
+func TestMatchNonLinearPattern(t *testing.T) {
+	s := natSig(t)
+	pattern := Apply("plus", Variable("x", "Nat"), Variable("x", "Nat"))
+	if _, ok := Match(s, pattern, Apply("plus", num(1), num(1))); !ok {
+		t.Error("non-linear match with equal arguments should succeed")
+	}
+	if _, ok := Match(s, pattern, Apply("plus", num(1), num(2))); ok {
+		t.Error("non-linear match with different arguments should fail")
+	}
+}
+
+func TestNewTheoryValidation(t *testing.T) {
+	s := natSig(t)
+	bad := []Equation{{Left: Constant("zero"), Right: Constant("nope")}}
+	if _, err := NewTheory(s, bad); err == nil {
+		t.Error("ill-sorted equation should be rejected")
+	}
+}
+
+func TestNormalizePeanoAddition(t *testing.T) {
+	th := natTheory(t)
+	res := th.Normalize(Apply("plus", num(2), num(3)), 100)
+	if !res.Reached {
+		t.Fatal("normalization did not reach a normal form")
+	}
+	if !res.Term.Equal(num(5)) {
+		t.Errorf("2+3 normalized to %v, want %v", res.Term, num(5))
+	}
+	if res.Steps == 0 {
+		t.Error("expected at least one rewrite step")
+	}
+}
+
+func TestNormalizeBudgetExhausted(t *testing.T) {
+	th := natTheory(t)
+	res := th.Normalize(Apply("plus", num(10), num(10)), 2)
+	if res.Reached {
+		t.Error("two steps cannot normalize 10+10")
+	}
+}
+
+func TestEquivalentUnder(t *testing.T) {
+	th := natTheory(t)
+	a := Apply("plus", num(2), num(3))
+	b := Apply("plus", num(4), num(1))
+	if !th.EquivalentUnder(a, b, 200) {
+		t.Error("2+3 and 4+1 should be equivalent")
+	}
+	if th.EquivalentUnder(a, num(4), 200) {
+		t.Error("2+3 and 4 should not be equivalent")
+	}
+}
+
+func TestPropertyNormalizationComputesAddition(t *testing.T) {
+	th := natTheory(t)
+	f := func(a, b uint8) bool {
+		x, y := int(a%12), int(b%12)
+		res := th.Normalize(Apply("plus", num(x), num(y)), 500)
+		return res.Reached && res.Term.Equal(num(x+y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubstitutionComposition(t *testing.T) {
+	// Applying a substitution twice is idempotent when images are ground.
+	th := natTheory(t)
+	_ = th
+	f := func(n uint8) bool {
+		sub := Substitution{"x": num(int(n % 6))}
+		tm := Apply("plus", Variable("x", "Nat"), Variable("x", "Nat"))
+		once := sub.Apply(tm)
+		twice := sub.Apply(once)
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNormalizeAddition(b *testing.B) {
+	th := natTheory(b)
+	term := Apply("plus", num(20), num(20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := th.Normalize(term, 1000)
+		if !res.Reached {
+			b.Fatal("did not normalize")
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	s := natSig(b)
+	pattern := Apply("plus", Apply("succ", Variable("x", "Nat")), Variable("y", "Nat"))
+	subject := Apply("plus", num(15), num(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Match(s, pattern, subject); !ok {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+func BenchmarkSortOf(b *testing.B) {
+	s := natSig(b)
+	r := rand.New(rand.NewSource(3))
+	terms := make([]*Term, 32)
+	for i := range terms {
+		terms[i] = Apply("plus", num(r.Intn(20)), num(r.Intn(20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SortOf(terms[i%len(terms)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

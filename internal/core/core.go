@@ -1,0 +1,369 @@
+// Package core exposes the library's public-facing "ontology audit": given an
+// ontonomy (a description-logic TBox, optionally accompanied by a
+// Bench-Capon/Malcolm signature-level ontonomy, an annotated data store, and
+// the lexical fields of the community that is supposed to use it), it runs
+// the paper's three critiques and returns a structured report:
+//
+//   - the definitional audit (§2): which of the circulating definitions of
+//     "ontonomy" the artifact actually satisfies, and which of them could
+//     reject anything at all;
+//   - the structural-meaning audit (§3): which distinct concepts receive the
+//     same structural meaning (the CAR ≅ DOG collisions), and whether
+//     unfolding definitions ever separates them;
+//   - the semantic-field audit (§3): how much an atomistic word-to-word
+//     reading of the community's vocabularies loses relative to their actual
+//     field structure;
+//   - the pragmatic audit (§4): whether ontology-mediated query expansion
+//     helps or hurts retrieval over the accompanying annotated data.
+//
+// Audit is what the examples and cmd/ontoaudit drive; every substrate it pulls
+// together is available directly under internal/ for finer-grained use.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/definition"
+	"repro/internal/dl"
+	"repro/internal/semfield"
+	"repro/internal/signature"
+	"repro/internal/store"
+	"repro/internal/structure"
+)
+
+// Input is everything an audit can look at. Only TBox is mandatory.
+type Input struct {
+	// TBox is the ontonomy under audit, as a description-logic terminology.
+	TBox *dl.TBox
+	// Ontonomy is the Bench-Capon/Malcolm signature-level rendering of the
+	// same ontonomy, if the caller has one; without it the structural
+	// definition of §2 has nothing it could accept.
+	Ontonomy *signature.Ontonomy
+	// Annotations is a store of type annotations made under the ontonomy.
+	Annotations *store.Store
+	// TrueClass is the ground truth of usage: for every annotated instance,
+	// the class its actual usage belongs to. Required for the pragmatic
+	// audit; without it only the annotation counts are reported.
+	TrueClass map[string]string
+	// Languages are the lexical fields of the community the ontonomy is
+	// meant to serve; at least two are needed for the semantic-field audit.
+	Languages []*semfield.Language
+	// MaxDepth is the maximum unfolding depth for the structural audit
+	// (default 3).
+	MaxDepth int
+}
+
+// DefinitionVerdict is one definition's judgement of the audited artifact.
+type DefinitionVerdict struct {
+	Definition string
+	Accepted   bool
+	Reason     string
+}
+
+// DefinitionalFinding is the §2 part of the report.
+type DefinitionalFinding struct {
+	Verdicts []DefinitionVerdict
+	// StructuralDefinitionApplicable records whether a signature-level
+	// ontonomy was supplied at all.
+	StructuralDefinitionApplicable bool
+}
+
+// StructuralFinding is the §3 (structural meaning) part of the report.
+type StructuralFinding struct {
+	// AsWritten is the collision report over definitions as written
+	// (depth 0) with concept names erased.
+	AsWritten structure.CollisionReport
+	// Unfolded is the collision report at MaxDepth.
+	Unfolded structure.CollisionReport
+	// Curve is the full differentiation curve up to MaxDepth.
+	Curve []structure.DifferentiationPoint
+	// ShapeOnly is the collision report at MaxDepth with role labels erased
+	// as well — the paper's diagram (7) reading.
+	ShapeOnly structure.CollisionReport
+}
+
+// LanguagePairLoss is the semantic-field audit of one ordered language pair.
+type LanguagePairLoss struct {
+	Source, Target string
+	Divergence     float64
+	Atomistic      semfield.LossReport
+	FieldRelative  semfield.LossReport
+}
+
+// SemanticFinding is the §3 (lexical field) part of the report.
+type SemanticFinding struct {
+	Pairs []LanguagePairLoss
+}
+
+// PragmaticFinding is the §4 part of the report.
+type PragmaticFinding struct {
+	// Classes is the number of class queries evaluated.
+	Classes int
+	// AnnotatedInstances is the number of annotated instances in the store.
+	AnnotatedInstances int
+	// Expanded and Plain are the macro-averaged retrieval quality with and
+	// without ontology expansion; they are only meaningful when ground truth
+	// was supplied (GroundTruth is true).
+	Expanded, Plain store.Aggregate
+	GroundTruth     bool
+}
+
+// Report is the full audit result.
+type Report struct {
+	Definitional DefinitionalFinding
+	Structural   StructuralFinding
+	Semantic     SemanticFinding
+	Pragmatic    PragmaticFinding
+	// Findings is the human-readable summary, one sentence per finding, in
+	// audit order.
+	Findings []string
+}
+
+// ErrNoTBox is returned by Audit when no TBox is supplied.
+var ErrNoTBox = errors.New("core: audit requires a TBox")
+
+// Audit runs every applicable critique over the input and assembles the
+// report. Parts of the audit whose inputs are missing are skipped and noted
+// in the findings rather than failing the whole audit.
+func Audit(in Input) (*Report, error) {
+	if in.TBox == nil {
+		return nil, ErrNoTBox
+	}
+	maxDepth := in.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 3
+	}
+	rep := &Report{}
+	auditDefinitional(in, rep)
+	auditStructural(in, rep, maxDepth)
+	auditSemantic(in, rep)
+	auditPragmatic(in, rep)
+	return rep, nil
+}
+
+// tboxArtifact adapts a bare TBox to the definition.Artifact interface so the
+// functional and approximation definitions can judge it even when no
+// signature-level ontonomy is supplied.
+type tboxArtifact struct {
+	tbox *dl.TBox
+}
+
+func (a tboxArtifact) Kind() definition.Kind { return definition.KindOntonomy }
+
+func (a tboxArtifact) Symbols() []string {
+	set := map[string]bool{}
+	for _, n := range a.tbox.DefinedNames() {
+		set[n] = true
+	}
+	for _, n := range a.tbox.PrimitiveNames() {
+		set[n] = true
+	}
+	for _, r := range a.tbox.RoleNames() {
+		set[r] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a tboxArtifact) Statements() []string {
+	defs := a.tbox.Definitions()
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func auditDefinitional(in Input, rep *Report) {
+	var artifact definition.Artifact
+	if in.Ontonomy != nil {
+		artifact = definition.OntonomyArtifact{Ontonomy: in.Ontonomy}
+		rep.Definitional.StructuralDefinitionApplicable = true
+	} else {
+		artifact = tboxArtifact{tbox: in.TBox}
+	}
+	accepted := 0
+	for _, def := range definition.AllDefinitions() {
+		v := def.Accepts(artifact)
+		rep.Definitional.Verdicts = append(rep.Definitional.Verdicts, DefinitionVerdict{
+			Definition: def.Name,
+			Accepted:   v.Accepted,
+			Reason:     v.Reason,
+		})
+		if v.Accepted {
+			accepted++
+		}
+	}
+	rep.Findings = append(rep.Findings, fmt.Sprintf(
+		"definitional: %d of %d circulating definitions accept the artifact", accepted, len(rep.Definitional.Verdicts)))
+	if !rep.Definitional.StructuralDefinitionApplicable {
+		rep.Findings = append(rep.Findings,
+			"definitional: no signature-level ontonomy was supplied, so the only structural definition (Bench-Capon & Malcolm) has nothing it could accept")
+	}
+}
+
+func auditStructural(in Input, rep *Report, maxDepth int) {
+	rep.Structural.AsWritten = structure.Collisions(in.TBox, 0, structure.EraseConcepts)
+	rep.Structural.Unfolded = structure.Collisions(in.TBox, maxDepth, structure.EraseConcepts)
+	rep.Structural.ShapeOnly = structure.Collisions(in.TBox, maxDepth, structure.EraseAll)
+	rep.Structural.Curve = structure.DifferentiationCurve(in.TBox, maxDepth, structure.EraseConcepts)
+
+	asWritten := rep.Structural.AsWritten
+	unfolded := rep.Structural.Unfolded
+	if asWritten.CollidingPairs > 0 {
+		example := ""
+		if len(asWritten.Groups) > 0 {
+			example = " (e.g. " + strings.Join(asWritten.Groups[0].Names, " ≅ ") + ")"
+		}
+		rep.Findings = append(rep.Findings, fmt.Sprintf(
+			"structural: %d of %d concept pairs share a structural meaning as written%s",
+			asWritten.CollidingPairs, asWritten.TotalPairs, example))
+		if unfolded.CollidingPairs > 0 {
+			rep.Findings = append(rep.Findings, fmt.Sprintf(
+				"structural: unfolding to depth %d still leaves %d colliding pairs; differentiation has not terminated",
+				maxDepth, unfolded.CollidingPairs))
+		} else {
+			rep.Findings = append(rep.Findings, fmt.Sprintf(
+				"structural: unfolding to depth %d separates all colliding pairs, at a mean definition size of %.1f nodes",
+				maxDepth, rep.Structural.Curve[len(rep.Structural.Curve)-1].MeanTreeSize))
+		}
+	} else {
+		rep.Findings = append(rep.Findings, "structural: no structural-meaning collisions among the definitions as written")
+	}
+	if rep.Structural.ShapeOnly.CollidingPairs > 0 {
+		rep.Findings = append(rep.Findings, fmt.Sprintf(
+			"structural: read shape-only (the paper's diagram (7)), %d pairs remain indistinguishable at depth %d",
+			rep.Structural.ShapeOnly.CollidingPairs, maxDepth))
+	}
+	if len(asWritten.Skipped) > 0 {
+		rep.Findings = append(rep.Findings, fmt.Sprintf(
+			"structural: %d definitions fall outside the conjunctive fragment and were not analyzed (%s)",
+			len(asWritten.Skipped), strings.Join(asWritten.Skipped, ", ")))
+	}
+}
+
+func auditSemantic(in Input, rep *Report) {
+	if len(in.Languages) < 2 {
+		rep.Findings = append(rep.Findings, "semantic: fewer than two lexical fields supplied; the field audit was skipped")
+		return
+	}
+	worst := 0.0
+	for i, src := range in.Languages {
+		for j, dst := range in.Languages {
+			if i == j {
+				continue
+			}
+			pair := LanguagePairLoss{
+				Source:        src.Name(),
+				Target:        dst.Name(),
+				Divergence:    semfield.Divergence(src, dst),
+				Atomistic:     semfield.TranslationLoss(src, dst, semfield.Atomistic),
+				FieldRelative: semfield.TranslationLoss(src, dst, semfield.FieldRelative),
+			}
+			rep.Semantic.Pairs = append(rep.Semantic.Pairs, pair)
+			if e := pair.Atomistic.ErrorRate(); e > worst {
+				worst = e
+			}
+		}
+	}
+	rep.Findings = append(rep.Findings, fmt.Sprintf(
+		"semantic: across %d language pairs, an atomistic word-to-word mapping misplaces up to %.0f%% of occurrences that the field structure resolves",
+		len(rep.Semantic.Pairs), worst*100))
+}
+
+func auditPragmatic(in Input, rep *Report) {
+	if in.Annotations == nil {
+		rep.Findings = append(rep.Findings, "pragmatic: no annotated store supplied; the retrieval audit was skipped")
+		return
+	}
+	oi, err := store.NewOntologyIndex(in.TBox)
+	if err != nil {
+		rep.Findings = append(rep.Findings, fmt.Sprintf("pragmatic: the ontology could not be classified (%v); the retrieval audit was skipped", err))
+		return
+	}
+	classes := oi.Classes()
+	rep.Pragmatic.Classes = len(classes)
+	rep.Pragmatic.AnnotatedInstances = len(in.Annotations.Query(store.Pattern{Predicate: store.TypePredicate}))
+	if len(in.TrueClass) == 0 {
+		rep.Findings = append(rep.Findings, fmt.Sprintf(
+			"pragmatic: %d annotated instances over %d classes; no usage ground truth supplied, so retrieval quality was not scored",
+			rep.Pragmatic.AnnotatedInstances, rep.Pragmatic.Classes))
+		return
+	}
+	rep.Pragmatic.GroundTruth = true
+	var expanded, plain []store.RetrievalResult
+	for _, class := range classes {
+		relevant := relevantTo(in.TrueClass, oi, class)
+		expanded = append(expanded, store.Evaluate(store.InstancesOfExpanded(in.Annotations, oi, class), relevant))
+		plain = append(plain, store.Evaluate(store.InstancesOf(in.Annotations, class), relevant))
+	}
+	rep.Pragmatic.Expanded = store.Macro(expanded)
+	rep.Pragmatic.Plain = store.Macro(plain)
+	verdict := "helps"
+	if rep.Pragmatic.Expanded.F1 < rep.Pragmatic.Plain.F1 {
+		verdict = "hurts"
+	}
+	rep.Findings = append(rep.Findings, fmt.Sprintf(
+		"pragmatic: ontology expansion %s retrieval on this corpus (macro F1 %.3f expanded vs %.3f plain over %d class queries)",
+		verdict, rep.Pragmatic.Expanded.F1, rep.Pragmatic.Plain.F1, rep.Pragmatic.Classes))
+}
+
+// relevantTo computes the ground-truth answer set of a class query from the
+// usage map.
+func relevantTo(trueClass map[string]string, oi *store.OntologyIndex, class string) []string {
+	wanted := map[string]bool{}
+	for _, sub := range oi.Subsumees(class) {
+		wanted[sub] = true
+	}
+	var out []string
+	for inst, c := range trueClass {
+		if wanted[c] {
+			out = append(out, inst)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render writes the report as human-readable text: the findings first, then
+// the per-audit details.
+func (r *Report) Render() string {
+	var b strings.Builder
+	b.WriteString("ONTOLOGY AUDIT\n==============\n\nFindings\n--------\n")
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  - %s\n", f)
+	}
+	b.WriteString("\nDefinitional audit (§2)\n-----------------------\n")
+	for _, v := range r.Definitional.Verdicts {
+		status := "rejects"
+		if v.Accepted {
+			status = "accepts"
+		}
+		fmt.Fprintf(&b, "  %-36s %s: %s\n", v.Definition, status, v.Reason)
+	}
+	b.WriteString("\nStructural audit (§3)\n---------------------\n")
+	fmt.Fprintf(&b, "  as written: %s", r.Structural.AsWritten.Describe())
+	fmt.Fprintf(&b, "  unfolded:   %s", r.Structural.Unfolded.Describe())
+	if len(r.Semantic.Pairs) > 0 {
+		b.WriteString("\nSemantic-field audit (§3)\n-------------------------\n")
+		for _, p := range r.Semantic.Pairs {
+			fmt.Fprintf(&b, "  %s → %s  divergence %.3f  atomistic %.3f  field-relative %.3f\n",
+				p.Source, p.Target, p.Divergence, p.Atomistic.ErrorRate(), p.FieldRelative.ErrorRate())
+		}
+	}
+	if r.Pragmatic.Classes > 0 {
+		b.WriteString("\nPragmatic audit (§4)\n--------------------\n")
+		fmt.Fprintf(&b, "  %d annotated instances, %d classes\n", r.Pragmatic.AnnotatedInstances, r.Pragmatic.Classes)
+		if r.Pragmatic.GroundTruth {
+			fmt.Fprintf(&b, "  expanded: %s\n  plain:    %s\n", r.Pragmatic.Expanded, r.Pragmatic.Plain)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/definition"
+	"repro/internal/dl"
+)
+
+func TestAuditRequiresTBox(t *testing.T) {
+	if _, err := Audit(Input{}); err != ErrNoTBox {
+		t.Fatalf("Audit without TBox returned %v, want ErrNoTBox", err)
+	}
+}
+
+func TestAuditPaperInput(t *testing.T) {
+	rep, err := Audit(PaperInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Definitional: functional and approximation accept, structural has
+	// nothing to accept (no signature-level ontonomy supplied).
+	if len(rep.Definitional.Verdicts) != 3 {
+		t.Fatalf("verdicts = %d, want 3", len(rep.Definitional.Verdicts))
+	}
+	if !rep.Definitional.Verdicts[0].Accepted || !rep.Definitional.Verdicts[1].Accepted {
+		t.Error("functional and approximation definitions should accept the paper TBox")
+	}
+	if rep.Definitional.Verdicts[2].Accepted {
+		t.Error("structural definition should not accept a bare TBox")
+	}
+	if rep.Definitional.StructuralDefinitionApplicable {
+		t.Error("no signature-level ontonomy was supplied; the flag should be false")
+	}
+
+	// Structural: the CAR ≅ DOG collision is present as written and the
+	// unfolding (which exposes role names) separates it at depth 3.
+	if rep.Structural.AsWritten.CollidingPairs == 0 {
+		t.Error("the paper TBox should exhibit collisions as written")
+	}
+	var carDog bool
+	for _, g := range rep.Structural.AsWritten.Groups {
+		names := strings.Join(g.Names, " ")
+		if strings.Contains(names, "car") && strings.Contains(names, "dog") {
+			carDog = true
+		}
+	}
+	if !carDog {
+		t.Error("car and dog should share a collision group as written")
+	}
+	// Unfolding (which exposes the uses/ingests role names) separates the
+	// cross-domain CAR ≅ DOG pair, but pairs that differ only in a primitive
+	// leaf name — car/pickup (small vs big), dog/horse, roadvehicle/quadruped
+	// (wheels vs leg) — remain indistinguishable at every depth once names
+	// are erased: the paper's "we can't [stop]" in miniature.
+	if rep.Structural.Unfolded.CollidingPairs != 3 {
+		t.Errorf("unfolded colliding pairs = %d, want 3 (car≅pickup, dog≅horse, roadvehicle≅quadruped)",
+			rep.Structural.Unfolded.CollidingPairs)
+	}
+	for _, g := range rep.Structural.Unfolded.Groups {
+		names := strings.Join(g.Names, " ")
+		if strings.Contains(names, "car") && strings.Contains(names, "dog") {
+			t.Error("car and dog should be separated by unfolding with role labels kept")
+		}
+	}
+	if rep.Structural.ShapeOnly.CollidingPairs == 0 {
+		t.Error("shape-only reading should still collide (the paper's diagram (7))")
+	}
+	if len(rep.Structural.Curve) != 4 {
+		t.Errorf("curve has %d points, want 4 (depths 0..3)", len(rep.Structural.Curve))
+	}
+
+	// Semantic: English↔Italian pairs, with a positive atomistic loss.
+	if len(rep.Semantic.Pairs) != 2 {
+		t.Fatalf("semantic pairs = %d, want 2", len(rep.Semantic.Pairs))
+	}
+	var positive bool
+	for _, p := range rep.Semantic.Pairs {
+		if p.FieldRelative.ErrorRate() != 0 {
+			t.Errorf("%s→%s field-relative error = %f, want 0", p.Source, p.Target, p.FieldRelative.ErrorRate())
+		}
+		if p.Atomistic.ErrorRate() > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		t.Error("at least one direction should show an atomistic translation loss")
+	}
+
+	// Pragmatic: ground truth supplied, both aggregates computed; the
+	// drifted cart/omnibus annotations cost precision under expansion.
+	if !rep.Pragmatic.GroundTruth {
+		t.Fatal("pragmatic audit should have ground truth")
+	}
+	if rep.Pragmatic.AnnotatedInstances != 19 {
+		t.Errorf("annotated instances = %d, want 19", rep.Pragmatic.AnnotatedInstances)
+	}
+	if rep.Pragmatic.Expanded.Recall <= rep.Pragmatic.Plain.Recall {
+		t.Errorf("expansion should improve recall: expanded %f, plain %f",
+			rep.Pragmatic.Expanded.Recall, rep.Pragmatic.Plain.Recall)
+	}
+	if rep.Pragmatic.Expanded.Precision >= 1 {
+		t.Errorf("the drifted annotations should cost expanded precision, got %f", rep.Pragmatic.Expanded.Precision)
+	}
+
+	// Findings and rendering.
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings produced")
+	}
+	text := rep.Render()
+	for _, want := range []string{"ONTOLOGY AUDIT", "definitional:", "structural:", "semantic:", "pragmatic:", "car"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render output missing %q", want)
+		}
+	}
+}
+
+func TestAuditMinimalInput(t *testing.T) {
+	rep, err := Audit(Input{TBox: PaperRevisedTBox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without languages and annotations, the corresponding audits are
+	// skipped but noted.
+	var semanticSkipped, pragmaticSkipped bool
+	for _, f := range rep.Findings {
+		if strings.Contains(f, "field audit was skipped") {
+			semanticSkipped = true
+		}
+		if strings.Contains(f, "retrieval audit was skipped") {
+			pragmaticSkipped = true
+		}
+	}
+	if !semanticSkipped || !pragmaticSkipped {
+		t.Errorf("skipped audits should be noted in findings: %v", rep.Findings)
+	}
+	if rep.Pragmatic.GroundTruth {
+		t.Error("no ground truth was supplied")
+	}
+	// The revised TBox separates car from dog as written under
+	// concept-erasure (the repair of eqs. 9–11).
+	for _, g := range rep.Structural.AsWritten.Groups {
+		names := strings.Join(g.Names, " ")
+		if strings.Contains(names, "car") && strings.Contains(names, "dog") {
+			t.Error("revised TBox should not collide car with dog as written")
+		}
+	}
+}
+
+func TestAuditWithSignatureOntonomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	onto, err := definition.RandomOntonomy(rng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(Input{TBox: PaperTBox(), Ontonomy: onto.Ontonomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Definitional.StructuralDefinitionApplicable {
+		t.Error("a signature-level ontonomy was supplied; the flag should be true")
+	}
+	if !rep.Definitional.Verdicts[2].Accepted {
+		t.Errorf("structural definition should accept a genuine ontonomy: %s", rep.Definitional.Verdicts[2].Reason)
+	}
+}
+
+func TestAuditAnnotationsWithoutGroundTruth(t *testing.T) {
+	in := PaperInput()
+	in.TrueClass = nil
+	rep, err := Audit(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pragmatic.GroundTruth {
+		t.Error("ground truth should be absent")
+	}
+	if rep.Pragmatic.AnnotatedInstances == 0 {
+		t.Error("annotation count should still be reported")
+	}
+	var noted bool
+	for _, f := range rep.Findings {
+		if strings.Contains(f, "no usage ground truth") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Error("missing ground truth should be noted in findings")
+	}
+}
+
+func TestAuditNonConjunctiveDefinitionsNoted(t *testing.T) {
+	tb := PaperTBox()
+	tb.MustDefine("oddball", dl.Equivalent, dl.Or(dl.Atomic("a"), dl.Atomic("b")))
+	rep, err := Audit(Input{TBox: tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noted bool
+	for _, f := range rep.Findings {
+		if strings.Contains(f, "outside the conjunctive fragment") && strings.Contains(f, "oddball") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Errorf("non-conjunctive definitions should be reported in findings: %v", rep.Findings)
+	}
+}
+
+func TestPaperTBoxShapes(t *testing.T) {
+	if got := len(PaperTBox().DefinedNames()); got != 8 {
+		t.Errorf("PaperTBox defines %d names, want 8", got)
+	}
+	if got := len(PaperRevisedTBox().DefinedNames()); got != 8 {
+		t.Errorf("PaperRevisedTBox defines %d names, want 8", got)
+	}
+	if !PaperTBox().Acyclic() || !PaperRevisedTBox().Acyclic() {
+		t.Error("paper TBoxes must be acyclic")
+	}
+}

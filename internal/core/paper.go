@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dl"
+	"repro/internal/semfield"
+	"repro/internal/store"
+)
+
+// This file packages the paper's own worked examples as ready-made audit
+// inputs, so the examples, the CLI and the tests all exercise exactly the
+// configuration §3 discusses.
+
+// PaperTBox returns the combined ontonomy of the paper's eq. (4) and eq. (8):
+// the car/pickup vehicle definitions and the isomorphic dog/horse animal
+// definitions, in one TBox.
+func PaperTBox() *dl.TBox {
+	tb := dl.NewTBox()
+	tb.MustDefine("car", dl.SubsumedBy, dl.And(
+		dl.Atomic("motorvehicle"), dl.Atomic("roadvehicle"), dl.Exists("size", dl.Atomic("small")),
+	))
+	tb.MustDefine("pickup", dl.SubsumedBy, dl.And(
+		dl.Atomic("motorvehicle"), dl.Atomic("roadvehicle"), dl.Exists("size", dl.Atomic("big")),
+	))
+	tb.MustDefine("motorvehicle", dl.SubsumedBy, dl.Exists("uses", dl.Atomic("gasoline")))
+	tb.MustDefine("roadvehicle", dl.SubsumedBy, dl.AtLeast(4, "has", dl.Atomic("wheels")))
+
+	tb.MustDefine("dog", dl.SubsumedBy, dl.And(
+		dl.Atomic("animal"), dl.Atomic("quadruped"), dl.Exists("size", dl.Atomic("small")),
+	))
+	tb.MustDefine("horse", dl.SubsumedBy, dl.And(
+		dl.Atomic("animal"), dl.Atomic("quadruped"), dl.Exists("size", dl.Atomic("big")),
+	))
+	tb.MustDefine("animal", dl.SubsumedBy, dl.Exists("ingests", dl.Atomic("food")))
+	tb.MustDefine("quadruped", dl.SubsumedBy, dl.AtLeast(4, "has", dl.Atomic("leg")))
+	return tb
+}
+
+// PaperRevisedTBox returns the paper's eqs. (9)–(11): the animal side
+// rewritten with quadruped ⊑ animal so that the dog/horse definitions no
+// longer mirror the vehicle ones, alongside the unchanged vehicle side.
+func PaperRevisedTBox() *dl.TBox {
+	tb := dl.NewTBox()
+	tb.MustDefine("car", dl.SubsumedBy, dl.And(
+		dl.Atomic("motorvehicle"), dl.Atomic("roadvehicle"), dl.Exists("size", dl.Atomic("small")),
+	))
+	tb.MustDefine("pickup", dl.SubsumedBy, dl.And(
+		dl.Atomic("motorvehicle"), dl.Atomic("roadvehicle"), dl.Exists("size", dl.Atomic("big")),
+	))
+	tb.MustDefine("motorvehicle", dl.SubsumedBy, dl.Exists("uses", dl.Atomic("gasoline")))
+	tb.MustDefine("roadvehicle", dl.SubsumedBy, dl.AtLeast(4, "has", dl.Atomic("wheels")))
+
+	tb.MustDefine("dog", dl.SubsumedBy, dl.And(
+		dl.Atomic("quadruped"), dl.Exists("size", dl.Atomic("small")),
+	))
+	tb.MustDefine("horse", dl.SubsumedBy, dl.And(
+		dl.Atomic("quadruped"), dl.Exists("size", dl.Atomic("big")),
+	))
+	tb.MustDefine("animal", dl.SubsumedBy, dl.Exists("ingests", dl.Atomic("food")))
+	tb.MustDefine("quadruped", dl.SubsumedBy, dl.And(
+		dl.Atomic("animal"), dl.AtLeast(4, "has", dl.Atomic("leg")),
+	))
+	return tb
+}
+
+// PaperInput assembles a complete audit input from the paper's own examples:
+// the eq. (4)/(8) TBox, the English and Italian door-fixture vocabularies,
+// and a small annotated store of vehicles and animals in which a handful of
+// annotations have drifted (a horse-drawn cart annotated as a motor vehicle,
+// and similar §3 borderline cases).
+func PaperInput() Input {
+	annotations := store.New()
+	trueClass := map[string]string{}
+	add := func(instance, annotated, actual string) {
+		if err := store.Annotate(annotations, instance, annotated); err != nil {
+			panic(err)
+		}
+		trueClass[instance] = actual
+	}
+	// Faithfully annotated instances.
+	for i := 0; i < 4; i++ {
+		add(fmt.Sprintf("sedan-%d", i), "car", "car")
+		add(fmt.Sprintf("truck-%d", i), "pickup", "pickup")
+		add(fmt.Sprintf("poodle-%d", i), "dog", "dog")
+		add(fmt.Sprintf("mare-%d", i), "horse", "horse")
+	}
+	// The paper's borderline road vehicles: four wheels, no engine. Usage
+	// files them under roadvehicle, but the normative annotation forced them
+	// under the closest motorized class.
+	add("horse-drawn-cart", "car", "roadvehicle")
+	add("seaside-rental-quadricycle", "car", "roadvehicle")
+	add("small-omnibus", "pickup", "roadvehicle")
+
+	_, english, italian := semfield.DoorknobExample()
+	return Input{
+		TBox:        PaperTBox(),
+		Annotations: annotations,
+		TrueClass:   trueClass,
+		Languages:   []*semfield.Language{english, italian},
+		MaxDepth:    3,
+	}
+}

@@ -1,0 +1,300 @@
+// Package definition implements the definitional-adequacy framework of the
+// paper's §2. The paper's complaint is that the accepted definitions of
+// "ontology" are functional (they say what an ontonomy is *for*) rather than
+// structural (they say what an ontonomy *is*), and that a functional
+// definition cannot discriminate an ontonomy from "a C program, a very well
+// structured grocery list, or a tax return form".
+//
+// The package makes that complaint testable. It provides:
+//
+//   - a family of candidate artifacts (genuine ontonomies, formal grammars,
+//     clause sets, term-rewriting programs, grocery lists, tax forms),
+//     together with deterministic random generators for each family;
+//   - the three definitions the paper discusses, as acceptance predicates:
+//     the Gruber-style functional definition, the Guarino-style
+//     "approximates the intended models" definition, and the Bench-Capon &
+//     Malcolm structural definition;
+//   - an assessment harness that measures each definition's discriminative
+//     power over a mixed population of artifacts (experiment E1).
+package definition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/signature"
+	"repro/internal/worlds"
+)
+
+// Kind identifies an artifact family.
+type Kind int
+
+// Artifact families, in the order the E1 table reports them.
+const (
+	// KindOntonomy is a genuine Bench-Capon/Malcolm ontonomy.
+	KindOntonomy Kind = iota
+	// KindGrammar is a context-free grammar.
+	KindGrammar
+	// KindClauseSet is a set of ground clauses (possibly all tautologies).
+	KindClauseSet
+	// KindProgram is a small term-rewriting "program".
+	KindProgram
+	// KindGroceryList is a well structured grocery list.
+	KindGroceryList
+	// KindTaxForm is a tax return form.
+	KindTaxForm
+)
+
+// Kinds lists all artifact families in report order.
+func Kinds() []Kind {
+	return []Kind{KindOntonomy, KindGrammar, KindClauseSet, KindProgram, KindGroceryList, KindTaxForm}
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindOntonomy:
+		return "ontonomy"
+	case KindGrammar:
+		return "grammar"
+	case KindClauseSet:
+		return "clause-set"
+	case KindProgram:
+		return "program"
+	case KindGroceryList:
+		return "grocery-list"
+	case KindTaxForm:
+		return "tax-form"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Artifact is a candidate object submitted to a definition of "ontonomy".
+// Every artifact can render itself as a finite string of symbols (they are
+// all formal objects; that is the point) and exposes enough structure for the
+// three definitions to inspect.
+type Artifact interface {
+	// Kind reports which family the artifact belongs to.
+	Kind() Kind
+	// Symbols returns the artifact's vocabulary: the distinct symbols it is
+	// built from.
+	Symbols() []string
+	// Statements returns the artifact rendered as a list of statements, the
+	// reading the Guarino-style definition needs ("a set of statements in
+	// some formal language").
+	Statements() []string
+}
+
+// OntonomyArtifact wraps a genuine ontonomy.
+type OntonomyArtifact struct {
+	Ontonomy *signature.Ontonomy
+}
+
+// Kind implements Artifact.
+func (a OntonomyArtifact) Kind() Kind { return KindOntonomy }
+
+// Symbols implements Artifact.
+func (a OntonomyArtifact) Symbols() []string {
+	set := map[string]bool{}
+	for _, c := range a.Ontonomy.Sig.Classes().Elements() {
+		set[string(c)] = true
+	}
+	for _, attr := range a.Ontonomy.Sig.Attributes() {
+		set[attr.Name] = true
+	}
+	return sortedKeys(set)
+}
+
+// Statements implements Artifact.
+func (a OntonomyArtifact) Statements() []string {
+	var out []string
+	for _, pair := range a.Ontonomy.Sig.Classes().Hasse() {
+		out = append(out, fmt.Sprintf("%s ⊑ %s", pair[0], pair[1]))
+	}
+	for _, attr := range a.Ontonomy.Sig.Attributes() {
+		out = append(out, fmt.Sprintf("%s: %s -> %s", attr.Name, attr.Owner, attr.Target))
+	}
+	for _, ax := range a.Ontonomy.Axioms {
+		out = append(out, ax.String())
+	}
+	return out
+}
+
+// GrammarArtifact wraps a context-free grammar.
+type GrammarArtifact struct {
+	Grammar *grammar.Grammar
+}
+
+// Kind implements Artifact.
+func (a GrammarArtifact) Kind() Kind { return KindGrammar }
+
+// Symbols implements Artifact.
+func (a GrammarArtifact) Symbols() []string {
+	set := map[string]bool{}
+	for _, s := range a.Grammar.NonTerminals() {
+		set[string(s)] = true
+	}
+	for _, s := range a.Grammar.Terminals() {
+		set[string(s)] = true
+	}
+	return sortedKeys(set)
+}
+
+// Statements implements Artifact.
+func (a GrammarArtifact) Statements() []string {
+	var out []string
+	for _, p := range a.Grammar.Productions() {
+		body := make([]string, len(p.Body))
+		for i, s := range p.Body {
+			body[i] = string(s)
+		}
+		out = append(out, fmt.Sprintf("%s -> %s", p.Head, strings.Join(body, " ")))
+	}
+	return out
+}
+
+// ClauseSetArtifact wraps a set of ground clauses in the sense of package
+// worlds; it may consist entirely of tautologies, which is the paper's
+// reductio against the "approximates" definition.
+type ClauseSetArtifact struct {
+	Clauses *worlds.Ontonomy
+	// Domain is the domain of elements the clauses talk about; needed to
+	// look for a model.
+	Domain []worlds.Element
+}
+
+// Kind implements Artifact.
+func (a ClauseSetArtifact) Kind() Kind { return KindClauseSet }
+
+// Symbols implements Artifact.
+func (a ClauseSetArtifact) Symbols() []string {
+	set := map[string]bool{}
+	for _, ax := range a.Clauses.Axioms {
+		for _, lit := range ax.Literals {
+			set[lit.Relation] = true
+			for _, e := range lit.Args {
+				set[string(e)] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Statements implements Artifact.
+func (a ClauseSetArtifact) Statements() []string {
+	out := make([]string, len(a.Clauses.Axioms))
+	for i, ax := range a.Clauses.Axioms {
+		out[i] = ax.String()
+	}
+	return out
+}
+
+// ProgramArtifact is a small straight-line "program": a list of assignment
+// and rule statements over a vocabulary of identifiers. It stands in for the
+// paper's "C program".
+type ProgramArtifact struct {
+	Identifiers []string
+	Lines       []string
+}
+
+// Kind implements Artifact.
+func (a ProgramArtifact) Kind() Kind { return KindProgram }
+
+// Symbols implements Artifact.
+func (a ProgramArtifact) Symbols() []string {
+	return append([]string(nil), a.Identifiers...)
+}
+
+// Statements implements Artifact.
+func (a ProgramArtifact) Statements() []string {
+	return append([]string(nil), a.Lines...)
+}
+
+// GroceryListArtifact is the paper's "very well structured grocery list":
+// items with quantities, organized by aisle.
+type GroceryListArtifact struct {
+	// ItemsByAisle maps an aisle name to the items (with quantities) wanted
+	// from it.
+	ItemsByAisle map[string][]string
+}
+
+// Kind implements Artifact.
+func (a GroceryListArtifact) Kind() Kind { return KindGroceryList }
+
+// Symbols implements Artifact.
+func (a GroceryListArtifact) Symbols() []string {
+	set := map[string]bool{}
+	for aisle, items := range a.ItemsByAisle {
+		set[aisle] = true
+		for _, it := range items {
+			set[it] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Statements implements Artifact.
+func (a GroceryListArtifact) Statements() []string {
+	var out []string
+	aisles := sortedKeys(toSet(keys(a.ItemsByAisle)))
+	for _, aisle := range aisles {
+		for _, it := range a.ItemsByAisle[aisle] {
+			out = append(out, fmt.Sprintf("buy %s (%s)", it, aisle))
+		}
+	}
+	return out
+}
+
+// TaxFormArtifact is the paper's "tax return form": named fields with values
+// and a few arithmetic consistency rules.
+type TaxFormArtifact struct {
+	Fields map[string]int
+	Rules  []string
+}
+
+// Kind implements Artifact.
+func (a TaxFormArtifact) Kind() Kind { return KindTaxForm }
+
+// Symbols implements Artifact.
+func (a TaxFormArtifact) Symbols() []string {
+	return sortedKeys(toSet(keys(a.Fields)))
+}
+
+// Statements implements Artifact.
+func (a TaxFormArtifact) Statements() []string {
+	var out []string
+	for _, f := range sortedKeys(toSet(keys(a.Fields))) {
+		out = append(out, fmt.Sprintf("%s = %d", f, a.Fields[f]))
+	}
+	out = append(out, a.Rules...)
+	return out
+}
+
+// sortedKeys returns the keys of a string set, sorted.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func toSet(ss []string) map[string]bool {
+	set := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		set[s] = true
+	}
+	return set
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

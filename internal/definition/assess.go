@@ -1,0 +1,114 @@
+package definition
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FamilyResult is one cell of the E1 table: how many artifacts of one family
+// a definition accepted.
+type FamilyResult struct {
+	Family   Kind
+	Total    int
+	Accepted int
+}
+
+// AcceptanceRate is the fraction of the family accepted.
+func (f FamilyResult) AcceptanceRate() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Accepted) / float64(f.Total)
+}
+
+// Report is one row block of the E1 table: a definition's acceptance rate per
+// artifact family and the derived discrimination score.
+type Report struct {
+	Definition string
+	Families   []FamilyResult
+}
+
+// AcceptanceOf returns the acceptance rate for a family (0 if the family was
+// not in the population).
+func (r Report) AcceptanceOf(k Kind) float64 {
+	for _, f := range r.Families {
+		if f.Family == k {
+			return f.AcceptanceRate()
+		}
+	}
+	return 0
+}
+
+// TruePositiveRate is the acceptance rate on genuine ontonomies.
+func (r Report) TruePositiveRate() float64 {
+	return r.AcceptanceOf(KindOntonomy)
+}
+
+// FalseAcceptRate is the mean acceptance rate over the non-ontonomy families
+// present in the population: the probability that an arbitrary non-ontonomy
+// (a grammar, a program, a grocery list, a tax form, a clause set) slips
+// through the definition.
+func (r Report) FalseAcceptRate() float64 {
+	total, n := 0.0, 0
+	for _, f := range r.Families {
+		if f.Family == KindOntonomy || f.Total == 0 {
+			continue
+		}
+		total += f.AcceptanceRate()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Discrimination is the true-positive rate minus the false-accept rate: 1
+// means the definition accepts exactly the ontonomies, 0 means it cannot tell
+// ontonomies from grocery lists — the paper's charge against the functional
+// and approximation definitions.
+func (r Report) Discrimination() float64 {
+	return r.TruePositiveRate() - r.FalseAcceptRate()
+}
+
+// String renders the report as one block of the E1 table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s", r.Definition)
+	for _, f := range r.Families {
+		fmt.Fprintf(&b, "  %s=%.2f", f.Family, f.AcceptanceRate())
+	}
+	fmt.Fprintf(&b, "  discrimination=%.2f", r.Discrimination())
+	return b.String()
+}
+
+// Assess runs every definition over the whole population and returns one
+// report per definition, with families in canonical order.
+func Assess(definitions []Definition, population []Artifact) []Report {
+	reports := make([]Report, 0, len(definitions))
+	for _, def := range definitions {
+		byFamily := map[Kind]*FamilyResult{}
+		for _, k := range Kinds() {
+			byFamily[k] = &FamilyResult{Family: k}
+		}
+		for _, a := range population {
+			fr, ok := byFamily[a.Kind()]
+			if !ok {
+				fr = &FamilyResult{Family: a.Kind()}
+				byFamily[a.Kind()] = fr
+			}
+			fr.Total++
+			if def.Accepts(a).Accepted {
+				fr.Accepted++
+			}
+		}
+		rep := Report{Definition: def.Name}
+		for _, k := range Kinds() {
+			if byFamily[k].Total > 0 {
+				rep.Families = append(rep.Families, *byFamily[k])
+			}
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}

@@ -1,0 +1,283 @@
+package definition
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/worlds"
+)
+
+func TestFunctionalAcceptsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop, err := Population(rng, PopulationParams{PerFamily: 5, TautologyFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := Functional()
+	for _, a := range pop {
+		v := def.Accepts(a)
+		if !v.Accepted {
+			t.Errorf("functional definition rejected a %s: %s", a.Kind(), v.Reason)
+		}
+	}
+}
+
+func TestFunctionalRejectsEmpty(t *testing.T) {
+	def := Functional()
+	empty := ProgramArtifact{}
+	if def.Accepts(empty).Accepted {
+		t.Error("functional definition accepted an artifact with no symbols")
+	}
+	noStatements := ProgramArtifact{Identifiers: []string{"x"}}
+	if def.Accepts(noStatements).Accepted {
+		t.Error("functional definition accepted an artifact with no statements")
+	}
+}
+
+func TestApproximationAcceptsTautologiesAndGroceryLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	def := Approximation()
+	taut := RandomClauseSet(rng, 5, true)
+	v := def.Accepts(taut)
+	if !v.Accepted {
+		t.Errorf("approximation definition rejected a pure tautology set: %s", v.Reason)
+	}
+	if !strings.Contains(v.Reason, "tautolog") {
+		t.Errorf("reason should note the tautology reductio, got %q", v.Reason)
+	}
+	if !def.Accepts(RandomGroceryList(rng, 6)).Accepted {
+		t.Error("approximation definition rejected a grocery list; the paper says it should not be able to")
+	}
+	if !def.Accepts(RandomProgram(rng, 6)).Accepted {
+		t.Error("approximation definition rejected a program")
+	}
+	if !def.Accepts(RandomTaxForm(rng, 4)).Accepted {
+		t.Error("approximation definition rejected a tax form")
+	}
+}
+
+func TestApproximationRejectsUnsatisfiable(t *testing.T) {
+	def := Approximation()
+	atom := worlds.Literal{Relation: "above", Args: worlds.Tuple{"a", "b"}}
+	neg := atom
+	neg.Negated = true
+	contradiction := ClauseSetArtifact{
+		Clauses: &worlds.Ontonomy{Axioms: []worlds.Axiom{
+			{Literals: []worlds.Literal{atom}, Label: "p"},
+			{Literals: []worlds.Literal{neg}, Label: "not p"},
+		}},
+		Domain: []worlds.Element{"a", "b"},
+	}
+	if def.Accepts(contradiction).Accepted {
+		t.Error("approximation definition accepted an unsatisfiable clause set")
+	}
+	empty := ClauseSetArtifact{
+		Clauses: &worlds.Ontonomy{Axioms: []worlds.Axiom{{Label: "empty clause"}}},
+	}
+	if def.Accepts(empty).Accepted {
+		t.Error("approximation definition accepted the empty clause")
+	}
+}
+
+func TestStructuralAcceptsOnlyOntonomies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	def := Structural()
+	onto, err := RandomOntonomy(rng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := def.Accepts(onto); !v.Accepted {
+		t.Errorf("structural definition rejected a genuine ontonomy: %s", v.Reason)
+	}
+	grammarArtifact, err := RandomGrammar(rng, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Artifact{
+		grammarArtifact,
+		RandomClauseSet(rng, 4, false),
+		RandomProgram(rng, 5),
+		RandomGroceryList(rng, 5),
+		RandomTaxForm(rng, 4),
+	} {
+		if v := def.Accepts(a); v.Accepted {
+			t.Errorf("structural definition accepted a %s: %s", a.Kind(), v.Reason)
+		}
+	}
+}
+
+func TestSatisfiableSolver(t *testing.T) {
+	p := worlds.Literal{Relation: "p", Args: worlds.Tuple{"a"}}
+	q := worlds.Literal{Relation: "q", Args: worlds.Tuple{"a"}}
+	notP := p
+	notP.Negated = true
+	notQ := q
+	notQ.Negated = true
+	cases := []struct {
+		name string
+		ax   []worlds.Axiom
+		want bool
+	}{
+		{"single positive", []worlds.Axiom{{Literals: []worlds.Literal{p}}}, true},
+		{"p and not p", []worlds.Axiom{{Literals: []worlds.Literal{p}}, {Literals: []worlds.Literal{notP}}}, false},
+		{"implication chain", []worlds.Axiom{
+			{Literals: []worlds.Literal{notP, q}},
+			{Literals: []worlds.Literal{p}},
+		}, true},
+		{"unsat 2-clause", []worlds.Axiom{
+			{Literals: []worlds.Literal{p, q}},
+			{Literals: []worlds.Literal{notP}},
+			{Literals: []worlds.Literal{notQ}},
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := satisfiable(&worlds.Ontonomy{Axioms: tc.ax})
+			if got != tc.want {
+				t.Errorf("satisfiable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAssessDiscrimination(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pop, err := Population(rng, PopulationParams{PerFamily: 20, TautologyFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Assess(AllDefinitions(), pop)
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	byName := map[string]Report{}
+	for _, r := range reports {
+		byName[r.Definition] = r
+	}
+	functional := byName[Functional().Name]
+	structural := byName[Structural().Name]
+	approximation := byName[Approximation().Name]
+
+	// The paper's claim, measured: the functional and approximation
+	// definitions accept (nearly) everything, so they discriminate (nearly)
+	// nothing; the structural definition accepts exactly the ontonomies.
+	if functional.Discrimination() > 0.05 {
+		t.Errorf("functional discrimination = %.2f, want ≈ 0", functional.Discrimination())
+	}
+	if approximation.Discrimination() > 0.2 {
+		t.Errorf("approximation discrimination = %.2f, want close to 0", approximation.Discrimination())
+	}
+	if structural.Discrimination() < 0.99 {
+		t.Errorf("structural discrimination = %.2f, want 1", structural.Discrimination())
+	}
+	if structural.TruePositiveRate() != 1 {
+		t.Errorf("structural TPR = %.2f, want 1", structural.TruePositiveRate())
+	}
+	if structural.FalseAcceptRate() != 0 {
+		t.Errorf("structural FAR = %.2f, want 0", structural.FalseAcceptRate())
+	}
+	if functional.TruePositiveRate() != 1 {
+		t.Errorf("functional TPR = %.2f, want 1 (it accepts ontonomies too)", functional.TruePositiveRate())
+	}
+	for _, r := range reports {
+		if len(r.Families) != len(Kinds()) {
+			t.Errorf("%s report covers %d families, want %d", r.Definition, len(r.Families), len(Kinds()))
+		}
+		if r.String() == "" {
+			t.Error("empty report rendering")
+		}
+	}
+}
+
+func TestReportEdgeCases(t *testing.T) {
+	r := Report{Definition: "empty"}
+	if r.Discrimination() != 0 || r.FalseAcceptRate() != 0 || r.TruePositiveRate() != 0 {
+		t.Error("empty report should score zero everywhere")
+	}
+	if (FamilyResult{}).AcceptanceRate() != 0 {
+		t.Error("empty family result should have rate 0")
+	}
+	if r.AcceptanceOf(KindGrammar) != 0 {
+		t.Error("AcceptanceOf a missing family should be 0")
+	}
+}
+
+func TestPopulationDeterminism(t *testing.T) {
+	p := PopulationParams{PerFamily: 8, TautologyFraction: 0.5}
+	a, err := Population(rand.New(rand.NewSource(9)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Population(rand.New(rand.NewSource(9)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 6*8 {
+		t.Fatalf("population sizes %d/%d, want %d", len(a), len(b), 6*8)
+	}
+	for i := range a {
+		if a[i].Kind() != b[i].Kind() {
+			t.Fatalf("population kind mismatch at %d", i)
+		}
+		sa, sb := a[i].Statements(), b[i].Statements()
+		if len(sa) != len(sb) {
+			t.Fatalf("population statements differ at %d", i)
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("population statement %d/%d differs: %q vs %q", i, j, sa[j], sb[j])
+			}
+		}
+	}
+}
+
+// TestKindsAndStrings pins the family enumeration used by the E1 table.
+func TestKindsAndStrings(t *testing.T) {
+	if len(Kinds()) != 6 {
+		t.Fatalf("Kinds() = %d families, want 6", len(Kinds()))
+	}
+	names := map[string]bool{}
+	for _, k := range Kinds() {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		names[k.String()] = true
+	}
+	if len(names) != 6 {
+		t.Error("kind names are not distinct")
+	}
+}
+
+// TestArtifactInterfaces checks Symbols/Statements over every generator via
+// property testing: never empty for positive sizes, deterministic per seed.
+func TestArtifactInterfaces(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		onto, err := RandomOntonomy(rng, 4)
+		if err != nil {
+			return false
+		}
+		g, err := RandomGrammar(rng, 3, 2)
+		if err != nil {
+			return false
+		}
+		artifacts := []Artifact{
+			onto, g,
+			RandomClauseSet(rng, 3, false),
+			RandomProgram(rng, 3),
+			RandomGroceryList(rng, 3),
+			RandomTaxForm(rng, 3),
+		}
+		for _, a := range artifacts {
+			if len(a.Symbols()) == 0 || len(a.Statements()) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package definition
+
+import (
+	"fmt"
+
+	"repro/internal/worlds"
+)
+
+// Verdict is a definition's judgement of one artifact.
+type Verdict struct {
+	Accepted bool
+	Reason   string
+}
+
+// Definition is a candidate definition of "ontonomy" rendered as an
+// acceptance predicate over arbitrary artifacts. The paper's criterion for an
+// adequate definition is that "given an arbitrary string of symbols, a
+// definition should allow one to determine whether the string is [an
+// ontonomy] or not"; the three definitions below differ precisely in how much
+// they can determine.
+type Definition struct {
+	// Name is the short name used in the E1 table rows.
+	Name string
+	// Source describes where the definition comes from.
+	Source string
+	// Accepts judges an artifact.
+	Accepts func(Artifact) Verdict
+}
+
+// Functional is the Gruber-style definition the paper quotes as the most
+// common one: "an ontology is a formalization of a conceptualization". Read
+// as an acceptance predicate it can only require that the artifact be a
+// formalization of *something*: a finite organized arrangement of symbols.
+// Every family in the population passes.
+func Functional() Definition {
+	return Definition{
+		Name:   "functional (Gruber)",
+		Source: "a formalization of a conceptualization",
+		Accepts: func(a Artifact) Verdict {
+			if len(a.Symbols()) == 0 {
+				return Verdict{Accepted: false, Reason: "no symbols: nothing has been formalized"}
+			}
+			if len(a.Statements()) == 0 {
+				return Verdict{Accepted: false, Reason: "no statements: the symbols are not organized by any scheme"}
+			}
+			return Verdict{
+				Accepted: true,
+				Reason:   fmt.Sprintf("a finite arrangement of %d symbols; some conceptualization can be read into it", len(a.Symbols())),
+			}
+		},
+	}
+}
+
+// Approximation is the Guarino-style definition as the paper reconstructs it:
+// an ontonomy is a set of axioms whose models approximate the intended models
+// of a language under some ontological commitment. Because "approximates"
+// only requires sharing at least one model with the commitment, and because
+// the language and commitment may be chosen freely, the predicate reduces to:
+// the artifact's statements admit at least one model. Only genuinely
+// unsatisfiable clause sets fail.
+func Approximation() Definition {
+	return Definition{
+		Name:   "approximation (Guarino)",
+		Source: "axioms whose models approximate the intended models of L under K",
+		Accepts: func(a Artifact) Verdict {
+			if len(a.Statements()) == 0 {
+				return Verdict{Accepted: false, Reason: "no statements, hence no models to approximate anything with"}
+			}
+			if cs, ok := a.(ClauseSetArtifact); ok {
+				if !satisfiable(cs.Clauses) {
+					return Verdict{Accepted: false, Reason: "the clause set is unsatisfiable: it has no models at all"}
+				}
+				if cs.Clauses.AllTautologies() {
+					return Verdict{
+						Accepted: true,
+						Reason:   "a set of tautologies: every model approximates every commitment (the paper's reductio)",
+					}
+				}
+				return Verdict{Accepted: true, Reason: "satisfiable, so its models approximate the intended models of some language"}
+			}
+			return Verdict{
+				Accepted: true,
+				Reason: fmt.Sprintf("%d statements that can be read as a satisfiable axiom set for a suitably chosen language",
+					len(a.Statements())),
+			}
+		},
+	}
+}
+
+// Structural is the Bench-Capon & Malcolm definition (the paper's Definition
+// 1): an ontonomy is an ontology signature — a data domain, a class hierarchy
+// and an attribute family satisfying the inheritance condition — together
+// with axioms. The predicate checks for that structure and nothing else; in
+// particular it needs no appeal to intended use.
+func Structural() Definition {
+	return Definition{
+		Name:   "structural (Bench-Capon & Malcolm)",
+		Source: "an ontology signature (D, C, A) plus axioms, Definition 1",
+		Accepts: func(a Artifact) Verdict {
+			onto, ok := a.(OntonomyArtifact)
+			if !ok {
+				return Verdict{
+					Accepted: false,
+					Reason:   fmt.Sprintf("a %s presents no data domain, class hierarchy or attribute family", a.Kind()),
+				}
+			}
+			sig := onto.Ontonomy.Sig
+			if sig.Classes().Len() == 0 {
+				return Verdict{Accepted: false, Reason: "the class hierarchy is empty"}
+			}
+			if sig.Domain() == nil {
+				return Verdict{Accepted: false, Reason: "no data domain"}
+			}
+			if err := sig.CheckInheritanceCondition(); err != nil {
+				return Verdict{Accepted: false, Reason: err.Error()}
+			}
+			return Verdict{Accepted: true, Reason: "a well-formed ontology signature with axioms"}
+		},
+	}
+}
+
+// AllDefinitions returns the three definitions in the order the E1 table
+// reports them.
+func AllDefinitions() []Definition {
+	return []Definition{Functional(), Approximation(), Structural()}
+}
+
+// satisfiable reports whether a set of ground clauses has a model, by
+// backtracking over truth assignments to the distinct ground atoms with unit
+// propagation on singleton clauses. The clause sets produced by the workload
+// are small (tens of atoms), so the search is cheap.
+func satisfiable(o *worlds.Ontonomy) bool {
+	type atom struct {
+		rel  string
+		args string
+	}
+	atomIndex := map[atom]int{}
+	var atoms []atom
+	clauses := make([][]int, 0, len(o.Axioms)) // positive: var+1, negative: -(var+1)
+	for _, ax := range o.Axioms {
+		var clause []int
+		for _, lit := range ax.Literals {
+			a := atom{rel: lit.Relation, args: lit.Args.String()}
+			idx, ok := atomIndex[a]
+			if !ok {
+				idx = len(atoms)
+				atomIndex[a] = idx
+				atoms = append(atoms, a)
+			}
+			v := idx + 1
+			if lit.Negated {
+				v = -v
+			}
+			clause = append(clause, v)
+		}
+		if len(clause) == 0 {
+			return false // the empty clause
+		}
+		clauses = append(clauses, clause)
+	}
+	assignment := make([]int8, len(atoms)) // 0 unknown, 1 true, -1 false
+	var solve func() bool
+	satisfiedOrUnit := func() (conflict bool, unit int) {
+		for _, clause := range clauses {
+			sat := false
+			unassigned := 0
+			lastUnassigned := 0
+			for _, v := range clause {
+				idx := v
+				want := int8(1)
+				if v < 0 {
+					idx = -v
+					want = -1
+				}
+				switch assignment[idx-1] {
+				case 0:
+					unassigned++
+					lastUnassigned = v
+				case want:
+					sat = true
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				return true, 0
+			}
+			if unassigned == 1 {
+				return false, lastUnassigned
+			}
+		}
+		return false, 0
+	}
+	solve = func() bool {
+		conflict, unit := satisfiedOrUnit()
+		if conflict {
+			return false
+		}
+		if unit != 0 {
+			idx, val := unit, int8(1)
+			if unit < 0 {
+				idx, val = -unit, -1
+			}
+			assignment[idx-1] = val
+			if solve() {
+				return true
+			}
+			assignment[idx-1] = 0
+			return false
+		}
+		// Pick the first unassigned atom.
+		pick := -1
+		for i, v := range assignment {
+			if v == 0 {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			return true // everything assigned, no conflict
+		}
+		for _, val := range []int8{1, -1} {
+			assignment[pick] = val
+			if solve() {
+				return true
+			}
+		}
+		assignment[pick] = 0
+		return false
+	}
+	return solve()
+}

@@ -1,0 +1,273 @@
+package definition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/grammar"
+	"repro/internal/signature"
+	"repro/internal/worlds"
+)
+
+// This file contains the deterministic generators for the E1 population: for
+// each artifact family, a generator that produces a structurally valid,
+// randomly varied member of the family.
+
+// minimalDataDomain builds the smallest useful data domain: a single sort
+// with a handful of carrier values and no operations or equations.
+func minimalDataDomain(values ...string) (*algebra.DataDomain, error) {
+	sig := algebra.NewSignature()
+	sig.AddSort("value")
+	theory, err := algebra.NewTheory(sig, nil)
+	if err != nil {
+		return nil, err
+	}
+	model := algebra.NewModel(sig)
+	carrier := make([]algebra.Value, len(values))
+	for i, v := range values {
+		carrier[i] = algebra.Value(v)
+	}
+	model.SetCarrier("value", carrier)
+	return algebra.NewDataDomain(theory, model)
+}
+
+// RandomOntonomy generates a genuine ontonomy: a random class tree of the
+// given size over a minimal data domain, a few sort-valued attributes, and a
+// disjointness axiom between two unrelated classes when one exists.
+func RandomOntonomy(rng *rand.Rand, classes int) (OntonomyArtifact, error) {
+	if classes < 1 {
+		classes = 1
+	}
+	domain, err := minimalDataDomain("small", "big", "red", "green")
+	if err != nil {
+		return OntonomyArtifact{}, err
+	}
+	sig := signature.New(domain)
+	names := make([]signature.Class, classes)
+	for i := range names {
+		names[i] = signature.Class(fmt.Sprintf("C%d", i))
+		sig.AddClass(names[i])
+		if i > 0 {
+			parent := names[rng.Intn(i)]
+			if err := sig.AddSubclass(names[i], parent); err != nil {
+				return OntonomyArtifact{}, err
+			}
+		}
+	}
+	attrs := 1 + rng.Intn(3)
+	for a := 0; a < attrs; a++ {
+		owner := names[rng.Intn(len(names))]
+		if err := sig.DeclareAttribute(signature.Attribute{
+			Name:   fmt.Sprintf("attr%d", a),
+			Owner:  owner,
+			Target: signature.SortTarget("value"),
+		}); err != nil {
+			return OntonomyArtifact{}, err
+		}
+	}
+	var axioms []signature.Axiom
+	if len(names) >= 3 {
+		axioms = append(axioms, signature.Axiom{
+			Kind:  signature.AxiomDisjoint,
+			A:     names[1],
+			B:     names[2],
+			Label: "sibling disjointness",
+		})
+	}
+	onto, err := signature.NewOntonomy(sig, axioms)
+	if err != nil {
+		return OntonomyArtifact{}, err
+	}
+	return OntonomyArtifact{Ontonomy: onto}, nil
+}
+
+// RandomGrammar generates a small context-free grammar over a random
+// alphabet: a handful of non-terminals, terminals, and right-linear-ish
+// productions. The result always satisfies the structural definition of a
+// grammar (that is the point of the family).
+func RandomGrammar(rng *rand.Rand, nonTerminals, terminals int) (GrammarArtifact, error) {
+	if nonTerminals < 1 {
+		nonTerminals = 1
+	}
+	if terminals < 1 {
+		terminals = 1
+	}
+	nts := make([]grammar.Symbol, nonTerminals)
+	for i := range nts {
+		nts[i] = grammar.Symbol(fmt.Sprintf("N%d", i))
+	}
+	ts := make([]grammar.Symbol, terminals)
+	for i := range ts {
+		ts[i] = grammar.Symbol(fmt.Sprintf("t%d", i))
+	}
+	var productions []grammar.Production
+	for i, n := range nts {
+		// Every non-terminal gets 1–3 productions; bodies reference only
+		// later non-terminals (or none), so derivations terminate.
+		count := 1 + rng.Intn(3)
+		for p := 0; p < count; p++ {
+			var body []grammar.Symbol
+			body = append(body, ts[rng.Intn(len(ts))])
+			if i+1 < len(nts) && rng.Intn(2) == 0 {
+				body = append(body, nts[i+1+rng.Intn(len(nts)-i-1)])
+			}
+			if rng.Intn(3) == 0 {
+				body = append(body, ts[rng.Intn(len(ts))])
+			}
+			productions = append(productions, grammar.Production{Head: n, Body: body})
+		}
+	}
+	g, err := grammar.New(nts, ts, nts[0], productions)
+	if err != nil {
+		return GrammarArtifact{}, err
+	}
+	return GrammarArtifact{Grammar: g}, nil
+}
+
+// RandomClauseSet generates a set of ground clauses over a small domain. When
+// tautologiesOnly is true every clause contains an atom and its negation, the
+// configuration the paper uses to show that the approximation definition
+// accepts vacuous axiom sets.
+func RandomClauseSet(rng *rand.Rand, clauses int, tautologiesOnly bool) ClauseSetArtifact {
+	if clauses < 1 {
+		clauses = 1
+	}
+	domain := []worlds.Element{"a", "b", "c", "d"}
+	relations := []string{"above", "near", "part-of"}
+	randomAtom := func() worlds.Literal {
+		rel := relations[rng.Intn(len(relations))]
+		return worlds.Literal{
+			Relation: rel,
+			Args:     worlds.Tuple{domain[rng.Intn(len(domain))], domain[rng.Intn(len(domain))]},
+		}
+	}
+	var axioms []worlds.Axiom
+	for i := 0; i < clauses; i++ {
+		var lits []worlds.Literal
+		if tautologiesOnly {
+			atom := randomAtom()
+			neg := atom
+			neg.Negated = true
+			lits = []worlds.Literal{atom, neg}
+		} else {
+			width := 1 + rng.Intn(3)
+			for w := 0; w < width; w++ {
+				lit := randomAtom()
+				lit.Negated = rng.Intn(2) == 0
+				lits = append(lits, lit)
+			}
+		}
+		axioms = append(axioms, worlds.Axiom{Literals: lits, Label: fmt.Sprintf("ax%d", i)})
+	}
+	return ClauseSetArtifact{
+		Clauses: &worlds.Ontonomy{Axioms: axioms},
+		Domain:  domain,
+	}
+}
+
+// RandomProgram generates a straight-line pseudo-program: variable
+// assignments and conditional-looking rules over a small identifier
+// vocabulary. It stands in for the paper's "C program".
+func RandomProgram(rng *rand.Rand, lines int) ProgramArtifact {
+	if lines < 1 {
+		lines = 1
+	}
+	identifiers := []string{"total", "count", "rate", "flag", "limit", "index"}
+	ops := []string{"+", "-", "*"}
+	var out []string
+	for i := 0; i < lines; i++ {
+		a := identifiers[rng.Intn(len(identifiers))]
+		b := identifiers[rng.Intn(len(identifiers))]
+		c := identifiers[rng.Intn(len(identifiers))]
+		switch rng.Intn(3) {
+		case 0:
+			out = append(out, fmt.Sprintf("%s = %s %s %s", a, b, ops[rng.Intn(len(ops))], c))
+		case 1:
+			out = append(out, fmt.Sprintf("%s = %d", a, rng.Intn(100)))
+		default:
+			out = append(out, fmt.Sprintf("if %s > %d then %s = %s", a, rng.Intn(10), b, c))
+		}
+	}
+	return ProgramArtifact{Identifiers: identifiers, Lines: out}
+}
+
+// RandomGroceryList generates a well structured grocery list: items with
+// quantities grouped by aisle.
+func RandomGroceryList(rng *rand.Rand, items int) GroceryListArtifact {
+	if items < 1 {
+		items = 1
+	}
+	aisles := []string{"produce", "dairy", "bakery", "pantry"}
+	goods := []string{"apples", "milk", "bread", "olive oil", "rice", "eggs", "tomatoes", "flour", "wine"}
+	list := GroceryListArtifact{ItemsByAisle: map[string][]string{}}
+	for i := 0; i < items; i++ {
+		aisle := aisles[rng.Intn(len(aisles))]
+		item := fmt.Sprintf("%d× %s", 1+rng.Intn(5), goods[rng.Intn(len(goods))])
+		list.ItemsByAisle[aisle] = append(list.ItemsByAisle[aisle], item)
+	}
+	return list
+}
+
+// RandomTaxForm generates a tax return form: numbered fields with values and
+// the arithmetic rules connecting them.
+func RandomTaxForm(rng *rand.Rand, fields int) TaxFormArtifact {
+	if fields < 2 {
+		fields = 2
+	}
+	form := TaxFormArtifact{Fields: map[string]int{}}
+	for i := 0; i < fields; i++ {
+		form.Fields[fmt.Sprintf("line-%02d", i+1)] = rng.Intn(100000)
+	}
+	form.Rules = []string{
+		fmt.Sprintf("line-%02d = sum of lines 1..%d", fields, fields-1),
+		"if line-02 > line-01 then attach schedule B",
+	}
+	return form
+}
+
+// PopulationParams controls Population.
+type PopulationParams struct {
+	// PerFamily is the number of artifacts generated for each family.
+	PerFamily int
+	// TautologyFraction is the fraction of clause sets generated as pure
+	// tautology sets.
+	TautologyFraction float64
+}
+
+// Population generates a mixed population with PerFamily artifacts of every
+// family, in family order. Generation is deterministic given the rng.
+func Population(rng *rand.Rand, p PopulationParams) ([]Artifact, error) {
+	if p.PerFamily < 1 {
+		p.PerFamily = 1
+	}
+	var out []Artifact
+	for i := 0; i < p.PerFamily; i++ {
+		onto, err := RandomOntonomy(rng, 3+rng.Intn(6))
+		if err != nil {
+			return nil, fmt.Errorf("definition: generating ontonomy %d: %w", i, err)
+		}
+		out = append(out, onto)
+	}
+	for i := 0; i < p.PerFamily; i++ {
+		g, err := RandomGrammar(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		if err != nil {
+			return nil, fmt.Errorf("definition: generating grammar %d: %w", i, err)
+		}
+		out = append(out, g)
+	}
+	for i := 0; i < p.PerFamily; i++ {
+		tautologies := rng.Float64() < p.TautologyFraction
+		out = append(out, RandomClauseSet(rng, 3+rng.Intn(6), tautologies))
+	}
+	for i := 0; i < p.PerFamily; i++ {
+		out = append(out, RandomProgram(rng, 4+rng.Intn(8)))
+	}
+	for i := 0; i < p.PerFamily; i++ {
+		out = append(out, RandomGroceryList(rng, 4+rng.Intn(8)))
+	}
+	for i := 0; i < p.PerFamily; i++ {
+		out = append(out, RandomTaxForm(rng, 3+rng.Intn(6)))
+	}
+	return out, nil
+}

@@ -1,0 +1,369 @@
+// Package dl implements a small description logic in the style the paper's §3
+// uses for its CAR/DOG example: concept expressions built from atomic
+// concepts, conjunction, disjunction, negation, existential and universal role
+// restrictions, and qualified at-least restrictions (the ∃4has.wheels of the
+// paper); TBoxes of concept definitions; and two subsumption procedures — a
+// structural one, complete for the conjunctive fragment the paper's examples
+// live in, and a tableau one, complete for ALC.
+//
+// The package is the substrate for internal/structure (definition graphs,
+// isomorphism — the CAR ≅ DOG argument), for the ontology-aware query
+// expansion in internal/store, and for experiments E2, E3, E5 and A1.
+package dl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates the concept constructors.
+type Op int
+
+// Concept constructors.
+const (
+	// OpTop is the universal concept ⊤.
+	OpTop Op = iota
+	// OpBottom is the empty concept ⊥.
+	OpBottom
+	// OpAtomic is an atomic concept name.
+	OpAtomic
+	// OpNot is negation ¬C.
+	OpNot
+	// OpAnd is conjunction C ⊓ D.
+	OpAnd
+	// OpOr is disjunction C ⊔ D.
+	OpOr
+	// OpExists is the existential restriction ∃r.C.
+	OpExists
+	// OpForAll is the universal restriction ∀r.C.
+	OpForAll
+	// OpAtLeast is the qualified at-least restriction ≥n r.C (written in the
+	// paper as ∃n r.C, e.g. ∃4has.wheels).
+	OpAtLeast
+)
+
+// String names the constructor.
+func (o Op) String() string {
+	switch o {
+	case OpTop:
+		return "⊤"
+	case OpBottom:
+		return "⊥"
+	case OpAtomic:
+		return "atomic"
+	case OpNot:
+		return "¬"
+	case OpAnd:
+		return "⊓"
+	case OpOr:
+		return "⊔"
+	case OpExists:
+		return "∃"
+	case OpForAll:
+		return "∀"
+	case OpAtLeast:
+		return "≥"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Concept is a concept expression. Concepts are immutable once built; the
+// constructor functions below are the only intended way to create them.
+type Concept struct {
+	Op   Op
+	Name string     // atomic concept name (OpAtomic)
+	Role string     // role name (OpExists, OpForAll, OpAtLeast)
+	N    int        // cardinality (OpAtLeast)
+	Args []*Concept // operands (OpNot: 1, OpAnd/OpOr: ≥1, restrictions: 1)
+}
+
+// Top returns the universal concept.
+func Top() *Concept { return &Concept{Op: OpTop} }
+
+// Bottom returns the empty concept.
+func Bottom() *Concept { return &Concept{Op: OpBottom} }
+
+// Atomic returns the atomic concept with the given name.
+func Atomic(name string) *Concept { return &Concept{Op: OpAtomic, Name: name} }
+
+// Not returns ¬c.
+func Not(c *Concept) *Concept { return &Concept{Op: OpNot, Args: []*Concept{c}} }
+
+// And returns the conjunction of the arguments; with no arguments it returns
+// ⊤ and with one argument it returns that argument unchanged.
+func And(cs ...*Concept) *Concept {
+	switch len(cs) {
+	case 0:
+		return Top()
+	case 1:
+		return cs[0]
+	}
+	return &Concept{Op: OpAnd, Args: append([]*Concept(nil), cs...)}
+}
+
+// Or returns the disjunction of the arguments; with no arguments it returns
+// ⊥ and with one argument it returns that argument unchanged.
+func Or(cs ...*Concept) *Concept {
+	switch len(cs) {
+	case 0:
+		return Bottom()
+	case 1:
+		return cs[0]
+	}
+	return &Concept{Op: OpOr, Args: append([]*Concept(nil), cs...)}
+}
+
+// Exists returns ∃role.c.
+func Exists(role string, c *Concept) *Concept {
+	return &Concept{Op: OpExists, Role: role, Args: []*Concept{c}}
+}
+
+// ForAll returns ∀role.c.
+func ForAll(role string, c *Concept) *Concept {
+	return &Concept{Op: OpForAll, Role: role, Args: []*Concept{c}}
+}
+
+// AtLeast returns ≥n role.c, the paper's ∃n role.c.
+func AtLeast(n int, role string, c *Concept) *Concept {
+	return &Concept{Op: OpAtLeast, N: n, Role: role, Args: []*Concept{c}}
+}
+
+// String renders the concept in the usual description-logic notation.
+func (c *Concept) String() string {
+	switch c.Op {
+	case OpTop:
+		return "⊤"
+	case OpBottom:
+		return "⊥"
+	case OpAtomic:
+		return c.Name
+	case OpNot:
+		return "¬" + parenthesize(c.Args[0])
+	case OpAnd, OpOr:
+		parts := make([]string, len(c.Args))
+		for i, a := range c.Args {
+			parts[i] = parenthesize(a)
+		}
+		sep := " ⊓ "
+		if c.Op == OpOr {
+			sep = " ⊔ "
+		}
+		return strings.Join(parts, sep)
+	case OpExists:
+		return "∃" + c.Role + "." + parenthesize(c.Args[0])
+	case OpForAll:
+		return "∀" + c.Role + "." + parenthesize(c.Args[0])
+	case OpAtLeast:
+		return fmt.Sprintf("≥%d %s.%s", c.N, c.Role, parenthesize(c.Args[0]))
+	default:
+		return "?"
+	}
+}
+
+func parenthesize(c *Concept) string {
+	if c.Op == OpAnd || c.Op == OpOr {
+		return "(" + c.String() + ")"
+	}
+	return c.String()
+}
+
+// Size returns the number of constructor nodes in the concept expression.
+func (c *Concept) Size() int {
+	n := 1
+	for _, a := range c.Args {
+		n += a.Size()
+	}
+	return n
+}
+
+// Depth returns the maximal nesting depth of role restrictions.
+func (c *Concept) Depth() int {
+	max := 0
+	for _, a := range c.Args {
+		if d := a.Depth(); d > max {
+			max = d
+		}
+	}
+	switch c.Op {
+	case OpExists, OpForAll, OpAtLeast:
+		return max + 1
+	default:
+		return max
+	}
+}
+
+// AtomicNames returns the atomic concept names occurring in the expression,
+// sorted and deduplicated.
+func (c *Concept) AtomicNames() []string {
+	set := map[string]bool{}
+	c.walk(func(x *Concept) {
+		if x.Op == OpAtomic {
+			set[x.Name] = true
+		}
+	})
+	return sortedKeys(set)
+}
+
+// RoleNames returns the role names occurring in the expression, sorted and
+// deduplicated.
+func (c *Concept) RoleNames() []string {
+	set := map[string]bool{}
+	c.walk(func(x *Concept) {
+		if x.Role != "" {
+			set[x.Role] = true
+		}
+	})
+	return sortedKeys(set)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Concept) walk(fn func(*Concept)) {
+	fn(c)
+	for _, a := range c.Args {
+		a.walk(fn)
+	}
+}
+
+// Equal reports whether two concepts are syntactically identical (same
+// constructor tree; argument order matters).
+func (c *Concept) Equal(d *Concept) bool {
+	if c.Op != d.Op || c.Name != d.Name || c.Role != d.Role || c.N != d.N || len(c.Args) != len(d.Args) {
+		return false
+	}
+	for i := range c.Args {
+		if !c.Args[i].Equal(d.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns a copy of the concept in which every atomic concept name and
+// role name is replaced according to the given maps (names missing from a map
+// are kept). It is used by the isomorphism machinery of internal/structure
+// and by the workload generators.
+func (c *Concept) Rename(concepts, roles map[string]string) *Concept {
+	out := &Concept{Op: c.Op, Name: c.Name, Role: c.Role, N: c.N}
+	if c.Op == OpAtomic {
+		if r, ok := concepts[c.Name]; ok {
+			out.Name = r
+		}
+	}
+	if c.Role != "" {
+		if r, ok := roles[c.Role]; ok {
+			out.Role = r
+		}
+	}
+	if len(c.Args) > 0 {
+		out.Args = make([]*Concept, len(c.Args))
+		for i, a := range c.Args {
+			out.Args[i] = a.Rename(concepts, roles)
+		}
+	}
+	return out
+}
+
+// NNF returns the negation normal form of the concept: negation pushed inward
+// so it applies only to atomic concepts, using the dualities ¬⊤=⊥, ¬⊥=⊤,
+// de Morgan, ¬∃r.C = ∀r.¬C, ¬∀r.C = ∃r.¬C. Negated at-least restrictions have
+// no dual in the supported fragment and are reported as an error by the
+// tableau; NNF leaves ¬(≥n r.C) in place.
+func (c *Concept) NNF() *Concept {
+	return nnf(c, false)
+}
+
+func nnf(c *Concept, negated bool) *Concept {
+	switch c.Op {
+	case OpTop:
+		if negated {
+			return Bottom()
+		}
+		return Top()
+	case OpBottom:
+		if negated {
+			return Top()
+		}
+		return Bottom()
+	case OpAtomic:
+		if negated {
+			return Not(Atomic(c.Name))
+		}
+		return Atomic(c.Name)
+	case OpNot:
+		return nnf(c.Args[0], !negated)
+	case OpAnd, OpOr:
+		args := make([]*Concept, len(c.Args))
+		for i, a := range c.Args {
+			args[i] = nnf(a, negated)
+		}
+		op := c.Op
+		if negated {
+			if op == OpAnd {
+				op = OpOr
+			} else {
+				op = OpAnd
+			}
+		}
+		return &Concept{Op: op, Args: args}
+	case OpExists:
+		if negated {
+			return ForAll(c.Role, nnf(c.Args[0], true))
+		}
+		return Exists(c.Role, nnf(c.Args[0], false))
+	case OpForAll:
+		if negated {
+			return Exists(c.Role, nnf(c.Args[0], true))
+		}
+		return ForAll(c.Role, nnf(c.Args[0], false))
+	case OpAtLeast:
+		inner := AtLeast(c.N, c.Role, nnf(c.Args[0], false))
+		if negated {
+			return Not(inner)
+		}
+		return inner
+	default:
+		return c
+	}
+}
+
+// Conjuncts flattens nested conjunctions into a single slice; non-conjunction
+// concepts are returned as a singleton.
+func (c *Concept) Conjuncts() []*Concept {
+	if c.Op != OpAnd {
+		return []*Concept{c}
+	}
+	var out []*Concept
+	for _, a := range c.Args {
+		out = append(out, a.Conjuncts()...)
+	}
+	return out
+}
+
+// IsConjunctive reports whether the concept lies in the conjunctive fragment
+// handled by the structural subsumption procedure: only ⊤, atomic concepts,
+// conjunction, existential restrictions and at-least restrictions.
+func (c *Concept) IsConjunctive() bool {
+	switch c.Op {
+	case OpTop, OpAtomic:
+		return true
+	case OpAnd, OpExists, OpAtLeast:
+		for _, a := range c.Args {
+			if !a.IsConjunctive() {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,229 @@
+package dl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndString(t *testing.T) {
+	c := And(Atomic("motorvehicle"), Atomic("roadvehicle"), Exists("size", Atomic("small")))
+	s := c.String()
+	for _, want := range []string{"motorvehicle", "roadvehicle", "∃size.small", "⊓"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if got := AtLeast(4, "has", Atomic("wheels")).String(); got != "≥4 has.wheels" {
+		t.Errorf("AtLeast rendering = %q", got)
+	}
+	if Top().String() != "⊤" || Bottom().String() != "⊥" {
+		t.Error("Top/Bottom rendering wrong")
+	}
+	if got := Not(And(Atomic("a"), Atomic("b"))).String(); got != "¬(a ⊓ b)" {
+		t.Errorf("negated conjunction rendering = %q", got)
+	}
+	if got := Or(Atomic("a"), Atomic("b")).String(); got != "a ⊔ b" {
+		t.Errorf("disjunction rendering = %q", got)
+	}
+	if got := ForAll("r", Atomic("a")).String(); got != "∀r.a" {
+		t.Errorf("forall rendering = %q", got)
+	}
+}
+
+func TestAndOrDegenerateCases(t *testing.T) {
+	if And().Op != OpTop {
+		t.Error("empty conjunction should be ⊤")
+	}
+	if Or().Op != OpBottom {
+		t.Error("empty disjunction should be ⊥")
+	}
+	a := Atomic("a")
+	if And(a) != a || Or(a) != a {
+		t.Error("singleton conjunction/disjunction should return the argument")
+	}
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	c := And(Atomic("a"), Exists("r", And(Atomic("b"), Exists("s", Atomic("c")))))
+	if got := c.Size(); got != 7 {
+		t.Errorf("Size = %d, want 7", got)
+	}
+	if got := c.Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2", got)
+	}
+	if Atomic("a").Depth() != 0 {
+		t.Error("atomic concept has depth 0")
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	c := And(Atomic("car"), Exists("uses", Atomic("gasoline")), AtLeast(4, "has", Atomic("wheels")))
+	atoms := c.AtomicNames()
+	if len(atoms) != 3 || atoms[0] != "car" || atoms[1] != "gasoline" || atoms[2] != "wheels" {
+		t.Errorf("AtomicNames = %v", atoms)
+	}
+	roles := c.RoleNames()
+	if len(roles) != 2 || roles[0] != "has" || roles[1] != "uses" {
+		t.Errorf("RoleNames = %v", roles)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := And(Atomic("a"), Exists("r", Atomic("b")))
+	b := And(Atomic("a"), Exists("r", Atomic("b")))
+	c := And(Exists("r", Atomic("b")), Atomic("a"))
+	if !a.Equal(b) {
+		t.Error("identical trees should be equal")
+	}
+	if a.Equal(c) {
+		t.Error("Equal is syntactic: argument order matters")
+	}
+	if AtLeast(4, "r", Atomic("x")).Equal(AtLeast(3, "r", Atomic("x"))) {
+		t.Error("different cardinalities are not equal")
+	}
+}
+
+func TestRename(t *testing.T) {
+	c := And(Atomic("dog"), Exists("ingests", Atomic("food")))
+	r := c.Rename(map[string]string{"dog": "car", "food": "gasoline"}, map[string]string{"ingests": "uses"})
+	want := And(Atomic("car"), Exists("uses", Atomic("gasoline")))
+	if !r.Equal(want) {
+		t.Errorf("Rename = %v, want %v", r, want)
+	}
+	// Original untouched.
+	if !c.Equal(And(Atomic("dog"), Exists("ingests", Atomic("food")))) {
+		t.Error("Rename mutated the original")
+	}
+	// Unmapped names are preserved.
+	r2 := c.Rename(map[string]string{}, map[string]string{})
+	if !r2.Equal(c) {
+		t.Error("empty rename should be identity")
+	}
+}
+
+func TestNNF(t *testing.T) {
+	cases := []struct {
+		in   *Concept
+		want *Concept
+	}{
+		{Not(Top()), Bottom()},
+		{Not(Bottom()), Top()},
+		{Not(Not(Atomic("a"))), Atomic("a")},
+		{Not(And(Atomic("a"), Atomic("b"))), Or(Not(Atomic("a")), Not(Atomic("b")))},
+		{Not(Or(Atomic("a"), Atomic("b"))), And(Not(Atomic("a")), Not(Atomic("b")))},
+		{Not(Exists("r", Atomic("a"))), ForAll("r", Not(Atomic("a")))},
+		{Not(ForAll("r", Atomic("a"))), Exists("r", Not(Atomic("a")))},
+	}
+	for _, c := range cases {
+		if got := c.in.NNF(); !got.Equal(c.want) {
+			t.Errorf("NNF(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// NNF of a negated at-least restriction keeps the negation in place.
+	neg := Not(AtLeast(2, "r", Atomic("a")))
+	if got := neg.NNF(); got.Op != OpNot || got.Args[0].Op != OpAtLeast {
+		t.Errorf("NNF(¬≥2r.a) = %v, expected the negation to remain", got)
+	}
+}
+
+func TestConjunctsFlattening(t *testing.T) {
+	c := And(Atomic("a"), And(Atomic("b"), And(Atomic("c"), Atomic("d"))))
+	if got := len(c.Conjuncts()); got != 4 {
+		t.Errorf("Conjuncts = %d, want 4", got)
+	}
+	if got := len(Atomic("a").Conjuncts()); got != 1 {
+		t.Errorf("Conjuncts of atom = %d, want 1", got)
+	}
+}
+
+func TestIsConjunctive(t *testing.T) {
+	good := And(Atomic("a"), Exists("r", Atomic("b")), AtLeast(2, "s", Top()))
+	if !good.IsConjunctive() {
+		t.Error("conjunctive concept misclassified")
+	}
+	for _, bad := range []*Concept{
+		Not(Atomic("a")),
+		Or(Atomic("a"), Atomic("b")),
+		ForAll("r", Atomic("a")),
+		Bottom(),
+		And(Atomic("a"), Or(Atomic("b"), Atomic("c"))),
+		Exists("r", Not(Atomic("a"))),
+	} {
+		if bad.IsConjunctive() {
+			t.Errorf("%v should not be conjunctive", bad)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{OpTop, OpBottom, OpAtomic, OpNot, OpAnd, OpOr, OpExists, OpForAll, OpAtLeast, Op(99)}
+	for _, o := range ops {
+		if o.String() == "" {
+			t.Errorf("Op(%d).String() empty", int(o))
+		}
+	}
+}
+
+// randomConjunctive builds a deterministic pseudo-random conjunctive concept
+// from an integer seed, for property tests.
+func randomConjunctive(seed uint32, depth int) *Concept {
+	names := []string{"a", "b", "c", "d"}
+	roles := []string{"r", "s"}
+	next := func() uint32 {
+		seed = seed*1664525 + 1013904223
+		return seed
+	}
+	var build func(d int) *Concept
+	build = func(d int) *Concept {
+		if d <= 0 || next()%3 == 0 {
+			return Atomic(names[next()%uint32(len(names))])
+		}
+		switch next() % 3 {
+		case 0:
+			return And(build(d-1), build(d-1))
+		case 1:
+			return Exists(roles[next()%uint32(len(roles))], build(d-1))
+		default:
+			return AtLeast(int(next()%3)+1, roles[next()%uint32(len(roles))], build(d-1))
+		}
+	}
+	return build(depth)
+}
+
+func TestPropertyNNFIdempotentAndNegationFree(t *testing.T) {
+	f := func(seed uint32) bool {
+		c := randomConjunctive(seed, 3)
+		// Negate it to exercise the de Morgan pushes, excluding at-least
+		// (whose negation legitimately remains).
+		n := Not(c).NNF()
+		again := n.NNF()
+		if !n.Equal(again) {
+			return false
+		}
+		ok := true
+		n.walk(func(x *Concept) {
+			if x.Op == OpNot && x.Args[0].Op != OpAtomic && x.Args[0].Op != OpAtLeast {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRenameRoundTrip(t *testing.T) {
+	forward := map[string]string{"a": "x", "b": "y", "c": "z", "d": "w"}
+	backward := map[string]string{"x": "a", "y": "b", "z": "c", "w": "d"}
+	rf := map[string]string{"r": "p", "s": "q"}
+	rb := map[string]string{"p": "r", "q": "s"}
+	f := func(seed uint32) bool {
+		c := randomConjunctive(seed, 3)
+		return c.Rename(forward, rf).Rename(backward, rb).Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package dl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestStructuralTableauAgreement is the differential property test between
+// the two subsumption procedures: on the conjunctive fragment (where both are
+// sound and complete) they must give the same answer for every pair of
+// randomly generated concepts.
+func TestStructuralTableauAgreement(t *testing.T) {
+	atoms := []string{"A", "B", "C", "D"}
+	roles := []string{"r", "s"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomConjunctiveConcept(rng, atoms, roles, 2)
+		b := randomConjunctiveConcept(rng, atoms, roles, 2)
+		structural, err := StructuralSubsumes(a, b)
+		if err != nil {
+			return false
+		}
+		tableau, err := Subsumes(a, b)
+		if err == ErrUnsupported {
+			// Negating an at-least restriction takes the question outside
+			// what the tableau handles; nothing to compare.
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		if structural != tableau {
+			t.Logf("disagreement on %s ⊑ %s: structural=%v tableau=%v", a, b, structural, tableau)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReasonerAgreementOnPaperTBox checks that the two TBox-level reasoners
+// classify the paper's vehicle/animal terminology identically.
+func TestReasonerAgreementOnPaperTBox(t *testing.T) {
+	tb := NewTBox()
+	tb.MustDefine("car", SubsumedBy, And(Atomic("motorvehicle"), Atomic("roadvehicle"), Exists("size", Atomic("small"))))
+	tb.MustDefine("pickup", SubsumedBy, And(Atomic("motorvehicle"), Atomic("roadvehicle"), Exists("size", Atomic("big"))))
+	tb.MustDefine("motorvehicle", SubsumedBy, Exists("uses", Atomic("gasoline")))
+	tb.MustDefine("roadvehicle", SubsumedBy, AtLeast(4, "has", Atomic("wheels")))
+	tb.MustDefine("dog", SubsumedBy, And(Atomic("animal"), Atomic("quadruped"), Exists("size", Atomic("small"))))
+	tb.MustDefine("horse", SubsumedBy, And(Atomic("animal"), Atomic("quadruped"), Exists("size", Atomic("big"))))
+	tb.MustDefine("animal", SubsumedBy, Exists("ingests", Atomic("food")))
+	tb.MustDefine("quadruped", SubsumedBy, AtLeast(4, "has", Atomic("leg")))
+
+	structural := NewStructuralReasoner(tb)
+	tableau, err := NewReasoner(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tb.DefinedNames()
+	compared := 0
+	for _, sub := range names {
+		for _, super := range names {
+			s, err := structural.Subsumes(sub, super)
+			if err != nil {
+				t.Fatalf("structural %s ⊑ %s: %v", sub, super, err)
+			}
+			answer, err := tableau.Subsumes(sub, super)
+			if err == ErrUnsupported {
+				// Questions whose negated right-hand side contains an
+				// at-least restriction (roadvehicle, quadruped and their
+				// subsumees) are outside the tableau's coverage.
+				continue
+			}
+			if err != nil {
+				t.Fatalf("tableau %s ⊑ %s: %v", sub, super, err)
+			}
+			compared++
+			if s != answer {
+				t.Errorf("%s ⊑ %s: structural=%v tableau=%v", sub, super, s, answer)
+			}
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no pairs were comparable; the fixture is mis-built")
+	}
+}
+
+// randomConjunctiveConcept builds a random concept in the conjunctive fragment.
+func randomConjunctiveConcept(rng *rand.Rand, atoms, roles []string, depth int) *Concept {
+	n := 1 + rng.Intn(3)
+	conjuncts := make([]*Concept, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case depth > 0 && rng.Intn(3) == 0:
+			role := roles[rng.Intn(len(roles))]
+			filler := randomConjunctiveConcept(rng, atoms, roles, depth-1)
+			if rng.Intn(4) == 0 {
+				conjuncts = append(conjuncts, AtLeast(1+rng.Intn(3), role, filler))
+			} else {
+				conjuncts = append(conjuncts, Exists(role, filler))
+			}
+		default:
+			conjuncts = append(conjuncts, Atomic(atoms[rng.Intn(len(atoms))]))
+		}
+	}
+	if rng.Intn(6) == 0 {
+		conjuncts = append(conjuncts, Top())
+	}
+	return And(conjuncts...)
+}

@@ -1,0 +1,446 @@
+package dl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// vehiclesTBox builds the paper's eq. (4) terminology:
+//
+//	car    ⊑ motorvehicle ⊓ roadvehicle ⊓ ∃size.small
+//	pickup ⊑ motorvehicle ⊓ roadvehicle ⊓ ∃size.big
+//	motorvehicle ⊑ ∃uses.gasoline
+//	roadvehicle  ⊑ ≥4 has.wheels
+func vehiclesTBox(t testing.TB) *TBox {
+	t.Helper()
+	tb := NewTBox()
+	tb.MustDefine("car", SubsumedBy, And(Atomic("motorvehicle"), Atomic("roadvehicle"), Exists("size", Atomic("small"))))
+	tb.MustDefine("pickup", SubsumedBy, And(Atomic("motorvehicle"), Atomic("roadvehicle"), Exists("size", Atomic("big"))))
+	tb.MustDefine("motorvehicle", SubsumedBy, Exists("uses", Atomic("gasoline")))
+	tb.MustDefine("roadvehicle", SubsumedBy, AtLeast(4, "has", Atomic("wheels")))
+	return tb
+}
+
+// animalsTBox builds the paper's eq. (8) terminology, isomorphic to the
+// vehicles one.
+func animalsTBox(t testing.TB) *TBox {
+	t.Helper()
+	tb := NewTBox()
+	tb.MustDefine("dog", SubsumedBy, And(Atomic("animal"), Atomic("quadruped"), Exists("size", Atomic("small"))))
+	tb.MustDefine("horse", SubsumedBy, And(Atomic("animal"), Atomic("quadruped"), Exists("size", Atomic("big"))))
+	tb.MustDefine("animal", SubsumedBy, Exists("ingests", Atomic("food")))
+	tb.MustDefine("quadruped", SubsumedBy, AtLeast(4, "has", Atomic("leg")))
+	return tb
+}
+
+func TestTBoxDefineAndLookup(t *testing.T) {
+	tb := vehiclesTBox(t)
+	if err := tb.Define("car", Equivalent, Top()); err == nil {
+		t.Error("redefining car should fail")
+	}
+	d, ok := tb.Definition("car")
+	if !ok || d.Kind != SubsumedBy {
+		t.Fatalf("Definition(car) = %v, %v", d, ok)
+	}
+	if _, ok := tb.Definition("boat"); ok {
+		t.Error("undefined name should not have a definition")
+	}
+	if got := len(tb.Definitions()); got != 4 {
+		t.Errorf("Definitions len = %d, want 4", got)
+	}
+	if got := tb.DefinedNames(); got[0] != "car" || len(got) != 4 {
+		t.Errorf("DefinedNames = %v", got)
+	}
+	if d.String() == "" || d.Kind.String() != "⊑" || (Definition{Kind: Equivalent}).Kind.String() != "≡" {
+		t.Error("definition rendering wrong")
+	}
+}
+
+func TestPrimitiveAndRoleNames(t *testing.T) {
+	tb := vehiclesTBox(t)
+	prims := tb.PrimitiveNames()
+	want := []string{"big", "gasoline", "small", "wheels"}
+	if len(prims) != len(want) {
+		t.Fatalf("PrimitiveNames = %v, want %v", prims, want)
+	}
+	for i := range want {
+		if prims[i] != want[i] {
+			t.Errorf("PrimitiveNames[%d] = %q, want %q", i, prims[i], want[i])
+		}
+	}
+	roles := tb.RoleNames()
+	if len(roles) != 3 || roles[0] != "has" || roles[1] != "size" || roles[2] != "uses" {
+		t.Errorf("RoleNames = %v", roles)
+	}
+}
+
+func TestDependencyCycle(t *testing.T) {
+	tb := vehiclesTBox(t)
+	if !tb.Acyclic() {
+		t.Error("vehicles TBox should be acyclic")
+	}
+	cyc := NewTBox()
+	cyc.MustDefine("a", Equivalent, Exists("r", Atomic("b")))
+	cyc.MustDefine("b", Equivalent, Exists("r", Atomic("a")))
+	if cyc.Acyclic() {
+		t.Error("a/b cycle should be detected")
+	}
+	if got := cyc.DependencyCycle(); len(got) != 2 {
+		t.Errorf("DependencyCycle = %v", got)
+	}
+}
+
+func TestUnfoldEquivalentAndPrimitive(t *testing.T) {
+	tb := NewTBox()
+	tb.MustDefine("parent", Equivalent, Exists("hasChild", Atomic("person")))
+	tb.MustDefine("grandparent", Equivalent, Exists("hasChild", Atomic("parent")))
+	u := tb.UnfoldName("grandparent", 10)
+	want := Exists("hasChild", Exists("hasChild", Atomic("person")))
+	if !u.Equal(want) {
+		t.Errorf("Unfold(grandparent) = %v, want %v", u, want)
+	}
+	// Primitive definitions keep a marker.
+	vt := vehiclesTBox(t)
+	uc := vt.UnfoldName("car", 10)
+	atoms := uc.AtomicNames()
+	found := false
+	for _, a := range atoms {
+		if a == "motorvehicle*" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unfolding a primitive definition should keep its marker, atoms = %v", atoms)
+	}
+	// Depth zero leaves the concept untouched.
+	if !vt.Unfold(Atomic("car"), 0).Equal(Atomic("car")) {
+		t.Error("Unfold with depth 0 should be identity")
+	}
+}
+
+func TestExpansionSizeGrowsWithDepth(t *testing.T) {
+	tb := vehiclesTBox(t)
+	s1 := tb.ExpansionSize("car", 1)
+	s2 := tb.ExpansionSize("car", 3)
+	if s2 <= s1 {
+		t.Errorf("expansion should grow with depth: depth1=%d depth3=%d", s1, s2)
+	}
+}
+
+func TestDescriptionTreeAndErrors(t *testing.T) {
+	c := And(Atomic("a"), Exists("r", Atomic("b")), AtLeast(4, "has", Atomic("w")))
+	n, err := DescriptionTree(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Atoms) != 1 || len(n.Edges) != 2 || n.Size() != 3 {
+		t.Errorf("tree = %v", n)
+	}
+	if n.String() == "" {
+		t.Error("tree rendering empty")
+	}
+	if _, err := DescriptionTree(Or(Atomic("a"), Atomic("b"))); !errors.Is(err, ErrNotConjunctive) {
+		t.Errorf("expected ErrNotConjunctive, got %v", err)
+	}
+	if _, err := StructuralSubsumes(Not(Atomic("a")), Atomic("a")); err == nil {
+		t.Error("structural subsumption outside the fragment should fail")
+	}
+}
+
+func TestStructuralSubsumption(t *testing.T) {
+	cases := []struct {
+		sub, super *Concept
+		want       bool
+	}{
+		{And(Atomic("a"), Atomic("b")), Atomic("a"), true},
+		{Atomic("a"), And(Atomic("a"), Atomic("b")), false},
+		{Exists("r", And(Atomic("a"), Atomic("b"))), Exists("r", Atomic("a")), true},
+		{Exists("r", Atomic("a")), Exists("r", And(Atomic("a"), Atomic("b"))), false},
+		{And(Exists("r", Atomic("a")), Exists("r", Atomic("b"))), Exists("r", And(Atomic("a"), Atomic("b"))), false},
+		{Exists("r", And(Atomic("a"), Atomic("b"))), And(Exists("r", Atomic("a")), Exists("r", Atomic("b"))), true},
+		{AtLeast(4, "has", Atomic("w")), Exists("has", Atomic("w")), true},
+		{Exists("has", Atomic("w")), AtLeast(4, "has", Atomic("w")), false},
+		{AtLeast(4, "has", Atomic("w")), AtLeast(2, "has", Atomic("w")), true},
+		{Atomic("a"), Top(), true},
+		{Top(), Atomic("a"), false},
+	}
+	for _, c := range cases {
+		got, err := StructuralSubsumes(c.sub, c.super)
+		if err != nil {
+			t.Errorf("StructuralSubsumes(%v, %v): %v", c.sub, c.super, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("StructuralSubsumes(%v, %v) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestStructuralEquivalentOrderInsensitive(t *testing.T) {
+	a := And(Atomic("p"), Atomic("q"), Exists("r", Atomic("x")))
+	b := And(Exists("r", Atomic("x")), Atomic("q"), Atomic("p"))
+	eq, err := StructuralEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("conjunct order should not affect equivalence")
+	}
+	ne, err := StructuralEquivalent(a, Atomic("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne {
+		t.Error("a ⊓ q ⊓ ∃r.x is not equivalent to p")
+	}
+}
+
+func TestStructuralReasonerOnVehicles(t *testing.T) {
+	tb := vehiclesTBox(t)
+	r := NewStructuralReasoner(tb)
+	ok, err := r.Subsumes("car", "motorvehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("car should be subsumed by motorvehicle")
+	}
+	ok, err = r.Subsumes("motorvehicle", "car")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("motorvehicle should not be subsumed by car")
+	}
+	ok, err = r.SubsumesConcepts(Atomic("car"), Exists("uses", Atomic("gasoline")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a car uses gasoline (through motorvehicle)")
+	}
+	ok, err = r.Subsumes("car", "pickup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("car is not a pickup")
+	}
+}
+
+func TestTableauSatisfiability(t *testing.T) {
+	cases := []struct {
+		c    *Concept
+		want bool
+	}{
+		{Atomic("a"), true},
+		{And(Atomic("a"), Not(Atomic("a"))), false},
+		{Bottom(), false},
+		{Or(And(Atomic("a"), Not(Atomic("a"))), Atomic("b")), true},
+		{And(Exists("r", Atomic("a")), ForAll("r", Not(Atomic("a")))), false},
+		{And(Exists("r", Atomic("a")), ForAll("r", Atomic("b"))), true},
+		{And(AtLeast(3, "r", Atomic("a")), ForAll("r", Not(Atomic("a")))), false},
+		{Not(Top()), false},
+		{ForAll("r", Bottom()), true}, // vacuously satisfiable with no r-successor
+	}
+	for _, c := range cases {
+		got, err := Satisfiable(c.c)
+		if err != nil {
+			t.Errorf("Satisfiable(%v): %v", c.c, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Satisfiable(%v) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestTableauSubsumption(t *testing.T) {
+	cases := []struct {
+		sub, super *Concept
+		want       bool
+	}{
+		{And(Atomic("a"), Atomic("b")), Atomic("a"), true},
+		{Atomic("a"), Or(Atomic("a"), Atomic("b")), true},
+		{Or(Atomic("a"), Atomic("b")), Atomic("a"), false},
+		{Exists("r", And(Atomic("a"), Atomic("b"))), Exists("r", Atomic("a")), true},
+		{And(Exists("r", Atomic("a")), ForAll("r", Atomic("b"))), Exists("r", And(Atomic("a"), Atomic("b"))), true},
+		{Atomic("a"), Bottom(), false},
+		{Bottom(), Atomic("a"), true},
+	}
+	for _, c := range cases {
+		got, err := Subsumes(c.sub, c.super)
+		if err != nil {
+			t.Errorf("Subsumes(%v, %v): %v", c.sub, c.super, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Subsumes(%v, %v) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestTableauEquivalentAndDisjoint(t *testing.T) {
+	eq, err := EquivalentConcepts(And(Atomic("a"), Atomic("b")), And(Atomic("b"), Atomic("a")))
+	if err != nil || !eq {
+		t.Errorf("commuted conjunction should be equivalent: %v %v", eq, err)
+	}
+	dj, err := Disjoint(Atomic("a"), Not(Atomic("a")))
+	if err != nil || !dj {
+		t.Errorf("a and ¬a should be disjoint: %v %v", dj, err)
+	}
+	dj, err = Disjoint(Atomic("a"), Atomic("b"))
+	if err != nil || dj {
+		t.Errorf("distinct atoms are not disjoint without axioms: %v %v", dj, err)
+	}
+}
+
+func TestTableauUnsupportedNegatedAtLeast(t *testing.T) {
+	if _, err := Satisfiable(Not(AtLeast(2, "r", Atomic("a")))); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("negated at-least should be unsupported, got %v", err)
+	}
+}
+
+func TestTableauReasonerRequiresAcyclicTBox(t *testing.T) {
+	cyc := NewTBox()
+	cyc.MustDefine("a", Equivalent, Exists("r", Atomic("b")))
+	cyc.MustDefine("b", Equivalent, Exists("r", Atomic("a")))
+	if _, err := NewReasoner(cyc); err == nil {
+		t.Error("cyclic TBox should be rejected by the tableau reasoner")
+	}
+}
+
+func TestTableauReasonerOnVehicles(t *testing.T) {
+	tb := vehiclesTBox(t)
+	r, err := NewReasoner(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.Subsumes("car", "motorvehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("tableau: car ⊑ motorvehicle should hold")
+	}
+	ok, err = r.Subsumes("pickup", "car")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("tableau: pickup ⊑ car should not hold")
+	}
+	sat, err := r.Satisfiable("car")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Error("car should be satisfiable")
+	}
+	ok, err = r.SubsumesConcepts(Atomic("car"), Exists("uses", Atomic("gasoline")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("tableau: car uses gasoline")
+	}
+}
+
+func TestClassifyVehicles(t *testing.T) {
+	tb := vehiclesTBox(t)
+	r := NewStructuralReasoner(tb)
+	p, err := tb.Classify(r.Subsumes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Leq("car", "motorvehicle") || !p.Leq("car", "roadvehicle") {
+		t.Error("classification should place car below motorvehicle and roadvehicle")
+	}
+	if !p.Leq("pickup", "motorvehicle") {
+		t.Error("classification should place pickup below motorvehicle")
+	}
+	if p.Leq("motorvehicle", "car") {
+		t.Error("classification should not place motorvehicle below car")
+	}
+	if p.IsTree() {
+		t.Error("the vehicle hierarchy is a DAG, not a tree (car has two parents)")
+	}
+}
+
+func TestStructuralAndTableauAgreeOnConjunctiveFragment(t *testing.T) {
+	f := func(s1, s2 uint32) bool {
+		a := randomConjunctive(s1, 3)
+		b := randomConjunctive(s2, 3)
+		// The tableau cannot see negated at-least restrictions; skip pairs
+		// where the super-concept contains one.
+		hasAtLeast := false
+		b.walk(func(x *Concept) {
+			if x.Op == OpAtLeast {
+				hasAtLeast = true
+			}
+		})
+		if hasAtLeast {
+			return true
+		}
+		sGot, err := StructuralSubsumes(a, b)
+		if err != nil {
+			return false
+		}
+		tGot, err := Subsumes(a, b)
+		if err != nil {
+			return false
+		}
+		return sGot == tGot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStructuralSubsumptionReflexiveTransitive(t *testing.T) {
+	f := func(s1, s2, s3 uint32) bool {
+		a := randomConjunctive(s1, 2)
+		b := randomConjunctive(s2, 2)
+		c := randomConjunctive(s3, 2)
+		refl, err := StructuralSubsumes(a, a)
+		if err != nil || !refl {
+			return false
+		}
+		ab, _ := StructuralSubsumes(a, b)
+		bc, _ := StructuralSubsumes(b, c)
+		if ab && bc {
+			ac, _ := StructuralSubsumes(a, c)
+			return ac
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStructuralSubsumes(b *testing.B) {
+	tb := vehiclesTBox(b)
+	r := NewStructuralReasoner(tb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Subsumes("car", "motorvehicle"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableauSubsumes(b *testing.B) {
+	tb := vehiclesTBox(b)
+	r, err := NewReasoner(tb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Subsumes("car", "motorvehicle"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

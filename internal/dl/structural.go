@@ -1,0 +1,183 @@
+package dl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DescriptionNode is a node of a description tree: the normal form of a
+// concept in the conjunctive fragment (⊤, atomic names, ⊓, ∃r.C, ≥n r.C).
+// Atoms collects the atomic names asserted at the node; Edges collects the
+// role successors, each with the minimum multiplicity required (1 for a plain
+// existential restriction).
+type DescriptionNode struct {
+	Atoms []string
+	Edges []DescriptionEdge
+}
+
+// DescriptionEdge is a labeled edge of a description tree.
+type DescriptionEdge struct {
+	Role  string
+	Min   int
+	Child *DescriptionNode
+}
+
+// ErrNotConjunctive is returned when a concept outside the conjunctive
+// fragment is passed to the structural machinery.
+var ErrNotConjunctive = fmt.Errorf("dl: concept is outside the conjunctive fragment")
+
+// DescriptionTree normalizes a conjunctive concept into a description tree.
+// It returns ErrNotConjunctive for concepts using negation, disjunction,
+// universal restrictions, or ⊥.
+func DescriptionTree(c *Concept) (*DescriptionNode, error) {
+	if !c.IsConjunctive() {
+		return nil, ErrNotConjunctive
+	}
+	node := &DescriptionNode{}
+	for _, conj := range c.Conjuncts() {
+		switch conj.Op {
+		case OpTop:
+			// contributes nothing
+		case OpAtomic:
+			node.Atoms = append(node.Atoms, conj.Name)
+		case OpExists, OpAtLeast:
+			min := 1
+			if conj.Op == OpAtLeast {
+				min = conj.N
+			}
+			child, err := DescriptionTree(conj.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			node.Edges = append(node.Edges, DescriptionEdge{Role: conj.Role, Min: min, Child: child})
+		default:
+			return nil, ErrNotConjunctive
+		}
+	}
+	sort.Strings(node.Atoms)
+	node.Atoms = dedupeStrings(node.Atoms)
+	return node, nil
+}
+
+func dedupeStrings(xs []string) []string {
+	var out []string
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Size returns the number of nodes in the description tree.
+func (n *DescriptionNode) Size() int {
+	s := 1
+	for _, e := range n.Edges {
+		s += e.Child.Size()
+	}
+	return s
+}
+
+// String renders the tree in a compact nested notation, deterministic up to
+// the order in which edges were produced.
+func (n *DescriptionNode) String() string {
+	var parts []string
+	if len(n.Atoms) > 0 {
+		parts = append(parts, strings.Join(n.Atoms, ","))
+	}
+	for _, e := range n.Edges {
+		parts = append(parts, fmt.Sprintf("%s[%d]->%s", e.Role, e.Min, e.Child))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// homomorphism reports whether there is a homomorphism from pattern to target
+// rooted at their roots: every atom required by pattern is present in target,
+// and every edge of pattern maps to an edge of target with the same role, at
+// least the required multiplicity, and a homomorphic child.
+func homomorphism(pattern, target *DescriptionNode) bool {
+	targetAtoms := map[string]bool{}
+	for _, a := range target.Atoms {
+		targetAtoms[a] = true
+	}
+	for _, a := range pattern.Atoms {
+		if !targetAtoms[a] {
+			return false
+		}
+	}
+	for _, pe := range pattern.Edges {
+		found := false
+		for _, te := range target.Edges {
+			if te.Role == pe.Role && te.Min >= pe.Min && homomorphism(pe.Child, te.Child) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// StructuralSubsumes reports whether sub ⊑ super for concepts in the
+// conjunctive fragment, by checking for a homomorphism from super's
+// description tree into sub's. The check is sound, and complete for the
+// EL-with-at-least fragment in which the paper's examples are written.
+func StructuralSubsumes(sub, super *Concept) (bool, error) {
+	subTree, err := DescriptionTree(sub)
+	if err != nil {
+		return false, err
+	}
+	superTree, err := DescriptionTree(super)
+	if err != nil {
+		return false, err
+	}
+	return homomorphism(superTree, subTree), nil
+}
+
+// StructuralEquivalent reports whether the two conjunctive concepts subsume
+// each other.
+func StructuralEquivalent(a, b *Concept) (bool, error) {
+	ab, err := StructuralSubsumes(a, b)
+	if err != nil {
+		return false, err
+	}
+	ba, err := StructuralSubsumes(b, a)
+	if err != nil {
+		return false, err
+	}
+	return ab && ba, nil
+}
+
+// StructuralReasoner offers TBox-level subsumption over the conjunctive
+// fragment: defined names are unfolded (to the given depth) before the
+// structural check. For acyclic TBoxes an unfolding depth of the number of
+// definitions is always sufficient.
+type StructuralReasoner struct {
+	TBox  *TBox
+	Depth int
+}
+
+// NewStructuralReasoner builds a reasoner whose unfolding depth defaults to
+// the number of definitions in the TBox plus one.
+func NewStructuralReasoner(t *TBox) *StructuralReasoner {
+	return &StructuralReasoner{TBox: t, Depth: len(t.Definitions()) + 1}
+}
+
+// Subsumes reports whether the defined (or primitive) name sub is subsumed by
+// super according to the TBox.
+func (r *StructuralReasoner) Subsumes(sub, super string) (bool, error) {
+	a := r.TBox.UnfoldName(sub, r.Depth)
+	b := r.TBox.UnfoldName(super, r.Depth)
+	return StructuralSubsumes(a, b)
+}
+
+// SubsumesConcepts reports whether concept sub is subsumed by concept super
+// after unfolding both against the TBox.
+func (r *StructuralReasoner) SubsumesConcepts(sub, super *Concept) (bool, error) {
+	a := r.TBox.Unfold(sub, r.Depth)
+	b := r.TBox.Unfold(super, r.Depth)
+	return StructuralSubsumes(a, b)
+}

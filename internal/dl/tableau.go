@@ -1,0 +1,316 @@
+package dl
+
+import (
+	"fmt"
+)
+
+// ErrUnsupported is returned by the tableau when a concept contains a
+// constructor outside ALC plus positive at-least restrictions (the only
+// number restrictions the calculus handles).
+var ErrUnsupported = fmt.Errorf("dl: concept uses a constructor unsupported by the tableau")
+
+// Satisfiable reports whether the concept is satisfiable, using a standard
+// ALC completion tableau on the negation normal form. Positive at-least
+// restrictions are handled by generating the required number of successors
+// (sound and complete in the absence of at-most restrictions); a negated
+// at-least restriction yields ErrUnsupported.
+//
+// The input must not contain defined names that require TBox unfolding; use
+// Reasoner for TBox-level questions.
+func Satisfiable(c *Concept) (bool, error) {
+	root := newTableauNode()
+	if err := root.add(c.NNF()); err != nil {
+		return false, err
+	}
+	return expand(root)
+}
+
+// Subsumes reports whether sub ⊑ super holds, i.e. whether sub ⊓ ¬super is
+// unsatisfiable.
+func Subsumes(sub, super *Concept) (bool, error) {
+	sat, err := Satisfiable(And(sub, Not(super)))
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}
+
+// EquivalentConcepts reports whether the two concepts subsume each other.
+func EquivalentConcepts(a, b *Concept) (bool, error) {
+	ab, err := Subsumes(a, b)
+	if err != nil {
+		return false, err
+	}
+	ba, err := Subsumes(b, a)
+	if err != nil {
+		return false, err
+	}
+	return ab && ba, nil
+}
+
+// Disjoint reports whether a ⊓ b is unsatisfiable.
+func Disjoint(a, b *Concept) (bool, error) {
+	sat, err := Satisfiable(And(a, b))
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}
+
+// tableauNode is an individual of the completion forest with its label set of
+// concepts (in NNF) and role successors.
+type tableauNode struct {
+	labels     []*Concept
+	successors map[string][]*tableauNode
+}
+
+func newTableauNode() *tableauNode {
+	return &tableauNode{successors: map[string][]*tableauNode{}}
+}
+
+// add inserts a concept into the node label, returning an error for
+// constructors the calculus does not handle. Duplicate labels are ignored.
+func (n *tableauNode) add(c *Concept) error {
+	if c.Op == OpNot && c.Args[0].Op != OpAtomic {
+		return ErrUnsupported
+	}
+	for _, existing := range n.labels {
+		if existing.Equal(c) {
+			return nil
+		}
+	}
+	n.labels = append(n.labels, c)
+	return nil
+}
+
+func (n *tableauNode) has(c *Concept) bool {
+	for _, existing := range n.labels {
+		if existing.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// clash reports whether the node label contains ⊥ or an atomic concept
+// together with its negation.
+func (n *tableauNode) clash() bool {
+	atoms := map[string]bool{}
+	negs := map[string]bool{}
+	for _, c := range n.labels {
+		switch c.Op {
+		case OpBottom:
+			return true
+		case OpAtomic:
+			atoms[c.Name] = true
+		case OpNot:
+			negs[c.Args[0].Name] = true
+		}
+	}
+	for a := range atoms {
+		if negs[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// clone deep-copies the node and its successor forest.
+func (n *tableauNode) clone() *tableauNode {
+	out := newTableauNode()
+	out.labels = append([]*Concept(nil), n.labels...)
+	for role, succs := range n.successors {
+		for _, s := range succs {
+			out.successors[role] = append(out.successors[role], s.clone())
+		}
+	}
+	return out
+}
+
+// expand applies the completion rules to the node until either a clash is
+// unavoidable (returns false) or a complete clash-free forest is found
+// (returns true).
+func expand(n *tableauNode) (bool, error) {
+	if n.clash() {
+		return false, nil
+	}
+	// ⊓-rule: add conjuncts.
+	for _, c := range n.labels {
+		if c.Op == OpAnd {
+			changed := false
+			for _, a := range c.Args {
+				if !n.has(a) {
+					if err := n.add(a); err != nil {
+						return false, err
+					}
+					changed = true
+				}
+			}
+			if changed {
+				return expand(n)
+			}
+		}
+	}
+	// ⊔-rule: branch.
+	for _, c := range n.labels {
+		if c.Op == OpOr {
+			allPresent := false
+			for _, a := range c.Args {
+				if n.has(a) {
+					allPresent = true
+					break
+				}
+			}
+			if allPresent {
+				continue
+			}
+			for _, a := range c.Args {
+				branch := n.clone()
+				if err := branch.add(a); err != nil {
+					return false, err
+				}
+				ok, err := expand(branch)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+	}
+	// ∃- and ≥-rules: generate successors.
+	for _, c := range n.labels {
+		switch c.Op {
+		case OpExists:
+			if !hasSuccessorWith(n, c.Role, c.Args[0]) {
+				succ := newTableauNode()
+				if err := succ.add(c.Args[0]); err != nil {
+					return false, err
+				}
+				n.successors[c.Role] = append(n.successors[c.Role], succ)
+				if err := propagateForAll(n, c.Role, succ); err != nil {
+					return false, err
+				}
+				return expand(n)
+			}
+		case OpAtLeast:
+			needed := c.N - countSuccessorsWith(n, c.Role, c.Args[0])
+			if needed > 0 {
+				for i := 0; i < needed; i++ {
+					succ := newTableauNode()
+					if err := succ.add(c.Args[0]); err != nil {
+						return false, err
+					}
+					n.successors[c.Role] = append(n.successors[c.Role], succ)
+					if err := propagateForAll(n, c.Role, succ); err != nil {
+						return false, err
+					}
+				}
+				return expand(n)
+			}
+		case OpNot:
+			if c.Args[0].Op != OpAtomic {
+				return false, ErrUnsupported
+			}
+		}
+	}
+	// ∀-rule: propagate to existing successors.
+	for _, c := range n.labels {
+		if c.Op == OpForAll {
+			changed := false
+			for _, succ := range n.successors[c.Role] {
+				if !succ.has(c.Args[0]) {
+					if err := succ.add(c.Args[0]); err != nil {
+						return false, err
+					}
+					changed = true
+				}
+			}
+			if changed {
+				return expand(n)
+			}
+		}
+	}
+	// Recurse into successors.
+	for _, succs := range n.successors {
+		for _, s := range succs {
+			ok, err := expand(s)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func hasSuccessorWith(n *tableauNode, role string, c *Concept) bool {
+	for _, s := range n.successors[role] {
+		if s.has(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func countSuccessorsWith(n *tableauNode, role string, c *Concept) int {
+	count := 0
+	for _, s := range n.successors[role] {
+		if s.has(c) {
+			count++
+		}
+	}
+	return count
+}
+
+func propagateForAll(n *tableauNode, role string, succ *tableauNode) error {
+	for _, c := range n.labels {
+		if c.Op == OpForAll && c.Role == role {
+			if err := succ.add(c.Args[0]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reasoner answers TBox-level subsumption questions with the tableau, after
+// unfolding defined names. The TBox must be acyclic.
+type Reasoner struct {
+	TBox  *TBox
+	Depth int
+}
+
+// NewReasoner builds a tableau reasoner for an acyclic TBox; it returns an
+// error if the TBox has a definitional cycle.
+func NewReasoner(t *TBox) (*Reasoner, error) {
+	if cycle := t.DependencyCycle(); cycle != nil {
+		return nil, fmt.Errorf("dl: tableau reasoner requires an acyclic TBox, found cycle %v", cycle)
+	}
+	return &Reasoner{TBox: t, Depth: len(t.Definitions()) + 1}, nil
+}
+
+// Subsumes reports whether the name sub is subsumed by super under the TBox.
+func (r *Reasoner) Subsumes(sub, super string) (bool, error) {
+	a := r.TBox.UnfoldName(sub, r.Depth)
+	b := r.TBox.UnfoldName(super, r.Depth)
+	return Subsumes(a, b)
+}
+
+// SubsumesConcepts reports whether concept sub is subsumed by concept super
+// under the TBox.
+func (r *Reasoner) SubsumesConcepts(sub, super *Concept) (bool, error) {
+	a := r.TBox.Unfold(sub, r.Depth)
+	b := r.TBox.Unfold(super, r.Depth)
+	return Subsumes(a, b)
+}
+
+// Satisfiable reports whether the named concept is satisfiable under the
+// TBox.
+func (r *Reasoner) Satisfiable(name string) (bool, error) {
+	return Satisfiable(r.TBox.UnfoldName(name, r.Depth))
+}

@@ -1,0 +1,266 @@
+package dl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/order"
+)
+
+// DefinitionKind distinguishes full definitions (A ≡ C) from primitive ones
+// (A ⊑ C).
+type DefinitionKind int
+
+// Definition kinds.
+const (
+	// Equivalent is a full definition A ≡ C.
+	Equivalent DefinitionKind = iota
+	// SubsumedBy is a primitive definition A ⊑ C.
+	SubsumedBy
+)
+
+// String renders the definition connective.
+func (k DefinitionKind) String() string {
+	if k == Equivalent {
+		return "≡"
+	}
+	return "⊑"
+}
+
+// Definition associates a defined concept name with its definition.
+type Definition struct {
+	Name    string
+	Kind    DefinitionKind
+	Concept *Concept
+}
+
+// String renders the definition.
+func (d Definition) String() string {
+	return fmt.Sprintf("%s %s %s", d.Name, d.Kind, d.Concept)
+}
+
+// TBox is a terminology: an ordered collection of definitions, at most one per
+// defined name. TBoxes are the artifact the paper's eq. (4) and (8) present;
+// a TBox plus the machinery of package structure is what the CAR/DOG argument
+// is about.
+type TBox struct {
+	defs  []Definition
+	index map[string]int
+}
+
+// NewTBox returns an empty TBox.
+func NewTBox() *TBox {
+	return &TBox{index: map[string]int{}}
+}
+
+// Define adds a definition. Defining the same name twice is an error.
+func (t *TBox) Define(name string, kind DefinitionKind, c *Concept) error {
+	if _, ok := t.index[name]; ok {
+		return fmt.Errorf("dl: concept %q already defined", name)
+	}
+	t.index[name] = len(t.defs)
+	t.defs = append(t.defs, Definition{Name: name, Kind: kind, Concept: c})
+	return nil
+}
+
+// MustDefine is like Define but panics on error; intended for statically
+// known terminologies in tests and examples.
+func (t *TBox) MustDefine(name string, kind DefinitionKind, c *Concept) {
+	if err := t.Define(name, kind, c); err != nil {
+		panic(err)
+	}
+}
+
+// Definitions returns the definitions in insertion order.
+func (t *TBox) Definitions() []Definition {
+	out := make([]Definition, len(t.defs))
+	copy(out, t.defs)
+	return out
+}
+
+// Definition returns the definition of a name and whether one exists.
+func (t *TBox) Definition(name string) (Definition, bool) {
+	i, ok := t.index[name]
+	if !ok {
+		return Definition{}, false
+	}
+	return t.defs[i], true
+}
+
+// DefinedNames returns the defined concept names in insertion order.
+func (t *TBox) DefinedNames() []string {
+	out := make([]string, len(t.defs))
+	for i, d := range t.defs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// PrimitiveNames returns the atomic concept names used in definitions but not
+// themselves defined — the vocabulary on which the terminology bottoms out —
+// sorted.
+func (t *TBox) PrimitiveNames() []string {
+	set := map[string]bool{}
+	for _, d := range t.defs {
+		for _, n := range d.Concept.AtomicNames() {
+			if _, defined := t.index[n]; !defined {
+				set[n] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// RoleNames returns every role name used in the TBox, sorted.
+func (t *TBox) RoleNames() []string {
+	set := map[string]bool{}
+	for _, d := range t.defs {
+		for _, r := range d.Concept.RoleNames() {
+			set[r] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// DependencyCycle returns a cycle of defined names each of whose definitions
+// mentions the next, or nil if the TBox is acyclic (definitorial in the usual
+// sense).
+func (t *TBox) DependencyCycle() []string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var cycle []string
+	var visit func(name string, path []string) bool
+	visit = func(name string, path []string) bool {
+		color[name] = grey
+		path = append(path, name)
+		d, _ := t.Definition(name)
+		deps := d.Concept.AtomicNames()
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, defined := t.index[dep]; !defined {
+				continue
+			}
+			switch color[dep] {
+			case grey:
+				// Found a back edge; extract the cycle from the path.
+				for i, n := range path {
+					if n == dep {
+						cycle = append([]string(nil), path[i:]...)
+						return true
+					}
+				}
+				cycle = append([]string(nil), path...)
+				return true
+			case white:
+				if visit(dep, path) {
+					return true
+				}
+			}
+		}
+		color[name] = black
+		return false
+	}
+	for _, d := range t.defs {
+		if color[d.Name] == white {
+			if visit(d.Name, nil) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the TBox has no definitional cycles.
+func (t *TBox) Acyclic() bool { return t.DependencyCycle() == nil }
+
+// Unfold replaces defined concept names inside c by their definitions,
+// recursively, up to maxDepth substitution rounds. Primitive definitions
+// A ⊑ C are unfolded as A ⊓' C, i.e. the name is kept (as a marker of the
+// primitive component) and conjoined with its necessary condition, which is
+// the standard treatment. For acyclic TBoxes a sufficiently large maxDepth
+// yields the full unfolding; for cyclic ones the bound makes unfolding a
+// total function, which experiment E3 exploits to measure how the expansion
+// grows with depth.
+func (t *TBox) Unfold(c *Concept, maxDepth int) *Concept {
+	if maxDepth <= 0 {
+		return c
+	}
+	switch c.Op {
+	case OpAtomic:
+		d, ok := t.Definition(c.Name)
+		if !ok {
+			return c
+		}
+		inner := t.Unfold(d.Concept, maxDepth-1)
+		if d.Kind == Equivalent {
+			return inner
+		}
+		// Primitive definition: keep the name as an atomic marker.
+		return And(Atomic(primitiveMarker(c.Name)), inner)
+	case OpTop, OpBottom:
+		return c
+	default:
+		out := &Concept{Op: c.Op, Name: c.Name, Role: c.Role, N: c.N}
+		out.Args = make([]*Concept, len(c.Args))
+		for i, a := range c.Args {
+			out.Args[i] = t.Unfold(a, maxDepth)
+		}
+		return out
+	}
+}
+
+// primitiveMarker returns the atomic marker name used when unfolding a
+// primitive definition.
+func primitiveMarker(name string) string { return name + "*" }
+
+// UnfoldName unfolds the definition of a defined name to the given depth. For
+// an undefined name it returns the atomic concept itself.
+func (t *TBox) UnfoldName(name string, maxDepth int) *Concept {
+	return t.Unfold(Atomic(name), maxDepth)
+}
+
+// ExpansionSize returns the size of the unfolding of the named concept at the
+// given depth. Experiment E3 uses the growth of this quantity to
+// operationalize the paper's "when can we stop? … we can't".
+func (t *TBox) ExpansionSize(name string, maxDepth int) int {
+	return t.UnfoldName(name, maxDepth).Size()
+}
+
+// Classify computes the subsumption hierarchy over the defined names using
+// the given subsumption test (typically Reasoner.Subsumes from this package)
+// and returns it as a poset in which a ≤ b means "a is subsumed by b".
+func (t *TBox) Classify(subsumes func(sub, super string) (bool, error)) (*order.Poset[string], error) {
+	p := order.New[string]()
+	names := t.DefinedNames()
+	for _, n := range names {
+		p.Add(n)
+	}
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			ok, err := subsumes(a, b)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			// Skip the reverse direction check if it would create a cycle
+			// (equivalent concepts); keep the first direction only so the
+			// result stays a partial order on names.
+			if p.Leq(b, a) {
+				continue
+			}
+			if err := p.Relate(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}

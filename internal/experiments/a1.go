@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/dl"
+	"repro/internal/workload"
+)
+
+// A1Params controls the subsumption-cost ablation.
+type A1Params struct {
+	Seed              int64
+	Sizes             []int
+	StructuralQueries int
+	TableauQueries    int
+}
+
+// DefaultA1Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultA1Params() A1Params {
+	return A1Params{Seed: 7, Sizes: []int{100, 300, 1000}, StructuralQueries: 200, TableauQueries: 20}
+}
+
+// A1 is the ablation called out in DESIGN.md: the paper's §2 notes that the
+// Bench-Capon/Malcolm model generalizes monocriterial taxonomies (trees) to
+// partial orders (DAGs). A1 measures what that generality costs: the mean
+// time of a subsumption query over random class hierarchies of increasing
+// size, for tree-shaped vs DAG-shaped hierarchies and for the structural vs
+// the tableau subsumption procedure.
+func A1(p A1Params) *Table {
+	t := &Table{
+		ID:      "A1",
+		Title:   "subsumption query cost: hierarchy shape × reasoning procedure",
+		Columns: []string{"classes", "shape", "procedure", "queries", "mean µs/query", "positive answers"},
+	}
+	for _, size := range p.Sizes {
+		for _, shape := range []struct {
+			name       string
+			maxParents int
+		}{{"tree", 1}, {"dag", 3}} {
+			rng := rand.New(rand.NewSource(p.Seed))
+			tb := workload.RandomHierarchyTBox(rng, workload.HierarchyParams{Classes: size, MaxParents: shape.maxParents})
+
+			structural := dl.NewStructuralReasoner(tb)
+			mean, positives := timeQueries(rng, size, p.StructuralQueries, structural.Subsumes)
+			t.AddRow(size, shape.name, "structural", p.StructuralQueries, mean, positives)
+
+			tableau, err := dl.NewReasoner(tb)
+			if err != nil {
+				panic(err)
+			}
+			mean, positives = timeQueries(rng, size, p.TableauQueries, tableau.Subsumes)
+			t.AddRow(size, shape.name, "tableau", p.TableauQueries, mean, positives)
+		}
+	}
+	return t
+}
+
+// timeQueries runs queries random subsumption questions over the generated
+// class names and returns the mean time per query in microseconds and the
+// number of positive answers.
+func timeQueries(rng *rand.Rand, classes, queries int, subsumes func(sub, super string) (bool, error)) (float64, int) {
+	if queries < 1 {
+		queries = 1
+	}
+	positives := 0
+	start := time.Now()
+	for q := 0; q < queries; q++ {
+		sub := workload.ClassName(rng.Intn(classes))
+		super := workload.ClassName(rng.Intn(classes))
+		ok, err := subsumes(sub, super)
+		if err != nil {
+			panic(err)
+		}
+		if ok {
+			positives++
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Microseconds()) / float64(queries), positives
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/definition"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// E1Params controls the definitional-discrimination experiment.
+type E1Params struct {
+	Seed              int64
+	PerFamily         int
+	TautologyFraction float64
+}
+
+// DefaultE1Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE1Params() E1Params {
+	return E1Params{Seed: 1, PerFamily: 200, TautologyFraction: 0.25}
+}
+
+// E1 generates a mixed population of artifacts (PerFamily of each of the six
+// families) and measures, for each of the three definitions of "ontonomy",
+// the acceptance rate per family and the resulting discrimination score. The
+// paper's §2 claim is that the functional and approximation definitions
+// cannot separate ontonomies from grocery lists; the structural one can.
+func E1(p E1Params) *Table {
+	rng := rand.New(rand.NewSource(p.Seed))
+	population, err := definition.Population(rng, definition.PopulationParams{
+		PerFamily:         p.PerFamily,
+		TautologyFraction: p.TautologyFraction,
+	})
+	if err != nil {
+		panic(err) // generators are total for positive parameters
+	}
+	reports := definition.Assess(definition.AllDefinitions(), population)
+
+	t := &Table{
+		ID:    "E1",
+		Title: "acceptance rate per artifact family under three definitions of 'ontonomy'",
+		Columns: []string{
+			"definition", "ontonomy", "grammar", "clause-set", "program", "grocery-list", "tax-form", "discrimination",
+		},
+	}
+	for _, r := range reports {
+		t.AddRow(
+			r.Definition,
+			r.AcceptanceOf(definition.KindOntonomy),
+			r.AcceptanceOf(definition.KindGrammar),
+			r.AcceptanceOf(definition.KindClauseSet),
+			r.AcceptanceOf(definition.KindProgram),
+			r.AcceptanceOf(definition.KindGroceryList),
+			r.AcceptanceOf(definition.KindTaxForm),
+			r.Discrimination(),
+		)
+	}
+	return t
+}
+
+// E2Params controls the isomorphism-collision experiment.
+type E2Params struct {
+	Seed         int64
+	Definitions  int
+	Vocabularies []int
+	Sizes        []int
+	Erasure      structure.Erasure
+}
+
+// DefaultE2Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE2Params() E2Params {
+	return E2Params{
+		Seed:         2,
+		Definitions:  80,
+		Vocabularies: []int{16, 64, 256},
+		Sizes:        []int{2, 3, 4, 6, 8, 10},
+		Erasure:      structure.EraseConcepts,
+	}
+}
+
+// E2 measures, for random TBoxes, how often two distinct defined concepts end
+// up with the same structural meaning (the CAR ≅ DOG collision) as a function
+// of definition size and vocabulary size. The paper predicts collisions are
+// common for small definitions and shrink — without vanishing — as structure
+// grows.
+func E2(p E2Params) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "structural-meaning collision rate vs definition size (erasure: " + p.Erasure.String() + ")",
+		Columns: []string{"vocabulary", "definition size k", "colliding pairs", "total pairs", "collision rate", "distinct skeletons"},
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, vocab := range p.Vocabularies {
+		for _, k := range p.Sizes {
+			params := workload.DefaultTBoxParams(p.Definitions, vocab, k)
+			tb := workload.RandomTBox(rng, params)
+			rep := structure.Collisions(tb, 0, p.Erasure)
+			t.AddRow(vocab, k, rep.CollidingPairs, rep.TotalPairs, rep.CollisionRate(), rep.DistinctSkeletons)
+		}
+	}
+	return t
+}
+
+// E3Params controls the differentiation experiment.
+type E3Params struct {
+	Seed         int64
+	Definitions  int
+	Vocabularies []int
+	Size         int
+	MaxDepth     int
+	Erasure      structure.Erasure
+}
+
+// DefaultE3Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE3Params() E3Params {
+	return E3Params{
+		Seed:         3,
+		Definitions:  60,
+		Vocabularies: []int{8, 32, 128, 512},
+		Size:         3,
+		MaxDepth:     5,
+		Erasure:      structure.EraseConcepts,
+	}
+}
+
+// E3 asks the paper's "when can we stop?" question: as definitions are
+// unfolded deeper and deeper (dragging in ever more of the surrounding
+// TBox), how many structural collisions remain, and how large have the
+// unfolded definitions grown? The paper predicts that differentiation never
+// properly terminates: collisions persist (or the structures grow without
+// bound) rather than the process closing neatly.
+func E3(p E3Params) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "collisions remaining vs unfolding depth (erasure: " + p.Erasure.String() + ")",
+		Columns: []string{"vocabulary", "depth", "colliding pairs", "collision rate", "mean unfolded size"},
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, vocab := range p.Vocabularies {
+		params := workload.DefaultTBoxParams(p.Definitions, vocab, p.Size)
+		// Make deep unfolding matter: most restrictions point at earlier
+		// defined names rather than primitives.
+		params.ReferenceProbability = 0.7
+		params.RestrictionProbability = 0.6
+		tb := workload.RandomTBox(rng, params)
+		for _, point := range structure.DifferentiationCurve(tb, p.MaxDepth, p.Erasure) {
+			t.AddRow(vocab, point.Depth, point.CollidingPairs, point.CollisionRate, point.MeanTreeSize)
+		}
+	}
+	return t
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/hermeneutic"
+	"repro/internal/semfield"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// E4Params controls the semantic-field translation experiment.
+type E4Params struct {
+	Seed     int64
+	Trials   int
+	Cells    int
+	Words    int
+	Shifts   []int
+	MaxShift int
+}
+
+// DefaultE4Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE4Params() E4Params {
+	return E4Params{Seed: 4, Trials: 30, Cells: 96, Words: 10, Shifts: []int{0, 1, 2, 4, 6, 8}, MaxShift: 4}
+}
+
+// E4 measures, over random language pairs whose divisions of a shared
+// semantic field diverge by an increasing number of boundary shifts, the
+// translation loss of an atomistic word-to-word mapping against a
+// field-relative mapping. The paper's doorknob/pomello argument predicts the
+// atomistic loss grows with divergence while the field-relative loss stays at
+// zero; the paper's own fixed examples are reported as the last two rows.
+func E4(p E4Params) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "translation loss: atomistic vs field-relative mapping",
+		Columns: []string{"workload", "boundary shifts", "divergence", "atomistic error", "field-relative error", "atomistic mean Jaccard"},
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, shifts := range p.Shifts {
+		var divergence, atomErr, fieldErr, jaccard float64
+		for trial := 0; trial < p.Trials; trial++ {
+			_, src, dst := workload.RandomFieldPair(rng, workload.FieldPairParams{
+				Cells:          p.Cells,
+				Words:          p.Words,
+				BoundaryShifts: shifts,
+				MaxShift:       p.MaxShift,
+			})
+			divergence += semfield.Divergence(src, dst)
+			atom := semfield.TranslationLoss(src, dst, semfield.Atomistic)
+			field := semfield.TranslationLoss(src, dst, semfield.FieldRelative)
+			atomErr += atom.ErrorRate()
+			fieldErr += field.ErrorRate()
+			jaccard += atom.MeanJaccard
+		}
+		n := float64(p.Trials)
+		t.AddRow("synthetic", shifts, divergence/n, atomErr/n, fieldErr/n, jaccard/n)
+	}
+	// The paper's own examples.
+	_, english, italian := semfield.DoorknobExample()
+	atom := semfield.TranslationLoss(english, italian, semfield.Atomistic)
+	field := semfield.TranslationLoss(english, italian, semfield.FieldRelative)
+	t.AddRow("doorknob→pomello (paper)", "-", semfield.Divergence(english, italian), atom.ErrorRate(), field.ErrorRate(), atom.MeanJaccard)
+
+	_, it, es, _ := semfield.AgeAdjectivesExample()
+	atom = semfield.TranslationLoss(it, es, semfield.Atomistic)
+	field = semfield.TranslationLoss(it, es, semfield.FieldRelative)
+	t.AddRow("anziano→spanish (paper)", "-", semfield.Divergence(it, es), atom.ErrorRate(), field.ErrorRate(), atom.MeanJaccard)
+	return t
+}
+
+// E5Params controls the ontology-drift retrieval experiment.
+type E5Params struct {
+	Seed              int64
+	Classes           int
+	MaxParents        int
+	InstancesPerClass int
+	Drifts            []float64
+}
+
+// DefaultE5Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE5Params() E5Params {
+	return E5Params{
+		Seed:              5,
+		Classes:           40,
+		MaxParents:        2,
+		InstancesPerClass: 25,
+		Drifts:            []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+	}
+}
+
+// E5 measures ontology-mediated retrieval quality as annotations drift away
+// from usage: for every class of a synthetic hierarchy, the instances whose
+// *usage* belongs under that class are the ground truth, and the store is
+// queried with and without ontology expansion. The paper's §4 claim is that a
+// normative ontonomy imposed on a still-moving domain stops helping and
+// starts hurting as the drift grows.
+func E5(p E5Params) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "retrieval quality vs annotation drift, with and without ontology expansion",
+		Columns: []string{"drift", "drifted instances", "expanded P", "expanded R", "expanded F1", "plain P", "plain R", "plain F1"},
+	}
+	for _, drift := range p.Drifts {
+		rng := rand.New(rand.NewSource(p.Seed))
+		corpus := workload.SyntheticCorpus(rng, workload.CorpusParams{
+			Hierarchy:         workload.HierarchyParams{Classes: p.Classes, MaxParents: p.MaxParents},
+			InstancesPerClass: p.InstancesPerClass,
+			Drift:             drift,
+		})
+		oi, err := store.NewOntologyIndex(corpus.TBox)
+		if err != nil {
+			panic(err)
+		}
+		var expanded, plain []store.RetrievalResult
+		for _, class := range corpus.Classes {
+			relevant := corpus.RelevantTo(oi, class)
+			expanded = append(expanded, store.Evaluate(store.InstancesOfExpanded(corpus.Store, oi, class), relevant))
+			plain = append(plain, store.Evaluate(store.InstancesOf(corpus.Store, class), relevant))
+		}
+		e := store.Macro(expanded)
+		pl := store.Macro(plain)
+		t.AddRow(drift, corpus.Drifted, e.Precision, e.Recall, e.F1, pl.Precision, pl.Recall, pl.F1)
+	}
+	return t
+}
+
+// E6Params controls the reader-context experiment.
+type E6Params struct {
+	Seed             int64
+	Trials           int
+	Cues             int
+	Frames           int
+	ContextStrengths []float64
+	MaxIterations    int
+}
+
+// DefaultE6Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE6Params() E6Params {
+	return E6Params{Seed: 6, Trials: 40, Cues: 12, Frames: 3, ContextStrengths: []float64{1, 1.5, 2, 4, 8}, MaxIterations: 8}
+}
+
+// E6 measures interpretation accuracy on synthetic situated texts as a
+// function of how much the reader's situation says about the intended frame.
+// Strength 1 is the "reader removed" case the paper attributes to ontology:
+// every frame equally available, nothing to fix the cues. The paper predicts
+// accuracy near zero there and rising with context strength.
+func E6(p E6Params) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "interpretation accuracy vs reader-context strength",
+		Columns: []string{"context strength", "mean accuracy", "mean ambiguity", "converged fraction"},
+	}
+	for _, strength := range p.ContextStrengths {
+		rng := rand.New(rand.NewSource(p.Seed))
+		var accuracy, ambiguity, converged float64
+		for trial := 0; trial < p.Trials; trial++ {
+			st := workload.RandomSituatedText(rng, workload.TextParams{
+				Cues:            p.Cues,
+				Frames:          p.Frames,
+				ContextStrength: strength,
+			})
+			reading := hermeneutic.Interpret(st.Text, st.Code, st.Context, p.MaxIterations)
+			accuracy += hermeneutic.Accuracy(reading, st.Intended)
+			ambiguity += reading.AmbiguityRate()
+			if reading.Converged {
+				converged++
+			}
+		}
+		n := float64(p.Trials)
+		t.AddRow(strength, accuracy/n, ambiguity/n, converged/n)
+	}
+	return t
+}

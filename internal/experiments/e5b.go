@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// E5bParams controls the vocabulary-evolution experiment.
+type E5bParams struct {
+	Seed              int64
+	Classes           int
+	MaxParents        int
+	InstancesPerClass int
+	// SplitFractions is the series of fractions of ontology classes whose
+	// usage has split into two finer categories the ontonomy does not have.
+	SplitFractions []float64
+}
+
+// DefaultE5bParams returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE5bParams() E5bParams {
+	return E5bParams{
+		Seed:              8,
+		Classes:           40,
+		MaxParents:        2,
+		InstancesPerClass: 20,
+		SplitFractions:    []float64{0, 0.2, 0.4, 0.6, 0.8},
+	}
+}
+
+// E5b operationalizes the sharper half of the paper's §4 claim: the ontonomy
+// as a *limiting factor*. Here the annotations never go stale — the problem
+// is that usage keeps evolving. A fraction of the ontology's classes split,
+// in actual usage, into two finer categories ("the discipline is vital but
+// not yet settled"); the ontonomy is normative and does not change, so
+// annotators must keep filing both new categories under the old class, and
+// queries can only be phrased in the old vocabulary.
+//
+// For every usage-level category the experiment asks the best question the
+// ontology allows (the original class, with expansion) and scores it against
+// the instances of that usage category. Expressible queries (categories that
+// still coincide with an ontology class) stay perfect; split categories can
+// never be separated from their sibling, so precision is capped. The table
+// reports the fraction of usage categories still expressible and the macro
+// retrieval quality through the fixed ontology, against the constant quality
+// of a vocabulary that tracks usage.
+func E5b(p E5bParams) *Table {
+	t := &Table{
+		ID:      "E5b",
+		Title:   "a fixed ontonomy against evolving usage categories",
+		Columns: []string{"split fraction", "usage categories", "expressible fraction", "ontology macro P", "ontology macro R", "ontology macro F1", "usage-tracking F1"},
+	}
+	for _, split := range p.SplitFractions {
+		rng := rand.New(rand.NewSource(p.Seed))
+		tb := workload.RandomHierarchyTBox(rng, workload.HierarchyParams{Classes: p.Classes, MaxParents: p.MaxParents})
+		oi, err := store.NewOntologyIndex(tb)
+		if err != nil {
+			panic(err)
+		}
+		classes := tb.DefinedNames()
+		sort.Strings(classes)
+
+		// Decide which classes' usage has split.
+		splitClass := map[string]bool{}
+		for _, class := range classes {
+			if rng.Float64() < split {
+				splitClass[class] = true
+			}
+		}
+
+		// Generate instances. Every instance is annotated with its ontology
+		// class (the only vocabulary the normative scheme allows); its usage
+		// category is either the class itself or one of the two finer
+		// categories when the class has split.
+		annotations := store.New()
+		usageOf := map[string]string{}       // instance -> usage category
+		categoryClass := map[string]string{} // usage category -> nearest ontology class
+		instancesByCategory := map[string][]string{}
+		for _, class := range classes {
+			for i := 0; i < p.InstancesPerClass; i++ {
+				inst := fmt.Sprintf("%s/item-%d", class, i)
+				category := class
+				if splitClass[class] {
+					category = fmt.Sprintf("%s/usage-%c", class, 'a'+byte(i%2))
+				}
+				if err := store.Annotate(annotations, inst, class); err != nil {
+					panic(err)
+				}
+				usageOf[inst] = category
+				categoryClass[category] = class
+				instancesByCategory[category] = append(instancesByCategory[category], inst)
+			}
+		}
+
+		categories := make([]string, 0, len(instancesByCategory))
+		for c := range instancesByCategory {
+			categories = append(categories, c)
+		}
+		sort.Strings(categories)
+
+		expressible := 0
+		var results []store.RetrievalResult
+		for _, category := range categories {
+			class := categoryClass[category]
+			if category == class {
+				expressible++
+			}
+			// The best question the fixed vocabulary allows: the nearest
+			// ontology class, expanded.
+			retrieved := store.InstancesOfExpanded(annotations, oi, class)
+			relevant := relevantToCategory(usageOf, categoryClass, oi, category, class)
+			results = append(results, store.Evaluate(retrieved, relevant))
+		}
+		agg := store.Macro(results)
+		t.AddRow(split, len(categories), float64(expressible)/float64(len(categories)),
+			agg.Precision, agg.Recall, agg.F1, 1.0)
+	}
+	return t
+}
+
+// relevantToCategory returns the ground-truth answer set of a usage-category
+// query. A split category's answer set is exactly its own instances; a
+// category that still coincides with an ontology class keeps the class
+// reading — every instance whose usage category sits under one of the class's
+// subsumees — so unsplit queries behave exactly as in E5.
+func relevantToCategory(usageOf, categoryClass map[string]string, oi *store.OntologyIndex, category, class string) []string {
+	var out []string
+	if category != class {
+		for inst, usage := range usageOf {
+			if usage == category {
+				out = append(out, inst)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	wantedClass := map[string]bool{}
+	for _, sub := range oi.Subsumees(class) {
+		wantedClass[sub] = true
+	}
+	for inst, usage := range usageOf {
+		if wantedClass[categoryClass[usage]] {
+			out = append(out, inst)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

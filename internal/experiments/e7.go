@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/hermeneutic"
+	"repro/internal/workload"
+)
+
+// E7Params controls the transmission-chain experiment.
+type E7Params struct {
+	Seed          int64
+	Trials        int
+	Cues          int
+	Frames        int
+	AuthorContext float64
+	Readers       int
+	Noise         float64
+	MaxIterations int
+}
+
+// DefaultE7Params returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE7Params() E7Params {
+	return E7Params{
+		Seed:          9,
+		Trials:        30,
+		Cues:          10,
+		Frames:        3,
+		AuthorContext: 4,
+		Readers:       12,
+		Noise:         0.5,
+		MaxIterations: 8,
+	}
+}
+
+// E7 operationalizes the paper's §3 normativism remark: meaning can be kept
+// stable across a chain of increasingly distant readers only by "constant
+// policing" that re-imposes the author's canonical context. For each position
+// in the chain the table reports the fidelity (to the author's intended
+// senses) of the reader's own situated reading, the fidelity of the policed
+// reading, and the override rate — the share of cues on which the policed
+// reading suppresses what the reader's situation would have produced. The
+// paper predicts a trade-off: without policing, fidelity decays; with it,
+// fidelity is flat but only because the reader has been removed.
+func E7(p E7Params) *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "fidelity along a chain of readers: situated vs policed readings",
+		Columns: []string{"reader position", "situated fidelity", "policed fidelity", "override rate"},
+	}
+	situated := make([]float64, p.Readers)
+	policed := make([]float64, p.Readers)
+	override := make([]float64, p.Readers)
+	rng := rand.New(rand.NewSource(p.Seed))
+	for trial := 0; trial < p.Trials; trial++ {
+		st := workload.RandomSituatedText(rng, workload.TextParams{
+			Cues:            p.Cues,
+			Frames:          p.Frames,
+			ContextStrength: p.AuthorContext,
+		})
+		res, err := hermeneutic.TransmissionChain(rng, st.Text, st.Code, st.Context, st.Intended, hermeneutic.ChainParams{
+			Readers:       p.Readers,
+			Noise:         p.Noise,
+			MaxIterations: p.MaxIterations,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for i, o := range res.Outcomes {
+			situated[i] += o.SituatedFidelity
+			policed[i] += o.PolicedFidelity
+			override[i] += o.OverrideRate
+		}
+	}
+	n := float64(p.Trials)
+	for i := 0; i < p.Readers; i++ {
+		t.AddRow(i+1, situated[i]/n, policed[i]/n, override[i]/n)
+	}
+	return t
+}

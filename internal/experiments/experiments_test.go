@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse reads a numeric cell.
+func parse(t *testing.T, tbl *Table, row int, col string) float64 {
+	t.Helper()
+	cell := tbl.Cell(row, col)
+	if cell == "" {
+		t.Fatalf("missing cell (%d, %s) in %s", row, col, tbl.ID)
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell (%d, %s) = %q is not numeric: %v", row, col, cell, err)
+	}
+	return v
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "test", Columns: []string{"a", "b"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "y")
+	if got := tbl.Cell(0, "b"); got != "2.500" {
+		t.Errorf("Cell = %q, want 2.500", got)
+	}
+	if got := tbl.Cell(5, "a"); got != "" {
+		t.Errorf("out-of-range Cell = %q, want empty", got)
+	}
+	if got := tbl.Cell(0, "missing"); got != "" {
+		t.Errorf("missing column Cell = %q, want empty", got)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "X — test") || !strings.Contains(s, "2.500") {
+		t.Errorf("String rendering missing content:\n%s", s)
+	}
+}
+
+func TestAllAndByID(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("All() = %d experiments, want 9", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %+v is incomplete", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "A1"} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing from All()", id)
+		}
+	}
+	if _, ok := ByID("e5"); !ok {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID found a nonexistent experiment")
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	p := DefaultE1Params()
+	p.PerFamily = 30 // keep the unit test fast; the default is used by the bench
+	tbl := E1(p)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("E1 rows = %d, want 3 definitions", len(tbl.Rows))
+	}
+	// Row order follows AllDefinitions: functional, approximation, structural.
+	functional := parse(t, tbl, 0, "discrimination")
+	approximation := parse(t, tbl, 1, "discrimination")
+	structural := parse(t, tbl, 2, "discrimination")
+	if functional > 0.05 {
+		t.Errorf("functional discrimination = %f, want ≈ 0", functional)
+	}
+	if approximation > 0.2 {
+		t.Errorf("approximation discrimination = %f, want near 0", approximation)
+	}
+	if structural < 0.99 {
+		t.Errorf("structural discrimination = %f, want 1", structural)
+	}
+	// The functional definition accepts grocery lists wholesale — the
+	// paper's complaint verbatim.
+	if rate := parse(t, tbl, 0, "grocery-list"); rate != 1 {
+		t.Errorf("functional acceptance of grocery lists = %f, want 1", rate)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	p := DefaultE2Params()
+	p.Definitions = 30
+	p.Vocabularies = []int{16, 64}
+	p.Sizes = []int{2, 4, 8}
+	tbl := E2(p)
+	if len(tbl.Rows) != len(p.Vocabularies)*len(p.Sizes) {
+		t.Fatalf("E2 rows = %d, want %d", len(tbl.Rows), len(p.Vocabularies)*len(p.Sizes))
+	}
+	// Collisions at k=2 should exceed collisions at k=8 for the same
+	// vocabulary: more structure separates more definitions.
+	for v := range p.Vocabularies {
+		base := v * len(p.Sizes)
+		small := parse(t, tbl, base, "collision rate")
+		large := parse(t, tbl, base+len(p.Sizes)-1, "collision rate")
+		if small < large {
+			t.Errorf("vocabulary row %d: collision rate should not grow with definition size (k=2: %f, k=8: %f)", v, small, large)
+		}
+	}
+	// And at the smallest size collisions must actually occur, otherwise the
+	// experiment shows nothing.
+	if first := parse(t, tbl, 0, "collision rate"); first == 0 {
+		t.Error("E2 found no collisions at the smallest definition size; the workload is mis-tuned")
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	p := DefaultE3Params()
+	p.Definitions = 25
+	p.Vocabularies = []int{8, 32}
+	p.MaxDepth = 3
+	tbl := E3(p)
+	rowsPerVocab := p.MaxDepth + 1
+	if len(tbl.Rows) != len(p.Vocabularies)*rowsPerVocab {
+		t.Fatalf("E3 rows = %d, want %d", len(tbl.Rows), len(p.Vocabularies)*rowsPerVocab)
+	}
+	for v := range p.Vocabularies {
+		base := v * rowsPerVocab
+		// Unfolded size grows monotonically with depth.
+		for d := 1; d <= p.MaxDepth; d++ {
+			prev := parse(t, tbl, base+d-1, "mean unfolded size")
+			cur := parse(t, tbl, base+d, "mean unfolded size")
+			if cur < prev {
+				t.Errorf("vocab block %d: mean unfolded size decreased from depth %d to %d (%f -> %f)", v, d-1, d, prev, cur)
+			}
+		}
+		// Collisions never increase with depth.
+		for d := 1; d <= p.MaxDepth; d++ {
+			prev := parse(t, tbl, base+d-1, "colliding pairs")
+			cur := parse(t, tbl, base+d, "colliding pairs")
+			if cur > prev {
+				t.Errorf("vocab block %d: collisions increased with depth (%f -> %f)", v, prev, cur)
+			}
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	p := DefaultE4Params()
+	p.Trials = 10
+	p.Cells = 48
+	tbl := E4(p)
+	if len(tbl.Rows) != len(p.Shifts)+2 {
+		t.Fatalf("E4 rows = %d, want %d synthetic rows plus 2 paper rows", len(tbl.Rows), len(p.Shifts)+2)
+	}
+	// Zero divergence, zero loss; loss grows with divergence.
+	if loss := parse(t, tbl, 0, "atomistic error"); loss != 0 {
+		t.Errorf("atomistic error with 0 shifts = %f, want 0", loss)
+	}
+	first := parse(t, tbl, 1, "atomistic error")
+	last := parse(t, tbl, len(p.Shifts)-1, "atomistic error")
+	if last <= first {
+		t.Errorf("atomistic error should grow with divergence: %f at 1 shift, %f at %d shifts", first, last, p.Shifts[len(p.Shifts)-1])
+	}
+	for row := 0; row < len(tbl.Rows); row++ {
+		if fieldErr := parse(t, tbl, row, "field-relative error"); fieldErr != 0 {
+			t.Errorf("row %d: field-relative error = %f, want 0", row, fieldErr)
+		}
+	}
+	// The paper's doorknob row shows a strictly positive atomistic loss.
+	if paperLoss := parse(t, tbl, len(p.Shifts), "atomistic error"); paperLoss <= 0 {
+		t.Errorf("doorknob atomistic error = %f, want > 0", paperLoss)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	p := DefaultE5Params()
+	p.Classes = 15
+	p.InstancesPerClass = 10
+	p.Drifts = []float64{0, 0.25, 0.5}
+	tbl := E5(p)
+	if len(tbl.Rows) != len(p.Drifts) {
+		t.Fatalf("E5 rows = %d, want %d", len(tbl.Rows), len(p.Drifts))
+	}
+	// With no drift the ontology-expanded retrieval is perfect and beats the
+	// plain one on recall.
+	if f1 := parse(t, tbl, 0, "expanded F1"); f1 != 1 {
+		t.Errorf("expanded F1 at drift 0 = %f, want 1", f1)
+	}
+	if plainR, expandedR := parse(t, tbl, 0, "plain R"), parse(t, tbl, 0, "expanded R"); plainR >= expandedR {
+		t.Errorf("at drift 0 expansion should improve recall: plain %f, expanded %f", plainR, expandedR)
+	}
+	// Quality degrades monotonically with drift.
+	for row := 1; row < len(p.Drifts); row++ {
+		prev := parse(t, tbl, row-1, "expanded F1")
+		cur := parse(t, tbl, row, "expanded F1")
+		if cur > prev {
+			t.Errorf("expanded F1 increased with drift (%f -> %f)", prev, cur)
+		}
+	}
+	if drifted := parse(t, tbl, 2, "drifted instances"); drifted == 0 {
+		t.Error("at 50% drift some instances must be drifted")
+	}
+}
+
+func TestE5bShape(t *testing.T) {
+	p := DefaultE5bParams()
+	p.Classes = 15
+	p.InstancesPerClass = 10
+	p.SplitFractions = []float64{0, 0.5, 1}
+	tbl := E5b(p)
+	if len(tbl.Rows) != len(p.SplitFractions) {
+		t.Fatalf("E5b rows = %d, want %d", len(tbl.Rows), len(p.SplitFractions))
+	}
+	// With no splits the fixed vocabulary expresses every usage category and
+	// retrieval through it is perfect.
+	if expr := parse(t, tbl, 0, "expressible fraction"); expr != 1 {
+		t.Errorf("expressible fraction with no splits = %f, want 1", expr)
+	}
+	if f1 := parse(t, tbl, 0, "ontology macro F1"); f1 != 1 {
+		t.Errorf("ontology F1 with no splits = %f, want 1", f1)
+	}
+	// As usage splits, both the expressible fraction and the retrieval
+	// quality through the fixed ontology fall.
+	for row := 1; row < len(tbl.Rows); row++ {
+		if parse(t, tbl, row, "expressible fraction") > parse(t, tbl, row-1, "expressible fraction") {
+			t.Errorf("expressible fraction increased at row %d", row)
+		}
+		if parse(t, tbl, row, "ontology macro F1") > parse(t, tbl, row-1, "ontology macro F1") {
+			t.Errorf("ontology F1 increased at row %d", row)
+		}
+	}
+	last := len(tbl.Rows) - 1
+	if f1 := parse(t, tbl, last, "ontology macro F1"); f1 >= 0.9 {
+		t.Errorf("with every class split, ontology-mediated F1 = %f; it should be visibly capped", f1)
+	}
+	// The usage-tracking column is the constant oracle.
+	for row := range tbl.Rows {
+		if parse(t, tbl, row, "usage-tracking F1") != 1 {
+			t.Errorf("usage-tracking F1 at row %d should be 1", row)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	p := DefaultE6Params()
+	p.Trials = 10
+	p.Cues = 8
+	tbl := E6(p)
+	if len(tbl.Rows) != len(p.ContextStrengths) {
+		t.Fatalf("E6 rows = %d, want %d", len(tbl.Rows), len(p.ContextStrengths))
+	}
+	// Strength 1 is the reader-removed case: nothing is fixed.
+	if acc := parse(t, tbl, 0, "mean accuracy"); acc != 0 {
+		t.Errorf("accuracy with no context = %f, want 0", acc)
+	}
+	if amb := parse(t, tbl, 0, "mean ambiguity"); amb != 1 {
+		t.Errorf("ambiguity with no context = %f, want 1", amb)
+	}
+	// A rich situation recovers the intended reading.
+	last := len(p.ContextStrengths) - 1
+	if acc := parse(t, tbl, last, "mean accuracy"); acc < 0.99 {
+		t.Errorf("accuracy with rich context = %f, want ≈ 1", acc)
+	}
+	// Accuracy is monotone in context strength.
+	for row := 1; row < len(tbl.Rows); row++ {
+		if parse(t, tbl, row, "mean accuracy") < parse(t, tbl, row-1, "mean accuracy") {
+			t.Errorf("accuracy decreased from row %d to %d", row-1, row)
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	p := DefaultE7Params()
+	p.Trials = 15
+	p.Readers = 8
+	p.Noise = 0.6
+	tbl := E7(p)
+	if len(tbl.Rows) != p.Readers {
+		t.Fatalf("E7 rows = %d, want %d", len(tbl.Rows), p.Readers)
+	}
+	// The policed reading never loses the author's intention.
+	for row := range tbl.Rows {
+		if f := parse(t, tbl, row, "policed fidelity"); f != 1 {
+			t.Errorf("policed fidelity at position %d = %f, want 1", row+1, f)
+		}
+	}
+	// The situated reading decays along the chain, and the policed regime
+	// pays for its stability with a growing override rate.
+	first := parse(t, tbl, 0, "situated fidelity")
+	last := parse(t, tbl, len(tbl.Rows)-1, "situated fidelity")
+	if last >= first {
+		t.Errorf("situated fidelity should decay along the chain: position 1 %f, position %d %f", first, p.Readers, last)
+	}
+	if parse(t, tbl, len(tbl.Rows)-1, "override rate") <= parse(t, tbl, 0, "override rate") {
+		t.Error("override rate should grow along the chain")
+	}
+	// At every position the override rate mirrors the gap between the two
+	// fidelities: the normative regime suppresses exactly the readings the
+	// situated reader would have gotten "wrong" by the author's lights.
+	for row := range tbl.Rows {
+		gap := parse(t, tbl, row, "policed fidelity") - parse(t, tbl, row, "situated fidelity")
+		if gap < 0 {
+			t.Errorf("position %d: situated fidelity exceeds policed fidelity", row+1)
+		}
+	}
+}
+
+func TestA1Shape(t *testing.T) {
+	p := DefaultA1Params()
+	p.Sizes = []int{60, 120}
+	p.StructuralQueries = 40
+	p.TableauQueries = 5
+	tbl := A1(p)
+	if len(tbl.Rows) != len(p.Sizes)*4 {
+		t.Fatalf("A1 rows = %d, want %d (sizes × shapes × procedures)", len(tbl.Rows), len(p.Sizes)*4)
+	}
+	for row := range tbl.Rows {
+		if mean := parse(t, tbl, row, "mean µs/query"); mean < 0 {
+			t.Errorf("row %d: negative mean time", row)
+		}
+		if q := parse(t, tbl, row, "queries"); q <= 0 {
+			t.Errorf("row %d: no queries timed", row)
+		}
+	}
+	// Both shapes and both procedures appear.
+	var shapes, procedures = map[string]bool{}, map[string]bool{}
+	for row := range tbl.Rows {
+		shapes[tbl.Cell(row, "shape")] = true
+		procedures[tbl.Cell(row, "procedure")] = true
+	}
+	if !shapes["tree"] || !shapes["dag"] {
+		t.Errorf("shapes covered = %v, want tree and dag", shapes)
+	}
+	if !procedures["structural"] || !procedures["tableau"] {
+		t.Errorf("procedures covered = %v, want structural and tableau", procedures)
+	}
+}

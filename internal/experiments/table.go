@@ -1,0 +1,123 @@
+// Package experiments implements the synthetic experiments E1–E6 and the
+// ablation A1 described in DESIGN.md. The paper under reproduction is a
+// position essay with no evaluation section; each experiment operationalizes
+// one of its qualitative claims and produces the table or series that an
+// evaluation section would have contained. EXPERIMENTS.md records the claim,
+// the expected shape, and the measured outcome for each.
+//
+// All experiments are deterministic: they seed their own generators and never
+// read the clock except where a column explicitly reports wall-time costs
+// (A1).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, a header row, and data
+// rows. It is the common currency between the experiment functions, the
+// bench harness in the repository root, and cmd/benchrunner.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting every cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			w := len(cell)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Cell returns the cell at (row, column name), or "" when out of range.
+func (t *Table) Cell(row int, column string) string {
+	if row < 0 || row >= len(t.Rows) {
+		return ""
+	}
+	for i, c := range t.Columns {
+		if c == column && i < len(t.Rows[row]) {
+			return t.Rows[row][i]
+		}
+	}
+	return ""
+}
+
+// Experiment couples an experiment id with the function that regenerates its
+// table.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func() *Table
+}
+
+// All returns every experiment in report order, configured with its default
+// parameters (the ones EXPERIMENTS.md records).
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Description: "definitional discrimination across artifact families", Run: func() *Table { return E1(DefaultE1Params()) }},
+		{ID: "E2", Description: "structural-meaning collision rate vs definition size", Run: func() *Table { return E2(DefaultE2Params()) }},
+		{ID: "E3", Description: "collisions remaining vs unfolding depth (differentiation does not terminate)", Run: func() *Table { return E3(DefaultE3Params()) }},
+		{ID: "E4", Description: "atomistic vs field-relative translation loss vs divergence", Run: func() *Table { return E4(DefaultE4Params()) }},
+		{ID: "E5", Description: "ontology-mediated retrieval quality vs annotation drift", Run: func() *Table { return E5(DefaultE5Params()) }},
+		{ID: "E5b", Description: "a fixed ontonomy against evolving usage categories (the limiting-factor reading of §4)", Run: func() *Table { return E5b(DefaultE5bParams()) }},
+		{ID: "E6", Description: "interpretation accuracy with and without reader context", Run: func() *Table { return E6(DefaultE6Params()) }},
+		{ID: "E7", Description: "fidelity along a chain of readers: situated vs policed readings", Run: func() *Table { return E7(DefaultE7Params()) }},
+		{ID: "A1", Description: "ablation: subsumption cost, tree vs DAG, structural vs tableau", Run: func() *Table { return A1(DefaultA1Params()) }},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,440 @@
+// Package grammar implements context-free grammars exactly as the paper's §2
+// uses them: as the benchmark of what a *structural* definition looks like in
+// computing science. A grammar is the classical 4-tuple (N, T, S, P); given an
+// arbitrary candidate object one can decide, by structural inspection alone
+// and with no reference to intended use, whether it is a grammar, and if it is
+// one, what language it recognizes.
+//
+// The package provides construction and validation of grammars, derivation of
+// sentential forms, conversion to Chomsky normal form, and CYK membership
+// testing. It is used directly by the definitional-adequacy experiment (E1)
+// and by the workload generators.
+package grammar
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is a terminal or non-terminal symbol. Symbols are compared by name;
+// the same name must not be used both as a terminal and a non-terminal within
+// one grammar.
+type Symbol string
+
+// Production is a rewrite rule Head → Body. An empty Body denotes an
+// ε-production.
+type Production struct {
+	Head Symbol
+	Body []Symbol
+}
+
+// String renders the production in the conventional arrow notation.
+func (p Production) String() string {
+	if len(p.Body) == 0 {
+		return fmt.Sprintf("%s → ε", p.Head)
+	}
+	parts := make([]string, len(p.Body))
+	for i, s := range p.Body {
+		parts[i] = string(s)
+	}
+	return fmt.Sprintf("%s → %s", p.Head, strings.Join(parts, " "))
+}
+
+// Grammar is a context-free grammar (N, T, S, P). Use New to construct a
+// validated instance.
+type Grammar struct {
+	nonTerminals map[Symbol]bool
+	terminals    map[Symbol]bool
+	start        Symbol
+	productions  []Production
+}
+
+// New builds a grammar from its four components and validates the structural
+// conditions of the definition: N and T are disjoint, S ∈ N, every production
+// head is in N, and every body symbol is in N ∪ T.
+func New(nonTerminals, terminals []Symbol, start Symbol, productions []Production) (*Grammar, error) {
+	g := &Grammar{
+		nonTerminals: make(map[Symbol]bool, len(nonTerminals)),
+		terminals:    make(map[Symbol]bool, len(terminals)),
+		start:        start,
+	}
+	for _, n := range nonTerminals {
+		g.nonTerminals[n] = true
+	}
+	for _, t := range terminals {
+		if g.nonTerminals[t] {
+			return nil, fmt.Errorf("grammar: symbol %q appears in both N and T", t)
+		}
+		g.terminals[t] = true
+	}
+	if !g.nonTerminals[start] {
+		return nil, fmt.Errorf("grammar: start symbol %q is not a non-terminal", start)
+	}
+	for _, p := range productions {
+		if !g.nonTerminals[p.Head] {
+			return nil, fmt.Errorf("grammar: production head %q is not a non-terminal", p.Head)
+		}
+		for _, s := range p.Body {
+			if !g.nonTerminals[s] && !g.terminals[s] {
+				return nil, fmt.Errorf("grammar: production %v uses undeclared symbol %q", p, s)
+			}
+		}
+		body := make([]Symbol, len(p.Body))
+		copy(body, p.Body)
+		g.productions = append(g.productions, Production{Head: p.Head, Body: body})
+	}
+	return g, nil
+}
+
+// Start returns the start symbol.
+func (g *Grammar) Start() Symbol { return g.start }
+
+// NonTerminals returns the non-terminal alphabet in sorted order.
+func (g *Grammar) NonTerminals() []Symbol { return sortedSymbols(g.nonTerminals) }
+
+// Terminals returns the terminal alphabet in sorted order.
+func (g *Grammar) Terminals() []Symbol { return sortedSymbols(g.terminals) }
+
+// Productions returns a copy of the production list.
+func (g *Grammar) Productions() []Production {
+	out := make([]Production, len(g.productions))
+	copy(out, g.productions)
+	return out
+}
+
+// IsTerminal reports whether s is a terminal of the grammar.
+func (g *Grammar) IsTerminal(s Symbol) bool { return g.terminals[s] }
+
+// IsNonTerminal reports whether s is a non-terminal of the grammar.
+func (g *Grammar) IsNonTerminal(s Symbol) bool { return g.nonTerminals[s] }
+
+func sortedSymbols(m map[Symbol]bool) []Symbol {
+	out := make([]Symbol, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProductionsFor returns the productions whose head is n.
+func (g *Grammar) ProductionsFor(n Symbol) []Production {
+	var out []Production
+	for _, p := range g.productions {
+		if p.Head == n {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Derive applies productions leftmost-first for at most maxSteps steps
+// starting from the start symbol, and returns the resulting sentential form.
+// choose selects which production to apply among the candidates for the
+// leftmost non-terminal; a nil choose always picks the first. Derive is used
+// by the workload generators to sample strings of the language.
+func (g *Grammar) Derive(maxSteps int, choose func(candidates []Production) int) []Symbol {
+	form := []Symbol{g.start}
+	for step := 0; step < maxSteps; step++ {
+		idx := -1
+		for i, s := range form {
+			if g.nonTerminals[s] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return form
+		}
+		cands := g.ProductionsFor(form[idx])
+		if len(cands) == 0 {
+			return form
+		}
+		pick := 0
+		if choose != nil {
+			pick = choose(cands) % len(cands)
+			if pick < 0 {
+				pick += len(cands)
+			}
+		}
+		body := cands[pick].Body
+		next := make([]Symbol, 0, len(form)-1+len(body))
+		next = append(next, form[:idx]...)
+		next = append(next, body...)
+		next = append(next, form[idx+1:]...)
+		form = next
+	}
+	return form
+}
+
+// Sentence reports whether the sentential form consists only of terminals.
+func (g *Grammar) Sentence(form []Symbol) bool {
+	for _, s := range form {
+		if !g.terminals[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNotRecognized is returned by Parse when the input is not in the language.
+var ErrNotRecognized = errors.New("grammar: string not in language")
+
+// Recognize reports whether the sequence of terminal symbols belongs to the
+// language of the grammar, using CYK over the Chomsky-normal-form conversion.
+// The empty string is recognized iff the start symbol is nullable.
+func (g *Grammar) Recognize(input []Symbol) bool {
+	for _, s := range input {
+		if !g.terminals[s] {
+			return false
+		}
+	}
+	return g.ToCNF().Accepts(input)
+}
+
+// cnfGrammar is an internal Chomsky-normal-form representation: unit and
+// ε-productions eliminated, every production either A→a or A→BC.
+type cnfGrammar struct {
+	terminalRules map[Symbol][]Symbol    // a → heads A with A→a
+	binaryRules   map[[2]Symbol][]Symbol // (B,C) → heads A with A→BC
+	start         Symbol
+	startNullable bool
+}
+
+// ToCNF converts the grammar to Chomsky normal form. The conversion is
+// deterministic so that repeated calls produce identical rule sets (useful for
+// canonicalization in experiment E1).
+func (g *Grammar) ToCNF() *CNF {
+	c := &cnfGrammar{
+		terminalRules: map[Symbol][]Symbol{},
+		binaryRules:   map[[2]Symbol][]Symbol{},
+		start:         g.start,
+	}
+
+	// Step 1: wrap terminals occurring in long bodies and break long bodies
+	// into binary chains, generating fresh symbols deterministically.
+	type rule struct {
+		head Symbol
+		body []Symbol
+	}
+	var rules []rule
+	fresh := 0
+	freshSym := func(prefix string) Symbol {
+		fresh++
+		return Symbol(fmt.Sprintf("_%s%d", prefix, fresh))
+	}
+	termWrap := map[Symbol]Symbol{}
+	wrap := func(t Symbol) Symbol {
+		if w, ok := termWrap[t]; ok {
+			return w
+		}
+		w := freshSym("T")
+		termWrap[t] = w
+		rules = append(rules, rule{head: w, body: []Symbol{t}})
+		return w
+	}
+	for _, p := range g.productions {
+		body := make([]Symbol, len(p.Body))
+		copy(body, p.Body)
+		if len(body) >= 2 {
+			for i, s := range body {
+				if g.terminals[s] {
+					body[i] = wrap(s)
+				}
+			}
+		}
+		for len(body) > 2 {
+			n := freshSym("B")
+			rules = append(rules, rule{head: n, body: []Symbol{body[len(body)-2], body[len(body)-1]}})
+			body = append(body[:len(body)-2], n)
+		}
+		rules = append(rules, rule{head: p.Head, body: body})
+	}
+
+	// Step 2: compute nullable symbols and eliminate ε-productions.
+	nullable := map[Symbol]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range rules {
+			if nullable[r.head] {
+				continue
+			}
+			allNull := true
+			for _, s := range r.body {
+				if !nullable[s] {
+					allNull = false
+					break
+				}
+			}
+			if allNull { // includes the empty body case
+				nullable[r.head] = true
+				changed = true
+			}
+		}
+	}
+	c.startNullable = nullable[g.start]
+	var noEps []rule
+	for _, r := range rules {
+		switch len(r.body) {
+		case 0:
+			// dropped
+		case 1:
+			noEps = append(noEps, r)
+		case 2:
+			noEps = append(noEps, r)
+			if nullable[r.body[0]] && r.body[1] != r.head {
+				noEps = append(noEps, rule{head: r.head, body: []Symbol{r.body[1]}})
+			}
+			if nullable[r.body[1]] && r.body[0] != r.head {
+				noEps = append(noEps, rule{head: r.head, body: []Symbol{r.body[0]}})
+			}
+		}
+	}
+
+	// Step 3: eliminate unit productions A→B by transitive closure.
+	unitClosure := map[Symbol]map[Symbol]bool{}
+	addUnit := func(a, b Symbol) {
+		if unitClosure[a] == nil {
+			unitClosure[a] = map[Symbol]bool{a: true}
+		}
+		unitClosure[a][b] = true
+	}
+	heads := map[Symbol]bool{}
+	for _, r := range noEps {
+		heads[r.head] = true
+	}
+	for h := range heads {
+		addUnit(h, h)
+	}
+	changed = true
+	for changed {
+		changed = false
+		for _, r := range noEps {
+			if len(r.body) == 1 && !g.terminals[r.body[0]] && r.body[0] != r.head {
+				for h := range heads {
+					if unitClosure[h][r.head] && !unitClosure[h][r.body[0]] {
+						addUnit(h, r.body[0])
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for h := range heads {
+		for via := range unitClosure[h] {
+			for _, r := range noEps {
+				if r.head != via {
+					continue
+				}
+				if len(r.body) == 1 && g.terminals[r.body[0]] {
+					c.terminalRules[r.body[0]] = appendUnique(c.terminalRules[r.body[0]], h)
+				}
+				if len(r.body) == 2 {
+					key := [2]Symbol{r.body[0], r.body[1]}
+					c.binaryRules[key] = appendUnique(c.binaryRules[key], h)
+				}
+			}
+		}
+	}
+	return &CNF{g: c}
+}
+
+func appendUnique(xs []Symbol, s Symbol) []Symbol {
+	for _, x := range xs {
+		if x == s {
+			return xs
+		}
+	}
+	return append(xs, s)
+}
+
+// CNF is a grammar converted to Chomsky normal form, supporting membership
+// queries via the CYK algorithm.
+type CNF struct {
+	g *cnfGrammar
+}
+
+// Accepts reports whether the terminal string is in the language.
+func (c *CNF) Accepts(input []Symbol) bool {
+	if len(input) == 0 {
+		return c.g.startNullable
+	}
+	return c.g.cyk(input)
+}
+
+// RuleCount returns the number of CNF rules (terminal plus binary), a measure
+// of definition size used by experiment E1.
+func (c *CNF) RuleCount() int {
+	n := 0
+	for _, hs := range c.g.terminalRules {
+		n += len(hs)
+	}
+	for _, hs := range c.g.binaryRules {
+		n += len(hs)
+	}
+	return n
+}
+
+func (c *cnfGrammar) cyk(input []Symbol) bool {
+	n := len(input)
+	// table[i][l] = set of heads deriving input[i:i+l+1]
+	table := make([]map[Symbol]bool, n*n)
+	at := func(i, l int) map[Symbol]bool { return table[i*n+l] }
+	set := func(i, l int, m map[Symbol]bool) { table[i*n+l] = m }
+	for i := 0; i < n; i++ {
+		m := map[Symbol]bool{}
+		for _, h := range c.terminalRules[input[i]] {
+			m[h] = true
+		}
+		set(i, 0, m)
+	}
+	for l := 1; l < n; l++ {
+		for i := 0; i+l < n; i++ {
+			m := map[Symbol]bool{}
+			for split := 0; split < l; split++ {
+				left := at(i, split)
+				right := at(i+split+1, l-split-1)
+				if len(left) == 0 || len(right) == 0 {
+					continue
+				}
+				for key, heads := range c.binaryRules {
+					if left[key[0]] && right[key[1]] {
+						for _, h := range heads {
+							m[h] = true
+						}
+					}
+				}
+			}
+			set(i, l, m)
+		}
+	}
+	return at(0, n-1)[c.start]
+}
+
+// Describe returns a human-readable multi-line description of the grammar in
+// the 4-tuple presentation.
+func (g *Grammar) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N = %v\n", g.NonTerminals())
+	fmt.Fprintf(&b, "T = %v\n", g.Terminals())
+	fmt.Fprintf(&b, "S = %s\n", g.start)
+	b.WriteString("P =\n")
+	for _, p := range g.productions {
+		fmt.Fprintf(&b, "  %s\n", p)
+	}
+	return b.String()
+}
+
+// StructuralCheck inspects an arbitrary candidate 4-tuple and reports whether
+// it satisfies the structural definition of a grammar, returning the first
+// violation as an error. It is the executable version of the paper's point
+// that "given an arbitrary string of symbols, a definition should allow one to
+// determine whether the string is a formal grammar or not".
+func StructuralCheck(nonTerminals, terminals []Symbol, start Symbol, productions []Production) error {
+	_, err := New(nonTerminals, terminals, start, productions)
+	return err
+}

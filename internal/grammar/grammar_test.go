@@ -1,0 +1,277 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// balanced returns the grammar of balanced parentheses:
+//
+//	S → ( S ) S | ε
+func balanced(t *testing.T) *Grammar {
+	t.Helper()
+	g, err := New(
+		[]Symbol{"S"},
+		[]Symbol{"(", ")"},
+		"S",
+		[]Production{
+			{Head: "S", Body: []Symbol{"(", "S", ")", "S"}},
+			{Head: "S", Body: nil},
+		},
+	)
+	if err != nil {
+		t.Fatalf("building balanced grammar: %v", err)
+	}
+	return g
+}
+
+// anbn returns the grammar of a^n b^n, n ≥ 1.
+func anbn(t *testing.T) *Grammar {
+	t.Helper()
+	g, err := New(
+		[]Symbol{"S"},
+		[]Symbol{"a", "b"},
+		"S",
+		[]Production{
+			{Head: "S", Body: []Symbol{"a", "S", "b"}},
+			{Head: "S", Body: []Symbol{"a", "b"}},
+		},
+	)
+	if err != nil {
+		t.Fatalf("building a^n b^n grammar: %v", err)
+	}
+	return g
+}
+
+func toSymbols(s string) []Symbol {
+	out := make([]Symbol, 0, len(s))
+	for _, r := range s {
+		out = append(out, Symbol(string(r)))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    []Symbol
+		t    []Symbol
+		s    Symbol
+		p    []Production
+	}{
+		{"overlapping alphabets", []Symbol{"S"}, []Symbol{"S"}, "S", nil},
+		{"start not nonterminal", []Symbol{"S"}, []Symbol{"a"}, "a", nil},
+		{"head not nonterminal", []Symbol{"S"}, []Symbol{"a"}, "S", []Production{{Head: "a", Body: []Symbol{"a"}}}},
+		{"undeclared body symbol", []Symbol{"S"}, []Symbol{"a"}, "S", []Production{{Head: "S", Body: []Symbol{"z"}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.n, c.t, c.s, c.p); err == nil {
+				t.Errorf("expected structural violation for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestStructuralCheckAcceptsValid(t *testing.T) {
+	err := StructuralCheck(
+		[]Symbol{"S", "A"},
+		[]Symbol{"a", "b"},
+		"S",
+		[]Production{{Head: "S", Body: []Symbol{"A", "b"}}, {Head: "A", Body: []Symbol{"a"}}},
+	)
+	if err != nil {
+		t.Errorf("valid 4-tuple rejected: %v", err)
+	}
+}
+
+func TestRecognizeAnBn(t *testing.T) {
+	g := anbn(t)
+	accept := []string{"ab", "aabb", "aaabbb", "aaaabbbb"}
+	reject := []string{"", "a", "b", "ba", "aab", "abb", "abab", "aabbb"}
+	for _, s := range accept {
+		if !g.Recognize(toSymbols(s)) {
+			t.Errorf("should accept %q", s)
+		}
+	}
+	for _, s := range reject {
+		if g.Recognize(toSymbols(s)) {
+			t.Errorf("should reject %q", s)
+		}
+	}
+}
+
+func TestRecognizeBalanced(t *testing.T) {
+	g := balanced(t)
+	accept := []string{"", "()", "()()", "(())", "(()())()"}
+	reject := []string{"(", ")", ")(", "(()", "())("}
+	for _, s := range accept {
+		if !g.Recognize(toSymbols(s)) {
+			t.Errorf("should accept %q", s)
+		}
+	}
+	for _, s := range reject {
+		if g.Recognize(toSymbols(s)) {
+			t.Errorf("should reject %q", s)
+		}
+	}
+}
+
+func TestRecognizeRejectsUnknownTerminal(t *testing.T) {
+	g := anbn(t)
+	if g.Recognize(toSymbols("axb")) {
+		t.Error("string with undeclared terminal must be rejected")
+	}
+}
+
+func TestDeriveProducesSentence(t *testing.T) {
+	g := anbn(t)
+	r := rand.New(rand.NewSource(7))
+	form := g.Derive(50, func(c []Production) int { return r.Intn(len(c)) })
+	if !g.Sentence(form) {
+		t.Fatalf("derivation did not terminate in a sentence: %v", form)
+	}
+	if !g.Recognize(form) {
+		t.Errorf("derived sentence %v not recognized by its own grammar", form)
+	}
+}
+
+func TestDeriveDefaultChooser(t *testing.T) {
+	g := anbn(t)
+	// The default chooser always picks the first production, which recurses;
+	// with a small budget the form is still unfinished.
+	form := g.Derive(3, nil)
+	if g.Sentence(form) {
+		t.Errorf("expected unfinished sentential form, got sentence %v", form)
+	}
+}
+
+func TestProductionString(t *testing.T) {
+	p := Production{Head: "S", Body: []Symbol{"a", "S"}}
+	if got := p.String(); got != "S → a S" {
+		t.Errorf("String() = %q", got)
+	}
+	eps := Production{Head: "S"}
+	if got := eps.String(); got != "S → ε" {
+		t.Errorf("epsilon String() = %q", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := anbn(t)
+	if g.Start() != "S" {
+		t.Errorf("Start = %q", g.Start())
+	}
+	if !g.IsTerminal("a") || g.IsTerminal("S") {
+		t.Error("IsTerminal misclassifies")
+	}
+	if !g.IsNonTerminal("S") || g.IsNonTerminal("a") {
+		t.Error("IsNonTerminal misclassifies")
+	}
+	if got := len(g.Productions()); got != 2 {
+		t.Errorf("Productions() len = %d, want 2", got)
+	}
+	if got := len(g.ProductionsFor("S")); got != 2 {
+		t.Errorf("ProductionsFor(S) len = %d, want 2", got)
+	}
+	if g.Describe() == "" {
+		t.Error("Describe should not be empty")
+	}
+}
+
+func TestCNFRuleCountStable(t *testing.T) {
+	g := balanced(t)
+	a := g.ToCNF().RuleCount()
+	b := g.ToCNF().RuleCount()
+	if a != b || a == 0 {
+		t.Errorf("CNF conversion not deterministic or empty: %d vs %d", a, b)
+	}
+}
+
+func TestCNFEmptyString(t *testing.T) {
+	g := balanced(t)
+	if !g.ToCNF().Accepts(nil) {
+		t.Error("balanced grammar accepts the empty string")
+	}
+	h := anbn(t)
+	if h.ToCNF().Accepts(nil) {
+		t.Error("a^n b^n (n≥1) rejects the empty string")
+	}
+}
+
+// referenceBalanced checks balanced parentheses directly, as an oracle.
+func referenceBalanced(s string) bool {
+	depth := 0
+	for _, r := range s {
+		if r == '(' {
+			depth++
+		} else {
+			depth--
+		}
+		if depth < 0 {
+			return false
+		}
+	}
+	return depth == 0
+}
+
+func TestPropertyCYKMatchesOracle(t *testing.T) {
+	g := balanced(t)
+	cnf := g.ToCNF()
+	f := func(bits uint16, ln uint8) bool {
+		n := int(ln % 12)
+		s := make([]byte, n)
+		for i := 0; i < n; i++ {
+			if bits&(1<<i) != 0 {
+				s[i] = '('
+			} else {
+				s[i] = ')'
+			}
+		}
+		str := string(s)
+		return cnf.Accepts(toSymbols(str)) == referenceBalanced(str)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDerivedStringsRecognized(t *testing.T) {
+	g := balanced(t)
+	cnf := g.ToCNF()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		form := g.Derive(60, func(c []Production) int { return r.Intn(len(c)) })
+		if !g.Sentence(form) {
+			return true // derivation budget exhausted; nothing to check
+		}
+		return cnf.Accepts(form)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCYK(b *testing.B) {
+	g, err := New(
+		[]Symbol{"S"},
+		[]Symbol{"(", ")"},
+		"S",
+		[]Production{
+			{Head: "S", Body: []Symbol{"(", "S", ")", "S"}},
+			{Head: "S", Body: nil},
+		},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cnf := g.ToCNF()
+	input := toSymbols("(()(()))(()())((()))")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cnf.Accepts(input) {
+			b.Fatal("unexpected rejection")
+		}
+	}
+}

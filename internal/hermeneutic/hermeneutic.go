@@ -1,0 +1,399 @@
+// Package hermeneutic operationalizes the paper's §3 argument about the
+// hermeneutic circle and the "death of the reader": texts are sequences of
+// ambiguous cues, a shared code supplies the conventions that connect cues,
+// frames and senses, and a reader's context supplies the situational priors
+// over frames. Interpretation is the fixed-point process the paper (citing
+// Gadamer) describes — "the parts of the text can be understood in terms of
+// the whole context, and the context becomes intelligible by means of the
+// parts" — implemented as an alternating re-estimation of frame weights from
+// chosen senses and of senses from frame weights.
+//
+// The package measures two things the paper asserts qualitatively:
+//
+//   - under-determination: how many cues a context-free ("reader removed")
+//     decoding cannot fix;
+//   - reader dependence: how much the readings produced under different
+//     contexts differ from each other, the paper's trespassers-sign example.
+package hermeneutic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sense is one candidate reading of a cue.
+type Sense string
+
+// Frame is a global reading the whole text can be placed under (a genre or
+// discourse type: threat notice, news report, shopping list, ...). Frames are
+// the "whole" of the hermeneutic circle.
+type Frame string
+
+// Cue is an occurrence in a text: a surface form with its candidate senses.
+type Cue struct {
+	Surface string
+	Senses  []Sense
+}
+
+// Text is an ordered sequence of cues. The order is not interpreted by the
+// fixed point (conventions act per-cue); it matters only for reporting.
+type Text struct {
+	Title string
+	Cues  []Cue
+}
+
+// NewText builds a text, validating that every cue has at least one sense.
+func NewText(title string, cues ...Cue) (*Text, error) {
+	for i, c := range cues {
+		if c.Surface == "" {
+			return nil, fmt.Errorf("hermeneutic: cue %d has an empty surface form", i)
+		}
+		if len(c.Senses) == 0 {
+			return nil, fmt.Errorf("hermeneutic: cue %q has no candidate senses", c.Surface)
+		}
+	}
+	return &Text{Title: title, Cues: cues}, nil
+}
+
+// Convention is one element of the shared code: within a frame, a surface
+// form supports one of its senses with a given strength. Conventions are what
+// the paper calls "the complex network of conventions, discourses and
+// situatedness" — the part of meaning that is social rather than authorial.
+type Convention struct {
+	Frame   Frame
+	Surface string
+	Sense   Sense
+	Weight  float64
+}
+
+// Code is a shared system of signification: the frames a culture has
+// available and the conventions connecting surfaces, senses and frames.
+type Code struct {
+	frames      []Frame
+	conventions []Convention
+	index       map[string][]Convention // by surface
+}
+
+// NewCode builds a code from its frames and conventions. Conventions must
+// reference declared frames and have positive weight.
+func NewCode(frames []Frame, conventions []Convention) (*Code, error) {
+	declared := map[Frame]bool{}
+	for _, f := range frames {
+		declared[f] = true
+	}
+	c := &Code{frames: append([]Frame(nil), frames...), index: map[string][]Convention{}}
+	for _, conv := range conventions {
+		if !declared[conv.Frame] {
+			return nil, fmt.Errorf("hermeneutic: convention references undeclared frame %q", conv.Frame)
+		}
+		if conv.Weight <= 0 {
+			return nil, fmt.Errorf("hermeneutic: convention for %q/%q has non-positive weight", conv.Surface, conv.Sense)
+		}
+		c.conventions = append(c.conventions, conv)
+		c.index[conv.Surface] = append(c.index[conv.Surface], conv)
+	}
+	return c, nil
+}
+
+// Frames returns the declared frames in declaration order.
+func (c *Code) Frames() []Frame {
+	return append([]Frame(nil), c.frames...)
+}
+
+// Conventions returns a copy of the convention list.
+func (c *Code) Conventions() []Convention {
+	return append([]Convention(nil), c.conventions...)
+}
+
+// Context is a reader's situation: a name for reporting and a prior weight
+// over frames induced by where and how the text is encountered (a plastic
+// sign screwed to a door vs. a newspaper page). A nil or empty context is the
+// "reader removed" case: all frames equally likely.
+type Context struct {
+	Name        string
+	FramePriors map[Frame]float64
+}
+
+// Acontextual returns the empty context the paper accuses ontology of
+// assuming: no situation, no priors, the algorithm as reader.
+func Acontextual() *Context {
+	return &Context{Name: "acontextual"}
+}
+
+// Reading is the result of interpreting a text.
+type Reading struct {
+	// Frame is the dominant frame at the fixed point.
+	Frame Frame
+	// FrameWeights is the final normalized weight of every frame.
+	FrameWeights map[Frame]float64
+	// Senses maps cue index to the chosen sense.
+	Senses []Sense
+	// Ambiguous lists the indexes of cues whose best sense was not unique
+	// (within a small tolerance): cues the reading cannot actually fix.
+	Ambiguous []int
+	// Iterations is the number of passes of the circle executed, and
+	// Converged whether a fixed point was reached before the limit.
+	Iterations int
+	Converged  bool
+}
+
+// IsAmbiguous reports whether the cue at index i was left ambiguous.
+func (r Reading) IsAmbiguous(i int) bool {
+	for _, a := range r.Ambiguous {
+		if a == i {
+			return true
+		}
+	}
+	return false
+}
+
+// AmbiguityRate is the fraction of cues left ambiguous.
+func (r Reading) AmbiguityRate() float64 {
+	if len(r.Senses) == 0 {
+		return 0
+	}
+	return float64(len(r.Ambiguous)) / float64(len(r.Senses))
+}
+
+const tolerance = 1e-9
+
+// Interpret runs the hermeneutic circle on a text: starting from the
+// context's frame priors (uniform if absent), it alternately chooses, for
+// every cue, the sense best supported by the current frame weights, and
+// re-estimates the frame weights from the chosen senses, until the chosen
+// senses stop changing or maxIterations passes have run. maxIterations values
+// below 1 are treated as 1.
+func Interpret(text *Text, code *Code, ctx *Context, maxIterations int) Reading {
+	if maxIterations < 1 {
+		maxIterations = 1
+	}
+	if ctx == nil {
+		ctx = Acontextual()
+	}
+	frames := code.Frames()
+	weights := initialWeights(frames, ctx)
+
+	reading := Reading{FrameWeights: weights, Senses: make([]Sense, len(text.Cues))}
+	var prev []Sense
+	for iter := 1; iter <= maxIterations; iter++ {
+		reading.Iterations = iter
+		reading.Ambiguous = reading.Ambiguous[:0]
+		ambiguous := make(map[int]bool, len(text.Cues))
+		// Part from whole: choose each cue's sense under the current frame
+		// weights.
+		for i, cue := range text.Cues {
+			sense, tied := bestSense(cue, code, weights)
+			reading.Senses[i] = sense
+			if tied {
+				reading.Ambiguous = append(reading.Ambiguous, i)
+				ambiguous[i] = true
+			}
+		}
+		// Whole from parts: re-estimate the frame weights from the senses
+		// just chosen, on top of the context's priors. Cues the current pass
+		// could not actually fix contribute nothing: an arbitrary
+		// tie-breaking choice is the algorithm's, not the text's, and letting
+		// it feed back would manufacture a reading out of nothing.
+		weights = reestimate(frames, ctx, code, text, reading.Senses, ambiguous)
+		reading.FrameWeights = weights
+		if prev != nil && equalSenses(prev, reading.Senses) {
+			reading.Converged = true
+			break
+		}
+		prev = append(prev[:0], reading.Senses...)
+	}
+	reading.Frame = dominantFrame(frames, weights)
+	return reading
+}
+
+// initialWeights normalizes the context's priors over the declared frames,
+// falling back to uniform for frames without a prior (and entirely uniform
+// for an empty context).
+func initialWeights(frames []Frame, ctx *Context) map[Frame]float64 {
+	weights := make(map[Frame]float64, len(frames))
+	total := 0.0
+	for _, f := range frames {
+		w := 1.0
+		if ctx.FramePriors != nil {
+			if p, ok := ctx.FramePriors[f]; ok {
+				w = p
+			}
+		}
+		if w < 0 {
+			w = 0
+		}
+		weights[f] = w
+		total += w
+	}
+	if total == 0 {
+		for _, f := range frames {
+			weights[f] = 1.0 / float64(len(frames))
+		}
+		return weights
+	}
+	for f := range weights {
+		weights[f] /= total
+	}
+	return weights
+}
+
+// bestSense scores each candidate sense of the cue by the frame-weighted sum
+// of supporting conventions and returns the best one, reporting whether the
+// maximum was tied. Senses with no supporting convention score zero; if all
+// score zero the cue is ambiguous and the first sense is returned as a
+// placeholder.
+func bestSense(cue Cue, code *Code, weights map[Frame]float64) (Sense, bool) {
+	scores := make([]float64, len(cue.Senses))
+	for _, conv := range code.index[cue.Surface] {
+		for i, s := range cue.Senses {
+			if conv.Sense == s {
+				scores[i] += conv.Weight * weights[conv.Frame]
+			}
+		}
+	}
+	bestIdx := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[bestIdx]+tolerance {
+			bestIdx = i
+		}
+	}
+	ties := 0
+	for i := range scores {
+		if math.Abs(scores[i]-scores[bestIdx]) <= tolerance {
+			ties++
+		}
+	}
+	return cue.Senses[bestIdx], ties > 1
+}
+
+// reestimate recomputes normalized frame weights: the context prior plus the
+// weight of every convention compatible with a chosen sense, skipping cues
+// marked ambiguous.
+func reestimate(frames []Frame, ctx *Context, code *Code, text *Text, senses []Sense, ambiguous map[int]bool) map[Frame]float64 {
+	weights := make(map[Frame]float64, len(frames))
+	for _, f := range frames {
+		w := 1.0
+		if ctx.FramePriors != nil {
+			if p, ok := ctx.FramePriors[f]; ok {
+				w = p
+			}
+		}
+		if w < 0 {
+			w = 0
+		}
+		weights[f] = w
+	}
+	for i, cue := range text.Cues {
+		if ambiguous[i] {
+			continue
+		}
+		for _, conv := range code.index[cue.Surface] {
+			if conv.Sense == senses[i] {
+				weights[conv.Frame] += conv.Weight
+			}
+		}
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total > 0 {
+		for f := range weights {
+			weights[f] /= total
+		}
+	}
+	return weights
+}
+
+// dominantFrame returns the highest-weighted frame, breaking ties by
+// declaration order.
+func dominantFrame(frames []Frame, weights map[Frame]float64) Frame {
+	if len(frames) == 0 {
+		return ""
+	}
+	best := frames[0]
+	for _, f := range frames[1:] {
+		if weights[f] > weights[best]+tolerance {
+			best = f
+		}
+	}
+	return best
+}
+
+func equalSenses(a, b []Sense) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Agreement is the fraction of cues on which two readings of the same text
+// choose the same sense, counting ambiguous cues as disagreements. It is the
+// measure behind the paper's claim that readings are reader-relative: if
+// meaning were fully encoded in the text, Agreement would be 1 for all pairs
+// of competent readers.
+func Agreement(a, b Reading) float64 {
+	if len(a.Senses) == 0 || len(a.Senses) != len(b.Senses) {
+		return 0
+	}
+	same := 0
+	for i := range a.Senses {
+		if a.Senses[i] == b.Senses[i] && !a.IsAmbiguous(i) && !b.IsAmbiguous(i) {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a.Senses))
+}
+
+// Accuracy is the fraction of cues whose chosen sense matches the intended
+// senses, counting ambiguous cues as errors (the reading did not actually fix
+// them). It is used by experiment E6, where synthetic texts are generated
+// with a known intention.
+func Accuracy(r Reading, intended []Sense) float64 {
+	if len(intended) == 0 || len(r.Senses) != len(intended) {
+		return 0
+	}
+	correct := 0
+	for i := range intended {
+		if r.Senses[i] == intended[i] && !r.IsAmbiguous(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(intended))
+}
+
+// UnderDetermination measures how much of the text the code alone cannot fix:
+// it interprets the text acontextually and returns the ambiguity rate — the
+// fraction of cues whose sense remains tied when every frame is equally
+// available. It is the executable version of the paper's claim that "none of
+// these elements, necessary for understanding, is in the text".
+func UnderDetermination(text *Text, code *Code, maxIterations int) float64 {
+	return Interpret(text, code, Acontextual(), maxIterations).AmbiguityRate()
+}
+
+// Describe renders a reading against its text for human consumption.
+func Describe(text *Text, r Reading) string {
+	out := fmt.Sprintf("%s — frame %q (converged=%v after %d iterations)\n", text.Title, r.Frame, r.Converged, r.Iterations)
+	for i, cue := range text.Cues {
+		marker := ""
+		if r.IsAmbiguous(i) {
+			marker = "  [ambiguous]"
+		}
+		out += fmt.Sprintf("  %-24s -> %s%s\n", cue.Surface, r.Senses[i], marker)
+	}
+	frames := make([]string, 0, len(r.FrameWeights))
+	for f := range r.FrameWeights {
+		frames = append(frames, string(f))
+	}
+	sort.Strings(frames)
+	for _, f := range frames {
+		out += fmt.Sprintf("  frame %-20s %.3f\n", f, r.FrameWeights[Frame(f)])
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package hermeneutic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrespassersSignReadings(t *testing.T) {
+	text, code, door, news := TrespassersSign()
+
+	onDoor := Interpret(text, code, door, 10)
+	if onDoor.Frame != "threat-notice" {
+		t.Errorf("door reading frame = %q, want threat-notice", onDoor.Frame)
+	}
+	if onDoor.Senses[0] != "the-reader-should-they-enter" {
+		t.Errorf("door reading of 'trespassers' = %q, want the-reader-should-they-enter", onDoor.Senses[0])
+	}
+	if onDoor.AmbiguityRate() != 0 {
+		t.Errorf("door reading ambiguity = %f, want 0", onDoor.AmbiguityRate())
+	}
+	if !onDoor.Converged {
+		t.Error("door reading did not converge")
+	}
+
+	inPaper := Interpret(text, code, news, 10)
+	if inPaper.Frame != "news-report" {
+		t.Errorf("news reading frame = %q, want news-report", inPaper.Frame)
+	}
+	if inPaper.Senses[0] != "unidentified-past-offenders" {
+		t.Errorf("news reading of 'trespassers' = %q, want unidentified-past-offenders", inPaper.Senses[0])
+	}
+
+	// Same text, same code, different readers: the readings disagree on
+	// every cue — the paper's point that the missing elements "must be
+	// supplied by a specific situation".
+	if ag := Agreement(onDoor, inPaper); ag != 0 {
+		t.Errorf("Agreement(door, news) = %f, want 0", ag)
+	}
+	if ag := Agreement(onDoor, onDoor); ag != 1 {
+		t.Errorf("Agreement of a reading with itself = %f, want 1", ag)
+	}
+}
+
+func TestTrespassersSignUnderDetermination(t *testing.T) {
+	text, code, _, _ := TrespassersSign()
+	// With the reader removed, the code alone supports both frames equally,
+	// so every cue stays ambiguous.
+	if u := UnderDetermination(text, code, 10); u != 1 {
+		t.Errorf("UnderDetermination = %f, want 1 (every cue is tied without a situation)", u)
+	}
+	r := Interpret(text, code, Acontextual(), 10)
+	for i := range text.Cues {
+		if !r.IsAmbiguous(i) {
+			t.Errorf("acontextual reading fixed cue %d; it should not be able to", i)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	text, code, door, _ := TrespassersSign()
+	intended := []Sense{"the-reader-should-they-enter", "threat-of-punishment", "standing-norm"}
+	contextual := Interpret(text, code, door, 10)
+	if acc := Accuracy(contextual, intended); acc != 1 {
+		t.Errorf("contextual accuracy = %f, want 1", acc)
+	}
+	acontextual := Interpret(text, code, Acontextual(), 10)
+	if acc := Accuracy(acontextual, intended); acc != 0 {
+		t.Errorf("acontextual accuracy = %f, want 0 (all cues ambiguous count as errors)", acc)
+	}
+	if acc := Accuracy(contextual, nil); acc != 0 {
+		t.Errorf("Accuracy with no intention = %f, want 0", acc)
+	}
+	if acc := Accuracy(contextual, intended[:1]); acc != 0 {
+		t.Errorf("Accuracy with mismatched length = %f, want 0", acc)
+	}
+}
+
+func TestNewTextValidation(t *testing.T) {
+	if _, err := NewText("t", Cue{Surface: "", Senses: []Sense{"a"}}); err == nil {
+		t.Error("accepted a cue with an empty surface")
+	}
+	if _, err := NewText("t", Cue{Surface: "x", Senses: nil}); err == nil {
+		t.Error("accepted a cue with no senses")
+	}
+	if _, err := NewText("t", Cue{Surface: "x", Senses: []Sense{"a"}}); err != nil {
+		t.Errorf("rejected a valid text: %v", err)
+	}
+}
+
+func TestNewCodeValidation(t *testing.T) {
+	if _, err := NewCode([]Frame{"f"}, []Convention{{Frame: "g", Surface: "x", Sense: "a", Weight: 1}}); err == nil {
+		t.Error("accepted a convention referencing an undeclared frame")
+	}
+	if _, err := NewCode([]Frame{"f"}, []Convention{{Frame: "f", Surface: "x", Sense: "a", Weight: 0}}); err == nil {
+		t.Error("accepted a zero-weight convention")
+	}
+	code, err := NewCode([]Frame{"f", "g"}, []Convention{{Frame: "f", Surface: "x", Sense: "a", Weight: 1}})
+	if err != nil {
+		t.Fatalf("rejected a valid code: %v", err)
+	}
+	if len(code.Frames()) != 2 || len(code.Conventions()) != 1 {
+		t.Errorf("Frames/Conventions = %d/%d, want 2/1", len(code.Frames()), len(code.Conventions()))
+	}
+}
+
+func TestInterpretDefaults(t *testing.T) {
+	text, code, door, _ := TrespassersSign()
+	// maxIterations below 1 is clamped.
+	r := Interpret(text, code, door, 0)
+	if r.Iterations != 1 {
+		t.Errorf("Iterations = %d, want 1", r.Iterations)
+	}
+	// A nil context behaves as the acontextual reader.
+	nilCtx := Interpret(text, code, nil, 5)
+	plain := Interpret(text, code, Acontextual(), 5)
+	if Agreement(nilCtx, plain) != 1 && nilCtx.AmbiguityRate() != plain.AmbiguityRate() {
+		t.Error("nil context should behave like Acontextual()")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	text, code, door, _ := TrespassersSign()
+	r := Interpret(text, code, door, 10)
+	d := Describe(text, r)
+	if !strings.Contains(d, "threat-notice") || !strings.Contains(d, "trespassers") {
+		t.Errorf("Describe output missing expected content:\n%s", d)
+	}
+	acontextual := Interpret(text, code, Acontextual(), 10)
+	if !strings.Contains(Describe(text, acontextual), "[ambiguous]") {
+		t.Error("Describe should flag ambiguous cues")
+	}
+}
+
+func TestAgreementLengthMismatch(t *testing.T) {
+	a := Reading{Senses: []Sense{"x"}}
+	b := Reading{Senses: []Sense{"x", "y"}}
+	if Agreement(a, b) != 0 {
+		t.Error("Agreement of different-length readings should be 0")
+	}
+	if Agreement(Reading{}, Reading{}) != 0 {
+		t.Error("Agreement of empty readings should be 0")
+	}
+}
+
+// TestInterpretProperties checks, over random codes and texts, that the
+// interpretation is well-formed: every chosen sense is a candidate of its
+// cue, the ambiguity rate lies in [0, 1], frame weights are a distribution,
+// and richer contexts never increase ambiguity relative to the acontextual
+// reading of the same text.
+func TestInterpretProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text, code, intendedFrame := randomTextAndCode(rng)
+		ctx := &Context{Name: "rich", FramePriors: map[Frame]float64{intendedFrame: 5}}
+
+		contextual := Interpret(text, code, ctx, 8)
+		acontextual := Interpret(text, code, Acontextual(), 8)
+
+		for i, cue := range text.Cues {
+			if !containsSense(cue.Senses, contextual.Senses[i]) {
+				return false
+			}
+		}
+		if contextual.AmbiguityRate() < 0 || contextual.AmbiguityRate() > 1 {
+			return false
+		}
+		total := 0.0
+		for _, w := range contextual.FrameWeights {
+			if w < 0 {
+				return false
+			}
+			total += w
+		}
+		if total < 0.999 || total > 1.001 {
+			return false
+		}
+		return contextual.AmbiguityRate() <= acontextual.AmbiguityRate()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomTextAndCode builds a random two-frame code and a text whose cues each
+// have one sense conventionally tied to each frame, mirroring the structure
+// of the trespassers example at arbitrary size.
+func randomTextAndCode(rng *rand.Rand) (*Text, *Code, Frame) {
+	frames := []Frame{"frame-A", "frame-B"}
+	nCues := 2 + rng.Intn(6)
+	cues := make([]Cue, 0, nCues)
+	var conventions []Convention
+	for i := 0; i < nCues; i++ {
+		surface := fmt.Sprintf("cue-%d", i)
+		sa := Sense(fmt.Sprintf("sense-%d-a", i))
+		sb := Sense(fmt.Sprintf("sense-%d-b", i))
+		cues = append(cues, Cue{Surface: surface, Senses: []Sense{sa, sb}})
+		conventions = append(conventions,
+			Convention{Frame: "frame-A", Surface: surface, Sense: sa, Weight: 1 + rng.Float64()},
+			Convention{Frame: "frame-B", Surface: surface, Sense: sb, Weight: 1 + rng.Float64()},
+		)
+	}
+	text, err := NewText("random", cues...)
+	if err != nil {
+		panic(err)
+	}
+	code, err := NewCode(frames, conventions)
+	if err != nil {
+		panic(err)
+	}
+	intended := frames[rng.Intn(len(frames))]
+	return text, code, intended
+}
+
+func containsSense(ss []Sense, s Sense) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

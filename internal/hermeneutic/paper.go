@@ -1,0 +1,65 @@
+package hermeneutic
+
+// This file builds the paper's worked example: the "trespassers will be
+// prosecuted" sign, which reads as a threat when encountered on a door and as
+// a report when encountered as a headline, even though the words are the
+// same.
+
+// TrespassersSign returns the sign as a text, the shared code connecting its
+// cues to the threat-notice and news-report frames, and the two reader
+// contexts the paper contrasts: the sign encountered on a door of a private
+// building, and the same words encountered as a newspaper headline.
+func TrespassersSign() (*Text, *Code, *Context, *Context) {
+	text, err := NewText("trespassers will be prosecuted",
+		Cue{Surface: "trespassers", Senses: []Sense{
+			"the-reader-should-they-enter", // the threat reading: it refers to me
+			"unidentified-past-offenders",  // the report reading: some people somewhere
+		}},
+		Cue{Surface: "will be prosecuted", Senses: []Sense{
+			"threat-of-punishment",
+			"prediction-of-legal-proceedings",
+		}},
+		Cue{Surface: "undated durable lettering", Senses: []Sense{
+			"standing-norm",
+			"news-of-the-day",
+		}},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	code, err := NewCode(
+		[]Frame{"threat-notice", "news-report"},
+		[]Convention{
+			{Frame: "threat-notice", Surface: "trespassers", Sense: "the-reader-should-they-enter", Weight: 2},
+			{Frame: "news-report", Surface: "trespassers", Sense: "unidentified-past-offenders", Weight: 2},
+			{Frame: "threat-notice", Surface: "will be prosecuted", Sense: "threat-of-punishment", Weight: 2},
+			{Frame: "news-report", Surface: "will be prosecuted", Sense: "prediction-of-legal-proceedings", Weight: 2},
+			{Frame: "threat-notice", Surface: "undated durable lettering", Sense: "standing-norm", Weight: 1},
+			{Frame: "news-report", Surface: "undated durable lettering", Sense: "news-of-the-day", Weight: 1},
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// The sign is screwed to a door of a building the reader is about to
+	// enter: private property, authority backing the proprietor, durable
+	// plastic. All of this is situation, not text.
+	door := &Context{
+		Name: "sign on a door",
+		FramePriors: map[Frame]float64{
+			"threat-notice": 4,
+			"news-report":   1,
+		},
+	}
+	// The same words set as a headline over a column of newsprint.
+	news := &Context{
+		Name: "newspaper headline",
+		FramePriors: map[Frame]float64{
+			"threat-notice": 1,
+			"news-report":   4,
+		},
+	}
+	return text, code, door, news
+}

@@ -1,0 +1,181 @@
+package hermeneutic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file models the transmission of a text along a chain of readers, the
+// situation behind the paper's §3 remark that "the only way in which ontology
+// can keep a stable meaning is by constant policing and an authoritarian
+// normativism that sets, once and for all, the 'true' intentions of the
+// author". Each reader in the chain is historically and culturally a little
+// further from the author: their situation (frame priors) drifts. Two
+// regimes are compared:
+//
+//   - unpoliced: every reader interprets the text from their own situation;
+//     meaning is whatever the situated reading makes of it, and fidelity to
+//     the author's intention decays along the chain;
+//   - policed: a normative code fixes the reading to the author's canonical
+//     context regardless of where the reader actually stands; fidelity to the
+//     author is preserved, and the price — the fraction of cues on which the
+//     imposed reading overrides what the reader's own situation would have
+//     produced — is measured explicitly.
+//
+// The pair of curves is the executable form of the trade-off the paper
+// asserts: stability of meaning is bought by suppressing the reader.
+
+// ChainParams controls TransmissionChain.
+type ChainParams struct {
+	// Readers is the number of readers in the chain (at least 1).
+	Readers int
+	// Noise is the standard scale of the per-step drift applied to the frame
+	// priors (0 means every reader shares the author's situation).
+	Noise float64
+	// MaxIterations bounds each reader's hermeneutic fixed point.
+	MaxIterations int
+}
+
+// ReaderOutcome is the result of one reader's position in the chain.
+type ReaderOutcome struct {
+	// Position is 1-based distance from the author.
+	Position int
+	// SituatedFidelity is the accuracy of the reader's own situated reading
+	// against the author's intended senses.
+	SituatedFidelity float64
+	// PolicedFidelity is the accuracy of the policed (canonical-context)
+	// reading against the author's intended senses.
+	PolicedFidelity float64
+	// OverrideRate is the fraction of cues on which the policed reading
+	// differs from the reader's own situated reading: the amount of reading
+	// the normative regime has to suppress at this position.
+	OverrideRate float64
+}
+
+// ChainResult is the outcome of a whole chain.
+type ChainResult struct {
+	Outcomes []ReaderOutcome
+}
+
+// TransmissionChain walks a text down a chain of progressively more distant
+// readers. The author's context supplies the initial frame priors and the
+// intended senses are the ground truth; each subsequent reader's priors are
+// the previous reader's priors perturbed by multiplicative noise drawn from
+// rng. For every reader both the situated and the policed readings are
+// produced and scored.
+func TransmissionChain(rng *rand.Rand, text *Text, code *Code, author *Context, intended []Sense, p ChainParams) (ChainResult, error) {
+	if text == nil || code == nil || author == nil {
+		return ChainResult{}, fmt.Errorf("hermeneutic: transmission chain requires a text, a code and an author context")
+	}
+	if len(intended) != len(text.Cues) {
+		return ChainResult{}, fmt.Errorf("hermeneutic: intended senses (%d) do not match the text's cues (%d)", len(intended), len(text.Cues))
+	}
+	if p.Readers < 1 {
+		p.Readers = 1
+	}
+	if p.MaxIterations < 1 {
+		p.MaxIterations = 8
+	}
+	if p.Noise < 0 {
+		p.Noise = 0
+	}
+
+	priors := map[Frame]float64{}
+	for _, f := range code.Frames() {
+		w := 1.0
+		if author.FramePriors != nil {
+			if v, ok := author.FramePriors[f]; ok && v > 0 {
+				w = v
+			}
+		}
+		priors[f] = w
+	}
+
+	result := ChainResult{Outcomes: make([]ReaderOutcome, 0, p.Readers)}
+	for position := 1; position <= p.Readers; position++ {
+		priors = drift(rng, priors, p.Noise)
+		reader := &Context{
+			Name:        fmt.Sprintf("reader %d", position),
+			FramePriors: clonePriors(priors),
+		}
+		situated := Interpret(text, code, reader, p.MaxIterations)
+		policed := Interpret(text, code, author, p.MaxIterations)
+
+		outcome := ReaderOutcome{
+			Position:         position,
+			SituatedFidelity: Accuracy(situated, intended),
+			PolicedFidelity:  Accuracy(policed, intended),
+			OverrideRate:     1 - Agreement(policed, situated),
+		}
+		result.Outcomes = append(result.Outcomes, outcome)
+	}
+	return result, nil
+}
+
+// drift perturbs every prior multiplicatively by bounded noise and
+// renormalizes, keeping every weight strictly positive. Frames are visited in
+// sorted order so that the random draws are consumed deterministically for a
+// given seed.
+func drift(rng *rand.Rand, priors map[Frame]float64, noise float64) map[Frame]float64 {
+	frames := make([]string, 0, len(priors))
+	for f := range priors {
+		frames = append(frames, string(f))
+	}
+	sort.Strings(frames)
+	out := make(map[Frame]float64, len(priors))
+	total := 0.0
+	for _, name := range frames {
+		f := Frame(name)
+		factor := 1 + noise*(2*rng.Float64()-1)
+		if factor < 0.05 {
+			factor = 0.05
+		}
+		v := priors[f] * factor
+		if v <= 0 {
+			v = 1e-6
+		}
+		out[f] = v
+		total += v
+	}
+	if total > 0 {
+		for f := range out {
+			out[f] = out[f] / total * float64(len(out))
+		}
+	}
+	return out
+}
+
+func clonePriors(priors map[Frame]float64) map[Frame]float64 {
+	out := make(map[Frame]float64, len(priors))
+	for f, w := range priors {
+		out[f] = w
+	}
+	return out
+}
+
+// MeanSituatedFidelity averages the situated fidelity over the chain.
+func (r ChainResult) MeanSituatedFidelity() float64 {
+	return r.mean(func(o ReaderOutcome) float64 { return o.SituatedFidelity })
+}
+
+// MeanPolicedFidelity averages the policed fidelity over the chain.
+func (r ChainResult) MeanPolicedFidelity() float64 {
+	return r.mean(func(o ReaderOutcome) float64 { return o.PolicedFidelity })
+}
+
+// MeanOverrideRate averages the override rate over the chain.
+func (r ChainResult) MeanOverrideRate() float64 {
+	return r.mean(func(o ReaderOutcome) float64 { return o.OverrideRate })
+}
+
+func (r ChainResult) mean(f func(ReaderOutcome) float64) float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, o := range r.Outcomes {
+		total += f(o)
+	}
+	return total / float64(len(r.Outcomes))
+}

@@ -1,0 +1,114 @@
+package hermeneutic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func trespassersFixture() (*Text, *Code, *Context, []Sense) {
+	text, code, door, _ := TrespassersSign()
+	intended := []Sense{"the-reader-should-they-enter", "threat-of-punishment", "standing-norm"}
+	return text, code, door, intended
+}
+
+func TestTransmissionChainValidation(t *testing.T) {
+	text, code, door, intended := trespassersFixture()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := TransmissionChain(rng, nil, code, door, intended, ChainParams{Readers: 2}); err == nil {
+		t.Error("accepted a nil text")
+	}
+	if _, err := TransmissionChain(rng, text, code, door, intended[:1], ChainParams{Readers: 2}); err == nil {
+		t.Error("accepted mismatched intended senses")
+	}
+}
+
+func TestTransmissionChainNoNoise(t *testing.T) {
+	text, code, door, intended := trespassersFixture()
+	rng := rand.New(rand.NewSource(2))
+	res, err := TransmissionChain(rng, text, code, door, intended, ChainParams{Readers: 5, Noise: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 5 {
+		t.Fatalf("outcomes = %d, want 5", len(res.Outcomes))
+	}
+	// With no drift every reader shares the author's situation: situated and
+	// policed readings coincide, fidelity stays 1, nothing is overridden.
+	for _, o := range res.Outcomes {
+		if o.SituatedFidelity != 1 || o.PolicedFidelity != 1 {
+			t.Errorf("position %d: fidelities %f/%f, want 1/1", o.Position, o.SituatedFidelity, o.PolicedFidelity)
+		}
+		if o.OverrideRate != 0 {
+			t.Errorf("position %d: override rate %f, want 0", o.Position, o.OverrideRate)
+		}
+	}
+	if res.MeanOverrideRate() != 0 || res.MeanSituatedFidelity() != 1 {
+		t.Error("chain means inconsistent with per-reader outcomes")
+	}
+}
+
+func TestTransmissionChainWithDrift(t *testing.T) {
+	text, code, door, intended := trespassersFixture()
+	// Average over several chains: with substantial drift the situated
+	// fidelity at the end of a long chain falls below the policed fidelity,
+	// and the policed regime has to override a non-trivial share of readings.
+	var situatedEnd, policedEnd, override float64
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		res, err := TransmissionChain(rng, text, code, door, intended, ChainParams{Readers: 12, Noise: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := res.Outcomes[len(res.Outcomes)-1]
+		situatedEnd += last.SituatedFidelity
+		policedEnd += last.PolicedFidelity
+		override += res.MeanOverrideRate()
+	}
+	situatedEnd /= trials
+	policedEnd /= trials
+	override /= trials
+	if policedEnd != 1 {
+		t.Errorf("policed fidelity at the end of the chain = %f, want 1 (the canonical context never moves)", policedEnd)
+	}
+	if situatedEnd >= 0.95 {
+		t.Errorf("situated fidelity at the end of a noisy chain = %f; drift should have eroded it", situatedEnd)
+	}
+	if override <= 0 {
+		t.Error("a noisy chain should force the policed regime to override some readings")
+	}
+}
+
+// TestTransmissionChainProperties: outcomes are always within [0,1], policed
+// fidelity never falls below what the canonical context achieves on its own,
+// and the chain length is respected.
+func TestTransmissionChainProperties(t *testing.T) {
+	text, code, door, intended := trespassersFixture()
+	canonical := Accuracy(Interpret(text, code, door, 8), intended)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		readers := 1 + int(seed%7+7)%7
+		res, err := TransmissionChain(rng, text, code, door, intended, ChainParams{Readers: readers, Noise: 0.8})
+		if err != nil {
+			return false
+		}
+		if len(res.Outcomes) != readers {
+			return false
+		}
+		for _, o := range res.Outcomes {
+			for _, v := range []float64{o.SituatedFidelity, o.PolicedFidelity, o.OverrideRate} {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+			if o.PolicedFidelity != canonical {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

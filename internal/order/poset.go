@@ -1,0 +1,538 @@
+// Package order implements finite partially ordered sets (posets) represented
+// as directed acyclic graphs, together with the order-theoretic operations the
+// rest of the library needs: reachability, transitive closure and reduction,
+// least upper bounds, topological sorting, and chain/antichain statistics.
+//
+// A Poset is built incrementally: elements are added with Add, and ordered
+// pairs with Relate(lower, upper), which asserts lower ≤ upper. The structure
+// rejects relations that would introduce a cycle, so a Poset is a DAG at all
+// times and the reflexive-transitive closure of its edges is a genuine partial
+// order.
+//
+// The zero value of Poset is not ready to use; call New.
+package order
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Poset is a finite partially ordered set over elements of comparable type T.
+// The order is the reflexive-transitive closure of the explicitly added
+// covering relations. Poset is not safe for concurrent mutation; concurrent
+// readers are safe once mutation has stopped.
+type Poset[T comparable] struct {
+	elems   []T
+	index   map[T]int
+	up      [][]int // up[i] = direct successors (i ≤ j edges)
+	down    [][]int // down[i] = direct predecessors
+	closure []map[int]bool
+	dirty   bool
+}
+
+// New returns an empty poset.
+func New[T comparable]() *Poset[T] {
+	return &Poset[T]{index: make(map[T]int)}
+}
+
+// Add inserts an element if it is not already present and reports whether it
+// was inserted.
+func (p *Poset[T]) Add(x T) bool {
+	if _, ok := p.index[x]; ok {
+		return false
+	}
+	p.index[x] = len(p.elems)
+	p.elems = append(p.elems, x)
+	p.up = append(p.up, nil)
+	p.down = append(p.down, nil)
+	p.dirty = true
+	return true
+}
+
+// Contains reports whether x is an element of the poset.
+func (p *Poset[T]) Contains(x T) bool {
+	_, ok := p.index[x]
+	return ok
+}
+
+// Len returns the number of elements.
+func (p *Poset[T]) Len() int { return len(p.elems) }
+
+// Elements returns the elements in insertion order. The returned slice is a
+// copy and may be modified by the caller.
+func (p *Poset[T]) Elements() []T {
+	out := make([]T, len(p.elems))
+	copy(out, p.elems)
+	return out
+}
+
+// Relate asserts lower ≤ upper, adding both elements if absent. It returns an
+// error if the relation would create a cycle (i.e. upper < lower already
+// holds). Relating an element to itself is a no-op.
+func (p *Poset[T]) Relate(lower, upper T) error {
+	if lower == upper {
+		p.Add(lower)
+		return nil
+	}
+	p.Add(lower)
+	p.Add(upper)
+	li, ui := p.index[lower], p.index[upper]
+	if p.reachable(ui, li) {
+		return fmt.Errorf("order: relating %v ≤ %v would create a cycle", lower, upper)
+	}
+	for _, s := range p.up[li] {
+		if s == ui {
+			return nil // already a direct edge
+		}
+	}
+	p.up[li] = append(p.up[li], ui)
+	p.down[ui] = append(p.down[ui], li)
+	p.dirty = true
+	return nil
+}
+
+// MustRelate is like Relate but panics on error. It is intended for
+// statically known hierarchies in tests and examples.
+func (p *Poset[T]) MustRelate(lower, upper T) {
+	if err := p.Relate(lower, upper); err != nil {
+		panic(err)
+	}
+}
+
+// reachable reports whether there is a directed path from i to j following up
+// edges (i.e. whether elems[i] ≤ elems[j]) without using the cached closure.
+func (p *Poset[T]) reachable(i, j int) bool {
+	if i == j {
+		return true
+	}
+	seen := make([]bool, len(p.elems))
+	stack := []int{i}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == j {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, p.up[n]...)
+	}
+	return false
+}
+
+func (p *Poset[T]) ensureClosure() {
+	if !p.dirty && p.closure != nil {
+		return
+	}
+	n := len(p.elems)
+	p.closure = make([]map[int]bool, n)
+	order := p.topoIndices()
+	// Process in reverse topological order so successors are complete first.
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		set := map[int]bool{i: true}
+		for _, s := range p.up[i] {
+			for a := range p.closure[s] {
+				set[a] = true
+			}
+		}
+		p.closure[i] = set
+	}
+	p.dirty = false
+}
+
+// Leq reports whether a ≤ b in the poset. Elements not present are unrelated
+// to everything (Leq returns false) except that Leq(x, x) is true whenever x
+// is present.
+func (p *Poset[T]) Leq(a, b T) bool {
+	ai, ok := p.index[a]
+	if !ok {
+		return false
+	}
+	bi, ok := p.index[b]
+	if !ok {
+		return false
+	}
+	p.ensureClosure()
+	return p.closure[ai][bi]
+}
+
+// Comparable reports whether a ≤ b or b ≤ a.
+func (p *Poset[T]) Comparable(a, b T) bool {
+	return p.Leq(a, b) || p.Leq(b, a)
+}
+
+// Covers reports whether upper covers lower: lower < upper and no element
+// lies strictly between them.
+func (p *Poset[T]) Covers(lower, upper T) bool {
+	if lower == upper || !p.Leq(lower, upper) {
+		return false
+	}
+	for _, z := range p.elems {
+		if z == lower || z == upper {
+			continue
+		}
+		if p.Leq(lower, z) && p.Leq(z, upper) {
+			return false
+		}
+	}
+	return true
+}
+
+// UpSet returns all elements x with a ≤ x (the principal up-set of a),
+// including a itself. The result is in insertion order.
+func (p *Poset[T]) UpSet(a T) []T {
+	ai, ok := p.index[a]
+	if !ok {
+		return nil
+	}
+	p.ensureClosure()
+	var out []T
+	for i, e := range p.elems {
+		if p.closure[ai][i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DownSet returns all elements x with x ≤ a, including a itself.
+func (p *Poset[T]) DownSet(a T) []T {
+	ai, ok := p.index[a]
+	if !ok {
+		return nil
+	}
+	p.ensureClosure()
+	var out []T
+	for i, e := range p.elems {
+		if p.closure[i][ai] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Parents returns the direct successors of a (its covers in the edge relation
+// as entered, before transitive reduction).
+func (p *Poset[T]) Parents(a T) []T {
+	ai, ok := p.index[a]
+	if !ok {
+		return nil
+	}
+	out := make([]T, 0, len(p.up[ai]))
+	for _, s := range p.up[ai] {
+		out = append(out, p.elems[s])
+	}
+	return out
+}
+
+// Children returns the direct predecessors of a.
+func (p *Poset[T]) Children(a T) []T {
+	ai, ok := p.index[a]
+	if !ok {
+		return nil
+	}
+	out := make([]T, 0, len(p.down[ai]))
+	for _, s := range p.down[ai] {
+		out = append(out, p.elems[s])
+	}
+	return out
+}
+
+// Maximal returns the maximal elements (those with no strict upper bound).
+func (p *Poset[T]) Maximal() []T {
+	var out []T
+	for i, e := range p.elems {
+		if len(p.up[i]) == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Minimal returns the minimal elements (those with no strict lower bound).
+func (p *Poset[T]) Minimal() []T {
+	var out []T
+	for i, e := range p.elems {
+		if len(p.down[i]) == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// topoIndices returns indices in a topological order (lower before upper).
+func (p *Poset[T]) topoIndices() []int {
+	n := len(p.elems)
+	indeg := make([]int, n)
+	for i := range p.up {
+		for range p.down[i] {
+			indeg[i]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, s := range p.up[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order
+}
+
+// TopoSort returns the elements in a topological order consistent with the
+// partial order: whenever a < b, a appears before b.
+func (p *Poset[T]) TopoSort() []T {
+	idx := p.topoIndices()
+	out := make([]T, len(idx))
+	for k, i := range idx {
+		out[k] = p.elems[i]
+	}
+	return out
+}
+
+// UpperBounds returns the common upper bounds of a and b.
+func (p *Poset[T]) UpperBounds(a, b T) []T {
+	ai, aok := p.index[a]
+	bi, bok := p.index[b]
+	if !aok || !bok {
+		return nil
+	}
+	p.ensureClosure()
+	var out []T
+	for i, e := range p.elems {
+		if p.closure[ai][i] && p.closure[bi][i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LeastUpperBounds returns the minimal elements of the set of common upper
+// bounds of a and b. In a lattice this has exactly one element (the join); in
+// a general poset it may have zero or several.
+func (p *Poset[T]) LeastUpperBounds(a, b T) []T {
+	ubs := p.UpperBounds(a, b)
+	var out []T
+	for _, u := range ubs {
+		minimal := true
+		for _, v := range ubs {
+			if v != u && p.Leq(v, u) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// GreatestLowerBounds returns the maximal elements of the set of common lower
+// bounds of a and b.
+func (p *Poset[T]) GreatestLowerBounds(a, b T) []T {
+	ai, aok := p.index[a]
+	bi, bok := p.index[b]
+	if !aok || !bok {
+		return nil
+	}
+	p.ensureClosure()
+	var lbs []T
+	for i, e := range p.elems {
+		if p.closure[i][ai] && p.closure[i][bi] {
+			lbs = append(lbs, e)
+		}
+	}
+	var out []T
+	for _, u := range lbs {
+		maximal := true
+		for _, v := range lbs {
+			if v != u && p.Leq(u, v) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// IsLattice reports whether every pair of elements has a unique least upper
+// bound and a unique greatest lower bound.
+func (p *Poset[T]) IsLattice() bool {
+	for i := range p.elems {
+		for j := i + 1; j < len(p.elems); j++ {
+			if len(p.LeastUpperBounds(p.elems[i], p.elems[j])) != 1 {
+				return false
+			}
+			if len(p.GreatestLowerBounds(p.elems[i], p.elems[j])) != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsTree reports whether the covering DAG is a forest when edges are read
+// from child (lower) to parent (upper): every element has at most one direct
+// parent. This is the "monocriterial taxonomy" shape the paper contrasts with
+// general partial orders.
+func (p *Poset[T]) IsTree() bool {
+	for i := range p.elems {
+		if len(p.up[i]) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Height returns the number of elements in a longest chain (totally ordered
+// subset). The empty poset has height 0.
+func (p *Poset[T]) Height() int {
+	order := p.topoIndices()
+	depth := make([]int, len(p.elems))
+	best := 0
+	for _, i := range order {
+		if depth[i] == 0 {
+			depth[i] = 1
+		}
+		if depth[i] > best {
+			best = depth[i]
+		}
+		for _, s := range p.up[i] {
+			if depth[i]+1 > depth[s] {
+				depth[s] = depth[i] + 1
+			}
+		}
+	}
+	return best
+}
+
+// Width returns the size of a largest level antichain computed by grouping
+// elements by their longest-chain depth. This is a lower bound on the true
+// Dilworth width and is exact for graded posets, which is what the synthetic
+// generators produce.
+func (p *Poset[T]) Width() int {
+	order := p.topoIndices()
+	depth := make([]int, len(p.elems))
+	counts := map[int]int{}
+	for _, i := range order {
+		if depth[i] == 0 {
+			depth[i] = 1
+		}
+		for _, s := range p.up[i] {
+			if depth[i]+1 > depth[s] {
+				depth[s] = depth[i] + 1
+			}
+		}
+	}
+	best := 0
+	for _, i := range order {
+		counts[depth[i]]++
+		if counts[depth[i]] > best {
+			best = counts[depth[i]]
+		}
+	}
+	return best
+}
+
+// Hasse returns the covering (transitively reduced) relation as a list of
+// [lower, upper] pairs, sorted deterministically by element insertion order.
+func (p *Poset[T]) Hasse() [][2]T {
+	p.ensureClosure()
+	var out [][2]T
+	for i := range p.elems {
+		for _, j := range p.up[i] {
+			// Edge i -> j is a cover iff no intermediate k with i < k < j.
+			cover := true
+			for k := range p.elems {
+				if k == i || k == j {
+					continue
+				}
+				if p.closure[i][k] && p.closure[k][j] {
+					cover = false
+					break
+				}
+			}
+			if cover {
+				out = append(out, [2]T{p.elems[i], p.elems[j]})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ia, ja := p.index[out[a][0]], p.index[out[a][1]]
+		ib, jb := p.index[out[b][0]], p.index[out[b][1]]
+		if ia != ib {
+			return ia < ib
+		}
+		return ja < jb
+	})
+	return out
+}
+
+// Relations returns every ordered pair (a, b) with a ≤ b and a ≠ b, i.e. the
+// strict order as explicit pairs.
+func (p *Poset[T]) Relations() [][2]T {
+	p.ensureClosure()
+	var out [][2]T
+	for i := range p.elems {
+		for j := range p.elems {
+			if i != j && p.closure[i][j] {
+				out = append(out, [2]T{p.elems[i], p.elems[j]})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the poset.
+func (p *Poset[T]) Clone() *Poset[T] {
+	q := New[T]()
+	for _, e := range p.elems {
+		q.Add(e)
+	}
+	for i := range p.elems {
+		for _, j := range p.up[i] {
+			q.up[q.index[p.elems[i]]] = append(q.up[q.index[p.elems[i]]], q.index[p.elems[j]])
+			q.down[q.index[p.elems[j]]] = append(q.down[q.index[p.elems[j]]], q.index[p.elems[i]])
+		}
+	}
+	q.dirty = true
+	return q
+}
+
+// Validate checks internal consistency (acyclicity and index agreement) and
+// returns an error describing the first violation found. A poset built only
+// through Add and Relate always validates; Validate exists to support
+// property-based testing and defensive checks in callers that construct
+// hierarchies from untrusted input.
+func (p *Poset[T]) Validate() error {
+	if len(p.elems) != len(p.index) {
+		return fmt.Errorf("order: element list and index disagree (%d vs %d)", len(p.elems), len(p.index))
+	}
+	for x, i := range p.index {
+		if i < 0 || i >= len(p.elems) || p.elems[i] != x {
+			return fmt.Errorf("order: index entry for %v is inconsistent", x)
+		}
+	}
+	if len(p.topoIndices()) != len(p.elems) {
+		return fmt.Errorf("order: covering relation contains a cycle")
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *Poset[string] {
+	p := New[string]()
+	p.MustRelate("bottom", "left")
+	p.MustRelate("bottom", "right")
+	p.MustRelate("left", "top")
+	p.MustRelate("right", "top")
+	return p
+}
+
+func TestAddAndContains(t *testing.T) {
+	p := New[string]()
+	if !p.Add("a") {
+		t.Fatal("first Add should report insertion")
+	}
+	if p.Add("a") {
+		t.Fatal("second Add of same element should report no insertion")
+	}
+	if !p.Contains("a") || p.Contains("b") {
+		t.Fatal("Contains disagrees with Add")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestLeqReflexive(t *testing.T) {
+	p := diamond()
+	for _, e := range p.Elements() {
+		if !p.Leq(e, e) {
+			t.Errorf("Leq(%q,%q) should be true (reflexivity)", e, e)
+		}
+	}
+}
+
+func TestLeqTransitive(t *testing.T) {
+	p := diamond()
+	if !p.Leq("bottom", "top") {
+		t.Error("bottom ≤ top should hold by transitivity")
+	}
+	if p.Leq("top", "bottom") {
+		t.Error("top ≤ bottom should not hold")
+	}
+	if p.Leq("left", "right") || p.Leq("right", "left") {
+		t.Error("left and right should be incomparable")
+	}
+}
+
+func TestLeqMissingElements(t *testing.T) {
+	p := diamond()
+	if p.Leq("bottom", "nope") || p.Leq("nope", "top") || p.Leq("nope", "nope") {
+		t.Error("Leq involving absent elements must be false")
+	}
+}
+
+func TestRelateCycleRejected(t *testing.T) {
+	p := New[string]()
+	p.MustRelate("a", "b")
+	p.MustRelate("b", "c")
+	if err := p.Relate("c", "a"); err == nil {
+		t.Fatal("expected cycle error relating c ≤ a")
+	}
+	// The failed Relate must not have corrupted the structure.
+	if err := p.Validate(); err != nil {
+		t.Fatalf("poset invalid after rejected relation: %v", err)
+	}
+	if !p.Leq("a", "c") {
+		t.Error("existing order lost after rejected relation")
+	}
+}
+
+func TestRelateSelfIsNoop(t *testing.T) {
+	p := New[string]()
+	if err := p.Relate("x", "x"); err != nil {
+		t.Fatalf("self relation should be accepted: %v", err)
+	}
+	if !p.Leq("x", "x") {
+		t.Error("x ≤ x should hold after self relation")
+	}
+	if len(p.Relations()) != 0 {
+		t.Error("self relation should not create a strict pair")
+	}
+}
+
+func TestRelateDuplicateEdge(t *testing.T) {
+	p := New[string]()
+	p.MustRelate("a", "b")
+	p.MustRelate("a", "b")
+	if got := len(p.Parents("a")); got != 1 {
+		t.Errorf("duplicate edge stored: parents(a) = %d, want 1", got)
+	}
+}
+
+func TestUpSetDownSet(t *testing.T) {
+	p := diamond()
+	up := p.UpSet("bottom")
+	if len(up) != 4 {
+		t.Errorf("UpSet(bottom) = %v, want all 4 elements", up)
+	}
+	down := p.DownSet("top")
+	if len(down) != 4 {
+		t.Errorf("DownSet(top) = %v, want all 4 elements", down)
+	}
+	if got := p.UpSet("top"); len(got) != 1 || got[0] != "top" {
+		t.Errorf("UpSet(top) = %v, want just top", got)
+	}
+	if p.UpSet("missing") != nil {
+		t.Error("UpSet of missing element should be nil")
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	p := diamond()
+	if got := p.Parents("bottom"); len(got) != 2 {
+		t.Errorf("Parents(bottom) = %v, want 2 parents", got)
+	}
+	if got := p.Children("top"); len(got) != 2 {
+		t.Errorf("Children(top) = %v, want 2 children", got)
+	}
+	if got := p.Parents("top"); len(got) != 0 {
+		t.Errorf("Parents(top) = %v, want none", got)
+	}
+}
+
+func TestMaximalMinimal(t *testing.T) {
+	p := diamond()
+	if max := p.Maximal(); len(max) != 1 || max[0] != "top" {
+		t.Errorf("Maximal = %v, want [top]", max)
+	}
+	if min := p.Minimal(); len(min) != 1 || min[0] != "bottom" {
+		t.Errorf("Minimal = %v, want [bottom]", min)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	p := diamond()
+	if !p.Covers("bottom", "left") {
+		t.Error("left should cover bottom")
+	}
+	if p.Covers("bottom", "top") {
+		t.Error("top should not cover bottom (left/right intervene)")
+	}
+	if p.Covers("left", "left") {
+		t.Error("an element never covers itself")
+	}
+}
+
+func TestTopoSortRespectsOrder(t *testing.T) {
+	p := diamond()
+	pos := map[string]int{}
+	for i, e := range p.TopoSort() {
+		pos[e] = i
+	}
+	for _, rel := range p.Relations() {
+		if pos[rel[0]] >= pos[rel[1]] {
+			t.Errorf("topological order violates %v ≤ %v", rel[0], rel[1])
+		}
+	}
+}
+
+func TestLeastUpperBounds(t *testing.T) {
+	p := diamond()
+	if lub := p.LeastUpperBounds("left", "right"); len(lub) != 1 || lub[0] != "top" {
+		t.Errorf("LUB(left,right) = %v, want [top]", lub)
+	}
+	if glb := p.GreatestLowerBounds("left", "right"); len(glb) != 1 || glb[0] != "bottom" {
+		t.Errorf("GLB(left,right) = %v, want [bottom]", glb)
+	}
+	if lub := p.LeastUpperBounds("bottom", "left"); len(lub) != 1 || lub[0] != "left" {
+		t.Errorf("LUB(bottom,left) = %v, want [left]", lub)
+	}
+}
+
+func TestLUBMultipleMinimalUpperBounds(t *testing.T) {
+	// a, b both below c and d, with c, d incomparable: two minimal upper bounds.
+	p := New[string]()
+	p.MustRelate("a", "c")
+	p.MustRelate("a", "d")
+	p.MustRelate("b", "c")
+	p.MustRelate("b", "d")
+	if lub := p.LeastUpperBounds("a", "b"); len(lub) != 2 {
+		t.Errorf("LUB(a,b) = %v, want two minimal upper bounds", lub)
+	}
+	if p.IsLattice() {
+		t.Error("this poset is not a lattice")
+	}
+}
+
+func TestIsLattice(t *testing.T) {
+	if !diamond().IsLattice() {
+		t.Error("the diamond is a lattice")
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	tree := New[string]()
+	tree.MustRelate("dog", "mammal")
+	tree.MustRelate("cat", "mammal")
+	tree.MustRelate("mammal", "animal")
+	if !tree.IsTree() {
+		t.Error("single-parent hierarchy should be a tree")
+	}
+	if diamond().IsTree() {
+		t.Error("the diamond is not a tree (bottom has two parents)")
+	}
+}
+
+func TestHeightWidth(t *testing.T) {
+	p := diamond()
+	if h := p.Height(); h != 3 {
+		t.Errorf("Height = %d, want 3", h)
+	}
+	if w := p.Width(); w != 2 {
+		t.Errorf("Width = %d, want 2", w)
+	}
+	empty := New[string]()
+	if empty.Height() != 0 || empty.Width() != 0 {
+		t.Error("empty poset should have zero height and width")
+	}
+}
+
+func TestHasse(t *testing.T) {
+	p := diamond()
+	// Add the redundant edge bottom ≤ top; Hasse must drop it.
+	p.MustRelate("bottom", "top")
+	h := p.Hasse()
+	if len(h) != 4 {
+		t.Fatalf("Hasse has %d edges, want 4: %v", len(h), h)
+	}
+	for _, e := range h {
+		if e[0] == "bottom" && e[1] == "top" {
+			t.Error("Hasse retained the transitive edge bottom→top")
+		}
+	}
+}
+
+func TestRelationsCount(t *testing.T) {
+	p := diamond()
+	// Strict pairs: bottom<left, bottom<right, bottom<top, left<top, right<top.
+	if got := len(p.Relations()); got != 5 {
+		t.Errorf("Relations count = %d, want 5", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := diamond()
+	q := p.Clone()
+	q.MustRelate("top", "super")
+	if p.Contains("super") {
+		t.Error("mutating the clone affected the original")
+	}
+	if !q.Leq("bottom", "super") {
+		t.Error("clone lost transitivity after extension")
+	}
+}
+
+func TestUpperBoundsMissing(t *testing.T) {
+	p := diamond()
+	if p.UpperBounds("left", "missing") != nil {
+		t.Error("upper bounds with a missing element should be nil")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatalf("diamond should validate: %v", err)
+	}
+}
+
+// randomPoset builds a random DAG-backed poset over n elements; relations only
+// go from lower index to higher index so acyclicity is guaranteed.
+func randomPoset(r *rand.Rand, n int) *Poset[int] {
+	p := New[int]()
+	for i := 0; i < n; i++ {
+		p.Add(i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(4) == 0 {
+				p.MustRelate(i, j)
+			}
+		}
+	}
+	return p
+}
+
+func TestPropertyTransitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 12)
+		es := p.Elements()
+		for _, a := range es {
+			for _, b := range es {
+				for _, c := range es {
+					if p.Leq(a, b) && p.Leq(b, c) && !p.Leq(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 12)
+		es := p.Elements()
+		for _, a := range es {
+			for _, b := range es {
+				if a != b && p.Leq(a, b) && p.Leq(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHasseClosureEqualsOrder(t *testing.T) {
+	// Rebuilding a poset from its Hasse diagram must reproduce exactly the
+	// same order relation.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 10)
+		q := New[int]()
+		for _, e := range p.Elements() {
+			q.Add(e)
+		}
+		for _, edge := range p.Hasse() {
+			q.MustRelate(edge[0], edge[1])
+		}
+		for _, a := range p.Elements() {
+			for _, b := range p.Elements() {
+				if p.Leq(a, b) != q.Leq(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTopoSortTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 15)
+		ts := p.TopoSort()
+		if len(ts) != p.Len() {
+			return false
+		}
+		pos := map[int]int{}
+		for i, e := range ts {
+			pos[e] = i
+		}
+		for _, rel := range p.Relations() {
+			if pos[rel[0]] >= pos[rel[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHeightAtMostLen(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 10)
+		return p.Height() <= p.Len() && p.Width() <= p.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLeqClosure(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p := randomPoset(r, 200)
+	es := p.Elements()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := es[i%len(es)]
+		c := es[(i*7)%len(es)]
+		p.Leq(a, c)
+	}
+}
+
+func BenchmarkHasse(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	p := randomPoset(r, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Hasse()
+	}
+}

@@ -1,0 +1,258 @@
+package semfield
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WordMapping is an atomistic word-to-word correspondence between two
+// languages: each source word is assigned the single target word judged
+// "equivalent" to it, the way a bilingual dictionary's headline gloss does
+// (doorknob ↦ pomello).
+type WordMapping map[string]string
+
+// AtomisticMapping computes the best atomistic mapping from src to dst: every
+// word of src is mapped to the dst word with the largest Jaccard overlap
+// between extensions (ties broken alphabetically, so the result is
+// deterministic). Words with no overlapping dst word are left unmapped.
+//
+// This is the mapping conceptual atomism allows: it compares words one at a
+// time and never looks at how either language divides the rest of the field.
+func AtomisticMapping(src, dst *Language) WordMapping {
+	m := WordMapping{}
+	dstWords := dst.Words()
+	sort.Strings(dstWords)
+	for _, w := range src.Words() {
+		ext, _ := src.Extension(w)
+		best := ""
+		bestScore := 0.0
+		for _, dw := range dstWords {
+			dext, _ := dst.Extension(dw)
+			score := jaccard(ext, dext)
+			if score > bestScore {
+				bestScore = score
+				best = dw
+			}
+		}
+		if best != "" {
+			m[w] = best
+		}
+	}
+	return m
+}
+
+// jaccard computes the Jaccard similarity of two cell sets.
+func jaccard(a, b []Cell) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inA := map[Cell]bool{}
+	for _, c := range a {
+		inA[c] = true
+	}
+	inter := 0
+	union := len(a)
+	for _, c := range b {
+		if inA[c] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// TranslateAtomistic translates one occurrence (a cell) from src to dst using
+// the atomistic mapping: the cell is encoded as the first src word covering
+// it, the mapping is applied, and the dst word's whole extension is returned
+// as the meaning the target audience reconstructs. The boolean reports
+// whether a translation existed at all (the cell was covered and its word was
+// mapped).
+func TranslateAtomistic(src, dst *Language, m WordMapping, c Cell) (word string, extension []Cell, ok bool) {
+	words := src.WordsFor(c)
+	if len(words) == 0 {
+		return "", nil, false
+	}
+	target, ok := m[words[0]]
+	if !ok {
+		return "", nil, false
+	}
+	ext, _ := dst.Extension(target)
+	return target, ext, true
+}
+
+// TranslateFieldRelative translates one occurrence by the field structure of
+// the target language: the dst word(s) covering the cell itself. This is the
+// translation a speaker of dst would produce, because it respects where dst
+// draws its own fissures in the field.
+func TranslateFieldRelative(dst *Language, c Cell) (word string, extension []Cell, ok bool) {
+	words := dst.WordsFor(c)
+	if len(words) == 0 {
+		return "", nil, false
+	}
+	ext, _ := dst.Extension(words[0])
+	return words[0], ext, true
+}
+
+// Method selects a translation strategy for the loss analysis.
+type Method int
+
+// Translation methods.
+const (
+	// Atomistic uses a fixed word-to-word mapping.
+	Atomistic Method = iota
+	// FieldRelative re-encodes each occurrence in the target language's own
+	// division of the field.
+	FieldRelative
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Atomistic:
+		return "atomistic"
+	case FieldRelative:
+		return "field-relative"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// LossReport quantifies how much of the source language's distinctions a
+// translation strategy loses.
+type LossReport struct {
+	Method Method
+	// Evaluated is the number of cells evaluated: those covered by the
+	// source language.
+	Evaluated int
+	// Untranslatable is the number of evaluated cells for which the strategy
+	// produced no target word at all.
+	Untranslatable int
+	// Misplaced is the number of evaluated cells whose produced target word
+	// does not actually cover the cell: the translation names a region of the
+	// field the occurrence is not in (the "doorknob" rendered as "pomello"
+	// when the thing is, for Italian, a maniglia).
+	Misplaced int
+	// MeanJaccard is the mean Jaccard similarity between the source word's
+	// extension and the produced target word's extension over the evaluated
+	// cells (0 for untranslatable cells).
+	MeanJaccard float64
+}
+
+// ErrorRate is the fraction of evaluated cells that were untranslatable or
+// misplaced.
+func (r LossReport) ErrorRate() float64 {
+	if r.Evaluated == 0 {
+		return 0
+	}
+	return float64(r.Untranslatable+r.Misplaced) / float64(r.Evaluated)
+}
+
+// String renders the report.
+func (r LossReport) String() string {
+	return fmt.Sprintf("%s: %d cells, %d untranslatable, %d misplaced, error rate %.3f, mean Jaccard %.3f",
+		r.Method, r.Evaluated, r.Untranslatable, r.Misplaced, r.ErrorRate(), r.MeanJaccard)
+}
+
+// TranslationLoss measures the loss of translating every covered cell of src
+// into dst under the given method. For the atomistic method the mapping is
+// recomputed with AtomisticMapping; use TranslationLossWithMapping to supply
+// a hand-built dictionary.
+func TranslationLoss(src, dst *Language, method Method) LossReport {
+	var m WordMapping
+	if method == Atomistic {
+		m = AtomisticMapping(src, dst)
+	}
+	return TranslationLossWithMapping(src, dst, method, m)
+}
+
+// TranslationLossWithMapping is TranslationLoss with an explicit atomistic
+// mapping (ignored for the field-relative method).
+func TranslationLossWithMapping(src, dst *Language, method Method, m WordMapping) LossReport {
+	rep := LossReport{Method: method}
+	var jaccardSum float64
+	for _, c := range src.Covered() {
+		rep.Evaluated++
+		srcWords := src.WordsFor(c)
+		srcExt, _ := src.Extension(srcWords[0])
+		var word string
+		var ext []Cell
+		var ok bool
+		switch method {
+		case Atomistic:
+			word, ext, ok = TranslateAtomistic(src, dst, m, c)
+		case FieldRelative:
+			word, ext, ok = TranslateFieldRelative(dst, c)
+		}
+		if !ok {
+			rep.Untranslatable++
+			continue
+		}
+		jaccardSum += jaccard(srcExt, ext)
+		if !contains(ext, c) {
+			rep.Misplaced++
+		}
+		_ = word
+	}
+	if rep.Evaluated > 0 {
+		rep.MeanJaccard = jaccardSum / float64(rep.Evaluated)
+	}
+	return rep
+}
+
+// contains reports whether the cell slice contains the cell.
+func contains(cells []Cell, c Cell) bool {
+	for _, x := range cells {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Divergence measures how differently two languages divide the shared part of
+// the semantic space: the fraction of cell pairs (both covered by both
+// languages) on which the languages disagree about whether the two cells fall
+// under the same word. It is 0 when the two languages draw identical
+// boundaries on the shared region and approaches 1 as every boundary of one
+// cuts across the other.
+func Divergence(a, b *Language) float64 {
+	var shared []Cell
+	for _, c := range a.Space().Cells() {
+		if a.Covers(c) && b.Covers(c) {
+			shared = append(shared, c)
+		}
+	}
+	if len(shared) < 2 {
+		return 0
+	}
+	disagreements := 0
+	pairs := 0
+	for i := 0; i < len(shared); i++ {
+		for j := i + 1; j < len(shared); j++ {
+			pairs++
+			sameA := sameWord(a, shared[i], shared[j])
+			sameB := sameWord(b, shared[i], shared[j])
+			if sameA != sameB {
+				disagreements++
+			}
+		}
+	}
+	return float64(disagreements) / float64(pairs)
+}
+
+// sameWord reports whether the language files both cells under some common
+// word.
+func sameWord(l *Language, x, y Cell) bool {
+	for _, wx := range l.WordsFor(x) {
+		for _, wy := range l.WordsFor(y) {
+			if wx == wy {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+package semfield
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomisticMappingDoorknob(t *testing.T) {
+	_, english, italian := DoorknobExample()
+	m := AtomisticMapping(english, italian)
+	// "doorknob" overlaps pomello on 3 cells (Jaccard 3/5) and maniglia on
+	// 2 of 5 (Jaccard 2/8); the dictionary gloss is pomello.
+	if m["doorknob"] != "pomello" {
+		t.Errorf("doorknob maps to %q, want pomello", m["doorknob"])
+	}
+	if m["doorhandle"] != "maniglia" {
+		t.Errorf("doorhandle maps to %q, want maniglia", m["doorhandle"])
+	}
+}
+
+func TestTranslationLossDoorknob(t *testing.T) {
+	_, english, italian := DoorknobExample()
+	atomistic := TranslationLoss(english, italian, Atomistic)
+	field := TranslationLoss(english, italian, FieldRelative)
+	if field.ErrorRate() != 0 {
+		t.Errorf("field-relative error rate = %f, want 0 (Italian covers the whole field)", field.ErrorRate())
+	}
+	if atomistic.ErrorRate() <= field.ErrorRate() {
+		t.Errorf("atomistic error rate (%f) should exceed field-relative (%f): the paper's doorknob/maniglia loss",
+			atomistic.ErrorRate(), field.ErrorRate())
+	}
+	// Exactly the cells English files under doorknob but Italian under
+	// maniglia are misplaced: thumb-latch-knob and lever-knob-hybrid.
+	if atomistic.Misplaced != 2 {
+		t.Errorf("Misplaced = %d, want 2", atomistic.Misplaced)
+	}
+	if atomistic.Untranslatable != 0 {
+		t.Errorf("Untranslatable = %d, want 0", atomistic.Untranslatable)
+	}
+	if atomistic.Evaluated != 8 {
+		t.Errorf("Evaluated = %d, want 8", atomistic.Evaluated)
+	}
+}
+
+func TestTranslationLossAgeAdjectives(t *testing.T) {
+	_, italian, spanish, french := AgeAdjectivesExample()
+	type pair struct {
+		src, dst *Language
+	}
+	for _, p := range []pair{{italian, spanish}, {spanish, italian}, {italian, french}, {spanish, french}} {
+		t.Run(p.src.Name()+"→"+p.dst.Name(), func(t *testing.T) {
+			atomistic := TranslationLoss(p.src, p.dst, Atomistic)
+			field := TranslationLoss(p.src, p.dst, FieldRelative)
+			if atomistic.ErrorRate() < field.ErrorRate() {
+				t.Errorf("atomistic error (%f) below field-relative (%f)", atomistic.ErrorRate(), field.ErrorRate())
+			}
+			if field.ErrorRate() != 0 {
+				t.Errorf("field-relative error = %f, want 0: all three languages cover the field", field.ErrorRate())
+			}
+		})
+	}
+	// Italian → Spanish must lose something: anziano spans three cells that
+	// Spanish splits across anciano, mayor and antiguo.
+	if loss := TranslationLoss(italian, spanish, Atomistic); loss.Misplaced == 0 {
+		t.Error("Italian→Spanish atomistic translation should misplace some anziano cells")
+	}
+}
+
+func TestTranslateAtomisticAndFieldRelative(t *testing.T) {
+	_, english, italian := DoorknobExample()
+	m := AtomisticMapping(english, italian)
+	// A cell on the English side of the boundary but the Italian other side.
+	word, ext, ok := TranslateAtomistic(english, italian, m, "lever-knob-hybrid")
+	if !ok {
+		t.Fatal("TranslateAtomistic failed on a covered cell")
+	}
+	if word != "pomello" {
+		t.Errorf("atomistic translation = %q, want pomello (the dictionary gloss of doorknob)", word)
+	}
+	if contains(ext, "lever-knob-hybrid") {
+		t.Error("the atomistic gloss should not cover the translated cell: that is the loss")
+	}
+	word, ext, ok = TranslateFieldRelative(italian, "lever-knob-hybrid")
+	if !ok || word != "maniglia" || !contains(ext, "lever-knob-hybrid") {
+		t.Errorf("field-relative translation = %q (ok=%v), want maniglia covering the cell", word, ok)
+	}
+	// Uncovered cells are untranslatable either way.
+	s := NewSpace("a", "b")
+	empty := NewLanguage(s, "empty-ish")
+	empty.MustAddLexeme("w", "a")
+	if _, _, ok := TranslateFieldRelative(empty, "b"); ok {
+		t.Error("field-relative translation of an uncovered cell should fail")
+	}
+	if _, _, ok := TranslateAtomistic(empty, empty, WordMapping{}, "b"); ok {
+		t.Error("atomistic translation of an uncovered cell should fail")
+	}
+}
+
+func TestDivergence(t *testing.T) {
+	_, english, italian := DoorknobExample()
+	if d := Divergence(english, english); d != 0 {
+		t.Errorf("Divergence of a language with itself = %f, want 0", d)
+	}
+	d := Divergence(english, italian)
+	if d <= 0 || d >= 1 {
+		t.Errorf("Divergence(English, Italian) = %f, want strictly between 0 and 1", d)
+	}
+	if d2 := Divergence(italian, english); d2 != d {
+		t.Errorf("Divergence is not symmetric: %f vs %f", d, d2)
+	}
+}
+
+func TestLossReportStringAndMethodString(t *testing.T) {
+	_, english, italian := DoorknobExample()
+	rep := TranslationLoss(english, italian, Atomistic)
+	if rep.String() == "" {
+		t.Error("empty String rendering")
+	}
+	if Atomistic.String() != "atomistic" || FieldRelative.String() != "field-relative" {
+		t.Error("Method.String misnames the methods")
+	}
+	if Method(42).String() == "" {
+		t.Error("unknown method should still render")
+	}
+}
+
+// TestIdenticalLanguagesLossless is the property test: translating between
+// two identically divided languages loses nothing under either method.
+func TestIdenticalLanguagesLossless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space, a := randomLanguage(rng, "A")
+		b := cloneLanguage(space, a, "B")
+		if TranslationLoss(a, b, Atomistic).ErrorRate() != 0 {
+			return false
+		}
+		return TranslationLoss(a, b, FieldRelative).ErrorRate() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFieldRelativeNeverWorse is the property test behind experiment E4: on
+// fully covering partition languages, the field-relative method's error rate
+// never exceeds the atomistic one.
+func TestFieldRelativeNeverWorse(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		space, a := randomLanguage(rngA, "A")
+		rngB := rand.New(rand.NewSource(seedB))
+		b := randomLanguageOver(rngB, space, "B")
+		atom := TranslationLoss(a, b, Atomistic).ErrorRate()
+		field := TranslationLoss(a, b, FieldRelative).ErrorRate()
+		return field <= atom+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomLanguage builds a random partition language over a random 6–14 cell
+// space.
+func randomLanguage(rng *rand.Rand, name string) (*Space, *Language) {
+	n := 6 + rng.Intn(9)
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell(fmt.Sprintf("c%d", i))
+	}
+	space := NewSpace(cells...)
+	return space, randomLanguageOver(rng, space, name)
+}
+
+// randomLanguageOver partitions the space's cells into 2–5 contiguous words.
+func randomLanguageOver(rng *rand.Rand, space *Space, name string) *Language {
+	l := NewLanguage(space, name)
+	cells := space.Cells()
+	words := 2 + rng.Intn(4)
+	if words > len(cells) {
+		words = len(cells)
+	}
+	// Choose word boundaries.
+	boundaries := map[int]bool{}
+	for len(boundaries) < words-1 {
+		boundaries[1+rng.Intn(len(cells)-1)] = true
+	}
+	start := 0
+	word := 0
+	for i := 1; i <= len(cells); i++ {
+		if i == len(cells) || boundaries[i] {
+			ext := cells[start:i]
+			l.MustAddLexeme(fmt.Sprintf("%s_w%d", name, word), ext...)
+			word++
+			start = i
+		}
+	}
+	return l
+}
+
+// cloneLanguage copies a language's division under new word names.
+func cloneLanguage(space *Space, src *Language, name string) *Language {
+	dst := NewLanguage(space, name)
+	for _, lx := range src.Lexemes() {
+		dst.MustAddLexeme(name+"_"+lx.Word, lx.Extension...)
+	}
+	return dst
+}

@@ -1,0 +1,78 @@
+package semfield
+
+// This file contains the paper's two worked lexical-field examples as
+// ready-made builders, so that tests, examples and experiment E4 all exercise
+// exactly the configurations drawn in §3.
+
+// DoorknobExample reproduces the paper's doorknob/door-handle vs
+// pomello/maniglia schema: a one-dimensional field of door-opening fixtures
+// ranging from round knobs to lever handles, which English and Italian divide
+// at different points. The middle cells are the ones English calls doorknobs
+// but Italian files under maniglia.
+//
+// It returns the space, the English language, and the Italian language.
+func DoorknobExample() (*Space, *Language, *Language) {
+	// Cells ordered from "most knob-like" to "most handle-like".
+	cells := []Cell{
+		"round-knob", "oval-knob", "knob-with-latch", "thumb-latch-knob",
+		"lever-knob-hybrid", "short-lever", "long-lever", "bar-handle",
+	}
+	space := NewSpace(cells...)
+
+	english := NewLanguage(space, "English")
+	english.MustAddLexeme("doorknob",
+		"round-knob", "oval-knob", "knob-with-latch", "thumb-latch-knob", "lever-knob-hybrid")
+	english.MustAddLexeme("doorhandle",
+		"short-lever", "long-lever", "bar-handle")
+
+	italian := NewLanguage(space, "Italian")
+	italian.MustAddLexeme("pomello",
+		"round-knob", "oval-knob", "knob-with-latch")
+	italian.MustAddLexeme("maniglia",
+		"thumb-latch-knob", "lever-knob-hybrid", "short-lever", "long-lever", "bar-handle")
+
+	return space, english, italian
+}
+
+// AgeAdjectivesExample reproduces the paper's table of adjectives of old age
+// in Italian, Spanish and French (after Geckeler): the field is divided into
+// regions (aged wine, old things, old persons, respectful reference to old
+// persons, seniority in a function, ancient things), and the three languages
+// cover them with differently-shaped lexemes.
+//
+// It returns the space and the three languages in the order Italian, Spanish,
+// French.
+func AgeAdjectivesExample() (*Space, *Language, *Language, *Language) {
+	cells := []Cell{
+		"aged-beverage",      // un ron añejo
+		"old-thing",          // una casa vieja / una vecchia casa / une vieille maison
+		"old-person",         // persona anziana / anciano / âgé
+		"respected-elder",    // persona mayor
+		"senior-in-function", // il sergente anziano / el sargento antiguo / le sergent ancien
+		"ancient-thing",      // antico / antiguo / antique
+	}
+	space := NewSpace(cells...)
+
+	italian := NewLanguage(space, "Italian")
+	// Italian has no dedicated appreciative form for aged beverages; vecchio
+	// covers them along with old things generally.
+	italian.MustAddLexeme("vecchio", "aged-beverage", "old-thing")
+	italian.MustAddLexeme("anziano", "old-person", "respected-elder", "senior-in-function")
+	italian.MustAddLexeme("antico", "ancient-thing")
+
+	spanish := NewLanguage(space, "Spanish")
+	spanish.MustAddLexeme("añejo", "aged-beverage")
+	spanish.MustAddLexeme("viejo", "old-thing")
+	spanish.MustAddLexeme("anciano", "old-person")
+	spanish.MustAddLexeme("mayor", "respected-elder")
+	spanish.MustAddLexeme("antiguo", "senior-in-function", "ancient-thing")
+
+	french := NewLanguage(space, "French")
+	// French, like Italian, folds aged beverages under the basic adjective.
+	french.MustAddLexeme("vieux", "aged-beverage", "old-thing")
+	french.MustAddLexeme("âgé", "old-person", "respected-elder")
+	french.MustAddLexeme("ancien", "senior-in-function")
+	french.MustAddLexeme("antique", "ancient-thing")
+
+	return space, italian, spanish, french
+}

@@ -1,0 +1,235 @@
+// Package semfield implements the structural (field-theoretic) view of
+// lexical meaning that the paper's §3 uses against conceptual atomism: a
+// semantic space that different languages divide differently, lexemes as
+// coverings of regions of that space, and two ways of mapping one language
+// onto another —
+//
+//   - an atomistic mapping, which pairs each word of the source language with
+//     a single best-matching word of the target language ("doorknob" ↦
+//     "pomello") and ignores how the target language actually divides the
+//     field;
+//   - a field-relative mapping, which translates occurrences (cells of the
+//     space) by asking which target word covers that cell.
+//
+// The paper's doorknob/pomello and vecchio/viejo/vieux examples are provided
+// as ready-made builders, and the loss metrics quantify its claim that the
+// atomistic mapping loses exactly the distinctions that arise "at the
+// fissures" of each language's division of the field.
+package semfield
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cell is an atomic region of a semantic space: a designatum fine-grained
+// enough that every language under consideration either covers it with one of
+// its words or does not cover it at all.
+type Cell string
+
+// Space is a finite semantic space: an ordered set of cells. The order is
+// only used for deterministic iteration; no geometry is implied.
+type Space struct {
+	cells []Cell
+	index map[Cell]int
+}
+
+// NewSpace builds a space from its cells, ignoring duplicates.
+func NewSpace(cells ...Cell) *Space {
+	s := &Space{index: map[Cell]int{}}
+	for _, c := range cells {
+		if _, ok := s.index[c]; ok {
+			continue
+		}
+		s.index[c] = len(s.cells)
+		s.cells = append(s.cells, c)
+	}
+	return s
+}
+
+// Cells returns the cells in insertion order. The slice is a copy.
+func (s *Space) Cells() []Cell {
+	return append([]Cell(nil), s.cells...)
+}
+
+// Contains reports whether the cell belongs to the space.
+func (s *Space) Contains(c Cell) bool {
+	_, ok := s.index[c]
+	return ok
+}
+
+// Len returns the number of cells.
+func (s *Space) Len() int { return len(s.cells) }
+
+// Lexeme is a word of a language together with its extension: the set of
+// cells it covers.
+type Lexeme struct {
+	Word      string
+	Extension []Cell
+}
+
+// Language is a named division of a semantic space into lexemes. A language
+// need not cover the whole space (some things are simply not lexicalized) and
+// its lexemes may overlap (near-synonyms), although the paper's examples are
+// overlap-free within each language.
+//
+// Language is not safe for concurrent mutation.
+type Language struct {
+	name    string
+	space   *Space
+	lexemes []Lexeme
+	byWord  map[string]int
+	byCell  map[Cell][]string
+}
+
+// NewLanguage returns an empty language over the space.
+func NewLanguage(space *Space, name string) *Language {
+	return &Language{
+		name:   name,
+		space:  space,
+		byWord: map[string]int{},
+		byCell: map[Cell][]string{},
+	}
+}
+
+// Name returns the language's name.
+func (l *Language) Name() string { return l.name }
+
+// Space returns the semantic space the language divides.
+func (l *Language) Space() *Space { return l.space }
+
+// AddLexeme adds a word with its extension. It is an error to add the same
+// word twice, to add a word with an empty extension, or to reference a cell
+// outside the space.
+func (l *Language) AddLexeme(word string, extension ...Cell) error {
+	if word == "" {
+		return fmt.Errorf("semfield: empty word in language %s", l.name)
+	}
+	if _, dup := l.byWord[word]; dup {
+		return fmt.Errorf("semfield: word %q already defined in language %s", word, l.name)
+	}
+	if len(extension) == 0 {
+		return fmt.Errorf("semfield: word %q has an empty extension", word)
+	}
+	seen := map[Cell]bool{}
+	ext := make([]Cell, 0, len(extension))
+	for _, c := range extension {
+		if !l.space.Contains(c) {
+			return fmt.Errorf("semfield: cell %q is not in the space of language %s", c, l.name)
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		ext = append(ext, c)
+	}
+	l.byWord[word] = len(l.lexemes)
+	l.lexemes = append(l.lexemes, Lexeme{Word: word, Extension: ext})
+	for _, c := range ext {
+		l.byCell[c] = append(l.byCell[c], word)
+	}
+	return nil
+}
+
+// MustAddLexeme is AddLexeme panicking on error; for statically known
+// languages in tests and examples.
+func (l *Language) MustAddLexeme(word string, extension ...Cell) {
+	if err := l.AddLexeme(word, extension...); err != nil {
+		panic(err)
+	}
+}
+
+// Words returns the words of the language in insertion order.
+func (l *Language) Words() []string {
+	out := make([]string, len(l.lexemes))
+	for i, lx := range l.lexemes {
+		out[i] = lx.Word
+	}
+	return out
+}
+
+// Extension returns a copy of the extension of a word.
+func (l *Language) Extension(word string) ([]Cell, bool) {
+	i, ok := l.byWord[word]
+	if !ok {
+		return nil, false
+	}
+	return append([]Cell(nil), l.lexemes[i].Extension...), true
+}
+
+// WordsFor returns the words whose extension contains the cell, in insertion
+// order. An uncovered cell yields an empty slice.
+func (l *Language) WordsFor(c Cell) []string {
+	return append([]string(nil), l.byCell[c]...)
+}
+
+// Covers reports whether some word of the language covers the cell.
+func (l *Language) Covers(c Cell) bool {
+	return len(l.byCell[c]) > 0
+}
+
+// Covered returns the cells covered by at least one word, in space order.
+func (l *Language) Covered() []Cell {
+	var out []Cell
+	for _, c := range l.space.cells {
+		if l.Covers(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsPartition reports whether the language's lexemes are pairwise disjoint,
+// i.e. whether the language divides (its part of) the field rather than
+// layering near-synonyms over it.
+func (l *Language) IsPartition() bool {
+	for _, words := range l.byCell {
+		if len(words) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Lexemes returns a copy of the lexeme list in insertion order.
+func (l *Language) Lexemes() []Lexeme {
+	out := make([]Lexeme, len(l.lexemes))
+	for i, lx := range l.lexemes {
+		out[i] = Lexeme{Word: lx.Word, Extension: append([]Cell(nil), lx.Extension...)}
+	}
+	return out
+}
+
+// Oppositions returns, for each word, the words it is directly opposed to:
+// those whose extensions are disjoint from it but adjacent in the sense of
+// sharing the field (both cover some cell of the other's lexeme's complement
+// within the union of the two). In the structural view the paper endorses, a
+// word's meaning is constituted by exactly these oppositions.
+func (l *Language) Oppositions(word string) []string {
+	ext, ok := l.Extension(word)
+	if !ok {
+		return nil
+	}
+	extSet := map[Cell]bool{}
+	for _, c := range ext {
+		extSet[c] = true
+	}
+	var out []string
+	for _, lx := range l.lexemes {
+		if lx.Word == word {
+			continue
+		}
+		overlap := false
+		for _, c := range lx.Extension {
+			if extSet[c] {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			out = append(out, lx.Word)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

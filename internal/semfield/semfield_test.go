@@ -1,0 +1,155 @@
+package semfield
+
+import (
+	"testing"
+)
+
+func TestSpaceBasics(t *testing.T) {
+	s := NewSpace("a", "b", "c", "b")
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (duplicates ignored)", s.Len())
+	}
+	if !s.Contains("a") || s.Contains("z") {
+		t.Error("Contains misreports membership")
+	}
+	cells := s.Cells()
+	if len(cells) != 3 || cells[0] != "a" || cells[2] != "c" {
+		t.Errorf("Cells = %v, want [a b c]", cells)
+	}
+	cells[0] = "mutated"
+	if s.Cells()[0] != "a" {
+		t.Error("Cells returned a live reference to internal state")
+	}
+}
+
+func TestLanguageValidation(t *testing.T) {
+	s := NewSpace("a", "b")
+	l := NewLanguage(s, "L")
+	if err := l.AddLexeme("", "a"); err == nil {
+		t.Error("accepted empty word")
+	}
+	if err := l.AddLexeme("w"); err == nil {
+		t.Error("accepted empty extension")
+	}
+	if err := l.AddLexeme("w", "z"); err == nil {
+		t.Error("accepted out-of-space cell")
+	}
+	if err := l.AddLexeme("w", "a", "a", "b"); err != nil {
+		t.Fatalf("rejected valid lexeme: %v", err)
+	}
+	if err := l.AddLexeme("w", "b"); err == nil {
+		t.Error("accepted duplicate word")
+	}
+	ext, ok := l.Extension("w")
+	if !ok || len(ext) != 2 {
+		t.Errorf("Extension(w) = %v, %v; want deduplicated [a b]", ext, ok)
+	}
+}
+
+func TestLanguageQueries(t *testing.T) {
+	s := NewSpace("a", "b", "c", "d")
+	l := NewLanguage(s, "L")
+	l.MustAddLexeme("x", "a", "b")
+	l.MustAddLexeme("y", "c")
+	if got := l.WordsFor("a"); len(got) != 1 || got[0] != "x" {
+		t.Errorf("WordsFor(a) = %v, want [x]", got)
+	}
+	if l.Covers("d") {
+		t.Error("Covers(d) = true for an uncovered cell")
+	}
+	covered := l.Covered()
+	if len(covered) != 3 {
+		t.Errorf("Covered = %v, want 3 cells", covered)
+	}
+	if !l.IsPartition() {
+		t.Error("disjoint lexemes should form a partition")
+	}
+	l.MustAddLexeme("z", "b", "d")
+	if l.IsPartition() {
+		t.Error("overlapping lexemes reported as a partition")
+	}
+	if got := l.Words(); len(got) != 3 || got[0] != "x" {
+		t.Errorf("Words = %v", got)
+	}
+	lexemes := l.Lexemes()
+	lexemes[0].Extension[0] = "mutated"
+	if ext, _ := l.Extension("x"); ext[0] != "a" {
+		t.Error("Lexemes leaked a live extension slice")
+	}
+}
+
+func TestOppositions(t *testing.T) {
+	_, english, _ := DoorknobExample()
+	opp := english.Oppositions("doorknob")
+	if len(opp) != 1 || opp[0] != "doorhandle" {
+		t.Errorf("Oppositions(doorknob) = %v, want [doorhandle]", opp)
+	}
+	if got := english.Oppositions("no-such-word"); got != nil {
+		t.Errorf("Oppositions of unknown word = %v, want nil", got)
+	}
+}
+
+func TestDoorknobExampleShape(t *testing.T) {
+	space, english, italian := DoorknobExample()
+	if space.Len() != 8 {
+		t.Fatalf("space has %d cells, want 8", space.Len())
+	}
+	for _, l := range []*Language{english, italian} {
+		if !l.IsPartition() {
+			t.Errorf("%s should partition the field", l.Name())
+		}
+		if len(l.Covered()) != space.Len() {
+			t.Errorf("%s should cover the whole field", l.Name())
+		}
+	}
+	// The paper's point: some English doorknobs are Italian maniglie.
+	ext, _ := english.Extension("doorknob")
+	crossover := 0
+	for _, c := range ext {
+		for _, w := range italian.WordsFor(c) {
+			if w == "maniglia" {
+				crossover++
+			}
+		}
+	}
+	if crossover == 0 {
+		t.Error("expected some doorknob cells to fall under maniglia")
+	}
+	// But not all of them: pomelli are, in general, doorknobs.
+	if crossover == len(ext) {
+		t.Error("every doorknob cell fell under maniglia; the example should keep pomello ⊂ doorknob")
+	}
+}
+
+func TestAgeAdjectivesExampleShape(t *testing.T) {
+	space, italian, spanish, french := AgeAdjectivesExample()
+	if space.Len() != 6 {
+		t.Fatalf("space has %d cells, want 6", space.Len())
+	}
+	// Spanish is the only language with a dedicated word for aged beverages
+	// and for respectful reference to the old.
+	if got := spanish.WordsFor("aged-beverage"); len(got) != 1 || got[0] != "añejo" {
+		t.Errorf("Spanish aged-beverage = %v, want [añejo]", got)
+	}
+	if got := spanish.WordsFor("respected-elder"); len(got) != 1 || got[0] != "mayor" {
+		t.Errorf("Spanish respected-elder = %v, want [mayor]", got)
+	}
+	// Italian anziano covers seniority in a function, where Spanish uses
+	// antiguo and French ancien: three different shapes over the same cell.
+	cell := Cell("senior-in-function")
+	if got := italian.WordsFor(cell); len(got) != 1 || got[0] != "anziano" {
+		t.Errorf("Italian senior-in-function = %v, want [anziano]", got)
+	}
+	if got := spanish.WordsFor(cell); len(got) != 1 || got[0] != "antiguo" {
+		t.Errorf("Spanish senior-in-function = %v, want [antiguo]", got)
+	}
+	if got := french.WordsFor(cell); len(got) != 1 || got[0] != "ancien" {
+		t.Errorf("French senior-in-function = %v, want [ancien]", got)
+	}
+	// All three languages cover the whole space.
+	for _, l := range []*Language{italian, spanish, french} {
+		if len(l.Covered()) != space.Len() {
+			t.Errorf("%s covers %d cells, want %d", l.Name(), len(l.Covered()), space.Len())
+		}
+	}
+}

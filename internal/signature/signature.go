@@ -1,0 +1,543 @@
+// Package signature implements the Bench-Capon and Malcolm formalization of
+// ontologies that the paper's §2 singles out as "the most promising attempt at
+// a definition of an ontonomy": ontology signatures over order-sorted data
+// domains, ontonomies as signatures paired with axioms, and finite
+// interpretations (models) with a satisfaction check.
+//
+// Following the paper's Definition 1, an ontology signature is a triple
+// (D, C, A) where D is a data domain (an order-sorted equational theory with
+// a model, from package algebra), C is a partial order of classes, and A is a
+// family of attribute-symbol sets A[c][e] indexed by a class c and a target e
+// that is either a class or a sort, subject to the inheritance condition
+//
+//	A[c'][e] ⊆ A[c][e']   whenever c ≤ c' and e ≤ e'.
+//
+// An ontonomy is an ontology signature together with a set of axioms; a model
+// of the ontonomy is an interpretation of the signature that satisfies the
+// axioms.
+package signature
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/order"
+)
+
+// Class is the name of a class in the class hierarchy.
+type Class string
+
+// Target is the target of an attribute: either a class or a sort of the data
+// domain. Exactly one of Class and Sort is non-empty.
+type Target struct {
+	Class Class
+	Sort  algebra.Sort
+}
+
+// ClassTarget returns a Target naming a class.
+func ClassTarget(c Class) Target { return Target{Class: c} }
+
+// SortTarget returns a Target naming a data sort.
+func SortTarget(s algebra.Sort) Target { return Target{Sort: s} }
+
+// IsClass reports whether the target is a class.
+func (t Target) IsClass() bool { return t.Class != "" }
+
+// String renders the target.
+func (t Target) String() string {
+	if t.IsClass() {
+		return string(t.Class)
+	}
+	return string(t.Sort)
+}
+
+// Attribute is a named attribute symbol declared on a class with a target.
+type Attribute struct {
+	Name   string
+	Owner  Class
+	Target Target
+}
+
+// Signature is an ontology signature (D, C, A).
+type Signature struct {
+	domain  *algebra.DataDomain
+	classes *order.Poset[Class]
+	attrs   []Attribute
+}
+
+// New creates an ontology signature over the given data domain with an empty
+// class hierarchy.
+func New(domain *algebra.DataDomain) *Signature {
+	return &Signature{domain: domain, classes: order.New[Class]()}
+}
+
+// Domain returns the underlying data domain.
+func (s *Signature) Domain() *algebra.DataDomain { return s.domain }
+
+// Classes returns the class hierarchy poset.
+func (s *Signature) Classes() *order.Poset[Class] { return s.classes }
+
+// AddClass declares a class.
+func (s *Signature) AddClass(c Class) { s.classes.Add(c) }
+
+// AddSubclass declares sub ≤ super in the class hierarchy.
+func (s *Signature) AddSubclass(sub, super Class) error {
+	return s.classes.Relate(sub, super)
+}
+
+// Subclass reports whether a ≤ b in the class hierarchy.
+func (s *Signature) Subclass(a, b Class) bool { return s.classes.Leq(a, b) }
+
+// DeclareAttribute declares an attribute symbol on a class with a target.
+// The owner class must exist; a class target must exist in the hierarchy and
+// a sort target must exist in the data domain's signature.
+func (s *Signature) DeclareAttribute(a Attribute) error {
+	if !s.classes.Contains(a.Owner) {
+		return fmt.Errorf("signature: attribute %q declared on unknown class %q", a.Name, a.Owner)
+	}
+	if a.Target.IsClass() {
+		if !s.classes.Contains(a.Target.Class) {
+			return fmt.Errorf("signature: attribute %q targets unknown class %q", a.Name, a.Target.Class)
+		}
+	} else {
+		if !s.domain.Theory.Sig.SortOrder().Contains(a.Target.Sort) {
+			return fmt.Errorf("signature: attribute %q targets unknown sort %q", a.Name, a.Target.Sort)
+		}
+	}
+	for _, existing := range s.attrs {
+		if existing.Name == a.Name && existing.Owner == a.Owner {
+			return fmt.Errorf("signature: attribute %q already declared on class %q", a.Name, a.Owner)
+		}
+	}
+	s.attrs = append(s.attrs, a)
+	return nil
+}
+
+// Attributes returns all declared attributes, sorted by owner then name.
+func (s *Signature) Attributes() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Owner != out[j].Owner {
+			return out[i].Owner < out[j].Owner
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AttributesOf returns the attributes applicable to class c: those declared
+// on c or on any superclass of c (the inheritance induced by the Definition 1
+// condition).
+func (s *Signature) AttributesOf(c Class) []Attribute {
+	var out []Attribute
+	for _, a := range s.Attributes() {
+		if s.classes.Leq(c, a.Owner) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Family returns A[c][target-name] as the set of attribute names declared on
+// or inherited by class c with targets at or below the given target. It is
+// the explicit attribute family of Definition 1.
+func (s *Signature) Family(c Class, target Target) []string {
+	var out []string
+	for _, a := range s.AttributesOf(c) {
+		if s.targetLeq(a.Target, target) {
+			out = append(out, a.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// targetLeq reports whether target a ≤ target b: both are classes related in
+// the class hierarchy, or both are sorts related in the sub-sort order.
+func (s *Signature) targetLeq(a, b Target) bool {
+	if a.IsClass() != b.IsClass() {
+		return false
+	}
+	if a.IsClass() {
+		return s.classes.Leq(a.Class, b.Class)
+	}
+	return s.domain.Theory.Sig.Subsort(a.Sort, b.Sort)
+}
+
+// CheckInheritanceCondition verifies the Definition 1 condition: for all
+// classes c ≤ c' and targets e ≤ e', A[c'][e] ⊆ A[c][e']. With the inherited
+// family computed by Family this holds by construction; the check exists to
+// validate signatures whose attribute families are supplied externally (for
+// example by the workload generators) and to support property-based testing.
+func (s *Signature) CheckInheritanceCondition() error {
+	classes := s.classes.Elements()
+	targets := s.allTargets()
+	for _, c := range classes {
+		for _, cp := range classes {
+			if !s.classes.Leq(c, cp) {
+				continue
+			}
+			for _, e := range targets {
+				for _, ep := range targets {
+					if !s.targetLeq(e, ep) {
+						continue
+					}
+					upper := s.Family(cp, e)
+					lower := toSet(s.Family(c, ep))
+					for _, name := range upper {
+						if !lower[name] {
+							return fmt.Errorf("signature: inheritance condition violated: %q in A[%s][%s] but not in A[%s][%s]",
+								name, cp, e, c, ep)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Signature) allTargets() []Target {
+	var out []Target
+	for _, c := range s.classes.Elements() {
+		out = append(out, ClassTarget(c))
+	}
+	for _, srt := range s.domain.Theory.Sig.Sorts() {
+		out = append(out, SortTarget(srt))
+	}
+	return out
+}
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+// AxiomKind distinguishes the axiom forms supported by ontonomies.
+type AxiomKind int
+
+// Supported axiom kinds.
+const (
+	// AxiomDisjoint requires the instance sets of classes A and B to be
+	// disjoint.
+	AxiomDisjoint AxiomKind = iota
+	// AxiomAttributeRequired requires every instance of class A to have a
+	// defined value for attribute Attr.
+	AxiomAttributeRequired
+	// AxiomAttributeValueIn requires every defined value of Attr on
+	// instances of class A to be one of Values.
+	AxiomAttributeValueIn
+	// AxiomMinInstances requires class A to have at least N instances.
+	AxiomMinInstances
+	// AxiomMaxInstances requires class A to have at most N instances.
+	AxiomMaxInstances
+	// AxiomCover requires every instance of class A to be an instance of at
+	// least one class in Classes.
+	AxiomCover
+)
+
+// String names the axiom kind.
+func (k AxiomKind) String() string {
+	switch k {
+	case AxiomDisjoint:
+		return "disjoint"
+	case AxiomAttributeRequired:
+		return "attribute-required"
+	case AxiomAttributeValueIn:
+		return "attribute-value-in"
+	case AxiomMinInstances:
+		return "min-instances"
+	case AxiomMaxInstances:
+		return "max-instances"
+	case AxiomCover:
+		return "cover"
+	default:
+		return fmt.Sprintf("axiom(%d)", int(k))
+	}
+}
+
+// Axiom is a constraint over interpretations of an ontology signature.
+type Axiom struct {
+	Kind    AxiomKind
+	A, B    Class
+	Attr    string
+	Values  []string
+	N       int
+	Classes []Class
+	Label   string
+}
+
+// String renders the axiom.
+func (a Axiom) String() string {
+	switch a.Kind {
+	case AxiomDisjoint:
+		return fmt.Sprintf("disjoint(%s, %s)", a.A, a.B)
+	case AxiomAttributeRequired:
+		return fmt.Sprintf("required(%s.%s)", a.A, a.Attr)
+	case AxiomAttributeValueIn:
+		return fmt.Sprintf("valuesIn(%s.%s, %v)", a.A, a.Attr, a.Values)
+	case AxiomMinInstances:
+		return fmt.Sprintf("minInstances(%s, %d)", a.A, a.N)
+	case AxiomMaxInstances:
+		return fmt.Sprintf("maxInstances(%s, %d)", a.A, a.N)
+	case AxiomCover:
+		return fmt.Sprintf("cover(%s, %v)", a.A, a.Classes)
+	default:
+		return "unknown axiom"
+	}
+}
+
+// Ontonomy pairs an ontology signature with a set of axioms. This is the
+// artifact the paper proposes to call "ontonomy" rather than "ontology".
+type Ontonomy struct {
+	Sig    *Signature
+	Axioms []Axiom
+}
+
+// NewOntonomy validates that every axiom refers only to declared classes and
+// attributes and returns the ontonomy.
+func NewOntonomy(sig *Signature, axioms []Axiom) (*Ontonomy, error) {
+	for _, ax := range axioms {
+		if err := validateAxiom(sig, ax); err != nil {
+			return nil, err
+		}
+	}
+	return &Ontonomy{Sig: sig, Axioms: append([]Axiom(nil), axioms...)}, nil
+}
+
+func validateAxiom(sig *Signature, ax Axiom) error {
+	checkClass := func(c Class) error {
+		if c != "" && !sig.classes.Contains(c) {
+			return fmt.Errorf("signature: axiom %s refers to unknown class %q", ax, c)
+		}
+		return nil
+	}
+	if err := checkClass(ax.A); err != nil {
+		return err
+	}
+	if err := checkClass(ax.B); err != nil {
+		return err
+	}
+	for _, c := range ax.Classes {
+		if err := checkClass(c); err != nil {
+			return err
+		}
+	}
+	if ax.Kind == AxiomAttributeRequired || ax.Kind == AxiomAttributeValueIn {
+		found := false
+		for _, a := range sig.AttributesOf(ax.A) {
+			if a.Name == ax.Attr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("signature: axiom %s refers to attribute %q not applicable to class %q", ax, ax.Attr, ax.A)
+		}
+	}
+	return nil
+}
+
+// Instance is an individual in an interpretation, identified by name.
+type Instance string
+
+// Interpretation is a finite model candidate for an ontology signature: a set
+// of instances per class and attribute value assignments. Attribute values
+// are strings; for class-targeted attributes they name instances, for
+// sort-targeted attributes they name data-domain carrier values.
+type Interpretation struct {
+	Members map[Class][]Instance
+	// Values[instance][attribute] = value
+	Values map[Instance]map[string]string
+}
+
+// NewInterpretation returns an empty interpretation ready for population.
+func NewInterpretation() *Interpretation {
+	return &Interpretation{
+		Members: map[Class][]Instance{},
+		Values:  map[Instance]map[string]string{},
+	}
+}
+
+// AddMember adds an instance to a class (and, implicitly when checked, to its
+// superclasses).
+func (in *Interpretation) AddMember(c Class, i Instance) {
+	for _, existing := range in.Members[c] {
+		if existing == i {
+			return
+		}
+	}
+	in.Members[c] = append(in.Members[c], i)
+}
+
+// SetValue assigns attribute attr of instance i.
+func (in *Interpretation) SetValue(i Instance, attr, value string) {
+	if in.Values[i] == nil {
+		in.Values[i] = map[string]string{}
+	}
+	in.Values[i][attr] = value
+}
+
+// MembersOf returns the instances of class c including those of its
+// subclasses, deduplicated, in deterministic order.
+func (in *Interpretation) MembersOf(sig *Signature, c Class) []Instance {
+	seen := map[Instance]bool{}
+	var out []Instance
+	for _, sub := range sig.Classes().DownSet(c) {
+		for _, i := range in.Members[sub] {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Violation describes an axiom or structural condition an interpretation
+// fails to satisfy.
+type Violation struct {
+	Axiom   string
+	Detail  string
+	Subject Instance
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	if v.Subject != "" {
+		return fmt.Sprintf("%s: %s (instance %s)", v.Axiom, v.Detail, v.Subject)
+	}
+	return fmt.Sprintf("%s: %s", v.Axiom, v.Detail)
+}
+
+// Check evaluates the interpretation against the ontonomy and returns all
+// violations found (empty means the interpretation is a model of the
+// ontonomy). Structural conditions checked before the axioms: class-targeted
+// attribute values must name instances of the target class, and sort-targeted
+// attribute values must be carrier elements of the target sort.
+func (o *Ontonomy) Check(in *Interpretation) []Violation {
+	var out []Violation
+	out = append(out, o.checkStructure(in)...)
+	for _, ax := range o.Axioms {
+		out = append(out, o.checkAxiom(in, ax)...)
+	}
+	return out
+}
+
+// IsModel reports whether the interpretation satisfies the ontonomy.
+func (o *Ontonomy) IsModel(in *Interpretation) bool { return len(o.Check(in)) == 0 }
+
+func (o *Ontonomy) checkStructure(in *Interpretation) []Violation {
+	var out []Violation
+	for _, c := range o.Sig.Classes().Elements() {
+		for _, a := range o.Sig.AttributesOf(c) {
+			for _, i := range in.Members[c] {
+				val, ok := in.Values[i][a.Name]
+				if !ok {
+					continue // absence is only a violation under a required axiom
+				}
+				if a.Target.IsClass() {
+					members := in.MembersOf(o.Sig, a.Target.Class)
+					if !containsInstance(members, Instance(val)) {
+						out = append(out, Violation{
+							Axiom:   "structure",
+							Detail:  fmt.Sprintf("attribute %q of class %q must name an instance of %q, got %q", a.Name, c, a.Target.Class, val),
+							Subject: i,
+						})
+					}
+				} else {
+					carrier := o.Sig.Domain().Model.Carrier(a.Target.Sort)
+					found := false
+					for _, cv := range carrier {
+						if string(cv) == val {
+							found = true
+							break
+						}
+					}
+					if !found {
+						out = append(out, Violation{
+							Axiom:   "structure",
+							Detail:  fmt.Sprintf("attribute %q of class %q must be a %q value, got %q", a.Name, c, a.Target.Sort, val),
+							Subject: i,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func containsInstance(xs []Instance, x Instance) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Ontonomy) checkAxiom(in *Interpretation, ax Axiom) []Violation {
+	var out []Violation
+	switch ax.Kind {
+	case AxiomDisjoint:
+		as := in.MembersOf(o.Sig, ax.A)
+		bs := toInstanceSet(in.MembersOf(o.Sig, ax.B))
+		for _, i := range as {
+			if bs[i] {
+				out = append(out, Violation{Axiom: ax.String(), Detail: "instance in both classes", Subject: i})
+			}
+		}
+	case AxiomAttributeRequired:
+		for _, i := range in.MembersOf(o.Sig, ax.A) {
+			if _, ok := in.Values[i][ax.Attr]; !ok {
+				out = append(out, Violation{Axiom: ax.String(), Detail: "missing required attribute", Subject: i})
+			}
+		}
+	case AxiomAttributeValueIn:
+		allowed := map[string]bool{}
+		for _, v := range ax.Values {
+			allowed[v] = true
+		}
+		for _, i := range in.MembersOf(o.Sig, ax.A) {
+			if v, ok := in.Values[i][ax.Attr]; ok && !allowed[v] {
+				out = append(out, Violation{Axiom: ax.String(), Detail: fmt.Sprintf("value %q not allowed", v), Subject: i})
+			}
+		}
+	case AxiomMinInstances:
+		if n := len(in.MembersOf(o.Sig, ax.A)); n < ax.N {
+			out = append(out, Violation{Axiom: ax.String(), Detail: fmt.Sprintf("%d instances, need at least %d", n, ax.N)})
+		}
+	case AxiomMaxInstances:
+		if n := len(in.MembersOf(o.Sig, ax.A)); n > ax.N {
+			out = append(out, Violation{Axiom: ax.String(), Detail: fmt.Sprintf("%d instances, allowed at most %d", n, ax.N)})
+		}
+	case AxiomCover:
+		covered := map[Instance]bool{}
+		for _, c := range ax.Classes {
+			for _, i := range in.MembersOf(o.Sig, c) {
+				covered[i] = true
+			}
+		}
+		for _, i := range in.MembersOf(o.Sig, ax.A) {
+			if !covered[i] {
+				out = append(out, Violation{Axiom: ax.String(), Detail: "instance not covered by any listed class", Subject: i})
+			}
+		}
+	}
+	return out
+}
+
+func toInstanceSet(xs []Instance) map[Instance]bool {
+	m := make(map[Instance]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

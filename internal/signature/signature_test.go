@@ -1,0 +1,353 @@
+package signature
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// sizeDomain builds a tiny data domain with a Size sort carrying the values
+// small and big, mirroring the paper's vehicle examples.
+func sizeDomain(t testing.TB) *algebra.DataDomain {
+	t.Helper()
+	sig := algebra.NewSignature()
+	sig.AddSort("Size")
+	sig.AddSort("Count")
+	must := func(op algebra.Operator) {
+		if err := sig.AddOperator(op); err != nil {
+			t.Fatalf("AddOperator: %v", err)
+		}
+	}
+	must(algebra.Operator{Name: "small", Result: "Size"})
+	must(algebra.Operator{Name: "big", Result: "Size"})
+	must(algebra.Operator{Name: "four", Result: "Count"})
+	th, err := algebra.NewTheory(sig, nil)
+	if err != nil {
+		t.Fatalf("NewTheory: %v", err)
+	}
+	m := algebra.NewModel(sig)
+	m.SetCarrier("Size", []algebra.Value{"small", "big"})
+	m.SetCarrier("Count", []algebra.Value{"four"})
+	m.DefineOp("small", nil, "small")
+	m.DefineOp("big", nil, "big")
+	m.DefineOp("four", nil, "four")
+	dd, err := algebra.NewDataDomain(th, m)
+	if err != nil {
+		t.Fatalf("NewDataDomain: %v", err)
+	}
+	return dd
+}
+
+// vehicleSig builds the paper's §3 vehicle ontology signature: car and pickup
+// below motorvehicle and roadvehicle, with size and wheel attributes.
+func vehicleSig(t testing.TB) *Signature {
+	t.Helper()
+	s := New(sizeDomain(t))
+	for _, c := range []Class{"vehicle", "motorvehicle", "roadvehicle", "car", "pickup", "fuel"} {
+		s.AddClass(c)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatalf("building vehicle signature: %v", err)
+		}
+	}
+	must(s.AddSubclass("motorvehicle", "vehicle"))
+	must(s.AddSubclass("roadvehicle", "vehicle"))
+	must(s.AddSubclass("car", "motorvehicle"))
+	must(s.AddSubclass("car", "roadvehicle"))
+	must(s.AddSubclass("pickup", "motorvehicle"))
+	must(s.AddSubclass("pickup", "roadvehicle"))
+	must(s.DeclareAttribute(Attribute{Name: "size", Owner: "vehicle", Target: SortTarget("Size")}))
+	must(s.DeclareAttribute(Attribute{Name: "uses", Owner: "motorvehicle", Target: ClassTarget("fuel")}))
+	must(s.DeclareAttribute(Attribute{Name: "wheels", Owner: "roadvehicle", Target: SortTarget("Count")}))
+	return s
+}
+
+func TestSubclassAndAttributes(t *testing.T) {
+	s := vehicleSig(t)
+	if !s.Subclass("car", "vehicle") {
+		t.Error("car should be a subclass of vehicle (transitively)")
+	}
+	if s.Subclass("vehicle", "car") {
+		t.Error("vehicle is not a subclass of car")
+	}
+	attrs := s.AttributesOf("car")
+	names := map[string]bool{}
+	for _, a := range attrs {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"size", "uses", "wheels"} {
+		if !names[want] {
+			t.Errorf("car should inherit attribute %q, got %v", want, attrs)
+		}
+	}
+	if got := len(s.AttributesOf("fuel")); got != 0 {
+		t.Errorf("fuel should have no attributes, got %d", got)
+	}
+}
+
+func TestDeclareAttributeValidation(t *testing.T) {
+	s := vehicleSig(t)
+	if err := s.DeclareAttribute(Attribute{Name: "x", Owner: "nope", Target: SortTarget("Size")}); err == nil {
+		t.Error("attribute on unknown class should be rejected")
+	}
+	if err := s.DeclareAttribute(Attribute{Name: "x", Owner: "car", Target: ClassTarget("nope")}); err == nil {
+		t.Error("attribute with unknown class target should be rejected")
+	}
+	if err := s.DeclareAttribute(Attribute{Name: "x", Owner: "car", Target: SortTarget("Nope")}); err == nil {
+		t.Error("attribute with unknown sort target should be rejected")
+	}
+	if err := s.DeclareAttribute(Attribute{Name: "size", Owner: "vehicle", Target: SortTarget("Size")}); err == nil {
+		t.Error("duplicate attribute declaration should be rejected")
+	}
+}
+
+func TestFamilyAndInheritanceCondition(t *testing.T) {
+	s := vehicleSig(t)
+	// A[car][Size] must include the size attribute inherited from vehicle.
+	fam := s.Family("car", SortTarget("Size"))
+	if len(fam) != 1 || fam[0] != "size" {
+		t.Errorf("Family(car, Size) = %v, want [size]", fam)
+	}
+	// A[vehicle][fuel] contains nothing; A[car][fuel] contains uses.
+	if got := s.Family("vehicle", ClassTarget("fuel")); len(got) != 0 {
+		t.Errorf("Family(vehicle, fuel) = %v, want empty", got)
+	}
+	if got := s.Family("car", ClassTarget("fuel")); len(got) != 1 || got[0] != "uses" {
+		t.Errorf("Family(car, fuel) = %v, want [uses]", got)
+	}
+	if err := s.CheckInheritanceCondition(); err != nil {
+		t.Errorf("inheritance condition should hold by construction: %v", err)
+	}
+}
+
+func TestTargetHelpers(t *testing.T) {
+	ct := ClassTarget("car")
+	st := SortTarget("Size")
+	if !ct.IsClass() || st.IsClass() {
+		t.Error("IsClass misreports")
+	}
+	if ct.String() != "car" || st.String() != "Size" {
+		t.Error("Target.String misrenders")
+	}
+}
+
+func TestNewOntonomyValidation(t *testing.T) {
+	s := vehicleSig(t)
+	if _, err := NewOntonomy(s, []Axiom{{Kind: AxiomDisjoint, A: "car", B: "spaceship"}}); err == nil {
+		t.Error("axiom with unknown class should be rejected")
+	}
+	if _, err := NewOntonomy(s, []Axiom{{Kind: AxiomAttributeRequired, A: "fuel", Attr: "size"}}); err == nil {
+		t.Error("axiom requiring an attribute not applicable to the class should be rejected")
+	}
+	if _, err := NewOntonomy(s, []Axiom{{Kind: AxiomCover, A: "vehicle", Classes: []Class{"car", "ghost"}}}); err == nil {
+		t.Error("cover axiom with unknown class should be rejected")
+	}
+	o, err := NewOntonomy(s, []Axiom{
+		{Kind: AxiomDisjoint, A: "car", B: "pickup"},
+		{Kind: AxiomAttributeRequired, A: "car", Attr: "size"},
+	})
+	if err != nil {
+		t.Fatalf("valid ontonomy rejected: %v", err)
+	}
+	if len(o.Axioms) != 2 {
+		t.Errorf("Axioms len = %d", len(o.Axioms))
+	}
+}
+
+func carOntonomy(t testing.TB) *Ontonomy {
+	s := vehicleSig(t)
+	o, err := NewOntonomy(s, []Axiom{
+		{Kind: AxiomDisjoint, A: "car", B: "pickup"},
+		{Kind: AxiomAttributeRequired, A: "car", Attr: "size"},
+		{Kind: AxiomAttributeValueIn, A: "car", Attr: "size", Values: []string{"small"}},
+		{Kind: AxiomMinInstances, A: "fuel", N: 1},
+		{Kind: AxiomMaxInstances, A: "pickup", N: 2},
+		{Kind: AxiomCover, A: "motorvehicle", Classes: []Class{"car", "pickup"}},
+	})
+	if err != nil {
+		t.Fatalf("carOntonomy: %v", err)
+	}
+	return o
+}
+
+// goodInterp builds an interpretation satisfying carOntonomy.
+func goodInterp() *Interpretation {
+	in := NewInterpretation()
+	in.AddMember("fuel", "gasoline")
+	in.AddMember("car", "fiat500")
+	in.AddMember("pickup", "hilux")
+	in.SetValue("fiat500", "size", "small")
+	in.SetValue("fiat500", "uses", "gasoline")
+	in.SetValue("fiat500", "wheels", "four")
+	in.SetValue("hilux", "size", "big")
+	return in
+}
+
+func TestCheckModelSatisfied(t *testing.T) {
+	o := carOntonomy(t)
+	in := goodInterp()
+	if violations := o.Check(in); len(violations) != 0 {
+		t.Fatalf("expected model, got violations: %v", violations)
+	}
+	if !o.IsModel(in) {
+		t.Error("IsModel should be true")
+	}
+}
+
+func TestCheckDisjointViolation(t *testing.T) {
+	o := carOntonomy(t)
+	in := goodInterp()
+	in.AddMember("pickup", "fiat500") // same instance in both classes
+	found := false
+	for _, v := range o.Check(in) {
+		if strings.Contains(v.Axiom, "disjoint") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a disjointness violation")
+	}
+}
+
+func TestCheckRequiredAttributeViolation(t *testing.T) {
+	o := carOntonomy(t)
+	in := goodInterp()
+	in.AddMember("car", "mystery") // no size value
+	found := false
+	for _, v := range o.Check(in) {
+		if strings.Contains(v.Axiom, "required") && v.Subject == "mystery" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a required-attribute violation for the new car")
+	}
+}
+
+func TestCheckValueInViolation(t *testing.T) {
+	o := carOntonomy(t)
+	in := goodInterp()
+	in.SetValue("fiat500", "size", "big")
+	found := false
+	for _, v := range o.Check(in) {
+		if strings.Contains(v.Axiom, "valuesIn") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a value-in violation when a car is big")
+	}
+}
+
+func TestCheckCardinalityViolations(t *testing.T) {
+	o := carOntonomy(t)
+	in := goodInterp()
+	in.AddMember("pickup", "ranger")
+	in.AddMember("pickup", "tundra")
+	in.SetValue("ranger", "size", "big")
+	in.SetValue("tundra", "size", "big")
+	foundMax := false
+	for _, v := range o.Check(in) {
+		if strings.Contains(v.Axiom, "maxInstances") {
+			foundMax = true
+		}
+	}
+	if !foundMax {
+		t.Error("expected a max-instances violation with three pickups")
+	}
+	empty := NewInterpretation()
+	foundMin := false
+	for _, v := range o.Check(empty) {
+		if strings.Contains(v.Axiom, "minInstances") {
+			foundMin = true
+		}
+	}
+	if !foundMin {
+		t.Error("expected a min-instances violation for fuel in the empty interpretation")
+	}
+}
+
+func TestCheckCoverViolation(t *testing.T) {
+	o := carOntonomy(t)
+	in := goodInterp()
+	in.AddMember("motorvehicle", "tractor") // neither car nor pickup
+	found := false
+	for _, v := range o.Check(in) {
+		if strings.Contains(v.Axiom, "cover") && v.Subject == "tractor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a cover violation for the tractor")
+	}
+}
+
+func TestCheckStructuralViolations(t *testing.T) {
+	o := carOntonomy(t)
+	in := goodInterp()
+	in.SetValue("fiat500", "uses", "water") // not an instance of fuel
+	in.SetValue("hilux", "wheels", "three") // not in the Count carrier
+	var structural int
+	for _, v := range o.Check(in) {
+		if v.Axiom == "structure" {
+			structural++
+		}
+	}
+	if structural != 2 {
+		t.Errorf("expected 2 structural violations, got %d", structural)
+	}
+}
+
+func TestMembersOfIncludesSubclasses(t *testing.T) {
+	s := vehicleSig(t)
+	in := NewInterpretation()
+	in.AddMember("car", "fiat500")
+	in.AddMember("pickup", "hilux")
+	members := in.MembersOf(s, "vehicle")
+	if len(members) != 2 {
+		t.Errorf("MembersOf(vehicle) = %v, want both instances", members)
+	}
+	in.AddMember("car", "fiat500") // duplicate AddMember is idempotent
+	if got := len(in.Members["car"]); got != 1 {
+		t.Errorf("duplicate AddMember stored: %d members", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Axiom: "required(car.size)", Detail: "missing", Subject: "x"}
+	if !strings.Contains(v.String(), "instance x") {
+		t.Errorf("Violation.String = %q", v.String())
+	}
+	v2 := Violation{Axiom: "minInstances", Detail: "too few"}
+	if strings.Contains(v2.String(), "instance") {
+		t.Errorf("subject-less violation should not mention an instance: %q", v2.String())
+	}
+}
+
+func TestAxiomKindStrings(t *testing.T) {
+	kinds := []AxiomKind{AxiomDisjoint, AxiomAttributeRequired, AxiomAttributeValueIn, AxiomMinInstances, AxiomMaxInstances, AxiomCover}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("AxiomKind(%d).String() = %q not distinct", int(k), s)
+		}
+		seen[s] = true
+	}
+	if AxiomKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func BenchmarkOntonomyCheck(b *testing.B) {
+	o := carOntonomy(b)
+	in := goodInterp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !o.IsModel(in) {
+			b.Fatal("expected a model")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package store
+
+import "fmt"
+
+// RetrievalResult is the standard precision/recall accounting of one query:
+// how many items were retrieved, how many were relevant, and how many of the
+// retrieved were relevant.
+type RetrievalResult struct {
+	Retrieved    int
+	Relevant     int
+	TruePositive int
+}
+
+// Evaluate compares a retrieved set against a relevant (ground truth) set.
+func Evaluate(retrieved, relevant []string) RetrievalResult {
+	rel := make(map[string]bool, len(relevant))
+	for _, r := range relevant {
+		rel[r] = true
+	}
+	res := RetrievalResult{Retrieved: len(retrieved), Relevant: len(relevant)}
+	for _, r := range retrieved {
+		if rel[r] {
+			res.TruePositive++
+		}
+	}
+	return res
+}
+
+// Precision is the fraction of retrieved items that are relevant; 1 when
+// nothing was retrieved (no false positives were asserted).
+func (r RetrievalResult) Precision() float64 {
+	if r.Retrieved == 0 {
+		return 1
+	}
+	return float64(r.TruePositive) / float64(r.Retrieved)
+}
+
+// Recall is the fraction of relevant items that were retrieved; 1 when
+// nothing was relevant.
+func (r RetrievalResult) Recall() float64 {
+	if r.Relevant == 0 {
+		return 1
+	}
+	return float64(r.TruePositive) / float64(r.Relevant)
+}
+
+// F1 is the harmonic mean of precision and recall; 0 when both are 0.
+func (r RetrievalResult) F1() float64 {
+	p, rec := r.Precision(), r.Recall()
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}
+
+// String renders the result.
+func (r RetrievalResult) String() string {
+	return fmt.Sprintf("retrieved=%d relevant=%d tp=%d P=%.3f R=%.3f F1=%.3f",
+		r.Retrieved, r.Relevant, r.TruePositive, r.Precision(), r.Recall(), r.F1())
+}
+
+// Aggregate is the macro-average of several retrieval results: the mean
+// precision, recall and F1 over queries.
+type Aggregate struct {
+	Queries   int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Macro averages the per-query metrics; an empty input yields zeros.
+func Macro(results []RetrievalResult) Aggregate {
+	if len(results) == 0 {
+		return Aggregate{}
+	}
+	agg := Aggregate{Queries: len(results)}
+	for _, r := range results {
+		agg.Precision += r.Precision()
+		agg.Recall += r.Recall()
+		agg.F1 += r.F1()
+	}
+	n := float64(len(results))
+	agg.Precision /= n
+	agg.Recall /= n
+	agg.F1 /= n
+	return agg
+}
+
+// String renders the aggregate.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("queries=%d P=%.3f R=%.3f F1=%.3f", a.Queries, a.Precision, a.Recall, a.F1)
+}

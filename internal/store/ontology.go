@@ -1,0 +1,118 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dl"
+)
+
+// TypePredicate is the predicate under which instances are annotated with
+// their class, the way "rdf:type" is used on the semantic web the paper's §4
+// discusses.
+const TypePredicate = "type"
+
+// OntologyIndex is a precomputed subsumption index over the defined names of
+// a TBox, used to expand class-based queries: asking for "roadvehicle" also
+// retrieves things annotated "car" or "pickup". It is the ontology-mediated
+// query answering whose value experiment E5 puts to the test.
+type OntologyIndex struct {
+	classes   []string
+	subsumees map[string][]string // class -> classes subsumed by it (including itself)
+	subsumers map[string][]string // class -> classes subsuming it (including itself)
+}
+
+// NewOntologyIndex classifies the TBox with the structural subsumption
+// procedure (complete for the conjunctive fragment the synthetic ontonomies
+// live in) and builds the index. Use NewOntologyIndexWith to supply a
+// different subsumption test, e.g. the tableau reasoner.
+func NewOntologyIndex(t *dl.TBox) (*OntologyIndex, error) {
+	r := dl.NewStructuralReasoner(t)
+	return NewOntologyIndexWith(t, r.Subsumes)
+}
+
+// NewOntologyIndexWith builds the index using the supplied subsumption test
+// over the TBox's defined names.
+func NewOntologyIndexWith(t *dl.TBox, subsumes func(sub, super string) (bool, error)) (*OntologyIndex, error) {
+	names := t.DefinedNames()
+	sort.Strings(names)
+	oi := &OntologyIndex{
+		classes:   names,
+		subsumees: make(map[string][]string, len(names)),
+		subsumers: make(map[string][]string, len(names)),
+	}
+	for _, super := range names {
+		for _, sub := range names {
+			ok, err := subsumes(sub, super)
+			if err != nil {
+				return nil, fmt.Errorf("store: classifying %s ⊑ %s: %w", sub, super, err)
+			}
+			if ok {
+				oi.subsumees[super] = append(oi.subsumees[super], sub)
+				oi.subsumers[sub] = append(oi.subsumers[sub], super)
+			}
+		}
+	}
+	return oi, nil
+}
+
+// Classes returns the classes covered by the index, sorted.
+func (oi *OntologyIndex) Classes() []string {
+	return append([]string(nil), oi.classes...)
+}
+
+// Subsumees returns the classes subsumed by the given class (itself
+// included), sorted. Unknown classes yield just themselves, so expansion
+// degrades gracefully to the unexpanded query.
+func (oi *OntologyIndex) Subsumees(class string) []string {
+	subs, ok := oi.subsumees[class]
+	if !ok {
+		return []string{class}
+	}
+	out := append([]string(nil), subs...)
+	sort.Strings(out)
+	return out
+}
+
+// Subsumers returns the classes subsuming the given class (itself included),
+// sorted.
+func (oi *OntologyIndex) Subsumers(class string) []string {
+	sups, ok := oi.subsumers[class]
+	if !ok {
+		return []string{class}
+	}
+	out := append([]string(nil), sups...)
+	sort.Strings(out)
+	return out
+}
+
+// InstancesOf returns the subjects annotated (via TypePredicate) with the
+// class itself, without ontology expansion: the "database without the
+// ontonomy" baseline.
+func InstancesOf(s *Store, class string) []string {
+	return s.Subjects(TypePredicate, class)
+}
+
+// InstancesOfExpanded returns the subjects annotated with the class or any
+// class the ontology index reports as subsumed by it, deduplicated and
+// sorted: the ontology-mediated answer.
+func InstancesOfExpanded(s *Store, oi *OntologyIndex, class string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range oi.Subsumees(class) {
+		for _, subj := range s.Subjects(TypePredicate, c) {
+			if !seen[subj] {
+				seen[subj] = true
+				out = append(out, subj)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotate adds a type annotation for an instance.
+func Annotate(s *Store, instance, class string) error {
+	_, err := s.Add(Triple{Subject: instance, Predicate: TypePredicate, Object: class})
+	return err
+}

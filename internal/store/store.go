@@ -1,0 +1,290 @@
+// Package store implements the database-shaped substrate for the paper's §4
+// pragmatic argument: an in-memory triple store with subject/predicate/object
+// indexes, pattern queries, ontology-aware query expansion over a
+// description-logic TBox, and the precision/recall accounting used to measure
+// whether a normative ontonomy helps or hinders retrieval as the usage of a
+// domain drifts away from it (experiment E5).
+//
+// The store is deliberately small but real: triples are deduplicated, the
+// three canonical permutation indexes (SPO, POS, OSP) are maintained
+// incrementally, every pattern query is answered from the most selective
+// index, and reads are safe for concurrent use.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Triple is one (subject, predicate, object) fact.
+type Triple struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// String renders the triple.
+func (t Triple) String() string {
+	return fmt.Sprintf("(%s %s %s)", t.Subject, t.Predicate, t.Object)
+}
+
+// valid reports whether all three components are non-empty.
+func (t Triple) valid() bool {
+	return t.Subject != "" && t.Predicate != "" && t.Object != ""
+}
+
+// Pattern is a triple pattern: empty components are wildcards.
+type Pattern struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// String renders the pattern with ? for wildcards.
+func (p Pattern) String() string {
+	part := func(s string) string {
+		if s == "" {
+			return "?"
+		}
+		return s
+	}
+	return fmt.Sprintf("(%s %s %s)", part(p.Subject), part(p.Predicate), part(p.Object))
+}
+
+// Matches reports whether the triple matches the pattern.
+func (p Pattern) Matches(t Triple) bool {
+	return (p.Subject == "" || p.Subject == t.Subject) &&
+		(p.Predicate == "" || p.Predicate == t.Predicate) &&
+		(p.Object == "" || p.Object == t.Object)
+}
+
+// index is a three-level nested map keyed by a fixed permutation of the
+// triple components.
+type index map[string]map[string]map[string]bool
+
+func (ix index) add(a, b, c string) {
+	l2, ok := ix[a]
+	if !ok {
+		l2 = map[string]map[string]bool{}
+		ix[a] = l2
+	}
+	l3, ok := l2[b]
+	if !ok {
+		l3 = map[string]bool{}
+		l2[b] = l3
+	}
+	l3[c] = true
+}
+
+func (ix index) remove(a, b, c string) {
+	l2, ok := ix[a]
+	if !ok {
+		return
+	}
+	l3, ok := l2[b]
+	if !ok {
+		return
+	}
+	delete(l3, c)
+	if len(l3) == 0 {
+		delete(l2, b)
+	}
+	if len(l2) == 0 {
+		delete(ix, a)
+	}
+}
+
+// Store is an in-memory indexed triple store. The zero value is not ready to
+// use; call New. All methods are safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	size int
+	spo  index
+	pos  index
+	osp  index
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{spo: index{}, pos: index{}, osp: index{}}
+}
+
+// Add inserts a triple, reporting whether it was newly inserted. Triples with
+// an empty component are rejected with an error.
+func (s *Store) Add(t Triple) (bool, error) {
+	if !t.valid() {
+		return false, fmt.Errorf("store: triple %v has an empty component", t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.containsLocked(t) {
+		return false, nil
+	}
+	s.spo.add(t.Subject, t.Predicate, t.Object)
+	s.pos.add(t.Predicate, t.Object, t.Subject)
+	s.osp.add(t.Object, t.Subject, t.Predicate)
+	s.size++
+	return true, nil
+}
+
+// MustAdd is Add panicking on error, for statically known data in tests and
+// examples.
+func (s *Store) MustAdd(t Triple) {
+	if _, err := s.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts all triples, returning how many were newly inserted and the
+// first error encountered (insertion stops at the first invalid triple).
+func (s *Store) AddAll(ts ...Triple) (int, error) {
+	added := 0
+	for _, t := range ts {
+		ok, err := s.Add(t)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (s *Store) Remove(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.containsLocked(t) {
+		return false
+	}
+	s.spo.remove(t.Subject, t.Predicate, t.Object)
+	s.pos.remove(t.Predicate, t.Object, t.Subject)
+	s.osp.remove(t.Object, t.Subject, t.Predicate)
+	s.size--
+	return true
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// Contains reports whether the triple is present.
+func (s *Store) Contains(t Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.containsLocked(t)
+}
+
+func (s *Store) containsLocked(t Triple) bool {
+	l2, ok := s.spo[t.Subject]
+	if !ok {
+		return false
+	}
+	l3, ok := l2[t.Predicate]
+	if !ok {
+		return false
+	}
+	return l3[t.Object]
+}
+
+// Query returns all triples matching the pattern, in deterministic
+// (lexicographic) order. The most selective permutation index available for
+// the pattern's bound components is used, so fully or partially bound queries
+// never scan the whole store.
+func (s *Store) Query(p Pattern) []Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Triple
+	collect := func(t Triple) {
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	switch {
+	case p.Subject != "":
+		for pred, objs := range s.spo[p.Subject] {
+			if p.Predicate != "" && pred != p.Predicate {
+				continue
+			}
+			for obj := range objs {
+				collect(Triple{p.Subject, pred, obj})
+			}
+		}
+	case p.Predicate != "":
+		for obj, subjects := range s.pos[p.Predicate] {
+			if p.Object != "" && obj != p.Object {
+				continue
+			}
+			for subj := range subjects {
+				collect(Triple{subj, p.Predicate, obj})
+			}
+		}
+	case p.Object != "":
+		for subj, preds := range s.osp[p.Object] {
+			for pred := range preds {
+				collect(Triple{subj, pred, p.Object})
+			}
+		}
+	default:
+		for subj, l2 := range s.spo {
+			for pred, objs := range l2 {
+				for obj := range objs {
+					collect(Triple{subj, pred, obj})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subject != out[j].Subject {
+			return out[i].Subject < out[j].Subject
+		}
+		if out[i].Predicate != out[j].Predicate {
+			return out[i].Predicate < out[j].Predicate
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// Subjects returns the distinct subjects of triples with the given predicate
+// and object, sorted.
+func (s *Store) Subjects(predicate, object string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for subj := range s.pos[predicate][object] {
+		out = append(out, subj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Objects returns the distinct objects of triples with the given subject and
+// predicate, sorted.
+func (s *Store) Objects(subject, predicate string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for obj := range s.spo[subject][predicate] {
+		out = append(out, obj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predicates returns the distinct predicates in the store, sorted.
+func (s *Store) Predicates() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for pred := range s.pos {
+		out = append(out, pred)
+	}
+	sort.Strings(out)
+	return out
+}

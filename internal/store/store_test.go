@@ -1,0 +1,194 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddQueryRemove(t *testing.T) {
+	s := New()
+	added, err := s.AddAll(
+		Triple{"car1", "type", "car"},
+		Triple{"car1", "color", "red"},
+		Triple{"dog1", "type", "dog"},
+		Triple{"car1", "type", "car"}, // duplicate
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 || s.Len() != 3 {
+		t.Fatalf("added=%d Len=%d, want 3 and 3", added, s.Len())
+	}
+	if !s.Contains(Triple{"car1", "type", "car"}) {
+		t.Error("Contains misses an inserted triple")
+	}
+	if s.Contains(Triple{"car1", "type", "dog"}) {
+		t.Error("Contains reports a missing triple")
+	}
+	if got := s.Query(Pattern{Subject: "car1"}); len(got) != 2 {
+		t.Errorf("Query(subject=car1) = %v, want 2 triples", got)
+	}
+	if got := s.Query(Pattern{Predicate: "type"}); len(got) != 2 {
+		t.Errorf("Query(predicate=type) = %v, want 2 triples", got)
+	}
+	if got := s.Query(Pattern{Object: "red"}); len(got) != 1 || got[0].Subject != "car1" {
+		t.Errorf("Query(object=red) = %v", got)
+	}
+	if got := s.Query(Pattern{}); len(got) != 3 {
+		t.Errorf("Query(all) = %v, want 3 triples", got)
+	}
+	if got := s.Query(Pattern{Subject: "car1", Predicate: "type", Object: "car"}); len(got) != 1 {
+		t.Errorf("fully bound query = %v, want exactly the triple", got)
+	}
+	if !s.Remove(Triple{"car1", "color", "red"}) {
+		t.Error("Remove failed on a present triple")
+	}
+	if s.Remove(Triple{"car1", "color", "red"}) {
+		t.Error("Remove succeeded twice")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len after removal = %d, want 2", s.Len())
+	}
+	if got := s.Query(Pattern{Object: "red"}); len(got) != 0 {
+		t.Errorf("removed triple still visible via OSP index: %v", got)
+	}
+}
+
+func TestAddRejectsEmptyComponents(t *testing.T) {
+	s := New()
+	for _, bad := range []Triple{
+		{"", "p", "o"}, {"s", "", "o"}, {"s", "p", ""},
+	} {
+		if _, err := s.Add(bad); err == nil {
+			t.Errorf("Add accepted invalid triple %v", bad)
+		}
+	}
+	if _, err := s.AddAll(Triple{"a", "b", "c"}, Triple{"", "", ""}); err == nil {
+		t.Error("AddAll did not propagate the error")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := New()
+	s.MustAdd(Triple{"i1", "type", "car"})
+	s.MustAdd(Triple{"i2", "type", "car"})
+	s.MustAdd(Triple{"i1", "owner", "alice"})
+	if got := s.Subjects("type", "car"); len(got) != 2 || got[0] != "i1" || got[1] != "i2" {
+		t.Errorf("Subjects = %v, want [i1 i2]", got)
+	}
+	if got := s.Objects("i1", "type"); len(got) != 1 || got[0] != "car" {
+		t.Errorf("Objects = %v, want [car]", got)
+	}
+	if got := s.Predicates(); len(got) != 2 || got[0] != "owner" || got[1] != "type" {
+		t.Errorf("Predicates = %v, want [owner type]", got)
+	}
+	if got := s.Subjects("type", "boat"); len(got) != 0 {
+		t.Errorf("Subjects of an absent class = %v, want empty", got)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{Subject: "s"}
+	if p.String() != "(s ? ?)" {
+		t.Errorf("Pattern.String = %q", p.String())
+	}
+	tr := Triple{"a", "b", "c"}
+	if tr.String() != "(a b c)" {
+		t.Errorf("Triple.String = %q", tr.String())
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.MustAdd(Triple{
+					Subject:   fmt.Sprintf("s%d-%d", w, i),
+					Predicate: "type",
+					Object:    fmt.Sprintf("class%d", i%5),
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Query(Pattern{Predicate: "type", Object: "class1"})
+				_ = s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len = %d, want 800", s.Len())
+	}
+}
+
+// TestIndexAgreement is the property test on the index invariant: whatever
+// the access path, a pattern query returns exactly the matching subset of all
+// inserted triples.
+func TestIndexAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		var all []Triple
+		for i := 0; i < 60; i++ {
+			tr := Triple{
+				Subject:   fmt.Sprintf("s%d", rng.Intn(8)),
+				Predicate: fmt.Sprintf("p%d", rng.Intn(4)),
+				Object:    fmt.Sprintf("o%d", rng.Intn(8)),
+			}
+			if ok, err := s.Add(tr); err != nil {
+				return false
+			} else if ok {
+				all = append(all, tr)
+			}
+		}
+		// Remove a few at random.
+		for i := 0; i < 10 && len(all) > 0; i++ {
+			k := rng.Intn(len(all))
+			s.Remove(all[k])
+			all = append(all[:k], all[k+1:]...)
+		}
+		patterns := []Pattern{
+			{},
+			{Subject: "s1"},
+			{Predicate: "p2"},
+			{Object: "o3"},
+			{Subject: "s1", Predicate: "p0"},
+			{Predicate: "p1", Object: "o2"},
+			{Subject: "s0", Object: "o0"},
+			{Subject: "s2", Predicate: "p3", Object: "o7"},
+		}
+		for _, p := range patterns {
+			want := map[Triple]bool{}
+			for _, tr := range all {
+				if p.Matches(tr) {
+					want[tr] = true
+				}
+			}
+			got := s.Query(p)
+			if len(got) != len(want) {
+				return false
+			}
+			for _, tr := range got {
+				if !want[tr] {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

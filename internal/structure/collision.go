@@ -1,0 +1,165 @@
+package structure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dl"
+)
+
+// CollisionGroup is a set of defined names whose definitions share the same
+// skeleton: by the structural theory of meaning the paper examines in §3,
+// these names would all have to denote the same concept.
+type CollisionGroup struct {
+	Skeleton Skeleton
+	Names    []string
+}
+
+// CollisionReport summarizes how many structural-meaning collisions a TBox
+// contains at a given unfolding depth and erasure level.
+type CollisionReport struct {
+	Depth   int
+	Erasure Erasure
+	// Groups lists every skeleton shared by two or more defined names,
+	// largest group first.
+	Groups []CollisionGroup
+	// Defined is the number of definitions examined and Skipped the names
+	// whose bodies fall outside the conjunctive fragment.
+	Defined int
+	Skipped []string
+	// DistinctSkeletons is the number of distinct skeletons among the
+	// examined definitions.
+	DistinctSkeletons int
+	// CollidingPairs is the number of unordered pairs of distinct names that
+	// share a skeleton.
+	CollidingPairs int
+	// TotalPairs is the number of unordered pairs of examined names.
+	TotalPairs int
+}
+
+// CollisionRate is the fraction of definition pairs that collide: the
+// probability that two distinct intended concepts are assigned the same
+// structural meaning. The paper's CAR/DOG example is the claim that this is
+// not zero; experiment E2 measures how it varies with definition size.
+func (r CollisionReport) CollisionRate() float64 {
+	if r.TotalPairs == 0 {
+		return 0
+	}
+	return float64(r.CollidingPairs) / float64(r.TotalPairs)
+}
+
+// Describe renders the report for human consumption.
+func (r CollisionReport) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "collisions at depth %d, %s: %d/%d pairs collide (%.3f), %d distinct skeletons over %d definitions\n",
+		r.Depth, r.Erasure, r.CollidingPairs, r.TotalPairs, r.CollisionRate(), r.DistinctSkeletons, r.Defined)
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "  {%s}\n", strings.Join(g.Names, ", "))
+	}
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&b, "  skipped (non-conjunctive): %s\n", strings.Join(r.Skipped, ", "))
+	}
+	return b.String()
+}
+
+// Collisions computes the collision report of a TBox at the given unfolding
+// depth and erasure.
+func Collisions(t *dl.TBox, maxDepth int, e Erasure) CollisionReport {
+	skeletons, skipped := Skeletons(t, maxDepth, e)
+	byskeleton := map[Skeleton][]string{}
+	for name, sk := range skeletons {
+		byskeleton[sk] = append(byskeleton[sk], name)
+	}
+	report := CollisionReport{
+		Depth:             maxDepth,
+		Erasure:           e,
+		Defined:           len(skeletons),
+		Skipped:           skipped,
+		DistinctSkeletons: len(byskeleton),
+	}
+	n := len(skeletons)
+	report.TotalPairs = n * (n - 1) / 2
+	for sk, names := range byskeleton {
+		if len(names) < 2 {
+			continue
+		}
+		sort.Strings(names)
+		report.Groups = append(report.Groups, CollisionGroup{Skeleton: sk, Names: names})
+		report.CollidingPairs += len(names) * (len(names) - 1) / 2
+	}
+	sort.Slice(report.Groups, func(i, j int) bool {
+		if len(report.Groups[i].Names) != len(report.Groups[j].Names) {
+			return len(report.Groups[i].Names) > len(report.Groups[j].Names)
+		}
+		return report.Groups[i].Names[0] < report.Groups[j].Names[0]
+	})
+	return report
+}
+
+// DifferentiationPoint is one row of the differentiation analysis: at a given
+// unfolding depth, how many collisions remain.
+type DifferentiationPoint struct {
+	Depth             int
+	CollidingPairs    int
+	CollisionRate     float64
+	DistinctSkeletons int
+	// MeanTreeSize is the mean description-tree size of the unfolded
+	// definitions at this depth: the cost, in structure, of the
+	// differentiation achieved so far.
+	MeanTreeSize float64
+}
+
+// DifferentiationCurve answers the paper's "when can we stop?" question
+// empirically for one TBox: it unfolds every definition to depths 0..maxDepth
+// and records, per depth, how many structural collisions remain and how large
+// the unfolded definitions have grown. The paper predicts that the curve never
+// reaches zero without dragging in "the trace of all the other signs of the
+// language" — i.e. that collisions only vanish when the unfolded structures
+// have absorbed essentially the whole TBox.
+func DifferentiationCurve(t *dl.TBox, maxDepth int, e Erasure) []DifferentiationPoint {
+	points := make([]DifferentiationPoint, 0, maxDepth+1)
+	for depth := 0; depth <= maxDepth; depth++ {
+		rep := Collisions(t, depth, e)
+		var total, count int
+		for _, name := range t.DefinedNames() {
+			d, ok := t.Definition(name)
+			if !ok {
+				continue
+			}
+			c := t.Unfold(d.Concept, depth)
+			if !c.IsConjunctive() {
+				continue
+			}
+			if size, err := TreeSize(c); err == nil {
+				total += size
+				count++
+			}
+		}
+		mean := 0.0
+		if count > 0 {
+			mean = float64(total) / float64(count)
+		}
+		points = append(points, DifferentiationPoint{
+			Depth:             depth,
+			CollidingPairs:    rep.CollidingPairs,
+			CollisionRate:     rep.CollisionRate(),
+			DistinctSkeletons: rep.DistinctSkeletons,
+			MeanTreeSize:      mean,
+		})
+	}
+	return points
+}
+
+// Separates reports whether unfolding to the given depth is enough to give the
+// two named definitions different skeletons under the erasure. It returns
+// false both when the skeletons coincide and when either name is undefined or
+// non-conjunctive; the ok result distinguishes the two cases.
+func Separates(t *dl.TBox, a, b string, maxDepth int, e Erasure) (separated, ok bool) {
+	sa, errA := SkeletonOfDefinition(t, a, maxDepth, e)
+	sb, errB := SkeletonOfDefinition(t, b, maxDepth, e)
+	if errA != nil || errB != nil {
+		return false, false
+	}
+	return sa != sb, true
+}

@@ -1,0 +1,124 @@
+package structure
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl"
+)
+
+func TestCollisionsOnPaperTBox(t *testing.T) {
+	tb := combinedTBox(t)
+	rep := Collisions(tb, 0, EraseAll)
+	if rep.Defined != 8 {
+		t.Fatalf("Defined = %d, want 8", rep.Defined)
+	}
+	if rep.TotalPairs != 28 {
+		t.Fatalf("TotalPairs = %d, want 28", rep.TotalPairs)
+	}
+	// car/dog, pickup/horse, motorvehicle/animal, roadvehicle/quadruped (and
+	// cross pairs among structurally identical bodies) must all collide
+	// shape-only, so the rate is well above zero.
+	if rep.CollidingPairs == 0 {
+		t.Fatal("expected shape-only collisions in the combined car/dog TBox")
+	}
+	if rep.CollisionRate() <= 0 || rep.CollisionRate() > 1 {
+		t.Errorf("CollisionRate = %f, want within (0, 1]", rep.CollisionRate())
+	}
+	// car and dog specifically must be in the same group.
+	var together bool
+	for _, g := range rep.Groups {
+		hasCar, hasDog := false, false
+		for _, n := range g.Names {
+			if n == "car" {
+				hasCar = true
+			}
+			if n == "dog" {
+				hasDog = true
+			}
+		}
+		if hasCar && hasDog {
+			together = true
+		}
+	}
+	if !together {
+		t.Error("car and dog should share a collision group at depth 0, erase-all")
+	}
+	if !strings.Contains(rep.Describe(), "car") {
+		t.Error("Describe should mention the colliding names")
+	}
+}
+
+func TestCollisionsKeepingNames(t *testing.T) {
+	tb := combinedTBox(t)
+	rep := Collisions(tb, 0, EraseNothing)
+	if rep.CollidingPairs != 0 {
+		t.Errorf("with names kept the paper TBox should have no collisions, got %d pairs: %s",
+			rep.CollidingPairs, rep.Describe())
+	}
+	if rep.DistinctSkeletons != rep.Defined {
+		t.Errorf("DistinctSkeletons = %d, want %d", rep.DistinctSkeletons, rep.Defined)
+	}
+}
+
+func TestCollisionsSkipsNonConjunctive(t *testing.T) {
+	tb := dl.NewTBox()
+	tb.MustDefine("a", dl.SubsumedBy, dl.Exists("r", dl.Atomic("x")))
+	tb.MustDefine("weird", dl.Equivalent, dl.Not(dl.Atomic("x")))
+	rep := Collisions(tb, 0, EraseAll)
+	if rep.Defined != 1 {
+		t.Errorf("Defined = %d, want 1", rep.Defined)
+	}
+	if len(rep.Skipped) != 1 || rep.Skipped[0] != "weird" {
+		t.Errorf("Skipped = %v, want [weird]", rep.Skipped)
+	}
+}
+
+func TestDifferentiationCurve(t *testing.T) {
+	tb := combinedTBox(t)
+	points := DifferentiationCurve(tb, 3, EraseConcepts)
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	if points[0].Depth != 0 || points[3].Depth != 3 {
+		t.Errorf("depths = %d..%d, want 0..3", points[0].Depth, points[3].Depth)
+	}
+	// Unfolding only adds structure, so the mean tree size must be
+	// non-decreasing in depth.
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanTreeSize < points[i-1].MeanTreeSize {
+			t.Errorf("MeanTreeSize decreased from depth %d to %d (%f -> %f)",
+				points[i-1].Depth, points[i].Depth, points[i-1].MeanTreeSize, points[i].MeanTreeSize)
+		}
+	}
+	// With role labels kept, unfolding eventually separates car from dog:
+	// the number of colliding pairs at the deepest point must be strictly
+	// below the depth-0 value.
+	if points[3].CollidingPairs >= points[0].CollidingPairs {
+		t.Errorf("expected unfolding to reduce collisions with roles kept: depth0=%d depth3=%d",
+			points[0].CollidingPairs, points[3].CollidingPairs)
+	}
+	// Shape-only collisions, by contrast, never go away for this TBox —
+	// the paper's "we can't [stop]".
+	shape := DifferentiationCurve(tb, 3, EraseAll)
+	if shape[3].CollidingPairs == 0 {
+		t.Error("shape-only collisions should persist at every depth for the eq. (4)/(8) pair")
+	}
+}
+
+func TestSeparatesUndefinedName(t *testing.T) {
+	tb := vehiclesTBox(t)
+	if _, ok := Separates(tb, "car", "unicorn", 1, EraseAll); ok {
+		t.Error("Separates should report not-ok for an undefined name")
+	}
+}
+
+func TestCollisionRateEmptyTBox(t *testing.T) {
+	rep := Collisions(dl.NewTBox(), 0, EraseAll)
+	if rep.CollisionRate() != 0 {
+		t.Errorf("CollisionRate of empty TBox = %f, want 0", rep.CollisionRate())
+	}
+	if rep.TotalPairs != 0 || rep.CollidingPairs != 0 {
+		t.Errorf("empty TBox produced pairs: %+v", rep)
+	}
+}

@@ -1,0 +1,326 @@
+// Package structure implements the "structural meaning" machinery of the
+// paper's §3: definition graphs extracted from description-logic TBoxes,
+// anonymous skeletons (the paper's diagram (7), in which concept names and
+// role labels are erased and only the shape of the definition remains),
+// canonical forms, isomorphism testing, and the two analyses the paper builds
+// on them:
+//
+//   - collision analysis: how often do definitions of *different* intended
+//     concepts have the *same* structural meaning (the CAR ≅ DOG example of
+//     eqs. (4)–(8));
+//   - differentiation analysis: the paper's "when can we stop [adding
+//     predicates]?" question — how many collisions survive as the unfolding
+//     depth and the amount of structure grow.
+//
+// The package works on the conjunctive fragment of package dl (the fragment in
+// which all of the paper's examples are written); concepts outside it are
+// reported, not silently mangled.
+package structure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dl"
+)
+
+// NodeKind classifies nodes of a definition graph.
+type NodeKind int
+
+// Node kinds.
+const (
+	// NodeDefined is a concept name defined in the TBox.
+	NodeDefined NodeKind = iota
+	// NodePrimitive is an atomic concept name with no definition.
+	NodePrimitive
+	// NodeRestriction is an anonymous node introduced by a role restriction
+	// (the filler of ∃r.C or ≥n r.C).
+	NodeRestriction
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeDefined:
+		return "defined"
+	case NodePrimitive:
+		return "primitive"
+	case NodeRestriction:
+		return "restriction"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a node of a definition graph.
+type Node struct {
+	// ID is unique within the graph.
+	ID string
+	// Kind classifies the node.
+	Kind NodeKind
+	// Atoms are the atomic concept names attached to the node (conjuncts that
+	// are plain atomic concepts). Sorted, deduplicated.
+	Atoms []string
+}
+
+// Edge is a directed, labeled edge of a definition graph.
+type Edge struct {
+	From, To string
+	// Role is the role label of a restriction edge, or "⊑"/"≡" for the edge
+	// from a defined name to the body of its definition.
+	Role string
+	// Min is the minimum cardinality of the restriction (1 for a plain ∃).
+	Min int
+}
+
+// Graph is a directed labeled multigraph representing the definitional
+// structure of a TBox or of a single unfolded definition. It is the object the
+// paper draws in its diagrams (6) and (7).
+//
+// Graph is not safe for concurrent mutation.
+type Graph struct {
+	nodes map[string]*Node
+	order []string
+	edges []Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: map[string]*Node{}}
+}
+
+// AddNode inserts a node, replacing any node with the same id.
+func (g *Graph) AddNode(n Node) {
+	atoms := append([]string(nil), n.Atoms...)
+	sort.Strings(atoms)
+	atoms = dedupe(atoms)
+	if _, ok := g.nodes[n.ID]; !ok {
+		g.order = append(g.order, n.ID)
+	}
+	g.nodes[n.ID] = &Node{ID: n.ID, Kind: n.Kind, Atoms: atoms}
+}
+
+// AddEdge inserts a directed labeled edge. Both endpoints must exist.
+func (g *Graph) AddEdge(e Edge) error {
+	if _, ok := g.nodes[e.From]; !ok {
+		return fmt.Errorf("structure: edge source %q is not a node", e.From)
+	}
+	if _, ok := g.nodes[e.To]; !ok {
+		return fmt.Errorf("structure: edge target %q is not a node", e.To)
+	}
+	if e.Min <= 0 {
+		e.Min = 1
+	}
+	g.edges = append(g.edges, e)
+	return nil
+}
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id string) (Node, bool) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Nodes returns the node ids in insertion order.
+func (g *Graph) Nodes() []string {
+	return append([]string(nil), g.order...)
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	return append([]Edge(nil), g.edges...)
+}
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Out returns the edges leaving the node, in insertion order.
+func (g *Graph) Out(id string) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// In returns the edges entering the node, in insertion order.
+func (g *Graph) In(id string) []Edge {
+	var in []Edge
+	for _, e := range g.edges {
+		if e.To == id {
+			in = append(in, e)
+		}
+	}
+	return in
+}
+
+// String renders the graph in a compact adjacency form, deterministically.
+func (g *Graph) String() string {
+	var b strings.Builder
+	ids := append([]string(nil), g.order...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "%s [%s", id, n.Kind)
+		if len(n.Atoms) > 0 {
+			fmt.Fprintf(&b, " %s", strings.Join(n.Atoms, ","))
+		}
+		b.WriteString("]\n")
+		out := g.Out(id)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Role != out[j].Role {
+				return out[i].Role < out[j].Role
+			}
+			return out[i].To < out[j].To
+		})
+		for _, e := range out {
+			if e.Min > 1 {
+				fmt.Fprintf(&b, "  -%s(%d)-> %s\n", e.Role, e.Min, e.To)
+			} else {
+				fmt.Fprintf(&b, "  -%s-> %s\n", e.Role, e.To)
+			}
+		}
+	}
+	return b.String()
+}
+
+// FromTBox builds the definition graph of a whole TBox: one node per defined
+// or primitive concept name, one anonymous node per role restriction occurring
+// in a definition body, a "≡" or "⊑" edge from each defined name to the
+// conjunction of its body, and a role-labeled edge for every restriction. This
+// is the graph the paper draws as diagram (6) for the vehicle ontonomy of
+// eq. (4).
+//
+// Only conjunctive definition bodies are supported; a body outside the
+// conjunctive fragment yields an error naming the offending definition.
+func FromTBox(t *dl.TBox) (*Graph, error) {
+	g := NewGraph()
+	// Declare a node for every name mentioned anywhere, so primitive names
+	// referenced only inside bodies still appear.
+	for _, name := range t.DefinedNames() {
+		g.AddNode(Node{ID: name, Kind: NodeDefined})
+	}
+	for _, name := range t.PrimitiveNames() {
+		if _, ok := g.nodes[name]; !ok {
+			g.AddNode(Node{ID: name, Kind: NodePrimitive, Atoms: []string{name}})
+		}
+	}
+	fresh := 0
+	for _, def := range t.Definitions() {
+		label := "≡"
+		if def.Kind == dl.SubsumedBy {
+			label = "⊑"
+		}
+		if !def.Concept.IsConjunctive() {
+			return nil, fmt.Errorf("structure: definition of %s is outside the conjunctive fragment", def.Name)
+		}
+		if err := addBody(g, def.Name, label, def.Concept, &fresh); err != nil {
+			return nil, fmt.Errorf("structure: definition of %s: %w", def.Name, err)
+		}
+	}
+	return g, nil
+}
+
+// addBody attaches the conjuncts of body to the node from: atomic conjuncts
+// that are graph nodes become label edges; restrictions become fresh
+// restriction nodes with role edges.
+func addBody(g *Graph, from, label string, body *dl.Concept, fresh *int) error {
+	for _, conj := range body.Conjuncts() {
+		switch conj.Op {
+		case dl.OpTop:
+			// ⊤ contributes nothing.
+		case dl.OpAtomic:
+			if _, ok := g.nodes[conj.Name]; !ok {
+				// A primitive node carries its own name as its label, so
+				// label-preserving isomorphism can distinguish "gasoline"
+				// from "food" even though both are structurally just leaves.
+				g.AddNode(Node{ID: conj.Name, Kind: NodePrimitive, Atoms: []string{conj.Name}})
+			}
+			if err := g.AddEdge(Edge{From: from, To: conj.Name, Role: label}); err != nil {
+				return err
+			}
+		case dl.OpExists, dl.OpAtLeast:
+			*fresh++
+			id := fmt.Sprintf("_r%d", *fresh)
+			g.AddNode(Node{ID: id, Kind: NodeRestriction})
+			min := 1
+			if conj.Op == dl.OpAtLeast {
+				min = conj.N
+			}
+			if err := g.AddEdge(Edge{From: from, To: id, Role: conj.Role, Min: min}); err != nil {
+				return err
+			}
+			if err := addBody(g, id, label, conj.Args[0], fresh); err != nil {
+				return err
+			}
+		default:
+			return dl.ErrNotConjunctive
+		}
+	}
+	return nil
+}
+
+// Reachable returns the subgraph induced by the nodes reachable from root by
+// following edges forward, including root itself. It is the "definition of one
+// concept" view of a TBox graph: the paper's diagram (6) is exactly the
+// subgraph of the vehicle ontonomy reachable from the car node. An unknown
+// root yields an empty graph.
+func (g *Graph) Reachable(root string) *Graph {
+	sub := NewGraph()
+	if _, ok := g.nodes[root]; !ok {
+		return sub
+	}
+	visited := map[string]bool{root: true}
+	queue := []string{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		sub.AddNode(*g.nodes[cur])
+		for _, e := range g.Out(cur) {
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	for _, e := range g.edges {
+		if visited[e.From] && visited[e.To] {
+			// Endpoints may have been enqueued after the edge's source was
+			// dequeued; ensure both nodes exist before adding.
+			if _, ok := sub.nodes[e.From]; !ok {
+				sub.AddNode(*g.nodes[e.From])
+			}
+			if _, ok := sub.nodes[e.To]; !ok {
+				sub.AddNode(*g.nodes[e.To])
+			}
+			if err := sub.AddEdge(e); err != nil {
+				// Unreachable: both endpoints were just ensured.
+				panic(err)
+			}
+		}
+	}
+	return sub
+}
+
+// dedupe removes adjacent duplicates from a sorted slice.
+func dedupe(s []string) []string {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

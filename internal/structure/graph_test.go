@@ -1,0 +1,128 @@
+package structure
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl"
+)
+
+func TestFromTBoxVehicles(t *testing.T) {
+	g, err := FromTBox(vehiclesTBox(t))
+	if err != nil {
+		t.Fatalf("FromTBox: %v", err)
+	}
+	for _, name := range []string{"car", "pickup", "motorvehicle", "roadvehicle"} {
+		n, ok := g.Node(name)
+		if !ok {
+			t.Fatalf("node %q missing", name)
+		}
+		if n.Kind != NodeDefined {
+			t.Errorf("node %q kind = %v, want defined", name, n.Kind)
+		}
+	}
+	for _, name := range []string{"small", "big", "gasoline", "wheels"} {
+		n, ok := g.Node(name)
+		if !ok {
+			t.Fatalf("primitive node %q missing", name)
+		}
+		if n.Kind != NodePrimitive {
+			t.Errorf("node %q kind = %v, want primitive", name, n.Kind)
+		}
+	}
+	// car has three outgoing edges: two ⊑ edges to motorvehicle and
+	// roadvehicle and one "size" edge to a restriction node.
+	out := g.Out("car")
+	if len(out) != 3 {
+		t.Fatalf("car out-degree = %d, want 3", len(out))
+	}
+	roles := map[string]int{}
+	for _, e := range out {
+		roles[e.Role]++
+	}
+	if roles["⊑"] != 2 || roles["size"] != 1 {
+		t.Errorf("car out edges by role = %v, want 2 ⊑ and 1 size", roles)
+	}
+	// roadvehicle carries the ∃4has.wheels restriction with Min 4.
+	var found bool
+	for _, e := range g.Out("roadvehicle") {
+		if e.Role == "has" {
+			found = true
+			if e.Min != 4 {
+				t.Errorf("has edge Min = %d, want 4", e.Min)
+			}
+		}
+	}
+	if !found {
+		t.Error("roadvehicle has no `has` edge")
+	}
+}
+
+func TestFromTBoxRejectsNonConjunctive(t *testing.T) {
+	tb := dl.NewTBox()
+	tb.MustDefine("odd", dl.Equivalent, dl.Or(dl.Atomic("a"), dl.Atomic("b")))
+	if _, err := FromTBox(tb); err == nil {
+		t.Fatal("FromTBox accepted a disjunctive definition")
+	}
+}
+
+func TestGraphAddEdgeValidation(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{ID: "a", Kind: NodePrimitive})
+	if err := g.AddEdge(Edge{From: "a", To: "missing", Role: "r"}); err == nil {
+		t.Error("AddEdge accepted a missing target")
+	}
+	if err := g.AddEdge(Edge{From: "missing", To: "a", Role: "r"}); err == nil {
+		t.Error("AddEdge accepted a missing source")
+	}
+	g.AddNode(Node{ID: "b", Kind: NodePrimitive})
+	if err := g.AddEdge(Edge{From: "a", To: "b", Role: "r"}); err != nil {
+		t.Errorf("AddEdge rejected a valid edge: %v", err)
+	}
+	if got := g.Out("a"); len(got) != 1 || got[0].Min != 1 {
+		t.Errorf("Out(a) = %v, want one edge with Min defaulted to 1", got)
+	}
+}
+
+func TestGraphStringDeterministic(t *testing.T) {
+	g1, err := FromTBox(combinedTBox(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromTBox(combinedTBox(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.String() != g2.String() {
+		t.Error("Graph.String is not deterministic across identical builds")
+	}
+	if !strings.Contains(g1.String(), "-has(4)->") {
+		t.Errorf("rendering lacks the cardinality-annotated edge:\n%s", g1.String())
+	}
+}
+
+func TestGraphNodeAtomsSortedAndDeduped(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{ID: "x", Kind: NodeDefined, Atoms: []string{"b", "a", "b"}})
+	n, _ := g.Node("x")
+	if len(n.Atoms) != 2 || n.Atoms[0] != "a" || n.Atoms[1] != "b" {
+		t.Errorf("Atoms = %v, want [a b]", n.Atoms)
+	}
+}
+
+func TestGraphInOutCounts(t *testing.T) {
+	g, err := FromTBox(vehiclesTBox(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// motorvehicle is referenced by car and pickup: in-degree 2.
+	if got := len(g.In("motorvehicle")); got != 2 {
+		t.Errorf("in-degree of motorvehicle = %d, want 2", got)
+	}
+	if g.NodeCount() == 0 || g.EdgeCount() == 0 {
+		t.Fatal("empty graph from a non-empty TBox")
+	}
+	if got, want := len(g.Nodes()), g.NodeCount(); got != want {
+		t.Errorf("Nodes() length %d != NodeCount %d", got, want)
+	}
+}

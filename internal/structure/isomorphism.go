@@ -1,0 +1,205 @@
+package structure
+
+import "sort"
+
+// IsoOptions controls which labels the isomorphism test must respect.
+// The zero value requires node kinds, atom sets, role labels, and
+// cardinalities all to match, i.e. the strictest notion.
+type IsoOptions struct {
+	// IgnoreAtoms makes the matcher treat nodes with different atom sets as
+	// compatible (the paper's erasure of concept names).
+	IgnoreAtoms bool
+	// IgnoreRoles makes the matcher treat edges with different role labels or
+	// cardinalities as compatible (the paper's diagram (7) erasure).
+	IgnoreRoles bool
+	// IgnoreKinds makes the matcher ignore the defined/primitive/restriction
+	// distinction on nodes.
+	IgnoreKinds bool
+}
+
+// Isomorphic reports whether two definition graphs are isomorphic under the
+// options: whether there is a bijection between their node sets preserving
+// edges and the labels the options do not ignore. The search is a VF2-style
+// backtracking matcher with degree- and label-based pruning; it is intended
+// for the small graphs produced by definitions (tens of nodes), not for large
+// arbitrary graphs.
+func Isomorphic(a, b *Graph, opts IsoOptions) bool {
+	m := newMatcher(a, b, opts)
+	return m.feasibleCounts() && m.match(map[string]string{}, map[string]bool{})
+}
+
+// IsomorphicDefault reports isomorphism with full label preservation.
+func IsomorphicDefault(a, b *Graph) bool {
+	return Isomorphic(a, b, IsoOptions{})
+}
+
+type matcher struct {
+	a, b *Graph
+	opts IsoOptions
+	// candidate lists for each node of a: nodes of b with compatible label
+	// signature, in deterministic order.
+	candidates map[string][]string
+	orderA     []string
+}
+
+func newMatcher(a, b *Graph, opts IsoOptions) *matcher {
+	m := &matcher{a: a, b: b, opts: opts, candidates: map[string][]string{}}
+	bNodes := b.Nodes()
+	sort.Strings(bNodes)
+	for _, na := range a.Nodes() {
+		var cands []string
+		for _, nb := range bNodes {
+			if m.nodeCompatible(na, nb) {
+				cands = append(cands, nb)
+			}
+		}
+		m.candidates[na] = cands
+	}
+	// Match the most constrained nodes first: fewest candidates, then highest
+	// degree, to cut the search space.
+	m.orderA = a.Nodes()
+	sort.Slice(m.orderA, func(i, j int) bool {
+		ci, cj := len(m.candidates[m.orderA[i]]), len(m.candidates[m.orderA[j]])
+		if ci != cj {
+			return ci < cj
+		}
+		di := len(a.Out(m.orderA[i])) + len(a.In(m.orderA[i]))
+		dj := len(a.Out(m.orderA[j])) + len(a.In(m.orderA[j]))
+		if di != dj {
+			return di > dj
+		}
+		return m.orderA[i] < m.orderA[j]
+	})
+	return m
+}
+
+// feasibleCounts performs the cheap global pruning checks before search.
+func (m *matcher) feasibleCounts() bool {
+	if m.a.NodeCount() != m.b.NodeCount() || m.a.EdgeCount() != m.b.EdgeCount() {
+		return false
+	}
+	for _, na := range m.a.Nodes() {
+		if len(m.candidates[na]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *matcher) nodeCompatible(idA, idB string) bool {
+	na, _ := m.a.Node(idA)
+	nb, _ := m.b.Node(idB)
+	if !m.opts.IgnoreKinds && na.Kind != nb.Kind {
+		return false
+	}
+	if !m.opts.IgnoreAtoms {
+		if len(na.Atoms) != len(nb.Atoms) {
+			return false
+		}
+		for i := range na.Atoms {
+			if na.Atoms[i] != nb.Atoms[i] {
+				return false
+			}
+		}
+	}
+	if len(m.a.Out(idA)) != len(m.b.Out(idB)) || len(m.a.In(idA)) != len(m.b.In(idB)) {
+		return false
+	}
+	return true
+}
+
+func (m *matcher) edgeCompatible(ea, eb Edge) bool {
+	if m.opts.IgnoreRoles {
+		return true
+	}
+	return ea.Role == eb.Role && ea.Min == eb.Min
+}
+
+// match extends the partial mapping assign (a node id -> b node id) to a full
+// isomorphism, using usedB to track already-claimed b nodes.
+func (m *matcher) match(assign map[string]string, usedB map[string]bool) bool {
+	if len(assign) == len(m.orderA) {
+		return true
+	}
+	na := m.orderA[len(assign)]
+	for _, nb := range m.candidates[na] {
+		if usedB[nb] {
+			continue
+		}
+		if !m.consistent(assign, na, nb) {
+			continue
+		}
+		assign[na] = nb
+		usedB[nb] = true
+		if m.match(assign, usedB) {
+			return true
+		}
+		delete(assign, na)
+		delete(usedB, nb)
+	}
+	return false
+}
+
+// consistent checks that mapping na ↦ nb preserves all edges between na and
+// already-mapped nodes.
+func (m *matcher) consistent(assign map[string]string, na, nb string) bool {
+	for _, ea := range m.a.Out(na) {
+		if mapped, ok := assign[ea.To]; ok {
+			if !m.hasEdge(m.b, nb, mapped, ea) {
+				return false
+			}
+		}
+	}
+	for _, ea := range m.a.In(na) {
+		if mapped, ok := assign[ea.From]; ok {
+			if !m.hasEdge(m.b, mapped, nb, ea) {
+				return false
+			}
+		}
+	}
+	// And conversely: every edge of b between nb and mapped images must have a
+	// preimage, which the count pruning plus the forward check guarantees for
+	// simple graphs; for multigraphs check explicitly.
+	for _, eb := range m.b.Out(nb) {
+		if pre, ok := reverseLookup(assign, eb.To); ok {
+			if !m.hasEdgeA(na, pre, eb) {
+				return false
+			}
+		}
+	}
+	for _, eb := range m.b.In(nb) {
+		if pre, ok := reverseLookup(assign, eb.From); ok {
+			if !m.hasEdgeA(pre, na, eb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *matcher) hasEdge(g *Graph, from, to string, like Edge) bool {
+	for _, e := range g.Out(from) {
+		if e.To == to && m.edgeCompatible(like, e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *matcher) hasEdgeA(from, to string, like Edge) bool {
+	for _, e := range m.a.Out(from) {
+		if e.To == to && m.edgeCompatible(e, like) {
+			return true
+		}
+	}
+	return false
+}
+
+func reverseLookup(assign map[string]string, image string) (string, bool) {
+	for k, v := range assign {
+		if v == image {
+			return k, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,237 @@
+package structure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dl"
+)
+
+// carGraph and dogGraph extract the per-concept definition subgraphs the
+// paper's diagrams (6)–(8) draw.
+func carGraph(t *testing.T, tb *dl.TBox) *Graph {
+	t.Helper()
+	g, err := FromTBox(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Reachable("car")
+}
+
+func dogGraph(t *testing.T, tb *dl.TBox) *Graph {
+	t.Helper()
+	g, err := FromTBox(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Reachable("dog")
+}
+
+func TestCarDogGraphIsomorphism(t *testing.T) {
+	tb := combinedTBox(t)
+	car := carGraph(t, tb)
+	dog := dogGraph(t, tb)
+	// With all labels erased the two definition graphs are isomorphic: the
+	// CAR ≅ DOG collision of §3 at the graph level.
+	if !Isomorphic(car, dog, IsoOptions{IgnoreAtoms: true, IgnoreRoles: true}) {
+		t.Error("unlabeled car and dog definition graphs should be isomorphic (the paper's eq. 4 vs eq. 8)")
+	}
+	// With atom labels preserved they are not.
+	if Isomorphic(car, dog, IsoOptions{IgnoreRoles: true}) {
+		t.Error("car and dog graphs should differ when atomic concept names are preserved")
+	}
+	if IsomorphicDefault(car, dog) {
+		t.Error("fully labeled car and dog graphs should not be isomorphic")
+	}
+}
+
+func TestRevisedDogBreaksIsomorphism(t *testing.T) {
+	tb := dl.NewTBox()
+	for _, src := range []*dl.TBox{vehiclesTBox(t), revisedAnimalsTBox(t)} {
+		for _, d := range src.Definitions() {
+			if err := tb.Define(d.Name, d.Kind, d.Concept); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	car := carGraph(t, tb)
+	dog := dogGraph(t, tb)
+	if Isomorphic(car, dog, IsoOptions{IgnoreAtoms: true, IgnoreRoles: true, IgnoreKinds: true}) {
+		t.Error("after quadruped ⊑ animal (eq. 9) the unlabeled graphs should no longer be isomorphic")
+	}
+}
+
+func TestIsomorphicSelf(t *testing.T) {
+	g, err := FromTBox(combinedTBox(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsomorphicDefault(g, g) {
+		t.Error("a graph must be isomorphic to itself")
+	}
+}
+
+func TestIsomorphicRejectsDifferentCounts(t *testing.T) {
+	a := NewGraph()
+	a.AddNode(Node{ID: "x", Kind: NodePrimitive})
+	b := NewGraph()
+	b.AddNode(Node{ID: "x", Kind: NodePrimitive})
+	b.AddNode(Node{ID: "y", Kind: NodePrimitive})
+	if Isomorphic(a, b, IsoOptions{IgnoreAtoms: true, IgnoreRoles: true, IgnoreKinds: true}) {
+		t.Error("graphs with different node counts reported isomorphic")
+	}
+}
+
+func TestIsomorphicRespectsRoleLabels(t *testing.T) {
+	build := func(role string) *Graph {
+		g := NewGraph()
+		g.AddNode(Node{ID: "a", Kind: NodeDefined})
+		g.AddNode(Node{ID: "b", Kind: NodePrimitive})
+		if err := g.AddEdge(Edge{From: "a", To: "b", Role: role}); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	r := build("r")
+	s := build("s")
+	if IsomorphicDefault(r, s) {
+		t.Error("graphs differing only in role label reported isomorphic under default options")
+	}
+	if !Isomorphic(r, s, IsoOptions{IgnoreRoles: true}) {
+		t.Error("graphs differing only in role label should match when roles are ignored")
+	}
+}
+
+func TestIsomorphicRespectsCardinality(t *testing.T) {
+	build := func(min int) *Graph {
+		g := NewGraph()
+		g.AddNode(Node{ID: "a", Kind: NodeDefined})
+		g.AddNode(Node{ID: "b", Kind: NodePrimitive})
+		if err := g.AddEdge(Edge{From: "a", To: "b", Role: "has", Min: min}); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if IsomorphicDefault(build(2), build(4)) {
+		t.Error("graphs differing only in edge cardinality reported isomorphic")
+	}
+}
+
+// TestIsomorphicRelabeledCopy is the property test: any random DAG-ish labeled
+// graph is isomorphic (ignoring atoms) to a copy of itself with all node ids
+// renamed.
+func TestIsomorphicRelabeledCopy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 3+rng.Intn(6))
+		h := relabel(g, "copy_")
+		return Isomorphic(g, h, IsoOptions{IgnoreAtoms: false, IgnoreRoles: false})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIsomorphicEdgeRemovalBreaks checks the converse: removing one edge from
+// a relabeled copy breaks isomorphism.
+func TestIsomorphicEdgeRemovalBreaks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 4+rng.Intn(5))
+		if g.EdgeCount() == 0 {
+			return true
+		}
+		h := relabel(g, "copy_")
+		// Rebuild h without its last edge.
+		trimmed := NewGraph()
+		for _, id := range h.Nodes() {
+			n, _ := h.Node(id)
+			trimmed.AddNode(n)
+		}
+		edges := h.Edges()
+		for _, e := range edges[:len(edges)-1] {
+			if err := trimmed.AddEdge(e); err != nil {
+				return false
+			}
+		}
+		return !Isomorphic(g, trimmed, IsoOptions{IgnoreAtoms: true, IgnoreRoles: true, IgnoreKinds: true})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGraph builds a random labeled DAG with n nodes and roughly 1.5n edges.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph()
+	kinds := []NodeKind{NodeDefined, NodePrimitive, NodeRestriction}
+	atoms := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		var as []string
+		for _, a := range atoms {
+			if rng.Intn(2) == 0 {
+				as = append(as, a)
+			}
+		}
+		g.AddNode(Node{ID: fmt.Sprintf("n%d", i), Kind: kinds[rng.Intn(len(kinds))], Atoms: as})
+	}
+	roles := []string{"r", "s", "⊑"}
+	edges := n + n/2
+	for i := 0; i < edges; i++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		if from == to {
+			continue
+		}
+		// Orient edges from lower to higher index to keep the graph acyclic,
+		// like a definition graph.
+		if from > to {
+			from, to = to, from
+		}
+		_ = g.AddEdge(Edge{
+			From: fmt.Sprintf("n%d", from),
+			To:   fmt.Sprintf("n%d", to),
+			Role: roles[rng.Intn(len(roles))],
+			Min:  1 + rng.Intn(3),
+		})
+	}
+	return g
+}
+
+// relabel returns a copy of g with every node id prefixed.
+func relabel(g *Graph, prefix string) *Graph {
+	h := NewGraph()
+	for _, id := range g.Nodes() {
+		n, _ := g.Node(id)
+		h.AddNode(Node{ID: prefix + id, Kind: n.Kind, Atoms: n.Atoms})
+	}
+	for _, e := range g.Edges() {
+		if err := h.AddEdge(Edge{From: prefix + e.From, To: prefix + e.To, Role: e.Role, Min: e.Min}); err != nil {
+			panic(err)
+		}
+	}
+	return h
+}
+
+func TestReachableSubgraph(t *testing.T) {
+	g, err := FromTBox(vehiclesTBox(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := g.Reachable("car")
+	// From car one reaches motorvehicle, roadvehicle, their restriction
+	// nodes and primitives, but never pickup.
+	if _, ok := sub.Node("pickup"); ok {
+		t.Error("car subgraph should not contain pickup")
+	}
+	for _, want := range []string{"car", "motorvehicle", "roadvehicle", "gasoline", "wheels", "small"} {
+		if _, ok := sub.Node(want); !ok {
+			t.Errorf("car subgraph missing %q", want)
+		}
+	}
+	if empty := g.Reachable("nonexistent"); empty.NodeCount() != 0 {
+		t.Error("Reachable of an unknown root should be empty")
+	}
+}

@@ -1,0 +1,77 @@
+package structure
+
+import (
+	"testing"
+
+	"repro/internal/dl"
+)
+
+// vehiclesTBox builds the paper's eq. (4): the car/pickup ontonomy.
+func vehiclesTBox(t *testing.T) *dl.TBox {
+	t.Helper()
+	tb := dl.NewTBox()
+	tb.MustDefine("car", dl.SubsumedBy, dl.And(
+		dl.Atomic("motorvehicle"), dl.Atomic("roadvehicle"),
+		dl.Exists("size", dl.Atomic("small")),
+	))
+	tb.MustDefine("pickup", dl.SubsumedBy, dl.And(
+		dl.Atomic("motorvehicle"), dl.Atomic("roadvehicle"),
+		dl.Exists("size", dl.Atomic("big")),
+	))
+	tb.MustDefine("motorvehicle", dl.SubsumedBy, dl.Exists("uses", dl.Atomic("gasoline")))
+	tb.MustDefine("roadvehicle", dl.SubsumedBy, dl.AtLeast(4, "has", dl.Atomic("wheels")))
+	return tb
+}
+
+// animalsTBox builds the paper's eq. (8): the dog/horse ontonomy, isomorphic
+// to eq. (4).
+func animalsTBox(t *testing.T) *dl.TBox {
+	t.Helper()
+	tb := dl.NewTBox()
+	tb.MustDefine("dog", dl.SubsumedBy, dl.And(
+		dl.Atomic("animal"), dl.Atomic("quadruped"),
+		dl.Exists("size", dl.Atomic("small")),
+	))
+	tb.MustDefine("horse", dl.SubsumedBy, dl.And(
+		dl.Atomic("animal"), dl.Atomic("quadruped"),
+		dl.Exists("size", dl.Atomic("big")),
+	))
+	tb.MustDefine("animal", dl.SubsumedBy, dl.Exists("ingests", dl.Atomic("food")))
+	tb.MustDefine("quadruped", dl.SubsumedBy, dl.AtLeast(4, "has", dl.Atomic("leg")))
+	return tb
+}
+
+// revisedAnimalsTBox builds the paper's eqs. (9)–(11): quadruped ⊑ animal and
+// the dog/horse definitions rewritten so that the animal conjunct is implied
+// rather than stated — the paper's attempted repair of the CAR ≅ DOG
+// collision.
+func revisedAnimalsTBox(t *testing.T) *dl.TBox {
+	t.Helper()
+	tb := dl.NewTBox()
+	tb.MustDefine("dog", dl.SubsumedBy, dl.And(
+		dl.Atomic("quadruped"), dl.Exists("size", dl.Atomic("small")),
+	))
+	tb.MustDefine("horse", dl.SubsumedBy, dl.And(
+		dl.Atomic("quadruped"), dl.Exists("size", dl.Atomic("big")),
+	))
+	tb.MustDefine("animal", dl.SubsumedBy, dl.Exists("ingests", dl.Atomic("food")))
+	tb.MustDefine("quadruped", dl.SubsumedBy, dl.And(
+		dl.Atomic("animal"), dl.AtLeast(4, "has", dl.Atomic("leg")),
+	))
+	return tb
+}
+
+// combinedTBox merges the vehicle and animal ontonomies into one TBox so that
+// cross-domain collisions (CAR vs DOG) are visible to the collision analysis.
+func combinedTBox(t *testing.T) *dl.TBox {
+	t.Helper()
+	tb := dl.NewTBox()
+	for _, src := range []*dl.TBox{vehiclesTBox(t), animalsTBox(t)} {
+		for _, d := range src.Definitions() {
+			if err := tb.Define(d.Name, d.Kind, d.Concept); err != nil {
+				t.Fatalf("combine: %v", err)
+			}
+		}
+	}
+	return tb
+}

@@ -1,0 +1,135 @@
+package structure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dl"
+)
+
+// Erasure controls how much labeling a skeleton retains. The paper's diagram
+// (6) keeps role labels and erases only the concept names; its diagram (7)
+// erases everything and keeps the bare shape. Both readings of "structural
+// meaning" are implemented so the collision experiments can compare them.
+type Erasure int
+
+// Erasure levels, from most to least information retained.
+const (
+	// EraseNothing keeps atomic concept names and role labels: two
+	// definitions collide only if they are literally the same description
+	// tree up to reordering of conjuncts.
+	EraseNothing Erasure = iota
+	// EraseConcepts erases atomic concept names but keeps role labels and
+	// cardinalities — the reading of diagram (6) as pure structure over
+	// named roles.
+	EraseConcepts
+	// EraseAll erases concept names, role labels and cardinalities, leaving
+	// only the branching shape — the paper's diagram (7).
+	EraseAll
+)
+
+// String names the erasure level.
+func (e Erasure) String() string {
+	switch e {
+	case EraseNothing:
+		return "erase-nothing"
+	case EraseConcepts:
+		return "erase-concepts"
+	case EraseAll:
+		return "erase-all"
+	default:
+		return fmt.Sprintf("Erasure(%d)", int(e))
+	}
+}
+
+// Skeleton is the canonical string form of a definition's structure under a
+// given erasure. Two definitions have equal Skeletons iff their unfolded
+// description trees are isomorphic after the erasure — the executable
+// rendering of the paper's claim that the structural meaning of "car" *is*
+// diagram (7).
+type Skeleton string
+
+// SkeletonOf computes the skeleton of a single conjunctive concept. The
+// concept must already be unfolded as far as the caller wants; use
+// SkeletonOfDefinition for TBox-level unfolding.
+func SkeletonOf(c *dl.Concept, e Erasure) (Skeleton, error) {
+	tree, err := dl.DescriptionTree(c)
+	if err != nil {
+		return "", err
+	}
+	return Skeleton(canonicalTree(tree, e)), nil
+}
+
+// SkeletonOfDefinition unfolds the named definition in the TBox to maxDepth
+// and computes its skeleton. A maxDepth of 0 uses the definition body as
+// written; larger depths replace defined names by their definitions, which is
+// how the paper proposes (and then doubts) that colliding structures can be
+// told apart.
+func SkeletonOfDefinition(t *dl.TBox, name string, maxDepth int, e Erasure) (Skeleton, error) {
+	d, ok := t.Definition(name)
+	if !ok {
+		return "", fmt.Errorf("structure: %q is not defined in the TBox", name)
+	}
+	return SkeletonOf(t.Unfold(d.Concept, maxDepth), e)
+}
+
+// canonicalTree computes a canonical string for a description tree under an
+// erasure, using the classic AHU bottom-up encoding: a node's code is built
+// from its (erased) label and the multiset of its children's codes.
+func canonicalTree(n *dl.DescriptionNode, e Erasure) string {
+	var label string
+	switch e {
+	case EraseNothing, EraseConcepts:
+		if e == EraseNothing {
+			atoms := append([]string(nil), n.Atoms...)
+			sort.Strings(atoms)
+			label = strings.Join(atoms, ",")
+		} else {
+			label = fmt.Sprintf("#%d", len(n.Atoms))
+		}
+	case EraseAll:
+		label = "·"
+	}
+	children := make([]string, 0, len(n.Edges))
+	for _, edge := range n.Edges {
+		child := canonicalTree(edge.Child, e)
+		switch e {
+		case EraseNothing, EraseConcepts:
+			children = append(children, fmt.Sprintf("%s(%d)%s", edge.Role, edge.Min, child))
+		case EraseAll:
+			children = append(children, child)
+		}
+	}
+	sort.Strings(children)
+	return "[" + label + "|" + strings.Join(children, ";") + "]"
+}
+
+// TreeSize returns the number of nodes in the description tree of a
+// conjunctive concept, a size measure used by the differentiation experiment.
+func TreeSize(c *dl.Concept) (int, error) {
+	tree, err := dl.DescriptionTree(c)
+	if err != nil {
+		return 0, err
+	}
+	return tree.Size(), nil
+}
+
+// Skeletons computes the skeleton of every defined name of a TBox at the
+// given unfolding depth and erasure. Names whose definitions fall outside the
+// conjunctive fragment are reported in the skipped list rather than causing
+// the whole computation to fail.
+func Skeletons(t *dl.TBox, maxDepth int, e Erasure) (map[string]Skeleton, []string) {
+	out := make(map[string]Skeleton, len(t.DefinedNames()))
+	var skipped []string
+	for _, name := range t.DefinedNames() {
+		sk, err := SkeletonOfDefinition(t, name, maxDepth, e)
+		if err != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		out[name] = sk
+	}
+	sort.Strings(skipped)
+	return out, skipped
+}

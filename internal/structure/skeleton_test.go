@@ -1,0 +1,213 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dl"
+)
+
+func TestSkeletonCarDogCollision(t *testing.T) {
+	tb := combinedTBox(t)
+	// At depth 0 (definitions as written), CAR and DOG collide once concept
+	// names are erased — the paper's central example.
+	for _, e := range []Erasure{EraseConcepts, EraseAll} {
+		car, err := SkeletonOfDefinition(tb, "car", 0, e)
+		if err != nil {
+			t.Fatalf("car skeleton: %v", err)
+		}
+		dog, err := SkeletonOfDefinition(tb, "dog", 0, e)
+		if err != nil {
+			t.Fatalf("dog skeleton: %v", err)
+		}
+		if car != dog {
+			t.Errorf("erasure %v: car and dog skeletons differ at depth 0; the paper's collision should hold\ncar: %s\ndog: %s", e, car, dog)
+		}
+	}
+	// With names retained the two definitions are of course distinct.
+	car, _ := SkeletonOfDefinition(tb, "car", 0, EraseNothing)
+	dog, _ := SkeletonOfDefinition(tb, "dog", 0, EraseNothing)
+	if car == dog {
+		t.Error("EraseNothing: car and dog skeletons coincide; atom names should distinguish them")
+	}
+}
+
+func TestSkeletonUnfoldingSeparatesUnderRoles(t *testing.T) {
+	tb := combinedTBox(t)
+	// Unfolding one level exposes the role names (uses vs ingests), which
+	// separate the definitions when roles are kept…
+	sep, ok := Separates(tb, "car", "dog", 2, EraseConcepts)
+	if !ok {
+		t.Fatal("Separates reported not-ok for defined conjunctive names")
+	}
+	if !sep {
+		t.Error("depth-2 unfolding with role labels kept should separate car from dog")
+	}
+	// …but not when the shape alone is considered: eq. (4) and eq. (8) are
+	// isomorphic at every depth, which is exactly the paper's point.
+	sep, ok = Separates(tb, "car", "dog", 4, EraseAll)
+	if !ok {
+		t.Fatal("Separates reported not-ok")
+	}
+	if sep {
+		t.Error("shape-only skeletons of car and dog should remain identical at depth 4")
+	}
+}
+
+func TestSkeletonRevisedAnimalsSeparates(t *testing.T) {
+	// The paper's repair (eqs. 9–11) moves the animal conjunct out of the dog
+	// definition and into quadruped ⊑ animal. Compared with eq. (4)'s car,
+	// the repaired dog now has a different amount of structure at its root,
+	// so the definitions separate without relying on concept names.
+	tb := dl.NewTBox()
+	for _, src := range []*dl.TBox{vehiclesTBox(t), revisedAnimalsTBox(t)} {
+		for _, d := range src.Definitions() {
+			if err := tb.Define(d.Name, d.Kind, d.Concept); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sep, ok := Separates(tb, "car", "dog", 0, EraseConcepts)
+	if !ok {
+		t.Fatal("Separates reported not-ok")
+	}
+	if !sep {
+		t.Error("after the eq. (9)–(11) revision, car and dog should separate at depth 0 with concept names erased")
+	}
+	// Before the revision the same comparison collides (TestSkeletonCarDogCollision),
+	// which is the paper's starting point. The bare shape of diagram (7),
+	// however, still cannot tell them apart, because description trees
+	// flatten the extra conjunct into the root: that residual collision is
+	// what the graph-level isomorphism test resolves (see isomorphism_test.go).
+	sep, _ = Separates(tb, "car", "dog", 3, EraseAll)
+	if sep {
+		t.Error("shape-only (EraseAll) skeletons should still collide: conjunct flattening hides the revision")
+	}
+}
+
+func TestSkeletonOfDefinitionUnknownName(t *testing.T) {
+	tb := vehiclesTBox(t)
+	if _, err := SkeletonOfDefinition(tb, "unicorn", 0, EraseAll); err == nil {
+		t.Error("SkeletonOfDefinition accepted an undefined name")
+	}
+}
+
+func TestSkeletonRejectsNonConjunctive(t *testing.T) {
+	if _, err := SkeletonOf(dl.Not(dl.Atomic("a")), EraseAll); err == nil {
+		t.Error("SkeletonOf accepted a negation")
+	}
+}
+
+func TestSkeletonsSkipsNonConjunctive(t *testing.T) {
+	tb := dl.NewTBox()
+	tb.MustDefine("good", dl.SubsumedBy, dl.Exists("r", dl.Atomic("a")))
+	tb.MustDefine("bad", dl.SubsumedBy, dl.Or(dl.Atomic("a"), dl.Atomic("b")))
+	sks, skipped := Skeletons(tb, 1, EraseAll)
+	if len(sks) != 1 {
+		t.Errorf("got %d skeletons, want 1", len(sks))
+	}
+	if len(skipped) != 1 || skipped[0] != "bad" {
+		t.Errorf("skipped = %v, want [bad]", skipped)
+	}
+}
+
+// TestSkeletonConjunctOrderInvariance is the property test backing the use of
+// skeletons as canonical forms: permuting conjuncts never changes the
+// skeleton.
+func TestSkeletonConjunctOrderInvariance(t *testing.T) {
+	atoms := []string{"a", "b", "c", "d", "e"}
+	roles := []string{"r", "s", "t"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		conjuncts := randomConjuncts(rng, atoms, roles, 2)
+		forward := dl.And(conjuncts...)
+		shuffled := append([]*dl.Concept(nil), conjuncts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		backward := dl.And(shuffled...)
+		for _, e := range []Erasure{EraseNothing, EraseConcepts, EraseAll} {
+			s1, err1 := SkeletonOf(forward, e)
+			s2, err2 := SkeletonOf(backward, e)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if s1 != s2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSkeletonErasureMonotone checks that coarser erasures never separate what
+// finer ones identify: if two concepts share an EraseNothing skeleton they
+// also share the coarser skeletons.
+func TestSkeletonErasureMonotone(t *testing.T) {
+	atoms := []string{"a", "b", "c"}
+	roles := []string{"r", "s"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := dl.And(randomConjuncts(rng, atoms, roles, 2)...)
+		c2 := dl.And(randomConjuncts(rng, atoms, roles, 2)...)
+		fine1, err := SkeletonOf(c1, EraseNothing)
+		if err != nil {
+			return false
+		}
+		fine2, err := SkeletonOf(c2, EraseNothing)
+		if err != nil {
+			return false
+		}
+		if fine1 != fine2 {
+			return true // nothing to check
+		}
+		for _, e := range []Erasure{EraseConcepts, EraseAll} {
+			s1, _ := SkeletonOf(c1, e)
+			s2, _ := SkeletonOf(c2, e)
+			if s1 != s2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomConjuncts builds a small random conjunctive concept as a conjunct
+// slice, recursing at most depth levels through role restrictions.
+func randomConjuncts(rng *rand.Rand, atoms, roles []string, depth int) []*dl.Concept {
+	n := 1 + rng.Intn(3)
+	out := make([]*dl.Concept, 0, n)
+	for i := 0; i < n; i++ {
+		if depth > 0 && rng.Intn(2) == 0 {
+			role := roles[rng.Intn(len(roles))]
+			child := dl.And(randomConjuncts(rng, atoms, roles, depth-1)...)
+			if rng.Intn(3) == 0 {
+				out = append(out, dl.AtLeast(2+rng.Intn(3), role, child))
+			} else {
+				out = append(out, dl.Exists(role, child))
+			}
+		} else {
+			out = append(out, dl.Atomic(atoms[rng.Intn(len(atoms))]))
+		}
+	}
+	return out
+}
+
+func TestTreeSize(t *testing.T) {
+	c := dl.And(dl.Atomic("a"), dl.Exists("r", dl.Atomic("b")))
+	size, err := TreeSize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 {
+		t.Errorf("TreeSize = %d, want 2 (root plus one restriction child)", size)
+	}
+	if _, err := TreeSize(dl.Not(dl.Atomic("a"))); err == nil {
+		t.Error("TreeSize accepted a non-conjunctive concept")
+	}
+}

@@ -1,0 +1,270 @@
+// Package tboxio reads and writes the small text format used by
+// cmd/ontoaudit to describe TBoxes. The format covers exactly the conjunctive
+// fragment the paper's examples are written in:
+//
+//	# the paper's eq. (4)
+//	car           <= motorvehicle and roadvehicle and exists size.small
+//	pickup        <= motorvehicle and roadvehicle and exists size.big
+//	motorvehicle  <= exists uses.gasoline
+//	roadvehicle   <= atleast 4 has.wheels
+//
+// One definition per line; "<=" introduces a primitive definition (⊑) and
+// "==" a full definition (≡). A body is a conjunction ("and") of atoms,
+// "exists role.Concept", "atleast N role.Concept", and "top". Nested fillers
+// may be parenthesized: "exists part.(wheel and exists made-of.rubber)".
+// Blank lines and lines starting with '#' are ignored.
+package tboxio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dl"
+)
+
+// Parse reads a TBox from the text format.
+func Parse(r io.Reader) (*dl.TBox, error) {
+	tb := dl.NewTBox()
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, kind, body, err := splitDefinition(line)
+		if err != nil {
+			return nil, fmt.Errorf("tboxio: line %d: %w", lineNo, err)
+		}
+		concept, err := parseConcept(body)
+		if err != nil {
+			return nil, fmt.Errorf("tboxio: line %d: %w", lineNo, err)
+		}
+		if err := tb.Define(name, kind, concept); err != nil {
+			return nil, fmt.Errorf("tboxio: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("tboxio: %w", err)
+	}
+	return tb, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*dl.TBox, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// splitDefinition separates "name <= body" or "name == body".
+func splitDefinition(line string) (string, dl.DefinitionKind, string, error) {
+	for _, sep := range []struct {
+		token string
+		kind  dl.DefinitionKind
+	}{{"<=", dl.SubsumedBy}, {"==", dl.Equivalent}} {
+		if idx := strings.Index(line, sep.token); idx >= 0 {
+			name := strings.TrimSpace(line[:idx])
+			body := strings.TrimSpace(line[idx+len(sep.token):])
+			if name == "" {
+				return "", 0, "", fmt.Errorf("missing defined name before %q", sep.token)
+			}
+			if strings.ContainsAny(name, " \t") {
+				return "", 0, "", fmt.Errorf("defined name %q contains whitespace", name)
+			}
+			if body == "" {
+				return "", 0, "", fmt.Errorf("missing body after %q", sep.token)
+			}
+			return name, sep.kind, body, nil
+		}
+	}
+	return "", 0, "", fmt.Errorf("no '<=' or '==' in definition %q", line)
+}
+
+// parseConcept parses a conjunction of conjuncts.
+func parseConcept(s string) (*dl.Concept, error) {
+	parts, err := splitTopLevel(s, " and ")
+	if err != nil {
+		return nil, err
+	}
+	conjuncts := make([]*dl.Concept, 0, len(parts))
+	for _, part := range parts {
+		c, err := parseConjunct(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		conjuncts = append(conjuncts, c)
+	}
+	return dl.And(conjuncts...), nil
+}
+
+// parseConjunct parses one conjunct: an atom, top, exists, or atleast.
+func parseConjunct(s string) (*dl.Concept, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("empty conjunct")
+	case s == "top":
+		return dl.Top(), nil
+	case strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")"):
+		return parseConcept(strings.TrimSpace(s[1 : len(s)-1]))
+	case strings.HasPrefix(s, "exists "):
+		role, filler, err := parseRestriction(strings.TrimSpace(strings.TrimPrefix(s, "exists ")))
+		if err != nil {
+			return nil, err
+		}
+		return dl.Exists(role, filler), nil
+	case strings.HasPrefix(s, "atleast "):
+		rest := strings.TrimSpace(strings.TrimPrefix(s, "atleast "))
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("atleast needs a count and a restriction, got %q", s)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid atleast count %q", fields[0])
+		}
+		role, filler, err := parseRestriction(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, err
+		}
+		return dl.AtLeast(n, role, filler), nil
+	case strings.ContainsAny(s, " ."):
+		return nil, fmt.Errorf("cannot parse conjunct %q", s)
+	default:
+		return dl.Atomic(s), nil
+	}
+}
+
+// parseRestriction parses "role.filler" where filler is an atom or a
+// parenthesized concept.
+func parseRestriction(s string) (string, *dl.Concept, error) {
+	idx := strings.Index(s, ".")
+	if idx <= 0 {
+		return "", nil, fmt.Errorf("restriction %q needs the form role.Concept", s)
+	}
+	role := strings.TrimSpace(s[:idx])
+	if strings.ContainsAny(role, " ()") {
+		return "", nil, fmt.Errorf("invalid role name %q", role)
+	}
+	fillerText := strings.TrimSpace(s[idx+1:])
+	if fillerText == "" {
+		return "", nil, fmt.Errorf("restriction %q has no filler", s)
+	}
+	filler, err := parseConjunct(fillerText)
+	if err != nil {
+		return "", nil, err
+	}
+	return role, filler, nil
+}
+
+// splitTopLevel splits s on the separator, ignoring occurrences inside
+// parentheses.
+func splitTopLevel(s, sep string) ([]string, error) {
+	var parts []string
+	depth := 0
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ')' in %q", s)
+			}
+		}
+		if depth == 0 && i+len(sep) <= len(s) && s[i:i+len(sep)] == sep {
+			parts = append(parts, s[last:i])
+			last = i + len(sep)
+			i += len(sep) - 1
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '(' in %q", s)
+	}
+	parts = append(parts, s[last:])
+	return parts, nil
+}
+
+// Serialize writes a TBox in the text format, one definition per line in
+// name order. Definitions outside the conjunctive fragment are rejected.
+func Serialize(w io.Writer, tb *dl.TBox) error {
+	names := tb.DefinedNames()
+	sort.Strings(names)
+	for _, name := range names {
+		d, _ := tb.Definition(name)
+		body, err := serializeConcept(d.Concept)
+		if err != nil {
+			return fmt.Errorf("tboxio: definition of %s: %w", name, err)
+		}
+		sep := "<="
+		if d.Kind == dl.Equivalent {
+			sep = "=="
+		}
+		if _, err := fmt.Fprintf(w, "%s %s %s\n", name, sep, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SerializeString is Serialize into a string.
+func SerializeString(tb *dl.TBox) (string, error) {
+	var b strings.Builder
+	if err := Serialize(&b, tb); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// serializeConcept renders a conjunctive concept in the text syntax.
+func serializeConcept(c *dl.Concept) (string, error) {
+	if !c.IsConjunctive() {
+		return "", dl.ErrNotConjunctive
+	}
+	conjuncts := c.Conjuncts()
+	parts := make([]string, 0, len(conjuncts))
+	for _, conj := range conjuncts {
+		part, err := serializeConjunct(conj)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 0 {
+		return "top", nil
+	}
+	return strings.Join(parts, " and "), nil
+}
+
+func serializeConjunct(c *dl.Concept) (string, error) {
+	switch c.Op {
+	case dl.OpTop:
+		return "top", nil
+	case dl.OpAtomic:
+		return c.Name, nil
+	case dl.OpExists, dl.OpAtLeast:
+		filler, err := serializeConcept(c.Args[0])
+		if err != nil {
+			return "", err
+		}
+		if fillerNeedsParens(c.Args[0]) {
+			filler = "(" + filler + ")"
+		}
+		if c.Op == dl.OpAtLeast {
+			return fmt.Sprintf("atleast %d %s.%s", c.N, c.Role, filler), nil
+		}
+		return fmt.Sprintf("exists %s.%s", c.Role, filler), nil
+	default:
+		return "", dl.ErrNotConjunctive
+	}
+}
+
+// fillerNeedsParens reports whether a filler must be parenthesized: anything
+// that is not a single atom or top.
+func fillerNeedsParens(c *dl.Concept) bool {
+	return !(c.Op == dl.OpAtomic || c.Op == dl.OpTop)
+}

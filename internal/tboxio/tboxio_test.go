@@ -1,0 +1,197 @@
+package tboxio
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"repro/internal/dl"
+	"repro/internal/workload"
+)
+
+const paperText = `
+# the paper's eq. (4) and (8)
+car           <= motorvehicle and roadvehicle and exists size.small
+pickup        <= motorvehicle and roadvehicle and exists size.big
+motorvehicle  <= exists uses.gasoline
+roadvehicle   <= atleast 4 has.wheels
+
+dog           <= animal and quadruped and exists size.small
+horse         <= animal and quadruped and exists size.big
+animal        <= exists ingests.food
+quadruped     <= atleast 4 has.leg
+`
+
+func TestParsePaperText(t *testing.T) {
+	tb, err := ParseString(paperText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.DefinedNames()); got != 8 {
+		t.Fatalf("parsed %d definitions, want 8", got)
+	}
+	d, ok := tb.Definition("car")
+	if !ok {
+		t.Fatal("car not defined")
+	}
+	if d.Kind != dl.SubsumedBy {
+		t.Errorf("car kind = %v, want SubsumedBy", d.Kind)
+	}
+	conjuncts := d.Concept.Conjuncts()
+	if len(conjuncts) != 3 {
+		t.Fatalf("car has %d conjuncts, want 3", len(conjuncts))
+	}
+	rv, _ := tb.Definition("roadvehicle")
+	if rv.Concept.Op != dl.OpAtLeast || rv.Concept.N != 4 || rv.Concept.Role != "has" {
+		t.Errorf("roadvehicle parsed as %s, want ≥4 has.wheels", rv.Concept)
+	}
+}
+
+func TestParseEquivalentAndNesting(t *testing.T) {
+	tb, err := ParseString(`
+wheel == round and exists made-of.rubber
+bicycle == vehicle and atleast 2 part.(wheel and exists made-of.rubber) and top
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tb.Definition("wheel")
+	if w.Kind != dl.Equivalent {
+		t.Errorf("wheel kind = %v, want Equivalent", w.Kind)
+	}
+	b, _ := tb.Definition("bicycle")
+	var nested *dl.Concept
+	for _, c := range b.Concept.Conjuncts() {
+		if c.Op == dl.OpAtLeast {
+			nested = c
+		}
+	}
+	if nested == nil {
+		t.Fatal("bicycle lost its atleast conjunct")
+	}
+	if nested.N != 2 || nested.Role != "part" {
+		t.Errorf("nested restriction = %s", nested)
+	}
+	if len(nested.Args[0].Conjuncts()) != 2 {
+		t.Errorf("nested filler should have 2 conjuncts, got %s", nested.Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing separator": "car motorvehicle",
+		"missing name":      "<= motorvehicle",
+		"missing body":      "car <=",
+		"name with spaces":  "the car <= motorvehicle",
+		"empty conjunct":    "car <= motorvehicle and",
+		"bad restriction":   "car <= exists size",
+		"bad atleast count": "car <= atleast zero has.wheels",
+		"atleast no rest":   "car <= atleast 4",
+		"unbalanced paren":  "car <= exists part.(wheel",
+		"role with paren":   "car <= exists si(ze.small",
+		"duplicate name":    "car <= a\ncar <= b",
+		"stray dot":         "car <= motor.vehicle extra",
+		"negative atleast":  "car <= atleast -1 has.wheels",
+		"empty filler":      "car <= exists size.",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseString(text); err == nil {
+				t.Errorf("ParseString(%q) accepted invalid input", text)
+			}
+		})
+	}
+}
+
+func TestParseIgnoresCommentsAndBlankLines(t *testing.T) {
+	tb, err := ParseString("\n# a comment\n\ncar <= vehicle\n   \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.DefinedNames()) != 1 {
+		t.Errorf("parsed %d definitions, want 1", len(tb.DefinedNames()))
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tb, err := ParseString(paperText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := SerializeString(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parsing serialized text: %v\n%s", err, text)
+	}
+	for _, name := range tb.DefinedNames() {
+		orig, _ := tb.Definition(name)
+		copy_, ok := back.Definition(name)
+		if !ok {
+			t.Fatalf("definition %s lost in round trip", name)
+		}
+		if !orig.Concept.Equal(copy_.Concept) || orig.Kind != copy_.Kind {
+			t.Errorf("round trip changed %s: %s vs %s", name, orig.Concept, copy_.Concept)
+		}
+	}
+}
+
+func TestSerializeRejectsNonConjunctive(t *testing.T) {
+	tb := dl.NewTBox()
+	tb.MustDefine("weird", dl.Equivalent, dl.Not(dl.Atomic("a")))
+	if _, err := SerializeString(tb); err == nil {
+		t.Error("Serialize accepted a non-conjunctive TBox")
+	}
+}
+
+func TestSerializeTopBody(t *testing.T) {
+	tb := dl.NewTBox()
+	tb.MustDefine("anything", dl.SubsumedBy, dl.Top())
+	text, err := SerializeString(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "anything <= top") {
+		t.Errorf("serialization of ⊤ body = %q", text)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := back.Definition("anything")
+	if d.Concept.Op != dl.OpTop {
+		t.Errorf("round trip of ⊤ body = %s", d.Concept)
+	}
+}
+
+// TestRoundTripRandomTBoxes is the property test: every TBox the workload
+// generator produces survives a serialize→parse round trip unchanged.
+func TestRoundTripRandomTBoxes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := workload.RandomTBox(rng, workload.DefaultTBoxParams(12, 10, 3))
+		text, err := SerializeString(tb)
+		if err != nil {
+			return false
+		}
+		back, err := ParseString(text)
+		if err != nil {
+			return false
+		}
+		for _, name := range tb.DefinedNames() {
+			orig, _ := tb.Definition(name)
+			copy_, ok := back.Definition(name)
+			if !ok || !orig.Concept.Equal(copy_.Concept) || orig.Kind != copy_.Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dl"
+	"repro/internal/store"
+)
+
+// CorpusParams controls SyntheticCorpus.
+type CorpusParams struct {
+	// Hierarchy controls the class hierarchy underlying the corpus.
+	Hierarchy HierarchyParams
+	// InstancesPerClass is the number of instances whose usage genuinely
+	// belongs to each class.
+	InstancesPerClass int
+	// Drift is the fraction of instances whose stored annotation no longer
+	// matches their usage: the domain has moved on but the normative
+	// ontonomy (and the annotations made under it) has not. 0 means the
+	// annotations are perfect, 0.5 means half of them point at some other
+	// class.
+	Drift float64
+}
+
+// Corpus is a synthetic annotated collection: a class hierarchy, a store of
+// type annotations made according to the ontonomy, and the ground truth of
+// which class each instance's actual usage belongs to.
+type Corpus struct {
+	TBox *dl.TBox
+	// Store holds the (possibly drifted) annotations under store.TypePredicate.
+	Store *store.Store
+	// TrueClass maps every instance to the class its usage belongs to.
+	TrueClass map[string]string
+	// Classes lists the class names in generation order.
+	Classes []string
+	// Drifted counts how many instances were annotated with a class other
+	// than their true class.
+	Drifted int
+}
+
+// SyntheticCorpus generates a corpus: a random hierarchy, InstancesPerClass
+// instances per class, and annotations that agree with the ground truth
+// except for a Drift fraction, which are annotated with a uniformly chosen
+// different class. The paper's §4 claim is that the more the usage drifts
+// from the normative annotation scheme, the more the ontonomy's query
+// expansion hurts rather than helps.
+func SyntheticCorpus(rng *rand.Rand, p CorpusParams) *Corpus {
+	tb := RandomHierarchyTBox(rng, p.Hierarchy)
+	classes := tb.DefinedNames()
+	sort.Strings(classes)
+	c := &Corpus{
+		TBox:      tb,
+		Store:     store.New(),
+		TrueClass: map[string]string{},
+		Classes:   classes,
+	}
+	if p.InstancesPerClass < 1 {
+		p.InstancesPerClass = 1
+	}
+	if p.Drift < 0 {
+		p.Drift = 0
+	}
+	if p.Drift > 1 {
+		p.Drift = 1
+	}
+	for _, class := range classes {
+		for i := 0; i < p.InstancesPerClass; i++ {
+			inst := fmt.Sprintf("%s/item-%d", class, i)
+			c.TrueClass[inst] = class
+			annotated := class
+			if rng.Float64() < p.Drift && len(classes) > 1 {
+				for {
+					other := classes[rng.Intn(len(classes))]
+					if other != class {
+						annotated = other
+						break
+					}
+				}
+				c.Drifted++
+			}
+			if err := store.Annotate(c.Store, inst, annotated); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return c
+}
+
+// Instances returns all instance names, sorted.
+func (c *Corpus) Instances() []string {
+	out := make([]string, 0, len(c.TrueClass))
+	for inst := range c.TrueClass {
+		out = append(out, inst)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelevantTo returns the instances whose true class is the queried class or
+// one of its subsumees according to the ontology index: the ground-truth
+// answer set of a class query.
+func (c *Corpus) RelevantTo(oi *store.OntologyIndex, class string) []string {
+	wanted := map[string]bool{}
+	for _, sub := range oi.Subsumees(class) {
+		wanted[sub] = true
+	}
+	var out []string
+	for inst, true_ := range c.TrueClass {
+		if wanted[true_] {
+			out = append(out, inst)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/semfield"
+)
+
+// FieldPairParams controls RandomFieldPair.
+type FieldPairParams struct {
+	// Cells is the number of cells in the shared semantic space.
+	Cells int
+	// Words is the number of words each language divides the space into.
+	Words int
+	// BoundaryShifts is the number of word boundaries of the second language
+	// that are displaced relative to the first: 0 yields two languages that
+	// divide the field identically, larger values yield increasingly
+	// divergent divisions (the doorknob/pomello situation, scaled).
+	BoundaryShifts int
+	// MaxShift is the maximum displacement, in cells, of a shifted boundary
+	// (at least 1).
+	MaxShift int
+}
+
+// RandomFieldPair generates a semantic space and two partition languages over
+// it. The first language's word boundaries are chosen uniformly at random;
+// the second language uses the same boundaries except that BoundaryShifts of
+// them are displaced by 1..MaxShift cells. Both languages cover the whole
+// space, so field-relative translation between them is always possible and
+// any translation loss is attributable to the divergence of their divisions.
+func RandomFieldPair(rng *rand.Rand, p FieldPairParams) (*semfield.Space, *semfield.Language, *semfield.Language) {
+	if p.Cells < 2 {
+		p.Cells = 2
+	}
+	if p.Words < 2 {
+		p.Words = 2
+	}
+	if p.Words > p.Cells {
+		p.Words = p.Cells
+	}
+	if p.MaxShift < 1 {
+		p.MaxShift = 1
+	}
+	cells := make([]semfield.Cell, p.Cells)
+	for i := range cells {
+		cells[i] = semfield.Cell(fmt.Sprintf("cell-%03d", i))
+	}
+	space := semfield.NewSpace(cells...)
+
+	boundariesA := randomBoundaries(rng, p.Cells, p.Words)
+	boundariesB := shiftBoundaries(rng, boundariesA, p.Cells, p.BoundaryShifts, p.MaxShift)
+
+	langA := languageFromBoundaries(space, "source", cells, boundariesA)
+	langB := languageFromBoundaries(space, "target", cells, boundariesB)
+	return space, langA, langB
+}
+
+// randomBoundaries picks words-1 distinct cut points in (0, cells).
+func randomBoundaries(rng *rand.Rand, cells, words int) []int {
+	chosen := map[int]bool{}
+	for len(chosen) < words-1 {
+		chosen[1+rng.Intn(cells-1)] = true
+	}
+	out := make([]int, 0, len(chosen))
+	for b := range chosen {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// shiftBoundaries displaces up to shifts boundaries by 1..maxShift cells,
+// keeping the boundary list strictly increasing and inside (0, cells).
+func shiftBoundaries(rng *rand.Rand, boundaries []int, cells, shifts, maxShift int) []int {
+	out := append([]int(nil), boundaries...)
+	if len(out) == 0 {
+		return out
+	}
+	for s := 0; s < shifts; s++ {
+		i := rng.Intn(len(out))
+		delta := 1 + rng.Intn(maxShift)
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		candidate := out[i] + delta
+		lo, hi := 1, cells-1
+		if i > 0 {
+			lo = out[i-1] + 1
+		}
+		if i < len(out)-1 {
+			hi = out[i+1] - 1
+		}
+		if candidate < lo {
+			candidate = lo
+		}
+		if candidate > hi {
+			candidate = hi
+		}
+		out[i] = candidate
+	}
+	return out
+}
+
+// languageFromBoundaries builds a partition language whose words are the
+// contiguous blocks delimited by the boundaries.
+func languageFromBoundaries(space *semfield.Space, name string, cells []semfield.Cell, boundaries []int) *semfield.Language {
+	l := semfield.NewLanguage(space, name)
+	start := 0
+	word := 0
+	cut := append(append([]int(nil), boundaries...), len(cells))
+	for _, end := range cut {
+		if end <= start {
+			continue
+		}
+		l.MustAddLexeme(fmt.Sprintf("%s-w%d", name, word), cells[start:end]...)
+		word++
+		start = end
+	}
+	return l
+}

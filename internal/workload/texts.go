@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hermeneutic"
+)
+
+// TextParams controls RandomSituatedText.
+type TextParams struct {
+	// Cues is the number of ambiguous cues in the text.
+	Cues int
+	// Frames is the number of frames the shared code makes available; every
+	// cue has one sense conventionally tied to each frame, so with the
+	// reader removed every cue is an n-way tie.
+	Frames int
+	// ContextStrength is the prior weight the reader's situation puts on the
+	// intended frame relative to weight 1 on every other frame; 1 means the
+	// situation says nothing, larger values mean a richer situation.
+	ContextStrength float64
+}
+
+// SituatedText is a synthetic text with a known intention: the frame its
+// author wrote it under, the senses that frame selects, and the reader
+// context whose situation points (more or less strongly) at that frame.
+type SituatedText struct {
+	Text     *hermeneutic.Text
+	Code     *hermeneutic.Code
+	Context  *hermeneutic.Context
+	Intended []hermeneutic.Sense
+	Frame    hermeneutic.Frame
+}
+
+// RandomSituatedText generates a text in which every cue is perfectly
+// ambiguous under the code alone (each sense is supported with the same
+// weight in its own frame), together with a context of the requested
+// strength. It is the workload of experiment E6: with the reader removed
+// nothing fixes the senses; with the situation restored the intended reading
+// becomes recoverable.
+func RandomSituatedText(rng *rand.Rand, p TextParams) *SituatedText {
+	if p.Cues < 1 {
+		p.Cues = 1
+	}
+	if p.Frames < 2 {
+		p.Frames = 2
+	}
+	if p.ContextStrength < 1 {
+		p.ContextStrength = 1
+	}
+	frames := make([]hermeneutic.Frame, p.Frames)
+	for i := range frames {
+		frames[i] = hermeneutic.Frame(fmt.Sprintf("frame-%d", i))
+	}
+	intendedFrame := frames[rng.Intn(len(frames))]
+
+	cues := make([]hermeneutic.Cue, 0, p.Cues)
+	var conventions []hermeneutic.Convention
+	intended := make([]hermeneutic.Sense, 0, p.Cues)
+	for i := 0; i < p.Cues; i++ {
+		surface := fmt.Sprintf("cue-%d", i)
+		senses := make([]hermeneutic.Sense, p.Frames)
+		// All frames support their own sense of this cue with the same
+		// weight, so the code alone cannot adjudicate.
+		weight := 1 + rng.Float64()
+		for f := range frames {
+			senses[f] = hermeneutic.Sense(fmt.Sprintf("sense-%d-%d", i, f))
+			conventions = append(conventions, hermeneutic.Convention{
+				Frame:   frames[f],
+				Surface: surface,
+				Sense:   senses[f],
+				Weight:  weight,
+			})
+			if frames[f] == intendedFrame {
+				intended = append(intended, senses[f])
+			}
+		}
+		cues = append(cues, hermeneutic.Cue{Surface: surface, Senses: senses})
+	}
+	text, err := hermeneutic.NewText(fmt.Sprintf("synthetic text (%d cues)", p.Cues), cues...)
+	if err != nil {
+		panic(err)
+	}
+	code, err := hermeneutic.NewCode(frames, conventions)
+	if err != nil {
+		panic(err)
+	}
+	priors := map[hermeneutic.Frame]float64{}
+	for _, f := range frames {
+		priors[f] = 1
+	}
+	priors[intendedFrame] = p.ContextStrength
+	ctx := &hermeneutic.Context{
+		Name:        fmt.Sprintf("situation (strength %.1f)", p.ContextStrength),
+		FramePriors: priors,
+	}
+	return &SituatedText{Text: text, Code: code, Context: ctx, Intended: intended, Frame: intendedFrame}
+}

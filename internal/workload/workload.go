@@ -1,0 +1,161 @@
+// Package workload provides the deterministic synthetic generators behind the
+// experiments: random class hierarchies and TBoxes (experiments E2, E3, A1),
+// semantic-field language pairs with controlled divergence (E4), annotated
+// corpora with usage drift (E5), and ambiguous texts with known intentions
+// (E6).
+//
+// Every generator takes an explicit *rand.Rand so that experiments fix their
+// own seeds and tables are reproducible run to run; no generator touches
+// global randomness or the clock.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dl"
+)
+
+// HierarchyParams controls RandomHierarchyTBox.
+type HierarchyParams struct {
+	// Classes is the number of defined class names to generate.
+	Classes int
+	// MaxParents is the maximum number of parents per class; 1 produces a
+	// tree (the "monocriterial taxonomy" of §2), larger values produce a DAG.
+	MaxParents int
+}
+
+// RandomHierarchyTBox generates a class hierarchy as a TBox of primitive
+// definitions: class i is subsumed by a conjunction of 1..MaxParents earlier
+// classes (class 0 is the root, defined by a marker primitive only). Every
+// class also carries a distinguishing primitive marker so that definitions
+// are never structurally empty.
+func RandomHierarchyTBox(rng *rand.Rand, p HierarchyParams) *dl.TBox {
+	if p.Classes < 1 {
+		p.Classes = 1
+	}
+	if p.MaxParents < 1 {
+		p.MaxParents = 1
+	}
+	tb := dl.NewTBox()
+	tb.MustDefine(className(0), dl.SubsumedBy, dl.Atomic("root-marker"))
+	for i := 1; i < p.Classes; i++ {
+		parents := 1
+		if p.MaxParents > 1 {
+			parents += rng.Intn(p.MaxParents)
+		}
+		if parents > i {
+			parents = i
+		}
+		chosen := map[int]bool{}
+		conjuncts := []*dl.Concept{dl.Atomic(fmt.Sprintf("marker-%d", i))}
+		for len(chosen) < parents {
+			p := rng.Intn(i)
+			if chosen[p] {
+				continue
+			}
+			chosen[p] = true
+			conjuncts = append(conjuncts, dl.Atomic(className(p)))
+		}
+		tb.MustDefine(className(i), dl.SubsumedBy, dl.And(conjuncts...))
+	}
+	return tb
+}
+
+// className names the i-th generated class.
+func className(i int) string { return fmt.Sprintf("class-%d", i) }
+
+// ClassName exposes the naming scheme of RandomHierarchyTBox so callers can
+// address generated classes directly.
+func ClassName(i int) string { return className(i) }
+
+// TBoxParams controls RandomTBox.
+type TBoxParams struct {
+	// Definitions is the number of defined concept names.
+	Definitions int
+	// Vocabulary is the number of distinct primitive concept names available.
+	Vocabulary int
+	// Roles is the number of distinct role names available.
+	Roles int
+	// ConjunctsPerDefinition is the number of top-level conjuncts in every
+	// definition body (the paper's "definition size" k).
+	ConjunctsPerDefinition int
+	// RestrictionProbability is the probability that a conjunct is an
+	// existential restriction rather than a bare primitive.
+	RestrictionProbability float64
+	// ReferenceProbability is the probability that the concept inside a
+	// restriction is a previously defined name rather than a primitive,
+	// which is what makes unfolding depth matter.
+	ReferenceProbability float64
+	// AtLeastProbability is the probability that a restriction is a
+	// qualified at-least (≥n r.C) rather than a plain existential.
+	AtLeastProbability float64
+}
+
+// DefaultTBoxParams returns the parameter set used by experiment E2 at
+// definition size k.
+func DefaultTBoxParams(definitions, vocabulary, k int) TBoxParams {
+	return TBoxParams{
+		Definitions:            definitions,
+		Vocabulary:             vocabulary,
+		Roles:                  4,
+		ConjunctsPerDefinition: k,
+		RestrictionProbability: 0.4,
+		ReferenceProbability:   0.3,
+		AtLeastProbability:     0.2,
+	}
+}
+
+// RandomTBox generates an acyclic TBox of primitive definitions over a
+// bounded vocabulary, the workload of the isomorphism-collision and
+// differentiation experiments. Definition i may reference only definitions
+// j < i, so the result is always acyclic.
+func RandomTBox(rng *rand.Rand, p TBoxParams) *dl.TBox {
+	if p.Definitions < 1 {
+		p.Definitions = 1
+	}
+	if p.Vocabulary < 1 {
+		p.Vocabulary = 1
+	}
+	if p.Roles < 1 {
+		p.Roles = 1
+	}
+	if p.ConjunctsPerDefinition < 1 {
+		p.ConjunctsPerDefinition = 1
+	}
+	tb := dl.NewTBox()
+	for i := 0; i < p.Definitions; i++ {
+		conjuncts := make([]*dl.Concept, 0, p.ConjunctsPerDefinition)
+		for c := 0; c < p.ConjunctsPerDefinition; c++ {
+			conjuncts = append(conjuncts, randomConjunct(rng, p, i))
+		}
+		tb.MustDefine(definitionName(i), dl.SubsumedBy, dl.And(conjuncts...))
+	}
+	return tb
+}
+
+// definitionName names the i-th generated definition.
+func definitionName(i int) string { return fmt.Sprintf("def-%d", i) }
+
+// DefinitionName exposes the naming scheme of RandomTBox.
+func DefinitionName(i int) string { return definitionName(i) }
+
+// randomConjunct builds one conjunct for definition i: a primitive, or a
+// restriction over a primitive or an earlier definition.
+func randomConjunct(rng *rand.Rand, p TBoxParams, i int) *dl.Concept {
+	primitive := func() *dl.Concept {
+		return dl.Atomic(fmt.Sprintf("prim-%d", rng.Intn(p.Vocabulary)))
+	}
+	if rng.Float64() >= p.RestrictionProbability {
+		return primitive()
+	}
+	role := fmt.Sprintf("role-%d", rng.Intn(p.Roles))
+	filler := primitive()
+	if i > 0 && rng.Float64() < p.ReferenceProbability {
+		filler = dl.Atomic(definitionName(rng.Intn(i)))
+	}
+	if rng.Float64() < p.AtLeastProbability {
+		return dl.AtLeast(2+rng.Intn(3), role, filler)
+	}
+	return dl.Exists(role, filler)
+}

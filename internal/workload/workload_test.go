@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dl"
+	"repro/internal/semfield"
+	"repro/internal/store"
+)
+
+func TestRandomHierarchyTBoxShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := RandomHierarchyTBox(rng, HierarchyParams{Classes: 50, MaxParents: 3})
+	if got := len(tb.DefinedNames()); got != 50 {
+		t.Fatalf("defined names = %d, want 50", got)
+	}
+	if !tb.Acyclic() {
+		t.Fatal("generated hierarchy TBox is cyclic")
+	}
+	// Every non-root class must be subsumed by at least one earlier class.
+	r := dl.NewStructuralReasoner(tb)
+	ok, err := r.Subsumes(ClassName(10), ClassName(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a class should subsume itself")
+	}
+}
+
+func TestRandomHierarchyTBoxTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := RandomHierarchyTBox(rng, HierarchyParams{Classes: 30, MaxParents: 1})
+	// With MaxParents 1 every definition body has exactly one class conjunct
+	// (plus its marker), so classification is a tree.
+	for _, d := range tb.Definitions() {
+		classParents := 0
+		for _, c := range d.Concept.Conjuncts() {
+			if c.Op == dl.OpAtomic && len(c.Name) > 6 && c.Name[:6] == "class-" {
+				classParents++
+			}
+		}
+		if classParents > 1 {
+			t.Fatalf("definition %s has %d class parents, want at most 1", d.Name, classParents)
+		}
+	}
+}
+
+func TestRandomHierarchyTBoxDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tb := RandomHierarchyTBox(rng, HierarchyParams{})
+	if len(tb.DefinedNames()) != 1 {
+		t.Errorf("zero-valued params should yield one class, got %d", len(tb.DefinedNames()))
+	}
+}
+
+func TestRandomTBoxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := DefaultTBoxParams(20, 16, 3)
+		tb := RandomTBox(rng, p)
+		if len(tb.DefinedNames()) != 20 {
+			return false
+		}
+		if !tb.Acyclic() {
+			return false
+		}
+		// Every definition is conjunctive with the requested number of
+		// top-level conjuncts.
+		for _, d := range tb.Definitions() {
+			if !d.Concept.IsConjunctive() {
+				return false
+			}
+			if len(d.Concept.Conjuncts()) != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTBoxDeterminism(t *testing.T) {
+	p := DefaultTBoxParams(15, 8, 4)
+	a := RandomTBox(rand.New(rand.NewSource(42)), p)
+	b := RandomTBox(rand.New(rand.NewSource(42)), p)
+	for _, name := range a.DefinedNames() {
+		da, _ := a.Definition(name)
+		db, ok := b.Definition(name)
+		if !ok || !da.Concept.Equal(db.Concept) {
+			t.Fatalf("same seed produced different TBoxes at %s", name)
+		}
+	}
+}
+
+func TestRandomTBoxClampsParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := RandomTBox(rng, TBoxParams{})
+	if len(tb.DefinedNames()) != 1 {
+		t.Errorf("zero params should clamp to one definition, got %d", len(tb.DefinedNames()))
+	}
+}
+
+func TestRandomFieldPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	space, a, b := RandomFieldPair(rng, FieldPairParams{Cells: 40, Words: 6, BoundaryShifts: 3, MaxShift: 2})
+	if space.Len() != 40 {
+		t.Fatalf("space has %d cells, want 40", space.Len())
+	}
+	for _, l := range []*semfield.Language{a, b} {
+		if !l.IsPartition() {
+			t.Errorf("%s is not a partition", l.Name())
+		}
+		if len(l.Covered()) != space.Len() {
+			t.Errorf("%s does not cover the space", l.Name())
+		}
+	}
+	if len(a.Words()) != 6 {
+		t.Errorf("source language has %d words, want 6", len(a.Words()))
+	}
+}
+
+func TestRandomFieldPairZeroShiftsIdenticalDivision(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	_, a, b := RandomFieldPair(rng, FieldPairParams{Cells: 30, Words: 5, BoundaryShifts: 0})
+	if d := semfield.Divergence(a, b); d != 0 {
+		t.Errorf("divergence with 0 shifts = %f, want 0", d)
+	}
+	if loss := semfield.TranslationLoss(a, b, semfield.Atomistic); loss.ErrorRate() != 0 {
+		t.Errorf("atomistic loss with identical divisions = %f, want 0", loss.ErrorRate())
+	}
+}
+
+func TestRandomFieldPairShiftsIncreaseDivergence(t *testing.T) {
+	// Averaged over seeds, more boundary shifts should mean more divergence.
+	mean := func(shifts int) float64 {
+		total := 0.0
+		for seed := int64(0); seed < 20; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			_, a, b := RandomFieldPair(rng, FieldPairParams{Cells: 60, Words: 8, BoundaryShifts: shifts, MaxShift: 3})
+			total += semfield.Divergence(a, b)
+		}
+		return total / 20
+	}
+	low, high := mean(1), mean(8)
+	if high <= low {
+		t.Errorf("divergence should grow with boundary shifts: 1 shift %.4f, 8 shifts %.4f", low, high)
+	}
+}
+
+func TestSyntheticCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := SyntheticCorpus(rng, CorpusParams{
+		Hierarchy:         HierarchyParams{Classes: 12, MaxParents: 2},
+		InstancesPerClass: 10,
+		Drift:             0.3,
+	})
+	if got := len(c.Instances()); got != 120 {
+		t.Fatalf("instances = %d, want 120", got)
+	}
+	if c.Store.Len() != 120 {
+		t.Errorf("store has %d annotations, want 120", c.Store.Len())
+	}
+	if c.Drifted == 0 {
+		t.Error("with 30%% drift some instances should be drifted")
+	}
+	if c.Drifted > 80 {
+		t.Errorf("drifted = %d out of 120 at 30%% drift; generator looks off", c.Drifted)
+	}
+	oi, err := store.NewOntologyIndex(c.TBox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ClassName(0)
+	relevant := c.RelevantTo(oi, root)
+	if len(relevant) != 120 {
+		t.Errorf("everything should be relevant to the root class, got %d", len(relevant))
+	}
+}
+
+func TestSyntheticCorpusNoDriftPerfectRetrieval(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := SyntheticCorpus(rng, CorpusParams{
+		Hierarchy:         HierarchyParams{Classes: 10, MaxParents: 2},
+		InstancesPerClass: 5,
+		Drift:             0,
+	})
+	if c.Drifted != 0 {
+		t.Fatalf("drift 0 produced %d drifted instances", c.Drifted)
+	}
+	oi, err := store.NewOntologyIndex(c.TBox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no drift, expanded retrieval is exact for every class.
+	for _, class := range c.Classes {
+		retrieved := store.InstancesOfExpanded(c.Store, oi, class)
+		relevant := c.RelevantTo(oi, class)
+		res := store.Evaluate(retrieved, relevant)
+		if res.Precision() != 1 || res.Recall() != 1 {
+			t.Fatalf("class %s: %v, want perfect retrieval with no drift", class, res)
+		}
+	}
+}
+
+func TestSyntheticCorpusDriftClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := SyntheticCorpus(rng, CorpusParams{
+		Hierarchy:         HierarchyParams{Classes: 4, MaxParents: 1},
+		InstancesPerClass: 5,
+		Drift:             2.0, // clamped to 1
+	})
+	if c.Drifted != len(c.Instances()) {
+		t.Errorf("drift clamped to 1 should drift everything: %d of %d", c.Drifted, len(c.Instances()))
+	}
+}
+
+func TestRandomSituatedText(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	st := RandomSituatedText(rng, TextParams{Cues: 6, Frames: 3, ContextStrength: 5})
+	if len(st.Text.Cues) != 6 || len(st.Intended) != 6 {
+		t.Fatalf("cues/intended = %d/%d, want 6/6", len(st.Text.Cues), len(st.Intended))
+	}
+	if len(st.Code.Frames()) != 3 {
+		t.Errorf("frames = %d, want 3", len(st.Code.Frames()))
+	}
+	// The intended senses must be candidate senses of their cues.
+	for i, cue := range st.Text.Cues {
+		found := false
+		for _, s := range cue.Senses {
+			if s == st.Intended[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("intended sense of cue %d is not among its candidates", i)
+		}
+	}
+	if st.Context.FramePriors[st.Frame] != 5 {
+		t.Errorf("context prior on the intended frame = %f, want 5", st.Context.FramePriors[st.Frame])
+	}
+}
+
+func TestRandomSituatedTextClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	st := RandomSituatedText(rng, TextParams{})
+	if len(st.Text.Cues) != 1 || len(st.Code.Frames()) != 2 {
+		t.Errorf("zero params should clamp to 1 cue, 2 frames; got %d cues, %d frames",
+			len(st.Text.Cues), len(st.Code.Frames()))
+	}
+}

@@ -1,0 +1,297 @@
+package worlds
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind classifies a node of the definitional-dependency graph.
+type NodeKind int
+
+// Node kinds of the definitional-dependency graph.
+const (
+	// NodeIntensional is the definition of an intensional relation.
+	NodeIntensional NodeKind = iota
+	// NodeWorld is the specification of a possible world's structure.
+	NodeWorld
+	// NodeExtension is the extension of a relation inside a particular world.
+	NodeExtension
+	// NodePrimitive is an observable given independently of the ontology
+	// (e.g. a sensor reading or a database fact); primitives ground the
+	// definitional chain.
+	NodePrimitive
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeIntensional:
+		return "intensional"
+	case NodeWorld:
+		return "world"
+	case NodeExtension:
+		return "extension"
+	case NodePrimitive:
+		return "primitive"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// DependencyGraph records which definitions presuppose which others. An edge
+// from A to B means "A is defined in terms of B". The paper's §2 circularity
+// argument is that, on the natural reading of Guarino's construction, the
+// graph contains cycles through every non-primitive relation.
+type DependencyGraph struct {
+	kinds map[string]NodeKind
+	edges map[string][]string
+}
+
+// NewDependencyGraph returns an empty graph.
+func NewDependencyGraph() *DependencyGraph {
+	return &DependencyGraph{kinds: map[string]NodeKind{}, edges: map[string][]string{}}
+}
+
+// AddNode declares a node with its kind. Re-declaring a node overwrites its
+// kind, which lets callers promote an extension to a primitive.
+func (g *DependencyGraph) AddNode(id string, kind NodeKind) {
+	g.kinds[id] = kind
+	if _, ok := g.edges[id]; !ok {
+		g.edges[id] = nil
+	}
+}
+
+// AddDependency records that `from` is defined in terms of `to`. Unknown
+// nodes are added with NodeExtension kind.
+func (g *DependencyGraph) AddDependency(from, to string) {
+	if _, ok := g.kinds[from]; !ok {
+		g.AddNode(from, NodeExtension)
+	}
+	if _, ok := g.kinds[to]; !ok {
+		g.AddNode(to, NodeExtension)
+	}
+	for _, e := range g.edges[from] {
+		if e == to {
+			return
+		}
+	}
+	g.edges[from] = append(g.edges[from], to)
+}
+
+// Nodes returns the node ids in sorted order.
+func (g *DependencyGraph) Nodes() []string {
+	out := make([]string, 0, len(g.kinds))
+	for id := range g.kinds {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kind returns the kind of a node.
+func (g *DependencyGraph) Kind(id string) (NodeKind, bool) {
+	k, ok := g.kinds[id]
+	return k, ok
+}
+
+// CircularityReport is the result of analyzing a dependency graph.
+type CircularityReport struct {
+	// Cycles lists one representative cycle per strongly connected component
+	// of size greater than one (each cycle is a sequence of node ids; the
+	// last id depends on the first).
+	Cycles [][]string
+	// Ungrounded lists nodes that cannot be traced back to a primitive: every
+	// path out of them loops without reaching a NodePrimitive node.
+	Ungrounded []string
+	// Grounded reports whether the definitional structure bottoms out: no
+	// cycles and every non-primitive node reaches a primitive.
+	Grounded bool
+}
+
+// Describe renders a human-readable summary of the report.
+func (r CircularityReport) Describe() string {
+	var b strings.Builder
+	if r.Grounded {
+		b.WriteString("definitional structure is grounded: every definition bottoms out in primitives\n")
+		return b.String()
+	}
+	if len(r.Cycles) > 0 {
+		fmt.Fprintf(&b, "%d definitional cycle(s) found:\n", len(r.Cycles))
+		for _, c := range r.Cycles {
+			fmt.Fprintf(&b, "  %s -> %s\n", strings.Join(c, " -> "), c[0])
+		}
+	}
+	if len(r.Ungrounded) > 0 {
+		fmt.Fprintf(&b, "%d definition(s) never reach a primitive: %s\n", len(r.Ungrounded), strings.Join(r.Ungrounded, ", "))
+	}
+	return b.String()
+}
+
+// Analyze computes the circularity report of the graph.
+func (g *DependencyGraph) Analyze() CircularityReport {
+	var rep CircularityReport
+	rep.Cycles = g.cycles()
+	rep.Ungrounded = g.ungrounded()
+	rep.Grounded = len(rep.Cycles) == 0 && len(rep.Ungrounded) == 0
+	return rep
+}
+
+// cycles returns one representative cycle per non-trivial strongly connected
+// component, found with Tarjan's algorithm.
+func (g *DependencyGraph) cycles() [][]string {
+	ids := g.Nodes()
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	counter := 0
+	var out [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		targets := append([]string(nil), g.edges[v]...)
+		sort.Strings(targets)
+		for _, w := range targets {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sort.Strings(comp)
+				out = append(out, comp)
+			} else if len(comp) == 1 && g.selfLoop(comp[0]) {
+				out = append(out, comp)
+			}
+		}
+	}
+	for _, v := range ids {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+func (g *DependencyGraph) selfLoop(id string) bool {
+	for _, e := range g.edges[id] {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ungrounded returns the non-primitive nodes from which no primitive node is
+// reachable. A node with no outgoing edges and non-primitive kind counts as
+// ungrounded too: its definition rests on nothing at all.
+func (g *DependencyGraph) ungrounded() []string {
+	reachesPrimitive := map[string]bool{}
+	var visit func(id string, seen map[string]bool) bool
+	visit = func(id string, seen map[string]bool) bool {
+		if g.kinds[id] == NodePrimitive {
+			return true
+		}
+		if v, done := reachesPrimitive[id]; done {
+			return v
+		}
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		ok := false
+		for _, e := range g.edges[id] {
+			if visit(e, seen) {
+				ok = true
+				break
+			}
+		}
+		delete(seen, id)
+		reachesPrimitive[id] = ok
+		return ok
+	}
+	var out []string
+	for _, id := range g.Nodes() {
+		if g.kinds[id] == NodePrimitive {
+			continue
+		}
+		if !visit(id, map[string]bool{}) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AnalyzeCommitment builds the definitional-dependency graph of a commitment
+// under the reading the paper attributes to Guarino's construction and
+// analyzes it:
+//
+//   - each intensional relation is defined in terms of every world of the
+//     structure (it is a function on worlds);
+//   - each world's structure is given by the extensions it assigns to the
+//     relation names;
+//   - each extension of a relation name is, in turn, given by the intensional
+//     relation of that name — unless the name appears in primitives, in which
+//     case it is treated as an observable given independently of the
+//     ontology.
+//
+// With an empty primitive set the graph is cyclic for every relation that
+// appears both intensionally and inside a world, reproducing the paper's
+// circularity argument; declaring primitives breaks the cycles and the
+// construction grounds out.
+func AnalyzeCommitment(c *Commitment, primitives []string) CircularityReport {
+	prim := map[string]bool{}
+	for _, p := range primitives {
+		prim[p] = true
+	}
+	g := NewDependencyGraph()
+	intensionalNames := map[string]bool{}
+	for _, ir := range c.Relations {
+		id := "intensional:" + ir.Name
+		g.AddNode(id, NodeIntensional)
+		intensionalNames[ir.Name] = true
+	}
+	for _, w := range c.Structure.Worlds {
+		wid := "world:" + w.Name
+		g.AddNode(wid, NodeWorld)
+		for _, ir := range c.Relations {
+			g.AddDependency("intensional:"+ir.Name, wid)
+		}
+		for _, rn := range w.RelationNames() {
+			eid := "extension:" + w.Name + ":" + rn
+			if prim[rn] {
+				g.AddNode(eid, NodePrimitive)
+			} else {
+				g.AddNode(eid, NodeExtension)
+			}
+			g.AddDependency(wid, eid)
+			if !prim[rn] && intensionalNames[rn] {
+				g.AddDependency(eid, "intensional:"+rn)
+			}
+		}
+	}
+	return g.Analyze()
+}

@@ -1,0 +1,499 @@
+// Package worlds implements the model-theoretic machinery of Guarino's
+// "Formal ontology and information systems" definition, exactly as the
+// paper's §2 reconstructs it in order to critique it: domains of elements,
+// possible worlds, extensional relations, intensional relations as functions
+// from worlds to extensional relations, ontological commitments, and
+// ontonomies as axiom sets whose models "approximate" the intended models of
+// a language.
+//
+// The package also implements the two analyses the paper performs on this
+// construction:
+//
+//   - a circularity analysis (CircularityReport) that detects when the
+//     structure of the worlds used to define the intensional relations is
+//     itself given only in terms of those intensional relations — the
+//     "circular argument" of §2;
+//   - an approximation analysis (ApproximationReport) that measures how well
+//     a set of axioms separates the intended models of a commitment from
+//     perturbed non-intended models — the executable version of the paper's
+//     complaint that with the word "approximates" any satisfiable axiom set
+//     (including a set of tautologies) qualifies as an ontonomy.
+package worlds
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Element is an individual of the domain of discourse.
+type Element string
+
+// Tuple is an ordered tuple of domain elements.
+type Tuple []Element
+
+// key renders the tuple as a map key.
+func (t Tuple) key() string {
+	parts := make([]string, len(t))
+	for i, e := range t {
+		parts[i] = string(e)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// String renders the tuple.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, e := range t {
+		parts[i] = string(e)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Relation is a finite extensional relation: a named set of tuples of fixed
+// arity.
+type Relation struct {
+	Name   string
+	Arity  int
+	tuples map[string]Tuple
+}
+
+// NewRelation creates an empty extensional relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, tuples: map[string]Tuple{}}
+}
+
+// Add inserts a tuple, returning an error if the arity does not match.
+func (r *Relation) Add(t Tuple) error {
+	if len(t) != r.Arity {
+		return fmt.Errorf("worlds: tuple %v has arity %d, relation %q expects %d", t, len(t), r.Name, r.Arity)
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples[cp.key()] = cp
+	return nil
+}
+
+// Contains reports whether the tuple is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples in deterministic (sorted) order.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// Equal reports whether two relations have the same name, arity, and tuples.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Name != o.Name || r.Arity != o.Arity || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Arity)
+	for _, t := range r.tuples {
+		_ = c.Add(t)
+	}
+	return c
+}
+
+// World is a legal configuration of the domain elements: a named assignment
+// of extensional relations.
+type World struct {
+	Name      string
+	relations map[string]*Relation
+}
+
+// NewWorld creates a world with no relations.
+func NewWorld(name string) *World {
+	return &World{Name: name, relations: map[string]*Relation{}}
+}
+
+// SetRelation installs (or replaces) the extension of a relation name in this
+// world.
+func (w *World) SetRelation(r *Relation) { w.relations[r.Name] = r }
+
+// Relation returns the extension of the named relation in this world and
+// whether it is defined.
+func (w *World) Relation(name string) (*Relation, bool) {
+	r, ok := w.relations[name]
+	return r, ok
+}
+
+// RelationNames returns the defined relation names in sorted order.
+func (w *World) RelationNames() []string {
+	out := make([]string, 0, len(w.relations))
+	for n := range w.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Holds reports whether the named relation holds of the tuple in this world;
+// undefined relations hold of nothing.
+func (w *World) Holds(name string, t Tuple) bool {
+	r, ok := w.relations[name]
+	return ok && r.Contains(t)
+}
+
+// Structure is a set of possible worlds over a shared domain, the W of
+// Guarino's construction.
+type Structure struct {
+	Domain []Element
+	Worlds []*World
+}
+
+// NewStructure builds a structure over the given domain.
+func NewStructure(domain []Element) *Structure {
+	d := make([]Element, len(domain))
+	copy(d, domain)
+	return &Structure{Domain: d}
+}
+
+// AddWorld appends a world to the structure.
+func (s *Structure) AddWorld(w *World) { s.Worlds = append(s.Worlds, w) }
+
+// WorldByName returns the named world and whether it exists.
+func (s *Structure) WorldByName(name string) (*World, bool) {
+	for _, w := range s.Worlds {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// IntensionalRelation is a function from worlds to extensional relations: for
+// each world of a structure it gives the extension of a conceptual relation.
+// Following the paper's presentation it is represented extensionally as a
+// finite table indexed by world name.
+type IntensionalRelation struct {
+	Name   string
+	Arity  int
+	byName map[string]*Relation
+}
+
+// NewIntensionalRelation creates an intensional relation with no world
+// assignments.
+func NewIntensionalRelation(name string, arity int) *IntensionalRelation {
+	return &IntensionalRelation{Name: name, Arity: arity, byName: map[string]*Relation{}}
+}
+
+// Assign sets the extension of the relation in the named world. The
+// extension's arity must match.
+func (ir *IntensionalRelation) Assign(world string, ext *Relation) error {
+	if ext.Arity != ir.Arity {
+		return fmt.Errorf("worlds: extension arity %d does not match intensional relation %q arity %d", ext.Arity, ir.Name, ir.Arity)
+	}
+	ir.byName[world] = ext
+	return nil
+}
+
+// At returns the extension assigned to the named world, and whether one was
+// assigned.
+func (ir *IntensionalRelation) At(world string) (*Relation, bool) {
+	r, ok := ir.byName[world]
+	return r, ok
+}
+
+// Rigid reports whether the relation has the same extension in every world it
+// is defined on — the degenerate case in which intensionality adds nothing.
+func (ir *IntensionalRelation) Rigid() bool {
+	var first *Relation
+	for _, r := range ir.byName {
+		if first == nil {
+			first = r
+			continue
+		}
+		if !first.Equal(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Commitment is an ontological commitment: a structure of possible worlds
+// together with a set of intensional relations over it. It induces, for each
+// world, an extensional model of the language whose predicate symbols are the
+// intensional relation names.
+type Commitment struct {
+	Structure *Structure
+	Relations []*IntensionalRelation
+}
+
+// NewCommitment validates that every intensional relation assigns an
+// extension to every world of the structure and returns the commitment.
+func NewCommitment(s *Structure, rels []*IntensionalRelation) (*Commitment, error) {
+	for _, ir := range rels {
+		for _, w := range s.Worlds {
+			if _, ok := ir.At(w.Name); !ok {
+				return nil, fmt.Errorf("worlds: intensional relation %q assigns no extension to world %q", ir.Name, w.Name)
+			}
+		}
+	}
+	return &Commitment{Structure: s, Relations: rels}, nil
+}
+
+// ExtensionalModel is the model induced by a commitment at one world: the
+// domain together with one extensional relation per intensional relation.
+type ExtensionalModel struct {
+	World     string
+	Domain    []Element
+	Relations map[string]*Relation
+}
+
+// ModelAt returns the extensional model induced at the named world.
+func (c *Commitment) ModelAt(world string) (*ExtensionalModel, error) {
+	if _, ok := c.Structure.WorldByName(world); !ok {
+		return nil, fmt.Errorf("worlds: unknown world %q", world)
+	}
+	m := &ExtensionalModel{World: world, Domain: c.Structure.Domain, Relations: map[string]*Relation{}}
+	for _, ir := range c.Relations {
+		ext, _ := ir.At(world)
+		m.Relations[ir.Name] = ext
+	}
+	return m, nil
+}
+
+// IntendedModels returns the extensional models induced at every world, in
+// world order. These are "the set of intended models of L according to K" of
+// Guarino's definition.
+func (c *Commitment) IntendedModels() []*ExtensionalModel {
+	out := make([]*ExtensionalModel, 0, len(c.Structure.Worlds))
+	for _, w := range c.Structure.Worlds {
+		m, err := c.ModelAt(w.Name)
+		if err == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Holds reports whether the named relation holds of the tuple in the model.
+func (m *ExtensionalModel) Holds(rel string, t Tuple) bool {
+	r, ok := m.Relations[rel]
+	return ok && r.Contains(t)
+}
+
+// Literal is an atomic statement about a relation applied to a tuple,
+// possibly negated.
+type Literal struct {
+	Relation string
+	Args     Tuple
+	Negated  bool
+}
+
+// String renders the literal.
+func (l Literal) String() string {
+	s := l.Relation + l.Args.String()
+	if l.Negated {
+		return "¬" + s
+	}
+	return s
+}
+
+// Eval evaluates the literal in a model.
+func (l Literal) Eval(m *ExtensionalModel) bool {
+	holds := m.Holds(l.Relation, l.Args)
+	if l.Negated {
+		return !holds
+	}
+	return holds
+}
+
+// Axiom is a ground clause: a disjunction of literals. The empty clause is
+// unsatisfiable; a clause whose literals cover both polarities of an atom is
+// a tautology.
+type Axiom struct {
+	Literals []Literal
+	Label    string
+}
+
+// String renders the axiom.
+func (a Axiom) String() string {
+	if len(a.Literals) == 0 {
+		return "⊥"
+	}
+	parts := make([]string, len(a.Literals))
+	for i, l := range a.Literals {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// Tautology reports whether the clause contains an atom together with its
+// negation and therefore holds in every model.
+func (a Axiom) Tautology() bool {
+	pos := map[string]bool{}
+	neg := map[string]bool{}
+	for _, l := range a.Literals {
+		k := l.Relation + l.Args.key()
+		if l.Negated {
+			neg[k] = true
+		} else {
+			pos[k] = true
+		}
+	}
+	for k := range pos {
+		if neg[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval evaluates the clause in a model.
+func (a Axiom) Eval(m *ExtensionalModel) bool {
+	for _, l := range a.Literals {
+		if l.Eval(m) {
+			return true
+		}
+	}
+	return len(a.Literals) == 0 && false
+}
+
+// Ontonomy is, per Guarino's definition as quoted by the paper, "a set of
+// axioms designed in a way such that the set of its models approximates as
+// best as possible the set of intended models of L according to K".
+type Ontonomy struct {
+	Axioms []Axiom
+}
+
+// Satisfied reports whether every axiom holds in the model.
+func (o *Ontonomy) Satisfied(m *ExtensionalModel) bool {
+	for _, a := range o.Axioms {
+		if !a.Eval(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllTautologies reports whether every axiom of the ontonomy is a tautology —
+// the degenerate ontonomy the paper uses to argue that the definition is too
+// broad to be useful.
+func (o *Ontonomy) AllTautologies() bool {
+	for _, a := range o.Axioms {
+		if !a.Tautology() {
+			return false
+		}
+	}
+	return len(o.Axioms) > 0
+}
+
+// ApproximationReport measures how well an ontonomy's models approximate the
+// intended models of a commitment.
+type ApproximationReport struct {
+	// IntendedAccepted is the number of intended models satisfying the axioms
+	// and IntendedTotal the number of intended models (recall numerator and
+	// denominator).
+	IntendedAccepted, IntendedTotal int
+	// PerturbedAccepted is the number of perturbed (non-intended) models that
+	// also satisfy the axioms and PerturbedTotal the number generated. A high
+	// acceptance rate on perturbed models means the axioms fail to pin down
+	// the commitment — the paper's "too broad to be of any use".
+	PerturbedAccepted, PerturbedTotal int
+}
+
+// Recall is the fraction of intended models accepted.
+func (r ApproximationReport) Recall() float64 {
+	if r.IntendedTotal == 0 {
+		return 0
+	}
+	return float64(r.IntendedAccepted) / float64(r.IntendedTotal)
+}
+
+// FalseAcceptRate is the fraction of perturbed models accepted.
+func (r ApproximationReport) FalseAcceptRate() float64 {
+	if r.PerturbedTotal == 0 {
+		return 0
+	}
+	return float64(r.PerturbedAccepted) / float64(r.PerturbedTotal)
+}
+
+// Discrimination is recall minus false-accept rate: 1 means the axioms accept
+// exactly the intended models among those examined, 0 means they do not
+// separate intended from perturbed models at all (as with tautologies).
+func (r ApproximationReport) Discrimination() float64 {
+	return r.Recall() - r.FalseAcceptRate()
+}
+
+// Approximation evaluates the ontonomy against the commitment: every intended
+// model is tested, and perturbedPerWorld perturbed variants of each intended
+// model (with random tuples flipped in and out of relations) are generated
+// with rng and tested.
+func Approximation(c *Commitment, o *Ontonomy, perturbedPerWorld int, rng *rand.Rand) ApproximationReport {
+	var rep ApproximationReport
+	intended := c.IntendedModels()
+	rep.IntendedTotal = len(intended)
+	for _, m := range intended {
+		if o.Satisfied(m) {
+			rep.IntendedAccepted++
+		}
+	}
+	for _, m := range intended {
+		for i := 0; i < perturbedPerWorld; i++ {
+			p := perturb(m, rng)
+			rep.PerturbedTotal++
+			if o.Satisfied(p) {
+				rep.PerturbedAccepted++
+			}
+		}
+	}
+	return rep
+}
+
+// perturb returns a copy of the model with between one and three random tuple
+// flips applied across its relations.
+func perturb(m *ExtensionalModel, rng *rand.Rand) *ExtensionalModel {
+	out := &ExtensionalModel{World: m.World + "'", Domain: m.Domain, Relations: map[string]*Relation{}}
+	names := make([]string, 0, len(m.Relations))
+	for n := range m.Relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.Relations[n] = m.Relations[n].Clone()
+	}
+	if len(names) == 0 || len(m.Domain) == 0 {
+		return out
+	}
+	flips := 1 + rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		rel := out.Relations[names[rng.Intn(len(names))]]
+		t := make(Tuple, rel.Arity)
+		for j := range t {
+			t[j] = m.Domain[rng.Intn(len(m.Domain))]
+		}
+		if rel.Contains(t) {
+			delete(rel.tuples, t.key())
+		} else {
+			_ = rel.Add(t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+package worlds
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// blocksCommitment builds the paper's blocks-world example: a domain of
+// blocks a, b, c, d with an intensional relation "above" whose extension
+// varies between two worlds.
+func blocksCommitment(t testing.TB) *Commitment {
+	t.Helper()
+	domain := []Element{"a", "b", "c", "d"}
+	s := NewStructure(domain)
+
+	w1 := NewWorld("w1")
+	above1 := NewRelation("above", 2)
+	for _, tu := range []Tuple{{"a", "b"}, {"a", "d"}, {"b", "d"}} {
+		if err := above1.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1.SetRelation(above1)
+
+	w2 := NewWorld("w2")
+	above2 := NewRelation("above", 2)
+	if err := above2.Add(Tuple{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	w2.SetRelation(above2)
+
+	s.AddWorld(w1)
+	s.AddWorld(w2)
+
+	ir := NewIntensionalRelation("above", 2)
+	if err := ir.Assign("w1", above1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Assign("w2", above2); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCommitment(s, []*IntensionalRelation{ir})
+	if err != nil {
+		t.Fatalf("NewCommitment: %v", err)
+	}
+	return c
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("above", 2)
+	if err := r.Add(Tuple{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(Tuple{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("duplicate tuples stored: Len = %d", r.Len())
+	}
+	if err := r.Add(Tuple{"a"}); err == nil {
+		t.Error("arity mismatch should be rejected")
+	}
+	if !r.Contains(Tuple{"a", "b"}) || r.Contains(Tuple{"b", "a"}) {
+		t.Error("Contains misreports")
+	}
+	clone := r.Clone()
+	if !clone.Equal(r) {
+		t.Error("clone should equal original")
+	}
+	if err := clone.Add(Tuple{"c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Equal(r) {
+		t.Error("mutated clone should differ")
+	}
+	if got := r.Tuples(); len(got) != 1 || got[0].String() != "(a,b)" {
+		t.Errorf("Tuples = %v", got)
+	}
+}
+
+func TestWorldHolds(t *testing.T) {
+	c := blocksCommitment(t)
+	w1, ok := c.Structure.WorldByName("w1")
+	if !ok {
+		t.Fatal("w1 missing")
+	}
+	if !w1.Holds("above", Tuple{"a", "b"}) {
+		t.Error("above(a,b) should hold in w1")
+	}
+	if w1.Holds("above", Tuple{"d", "a"}) {
+		t.Error("above(d,a) should not hold in w1")
+	}
+	if w1.Holds("under", Tuple{"a", "b"}) {
+		t.Error("undefined relation holds of nothing")
+	}
+	if names := w1.RelationNames(); len(names) != 1 || names[0] != "above" {
+		t.Errorf("RelationNames = %v", names)
+	}
+	if _, ok := c.Structure.WorldByName("nowhere"); ok {
+		t.Error("unknown world should not be found")
+	}
+}
+
+func TestIntensionalRelation(t *testing.T) {
+	ir := NewIntensionalRelation("above", 2)
+	r := NewRelation("above", 2)
+	if err := ir.Assign("w", r); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewRelation("above", 3)
+	if err := ir.Assign("w2", bad); err == nil {
+		t.Error("arity mismatch in Assign should fail")
+	}
+	if _, ok := ir.At("w"); !ok {
+		t.Error("assigned world should be retrievable")
+	}
+	if _, ok := ir.At("missing"); ok {
+		t.Error("unassigned world should not be retrievable")
+	}
+}
+
+func TestRigid(t *testing.T) {
+	c := blocksCommitment(t)
+	if c.Relations[0].Rigid() {
+		t.Error("above varies between worlds, should not be rigid")
+	}
+	rigid := NewIntensionalRelation("color", 1)
+	ext := NewRelation("color", 1)
+	_ = ext.Add(Tuple{"a"})
+	_ = rigid.Assign("w1", ext)
+	_ = rigid.Assign("w2", ext.Clone())
+	if !rigid.Rigid() {
+		t.Error("same extension everywhere should be rigid")
+	}
+}
+
+func TestNewCommitmentValidation(t *testing.T) {
+	s := NewStructure([]Element{"a"})
+	s.AddWorld(NewWorld("w1"))
+	ir := NewIntensionalRelation("p", 1)
+	if _, err := NewCommitment(s, []*IntensionalRelation{ir}); err == nil {
+		t.Error("commitment with a world lacking an assignment should be rejected")
+	}
+}
+
+func TestIntendedModels(t *testing.T) {
+	c := blocksCommitment(t)
+	models := c.IntendedModels()
+	if len(models) != 2 {
+		t.Fatalf("IntendedModels = %d, want 2", len(models))
+	}
+	if !models[0].Holds("above", Tuple{"b", "d"}) {
+		t.Error("model at w1 should contain above(b,d)")
+	}
+	if models[1].Holds("above", Tuple{"b", "d"}) {
+		t.Error("model at w2 should not contain above(b,d)")
+	}
+	if _, err := c.ModelAt("nope"); err == nil {
+		t.Error("ModelAt unknown world should fail")
+	}
+}
+
+func TestLiteralAndAxiomEval(t *testing.T) {
+	c := blocksCommitment(t)
+	m, _ := c.ModelAt("w1")
+	pos := Literal{Relation: "above", Args: Tuple{"a", "b"}}
+	neg := Literal{Relation: "above", Args: Tuple{"d", "a"}, Negated: true}
+	if !pos.Eval(m) || !neg.Eval(m) {
+		t.Error("literal evaluation wrong")
+	}
+	ax := Axiom{Literals: []Literal{pos, {Relation: "above", Args: Tuple{"d", "a"}}}}
+	if !ax.Eval(m) {
+		t.Error("disjunction with one true literal should hold")
+	}
+	empty := Axiom{}
+	if empty.Eval(m) {
+		t.Error("the empty clause holds in no model")
+	}
+	if !strings.Contains(neg.String(), "¬") {
+		t.Errorf("negated literal rendering: %q", neg.String())
+	}
+	if empty.String() != "⊥" {
+		t.Errorf("empty clause rendering: %q", empty.String())
+	}
+}
+
+func TestTautologyDetection(t *testing.T) {
+	l := Literal{Relation: "above", Args: Tuple{"a", "b"}}
+	nl := l
+	nl.Negated = true
+	taut := Axiom{Literals: []Literal{l, nl}}
+	if !taut.Tautology() {
+		t.Error("p ∨ ¬p is a tautology")
+	}
+	notTaut := Axiom{Literals: []Literal{l}}
+	if notTaut.Tautology() {
+		t.Error("a single positive literal is not a tautology")
+	}
+	o := &Ontonomy{Axioms: []Axiom{taut}}
+	if !o.AllTautologies() {
+		t.Error("ontonomy of tautologies should be detected")
+	}
+	if (&Ontonomy{}).AllTautologies() {
+		t.Error("the empty ontonomy is not 'all tautologies'")
+	}
+}
+
+func TestApproximationDiscriminatingAxioms(t *testing.T) {
+	c := blocksCommitment(t)
+	// Informative axiom set: above(a,b) holds in all intended worlds, and
+	// above(d,a) holds in none.
+	o := &Ontonomy{Axioms: []Axiom{
+		{Literals: []Literal{{Relation: "above", Args: Tuple{"a", "b"}}}},
+		{Literals: []Literal{{Relation: "above", Args: Tuple{"d", "a"}, Negated: true}}},
+		{Literals: []Literal{{Relation: "above", Args: Tuple{"d", "b"}, Negated: true}}},
+		{Literals: []Literal{{Relation: "above", Args: Tuple{"c", "a"}, Negated: true}}},
+	}}
+	rng := rand.New(rand.NewSource(42))
+	rep := Approximation(c, o, 50, rng)
+	if rep.Recall() != 1.0 {
+		t.Errorf("informative axioms should accept all intended models, recall = %f", rep.Recall())
+	}
+	if rep.FalseAcceptRate() >= 1.0 {
+		t.Errorf("informative axioms should reject some perturbed models, false accept = %f", rep.FalseAcceptRate())
+	}
+	if rep.Discrimination() <= 0 {
+		t.Errorf("discrimination should be positive, got %f", rep.Discrimination())
+	}
+}
+
+func TestApproximationTautologiesDoNotDiscriminate(t *testing.T) {
+	c := blocksCommitment(t)
+	l := Literal{Relation: "above", Args: Tuple{"a", "b"}}
+	nl := l
+	nl.Negated = true
+	o := &Ontonomy{Axioms: []Axiom{{Literals: []Literal{l, nl}}}}
+	rng := rand.New(rand.NewSource(7))
+	rep := Approximation(c, o, 50, rng)
+	if rep.Recall() != 1.0 || rep.FalseAcceptRate() != 1.0 {
+		t.Errorf("tautologies accept everything: recall=%f far=%f", rep.Recall(), rep.FalseAcceptRate())
+	}
+	if rep.Discrimination() != 0 {
+		t.Errorf("tautologies have zero discrimination, got %f", rep.Discrimination())
+	}
+}
+
+func TestApproximationEmptyReport(t *testing.T) {
+	var rep ApproximationReport
+	if rep.Recall() != 0 || rep.FalseAcceptRate() != 0 {
+		t.Error("empty report rates should be zero")
+	}
+}
+
+func TestPropertyTautologiesAcceptEverything(t *testing.T) {
+	c := blocksCommitment(t)
+	l := Literal{Relation: "above", Args: Tuple{"a", "b"}}
+	nl := l
+	nl.Negated = true
+	o := &Ontonomy{Axioms: []Axiom{{Literals: []Literal{l, nl}}}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rep := Approximation(c, o, 10, rng)
+		return rep.Discrimination() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircularityWithoutPrimitives(t *testing.T) {
+	c := blocksCommitment(t)
+	rep := AnalyzeCommitment(c, nil)
+	if rep.Grounded {
+		t.Error("with no primitives the construction should be circular")
+	}
+	if len(rep.Cycles) == 0 {
+		t.Error("expected at least one definitional cycle")
+	}
+	if !strings.Contains(rep.Describe(), "cycle") {
+		t.Errorf("Describe should mention cycles: %q", rep.Describe())
+	}
+}
+
+func TestCircularityWithPrimitives(t *testing.T) {
+	c := blocksCommitment(t)
+	rep := AnalyzeCommitment(c, []string{"above"})
+	if !rep.Grounded {
+		t.Errorf("declaring 'above' observations primitive should ground the construction: %s", rep.Describe())
+	}
+	if !strings.Contains(rep.Describe(), "grounded") {
+		t.Errorf("Describe should report grounding: %q", rep.Describe())
+	}
+}
+
+func TestDependencyGraphDirect(t *testing.T) {
+	g := NewDependencyGraph()
+	g.AddNode("a", NodeIntensional)
+	g.AddDependency("a", "b")
+	g.AddDependency("b", "a")
+	g.AddDependency("a", "b") // duplicate edge ignored
+	rep := g.Analyze()
+	if rep.Grounded || len(rep.Cycles) != 1 {
+		t.Errorf("expected exactly one cycle, got %+v", rep)
+	}
+	if k, ok := g.Kind("b"); !ok || k != NodeExtension {
+		t.Errorf("implicit node should default to extension kind, got %v", k)
+	}
+	if len(g.Nodes()) != 2 {
+		t.Errorf("Nodes = %v", g.Nodes())
+	}
+}
+
+func TestDependencyGraphSelfLoop(t *testing.T) {
+	g := NewDependencyGraph()
+	g.AddDependency("x", "x")
+	rep := g.Analyze()
+	if len(rep.Cycles) != 1 {
+		t.Errorf("self-loop should count as a cycle: %+v", rep)
+	}
+}
+
+func TestDependencyGraphUngroundedLeaf(t *testing.T) {
+	g := NewDependencyGraph()
+	g.AddNode("def", NodeIntensional) // no outgoing edges, not primitive
+	rep := g.Analyze()
+	if rep.Grounded {
+		t.Error("an intensional definition resting on nothing is not grounded")
+	}
+	if len(rep.Ungrounded) != 1 || rep.Ungrounded[0] != "def" {
+		t.Errorf("Ungrounded = %v", rep.Ungrounded)
+	}
+}
+
+func TestDependencyGraphGroundedChain(t *testing.T) {
+	g := NewDependencyGraph()
+	g.AddNode("obs", NodePrimitive)
+	g.AddDependency("def", "mid")
+	g.AddDependency("mid", "obs")
+	rep := g.Analyze()
+	if !rep.Grounded {
+		t.Errorf("chain ending in a primitive should be grounded: %+v", rep)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for _, k := range []NodeKind{NodeIntensional, NodeWorld, NodeExtension, NodePrimitive, NodeKind(42)} {
+		if k.String() == "" {
+			t.Errorf("NodeKind(%d).String() empty", int(k))
+		}
+	}
+}
+
+func BenchmarkApproximation(b *testing.B) {
+	c := blocksCommitment(b)
+	o := &Ontonomy{Axioms: []Axiom{
+		{Literals: []Literal{{Relation: "above", Args: Tuple{"a", "b"}}}},
+		{Literals: []Literal{{Relation: "above", Args: Tuple{"d", "a"}, Negated: true}}},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approximation(c, o, 20, rng)
+	}
+}
+
+func BenchmarkAnalyzeCommitment(b *testing.B) {
+	c := blocksCommitment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeCommitment(c, nil)
+	}
+}
