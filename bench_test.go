@@ -1,10 +1,12 @@
 package repro
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 // The benchmarks below regenerate, one per table, the experiments recorded in
@@ -126,4 +128,60 @@ func BenchmarkA1Subsumption(b *testing.B) {
 	}
 	b.ReportMetric(metric(b, tbl, 0, "mean µs/query"), "structural-tree-us-per-query")
 	b.ReportMetric(metric(b, tbl, len(tbl.Rows)-1, "mean µs/query"), "tableau-dag-us-per-query")
+}
+
+// storeWorkload builds n distinct type-annotation triples shaped like the
+// E5/E5b corpora: many instances over a few hundred classes.
+func storeWorkload(n int) []store.Triple {
+	ts := make([]store.Triple, n)
+	for i := range ts {
+		ts[i] = store.Triple{
+			Subject:   fmt.Sprintf("inst-%d", i),
+			Predicate: store.TypePredicate,
+			Object:    fmt.Sprintf("class-%d", i%317),
+		}
+	}
+	return ts
+}
+
+// BenchmarkStoreIngest measures the storage layer's bulk ingest at
+// experiment scale; internal/store's own benchmarks compare it against the
+// nested string-map engine it replaced.
+func BenchmarkStoreIngest(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		ts := storeWorkload(n)
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := store.New()
+				if _, err := s.AddBatch(ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "triples/s")
+		})
+	}
+}
+
+// BenchmarkStoreQuery measures the E5-shaped read path — one class's
+// instances streamed off the POS index — over 10⁵ triples.
+func BenchmarkStoreQuery(b *testing.B) {
+	const n = 100_000
+	s := store.New()
+	if _, err := s.AddBatch(storeWorkload(n)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	matched := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEachSubject(store.TypePredicate, fmt.Sprintf("class-%d", i%317), func(string) bool {
+			matched++
+			return true
+		})
+	}
+	if matched == 0 {
+		b.Fatal("no instances matched")
+	}
+	b.ReportMetric(float64(matched)/float64(b.N), "instances/query")
 }

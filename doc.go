@@ -14,7 +14,7 @@
 //
 //   - internal/core: the ontology audit that runs all three critiques over an
 //     ontonomy and its surrounding data;
-//   - internal/experiments: the E1–E6 and A1 experiments whose tables
+//   - internal/experiments: the E1–E7, E5b and A1 experiments whose tables
 //     EXPERIMENTS.md records;
 //   - cmd/ontoaudit and cmd/benchrunner: the command-line front ends;
 //   - examples/: five runnable walkthroughs of the paper's own examples.

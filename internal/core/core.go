@@ -290,7 +290,7 @@ func auditPragmatic(in Input, rep *Report) {
 	}
 	classes := oi.Classes()
 	rep.Pragmatic.Classes = len(classes)
-	rep.Pragmatic.AnnotatedInstances = len(in.Annotations.Query(store.Pattern{Predicate: store.TypePredicate}))
+	rep.Pragmatic.AnnotatedInstances = in.Annotations.Count(store.Pattern{Predicate: store.TypePredicate})
 	if len(in.TrueClass) == 0 {
 		rep.Findings = append(rep.Findings, fmt.Sprintf(
 			"pragmatic: %d annotated instances over %d classes; no usage ground truth supplied, so retrieval quality was not scored",

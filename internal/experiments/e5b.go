@@ -79,6 +79,7 @@ func E5b(p E5bParams) *Table {
 		usageOf := map[string]string{}       // instance -> usage category
 		categoryClass := map[string]string{} // usage category -> nearest ontology class
 		instancesByCategory := map[string][]string{}
+		batch := make([]store.Triple, 0, len(classes)*p.InstancesPerClass)
 		for _, class := range classes {
 			for i := 0; i < p.InstancesPerClass; i++ {
 				inst := fmt.Sprintf("%s/item-%d", class, i)
@@ -86,13 +87,14 @@ func E5b(p E5bParams) *Table {
 				if splitClass[class] {
 					category = fmt.Sprintf("%s/usage-%c", class, 'a'+byte(i%2))
 				}
-				if err := store.Annotate(annotations, inst, class); err != nil {
-					panic(err)
-				}
+				batch = append(batch, store.Triple{Subject: inst, Predicate: store.TypePredicate, Object: class})
 				usageOf[inst] = category
 				categoryClass[category] = class
 				instancesByCategory[category] = append(instancesByCategory[category], inst)
 			}
+		}
+		if _, err := annotations.AddBatch(batch); err != nil {
+			panic(err)
 		}
 
 		categories := make([]string, 0, len(instancesByCategory))

@@ -95,17 +95,21 @@ func InstancesOf(s *Store, class string) []string {
 
 // InstancesOfExpanded returns the subjects annotated with the class or any
 // class the ontology index reports as subsumed by it, deduplicated and
-// sorted: the ontology-mediated answer.
+// sorted: the ontology-mediated answer. The expansion streams each subsumee's
+// instances straight off the POS index (ForEachSubject), so no per-class
+// intermediate slice is materialized or sorted; only the final deduplicated
+// answer is.
 func InstancesOfExpanded(s *Store, oi *OntologyIndex, class string) []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, c := range oi.Subsumees(class) {
-		for _, subj := range s.Subjects(TypePredicate, c) {
+		s.ForEachSubject(TypePredicate, c, func(subj string) bool {
 			if !seen[subj] {
 				seen[subj] = true
 				out = append(out, subj)
 			}
-		}
+			return true
+		})
 	}
 	sort.Strings(out)
 	return out

@@ -5,16 +5,31 @@
 // whether a normative ontonomy helps or hinders retrieval as the usage of a
 // domain drifts away from it (experiment E5).
 //
-// The store is deliberately small but real: triples are deduplicated, the
-// three canonical permutation indexes (SPO, POS, OSP) are maintained
-// incrementally, every pattern query is answered from the most selective
-// index, and reads are safe for concurrent use.
+// The engine is dictionary-encoded and sharded. Every subject, predicate and
+// object string is interned into a uint32 id by a symbol table, and the three
+// canonical permutation indexes (SPO, POS, OSP) are kept as id-based shard
+// families: each family is split numShards ways by a hash of its leading
+// component, and each shard has its own RWMutex, so concurrent writers only
+// contend when they touch the same shard. Ingest has a batch path (AddBatch)
+// that interns the whole batch under one symbol-table lock and visits every
+// index shard at most once, and reads have an allocation-free iterator form
+// (QueryFunc, ForEachSubject) alongside the materializing Query.
+//
+// Consistency: all methods are safe for concurrent use. Single-triple writes
+// (Add, Remove) lock all three affected shards together, so a triple is never
+// half-visible across indexes once Add or Remove has returned, and never
+// observable in one permutation but not another. AddBatch applies the batch
+// index family by index family for speed; while it is in flight a concurrent
+// reader may see a batched triple through one access path before another, and
+// concurrently Removing a triple that an in-flight batch is inserting is
+// unspecified. Once AddBatch returns, its triples are fully visible
+// everywhere.
 package store
 
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Triple is one (subject, predicate, object) fact.
@@ -32,6 +47,17 @@ func (t Triple) String() string {
 // valid reports whether all three components are non-empty.
 func (t Triple) valid() bool {
 	return t.Subject != "" && t.Predicate != "" && t.Object != ""
+}
+
+// less orders triples lexicographically by subject, predicate, object.
+func (t Triple) less(u Triple) bool {
+	if t.Subject != u.Subject {
+		return t.Subject < u.Subject
+	}
+	if t.Predicate != u.Predicate {
+		return t.Predicate < u.Predicate
+	}
+	return t.Object < u.Object
 }
 
 // Pattern is a triple pattern: empty components are wildcards.
@@ -59,55 +85,20 @@ func (p Pattern) Matches(t Triple) bool {
 		(p.Object == "" || p.Object == t.Object)
 }
 
-// index is a three-level nested map keyed by a fixed permutation of the
-// triple components.
-type index map[string]map[string]map[string]bool
-
-func (ix index) add(a, b, c string) {
-	l2, ok := ix[a]
-	if !ok {
-		l2 = map[string]map[string]bool{}
-		ix[a] = l2
-	}
-	l3, ok := l2[b]
-	if !ok {
-		l3 = map[string]bool{}
-		l2[b] = l3
-	}
-	l3[c] = true
-}
-
-func (ix index) remove(a, b, c string) {
-	l2, ok := ix[a]
-	if !ok {
-		return
-	}
-	l3, ok := l2[b]
-	if !ok {
-		return
-	}
-	delete(l3, c)
-	if len(l3) == 0 {
-		delete(l2, b)
-	}
-	if len(l2) == 0 {
-		delete(ix, a)
-	}
-}
-
 // Store is an in-memory indexed triple store. The zero value is not ready to
-// use; call New. All methods are safe for concurrent use.
+// use; call New. All methods are safe for concurrent use; see the package
+// documentation for the exact visibility guarantees of batch ingest.
 type Store struct {
-	mu   sync.RWMutex
-	size int
-	spo  index
-	pos  index
-	osp  index
+	syms *symtab
+	size atomic.Int64
+	spo  indexFamily // sharded by subject
+	pos  indexFamily // sharded by predicate
+	osp  indexFamily // sharded by object
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{spo: index{}, pos: index{}, osp: index{}}
+	return &Store{syms: newSymtab()}
 }
 
 // Add inserts a triple, reporting whether it was newly inserted. Triples with
@@ -116,16 +107,18 @@ func (s *Store) Add(t Triple) (bool, error) {
 	if !t.valid() {
 		return false, fmt.Errorf("store: triple %v has an empty component", t)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.containsLocked(t) {
-		return false, nil
+	e := s.syms.internTriple(t)
+	l := s.lockTriple(e)
+	added := l.spo.insertLocked(e.s, e.p, e.o)
+	if added {
+		l.pos.insertLocked(e.p, e.o, e.s)
+		l.osp.insertLocked(e.o, e.s, e.p)
 	}
-	s.spo.add(t.Subject, t.Predicate, t.Object)
-	s.pos.add(t.Predicate, t.Object, t.Subject)
-	s.osp.add(t.Object, t.Subject, t.Predicate)
-	s.size++
-	return true, nil
+	l.unlock()
+	if added {
+		s.size.Add(1)
+	}
+	return added, nil
 }
 
 // MustAdd is Add panicking on error, for statically known data in tests and
@@ -136,130 +129,312 @@ func (s *Store) MustAdd(t Triple) {
 	}
 }
 
-// AddAll inserts all triples, returning how many were newly inserted and the
-// first error encountered (insertion stops at the first invalid triple).
+// AddAll inserts all triples in a single batch, returning how many were newly
+// inserted. It delegates to AddBatch and shares its all-or-nothing validation
+// contract: if any triple has an empty component, an error identifying it is
+// returned and no triple of the call is inserted.
 func (s *Store) AddAll(ts ...Triple) (int, error) {
-	added := 0
-	for _, t := range ts {
-		ok, err := s.Add(t)
-		if err != nil {
-			return added, err
-		}
-		if ok {
-			added++
-		}
-	}
-	return added, nil
+	return s.AddBatch(ts)
 }
 
 // Remove deletes a triple, reporting whether it was present.
 func (s *Store) Remove(t Triple) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.containsLocked(t) {
+	e, ok := s.syms.lookupTriple(t)
+	if !ok {
 		return false
 	}
-	s.spo.remove(t.Subject, t.Predicate, t.Object)
-	s.pos.remove(t.Predicate, t.Object, t.Subject)
-	s.osp.remove(t.Object, t.Subject, t.Predicate)
-	s.size--
-	return true
+	l := s.lockTriple(e)
+	removed := l.spo.removeLocked(e.s, e.p, e.o)
+	if removed {
+		l.pos.removeLocked(e.p, e.o, e.s)
+		l.osp.removeLocked(e.o, e.s, e.p)
+	}
+	l.unlock()
+	if removed {
+		s.size.Add(-1)
+	}
+	return removed
 }
 
 // Len returns the number of triples.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.size
+	return int(s.size.Load())
 }
 
 // Contains reports whether the triple is present.
 func (s *Store) Contains(t Triple) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.containsLocked(t)
+	e, ok := s.syms.lookupTriple(t)
+	if !ok {
+		return false
+	}
+	sh := s.spo.shard(e.s)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.containsLocked(e.s, e.p, e.o)
 }
 
-func (s *Store) containsLocked(t Triple) bool {
-	l2, ok := s.spo[t.Subject]
-	if !ok {
-		return false
+// QueryFunc streams every triple matching the pattern to yield, stopping
+// early when yield returns false. It answers from the most selective
+// permutation index for the pattern's bound components and allocates nothing
+// per triple; the enumeration order is unspecified (use Query for the
+// deterministic sorted form). yield must not call methods that write to the
+// store, or it may deadlock against writers waiting on the shard being
+// iterated.
+func (s *Store) QueryFunc(p Pattern, yield func(Triple) bool) {
+	res := newResolver(s.syms)
+	switch {
+	case p.Subject != "":
+		sid, ok := s.syms.lookup(p.Subject)
+		if !ok {
+			return
+		}
+		wantP, okP := s.syms.lookup(p.Predicate)
+		wantO, okO := s.syms.lookup(p.Object)
+		if (p.Predicate != "" && !okP) || (p.Object != "" && !okO) {
+			return
+		}
+		sh := s.spo.shard(sid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[sid]
+		if e == nil {
+			return
+		}
+		e.forEach(func(pid uint32, objs *idSet) bool {
+			if p.Predicate != "" && pid != wantP {
+				return true
+			}
+			pred := res.name(pid)
+			return objs.forEach(func(oid uint32) bool {
+				if p.Object != "" && oid != wantO {
+					return true
+				}
+				return yield(Triple{p.Subject, pred, res.name(oid)})
+			})
+		})
+	case p.Predicate != "":
+		pid, ok := s.syms.lookup(p.Predicate)
+		if !ok {
+			return
+		}
+		wantO, okO := s.syms.lookup(p.Object)
+		if p.Object != "" && !okO {
+			return
+		}
+		sh := s.pos.shard(pid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[pid]
+		if e == nil {
+			return
+		}
+		e.forEach(func(oid uint32, subjects *idSet) bool {
+			if p.Object != "" && oid != wantO {
+				return true
+			}
+			obj := res.name(oid)
+			return subjects.forEach(func(sid uint32) bool {
+				return yield(Triple{res.name(sid), p.Predicate, obj})
+			})
+		})
+	case p.Object != "":
+		oid, ok := s.syms.lookup(p.Object)
+		if !ok {
+			return
+		}
+		sh := s.osp.shard(oid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[oid]
+		if e == nil {
+			return
+		}
+		e.forEach(func(sid uint32, preds *idSet) bool {
+			subj := res.name(sid)
+			return preds.forEach(func(pid uint32) bool {
+				return yield(Triple{subj, res.name(pid), p.Object})
+			})
+		})
+	default:
+		for i := range s.spo {
+			if !s.scanShard(&s.spo[i], res, yield) {
+				return
+			}
+		}
 	}
-	l3, ok := l2[t.Predicate]
-	if !ok {
-		return false
+}
+
+// scanShard streams one whole SPO shard to yield, reporting false when yield
+// stopped the enumeration.
+func (s *Store) scanShard(sh *shard, res resolver, yield func(Triple) bool) bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for sid, e := range sh.m {
+		subj := res.name(sid)
+		ok := e.forEach(func(pid uint32, objs *idSet) bool {
+			pred := res.name(pid)
+			return objs.forEach(func(oid uint32) bool {
+				return yield(Triple{subj, pred, res.name(oid)})
+			})
+		})
+		if !ok {
+			return false
+		}
 	}
-	return l3[t.Object]
+	return true
 }
 
 // Query returns all triples matching the pattern, in deterministic
 // (lexicographic) order. The most selective permutation index available for
 // the pattern's bound components is used, so fully or partially bound queries
-// never scan the whole store.
+// never scan the whole store. Use QueryFunc to stream matches without
+// materializing and sorting the result.
 func (s *Store) Query(p Pattern) []Triple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Triple
-	collect := func(t Triple) {
-		if p.Matches(t) {
-			out = append(out, t)
-		}
-	}
-	switch {
-	case p.Subject != "":
-		for pred, objs := range s.spo[p.Subject] {
-			if p.Predicate != "" && pred != p.Predicate {
-				continue
-			}
-			for obj := range objs {
-				collect(Triple{p.Subject, pred, obj})
-			}
-		}
-	case p.Predicate != "":
-		for obj, subjects := range s.pos[p.Predicate] {
-			if p.Object != "" && obj != p.Object {
-				continue
-			}
-			for subj := range subjects {
-				collect(Triple{subj, p.Predicate, obj})
-			}
-		}
-	case p.Object != "":
-		for subj, preds := range s.osp[p.Object] {
-			for pred := range preds {
-				collect(Triple{subj, pred, p.Object})
-			}
-		}
-	default:
-		for subj, l2 := range s.spo {
-			for pred, objs := range l2 {
-				for obj := range objs {
-					collect(Triple{subj, pred, obj})
-				}
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Subject != out[j].Subject {
-			return out[i].Subject < out[j].Subject
-		}
-		if out[i].Predicate != out[j].Predicate {
-			return out[i].Predicate < out[j].Predicate
-		}
-		return out[i].Object < out[j].Object
+	s.QueryFunc(p, func(t Triple) bool {
+		out = append(out, t)
+		return true
 	})
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
 }
 
-// Subjects returns the distinct subjects of triples with the given predicate
-// and object, sorted.
-func (s *Store) Subjects(predicate, object string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []string
-	for subj := range s.pos[predicate][object] {
-		out = append(out, subj)
+// Count returns the number of triples matching the pattern. It runs entirely
+// on the dictionary-encoded indexes — no triple is materialized and no symbol
+// is resolved back to a string.
+func (s *Store) Count(p Pattern) int {
+	if p.Subject == "" && p.Predicate == "" && p.Object == "" {
+		return s.Len()
 	}
+	var ids encTriple
+	var ok bool
+	if ids.s, ok = lookupBound(s.syms, p.Subject); !ok {
+		return 0
+	}
+	if ids.p, ok = lookupBound(s.syms, p.Predicate); !ok {
+		return 0
+	}
+	if ids.o, ok = lookupBound(s.syms, p.Object); !ok {
+		return 0
+	}
+	count := 0
+	switch {
+	case p.Subject != "":
+		sh := s.spo.shard(ids.s)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[ids.s]
+		if e == nil {
+			return 0
+		}
+		e.forEach(func(pid uint32, objs *idSet) bool {
+			if p.Predicate != "" && pid != ids.p {
+				return true
+			}
+			if p.Object != "" {
+				if objs.contains(ids.o) {
+					count++
+				}
+				return true
+			}
+			count += objs.len()
+			return true
+		})
+	case p.Predicate != "":
+		sh := s.pos.shard(ids.p)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[ids.p]
+		if e == nil {
+			return 0
+		}
+		if p.Object != "" {
+			if set := e.find(ids.o); set != nil {
+				count = set.len()
+			}
+			break
+		}
+		e.forEach(func(_ uint32, subjects *idSet) bool {
+			count += subjects.len()
+			return true
+		})
+	default:
+		sh := s.osp.shard(ids.o)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[ids.o]
+		if e == nil {
+			return 0
+		}
+		e.forEach(func(_ uint32, preds *idSet) bool {
+			count += preds.len()
+			return true
+		})
+	}
+	return count
+}
+
+// lookupBound resolves a pattern component: a wildcard resolves trivially,
+// a bound component must already be interned to match anything.
+func lookupBound(st *symtab, component string) (uint32, bool) {
+	if component == "" {
+		return 0, true
+	}
+	return st.lookup(component)
+}
+
+// ForEachSubject streams the distinct subjects of triples with the given
+// predicate and object to yield, stopping early when yield returns false.
+// The order is unspecified; allocation per subject is zero. The same
+// no-writes-from-yield rule as QueryFunc applies.
+func (s *Store) ForEachSubject(predicate, object string, yield func(string) bool) {
+	pid, ok := s.syms.lookup(predicate)
+	if !ok {
+		return
+	}
+	oid, ok := s.syms.lookup(object)
+	if !ok {
+		return
+	}
+	res := newResolver(s.syms)
+	sh := s.pos.shard(pid)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.m[pid]
+	if e == nil {
+		return
+	}
+	set := e.find(oid)
+	if set == nil {
+		return
+	}
+	set.forEach(func(sid uint32) bool {
+		return yield(res.name(sid))
+	})
+}
+
+// Subjects returns the distinct subjects of triples with the given predicate
+// and object, sorted. Use ForEachSubject to stream them without the
+// materialized slice and the sort.
+func (s *Store) Subjects(predicate, object string) []string {
+	pid, ok := s.syms.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	oid, ok := s.syms.lookup(object)
+	if !ok {
+		return nil
+	}
+	res := newResolver(s.syms)
+	sh := s.pos.shard(pid)
+	sh.mu.RLock()
+	var out []string
+	if e := sh.m[pid]; e != nil {
+		if set := e.find(oid); set != nil {
+			out = set.appendResolved(res, make([]string, 0, set.len()))
+		}
+	}
+	sh.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -267,23 +442,42 @@ func (s *Store) Subjects(predicate, object string) []string {
 // Objects returns the distinct objects of triples with the given subject and
 // predicate, sorted.
 func (s *Store) Objects(subject, predicate string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []string
-	for obj := range s.spo[subject][predicate] {
-		out = append(out, obj)
+	sid, ok := s.syms.lookup(subject)
+	if !ok {
+		return nil
 	}
+	pid, ok := s.syms.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	res := newResolver(s.syms)
+	sh := s.spo.shard(sid)
+	sh.mu.RLock()
+	var out []string
+	if e := sh.m[sid]; e != nil {
+		if set := e.find(pid); set != nil {
+			set.forEach(func(oid uint32) bool {
+				out = append(out, res.name(oid))
+				return true
+			})
+		}
+	}
+	sh.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Predicates returns the distinct predicates in the store, sorted.
 func (s *Store) Predicates() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	res := newResolver(s.syms)
 	var out []string
-	for pred := range s.pos {
-		out = append(out, pred)
+	for i := range s.pos {
+		sh := &s.pos[i]
+		sh.mu.RLock()
+		for pid := range sh.m {
+			out = append(out, res.name(pid))
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out

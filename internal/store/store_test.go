@@ -66,8 +66,47 @@ func TestAddRejectsEmptyComponents(t *testing.T) {
 			t.Errorf("Add accepted invalid triple %v", bad)
 		}
 	}
-	if _, err := s.AddAll(Triple{"a", "b", "c"}, Triple{"", "", ""}); err == nil {
+	added, err := s.AddAll(Triple{"a", "b", "c"}, Triple{"", "", ""})
+	if err == nil {
 		t.Error("AddAll did not propagate the error")
+	}
+	// The batch contract is all-or-nothing: an invalid triple anywhere in
+	// the call means nothing is inserted.
+	if added != 0 || s.Len() != 0 {
+		t.Errorf("AddAll with an invalid triple inserted %d (Len %d), want 0 (0)", added, s.Len())
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	s := New()
+	s.MustAdd(Triple{"x", "p", "y"})
+	added, err := s.AddBatch([]Triple{
+		{"a", "p", "b"},
+		{"a", "p", "b"}, // duplicate within the batch
+		{"x", "p", "y"}, // duplicate against the store
+		{"c", "p", "d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || s.Len() != 3 {
+		t.Errorf("AddBatch added %d (Len %d), want 2 (3)", added, s.Len())
+	}
+	for _, tr := range []Triple{{"a", "p", "b"}, {"c", "p", "d"}, {"x", "p", "y"}} {
+		if !s.Contains(tr) {
+			t.Errorf("batched triple %v missing", tr)
+		}
+	}
+	if added, err := s.AddBatch(nil); err != nil || added != 0 {
+		t.Errorf("empty batch: added %d, err %v", added, err)
+	}
+	// A failed batch inserts nothing, even the valid prefix.
+	added, err = s.AddBatch([]Triple{{"e", "p", "f"}, {"", "p", "g"}})
+	if err == nil {
+		t.Error("AddBatch accepted an invalid triple")
+	}
+	if added != 0 || s.Contains(Triple{"e", "p", "f"}) {
+		t.Errorf("failed batch must insert nothing: added=%d", added)
 	}
 }
 

@@ -1,0 +1,117 @@
+package store
+
+import "sync"
+
+// symtab is the store's symbol table: it interns subject, predicate and
+// object strings into dense uint32 ids so the permutation indexes hold
+// four-byte ids instead of string headers, and so equality tests inside the
+// indexes are integer compares. Ids are append-only and never reused, which
+// makes the id→name direction readable under a plain snapshot of the names
+// slice (see names below).
+type symtab struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	names []string
+}
+
+func newSymtab() *symtab {
+	return &symtab{ids: make(map[string]uint32)}
+}
+
+// internTriple interns all three components under a single lock round trip.
+func (st *symtab) internTriple(t Triple) encTriple {
+	st.mu.RLock()
+	s, okS := st.ids[t.Subject]
+	p, okP := st.ids[t.Predicate]
+	o, okO := st.ids[t.Object]
+	st.mu.RUnlock()
+	if okS && okP && okO {
+		return encTriple{s, p, o}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return encTriple{st.internLocked(t.Subject), st.internLocked(t.Predicate), st.internLocked(t.Object)}
+}
+
+// internBatch interns every component of ts under one write lock, appending
+// the encoded triples to enc (the symbol-table lock is taken once for the
+// whole batch, not once per triple).
+func (st *symtab) internBatch(ts []Triple, enc []encTriple) []encTriple {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, t := range ts {
+		enc = append(enc, encTriple{
+			st.internLocked(t.Subject),
+			st.internLocked(t.Predicate),
+			st.internLocked(t.Object),
+		})
+	}
+	return enc
+}
+
+func (st *symtab) internLocked(s string) uint32 {
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(st.names))
+	st.ids[s] = id
+	st.names = append(st.names, s)
+	return id
+}
+
+// lookup returns the id of s without interning it; ok is false when s has
+// never been seen (and therefore cannot occur in any index).
+func (st *symtab) lookup(s string) (uint32, bool) {
+	st.mu.RLock()
+	id, ok := st.ids[s]
+	st.mu.RUnlock()
+	return id, ok
+}
+
+// lookupTriple resolves all three components read-only.
+func (st *symtab) lookupTriple(t Triple) (encTriple, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, okS := st.ids[t.Subject]
+	p, okP := st.ids[t.Predicate]
+	o, okO := st.ids[t.Object]
+	return encTriple{s, p, o}, okS && okP && okO
+}
+
+// snapshot returns the current id→name mapping. The returned slice is safe
+// to read concurrently with interning: ids are append-only, so every element
+// below the snapshot's length is immutable. Resolvers must fall back to name
+// for ids minted after the snapshot was taken.
+func (st *symtab) snapshot() []string {
+	st.mu.RLock()
+	names := st.names
+	st.mu.RUnlock()
+	return names
+}
+
+// name resolves a single id under the lock; used as the slow path when a
+// snapshot proves too short.
+func (st *symtab) name(id uint32) string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.names[id]
+}
+
+// resolver resolves ids to names from a cheap snapshot, falling back to the
+// locked path for ids interned after the snapshot. The zero value is not
+// ready; use newResolver.
+type resolver struct {
+	st    *symtab
+	names []string
+}
+
+func newResolver(st *symtab) resolver {
+	return resolver{st: st, names: st.snapshot()}
+}
+
+func (r resolver) name(id uint32) string {
+	if int(id) < len(r.names) {
+		return r.names[id]
+	}
+	return r.st.name(id)
+}

@@ -65,6 +65,7 @@ func SyntheticCorpus(rng *rand.Rand, p CorpusParams) *Corpus {
 	if p.Drift > 1 {
 		p.Drift = 1
 	}
+	annotations := make([]store.Triple, 0, len(classes)*p.InstancesPerClass)
 	for _, class := range classes {
 		for i := 0; i < p.InstancesPerClass; i++ {
 			inst := fmt.Sprintf("%s/item-%d", class, i)
@@ -80,10 +81,11 @@ func SyntheticCorpus(rng *rand.Rand, p CorpusParams) *Corpus {
 				}
 				c.Drifted++
 			}
-			if err := store.Annotate(c.Store, inst, annotated); err != nil {
-				panic(err)
-			}
+			annotations = append(annotations, store.Triple{Subject: inst, Predicate: store.TypePredicate, Object: annotated})
 		}
+	}
+	if _, err := c.Store.AddBatch(annotations); err != nil {
+		panic(err)
 	}
 	return c
 }
