@@ -1,10 +1,19 @@
-// Command ontoaudit runs the ontology audit of package core over a TBox.
+// Command ontoaudit runs the ontology audit of package core over a TBox, and
+// doubles as a BGP query shell over an annotation store.
 //
 // Usage:
 //
 //	ontoaudit -paper
 //	ontoaudit -f ontology.tbox [-depth 4] [-annotations data.triples] [-usage usage.tsv]
+//	ontoaudit -paper -query "?x type car" [-expand]
+//	ontoaudit -f ontology.tbox -annotations data.triples -query "?x type car . ?x ?p ?o" [-expand]
 //	ontoaudit -serialize-paper > paper.tbox
+//
+// -query evaluates a basic graph pattern (patterns separated by '.', terms
+// whitespace-separated, ?name a variable) against the annotation store
+// instead of running the audit, printing one solution per row; -expand
+// rewrites type-patterns through the TBox's ontology index, so class queries
+// also retrieve instances of subsumed classes.
 //
 // The TBox format is the small text format of internal/tboxio (see the
 // package documentation). -annotations is a store snapshot (one JSON triple
@@ -19,12 +28,15 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tboxio"
 )
@@ -36,8 +48,10 @@ func main() {
 	depth := flag.Int("depth", 3, "maximum unfolding depth for the structural audit")
 	annotations := flag.String("annotations", "", "path to a store snapshot (JSON triples) with type annotations")
 	usage := flag.String("usage", "", "path to a whitespace-separated instance/class usage ground-truth file")
+	bgpText := flag.String("query", "", "evaluate a BGP (e.g. \"?x type car . ?x ?p ?o\") over the annotations instead of auditing")
+	expand := flag.Bool("expand", false, "with -query: expand type-patterns through the TBox's ontology index")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s -paper | -f <file> [-depth N] [-annotations <file>] [-usage <file>] | -serialize-paper\n", os.Args[0])
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s -paper | -f <file> [-depth N] [-annotations <file>] [-usage <file>] [-query <bgp> [-expand]] | -serialize-paper\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -90,11 +104,65 @@ func main() {
 		input.TrueClass = trueClass
 	}
 
+	if *bgpText != "" {
+		if err := runQuery(input, *bgpText, *expand); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	report, err := core.Audit(input)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(report.Render())
+}
+
+// runQuery evaluates the BGP over the input's annotation store and prints a
+// header of variable names followed by one tab-separated row per solution,
+// rows sorted for deterministic output.
+func runQuery(input core.Input, bgpText string, expand bool) error {
+	if input.Annotations == nil {
+		return errors.New("-query needs an annotation store; pass -annotations or -paper")
+	}
+	bgp, err := query.ParseBGP(bgpText)
+	if err != nil {
+		return err
+	}
+	var opts []query.Option
+	if expand {
+		oi, err := store.NewOntologyIndex(input.TBox)
+		if err != nil {
+			return fmt.Errorf("classifying the TBox for -expand: %w", err)
+		}
+		opts = append(opts, query.Expand(oi))
+	}
+	sols := query.Eval(input.Annotations, bgp, opts...)
+	vars := sols.Vars()
+	var rows []string
+	for sols.Next() {
+		cells := make([]string, len(vars))
+		for i, v := range vars {
+			cells[i], _ = sols.Value(v)
+		}
+		rows = append(rows, strings.Join(cells, "\t"))
+	}
+	if err := sols.Err(); err != nil {
+		return err
+	}
+	sort.Strings(rows)
+	if len(vars) > 0 {
+		header := make([]string, len(vars))
+		for i, v := range vars {
+			header[i] = "?" + v
+		}
+		fmt.Println(strings.Join(header, "\t"))
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("%d solutions\n", len(rows))
+	return nil
 }
 
 // loadAnnotations restores a store snapshot from a file.

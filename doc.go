@@ -14,12 +14,16 @@
 //
 //   - internal/core: the ontology audit that runs all three critiques over an
 //     ontonomy and its surrounding data;
+//   - internal/query: the BGP query layer over the triple store — variables,
+//     selectivity-planned joins, ontology-aware expansion, streaming
+//     solutions;
 //   - internal/experiments: the E1–E7, E5b and A1 experiments whose tables
 //     EXPERIMENTS.md records;
-//   - cmd/ontoaudit and cmd/benchrunner: the command-line front ends;
+//   - cmd/ontoaudit and cmd/benchrunner: the command-line front ends
+//     (ontoaudit -query evaluates BGPs over an annotation store);
 //   - examples/: five runnable walkthroughs of the paper's own examples.
 //
-// The benchmarks in bench_test.go regenerate one experiment per table; see
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the measured
-// results.
+// The benchmarks in bench_test.go regenerate one experiment per table and
+// measure BGP joins at store scale; see DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the measured results.
 package repro

@@ -4,6 +4,11 @@
 // For each drift level the program queries every class with and without
 // ontology-mediated expansion and reports macro precision/recall — the
 // miniature of experiment E5.
+//
+// Retrieval goes through the BGP query layer (repro/internal/query): a class
+// query is the one-pattern BGP {?x type class}, and the ontology-mediated
+// variant is the same BGP evaluated with query.Expand(index) — expansion is
+// a query option, not a separate code path.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -36,8 +42,16 @@ func main() {
 		var expanded, plain []store.RetrievalResult
 		for _, class := range corpus.Classes {
 			relevant := corpus.RelevantTo(index, class)
-			expanded = append(expanded, store.Evaluate(store.InstancesOfExpanded(corpus.Store, index, class), relevant))
-			plain = append(plain, store.Evaluate(store.InstancesOf(corpus.Store, class), relevant))
+			withOntology, err := query.Instances(corpus.Store, index, class)
+			if err != nil {
+				log.Fatal(err)
+			}
+			withoutOntology, err := query.Instances(corpus.Store, nil, class)
+			if err != nil {
+				log.Fatal(err)
+			}
+			expanded = append(expanded, store.Evaluate(withOntology, relevant))
+			plain = append(plain, store.Evaluate(withoutOntology, relevant))
 		}
 		e, p := store.Macro(expanded), store.Macro(plain)
 		fmt.Printf("%8.2f  %10d  %8.3f / %5.3f / %5.3f     %8.3f / %5.3f / %5.3f\n",

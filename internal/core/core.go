@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/definition"
 	"repro/internal/dl"
+	"repro/internal/query"
 	"repro/internal/semfield"
 	"repro/internal/signature"
 	"repro/internal/store"
@@ -301,8 +302,8 @@ func auditPragmatic(in Input, rep *Report) {
 	var expanded, plain []store.RetrievalResult
 	for _, class := range classes {
 		relevant := relevantTo(in.TrueClass, oi, class)
-		expanded = append(expanded, store.Evaluate(store.InstancesOfExpanded(in.Annotations, oi, class), relevant))
-		plain = append(plain, store.Evaluate(store.InstancesOf(in.Annotations, class), relevant))
+		expanded = append(expanded, store.Evaluate(classInstances(in.Annotations, oi, class), relevant))
+		plain = append(plain, store.Evaluate(classInstances(in.Annotations, nil, class), relevant))
 	}
 	rep.Pragmatic.Expanded = store.Macro(expanded)
 	rep.Pragmatic.Plain = store.Macro(plain)
@@ -313,6 +314,18 @@ func auditPragmatic(in Input, rep *Report) {
 	rep.Findings = append(rep.Findings, fmt.Sprintf(
 		"pragmatic: ontology expansion %s retrieval on this corpus (macro F1 %.3f expanded vs %.3f plain over %d class queries)",
 		verdict, rep.Pragmatic.Expanded.F1, rep.Pragmatic.Plain.F1, rep.Pragmatic.Classes))
+}
+
+// classInstances answers one class query through the query layer
+// (query.Instances), ontology-expanded when an index is supplied. Audited
+// classes come from the ontology index, so the query is well-formed by
+// construction and an evaluation error is a bug, not an input condition.
+func classInstances(s *store.Store, oi *store.OntologyIndex, class string) []string {
+	out, err := query.Instances(s, oi, class)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // relevantTo computes the ground-truth answer set of a class query from the

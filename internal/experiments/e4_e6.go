@@ -4,10 +4,23 @@ import (
 	"math/rand"
 
 	"repro/internal/hermeneutic"
+	"repro/internal/query"
 	"repro/internal/semfield"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
+
+// classQuery answers one E5-style class retrieval through the query layer
+// (query.Instances), expanded through the ontology index when one is
+// supplied. Classes come from generated hierarchies and are never empty, so
+// an evaluation error is a bug in the experiment, not a data condition.
+func classQuery(s *store.Store, oi *store.OntologyIndex, class string) []string {
+	out, err := query.Instances(s, oi, class)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
 
 // E4Params controls the semantic-field translation experiment.
 type E4Params struct {
@@ -115,8 +128,8 @@ func E5(p E5Params) *Table {
 		var expanded, plain []store.RetrievalResult
 		for _, class := range corpus.Classes {
 			relevant := corpus.RelevantTo(oi, class)
-			expanded = append(expanded, store.Evaluate(store.InstancesOfExpanded(corpus.Store, oi, class), relevant))
-			plain = append(plain, store.Evaluate(store.InstancesOf(corpus.Store, class), relevant))
+			expanded = append(expanded, store.Evaluate(classQuery(corpus.Store, oi, class), relevant))
+			plain = append(plain, store.Evaluate(classQuery(corpus.Store, nil, class), relevant))
 		}
 		e := store.Macro(expanded)
 		pl := store.Macro(plain)

@@ -112,7 +112,7 @@ func E5b(p E5bParams) *Table {
 			}
 			// The best question the fixed vocabulary allows: the nearest
 			// ontology class, expanded.
-			retrieved := store.InstancesOfExpanded(annotations, oi, class)
+			retrieved := classQuery(annotations, oi, class)
 			relevant := relevantToCategory(usageOf, categoryClass, oi, category, class)
 			results = append(results, store.Evaluate(retrieved, relevant))
 		}

@@ -1,0 +1,102 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/tboxio"
+)
+
+// e5Store builds the E5-shaped corpus the store benchmarks use: n type
+// annotations spread over a few hundred classes.
+func e5Store(b *testing.B, n int) *store.Store {
+	b.Helper()
+	ts := make([]store.Triple, n)
+	for i := range ts {
+		ts[i] = store.Triple{
+			Subject:   fmt.Sprintf("inst-%d", i),
+			Predicate: store.TypePredicate,
+			Object:    fmt.Sprintf("class-%d", i%317),
+		}
+	}
+	s := store.New()
+	if _, err := s.AddBatch(ts); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// e5Index classifies a root class over 32 of the corpus classes, matching
+// the 32-subsumee fan-out of the store package's expansion benchmark.
+func e5Index(b *testing.B) *store.OntologyIndex {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("root <= exists r.k\n")
+	for i := 0; i < 32; i++ {
+		fmt.Fprintf(&sb, "class-%d <= root and exists r.k%d\n", i, i)
+	}
+	tb, err := tboxio.ParseString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	oi, err := store.NewOntologyIndex(tb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return oi
+}
+
+// BenchmarkExpandedClassQuery is the E5 class-query benchmark both ways:
+// the deprecated store.InstancesOfExpanded helper against the same
+// retrieval phrased as a one-pattern BGP with the Expand option. The two
+// must return identical answers (the query tests prove it) at comparable
+// cost — the acceptance bar for replacing the helper is ±10%.
+func BenchmarkExpandedClassQuery(b *testing.B) {
+	const n = 100_000
+	s := e5Store(b, n)
+	oi := e5Index(b)
+	b.Run("legacy-helper", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := store.InstancesOfExpanded(s, oi, "root"); len(got) == 0 {
+				b.Fatal("no instances")
+			}
+		}
+	})
+	b.Run("bgp-expand", func(b *testing.B) {
+		b.ReportAllocs()
+		bgp := BGP{Pat(Var("x"), Lit(store.TypePredicate), Lit("root"))}
+		for i := 0; i < b.N; i++ {
+			got, err := Eval(s, bgp, Expand(oi)).Project("x")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) == 0 {
+				b.Fatal("no instances")
+			}
+		}
+	})
+}
+
+// BenchmarkSolutionsStream measures the raw iterator: streaming every
+// (instance, class) solution of an unselective pattern without
+// materializing bindings.
+func BenchmarkSolutionsStream(b *testing.B) {
+	const n = 100_000
+	s := e5Store(b, n)
+	bgp := BGP{Pat(Var("x"), Lit(store.TypePredicate), Var("c"))}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols := Eval(s, bgp)
+		count := 0
+		for sols.Next() {
+			count++
+		}
+		if count != n {
+			b.Fatalf("streamed %d solutions, want %d", count, n)
+		}
+	}
+}

@@ -1,0 +1,542 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// config collects Eval's options.
+type config struct {
+	oi *store.OntologyIndex
+}
+
+// Option configures one Eval call.
+type Option func(*config)
+
+// Expand makes type-patterns ontology-aware: every pattern whose predicate is
+// the literal store.TypePredicate and whose object is a literal class is
+// rewritten into the union of the same pattern over each of the class's
+// subsumees (the class itself included), so asking for "roadvehicle" also
+// retrieves subjects annotated "car" or "pickup". Patterns whose object is a
+// variable are not rewritten — there is no class to expand — and match type
+// annotations literally.
+func Expand(oi *store.OntologyIndex) Option {
+	return func(c *config) { c.oi = oi }
+}
+
+// comp is one compiled pattern component: a literal resolved to its
+// dictionary id, or a reference into the variable table.
+type comp struct {
+	isVar  bool
+	varIdx int            // variable-table index, when isVar
+	id     store.SymbolID // literal id, when !isVar
+}
+
+// level is one pattern of the join, in evaluation order: its compiled
+// components, its expansion candidates, and the match buffer the current
+// probe filled. buf and local are reused across probes, so steady-state
+// iteration allocates nothing.
+type level struct {
+	comps  [3]comp
+	expand []store.SymbolID // expanded object candidates; nil when not expanded
+	yield  func(store.IDTriple) bool
+	buf    []store.IDTriple
+	pos    int
+	local  []int // variable indexes bound by the current candidate
+}
+
+// Solutions streams the solutions of a BGP. The iteration protocol is
+//
+//	sols := query.Eval(s, bgp)
+//	for sols.Next() {
+//		... sols.Bind() or sols.Value(...) ...
+//	}
+//	if err := sols.Err(); err != nil { ... }
+//
+// A Solutions is single-use and not safe for concurrent use. It holds no
+// locks between Next calls; each probe reads the store under the store's own
+// shard read-locks, so a concurrent writer interleaving with the iteration
+// may be reflected in some probes and not others (the solution set is only
+// guaranteed consistent against a quiescent store).
+type Solutions struct {
+	s       *store.Store
+	res     store.Resolver
+	vars    []string
+	levels  []level
+	bind    []store.SymbolID // current value per variable
+	bound   []bool           // whether the variable is currently bound
+	depth   int
+	err     error
+	done    bool
+	started bool
+}
+
+// Eval plans and evaluates a BGP over the store, returning a Solutions
+// iterator. Planning is selectivity-ordered: each pattern's cardinality and
+// per-component distinct widths with only its literals bound are read off
+// the store's indexes (Store.StatsID), and the join order minimizing the
+// estimated total work under a cardinality-propagation model is chosen —
+// exhaustively for BGPs of up to 6 patterns, greedily cheapest-next-probe
+// beyond — so evaluation starts from the most selective pattern and follows
+// shared variables through their most selective probe direction instead of
+// degenerating into cartesian products. Evaluation is an index-nested-loop
+// join at the dictionary-id level: every probe substitutes the bindings
+// accumulated so far and answers from the SPO/POS/OSP permutation family
+// those bound components select.
+//
+// A BGP that mentions an empty-named variable or an empty literal is
+// reported through Err; a literal the store has never seen simply yields no
+// solutions. An empty BGP yields exactly one empty solution.
+func Eval(s *store.Store, bgp BGP, opts ...Option) *Solutions {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sol := &Solutions{s: s, res: s.NewResolver(), vars: bgp.Vars()}
+	varIdx := make(map[string]int, len(sol.vars))
+	for i, name := range sol.vars {
+		varIdx[name] = i
+	}
+	sol.bind = make([]store.SymbolID, len(sol.vars))
+	sol.bound = make([]bool, len(sol.vars))
+
+	unsat := false
+	levels := make([]level, 0, len(bgp))
+	for _, p := range bgp {
+		var lv level
+		expanded := cfg.oi != nil && !p.Predicate.IsVar && p.Predicate.Value == store.TypePredicate && !p.Object.IsVar
+		for i, t := range p.terms() {
+			if t.IsVar {
+				if t.Value == "" {
+					sol.err = fmt.Errorf("query: pattern (%s) names a variable with an empty name", p)
+					sol.done = true
+					return sol
+				}
+				lv.comps[i] = comp{isVar: true, varIdx: varIdx[t.Value]}
+				continue
+			}
+			if t.Value == "" {
+				sol.err = fmt.Errorf("query: pattern (%s) has an empty literal; no triple can match it", p)
+				sol.done = true
+				return sol
+			}
+			if expanded && i == 2 {
+				// The object literal is replaced by the expansion candidates
+				// below; the zero comp is never consulted.
+				continue
+			}
+			id, ok := s.SymbolID(t.Value)
+			if !ok {
+				unsat = true
+			}
+			lv.comps[i] = comp{id: id}
+		}
+		if expanded {
+			for _, sub := range cfg.oi.Subsumees(p.Object.Value) {
+				if id, ok := s.SymbolID(sub); ok {
+					lv.expand = append(lv.expand, id)
+				}
+			}
+			if len(lv.expand) == 0 {
+				unsat = true
+			}
+		}
+		levels = append(levels, lv)
+	}
+	if unsat {
+		sol.done = true
+		return sol
+	}
+	sol.levels = plan(s, levels, len(sol.vars))
+	for i := range sol.levels {
+		lv := &sol.levels[i]
+		lv.yield = func(t store.IDTriple) bool {
+			lv.buf = append(lv.buf, t)
+			return true
+		}
+	}
+	return sol
+}
+
+// pstats are one pattern's planning statistics with only its literal
+// components bound: the match count and, per component position, the number
+// of distinct values the position takes among the matches (expanded patterns
+// aggregate over their candidate classes).
+type pstats struct {
+	count    float64
+	distinct [3]float64
+}
+
+// levelStats reads the pattern's statistics off the store's indexes.
+func levelStats(s *store.Store, lv *level) pstats {
+	var ip store.IDPattern
+	if !lv.comps[0].isVar {
+		ip.S, ip.BoundS = lv.comps[0].id, true
+	}
+	if !lv.comps[1].isVar {
+		ip.P, ip.BoundP = lv.comps[1].id, true
+	}
+	if lv.expand != nil {
+		ip.BoundO = true
+		var st pstats
+		st.distinct[1] = 1
+		for _, oid := range lv.expand {
+			ip.O = oid
+			is := s.StatsID(ip)
+			st.count += float64(is.Count)
+			st.distinct[0] += float64(is.DistinctS)
+			st.distinct[2]++
+		}
+		return st
+	}
+	if !lv.comps[2].isVar {
+		ip.O, ip.BoundO = lv.comps[2].id, true
+	}
+	is := s.StatsID(ip)
+	return pstats{
+		count:    float64(is.Count),
+		distinct: [3]float64{float64(is.DistinctS), float64(is.DistinctP), float64(is.DistinctO)},
+	}
+}
+
+// probeEstimate estimates how many matches one probe of the pattern yields
+// given which variables the plan has already bound: the pattern's count,
+// divided by the distinct width of every join-bound position. A position
+// bound to one concrete value selects about count/distinct of the matches —
+// a subject-bound probe into a predicate pattern is near a point lookup,
+// while an object-bound probe into the same pattern keeps count/|objects|.
+func probeEstimate(lv *level, st pstats, bound []bool) float64 {
+	m := st.count
+	for i, c := range lv.comps {
+		if c.isVar && bound[c.varIdx] {
+			if d := st.distinct[i]; d > 1 {
+				m /= d
+			}
+		}
+	}
+	return m
+}
+
+// planCost simulates evaluating the levels in the given order, propagating
+// the estimated number of partial solutions: each step costs one probe plus
+// its estimated matches per surviving partial solution. bound is scratch
+// space (one flag per variable), reset here.
+func planCost(levels []level, stats []pstats, order []int, bound []bool) float64 {
+	for i := range bound {
+		bound[i] = false
+	}
+	solutions, work := 1.0, 0.0
+	for _, idx := range order {
+		m := probeEstimate(&levels[idx], stats[idx], bound)
+		work += solutions * (1 + m)
+		solutions *= m
+		for _, c := range levels[idx].comps {
+			if c.isVar {
+				bound[c.varIdx] = true
+			}
+		}
+	}
+	return work
+}
+
+// maxExhaustive is the largest BGP whose join orders are searched
+// exhaustively (6! = 720 candidate plans); larger BGPs fall back to a greedy
+// cheapest-next-step ordering under the same cost model.
+const maxExhaustive = 6
+
+// plan orders the levels for the join by estimated total work under the
+// count/distinct cost model: selectivity-ordered, cheapest plan first. The
+// model naturally evaluates selective patterns before unselective ones and
+// follows join-bound variables through their most selective probe direction;
+// disconnected pattern groups end up cheapest-first, keeping the unavoidable
+// cartesian product as small as possible.
+func plan(s *store.Store, levels []level, nvars int) []level {
+	n := len(levels)
+	if n <= 1 {
+		return levels
+	}
+	stats := make([]pstats, n)
+	for i := range levels {
+		stats[i] = levelStats(s, &levels[i])
+	}
+	bound := make([]bool, nvars)
+	var best []int
+	if n <= maxExhaustive {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		bestCost := math.Inf(1)
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				if c := planCost(levels, stats, perm, bound); c < bestCost {
+					bestCost = c
+					best = append(best[:0], perm...)
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+	} else {
+		used := make([]bool, n)
+		solutions := 1.0
+		for len(best) < n {
+			bi, bc := -1, math.Inf(1)
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				if c := solutions * (1 + probeEstimate(&levels[i], stats[i], bound)); c < bc {
+					bi, bc = i, c
+				}
+			}
+			used[bi] = true
+			solutions *= probeEstimate(&levels[bi], stats[bi], bound)
+			best = append(best, bi)
+			for _, c := range levels[bi].comps {
+				if c.isVar {
+					bound[c.varIdx] = true
+				}
+			}
+		}
+	}
+	ordered := make([]level, 0, n)
+	for _, idx := range best {
+		ordered = append(ordered, levels[idx])
+	}
+	return ordered
+}
+
+// probe fills level d's match buffer: the bindings accumulated at shallower
+// levels are substituted into the pattern and the store streams the matching
+// id triples straight into the reused buffer.
+func (sol *Solutions) probe(d int) {
+	lv := &sol.levels[d]
+	lv.buf = lv.buf[:0]
+	lv.pos = -1
+	var ip store.IDPattern
+	if c := lv.comps[0]; c.isVar {
+		if sol.bound[c.varIdx] {
+			ip.S, ip.BoundS = sol.bind[c.varIdx], true
+		}
+	} else {
+		ip.S, ip.BoundS = c.id, true
+	}
+	if c := lv.comps[1]; c.isVar {
+		if sol.bound[c.varIdx] {
+			ip.P, ip.BoundP = sol.bind[c.varIdx], true
+		}
+	} else {
+		ip.P, ip.BoundP = c.id, true
+	}
+	if lv.expand != nil {
+		ip.BoundO = true
+		for _, oid := range lv.expand {
+			ip.O = oid
+			sol.s.QueryIDFunc(ip, lv.yield)
+		}
+		return
+	}
+	if c := lv.comps[2]; c.isVar {
+		if sol.bound[c.varIdx] {
+			ip.O, ip.BoundO = sol.bind[c.varIdx], true
+		}
+	} else {
+		ip.O, ip.BoundO = c.id, true
+	}
+	sol.s.QueryIDFunc(ip, lv.yield)
+}
+
+// tryBind applies the candidate at lv.pos to the binding state, recording
+// which variables it newly bound so they can be rolled back. It fails — with
+// the state unchanged — when the candidate conflicts with an existing
+// binding, which is how repeated variables within one pattern (e.g. ?x p ?x)
+// are enforced.
+func (sol *Solutions) tryBind(lv *level) bool {
+	t := lv.buf[lv.pos]
+	vals := [3]store.SymbolID{t.S, t.P, t.O}
+	lv.local = lv.local[:0]
+	for i := range lv.comps {
+		c := lv.comps[i]
+		if !c.isVar {
+			continue
+		}
+		if sol.bound[c.varIdx] {
+			if sol.bind[c.varIdx] != vals[i] {
+				sol.unbind(lv)
+				return false
+			}
+			continue
+		}
+		sol.bind[c.varIdx] = vals[i]
+		sol.bound[c.varIdx] = true
+		lv.local = append(lv.local, c.varIdx)
+	}
+	return true
+}
+
+// unbind rolls back the variables the level's current candidate bound.
+func (sol *Solutions) unbind(lv *level) {
+	for _, idx := range lv.local {
+		sol.bound[idx] = false
+	}
+	lv.local = lv.local[:0]
+}
+
+// Next advances to the next solution, reporting whether one exists. After
+// Next returns true, Bind and Value read the solution; after it returns
+// false, Err reports whether the iteration ended in an error.
+func (sol *Solutions) Next() bool {
+	if sol.err != nil || sol.done {
+		return false
+	}
+	if !sol.started {
+		sol.started = true
+		if len(sol.levels) == 0 {
+			// The empty BGP: one empty solution, then exhaustion.
+			sol.done = true
+			return true
+		}
+		sol.depth = 0
+		sol.probe(0)
+	} else {
+		sol.unbind(&sol.levels[sol.depth])
+	}
+	d := sol.depth
+	for {
+		lv := &sol.levels[d]
+		advanced := false
+		for lv.pos+1 < len(lv.buf) {
+			lv.pos++
+			if sol.tryBind(lv) {
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			d--
+			if d < 0 {
+				sol.done = true
+				return false
+			}
+			sol.unbind(&sol.levels[d])
+			continue
+		}
+		if d == len(sol.levels)-1 {
+			sol.depth = d
+			return true
+		}
+		d++
+		sol.probe(d)
+	}
+}
+
+// Err returns the error that ended the iteration, or nil. The only errors
+// today are malformed BGPs (empty literals, empty variable names) and
+// unknown projection variables; evaluation itself cannot fail.
+func (sol *Solutions) Err() error {
+	return sol.err
+}
+
+// Vars returns the BGP's variable names in order of first appearance.
+func (sol *Solutions) Vars() []string {
+	return append([]string(nil), sol.vars...)
+}
+
+// Value returns the current solution's value for one variable without
+// allocating. It is only meaningful after Next returned true; ok is false
+// for unknown variables or outside a solution.
+func (sol *Solutions) Value(name string) (string, bool) {
+	for i, v := range sol.vars {
+		if v == name {
+			if !sol.bound[i] {
+				return "", false
+			}
+			return sol.res.Name(sol.bind[i]), true
+		}
+	}
+	return "", false
+}
+
+// Bind materializes the current solution as a fresh Binding. It is only
+// meaningful after Next returned true. Use Value to read a single variable
+// without the allocation.
+func (sol *Solutions) Bind() Binding {
+	b := make(Binding, len(sol.vars))
+	for i, name := range sol.vars {
+		if sol.bound[i] {
+			b[name] = sol.res.Name(sol.bind[i])
+		}
+	}
+	return b
+}
+
+// All drains the iterator and returns every remaining solution. The order of
+// solutions is unspecified (it follows the plan, not the BGP).
+func (sol *Solutions) All() ([]Binding, error) {
+	var out []Binding
+	for sol.Next() {
+		out = append(out, sol.Bind())
+	}
+	return out, sol.Err()
+}
+
+// Instances answers the canonical class-retrieval query every experiment and
+// audit asks: the sorted distinct subjects annotated (via
+// store.TypePredicate) with the class — expanded through the ontology
+// index's subsumees when oi is non-nil, literal annotations only when it is
+// nil. It is the one-pattern BGP {?x type class} projected to ?x, and the
+// query-layer replacement for the deprecated store.InstancesOf and
+// store.InstancesOfExpanded helpers.
+func Instances(s *store.Store, oi *store.OntologyIndex, class string) ([]string, error) {
+	bgp := BGP{Pat(Var("x"), Lit(store.TypePredicate), Lit(class))}
+	var opts []Option
+	if oi != nil {
+		opts = append(opts, Expand(oi))
+	}
+	return Eval(s, bgp, opts...).Project("x")
+}
+
+// Project drains the iterator and returns the distinct values the named
+// variable takes across the remaining solutions, sorted — the shape every
+// retrieval experiment consumes. Deduplication happens at the dictionary-id
+// level; only the distinct ids are resolved to strings.
+func (sol *Solutions) Project(name string) ([]string, error) {
+	idx := -1
+	for i, v := range sol.vars {
+		if v == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if sol.err == nil {
+			sol.err = fmt.Errorf("query: projection variable ?%s does not occur in the pattern", name)
+		}
+		return nil, sol.err
+	}
+	seen := make(map[store.SymbolID]struct{})
+	var out []string
+	for sol.Next() {
+		id := sol.bind[idx]
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, sol.res.Name(id))
+	}
+	if sol.err != nil {
+		return nil, sol.err
+	}
+	sort.Strings(out)
+	return out, nil
+}

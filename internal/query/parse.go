@@ -1,0 +1,56 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseBGP reads the textual form of a BGP: triple patterns separated by
+// '.', ';' or newlines, each pattern three whitespace-separated terms, a
+// term starting with '?' being a variable and anything else a literal.
+//
+//	?x type car . ?x locatedIn ?site
+//
+// Literals cannot contain whitespace or the separators; there is no quoting.
+// The format exists for command lines (cmd/ontoaudit -query) and tests, not
+// as a SPARQL front end.
+func ParseBGP(text string) (BGP, error) {
+	var bgp BGP
+	for _, raw := range strings.FieldsFunc(text, func(r rune) bool {
+		return r == '.' || r == ';' || r == '\n'
+	}) {
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("query: pattern %q has %d terms, want 3 (subject predicate object)", strings.TrimSpace(raw), len(fields))
+		}
+		var terms [3]Term
+		for i, f := range fields {
+			if name, isVar := strings.CutPrefix(f, "?"); isVar {
+				if name == "" {
+					return nil, fmt.Errorf("query: pattern %q has a variable with an empty name", strings.TrimSpace(raw))
+				}
+				terms[i] = Var(name)
+			} else {
+				terms[i] = Lit(f)
+			}
+		}
+		bgp = append(bgp, Pat(terms[0], terms[1], terms[2]))
+	}
+	if len(bgp) == 0 {
+		return nil, fmt.Errorf("query: no patterns in %q", text)
+	}
+	return bgp, nil
+}
+
+// MustParseBGP is ParseBGP panicking on error, for statically known patterns
+// in tests and examples.
+func MustParseBGP(text string) BGP {
+	bgp, err := ParseBGP(text)
+	if err != nil {
+		panic(err)
+	}
+	return bgp
+}

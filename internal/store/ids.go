@@ -1,0 +1,375 @@
+package store
+
+// This file is the store's id-level query surface: the hooks the join
+// evaluator in internal/query builds on. A join probes the store thousands of
+// times per query, so the evaluator works entirely in dictionary ids —
+// variables bind to SymbolIDs, probes are IDPatterns, matches are IDTriples —
+// and only the final solutions are resolved back to strings through a
+// Resolver. The string-level Pattern methods (QueryFunc, Count) are thin
+// wrappers over these.
+
+// SymbolID is a dictionary id minted by the store's symbol table. Ids are
+// dense, append-only and never reused; they are only meaningful relative to
+// the store that minted them.
+type SymbolID = uint32
+
+// IDTriple is a dictionary-encoded triple.
+type IDTriple struct {
+	S, P, O SymbolID
+}
+
+// IDPattern is a dictionary-encoded triple pattern: a component constrains
+// the match only when its Bound flag is set (an unbound component is a
+// wildcard, whatever its id field holds).
+type IDPattern struct {
+	S, P, O                SymbolID
+	BoundS, BoundP, BoundO bool
+}
+
+// SymbolID returns the dictionary id of a name, with ok reporting whether the
+// name has ever been interned. A name that was never interned cannot occur in
+// any index, so a pattern bound to it matches nothing.
+func (s *Store) SymbolID(name string) (SymbolID, bool) {
+	return s.syms.lookup(name)
+}
+
+// Resolver resolves SymbolIDs back to names from a lock-free snapshot of the
+// symbol table, falling back to the locked path only for ids minted after the
+// Resolver was created. Create one per query result set rather than per id.
+type Resolver struct {
+	r resolver
+}
+
+// NewResolver returns a resolver over the store's current dictionary.
+func (s *Store) NewResolver() Resolver {
+	return Resolver{r: newResolver(s.syms)}
+}
+
+// Name resolves one id.
+func (r Resolver) Name(id SymbolID) string {
+	return r.r.name(id)
+}
+
+// encodePattern resolves a string pattern's bound components to ids; ok is
+// false when a bound component was never interned (the pattern matches
+// nothing).
+func (s *Store) encodePattern(p Pattern) (IDPattern, bool) {
+	var ip IDPattern
+	var ok bool
+	if p.Subject != "" {
+		if ip.S, ok = s.syms.lookup(p.Subject); !ok {
+			return IDPattern{}, false
+		}
+		ip.BoundS = true
+	}
+	if p.Predicate != "" {
+		if ip.P, ok = s.syms.lookup(p.Predicate); !ok {
+			return IDPattern{}, false
+		}
+		ip.BoundP = true
+	}
+	if p.Object != "" {
+		if ip.O, ok = s.syms.lookup(p.Object); !ok {
+			return IDPattern{}, false
+		}
+		ip.BoundO = true
+	}
+	return ip, true
+}
+
+// QueryIDFunc streams every triple matching the id pattern to yield, stopping
+// early when yield returns false. It picks the permutation family by the
+// pattern's bound components — bound subject → SPO, else bound predicate →
+// POS, else bound object → OSP, else a full SPO scan — and allocates nothing.
+// The enumeration order is unspecified. yield must not write to the store (it
+// runs under a shard read-lock).
+func (s *Store) QueryIDFunc(p IDPattern, yield func(IDTriple) bool) {
+	switch {
+	case p.BoundS:
+		sh := s.spo.shard(p.S)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.S]
+		if e == nil {
+			return
+		}
+		if p.BoundP {
+			set := e.find(p.P)
+			if set == nil {
+				return
+			}
+			if p.BoundO {
+				if set.contains(p.O) {
+					yield(IDTriple{p.S, p.P, p.O})
+				}
+				return
+			}
+			set.forEach(func(oid SymbolID) bool {
+				return yield(IDTriple{p.S, p.P, oid})
+			})
+			return
+		}
+		e.forEach(func(pid SymbolID, objs *idSet) bool {
+			if p.BoundO {
+				if objs.contains(p.O) {
+					return yield(IDTriple{p.S, pid, p.O})
+				}
+				return true
+			}
+			return objs.forEach(func(oid SymbolID) bool {
+				return yield(IDTriple{p.S, pid, oid})
+			})
+		})
+	case p.BoundP:
+		sh := s.pos.shard(p.P)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.P]
+		if e == nil {
+			return
+		}
+		if p.BoundO {
+			set := e.find(p.O)
+			if set == nil {
+				return
+			}
+			set.forEach(func(sid SymbolID) bool {
+				return yield(IDTriple{sid, p.P, p.O})
+			})
+			return
+		}
+		e.forEach(func(oid SymbolID, subjects *idSet) bool {
+			return subjects.forEach(func(sid SymbolID) bool {
+				return yield(IDTriple{sid, p.P, oid})
+			})
+		})
+	case p.BoundO:
+		sh := s.osp.shard(p.O)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.O]
+		if e == nil {
+			return
+		}
+		e.forEach(func(sid SymbolID, preds *idSet) bool {
+			return preds.forEach(func(pid SymbolID) bool {
+				return yield(IDTriple{sid, pid, p.O})
+			})
+		})
+	default:
+		for i := range s.spo {
+			if !s.scanShardIDs(&s.spo[i], yield) {
+				return
+			}
+		}
+	}
+}
+
+// scanShardIDs streams one whole SPO shard to yield, reporting false when
+// yield stopped the enumeration.
+func (s *Store) scanShardIDs(sh *shard, yield func(IDTriple) bool) bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for sid, e := range sh.m {
+		ok := e.forEach(func(pid SymbolID, objs *idSet) bool {
+			return objs.forEach(func(oid SymbolID) bool {
+				return yield(IDTriple{sid, pid, oid})
+			})
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountID returns the exact number of triples matching the id pattern. It is
+// the planner's cardinality estimate: it runs entirely on the indexes — set
+// lengths are read off the index nodes, no triple is materialized and no
+// symbol resolved — so it is cheap enough to call once per pattern per query.
+func (s *Store) CountID(p IDPattern) int {
+	count := 0
+	switch {
+	case p.BoundS:
+		sh := s.spo.shard(p.S)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.S]
+		if e == nil {
+			return 0
+		}
+		if p.BoundP {
+			set := e.find(p.P)
+			if set == nil {
+				return 0
+			}
+			if p.BoundO {
+				if set.contains(p.O) {
+					return 1
+				}
+				return 0
+			}
+			return set.len()
+		}
+		e.forEach(func(_ SymbolID, objs *idSet) bool {
+			if p.BoundO {
+				if objs.contains(p.O) {
+					count++
+				}
+				return true
+			}
+			count += objs.len()
+			return true
+		})
+	case p.BoundP:
+		sh := s.pos.shard(p.P)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.P]
+		if e == nil {
+			return 0
+		}
+		if p.BoundO {
+			if set := e.find(p.O); set != nil {
+				return set.len()
+			}
+			return 0
+		}
+		e.forEach(func(_ SymbolID, subjects *idSet) bool {
+			count += subjects.len()
+			return true
+		})
+	case p.BoundO:
+		sh := s.osp.shard(p.O)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.O]
+		if e == nil {
+			return 0
+		}
+		e.forEach(func(_ SymbolID, preds *idSet) bool {
+			count += preds.len()
+			return true
+		})
+	default:
+		return s.Len()
+	}
+	return count
+}
+
+// IDStats are cheap cardinality statistics for one id pattern: the exact
+// match count, and the number of distinct subjects, predicates and objects
+// among the matches — exact where an index level exposes it in O(1) (lead
+// and middle widths), bounded above by Count where it does not. The planner
+// in internal/query divides Count by a distinct figure to estimate how
+// selective probing the pattern through that component will be.
+type IDStats struct {
+	Count     int
+	DistinctS int
+	DistinctP int
+	DistinctO int
+}
+
+// StatsID returns cardinality statistics for the id pattern. Like CountID it
+// runs entirely on the indexes, reading set lengths and entry widths; it
+// never materializes a triple or resolves a symbol.
+func (s *Store) StatsID(p IDPattern) IDStats {
+	switch {
+	case p.BoundS && p.BoundP && p.BoundO:
+		n := s.CountID(p)
+		return IDStats{Count: n, DistinctS: n, DistinctP: n, DistinctO: n}
+	case p.BoundS:
+		sh := s.spo.shard(p.S)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.S]
+		if e == nil {
+			return IDStats{}
+		}
+		if p.BoundP {
+			set := e.find(p.P)
+			if set == nil {
+				return IDStats{}
+			}
+			n := set.len()
+			return IDStats{Count: n, DistinctS: 1, DistinctP: 1, DistinctO: n}
+		}
+		st := IDStats{DistinctS: 1}
+		e.forEach(func(_ SymbolID, objs *idSet) bool {
+			if p.BoundO {
+				if objs.contains(p.O) {
+					st.Count++
+				}
+				return true
+			}
+			st.Count += objs.len()
+			st.DistinctP++
+			return true
+		})
+		if p.BoundO {
+			st.DistinctP = st.Count
+			st.DistinctO = 1
+		} else {
+			st.DistinctO = st.Count
+		}
+		return st
+	case p.BoundP:
+		sh := s.pos.shard(p.P)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.P]
+		if e == nil {
+			return IDStats{}
+		}
+		if p.BoundO {
+			set := e.find(p.O)
+			if set == nil {
+				return IDStats{}
+			}
+			n := set.len()
+			return IDStats{Count: n, DistinctS: n, DistinctP: 1, DistinctO: 1}
+		}
+		st := IDStats{DistinctP: 1}
+		e.forEach(func(_ SymbolID, subjects *idSet) bool {
+			st.Count += subjects.len()
+			st.DistinctO++
+			return true
+		})
+		st.DistinctS = st.Count
+		return st
+	case p.BoundO:
+		sh := s.osp.shard(p.O)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		e := sh.m[p.O]
+		if e == nil {
+			return IDStats{}
+		}
+		st := IDStats{DistinctO: 1}
+		e.forEach(func(_ SymbolID, preds *idSet) bool {
+			st.Count += preds.len()
+			st.DistinctS++
+			return true
+		})
+		st.DistinctP = st.Count
+		return st
+	default:
+		st := IDStats{Count: s.Len()}
+		for i := range s.spo {
+			s.spo[i].mu.RLock()
+			st.DistinctS += len(s.spo[i].m)
+			s.spo[i].mu.RUnlock()
+		}
+		for i := range s.pos {
+			s.pos[i].mu.RLock()
+			st.DistinctP += len(s.pos[i].m)
+			s.pos[i].mu.RUnlock()
+		}
+		for i := range s.osp {
+			s.osp[i].mu.RLock()
+			st.DistinctO += len(s.osp[i].m)
+			s.osp[i].mu.RUnlock()
+		}
+		return st
+	}
+}

@@ -89,6 +89,11 @@ func (oi *OntologyIndex) Subsumers(class string) []string {
 // InstancesOf returns the subjects annotated (via TypePredicate) with the
 // class itself, without ontology expansion: the "database without the
 // ontonomy" baseline.
+//
+// Deprecated: use the query layer instead — query.Instances(s, nil, class)
+// returns the same sorted, deduplicated answer (it is the one-pattern BGP
+// {?x type class} projected to ?x), and the BGP form composes with further
+// patterns.
 func InstancesOf(s *Store, class string) []string {
 	return s.Subjects(TypePredicate, class)
 }
@@ -99,6 +104,11 @@ func InstancesOf(s *Store, class string) []string {
 // instances straight off the POS index (ForEachSubject), so no per-class
 // intermediate slice is materialized or sorted; only the final deduplicated
 // answer is.
+//
+// Deprecated: use the query layer instead — query.Instances(s, oi, class)
+// returns the identical answer (the same one-pattern BGP evaluated with the
+// query.Expand option; internal/query's tests prove the equivalence on the
+// E5 corpus).
 func InstancesOfExpanded(s *Store, oi *OntologyIndex, class string) []string {
 	seen := map[string]bool{}
 	var out []string
@@ -116,6 +126,9 @@ func InstancesOfExpanded(s *Store, oi *OntologyIndex, class string) []string {
 }
 
 // Annotate adds a type annotation for an instance.
+//
+// Deprecated: it is a one-line wrapper; call Add with a TypePredicate triple
+// directly, as the experiment corpora do via AddBatch.
 func Annotate(s *Store, instance, class string) error {
 	_, err := s.Add(Triple{Subject: instance, Predicate: TypePredicate, Object: class})
 	return err

@@ -13,12 +13,13 @@ import (
 // stores can be streamed and partially inspected with ordinary text tools.
 
 // Snapshot writes every triple to w, one JSON object per line, in the
-// deterministic order of Query(Pattern{}). It returns the number of triples
-// written.
+// canonical sorted order of Triples. Two stores holding the same triples
+// produce byte-identical snapshots, whatever order they were ingested in. It
+// returns the number of triples written.
 func (s *Store) Snapshot(w io.Writer) (int, error) {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	triples := s.Query(Pattern{})
+	triples := s.Triples()
 	for _, t := range triples {
 		if err := enc.Encode(t); err != nil {
 			return 0, fmt.Errorf("store: encoding snapshot: %w", err)

@@ -15,6 +15,17 @@
 // index shard at most once, and reads have an allocation-free iterator form
 // (QueryFunc, ForEachSubject) alongside the materializing Query.
 //
+// Ordering: every materializing read (Query, Triples, Subjects, Objects,
+// Predicates) returns its result in sorted lexicographic order, so results
+// depend only on the store's contents — never on ingest order or on how ids
+// happened to fall across shards. The streaming forms (QueryFunc,
+// QueryIDFunc, ForEachSubject) trade that determinism for zero allocation
+// and enumerate in unspecified order.
+//
+// Joins, variables and ontology-aware expansion live one layer up, in
+// package repro/internal/query, which evaluates basic graph patterns over
+// the id-level hooks in ids.go.
+//
 // Consistency: all methods are safe for concurrent use. Single-triple writes
 // (Add, Remove) lock all three affected shards together, so a triple is never
 // half-visible across indexes once Add or Remove has returned, and never
@@ -181,112 +192,22 @@ func (s *Store) Contains(t Triple) bool {
 // store, or it may deadlock against writers waiting on the shard being
 // iterated.
 func (s *Store) QueryFunc(p Pattern, yield func(Triple) bool) {
+	ip, ok := s.encodePattern(p)
+	if !ok {
+		return
+	}
 	res := newResolver(s.syms)
-	switch {
-	case p.Subject != "":
-		sid, ok := s.syms.lookup(p.Subject)
-		if !ok {
-			return
-		}
-		wantP, okP := s.syms.lookup(p.Predicate)
-		wantO, okO := s.syms.lookup(p.Object)
-		if (p.Predicate != "" && !okP) || (p.Object != "" && !okO) {
-			return
-		}
-		sh := s.spo.shard(sid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		e := sh.m[sid]
-		if e == nil {
-			return
-		}
-		e.forEach(func(pid uint32, objs *idSet) bool {
-			if p.Predicate != "" && pid != wantP {
-				return true
-			}
-			pred := res.name(pid)
-			return objs.forEach(func(oid uint32) bool {
-				if p.Object != "" && oid != wantO {
-					return true
-				}
-				return yield(Triple{p.Subject, pred, res.name(oid)})
-			})
-		})
-	case p.Predicate != "":
-		pid, ok := s.syms.lookup(p.Predicate)
-		if !ok {
-			return
-		}
-		wantO, okO := s.syms.lookup(p.Object)
-		if p.Object != "" && !okO {
-			return
-		}
-		sh := s.pos.shard(pid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		e := sh.m[pid]
-		if e == nil {
-			return
-		}
-		e.forEach(func(oid uint32, subjects *idSet) bool {
-			if p.Object != "" && oid != wantO {
-				return true
-			}
-			obj := res.name(oid)
-			return subjects.forEach(func(sid uint32) bool {
-				return yield(Triple{res.name(sid), p.Predicate, obj})
-			})
-		})
-	case p.Object != "":
-		oid, ok := s.syms.lookup(p.Object)
-		if !ok {
-			return
-		}
-		sh := s.osp.shard(oid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		e := sh.m[oid]
-		if e == nil {
-			return
-		}
-		e.forEach(func(sid uint32, preds *idSet) bool {
-			subj := res.name(sid)
-			return preds.forEach(func(pid uint32) bool {
-				return yield(Triple{subj, res.name(pid), p.Object})
-			})
-		})
-	default:
-		for i := range s.spo {
-			if !s.scanShard(&s.spo[i], res, yield) {
-				return
-			}
-		}
-	}
+	s.QueryIDFunc(ip, func(t IDTriple) bool {
+		return yield(Triple{res.name(t.S), res.name(t.P), res.name(t.O)})
+	})
 }
 
-// scanShard streams one whole SPO shard to yield, reporting false when yield
-// stopped the enumeration.
-func (s *Store) scanShard(sh *shard, res resolver, yield func(Triple) bool) bool {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	for sid, e := range sh.m {
-		subj := res.name(sid)
-		ok := e.forEach(func(pid uint32, objs *idSet) bool {
-			pred := res.name(pid)
-			return objs.forEach(func(oid uint32) bool {
-				return yield(Triple{subj, pred, res.name(oid)})
-			})
-		})
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// Query returns all triples matching the pattern, in deterministic
-// (lexicographic) order. The most selective permutation index available for
-// the pattern's bound components is used, so fully or partially bound queries
+// Query returns all triples matching the pattern, sorted lexicographically by
+// subject, then predicate, then object. That ordering is a contract: two
+// stores holding the same triples return identical slices for the same
+// pattern, whatever order the triples were ingested in and however they fell
+// across shards. The most selective permutation index available for the
+// pattern's bound components is used, so fully or partially bound queries
 // never scan the whole store. Use QueryFunc to stream matches without
 // materializing and sorting the result.
 func (s *Store) Query(p Pattern) []Triple {
@@ -299,88 +220,29 @@ func (s *Store) Query(p Pattern) []Triple {
 	return out
 }
 
+// Triples returns every triple in the store, sorted lexicographically by
+// subject, then predicate, then object — the store's canonical export order.
+// Like Query, the result depends only on the store's contents, never on
+// ingest order or shard layout; Snapshot is defined in terms of it.
+func (s *Store) Triples() []Triple {
+	out := make([]Triple, 0, s.Len())
+	s.QueryFunc(Pattern{}, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
 // Count returns the number of triples matching the pattern. It runs entirely
 // on the dictionary-encoded indexes — no triple is materialized and no symbol
 // is resolved back to a string.
 func (s *Store) Count(p Pattern) int {
-	if p.Subject == "" && p.Predicate == "" && p.Object == "" {
-		return s.Len()
-	}
-	var ids encTriple
-	var ok bool
-	if ids.s, ok = lookupBound(s.syms, p.Subject); !ok {
+	ip, ok := s.encodePattern(p)
+	if !ok {
 		return 0
 	}
-	if ids.p, ok = lookupBound(s.syms, p.Predicate); !ok {
-		return 0
-	}
-	if ids.o, ok = lookupBound(s.syms, p.Object); !ok {
-		return 0
-	}
-	count := 0
-	switch {
-	case p.Subject != "":
-		sh := s.spo.shard(ids.s)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		e := sh.m[ids.s]
-		if e == nil {
-			return 0
-		}
-		e.forEach(func(pid uint32, objs *idSet) bool {
-			if p.Predicate != "" && pid != ids.p {
-				return true
-			}
-			if p.Object != "" {
-				if objs.contains(ids.o) {
-					count++
-				}
-				return true
-			}
-			count += objs.len()
-			return true
-		})
-	case p.Predicate != "":
-		sh := s.pos.shard(ids.p)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		e := sh.m[ids.p]
-		if e == nil {
-			return 0
-		}
-		if p.Object != "" {
-			if set := e.find(ids.o); set != nil {
-				count = set.len()
-			}
-			break
-		}
-		e.forEach(func(_ uint32, subjects *idSet) bool {
-			count += subjects.len()
-			return true
-		})
-	default:
-		sh := s.osp.shard(ids.o)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		e := sh.m[ids.o]
-		if e == nil {
-			return 0
-		}
-		e.forEach(func(_ uint32, preds *idSet) bool {
-			count += preds.len()
-			return true
-		})
-	}
-	return count
-}
-
-// lookupBound resolves a pattern component: a wildcard resolves trivially,
-// a bound component must already be interned to match anything.
-func lookupBound(st *symtab, component string) (uint32, bool) {
-	if component == "" {
-		return 0, true
-	}
-	return st.lookup(component)
+	return s.CountID(ip)
 }
 
 // ForEachSubject streams the distinct subjects of triples with the given
@@ -414,8 +276,9 @@ func (s *Store) ForEachSubject(predicate, object string, yield func(string) bool
 }
 
 // Subjects returns the distinct subjects of triples with the given predicate
-// and object, sorted. Use ForEachSubject to stream them without the
-// materialized slice and the sort.
+// and object, in sorted order (the same deterministic ordering contract as
+// Query: the result depends only on the store's contents). Use ForEachSubject
+// to stream them without the materialized slice and the sort.
 func (s *Store) Subjects(predicate, object string) []string {
 	pid, ok := s.syms.lookup(predicate)
 	if !ok {
@@ -440,7 +303,8 @@ func (s *Store) Subjects(predicate, object string) []string {
 }
 
 // Objects returns the distinct objects of triples with the given subject and
-// predicate, sorted.
+// predicate, in sorted order (the same deterministic ordering contract as
+// Query).
 func (s *Store) Objects(subject, predicate string) []string {
 	sid, ok := s.syms.lookup(subject)
 	if !ok {
@@ -467,7 +331,8 @@ func (s *Store) Objects(subject, predicate string) []string {
 	return out
 }
 
-// Predicates returns the distinct predicates in the store, sorted.
+// Predicates returns the distinct predicates in the store, in sorted order
+// (the same deterministic ordering contract as Query).
 func (s *Store) Predicates() []string {
 	res := newResolver(s.syms)
 	var out []string

@@ -3,6 +3,8 @@ package store
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -229,5 +231,112 @@ func TestIndexAgreement(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDeterministicOrderingContract checks the ordering contract of every
+// materializing read: the same triples ingested in different orders (and
+// therefore interned to different ids, falling differently across shards)
+// must produce identical Query, Triples, Subjects, Objects and Predicates
+// results.
+func TestDeterministicOrderingContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	triples := make([]Triple, 0, 500)
+	for i := 0; i < 500; i++ {
+		triples = append(triples, Triple{
+			Subject:   fmt.Sprintf("s%d", rng.Intn(60)),
+			Predicate: fmt.Sprintf("p%d", rng.Intn(5)),
+			Object:    fmt.Sprintf("o%d", rng.Intn(40)),
+		})
+	}
+	build := func(order []Triple) *Store {
+		s := New()
+		if _, err := s.AddBatch(order); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ref := build(triples)
+	for round := 0; round < 5; round++ {
+		shuffled := append([]Triple(nil), triples...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		s := build(shuffled)
+		ts := s.Triples()
+		if want := ref.Triples(); !reflect.DeepEqual(ts, want) {
+			t.Fatalf("round %d: Triples differ across ingest orders", round)
+		}
+		if !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i].less(ts[j]) }) {
+			t.Fatalf("round %d: Triples not sorted", round)
+		}
+		for _, p := range []Pattern{{}, {Predicate: "p0"}, {Subject: "s1"}, {Object: "o2"}, {Predicate: "p1", Object: "o3"}} {
+			if got, want := s.Query(p), ref.Query(p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: Query(%v) differs across ingest orders", round, p)
+			}
+		}
+		if got, want := s.Subjects("p0", "o1"), ref.Subjects("p0", "o1"); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: Subjects differ", round)
+		}
+		if got, want := s.Objects("s1", "p0"), ref.Objects("s1", "p0"); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: Objects differ", round)
+		}
+		if got, want := s.Predicates(), ref.Predicates(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: Predicates differ", round)
+		}
+		for _, ss := range [][]string{s.Predicates(), s.Subjects("p0", "o1"), s.Objects("s1", "p0")} {
+			if !sort.StringsAreSorted(ss) {
+				t.Fatalf("round %d: accessor result not sorted: %v", round, ss)
+			}
+		}
+	}
+}
+
+// TestIDLevelHooks checks the id-level query surface the join evaluator in
+// internal/query builds on: SymbolID resolution, QueryIDFunc enumeration and
+// CountID against the string-level equivalents.
+func TestIDLevelHooks(t *testing.T) {
+	s := New()
+	data := []Triple{
+		{"a", "p", "x"}, {"a", "p", "y"}, {"a", "q", "x"},
+		{"b", "p", "x"}, {"c", "q", "z"},
+	}
+	if _, err := s.AddBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.SymbolID("nope"); ok {
+		t.Error("SymbolID resolved a never-interned name")
+	}
+	res := s.NewResolver()
+	encode := func(p Pattern) IDPattern {
+		ip, ok := s.encodePattern(p)
+		if !ok {
+			t.Fatalf("encodePattern(%v) failed", p)
+		}
+		return ip
+	}
+	patterns := []Pattern{
+		{}, {Subject: "a"}, {Predicate: "p"}, {Object: "x"},
+		{Subject: "a", Predicate: "p"}, {Predicate: "p", Object: "x"},
+		{Subject: "a", Object: "x"}, {Subject: "a", Predicate: "p", Object: "x"},
+	}
+	for _, p := range patterns {
+		ip := encode(p)
+		if got, want := s.CountID(ip), s.Count(p); got != want {
+			t.Errorf("CountID(%v) = %d, Count = %d", p, got, want)
+		}
+		var got []Triple
+		s.QueryIDFunc(ip, func(tr IDTriple) bool {
+			got = append(got, Triple{res.Name(tr.S), res.Name(tr.P), res.Name(tr.O)})
+			return true
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i].less(got[j]) })
+		if want := s.Query(p); !reflect.DeepEqual(got, want) {
+			t.Errorf("QueryIDFunc(%v) = %v, want %v", p, got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.QueryIDFunc(IDPattern{}, func(IDTriple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stopped QueryIDFunc yielded %d triples, want 1", n)
 	}
 }
