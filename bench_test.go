@@ -2,12 +2,16 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"strconv"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/query"
+	"repro/internal/reason"
 	"repro/internal/store"
+	"repro/internal/workload"
 )
 
 // The benchmarks below regenerate, one per table, the experiments recorded in
@@ -185,6 +189,111 @@ func BenchmarkStoreQuery(b *testing.B) {
 		b.Fatal("no instances matched")
 	}
 	b.ReportMetric(float64(matched)/float64(b.N), "instances/query")
+}
+
+// reasonCorpus builds the E5c-shaped materialization workload: n type
+// annotations round-robin over a random 120-class hierarchy, the hierarchy's
+// subsumption closure as subClassOf triples, and the classified ontology
+// index for the query-time-expansion baseline.
+func reasonCorpus(b *testing.B, n int) ([]store.Triple, *store.OntologyIndex, []string) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	tb := workload.RandomHierarchyTBox(rng, workload.HierarchyParams{Classes: 120, MaxParents: 2})
+	oi, err := store.NewOntologyIndex(tb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := tb.DefinedNames()
+	sort.Strings(classes)
+	ts := make([]store.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		class := classes[i%len(classes)]
+		ts = append(ts, store.Triple{
+			Subject:   fmt.Sprintf("%s/item-%d", class, i),
+			Predicate: store.TypePredicate,
+			Object:    class,
+		})
+	}
+	ts = append(ts, reason.OntologyTriples(oi)...)
+	return ts, oi, classes
+}
+
+// BenchmarkMaterialize1e5 measures the one-off cost the serving-time speedup
+// is bought with: the semi-naive RDFS fixpoint over 10⁵ type annotations
+// under a 120-class hierarchy (store ingest excluded from the timing).
+func BenchmarkMaterialize1e5(b *testing.B) {
+	ts, _, _ := reasonCorpus(b, 100_000)
+	b.ReportAllocs()
+	inferred := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := store.New()
+		if _, err := s.AddBatch(ts); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		r, err := reason.Materialize(s, reason.RDFSRules())
+		if err != nil {
+			b.Fatal(err)
+		}
+		inferred = r.InferredCount()
+	}
+	if inferred == 0 {
+		b.Fatal("nothing was inferred")
+	}
+	b.ReportMetric(float64(inferred), "inferred-triples")
+}
+
+// BenchmarkMaterializedVsExpandedQuery measures the E5-style class retrieval
+// of EXPERIMENTS.md's E5c table at 10⁵ triples both ways, in the streaming
+// form a read-heavy service runs: "expanded" is the query-time rewrite
+// through the ontology index ({?x type class} under query.Expand, distinct
+// subjects streamed via ProjectFunc), "materialized" streams the same
+// distinct subjects off the reasoner's materialized POS indexes
+// (Reasoner.InstancesFunc). The acceptance figure is the ns/op ratio between
+// the two sub-benchmarks.
+func BenchmarkMaterializedVsExpandedQuery(b *testing.B) {
+	ts, oi, classes := reasonCorpus(b, 100_000)
+	s := store.New()
+	if _, err := s.AddBatch(ts); err != nil {
+		b.Fatal(err)
+	}
+	r, err := reason.Materialize(s, reason.RDFSRules())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("expanded", func(b *testing.B) {
+		b.ReportAllocs()
+		matched := 0
+		for i := 0; i < b.N; i++ {
+			bgp := query.BGP{query.Pat(query.Var("x"), query.Lit(store.TypePredicate), query.Lit(classes[i%len(classes)]))}
+			err := query.Eval(s, bgp, query.Expand(oi)).ProjectFunc("x", func(string) bool {
+				matched++
+				return true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if matched == 0 {
+			b.Fatal("no instances matched")
+		}
+		b.ReportMetric(float64(matched)/float64(b.N), "instances/query")
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		matched := 0
+		for i := 0; i < b.N; i++ {
+			r.InstancesFunc(classes[i%len(classes)], func(string) bool {
+				matched++
+				return true
+			})
+		}
+		if matched == 0 {
+			b.Fatal("no instances matched")
+		}
+		b.ReportMetric(float64(matched)/float64(b.N), "instances/query")
+	})
 }
 
 // joinWorkload builds exactly n distinct triples with join structure on top

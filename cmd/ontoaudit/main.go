@@ -5,8 +5,9 @@
 //
 //	ontoaudit -paper
 //	ontoaudit -f ontology.tbox [-depth 4] [-annotations data.triples] [-usage usage.tsv]
-//	ontoaudit -paper -query "?x type car" [-expand]
+//	ontoaudit -paper -query "?x type car" [-expand | -materialize [-rules extra.rules]]
 //	ontoaudit -f ontology.tbox -annotations data.triples -query "?x type car . ?x ?p ?o" [-expand]
+//	ontoaudit -paper -materialize [-provenance]
 //	ontoaudit -serialize-paper > paper.tbox
 //
 // -query evaluates a basic graph pattern (patterns separated by '.', terms
@@ -14,6 +15,16 @@
 // instead of running the audit, printing one solution per row; -expand
 // rewrites type-patterns through the TBox's ontology index, so class queries
 // also retrieve instances of subsumed classes.
+//
+// -materialize takes the precomputed route to the same answers: the TBox's
+// subsumption closure is exported as subClassOf triples next to the
+// annotations, the RDFS-style rule set of internal/reason (plus any -rules
+// file, one "head :- body . body" rule per line) is forward-chained to a
+// fixpoint, and -query then evaluates over the materialized view with no
+// expansion at all. Without -query, -materialize prints a summary of the
+// materialization (asserted/inferred counts, engine statistics); with
+// -provenance it dumps every triple tagged "asserted" or "inferred" as JSON
+// lines instead.
 //
 // The TBox format is the small text format of internal/tboxio (see the
 // package documentation). -annotations is a store snapshot (one JSON triple
@@ -37,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/query"
+	"repro/internal/reason"
 	"repro/internal/store"
 	"repro/internal/tboxio"
 )
@@ -50,8 +62,11 @@ func main() {
 	usage := flag.String("usage", "", "path to a whitespace-separated instance/class usage ground-truth file")
 	bgpText := flag.String("query", "", "evaluate a BGP (e.g. \"?x type car . ?x ?p ?o\") over the annotations instead of auditing")
 	expand := flag.Bool("expand", false, "with -query: expand type-patterns through the TBox's ontology index")
+	materialize := flag.Bool("materialize", false, "forward-chain the RDFS rules over the annotations + TBox hierarchy; -query then runs over the materialized view")
+	rulesFile := flag.String("rules", "", "with -materialize: a file of extra Horn rules (one \"head :- body . body\" per line)")
+	provenance := flag.Bool("provenance", false, "with -materialize (and no -query): dump the materialized triples tagged asserted/inferred")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s -paper | -f <file> [-depth N] [-annotations <file>] [-usage <file>] [-query <bgp> [-expand]] | -serialize-paper\n", os.Args[0])
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s -paper | -f <file> [-depth N] [-annotations <file>] [-usage <file>] [-query <bgp> [-expand|-materialize]] [-materialize [-rules <file>] [-provenance]] | -serialize-paper\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -104,6 +119,26 @@ func main() {
 		input.TrueClass = trueClass
 	}
 
+	if *rulesFile != "" && !*materialize {
+		fatal(errors.New("-rules only makes sense with -materialize"))
+	}
+	if *provenance && !*materialize {
+		fatal(errors.New("-provenance only makes sense with -materialize"))
+	}
+	if *provenance && *bgpText != "" {
+		fatal(errors.New("-provenance dumps the whole materialization; it cannot be combined with -query"))
+	}
+	if *expand && *materialize {
+		fatal(errors.New("-expand and -materialize are alternative routes to the same answers; pick one"))
+	}
+
+	if *materialize {
+		if err := runMaterialize(input, *bgpText, *rulesFile, *provenance); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *bgpText != "" {
 		if err := runQuery(input, *bgpText, *expand); err != nil {
 			fatal(err)
@@ -116,6 +151,56 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(report.Render())
+}
+
+// runMaterialize forward-chains the RDFS rules (plus any user rules) over
+// the annotation store extended with the TBox's subsumption closure, then
+// either evaluates the BGP over the materialized view, dumps the
+// provenance-tagged triples, or prints a materialization summary.
+func runMaterialize(input core.Input, bgpText, rulesFile string, provenance bool) error {
+	if input.Annotations == nil {
+		return errors.New("-materialize needs an annotation store; pass -annotations or -paper")
+	}
+	rules := reason.RDFSRules()
+	if rulesFile != "" {
+		text, err := os.ReadFile(rulesFile)
+		if err != nil {
+			return err
+		}
+		user, err := reason.ParseRules(string(text))
+		if err != nil {
+			return fmt.Errorf("%s: %w", rulesFile, err)
+		}
+		rules = append(rules, user...)
+	}
+	oi, err := store.NewOntologyIndex(input.TBox)
+	if err != nil {
+		return fmt.Errorf("classifying the TBox for -materialize: %w", err)
+	}
+	if _, err := input.Annotations.AddBatch(reason.OntologyTriples(oi)); err != nil {
+		return err
+	}
+	r, err := reason.Materialize(input.Annotations, rules)
+	if err != nil {
+		return err
+	}
+	if bgpText != "" {
+		bgp, err := query.ParseBGP(bgpText)
+		if err != nil {
+			return err
+		}
+		return printSolutions(r.Query(bgp))
+	}
+	if provenance {
+		_, err := r.View().SnapshotProvenance(os.Stdout)
+		return err
+	}
+	st := r.Stats()
+	fmt.Printf("materialized: %d asserted + %d inferred = %d triples\n",
+		r.Base().Len(), r.InferredCount(), r.View().Len())
+	fmt.Printf("rules: %d (RDFS%s)\n", len(rules), map[bool]string{true: " + user rules", false: ""}[rulesFile != ""])
+	fmt.Printf("engine: %d semi-naive rounds, %d derivations\n", st.Rounds, st.Derived)
+	return nil
 }
 
 // runQuery evaluates the BGP over the input's annotation store and prints a
@@ -137,7 +222,13 @@ func runQuery(input core.Input, bgpText string, expand bool) error {
 		}
 		opts = append(opts, query.Expand(oi))
 	}
-	sols := query.Eval(input.Annotations, bgp, opts...)
+	return printSolutions(query.Eval(input.Annotations, bgp, opts...))
+}
+
+// printSolutions drains a solution iterator, printing a header of variable
+// names and one tab-separated row per solution, rows sorted for
+// deterministic output.
+func printSolutions(sols *query.Solutions) error {
 	vars := sols.Vars()
 	var rows []string
 	for sols.Next() {

@@ -17,10 +17,15 @@
 //   - internal/query: the BGP query layer over the triple store — variables,
 //     selectivity-planned joins, ontology-aware expansion, streaming
 //     solutions;
-//   - internal/experiments: the E1–E7, E5b and A1 experiments whose tables
-//     EXPERIMENTS.md records;
+//   - internal/reason: the forward-chaining materialization engine —
+//     RDFS-style and user Horn rules evaluated semi-naively to a fixpoint,
+//     kept incrementally correct under adds and removes
+//     (delete-and-rederive), served through a provenance-tagged view;
+//   - internal/experiments: the E1–E7, E5b, E5c and A1 experiments whose
+//     tables EXPERIMENTS.md records;
 //   - cmd/ontoaudit and cmd/benchrunner: the command-line front ends
-//     (ontoaudit -query evaluates BGPs over an annotation store);
+//     (ontoaudit -query evaluates BGPs over an annotation store;
+//     -materialize answers them from a forward-chained materialization);
 //   - examples/: five runnable walkthroughs of the paper's own examples.
 //
 // The benchmarks in bench_test.go regenerate one experiment per table and

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/reason"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// E5cParams controls the materialized-retrieval experiment.
+type E5cParams struct {
+	Seed       int64
+	Classes    int
+	MaxParents int
+	// Scales is the series of asserted type-annotation counts to measure at.
+	Scales []int
+	// QueryClasses is how many classes are timed per scale (evenly spaced
+	// over the sorted class list, so shallow and deep classes both appear).
+	QueryClasses int
+	// Repeats is how many times each query is run; the table reports the
+	// mean.
+	Repeats int
+}
+
+// DefaultE5cParams returns the parameters recorded in EXPERIMENTS.md.
+func DefaultE5cParams() E5cParams {
+	return E5cParams{
+		Seed:         9,
+		Classes:      120,
+		MaxParents:   2,
+		Scales:       []int{100_000, 1_000_000},
+		QueryClasses: 40,
+		Repeats:      5,
+	}
+}
+
+// E5c measures what materialization buys at serving time: the same E5-style
+// class retrieval — stream the class's distinct instances — answered (a) by
+// query-time ontology expansion, the BGP {?x type class} rewritten through
+// the ontology index's subsumees with id-level dedup (ProjectFunc), and (b)
+// against a forward-chained materialization, where the entailed type triples
+// already sit in the POS indexes and retrieval is a plain index-set read
+// (reason.Reasoner.InstancesFunc). The one-off cost of materializing (wall
+// time and inferred-triple volume) is reported next to the per-query payoff.
+// Like A1, the µs columns report measured wall time and vary run to run; the
+// instance counts and triple counts are deterministic.
+func E5c(p E5cParams) *Table {
+	t := &Table{
+		ID:      "E5c",
+		Title:   "materialized vs query-time-expanded class retrieval",
+		Columns: []string{"triples", "classes", "inferred", "materialize ms", "expanded µs/query", "materialized µs/query", "speedup", "instances/query"},
+	}
+	for _, scale := range p.Scales {
+		rng := rand.New(rand.NewSource(p.Seed))
+		tb := workload.RandomHierarchyTBox(rng, workload.HierarchyParams{Classes: p.Classes, MaxParents: p.MaxParents})
+		oi, err := store.NewOntologyIndex(tb)
+		if err != nil {
+			panic(err)
+		}
+		classes := tb.DefinedNames()
+		sort.Strings(classes)
+
+		// The asserted corpus: scale type annotations round-robin over the
+		// classes, plus the hierarchy itself as subClassOf triples.
+		base := store.New()
+		batch := make([]store.Triple, 0, scale)
+		for i := 0; i < scale; i++ {
+			class := classes[i%len(classes)]
+			batch = append(batch, store.Triple{
+				Subject:   fmt.Sprintf("%s/item-%d", class, i),
+				Predicate: store.TypePredicate,
+				Object:    class,
+			})
+		}
+		if _, err := base.AddBatch(batch); err != nil {
+			panic(err)
+		}
+		if _, err := base.AddBatch(reason.OntologyTriples(oi)); err != nil {
+			panic(err)
+		}
+
+		matStart := time.Now()
+		r, err := reason.Materialize(base, reason.RDFSRules())
+		if err != nil {
+			panic(err)
+		}
+		matMs := float64(time.Since(matStart).Microseconds()) / 1000
+
+		queried := sampleClasses(classes, p.QueryClasses)
+		expandedUs, n1 := timeRetrieval(p.Repeats, queried, func(class string) int {
+			count := 0
+			bgp := query.BGP{query.Pat(query.Var("x"), query.Lit(store.TypePredicate), query.Lit(class))}
+			err := query.Eval(base, bgp, query.Expand(oi)).ProjectFunc("x", func(string) bool {
+				count++
+				return true
+			})
+			if err != nil {
+				panic(err)
+			}
+			return count
+		})
+		materializedUs, n2 := timeRetrieval(p.Repeats, queried, func(class string) int {
+			count := 0
+			r.InstancesFunc(class, func(string) bool {
+				count++
+				return true
+			})
+			return count
+		})
+		if n1 != n2 {
+			panic(fmt.Sprintf("E5c: expanded retrieval returned %d instances, materialized %d; the modes must agree", n1, n2))
+		}
+		t.AddRow(scale, len(classes), r.InferredCount(), matMs,
+			expandedUs, materializedUs, expandedUs/materializedUs,
+			float64(n1)/float64(len(queried)*p.Repeats))
+	}
+	return t
+}
+
+// sampleClasses picks up to n classes evenly spaced over the sorted list.
+func sampleClasses(classes []string, n int) []string {
+	if n <= 0 || n >= len(classes) {
+		return classes
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, classes[i*len(classes)/n])
+	}
+	return out
+}
+
+// timeRetrieval runs the retrieval over every queried class repeats times,
+// returning the mean µs per query and the total instances retrieved.
+func timeRetrieval(repeats int, classes []string, retrieve func(string) int) (float64, int) {
+	total := 0
+	start := time.Now()
+	for rep := 0; rep < repeats; rep++ {
+		for _, class := range classes {
+			total += retrieve(class)
+		}
+	}
+	elapsed := time.Since(start)
+	queries := repeats * len(classes)
+	return float64(elapsed.Microseconds()) / float64(queries), total
+}

@@ -41,8 +41,8 @@ func TestTableBasics(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
-		t.Fatalf("All() = %d experiments, want 9", len(all))
+	if len(all) != 10 {
+		t.Fatalf("All() = %d experiments, want 10", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -51,7 +51,7 @@ func TestAllAndByID(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "A1"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E5b", "E5c", "E6", "E7", "A1"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing from All()", id)
 		}
@@ -241,6 +241,36 @@ func TestE5bShape(t *testing.T) {
 	for row := range tbl.Rows {
 		if parse(t, tbl, row, "usage-tracking F1") != 1 {
 			t.Errorf("usage-tracking F1 at row %d should be 1", row)
+		}
+	}
+}
+
+func TestE5cShape(t *testing.T) {
+	p := DefaultE5cParams()
+	p.Classes = 20
+	p.Scales = []int{2_000, 5_000}
+	p.QueryClasses = 10
+	p.Repeats = 2
+	tbl := E5c(p)
+	if len(tbl.Rows) != len(p.Scales) {
+		t.Fatalf("E5c rows = %d, want %d", len(tbl.Rows), len(p.Scales))
+	}
+	for row := range tbl.Rows {
+		// Materialization must actually infer something: the hierarchy
+		// guarantees non-root classes have superclasses to propagate into.
+		if inferred := parse(t, tbl, row, "inferred"); inferred <= 0 {
+			t.Errorf("row %d: nothing inferred", row)
+		}
+		// Both retrieval modes returned the same answers (E5c panics on
+		// disagreement), and both were actually timed.
+		if us := parse(t, tbl, row, "expanded µs/query"); us < 0 {
+			t.Errorf("row %d: negative expanded time", row)
+		}
+		if us := parse(t, tbl, row, "materialized µs/query"); us < 0 {
+			t.Errorf("row %d: negative materialized time", row)
+		}
+		if n := parse(t, tbl, row, "instances/query"); n <= 0 {
+			t.Errorf("row %d: queries retrieved nothing", row)
 		}
 	}
 }

@@ -106,6 +106,7 @@ func All() []Experiment {
 		{ID: "E4", Description: "atomistic vs field-relative translation loss vs divergence", Run: func() *Table { return E4(DefaultE4Params()) }},
 		{ID: "E5", Description: "ontology-mediated retrieval quality vs annotation drift", Run: func() *Table { return E5(DefaultE5Params()) }},
 		{ID: "E5b", Description: "a fixed ontonomy against evolving usage categories (the limiting-factor reading of §4)", Run: func() *Table { return E5b(DefaultE5bParams()) }},
+		{ID: "E5c", Description: "materialized vs query-time-expanded retrieval (forward-chaining entailment as a serving layer)", Run: func() *Table { return E5c(DefaultE5cParams()) }},
 		{ID: "E6", Description: "interpretation accuracy with and without reader context", Run: func() *Table { return E6(DefaultE6Params()) }},
 		{ID: "E7", Description: "fidelity along a chain of readers: situated vs policed readings", Run: func() *Table { return E7(DefaultE7Params()) }},
 		{ID: "A1", Description: "ablation: subsumption cost, tree vs DAG, structural vs tableau", Run: func() *Table { return A1(DefaultA1Params()) }},

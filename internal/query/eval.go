@@ -8,9 +8,31 @@ import (
 	"repro/internal/store"
 )
 
+// Source is the id-level store surface Eval evaluates over: the hooks of
+// internal/store's ids.go, satisfied by both *store.Store (a single store)
+// and *store.View (the asserted∪inferred union of a materialized store). The
+// evaluator and planner only ever touch these five methods, so anything that
+// exposes dictionary-encoded pattern reads with cardinality statistics can
+// sit under a BGP.
+type Source interface {
+	// SymbolID returns the dictionary id of a name; ok is false for names
+	// never interned (a pattern bound to one matches nothing).
+	SymbolID(name string) (store.SymbolID, bool)
+	// QueryIDFunc streams every triple matching the id pattern to yield,
+	// stopping early when yield returns false.
+	QueryIDFunc(p store.IDPattern, yield func(store.IDTriple) bool)
+	// CountID returns the number of triples matching the id pattern.
+	CountID(p store.IDPattern) int
+	// StatsID returns cardinality statistics for the id pattern.
+	StatsID(p store.IDPattern) store.IDStats
+	// NewResolver returns a resolver from ids back to names.
+	NewResolver() store.Resolver
+}
+
 // config collects Eval's options.
 type config struct {
-	oi *store.OntologyIndex
+	oi           *store.OntologyIndex
+	materialized bool
 }
 
 // Option configures one Eval call.
@@ -25,6 +47,18 @@ type Option func(*config)
 // annotations literally.
 func Expand(oi *store.OntologyIndex) Option {
 	return func(c *config) { c.oi = oi }
+}
+
+// Materialized marks the source as a materialized store — one whose
+// entailments a reasoner (repro/internal/reason) has already derived into the
+// triples themselves — and therefore suppresses Expand rewriting: a type
+// pattern is evaluated literally, because the subsumee annotations Expand
+// would union over are already present as inferred type triples. It takes
+// precedence over Expand, so callers can pass both unconditionally and let
+// the presence of a reasoner decide (reason's equivalence tests prove the two
+// modes return identical answers on the E5 corpus).
+func Materialized() Option {
+	return func(c *config) { c.materialized = true }
 }
 
 // comp is one compiled pattern component: a literal resolved to its
@@ -62,7 +96,7 @@ type level struct {
 // may be reflected in some probes and not others (the solution set is only
 // guaranteed consistent against a quiescent store).
 type Solutions struct {
-	s       *store.Store
+	src     Source
 	res     store.Resolver
 	vars    []string
 	levels  []level
@@ -74,10 +108,11 @@ type Solutions struct {
 	started bool
 }
 
-// Eval plans and evaluates a BGP over the store, returning a Solutions
+// Eval plans and evaluates a BGP over a Source — a *store.Store, or a
+// *store.View when querying a materialized union — returning a Solutions
 // iterator. Planning is selectivity-ordered: each pattern's cardinality and
 // per-component distinct widths with only its literals bound are read off
-// the store's indexes (Store.StatsID), and the join order minimizing the
+// the source's indexes (StatsID), and the join order minimizing the
 // estimated total work under a cardinality-propagation model is chosen —
 // exhaustively for BGPs of up to 6 patterns, greedily cheapest-next-probe
 // beyond — so evaluation starts from the most selective pattern and follows
@@ -90,12 +125,15 @@ type Solutions struct {
 // A BGP that mentions an empty-named variable or an empty literal is
 // reported through Err; a literal the store has never seen simply yields no
 // solutions. An empty BGP yields exactly one empty solution.
-func Eval(s *store.Store, bgp BGP, opts ...Option) *Solutions {
+func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sol := &Solutions{s: s, res: s.NewResolver(), vars: bgp.Vars()}
+	if cfg.materialized {
+		cfg.oi = nil
+	}
+	sol := &Solutions{src: src, res: src.NewResolver(), vars: bgp.Vars()}
 	varIdx := make(map[string]int, len(sol.vars))
 	for i, name := range sol.vars {
 		varIdx[name] = i
@@ -128,7 +166,7 @@ func Eval(s *store.Store, bgp BGP, opts ...Option) *Solutions {
 				// below; the zero comp is never consulted.
 				continue
 			}
-			id, ok := s.SymbolID(t.Value)
+			id, ok := src.SymbolID(t.Value)
 			if !ok {
 				unsat = true
 			}
@@ -136,7 +174,7 @@ func Eval(s *store.Store, bgp BGP, opts ...Option) *Solutions {
 		}
 		if expanded {
 			for _, sub := range cfg.oi.Subsumees(p.Object.Value) {
-				if id, ok := s.SymbolID(sub); ok {
+				if id, ok := src.SymbolID(sub); ok {
 					lv.expand = append(lv.expand, id)
 				}
 			}
@@ -150,7 +188,7 @@ func Eval(s *store.Store, bgp BGP, opts ...Option) *Solutions {
 		sol.done = true
 		return sol
 	}
-	sol.levels = plan(s, levels, len(sol.vars))
+	sol.levels = plan(src, levels, len(sol.vars))
 	for i := range sol.levels {
 		lv := &sol.levels[i]
 		lv.yield = func(t store.IDTriple) bool {
@@ -171,7 +209,7 @@ type pstats struct {
 }
 
 // levelStats reads the pattern's statistics off the store's indexes.
-func levelStats(s *store.Store, lv *level) pstats {
+func levelStats(src Source, lv *level) pstats {
 	var ip store.IDPattern
 	if !lv.comps[0].isVar {
 		ip.S, ip.BoundS = lv.comps[0].id, true
@@ -185,7 +223,7 @@ func levelStats(s *store.Store, lv *level) pstats {
 		st.distinct[1] = 1
 		for _, oid := range lv.expand {
 			ip.O = oid
-			is := s.StatsID(ip)
+			is := src.StatsID(ip)
 			st.count += float64(is.Count)
 			st.distinct[0] += float64(is.DistinctS)
 			st.distinct[2]++
@@ -195,7 +233,7 @@ func levelStats(s *store.Store, lv *level) pstats {
 	if !lv.comps[2].isVar {
 		ip.O, ip.BoundO = lv.comps[2].id, true
 	}
-	is := s.StatsID(ip)
+	is := src.StatsID(ip)
 	return pstats{
 		count:    float64(is.Count),
 		distinct: [3]float64{float64(is.DistinctS), float64(is.DistinctP), float64(is.DistinctO)},
@@ -253,14 +291,14 @@ const maxExhaustive = 6
 // follows join-bound variables through their most selective probe direction;
 // disconnected pattern groups end up cheapest-first, keeping the unavoidable
 // cartesian product as small as possible.
-func plan(s *store.Store, levels []level, nvars int) []level {
+func plan(src Source, levels []level, nvars int) []level {
 	n := len(levels)
 	if n <= 1 {
 		return levels
 	}
 	stats := make([]pstats, n)
 	for i := range levels {
-		stats[i] = levelStats(s, &levels[i])
+		stats[i] = levelStats(src, &levels[i])
 	}
 	bound := make([]bool, nvars)
 	var best []int
@@ -342,7 +380,7 @@ func (sol *Solutions) probe(d int) {
 		ip.BoundO = true
 		for _, oid := range lv.expand {
 			ip.O = oid
-			sol.s.QueryIDFunc(ip, lv.yield)
+			sol.src.QueryIDFunc(ip, lv.yield)
 		}
 		return
 	}
@@ -353,7 +391,7 @@ func (sol *Solutions) probe(d int) {
 	} else {
 		ip.O, ip.BoundO = c.id, true
 	}
-	sol.s.QueryIDFunc(ip, lv.yield)
+	sol.src.QueryIDFunc(ip, lv.yield)
 }
 
 // tryBind applies the candidate at lv.pos to the binding state, recording
@@ -496,14 +534,16 @@ func (sol *Solutions) All() ([]Binding, error) {
 // index's subsumees when oi is non-nil, literal annotations only when it is
 // nil. It is the one-pattern BGP {?x type class} projected to ?x, and the
 // query-layer replacement for the deprecated store.InstancesOf and
-// store.InstancesOfExpanded helpers.
-func Instances(s *store.Store, oi *store.OntologyIndex, class string) ([]string, error) {
+// store.InstancesOfExpanded helpers. Over a materialized view pass a nil oi
+// (or use reason.Reasoner.Instances, the allocation-light direct form): the
+// inferred type triples already carry the expansion.
+func Instances(src Source, oi *store.OntologyIndex, class string) ([]string, error) {
 	bgp := BGP{Pat(Var("x"), Lit(store.TypePredicate), Lit(class))}
 	var opts []Option
 	if oi != nil {
 		opts = append(opts, Expand(oi))
 	}
-	return Eval(s, bgp, opts...).Project("x")
+	return Eval(src, bgp, opts...).Project("x")
 }
 
 // Project drains the iterator and returns the distinct values the named
@@ -511,6 +551,26 @@ func Instances(s *store.Store, oi *store.OntologyIndex, class string) ([]string,
 // retrieval experiment consumes. Deduplication happens at the dictionary-id
 // level; only the distinct ids are resolved to strings.
 func (sol *Solutions) Project(name string) ([]string, error) {
+	var out []string
+	err := sol.ProjectFunc(name, func(v string) bool {
+		out = append(out, v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ProjectFunc drains the iterator, streaming the distinct values the named
+// variable takes across the remaining solutions to yield and stopping early
+// when yield returns false. It is Project without the materialized slice and
+// the sort: deduplication still happens at the dictionary-id level, the
+// enumeration order is unspecified, and only the distinct ids are resolved
+// to strings — the serving-shaped form of class retrieval the E5c experiment
+// times against materialized reads.
+func (sol *Solutions) ProjectFunc(name string, yield func(string) bool) error {
 	idx := -1
 	for i, v := range sol.vars {
 		if v == name {
@@ -522,21 +582,18 @@ func (sol *Solutions) Project(name string) ([]string, error) {
 		if sol.err == nil {
 			sol.err = fmt.Errorf("query: projection variable ?%s does not occur in the pattern", name)
 		}
-		return nil, sol.err
+		return sol.err
 	}
 	seen := make(map[store.SymbolID]struct{})
-	var out []string
 	for sol.Next() {
 		id := sol.bind[idx]
 		if _, ok := seen[id]; ok {
 			continue
 		}
 		seen[id] = struct{}{}
-		out = append(out, sol.res.Name(id))
+		if !yield(sol.res.Name(id)) {
+			break
+		}
 	}
-	if sol.err != nil {
-		return nil, sol.err
-	}
-	sort.Strings(out)
-	return out, nil
+	return sol.err
 }

@@ -1,0 +1,332 @@
+package reason
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// This file compiles rules to the dictionary-id level and implements the
+// joint matcher the fixpoint loops drive. A compiled rule's literals are
+// interned ids (head literals are interned eagerly, so a rule can conclude
+// symbols no asserted triple mentions yet), its variables are indexes into a
+// per-rule binding table, and every probe of a body atom is an IDPattern
+// answered by the view's permutation indexes — the same id-level machinery
+// the query layer joins with, specialized for the semi-naive shape "one atom
+// ranges over the delta, the rest probe the full materialization".
+
+// cterm is one compiled pattern component: an interned literal or a
+// variable-table index.
+type cterm struct {
+	isVar bool
+	v     int            // variable index, when isVar
+	id    store.SymbolID // literal id, when !isVar
+}
+
+// catom is one compiled triple pattern.
+type catom struct {
+	t [3]cterm
+}
+
+// crule is one compiled rule: its head, its body, the number of distinct
+// variables, and the precomputed evaluation orders — one per choice of delta
+// atom (delta atom first, then greedily most-bound-next), plus the order used
+// when rederiving with the head's variables pre-bound.
+type crule struct {
+	name       string
+	head       catom
+	body       []catom
+	nvars      int
+	deltaOrder [][]int // deltaOrder[i]: evaluation order with atom i first
+	headOrder  []int   // evaluation order with head variables pre-bound
+}
+
+// compileTerm compiles one term, interning literals and assigning variable
+// indexes through vars.
+func compileTerm(t query.Term, vars map[string]int, base *store.Store) (cterm, error) {
+	if t.IsVar {
+		idx, ok := vars[t.Value]
+		if !ok {
+			idx = len(vars)
+			vars[t.Value] = idx
+		}
+		return cterm{isVar: true, v: idx}, nil
+	}
+	id, err := base.Intern(t.Value)
+	if err != nil {
+		return cterm{}, err
+	}
+	return cterm{id: id}, nil
+}
+
+// compileRules validates and compiles a rule set against the base store's
+// dictionary.
+func compileRules(base *store.Store, rules []Rule) ([]crule, error) {
+	if err := ValidateRules(rules); err != nil {
+		return nil, err
+	}
+	out := make([]crule, 0, len(rules))
+	for _, r := range rules {
+		vars := map[string]int{}
+		cr := crule{name: r.Name}
+		for _, p := range r.Body {
+			var a catom
+			var err error
+			for i, t := range [3]query.Term{p.Subject, p.Predicate, p.Object} {
+				if a.t[i], err = compileTerm(t, vars, base); err != nil {
+					return nil, fmt.Errorf("reason: compiling rule %q: %w", r.Name, err)
+				}
+			}
+			cr.body = append(cr.body, a)
+		}
+		var err error
+		for i, t := range [3]query.Term{r.Head.Subject, r.Head.Predicate, r.Head.Object} {
+			if cr.head.t[i], err = compileTerm(t, vars, base); err != nil {
+				return nil, fmt.Errorf("reason: compiling rule %q: %w", r.Name, err)
+			}
+		}
+		cr.nvars = len(vars)
+		cr.deltaOrder = make([][]int, len(cr.body))
+		for i := range cr.body {
+			cr.deltaOrder[i] = cr.orderFrom([]int{i}, cr.varsOf(i, nil))
+		}
+		headVars := map[int]bool{}
+		for _, t := range cr.head.t {
+			if t.isVar {
+				headVars[t.v] = true
+			}
+		}
+		cr.headOrder = cr.orderFrom(nil, headVars)
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+// varsOf accumulates atom i's variable indexes into set (allocating it when
+// nil) and returns it.
+func (r *crule) varsOf(i int, set map[int]bool) map[int]bool {
+	if set == nil {
+		set = map[int]bool{}
+	}
+	for _, t := range r.body[i].t {
+		if t.isVar {
+			set[t.v] = true
+		}
+	}
+	return set
+}
+
+// orderFrom completes an evaluation order: starting from the given prefix of
+// atom indexes and the variable set they bind, it repeatedly appends the
+// remaining atom with the most bound components (ties to the earlier atom),
+// the static analogue of the query planner's follow-the-join heuristic.
+func (r *crule) orderFrom(prefix []int, bound map[int]bool) []int {
+	order := append([]int(nil), prefix...)
+	used := make([]bool, len(r.body))
+	for _, i := range prefix {
+		used[i] = true
+	}
+	if bound == nil {
+		bound = map[int]bool{}
+	}
+	for len(order) < len(r.body) {
+		best, bestScore := -1, -1
+		for i := range r.body {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range r.body[i].t {
+				if !t.isVar || bound[t.v] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		bound = r.varsOf(best, bound)
+	}
+	return order
+}
+
+// binding is the matcher's variable state for one rule evaluation, plus the
+// per-depth scratch buffers the join reuses across probes: bufs[d] holds the
+// matches of the probe at recursion depth d (probe results are buffered and
+// the shard read-lock released before the join descends — see matchRest) and
+// locals[d] the variable indexes that depth's current candidate bound.
+type binding struct {
+	vals   []store.SymbolID
+	bound  []bool
+	bufs   [][]store.IDTriple
+	locals [][]int
+}
+
+func newBinding(r *crule) *binding {
+	return &binding{
+		vals:   make([]store.SymbolID, r.nvars),
+		bound:  make([]bool, r.nvars),
+		bufs:   make([][]store.IDTriple, len(r.body)),
+		locals: make([][]int, len(r.body)+1),
+	}
+}
+
+func (b *binding) reset() {
+	for i := range b.bound {
+		b.bound[i] = false
+	}
+}
+
+// unify binds the atom's variables against a concrete triple, recording the
+// newly bound variable indexes in local for rollback. It reports false — with
+// the binding unchanged — when a literal or an already-bound variable
+// disagrees with the triple.
+func (b *binding) unify(a catom, t store.IDTriple, local *[]int) bool {
+	vals := [3]store.SymbolID{t.S, t.P, t.O}
+	n := len(*local)
+	for i, ct := range a.t {
+		if !ct.isVar {
+			if ct.id != vals[i] {
+				b.rollback(local, n)
+				return false
+			}
+			continue
+		}
+		if b.bound[ct.v] {
+			if b.vals[ct.v] != vals[i] {
+				b.rollback(local, n)
+				return false
+			}
+			continue
+		}
+		b.vals[ct.v] = vals[i]
+		b.bound[ct.v] = true
+		*local = append(*local, ct.v)
+	}
+	return true
+}
+
+// rollback unbinds the variables recorded in local past position n.
+func (b *binding) rollback(local *[]int, n int) {
+	for _, v := range (*local)[n:] {
+		b.bound[v] = false
+	}
+	*local = (*local)[:n]
+}
+
+// pattern builds the id pattern of an atom under the current binding: literals
+// and bound variables become bound components, unbound variables wildcards.
+func (b *binding) pattern(a catom) store.IDPattern {
+	var ip store.IDPattern
+	set := func(ct cterm, id *store.SymbolID, flag *bool) {
+		if !ct.isVar {
+			*id, *flag = ct.id, true
+		} else if b.bound[ct.v] {
+			*id, *flag = b.vals[ct.v], true
+		}
+	}
+	set(a.t[0], &ip.S, &ip.BoundS)
+	set(a.t[1], &ip.P, &ip.BoundP)
+	set(a.t[2], &ip.O, &ip.BoundO)
+	return ip
+}
+
+// head instantiates the rule's head under a complete binding (heads are
+// range-restricted, so every head variable is bound by the time this runs).
+func (b *binding) head(r *crule) store.IDTriple {
+	var out [3]store.SymbolID
+	for i, ct := range r.head.t {
+		if ct.isVar {
+			out[i] = b.vals[ct.v]
+		} else {
+			out[i] = ct.id
+		}
+	}
+	return store.IDTriple{S: out[0], P: out[1], O: out[2]}
+}
+
+// facts is the read surface the matcher joins against — the engine passes the
+// materialized view, so body atoms see asserted and inferred triples alike.
+type facts interface {
+	QueryIDFunc(p store.IDPattern, yield func(store.IDTriple) bool)
+}
+
+// matchDelta enumerates every instantiation of the rule whose atom di matches
+// a triple of delta and whose remaining atoms match db, emitting each
+// instantiated head. emit returns false to stop the enumeration; matchDelta
+// reports whether it ran to completion. This is one term of the semi-naive
+// expansion: restricting one atom to the delta makes a round's work
+// proportional to the new facts, and iterating di over all body positions
+// covers every derivation that uses at least one new fact.
+func matchDelta(r *crule, di int, delta []store.IDTriple, db facts, b *binding, emit func(store.IDTriple) bool) bool {
+	b.reset()
+	order := r.deltaOrder[di]
+	local := b.locals[len(order)][:0]
+	for _, t := range delta {
+		if !b.unify(r.body[di], t, &local) {
+			continue
+		}
+		if !matchRest(r, order, 1, db, b, emit) {
+			b.locals[len(order)] = local
+			return false
+		}
+		b.rollback(&local, 0)
+	}
+	b.locals[len(order)] = local
+	return true
+}
+
+// matchRest evaluates the body atoms from position pos of the order onward.
+// Each probe buffers its matches (b.bufs[pos], reused across probes) and
+// returns from the store's QueryIDFunc — releasing its shard read-lock —
+// before the join descends to the next atom. That discipline is what makes
+// the matcher safe to run concurrently with shard writers: probing the next
+// atom from inside the previous probe's yield would recursively read-lock
+// the shard family and could deadlock behind a queued writer (the query
+// layer's evaluator buffers per level for the same reason).
+func matchRest(r *crule, order []int, pos int, db facts, b *binding, emit func(store.IDTriple) bool) bool {
+	if pos == len(order) {
+		return emit(b.head(r))
+	}
+	a := r.body[order[pos]]
+	buf := b.bufs[pos][:0]
+	db.QueryIDFunc(b.pattern(a), func(t store.IDTriple) bool {
+		buf = append(buf, t)
+		return true
+	})
+	b.bufs[pos] = buf // keep the grown capacity for the next probe
+	local := b.locals[pos][:0]
+	for _, t := range buf {
+		if !b.unify(a, t, &local) {
+			continue
+		}
+		if !matchRest(r, order, pos+1, db, b, emit) {
+			b.locals[pos] = local
+			return false
+		}
+		b.rollback(&local, 0)
+	}
+	b.locals[pos] = local
+	return true
+}
+
+// derives reports whether the rule derives the given triple in one step from
+// db: the head is unified with the triple and the whole body is evaluated
+// under the resulting partial binding. It is the rederivation test of the
+// delete-and-rederive maintenance pass.
+func derives(r *crule, t store.IDTriple, db facts, b *binding) bool {
+	b.reset()
+	var local []int
+	if !b.unify(r.head, t, &local) {
+		return false
+	}
+	found := false
+	matchRest(r, r.headOrder, 0, db, b, func(store.IDTriple) bool {
+		found = true
+		return false
+	})
+	return found
+}

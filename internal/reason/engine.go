@@ -1,0 +1,403 @@
+package reason
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Stats counts what the engine has done since Materialize: fixpoint rounds,
+// triples derived into the overlay, and the overdelete/rederive traffic of
+// incremental maintenance. Derived counts insertions into the overlay over
+// the reasoner's whole life, so after deletions it can exceed InferredCount.
+type Stats struct {
+	// Rounds is the number of semi-naive rounds run (initial materialization
+	// plus every incremental propagation).
+	Rounds int
+	// Derived is the number of triples ever added to the inferred overlay.
+	Derived int
+	// Overdeleted is the number of inferred triples provisionally removed by
+	// delete-and-rederive passes.
+	Overdeleted int
+	// Rederived is the number of overdeleted triples that survived — they
+	// had a derivation not involving the removed triples and were put back.
+	Rederived int
+}
+
+// Reasoner owns a materialization: an asserted base store, an overlay of
+// inferred triples sharing the base's dictionary, and the compiled rule set
+// that connects them. Create one with Materialize; afterwards route writes
+// through the reasoner's Add/AddBatch/Remove so the overlay is maintained
+// incrementally, and read through View (or the Query/Instances conveniences).
+//
+// Writes are serialized by an internal mutex and maintain the invariant that
+// the overlay holds exactly the rule-derivable triples not asserted in the
+// base (asserted and inferred never overlap, so View reads never
+// double-count). Reads are safe at any time — the underlying stores are
+// concurrency-safe — but a reader overlapping a write may observe a
+// mid-maintenance state, exactly as with Store.AddBatch; quiescent views are
+// always exact fixpoints.
+//
+// Writing to the base store directly, bypassing the reasoner, silently
+// invalidates the materialization (the overlay cannot know); call
+// Rematerialize afterwards if that cannot be avoided.
+type Reasoner struct {
+	mu      sync.Mutex
+	base    *store.Store
+	overlay *store.Store
+	view    *store.View
+	rules   []crule
+	source  []Rule
+	stats   Stats
+}
+
+// Materialize compiles the rule set, computes its fixpoint over the base
+// store's current triples by semi-naive evaluation, and returns the
+// maintaining Reasoner. Inferred triples go to a fresh overlay
+// (store.NewOverlay) — the base is never written — and rules are evaluated
+// entirely at the dictionary-id level. Rule sets are validated (see
+// Rule.Validate); range restriction makes every fixpoint finite, so
+// Materialize always terminates.
+func Materialize(base *store.Store, rules []Rule) (*Reasoner, error) {
+	if base == nil {
+		return nil, fmt.Errorf("reason: Materialize needs a base store")
+	}
+	compiled, err := compileRules(base, rules)
+	if err != nil {
+		return nil, err
+	}
+	overlay := base.NewOverlay()
+	// The reasoner maintains base∩overlay = ∅ (inferred triples are exactly
+	// the derivable non-asserted ones), which is the disjoint view's promise
+	// and buys O(1) counts and dedup-free iteration.
+	view, err := store.NewDisjointView(base, overlay)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reasoner{
+		base:    base,
+		overlay: overlay,
+		view:    view,
+		rules:   compiled,
+		source:  append([]Rule(nil), rules...),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.propagate(r.baseDelta())
+	return r, nil
+}
+
+// baseDelta collects every asserted triple as the seed delta of a full
+// materialization.
+func (r *Reasoner) baseDelta() []store.IDTriple {
+	delta := make([]store.IDTriple, 0, r.base.Len())
+	r.base.QueryIDFunc(store.IDPattern{}, func(t store.IDTriple) bool {
+		delta = append(delta, t)
+		return true
+	})
+	return delta
+}
+
+// Rematerialize discards the overlay and recomputes the fixpoint from the
+// base store's current triples — the escape hatch after direct writes to the
+// base behind the reasoner's back. Incremental statistics are kept.
+func (r *Reasoner) Rematerialize() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Collect-then-remove: RemoveID must not run under the iteration's read
+	// lock.
+	for _, t := range r.overlayTriples() {
+		r.overlay.RemoveID(t)
+	}
+	r.propagate(r.baseDelta())
+}
+
+// overlayTriples materializes the overlay's id triples.
+func (r *Reasoner) overlayTriples() []store.IDTriple {
+	out := make([]store.IDTriple, 0, r.overlay.Len())
+	r.overlay.QueryIDFunc(store.IDPattern{}, func(t store.IDTriple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// View returns the asserted∪inferred union the query layer evaluates over.
+func (r *Reasoner) View() *store.View { return r.view }
+
+// Base returns the asserted base store. Route writes through the Reasoner,
+// not the base, or the materialization goes stale.
+func (r *Reasoner) Base() *store.Store { return r.base }
+
+// Overlay returns the inferred overlay store. Treat it as read-only.
+func (r *Reasoner) Overlay() *store.Store { return r.overlay }
+
+// Rules returns the rule set the reasoner was built with.
+func (r *Reasoner) Rules() []Rule { return append([]Rule(nil), r.source...) }
+
+// InferredCount returns the number of currently inferred triples (the
+// overlay's size).
+func (r *Reasoner) InferredCount() int { return r.overlay.Len() }
+
+// Stats returns cumulative engine statistics.
+func (r *Reasoner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Provenance reports whether the triple is asserted, inferred, or absent
+// (ok false).
+func (r *Reasoner) Provenance(t store.Triple) (store.Provenance, bool) {
+	return r.view.Provenance(t)
+}
+
+// Query evaluates a BGP over the materialized view in Materialized mode: no
+// Expand rewriting, entailed triples answered straight off the indexes.
+func (r *Reasoner) Query(bgp query.BGP) *query.Solutions {
+	return query.Eval(r.view, bgp, query.Materialized())
+}
+
+// InstancesFunc streams the distinct subjects annotated with the class in
+// the materialized view, stopping early when yield returns false — the
+// E5-style class retrieval as a raw serving read: one POS index set per view
+// member, no join machinery, no ontology index, no dedup map and no
+// per-subject allocation. It leans on the reasoner's invariant that asserted
+// and inferred triples never overlap (each member's subject set is already
+// distinct, and a subject cannot hold the same annotation in both), which is
+// what lets it skip the generic View.ForEachSubject duplicate check. The
+// enumeration order is unspecified. This is the read path the
+// materialization exists for; EXPERIMENTS.md's E5c table and the root
+// BenchmarkMaterializedVsExpandedQuery measure it against the query-time
+// Expand rewrite.
+func (r *Reasoner) InstancesFunc(class string, yield func(string) bool) {
+	stopped := false
+	r.base.ForEachSubject(store.TypePredicate, class, func(s string) bool {
+		if !yield(s) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	r.overlay.ForEachSubject(store.TypePredicate, class, yield)
+}
+
+// Instances returns the sorted distinct subjects annotated with the class in
+// the materialized view: InstancesFunc materialized and sorted, the form the
+// equivalence tests compare against query.Instances.
+func (r *Reasoner) Instances(class string) []string {
+	var out []string
+	r.InstancesFunc(class, func(s string) bool {
+		out = append(out, s)
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Add asserts a triple into the base and propagates its consequences into
+// the overlay, reporting whether the triple was newly asserted. Adding a
+// triple that was so far inferred simply flips its provenance (the overlay
+// copy is retired; the materialized view is unchanged, so nothing needs to
+// propagate). Propagation is semi-naive from the one-triple delta: work is
+// proportional to the new consequences, not to the store.
+func (r *Reasoner) Add(t store.Triple) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	added, err := r.base.Add(t)
+	if err != nil || !added {
+		return added, err
+	}
+	idt, ok := r.encode(t)
+	if !ok {
+		// Add interned the components, so this cannot happen.
+		panic("reason: components of an added triple missing from the dictionary")
+	}
+	if r.overlay.RemoveID(idt) {
+		// Previously inferred: the view already contained it and every
+		// consequence is already materialized.
+		return true, nil
+	}
+	r.propagate([]store.IDTriple{idt})
+	return true, nil
+}
+
+// AddBatch asserts a batch through the base store's batch path and
+// propagates the consequences of the genuinely new triples in one semi-naive
+// run, returning how many were newly asserted. Validation is all-or-nothing,
+// exactly as store.AddBatch.
+func (r *Reasoner) AddBatch(ts []store.Triple) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fresh := make([]store.Triple, 0, len(ts))
+	seen := map[store.Triple]bool{}
+	for _, t := range ts {
+		if !seen[t] && !r.base.Contains(t) {
+			seen[t] = true
+			fresh = append(fresh, t)
+		}
+	}
+	added, err := r.base.AddBatch(ts)
+	if err != nil {
+		return added, err
+	}
+	delta := make([]store.IDTriple, 0, len(fresh))
+	for _, t := range fresh {
+		idt, ok := r.encode(t)
+		if !ok {
+			panic("reason: components of a batched triple missing from the dictionary")
+		}
+		if r.overlay.RemoveID(idt) {
+			continue // provenance flip: consequences already materialized
+		}
+		delta = append(delta, idt)
+	}
+	r.propagate(delta)
+	return added, nil
+}
+
+// Remove retracts an asserted triple and incrementally maintains the overlay
+// by delete-and-rederive, reporting whether the triple was asserted. Inferred
+// triples cannot be removed directly — they would immediately be rederived;
+// retract the asserted triples supporting them instead.
+//
+// Maintenance is the classic DRed two-phase pass, never a recomputation:
+// first every inferred triple whose derivation may involve the removed one is
+// overdeleted (a semi-naive pass over deletion deltas against the old
+// materialization), then each overdeleted triple that still has a derivation
+// from the surviving facts is put back and its consequences re-propagated.
+func (r *Reasoner) Remove(t store.Triple) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.base.Contains(t) {
+		return false
+	}
+	idt, _ := r.encode(t)
+
+	// Phase 1 — overdelete. The removed triple is still visible (the base
+	// removal happens after), so body atoms evaluate against the old
+	// materialization, as DRed requires. Everything inferred whose
+	// derivation may use a deleted triple is marked.
+	marked := map[store.IDTriple]bool{}
+	var markedList []store.IDTriple
+	delta := []store.IDTriple{idt}
+	b := bindingsFor(r.rules)
+	var heads []store.IDTriple
+	for len(delta) > 0 {
+		heads = heads[:0]
+		for i := range r.rules {
+			rule := &r.rules[i]
+			for di := range rule.body {
+				// Heads are buffered and filtered after the enumeration:
+				// the matcher runs under shard read-locks.
+				matchDelta(rule, di, delta, r.view, b[i], func(h store.IDTriple) bool {
+					heads = append(heads, h)
+					return true
+				})
+			}
+		}
+		var next []store.IDTriple
+		for _, h := range heads {
+			if !marked[h] && r.overlay.ContainsID(h) {
+				marked[h] = true
+				markedList = append(markedList, h)
+				next = append(next, h)
+			}
+		}
+		delta = next
+	}
+
+	r.base.Remove(t)
+	for _, m := range markedList {
+		r.overlay.RemoveID(m)
+	}
+	r.stats.Overdeleted += len(markedList)
+
+	// Phase 2 — rederive. The removed triple itself is a candidate: if the
+	// surviving facts still derive it, it comes back as inferred. Each
+	// candidate with a one-step derivation from the current view is
+	// restored, and the restorations are propagated like insertions, which
+	// re-derives any remaining overdeleted triple that is still entailed.
+	candidates := append(markedList, idt)
+	var restored []store.IDTriple
+	for _, c := range candidates {
+		if r.base.ContainsID(c) || r.overlay.ContainsID(c) {
+			continue
+		}
+		for i := range r.rules {
+			if derives(&r.rules[i], c, r.view, b[i]) {
+				if _, err := r.overlay.AddID(c); err != nil {
+					panic(err) // ids came from this dictionary
+				}
+				restored = append(restored, c)
+				break
+			}
+		}
+	}
+	r.stats.Rederived += len(restored)
+	r.stats.Derived += len(restored)
+	r.propagate(restored)
+	return true
+}
+
+// encode resolves a triple to ids without interning.
+func (r *Reasoner) encode(t store.Triple) (store.IDTriple, bool) {
+	s, okS := r.base.SymbolID(t.Subject)
+	p, okP := r.base.SymbolID(t.Predicate)
+	o, okO := r.base.SymbolID(t.Object)
+	return store.IDTriple{S: s, P: p, O: o}, okS && okP && okO
+}
+
+// bindingsFor allocates one binding table per rule.
+func bindingsFor(rules []crule) []*binding {
+	out := make([]*binding, len(rules))
+	for i := range rules {
+		out[i] = newBinding(&rules[i])
+	}
+	return out
+}
+
+// propagate runs semi-naive rounds from the seed delta until no rule derives
+// anything new: each round restricts one body atom to the previous round's
+// delta (every choice of atom, so no derivation using a new fact is missed)
+// and probes the remaining atoms against the full materialized view, which
+// already includes earlier rounds' conclusions. Derived heads already
+// asserted or inferred are skipped; the rest enter the overlay and the next
+// delta. Heads are buffered during matching and applied only after the
+// enumeration returns — the matcher runs under the stores' shard read-locks,
+// where writing is forbidden. Callers hold r.mu.
+func (r *Reasoner) propagate(delta []store.IDTriple) {
+	b := bindingsFor(r.rules)
+	var heads []store.IDTriple
+	for len(delta) > 0 {
+		r.stats.Rounds++
+		heads = heads[:0]
+		for i := range r.rules {
+			rule := &r.rules[i]
+			for di := range rule.body {
+				matchDelta(rule, di, delta, r.view, b[i], func(h store.IDTriple) bool {
+					heads = append(heads, h)
+					return true
+				})
+			}
+		}
+		var next []store.IDTriple
+		for _, h := range heads {
+			if r.base.ContainsID(h) || r.overlay.ContainsID(h) {
+				continue
+			}
+			if _, err := r.overlay.AddID(h); err != nil {
+				panic(err) // ids came from this dictionary
+			}
+			r.stats.Derived++
+			next = append(next, h)
+		}
+		delta = next
+	}
+}

@@ -1,0 +1,76 @@
+package reason
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// ParseRules reads the textual rule format: one rule per line,
+//
+//	head :- body-pattern . body-pattern . ...
+//
+// where head is a single triple pattern, body patterns are separated by '.',
+// and patterns use the query layer's BGP syntax (three whitespace-separated
+// terms, ?name a variable, anything else a literal). Blank lines and lines
+// starting with '#' are skipped. The RDFS type-propagation rule, for
+// example:
+//
+//	?x type ?super :- ?x type ?sub . ?sub subClassOf ?super
+//
+// Every parsed rule is validated (see Rule.Validate); the format exists for
+// command lines (cmd/ontoaudit -rules) and tests, not as a Datalog front
+// end.
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		headText, bodyText, ok := strings.Cut(line, ":-")
+		if !ok {
+			return nil, fmt.Errorf("reason: line %d: no \":-\" separator in rule %q", lineNo+1, line)
+		}
+		head, err := parsePattern(headText)
+		if err != nil {
+			return nil, fmt.Errorf("reason: line %d: head: %w", lineNo+1, err)
+		}
+		body, err := query.ParseBGP(bodyText)
+		if err != nil {
+			return nil, fmt.Errorf("reason: line %d: body: %w", lineNo+1, err)
+		}
+		r := Rule{Name: fmt.Sprintf("line-%d", lineNo+1), Head: head, Body: body}
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("reason: line %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("reason: no rules in input")
+	}
+	return rules, nil
+}
+
+// parsePattern reads exactly one triple pattern in the BGP term syntax.
+func parsePattern(text string) (query.TriplePattern, error) {
+	bgp, err := query.ParseBGP(text)
+	if err != nil {
+		return query.TriplePattern{}, err
+	}
+	if len(bgp) != 1 {
+		return query.TriplePattern{}, fmt.Errorf("want exactly one pattern, got %d in %q", len(bgp), strings.TrimSpace(text))
+	}
+	return bgp[0], nil
+}
+
+// MustParseRules is ParseRules panicking on error, for statically known rule
+// sets in tests and examples.
+func MustParseRules(text string) []Rule {
+	rules, err := ParseRules(text)
+	if err != nil {
+		panic(err)
+	}
+	return rules
+}

@@ -1,0 +1,81 @@
+package reason
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReasonParseRules(t *testing.T) {
+	rules, err := ParseRules(`
+# the RDFS type-propagation rule, spelled out
+?x type ?super :- ?x type ?sub . ?sub subClassOf ?super
+
+?a ancestorOf ?c :- ?a parentOf ?b . ?b ancestorOf ?c
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	if got := rules[0].String(); got != "?x type ?super :- ?x type ?sub . ?sub subClassOf ?super" {
+		t.Errorf("String = %q", got)
+	}
+	// String output re-parses to the same rule (modulo the Name label).
+	again, err := ParseRules(rules[0].String())
+	if err != nil {
+		t.Fatalf("re-parsing String output: %v", err)
+	}
+	if again[0].Head != rules[0].Head || len(again[0].Body) != len(rules[0].Body) {
+		t.Errorf("round-trip changed the rule: %v vs %v", again[0], rules[0])
+	}
+}
+
+func TestReasonParseRulesErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                              // no rules
+		"# only a comment",              // no rules
+		"?x type ?y",                    // no :- separator
+		"?x type ?y :- ",                // empty body
+		"?x type ?y ?z :- ?x type ?y",   // malformed head (4 terms... actually 2 patterns) — kept: must error
+		"?x type ?z :- ?x type ?y",      // head var unbound
+		"?x type ?y . ?a p ?b :- ?x q ?y", // two head patterns
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// FuzzParseRules holds the rule parser to its contract on arbitrary input:
+// never panic, and every accepted rule set validates and round-trips through
+// String back to an accepted rule set. CI runs a short pass.
+func FuzzParseRules(f *testing.F) {
+	f.Add("?x type ?super :- ?x type ?sub . ?sub subClassOf ?super")
+	f.Add("a b c :- d e f")
+	f.Add("# comment\n?x p ?y :- ?y q ?x\n")
+	f.Add(":- . ?")
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, err := ParseRules(text)
+		if err != nil {
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatal("accepted input yielded no rules")
+		}
+		if err := ValidateRules(rules); err != nil {
+			t.Fatalf("accepted rules do not validate: %v", err)
+		}
+		var lines []string
+		for _, r := range rules {
+			lines = append(lines, r.String())
+		}
+		again, err := ParseRules(strings.Join(lines, "\n"))
+		if err != nil {
+			t.Fatalf("String output %q does not re-parse: %v", strings.Join(lines, "\n"), err)
+		}
+		if len(again) != len(rules) {
+			t.Fatalf("round-trip changed rule count: %d vs %d", len(again), len(rules))
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package reason
+
+import (
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// The RDFS-style vocabulary the built-in rule set interprets. The names are
+// bare (no namespace prefixes) to match the store's existing "type"
+// convention (store.TypePredicate).
+const (
+	// SubClassOfPredicate relates a class to a superclass.
+	SubClassOfPredicate = "subClassOf"
+	// SubPropertyOfPredicate relates a property to a superproperty.
+	SubPropertyOfPredicate = "subPropertyOf"
+	// DomainPredicate relates a property to the class of its subjects.
+	DomainPredicate = "domain"
+	// RangePredicate relates a property to the class of its objects.
+	RangePredicate = "range"
+)
+
+// RDFSRules returns the built-in RDFS-style rule set:
+//
+//   - subClassOf transitivity,
+//   - type propagation through subClassOf (the materialized counterpart of
+//     query.Expand — an instance of a class is an instance of its
+//     superclasses),
+//   - subPropertyOf transitivity,
+//   - property propagation through subPropertyOf,
+//   - domain and range inference (using a property types its subject/object).
+//
+// The slice is freshly allocated; callers may append user rules to it.
+func RDFSRules() []Rule {
+	x, y, z := query.Var("x"), query.Var("y"), query.Var("z")
+	s, o := query.Var("s"), query.Var("o")
+	p, q := query.Var("p"), query.Var("q")
+	typ := query.Lit(store.TypePredicate)
+	return []Rule{
+		{
+			Name: "subClassOf-transitivity",
+			Head: query.Pat(x, query.Lit(SubClassOfPredicate), z),
+			Body: []query.TriplePattern{
+				query.Pat(x, query.Lit(SubClassOfPredicate), y),
+				query.Pat(y, query.Lit(SubClassOfPredicate), z),
+			},
+		},
+		{
+			Name: "type-propagation",
+			Head: query.Pat(s, typ, y),
+			Body: []query.TriplePattern{
+				query.Pat(s, typ, x),
+				query.Pat(x, query.Lit(SubClassOfPredicate), y),
+			},
+		},
+		{
+			Name: "subPropertyOf-transitivity",
+			Head: query.Pat(p, query.Lit(SubPropertyOfPredicate), q),
+			Body: []query.TriplePattern{
+				query.Pat(p, query.Lit(SubPropertyOfPredicate), y),
+				query.Pat(y, query.Lit(SubPropertyOfPredicate), q),
+			},
+		},
+		{
+			Name: "subPropertyOf-propagation",
+			Head: query.Pat(s, q, o),
+			Body: []query.TriplePattern{
+				query.Pat(s, p, o),
+				query.Pat(p, query.Lit(SubPropertyOfPredicate), q),
+			},
+		},
+		{
+			Name: "domain-inference",
+			Head: query.Pat(s, typ, x),
+			Body: []query.TriplePattern{
+				query.Pat(s, p, o),
+				query.Pat(p, query.Lit(DomainPredicate), x),
+			},
+		},
+		{
+			Name: "range-inference",
+			Head: query.Pat(o, typ, x),
+			Body: []query.TriplePattern{
+				query.Pat(s, p, o),
+				query.Pat(p, query.Lit(RangePredicate), x),
+			},
+		},
+	}
+}
+
+// OntologyTriples exports a classified OntologyIndex as subClassOf triples:
+// one (sub, subClassOf, super) triple per proper subsumption pair. The index
+// stores the subsumption closure, so the export is already transitively
+// closed and the transitivity rule is a no-op over it; what matters is that
+// type propagation over these triples derives exactly the annotations
+// query.Expand would have unioned over — the bridge the equivalence tests
+// walk. The result is sorted (subject, then object) for determinism.
+func OntologyTriples(oi *store.OntologyIndex) []store.Triple {
+	var out []store.Triple
+	for _, sub := range oi.Classes() {
+		for _, super := range oi.Subsumers(sub) {
+			if super == sub {
+				continue
+			}
+			out = append(out, store.Triple{Subject: sub, Predicate: SubClassOfPredicate, Object: super})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subject != out[j].Subject {
+			return out[i].Subject < out[j].Subject
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}

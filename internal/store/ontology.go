@@ -3,8 +3,10 @@ package store
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/dl"
+	"repro/internal/worlds"
 )
 
 // TypePredicate is the predicate under which instances are annotated with
@@ -31,8 +33,36 @@ func NewOntologyIndex(t *dl.TBox) (*OntologyIndex, error) {
 	return NewOntologyIndexWith(t, r.Subsumes)
 }
 
+// SubsumptionCycleError is the typed error NewOntologyIndexWith returns when
+// the subsumption test relates distinct defined names cyclically (A ⊑ B and
+// B ⊑ A with A ≠ B). A cyclic hierarchy collapses the classes of each cycle
+// into one — expansion through it retrieves every member's instances for any
+// member — and, more importantly, the forward-chaining reasoner in
+// repro/internal/reason refuses such hierarchies up front rather than
+// materializing the collapsed closure silently. Each cycle lists the names of
+// one strongly connected component, sorted.
+type SubsumptionCycleError struct {
+	Cycles [][]string
+}
+
+// Error renders the cycles.
+func (e *SubsumptionCycleError) Error() string {
+	parts := make([]string, len(e.Cycles))
+	for i, c := range e.Cycles {
+		parts[i] = strings.Join(c, " ⊑ ") + " ⊑ " + c[0]
+	}
+	return fmt.Sprintf("store: subsumption hierarchy contains %d cycle(s) among distinct classes: %s",
+		len(e.Cycles), strings.Join(parts, "; "))
+}
+
 // NewOntologyIndexWith builds the index using the supplied subsumption test
-// over the TBox's defined names.
+// over the TBox's defined names. Hierarchies in which distinct names subsume
+// each other are rejected with a *SubsumptionCycleError (detected with the
+// strongly-connected-component machinery of repro/internal/worlds, the same
+// logic behind the paper's §2 circularity analysis): an index silently built
+// over a cycle would equate the cycle's classes, and downstream consumers —
+// query expansion, the materialization engine — are entitled to an acyclic
+// subsumption order.
 func NewOntologyIndexWith(t *dl.TBox, subsumes func(sub, super string) (bool, error)) (*OntologyIndex, error) {
 	names := t.DefinedNames()
 	sort.Strings(names)
@@ -41,6 +71,7 @@ func NewOntologyIndexWith(t *dl.TBox, subsumes func(sub, super string) (bool, er
 		subsumees: make(map[string][]string, len(names)),
 		subsumers: make(map[string][]string, len(names)),
 	}
+	g := worlds.NewDependencyGraph()
 	for _, super := range names {
 		for _, sub := range names {
 			ok, err := subsumes(sub, super)
@@ -50,8 +81,14 @@ func NewOntologyIndexWith(t *dl.TBox, subsumes func(sub, super string) (bool, er
 			if ok {
 				oi.subsumees[super] = append(oi.subsumees[super], sub)
 				oi.subsumers[sub] = append(oi.subsumers[sub], super)
+				if sub != super {
+					g.AddDependency(sub, super)
+				}
 			}
 		}
+	}
+	if cycles := g.Cycles(); len(cycles) > 0 {
+		return nil, &SubsumptionCycleError{Cycles: cycles}
 	}
 	return oi, nil
 }

@@ -167,7 +167,11 @@ func (s *Store) Remove(t Triple) bool {
 	return removed
 }
 
-// Len returns the number of triples.
+// Len returns the number of triples in this store. A Store only ever counts
+// what was explicitly added to it: when a reasoner (repro/internal/reason)
+// materializes entailments, the inferred triples live in a separate overlay
+// store, so Len on the asserted base excludes them. Use View.Len for the
+// asserted-plus-inferred total of a materialized view.
 func (s *Store) Len() int {
 	return int(s.size.Load())
 }
@@ -236,7 +240,9 @@ func (s *Store) Triples() []Triple {
 
 // Count returns the number of triples matching the pattern. It runs entirely
 // on the dictionary-encoded indexes — no triple is materialized and no symbol
-// is resolved back to a string.
+// is resolved back to a string. Like Len, it counts this store's own triples
+// only: inferred triples held in a reasoner's overlay are not included unless
+// counted through the overlay or a View (View.CountID is the union form).
 func (s *Store) Count(p Pattern) int {
 	ip, ok := s.encodePattern(p)
 	if !ok {

@@ -128,6 +128,14 @@ func (r CircularityReport) Describe() string {
 	return b.String()
 }
 
+// Cycles returns one representative cycle per non-trivial strongly connected
+// component of the graph (plus self-loops), without the groundedness analysis
+// of Analyze. Callers that only need cycle detection — such as the
+// subsumption-cycle check in repro/internal/store — use this directly.
+func (g *DependencyGraph) Cycles() [][]string {
+	return g.cycles()
+}
+
 // Analyze computes the circularity report of the graph.
 func (g *DependencyGraph) Analyze() CircularityReport {
 	var rep CircularityReport

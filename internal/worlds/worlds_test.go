@@ -313,6 +313,25 @@ func TestDependencyGraphDirect(t *testing.T) {
 	}
 }
 
+func TestDependencyGraphCyclesOnly(t *testing.T) {
+	g := NewDependencyGraph()
+	g.AddDependency("a", "b")
+	g.AddDependency("b", "a")
+	g.AddDependency("c", "a") // acyclic appendage
+	cycles := g.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("Cycles = %v, want exactly one", cycles)
+	}
+	if len(cycles[0]) != 2 {
+		t.Errorf("cycle = %v, want the a/b component", cycles[0])
+	}
+	acyclic := NewDependencyGraph()
+	acyclic.AddDependency("x", "y")
+	if got := acyclic.Cycles(); len(got) != 0 {
+		t.Errorf("acyclic graph reported cycles: %v", got)
+	}
+}
+
 func TestDependencyGraphSelfLoop(t *testing.T) {
 	g := NewDependencyGraph()
 	g.AddDependency("x", "x")
