@@ -35,6 +35,12 @@
 // paper's own eq. (4)/(8) example together with its doorknob vocabularies and
 // a small annotated store, which is the quickest way to see every section of
 // the report populated.
+//
+// Exit status: 0 on success (including an explicit -h/-help), 1 on a
+// runtime error (unreadable or malformed input files, failed audit), 2 on a
+// usage error (unknown flags, stray positional arguments, contradictory
+// flag combinations) — in which case a usage message goes to standard
+// error.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -54,30 +61,58 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "", "path to a TBox in the tboxio text format")
-	paper := flag.Bool("paper", false, "audit the paper's own car/dog example with its corpus and vocabularies")
-	serialize := flag.Bool("serialize-paper", false, "print the paper's TBox in the input format and exit")
-	depth := flag.Int("depth", 3, "maximum unfolding depth for the structural audit")
-	annotations := flag.String("annotations", "", "path to a store snapshot (JSON triples) with type annotations")
-	usage := flag.String("usage", "", "path to a whitespace-separated instance/class usage ground-truth file")
-	bgpText := flag.String("query", "", "evaluate a BGP (e.g. \"?x type car . ?x ?p ?o\") over the annotations instead of auditing")
-	expand := flag.Bool("expand", false, "with -query: expand type-patterns through the TBox's ontology index")
-	materialize := flag.Bool("materialize", false, "forward-chain the RDFS rules over the annotations + TBox hierarchy; -query then runs over the materialized view")
-	rulesFile := flag.String("rules", "", "with -materialize: a file of extra Horn rules (one \"head :- body . body\" per line)")
-	provenance := flag.Bool("provenance", false, "with -materialize (and no -query): dump the materialized triples tagged asserted/inferred")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s -paper | -f <file> [-depth N] [-annotations <file>] [-usage <file>] [-query <bgp> [-expand|-materialize]] [-materialize [-rules <file>] [-provenance]] | -serialize-paper\n", os.Args[0])
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable surface: flags in, report or
+// solutions on stdout, diagnostics on stderr, exit code out. Usage errors
+// (unknown flags, stray arguments, contradictory combinations) return 2
+// with a usage message; runtime errors (bad files, malformed rules) return
+// 1; nothing panics on bad input.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ontoaudit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("f", "", "path to a TBox in the tboxio text format")
+	paper := fs.Bool("paper", false, "audit the paper's own car/dog example with its corpus and vocabularies")
+	serialize := fs.Bool("serialize-paper", false, "print the paper's TBox in the input format and exit")
+	depth := fs.Int("depth", 3, "maximum unfolding depth for the structural audit")
+	annotations := fs.String("annotations", "", "path to a store snapshot (JSON triples) with type annotations")
+	usage := fs.String("usage", "", "path to a whitespace-separated instance/class usage ground-truth file")
+	bgpText := fs.String("query", "", "evaluate a BGP (e.g. \"?x type car . ?x ?p ?o\") over the annotations instead of auditing")
+	expand := fs.Bool("expand", false, "with -query: expand type-patterns through the TBox's ontology index")
+	materialize := fs.Bool("materialize", false, "forward-chain the RDFS rules over the annotations + TBox hierarchy; -query then runs over the materialized view")
+	rulesFile := fs.String("rules", "", "with -materialize: a file of extra Horn rules (one \"head :- body . body\" per line)")
+	provenance := fs.Bool("provenance", false, "with -materialize (and no -query): dump the materialized triples tagged asserted/inferred")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ontoaudit -paper | -f <file> [-depth N] [-annotations <file>] [-usage <file>] [-query <bgp> [-expand|-materialize]] [-materialize [-rules <file>] [-provenance]] | -serialize-paper\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// An explicit -h/-help is not a usage error.
+			return 0
+		}
+		// flag already printed the error and the usage message.
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ontoaudit: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "ontoaudit: %v\n", err)
+		return 1
+	}
 
 	if *serialize {
 		text, err := tboxio.SerializeString(core.PaperTBox())
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(text)
-		return
+		fmt.Fprint(stdout, text)
+		return 0
 	}
 
 	var input core.Input
@@ -87,77 +122,85 @@ func main() {
 	case *file != "":
 		f, err := os.Open(*file)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		tb, err := tboxio.Parse(f)
 		closeErr := f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if closeErr != nil {
-			fatal(closeErr)
+			return fail(closeErr)
 		}
 		input = core.Input{TBox: tb}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ontoaudit: need an ontology; pass -paper or -f")
+		fs.Usage()
+		return 2
 	}
 	input.MaxDepth = *depth
 
 	if *annotations != "" {
 		s, err := loadAnnotations(*annotations)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		input.Annotations = s
 	}
 	if *usage != "" {
 		trueClass, err := loadUsage(*usage)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		input.TrueClass = trueClass
 	}
 
+	// Contradictory flag combinations are usage errors, not runtime errors.
+	usageErr := func(msg string) int {
+		fmt.Fprintf(stderr, "ontoaudit: %s\n", msg)
+		fs.Usage()
+		return 2
+	}
 	if *rulesFile != "" && !*materialize {
-		fatal(errors.New("-rules only makes sense with -materialize"))
+		return usageErr("-rules only makes sense with -materialize")
 	}
 	if *provenance && !*materialize {
-		fatal(errors.New("-provenance only makes sense with -materialize"))
+		return usageErr("-provenance only makes sense with -materialize")
 	}
 	if *provenance && *bgpText != "" {
-		fatal(errors.New("-provenance dumps the whole materialization; it cannot be combined with -query"))
+		return usageErr("-provenance dumps the whole materialization; it cannot be combined with -query")
 	}
 	if *expand && *materialize {
-		fatal(errors.New("-expand and -materialize are alternative routes to the same answers; pick one"))
+		return usageErr("-expand and -materialize are alternative routes to the same answers; pick one")
 	}
 
 	if *materialize {
-		if err := runMaterialize(input, *bgpText, *rulesFile, *provenance); err != nil {
-			fatal(err)
+		if err := runMaterialize(stdout, input, *bgpText, *rulesFile, *provenance); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *bgpText != "" {
-		if err := runQuery(input, *bgpText, *expand); err != nil {
-			fatal(err)
+		if err := runQuery(stdout, input, *bgpText, *expand); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	report, err := core.Audit(input)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Print(report.Render())
+	fmt.Fprint(stdout, report.Render())
+	return 0
 }
 
 // runMaterialize forward-chains the RDFS rules (plus any user rules) over
 // the annotation store extended with the TBox's subsumption closure, then
 // either evaluates the BGP over the materialized view, dumps the
 // provenance-tagged triples, or prints a materialization summary.
-func runMaterialize(input core.Input, bgpText, rulesFile string, provenance bool) error {
+func runMaterialize(stdout io.Writer, input core.Input, bgpText, rulesFile string, provenance bool) error {
 	if input.Annotations == nil {
 		return errors.New("-materialize needs an annotation store; pass -annotations or -paper")
 	}
@@ -189,24 +232,24 @@ func runMaterialize(input core.Input, bgpText, rulesFile string, provenance bool
 		if err != nil {
 			return err
 		}
-		return printSolutions(r.Query(bgp))
+		return printSolutions(stdout, r.Query(bgp))
 	}
 	if provenance {
-		_, err := r.View().SnapshotProvenance(os.Stdout)
+		_, err := r.View().SnapshotProvenance(stdout)
 		return err
 	}
 	st := r.Stats()
-	fmt.Printf("materialized: %d asserted + %d inferred = %d triples\n",
+	fmt.Fprintf(stdout, "materialized: %d asserted + %d inferred = %d triples\n",
 		r.Base().Len(), r.InferredCount(), r.View().Len())
-	fmt.Printf("rules: %d (RDFS%s)\n", len(rules), map[bool]string{true: " + user rules", false: ""}[rulesFile != ""])
-	fmt.Printf("engine: %d semi-naive rounds, %d derivations\n", st.Rounds, st.Derived)
+	fmt.Fprintf(stdout, "rules: %d (RDFS%s)\n", len(rules), map[bool]string{true: " + user rules", false: ""}[rulesFile != ""])
+	fmt.Fprintf(stdout, "engine: %d semi-naive rounds, %d derivations\n", st.Rounds, st.Derived)
 	return nil
 }
 
 // runQuery evaluates the BGP over the input's annotation store and prints a
 // header of variable names followed by one tab-separated row per solution,
 // rows sorted for deterministic output.
-func runQuery(input core.Input, bgpText string, expand bool) error {
+func runQuery(stdout io.Writer, input core.Input, bgpText string, expand bool) error {
 	if input.Annotations == nil {
 		return errors.New("-query needs an annotation store; pass -annotations or -paper")
 	}
@@ -222,13 +265,13 @@ func runQuery(input core.Input, bgpText string, expand bool) error {
 		}
 		opts = append(opts, query.Expand(oi))
 	}
-	return printSolutions(query.Eval(input.Annotations, bgp, opts...))
+	return printSolutions(stdout, query.Eval(input.Annotations, bgp, opts...))
 }
 
 // printSolutions drains a solution iterator, printing a header of variable
 // names and one tab-separated row per solution, rows sorted for
 // deterministic output.
-func printSolutions(sols *query.Solutions) error {
+func printSolutions(stdout io.Writer, sols *query.Solutions) error {
 	vars := sols.Vars()
 	var rows []string
 	for sols.Next() {
@@ -247,12 +290,12 @@ func printSolutions(sols *query.Solutions) error {
 		for i, v := range vars {
 			header[i] = "?" + v
 		}
-		fmt.Println(strings.Join(header, "\t"))
+		fmt.Fprintln(stdout, strings.Join(header, "\t"))
 	}
 	for _, r := range rows {
-		fmt.Println(r)
+		fmt.Fprintln(stdout, r)
 	}
-	fmt.Printf("%d solutions\n", len(rows))
+	fmt.Fprintf(stdout, "%d solutions\n", len(rows))
 	return nil
 }
 
@@ -297,9 +340,4 @@ func loadUsage(path string) (map[string]string, error) {
 		return nil, err
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "ontoaudit: %v\n", err)
-	os.Exit(1)
 }

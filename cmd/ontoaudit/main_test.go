@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCase drives run() and returns its exit code with captured output.
+func runCase(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestUnknownFlagExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCase(t, "-paper", "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-no-such-flag") || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr should name the flag and print usage:\n%s", stderr)
+	}
+}
+
+func TestStrayArgumentsExitWithUsage(t *testing.T) {
+	code, _, stderr := runCase(t, "-paper", "extra.tbox")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unexpected arguments") || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr should reject the stray argument and print usage:\n%s", stderr)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCase(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("-h should print usage:\n%s", stderr)
+	}
+}
+
+func TestNoInputExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCase(t)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr should print usage:\n%s", stderr)
+	}
+}
+
+func TestMalformedRulesFileFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.rules")
+	if err := os.WriteFile(path, []byte("this is not :- a valid ::- rule line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A panic would fail the test on its own; assert the error contract too.
+	code, _, stderr := runCase(t, "-paper", "-materialize", "-rules", path)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad.rules") {
+		t.Fatalf("stderr should name the offending file:\n%s", stderr)
+	}
+}
+
+func TestMissingRulesFileFailsCleanly(t *testing.T) {
+	code, _, stderr := runCase(t, "-paper", "-materialize", "-rules", filepath.Join(t.TempDir(), "absent.rules"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Fatal("no diagnostic on stderr")
+	}
+}
+
+func TestContradictoryFlagsAreUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-paper", "-rules", "x.rules"},                                    // -rules without -materialize
+		{"-paper", "-provenance"},                                          // -provenance without -materialize
+		{"-paper", "-materialize", "-provenance", "-query", "?x type car"}, // -provenance with -query
+		{"-paper", "-query", "?x type car", "-expand", "-materialize"},     // -expand with -materialize
+	}
+	for _, args := range cases {
+		code, _, stderr := runCase(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: exit code = %d, want 2 (stderr: %s)", args, code, stderr)
+		}
+	}
+}
+
+func TestMalformedQueryFails(t *testing.T) {
+	code, _, stderr := runCase(t, "-paper", "-query", "?x type")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "2 terms") {
+		t.Fatalf("stderr should explain the malformed pattern:\n%s", stderr)
+	}
+}
+
+func TestPaperQueryHappyPath(t *testing.T) {
+	code, stdout, stderr := runCase(t, "-paper", "-query", "?x type car", "-expand")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "solutions") || !strings.Contains(stdout, "?x") {
+		t.Fatalf("unexpected query output:\n%s", stdout)
+	}
+}
+
+func TestPaperMaterializeSummaryHappyPath(t *testing.T) {
+	code, stdout, stderr := runCase(t, "-paper", "-materialize")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "materialized:") || !strings.Contains(stdout, "semi-naive") {
+		t.Fatalf("unexpected materialize summary:\n%s", stdout)
+	}
+}

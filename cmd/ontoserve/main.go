@@ -1,0 +1,191 @@
+// Command ontoserve serves a materialized ontology store over HTTP: it
+// loads a corpus (an annotation snapshot plus an optional TBox), forward
+// chains the RDFS-style rule set of repro/internal/reason to a fixpoint,
+// and exposes the BGP query layer, batched mutations, statistics and
+// snapshots as the JSON API of repro/internal/server (documented with curl
+// transcripts in API.md at the repository root).
+//
+// Usage:
+//
+//	ontoserve -paper [-addr :8080]
+//	ontoserve -annotations data.triples [-f ontology.tbox] [-rules extra.rules]
+//	ontoserve -annotations data.triples -addr 127.0.0.1:0 -cache 512 -timeout 2s
+//
+// -paper serves the paper's own example corpus (the quickest way to poke
+// the API); otherwise -annotations names a store snapshot (one JSON triple
+// per line, as written by Store.Snapshot or GET /snapshot) and -f a TBox in
+// the tboxio text format whose subsumption closure is asserted as
+// subClassOf triples next to the annotations, exactly as ontoaudit
+// -materialize does. -rules appends user Horn rules (one "head :- body .
+// body" per line) to the built-in RDFS set.
+//
+// The process runs until SIGINT/SIGTERM, then shuts down gracefully,
+// letting in-flight requests finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/reason"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/tboxio"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main with its dependencies at the surface, so tests can drive the
+// flag handling and corpus loading without spawning a process.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ontoserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	paper := fs.Bool("paper", false, "serve the paper's own example corpus")
+	annotations := fs.String("annotations", "", "path to a store snapshot (JSON triples) to serve")
+	file := fs.String("f", "", "path to a TBox in the tboxio text format; its hierarchy is asserted as subClassOf triples")
+	rulesFile := fs.String("rules", "", "file of extra Horn rules appended to the built-in RDFS set")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-query evaluation timeout")
+	maxSolutions := fs.Int("max-solutions", 100_000, "cap on solutions streamed per query")
+	cacheMiB := fs.Int("cache", 256, "query-result cache budget in MiB of retained responses (0 or negative disables)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ontoserve (-paper | -annotations <file>) [-f <tbox>] [-rules <file>] [-addr host:port] [options]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// An explicit -h/-help is not a usage error.
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ontoserve: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if !*paper && *annotations == "" {
+		fmt.Fprintln(stderr, "ontoserve: need a corpus; pass -paper or -annotations")
+		fs.Usage()
+		return 2
+	}
+
+	cfg, err := buildConfig(*paper, *annotations, *file, *rulesFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
+		return 1
+	}
+	cfg.QueryTimeout = *timeout
+	cfg.MaxSolutions = *maxSolutions
+	cfg.CacheMaxBytes = int64(*cacheMiB) << 20
+	if *cacheMiB <= 0 {
+		cfg.CacheMaxBytes = -1 // flag 0 means "disable", Config 0 means "default"
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
+		return 1
+	}
+	logger := log.New(stderr, "ontoserve: ", log.LstdFlags)
+	logger.Printf("serving %d asserted + %d inferred triples on http://%s",
+		srv.Reasoner().Base().Len(), srv.Reasoner().InferredCount(), ln.Addr())
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
+		return 1
+	}
+	logger.Printf("shut down cleanly")
+	return 0
+}
+
+// buildConfig loads the corpus the flags name: the base store (paper
+// example or snapshot file), the TBox's hierarchy asserted as subClassOf
+// triples, and the rule set.
+func buildConfig(paper bool, annotations, tboxFile, rulesFile string) (server.Config, error) {
+	var cfg server.Config
+	base := store.New()
+
+	if paper {
+		input := core.PaperInput()
+		base = input.Annotations
+		oi, err := store.NewOntologyIndex(input.TBox)
+		if err != nil {
+			return cfg, fmt.Errorf("classifying the paper TBox: %w", err)
+		}
+		if _, err := base.AddBatch(reason.OntologyTriples(oi)); err != nil {
+			return cfg, err
+		}
+		cfg.Ontology = oi
+	}
+	if annotations != "" {
+		f, err := os.Open(annotations)
+		if err != nil {
+			return cfg, err
+		}
+		_, err = store.Restore(base, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("restoring %s: %w", annotations, err)
+		}
+	}
+	if tboxFile != "" {
+		f, err := os.Open(tboxFile)
+		if err != nil {
+			return cfg, err
+		}
+		tb, perr := tboxio.Parse(f)
+		if cerr := f.Close(); perr == nil {
+			perr = cerr
+		}
+		if perr != nil {
+			return cfg, fmt.Errorf("parsing %s: %w", tboxFile, perr)
+		}
+		oi, err := store.NewOntologyIndex(tb)
+		if err != nil {
+			return cfg, fmt.Errorf("classifying %s: %w", tboxFile, err)
+		}
+		if _, err := base.AddBatch(reason.OntologyTriples(oi)); err != nil {
+			return cfg, err
+		}
+		cfg.Ontology = oi
+	}
+
+	rules := reason.RDFSRules()
+	if rulesFile != "" {
+		text, err := os.ReadFile(rulesFile)
+		if err != nil {
+			return cfg, err
+		}
+		user, err := reason.ParseRules(string(text))
+		if err != nil {
+			return cfg, fmt.Errorf("%s: %w", rulesFile, err)
+		}
+		rules = append(rules, user...)
+	}
+	cfg.Base = base
+	cfg.Rules = rules
+	return cfg, nil
+}

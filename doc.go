@@ -21,12 +21,18 @@
 //     RDFS-style and user Horn rules evaluated semi-naively to a fixpoint,
 //     kept incrementally correct under adds and removes
 //     (delete-and-rederive), served through a provenance-tagged view;
+//   - internal/server: the HTTP/JSON serving layer over the materialized
+//     store — streamed BGP queries, batched incrementally-maintained
+//     mutations, and a sharded result cache invalidated by the engine's
+//     deltas; the wire contract, with curl transcripts, is API.md;
 //   - internal/experiments: the E1–E7, E5b, E5c and A1 experiments whose
 //     tables EXPERIMENTS.md records;
-//   - cmd/ontoaudit and cmd/benchrunner: the command-line front ends
-//     (ontoaudit -query evaluates BGPs over an annotation store;
-//     -materialize answers them from a forward-chained materialization);
-//   - examples/: five runnable walkthroughs of the paper's own examples.
+//   - cmd/ontoaudit, cmd/ontoserve and cmd/benchrunner: the command-line
+//     front ends (ontoaudit -query evaluates BGPs over an annotation store,
+//     -materialize answers them from a forward-chained materialization;
+//     ontoserve serves the materialization over HTTP — see API.md);
+//   - examples/: six runnable walkthroughs — the paper's own examples plus
+//     examples/server, the HTTP serving-stack tour.
 //
 // The benchmarks in bench_test.go regenerate one experiment per table and
 // measure BGP joins at store scale; see DESIGN.md for the system inventory

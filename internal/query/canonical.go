@@ -1,0 +1,97 @@
+package query
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical returns a canonical string key for the BGP, built for result
+// caches: two BGPs with the same key are guaranteed to have identical
+// solution multisets up to variable names (soundness), and most syntactic
+// re-spellings of one query — renamed variables, reordered patterns — map to
+// the same key (best-effort completeness; canonicalization never solves
+// graph isomorphism, so some equivalent BGPs keep distinct keys and merely
+// miss a cache hit).
+//
+// The key is computed in three steps: patterns are first ordered by their
+// variable-erased skeleton (literals kept, every variable masked to "?"),
+// then variables are renamed to ?v0, ?v1, … in order of first appearance
+// over that ordering, and finally the renamed patterns are sorted once more
+// so renaming ties cannot leak source order into the key. Patterns are
+// joined with " . ", the textual form ParseBGP reads — a canonical key of a
+// satisfiable BGP is itself a parseable BGP.
+//
+// Canonical is a pure function of the BGP value and safe for concurrent use.
+func Canonical(bgp BGP) string {
+	key, _ := CanonicalWithVars(bgp)
+	return key
+}
+
+// CanonicalWithVars is Canonical returning, alongside the key, the BGP's
+// original variable names in canonical order: vars[i] is the source name
+// the key spells ?v<i>. A result cache that replays responses verbatim
+// needs the mapping in its key — two queries may share a canonical form yet
+// name their variables differently, and a replayed response must bind the
+// names the request used.
+func CanonicalWithVars(bgp BGP) (string, []string) {
+	masked := make([]struct {
+		key string
+		pat TriplePattern
+	}, len(bgp))
+	for i, p := range bgp {
+		masked[i].key = maskedForm(p)
+		masked[i].pat = p
+	}
+	sort.SliceStable(masked, func(i, j int) bool { return masked[i].key < masked[j].key })
+
+	rename := make(map[string]string, 4)
+	var vars []string
+	renamed := make([]string, len(masked))
+	for i, m := range masked {
+		renamed[i] = renamedForm(m.pat, rename, &vars)
+	}
+	sort.Strings(renamed)
+	return strings.Join(renamed, " . "), vars
+}
+
+// maskedForm renders the pattern with every variable replaced by a bare "?",
+// the variable-name-independent skeleton the first sort orders on.
+func maskedForm(p TriplePattern) string {
+	var b strings.Builder
+	for i, t := range p.terms() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if t.IsVar {
+			b.WriteByte('?')
+		} else {
+			b.WriteString(t.Value)
+		}
+	}
+	return b.String()
+}
+
+// renamedForm renders the pattern with variables renamed through the shared
+// table, assigning ?v0, ?v1, … in order of first appearance and recording
+// each source name in vars at its assigned index.
+func renamedForm(p TriplePattern, rename map[string]string, vars *[]string) string {
+	var b strings.Builder
+	for i, t := range p.terms() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if t.IsVar {
+			name, ok := rename[t.Value]
+			if !ok {
+				name = "?v" + strconv.Itoa(len(rename))
+				rename[t.Value] = name
+				*vars = append(*vars, t.Value)
+			}
+			b.WriteString(name)
+		} else {
+			b.WriteString(t.Value)
+		}
+	}
+	return b.String()
+}

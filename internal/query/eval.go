@@ -1,12 +1,18 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/store"
 )
+
+// ErrInterrupted is the error a Solutions iterator reports through Err when
+// an Interrupt hook cancelled the evaluation before it was exhausted.
+// Callers wrapping a context deadline should match it with errors.Is.
+var ErrInterrupted = errors.New("query: evaluation interrupted")
 
 // Source is the id-level store surface Eval evaluates over: the hooks of
 // internal/store's ids.go, satisfied by both *store.Store (a single store)
@@ -33,6 +39,7 @@ type Source interface {
 type config struct {
 	oi           *store.OntologyIndex
 	materialized bool
+	interrupt    func() bool
 }
 
 // Option configures one Eval call.
@@ -47,6 +54,24 @@ type Option func(*config)
 // annotations literally.
 func Expand(oi *store.OntologyIndex) Option {
 	return func(c *config) { c.oi = oi }
+}
+
+// Interrupt installs a cancellation hook on the evaluation: cancelled is
+// polled periodically (every few hundred probe steps, so long scans cannot
+// run away unobserved) and, once it returns true, the iteration stops —
+// Next returns false and Err reports ErrInterrupted. The hook is how a
+// server maps a request context's deadline onto an in-flight join:
+//
+//	sols := query.Eval(src, bgp, query.Interrupt(func() bool {
+//		return ctx.Err() != nil
+//	}))
+//
+// cancelled is called from whatever goroutine drives Next (never
+// concurrently with itself) and must be cheap and non-blocking; a closure
+// over a context or an atomic flag both qualify. A nil hook means the
+// evaluation is uncancellable, the zero-cost default.
+func Interrupt(cancelled func() bool) Option {
+	return func(c *config) { c.interrupt = cancelled }
 }
 
 // Materialized marks the source as a materialized store — one whose
@@ -106,6 +131,32 @@ type Solutions struct {
 	err     error
 	done    bool
 	started bool
+	// interrupt is the Interrupt option's cancellation hook; ticks throttles
+	// how often it is polled.
+	interrupt func() bool
+	ticks     uint
+}
+
+// interruptTickMask throttles the Interrupt hook: it is polled once every
+// interruptTickMask+1 probe steps, cheap enough to sit on the innermost
+// loops while still bounding how long a cancelled evaluation keeps running.
+const interruptTickMask = 255
+
+// cancelled polls the Interrupt hook (throttled) and, when it fires, ends
+// the iteration with ErrInterrupted.
+func (sol *Solutions) cancelled() bool {
+	if sol.interrupt == nil || sol.done {
+		return false
+	}
+	if sol.ticks++; sol.ticks&interruptTickMask != 0 {
+		return false
+	}
+	if !sol.interrupt() {
+		return false
+	}
+	sol.err = ErrInterrupted
+	sol.done = true
+	return true
 }
 
 // Eval plans and evaluates a BGP over a Source — a *store.Store, or a
@@ -133,7 +184,7 @@ func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 	if cfg.materialized {
 		cfg.oi = nil
 	}
-	sol := &Solutions{src: src, res: src.NewResolver(), vars: bgp.Vars()}
+	sol := &Solutions{src: src, res: src.NewResolver(), vars: bgp.Vars(), interrupt: cfg.interrupt}
 	varIdx := make(map[string]int, len(sol.vars))
 	for i, name := range sol.vars {
 		varIdx[name] = i
@@ -192,6 +243,9 @@ func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 	for i := range sol.levels {
 		lv := &sol.levels[i]
 		lv.yield = func(t store.IDTriple) bool {
+			if sol.cancelled() {
+				return false
+			}
 			lv.buf = append(lv.buf, t)
 			return true
 		}
@@ -451,6 +505,9 @@ func (sol *Solutions) Next() bool {
 	}
 	d := sol.depth
 	for {
+		if sol.cancelled() || sol.err != nil {
+			return false
+		}
 		lv := &sol.levels[d]
 		advanced := false
 		for lv.pos+1 < len(lv.buf) {
@@ -479,8 +536,9 @@ func (sol *Solutions) Next() bool {
 }
 
 // Err returns the error that ended the iteration, or nil. The only errors
-// today are malformed BGPs (empty literals, empty variable names) and
-// unknown projection variables; evaluation itself cannot fail.
+// today are malformed BGPs (empty literals, empty variable names), unknown
+// projection variables, and ErrInterrupted when an Interrupt hook cancelled
+// the evaluation; evaluation itself cannot fail.
 func (sol *Solutions) Err() error {
 	return sol.err
 }

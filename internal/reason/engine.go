@@ -52,6 +52,46 @@ type Reasoner struct {
 	rules   []crule
 	source  []Rule
 	stats   Stats
+	onDelta func(added, removed []store.IDTriple)
+}
+
+// SetOnDelta installs a hook invoked after every write (Add, AddBatch,
+// Remove, Rematerialize) that may have changed the contents of the base
+// store or the overlay, with the id triples that entered and left them —
+// asserted and inferred changes alike, which is what makes the hook
+// sufficient for invalidating caches of query results over the view or
+// over either member alone. The lists are conservative supersets:
+// maintenance may remove a triple and restore it in the same write (DRed
+// overdelete/rederive), and a provenance flip (asserting a currently
+// inferred triple) leaves the view unchanged while moving the triple from
+// the overlay to the base — such triples appear in both lists; their union
+// always covers every triple whose membership in either member may have
+// changed. Rematerialize reports the unknown-extent change as two nil
+// lists — receivers must treat that as "anything may have changed". Writes
+// that provably change nothing anywhere (re-adding an already asserted
+// triple) do not fire the hook.
+//
+// The hook runs synchronously on the writing goroutine while the reasoner's
+// write lock is held: writes are serialized with their notifications, so a
+// receiver that processes them in order sees a consistent history, but the
+// hook must be fast and must not call any Reasoner method (the lock is not
+// reentrant; even Stats would deadlock). The slices are owned by the
+// reasoner and only valid for the duration of the call — copy them to keep
+// them. SetOnDelta itself takes the write lock and may be called at any
+// time; a nil hook (the default) disables notification.
+func (r *Reasoner) SetOnDelta(hook func(added, removed []store.IDTriple)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onDelta = hook
+}
+
+// notify fires the delta hook if one is installed. Callers hold r.mu and
+// guarantee at least one of the lists is meaningful (both nil is the
+// Rematerialize "everything may have changed" signal).
+func (r *Reasoner) notify(added, removed []store.IDTriple) {
+	if r.onDelta != nil {
+		r.onDelta(added, removed)
+	}
 }
 
 // Materialize compiles the rule set, computes its fixpoint over the base
@@ -113,6 +153,10 @@ func (r *Reasoner) Rematerialize() {
 		r.overlay.RemoveID(t)
 	}
 	r.propagate(r.baseDelta())
+	// The extent of the change is unknowable here (the base was edited
+	// behind the reasoner's back); nil lists tell receivers to assume
+	// everything may have changed.
+	r.notify(nil, nil)
 }
 
 // overlayTriples materializes the overlay's id triples.
@@ -221,10 +265,14 @@ func (r *Reasoner) Add(t store.Triple) (bool, error) {
 	}
 	if r.overlay.RemoveID(idt) {
 		// Previously inferred: the view already contained it and every
-		// consequence is already materialized.
+		// consequence is already materialized. The flip still moved the
+		// triple between the members, so the hook fires with it in both
+		// lists (entered the base, left the overlay).
+		r.notify([]store.IDTriple{idt}, []store.IDTriple{idt})
 		return true, nil
 	}
-	r.propagate([]store.IDTriple{idt})
+	derived := r.propagate([]store.IDTriple{idt})
+	r.notify(append(derived, idt), nil)
 	return true, nil
 }
 
@@ -248,17 +296,24 @@ func (r *Reasoner) AddBatch(ts []store.Triple) (int, error) {
 		return added, err
 	}
 	delta := make([]store.IDTriple, 0, len(fresh))
+	var flips []store.IDTriple
 	for _, t := range fresh {
 		idt, ok := r.encode(t)
 		if !ok {
 			panic("reason: components of a batched triple missing from the dictionary")
 		}
 		if r.overlay.RemoveID(idt) {
-			continue // provenance flip: consequences already materialized
+			// Provenance flip: consequences already materialized, but the
+			// triple moved between the members — report it in both lists.
+			flips = append(flips, idt)
+			continue
 		}
 		delta = append(delta, idt)
 	}
-	r.propagate(delta)
+	derived := r.propagate(delta)
+	if len(delta) > 0 || len(flips) > 0 {
+		r.notify(append(append(delta, derived...), flips...), flips)
+	}
 	return added, nil
 }
 
@@ -342,7 +397,8 @@ func (r *Reasoner) Remove(t store.Triple) bool {
 	}
 	r.stats.Rederived += len(restored)
 	r.stats.Derived += len(restored)
-	r.propagate(restored)
+	derived := r.propagate(restored)
+	r.notify(append(restored, derived...), append(markedList, idt))
 	return true
 }
 
@@ -371,10 +427,11 @@ func bindingsFor(rules []crule) []*binding {
 // asserted or inferred are skipped; the rest enter the overlay and the next
 // delta. Heads are buffered during matching and applied only after the
 // enumeration returns — the matcher runs under the stores' shard read-locks,
-// where writing is forbidden. Callers hold r.mu.
-func (r *Reasoner) propagate(delta []store.IDTriple) {
+// where writing is forbidden. It returns every triple newly derived into the
+// overlay, for the delta hook. Callers hold r.mu.
+func (r *Reasoner) propagate(delta []store.IDTriple) []store.IDTriple {
 	b := bindingsFor(r.rules)
-	var heads []store.IDTriple
+	var heads, derived []store.IDTriple
 	for len(delta) > 0 {
 		r.stats.Rounds++
 		heads = heads[:0]
@@ -398,6 +455,8 @@ func (r *Reasoner) propagate(delta []store.IDTriple) {
 			r.stats.Derived++
 			next = append(next, h)
 		}
+		derived = append(derived, next...)
 		delta = next
 	}
+	return derived
 }

@@ -33,12 +33,12 @@ func TestReasonParseRules(t *testing.T) {
 
 func TestReasonParseRulesErrors(t *testing.T) {
 	for _, bad := range []string{
-		"",                              // no rules
-		"# only a comment",              // no rules
-		"?x type ?y",                    // no :- separator
-		"?x type ?y :- ",                // empty body
-		"?x type ?y ?z :- ?x type ?y",   // malformed head (4 terms... actually 2 patterns) — kept: must error
-		"?x type ?z :- ?x type ?y",      // head var unbound
+		"",                                // no rules
+		"# only a comment",                // no rules
+		"?x type ?y",                      // no :- separator
+		"?x type ?y :- ",                  // empty body
+		"?x type ?y ?z :- ?x type ?y",     // malformed head (4 terms... actually 2 patterns) — kept: must error
+		"?x type ?z :- ?x type ?y",        // head var unbound
 		"?x type ?y . ?a p ?b :- ?x q ?y", // two head patterns
 	} {
 		if _, err := ParseRules(bad); err == nil {

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// This file is the serving layer's query-result cache: a sharded map from
+// canonicalized BGP keys (query.Canonical plus the evaluation mode and
+// limit) to fully marshaled response rows, invalidated by the reasoning
+// engine's delta notifications at predicate granularity.
+
+// cacheEntry is one cached query result: the pre-marshaled response lines
+// (header row plus one line per solution) and the invalidation footprint of
+// the BGP that produced them.
+type cacheEntry struct {
+	// header is the marshaled vars line; rows are the marshaled solution
+	// lines, both including the trailing newline so a hit is a plain write.
+	header []byte
+	rows   [][]byte
+	// solutions and truncated replay the trailer fields of the original
+	// evaluation.
+	solutions int
+	truncated bool
+	// size is the entry's retained bytes (header + rows), what the cache's
+	// byte budget accounts.
+	size int64
+	// preds are the literal predicate names the BGP mentions; anyPred marks
+	// a BGP with at least one variable-predicate pattern, invalidated by
+	// every delta. Names, not ids: a predicate can be uninterned at caching
+	// time and minted by the very mutation that must invalidate the entry.
+	preds   []string
+	anyPred bool
+}
+
+// CacheStats is the counters block /stats reports for the result cache.
+type CacheStats struct {
+	// Entries is the number of results currently cached; Bytes is their
+	// retained size, bounded by the server's cache byte budget.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Hits and Misses count lookups since the server started.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Invalidations counts entries dropped by mutation deltas (evictions by
+	// capacity are not counted).
+	Invalidations int64 `json:"invalidations"`
+}
+
+// cacheShard is one lock domain of the cache; bytes tracks the retained
+// size of its entries against the per-shard budget.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	bytes   int64
+}
+
+// resultCache is a sharded query-result cache with a byte budget: capacity
+// is accounted in retained response bytes, not entries, because one entry
+// can hold up to MaxSolutions marshaled rows — counting entries would make
+// memory use effectively unbounded. Lookups and stores lock one shard;
+// invalidation walks every shard. A generation counter closes the
+// read-evaluate-store race against concurrent mutations: a result computed
+// against generation g is dropped instead of stored when any invalidation
+// ran after g, so a cache entry never outlives the data it was computed
+// from. The zero-budget cache is a valid always-miss cache.
+type resultCache struct {
+	shards        []cacheShard
+	seed          maphash.Seed
+	perShardBytes int64
+	gen           atomic.Uint64
+
+	hits, misses, invalidations atomic.Int64
+}
+
+// newResultCache sizes a cache for maxBytes of retained responses across
+// nshards shards. maxBytes <= 0 disables caching entirely (every lookup
+// misses, every store is dropped).
+func newResultCache(maxBytes int64, nshards int) *resultCache {
+	if nshards < 1 {
+		nshards = 1
+	}
+	c := &resultCache{
+		shards: make([]cacheShard, nshards),
+		seed:   maphash.MakeSeed(),
+	}
+	if maxBytes > 0 {
+		c.perShardBytes = (maxBytes + int64(nshards) - 1) / int64(nshards)
+		for i := range c.shards {
+			c.shards[i].entries = make(map[string]*cacheEntry)
+		}
+	}
+	return c
+}
+
+// generation returns the current invalidation generation; results computed
+// for a store call must carry the generation observed before evaluation.
+func (c *resultCache) generation() uint64 {
+	return c.gen.Load()
+}
+
+// enabled reports whether the cache can store anything at all; when false,
+// callers should not retain rows for a store that is a guaranteed no-op.
+func (c *resultCache) enabled() bool {
+	return c.perShardBytes > 0
+}
+
+// shardFor hashes the key to its shard.
+func (c *resultCache) shardFor(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// get returns the cached entry for the key, or nil.
+func (c *resultCache) get(key string) *cacheEntry {
+	if c.perShardBytes == 0 {
+		c.misses.Add(1)
+		return nil
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e := sh.entries[key]
+	sh.mu.Unlock()
+	if e == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return e
+}
+
+// put stores an entry computed while the cache was at generation gen. If any
+// invalidation ran since, the entry may describe pre-mutation data and is
+// dropped. An entry bigger than the whole per-shard budget is never stored;
+// otherwise arbitrary entries are evicted (map iteration order) until it
+// fits — the cache is a recency-free bounded memo, not an LRU; under
+// invalidation-heavy write traffic entries rarely live long enough for
+// eviction policy to matter.
+func (c *resultCache) put(key string, e *cacheEntry, gen uint64) {
+	if c.perShardBytes == 0 || e.size > c.perShardBytes {
+		return
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.gen.Load() != gen {
+		return
+	}
+	if old, ok := sh.entries[key]; ok {
+		sh.bytes -= old.size
+	}
+	for k, old := range sh.entries {
+		if sh.bytes+e.size <= c.perShardBytes {
+			break
+		}
+		if k == key {
+			continue
+		}
+		delete(sh.entries, k)
+		sh.bytes -= old.size
+	}
+	sh.entries[key] = e
+	sh.bytes += e.size
+}
+
+// invalidate drops every entry whose BGP mentions one of the changed
+// predicates (or has a variable predicate), resolving the delta's predicate
+// ids through the view's dictionary. nil lists — the engine's "everything
+// may have changed" signal — flush the whole cache. Invalidation always
+// bumps the generation, so in-flight evaluations that overlapped the
+// mutation cannot store.
+func (c *resultCache) invalidate(res store.Resolver, added, removed []store.IDTriple) {
+	c.gen.Add(1)
+	if c.perShardBytes == 0 {
+		return
+	}
+	if added == nil && removed == nil {
+		c.flush()
+		return
+	}
+	changed := map[string]bool{}
+	for _, t := range added {
+		changed[res.Name(t.P)] = true
+	}
+	for _, t := range removed {
+		changed[res.Name(t.P)] = true
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if e.anyPred || touches(e.preds, changed) {
+				delete(sh.entries, k)
+				sh.bytes -= e.size
+				c.invalidations.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// touches reports whether any of the entry's predicates changed.
+func touches(preds []string, changed map[string]bool) bool {
+	for _, p := range preds {
+		if changed[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// flush drops every entry.
+func (c *resultCache) flush() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := len(sh.entries)
+		for k := range sh.entries {
+			delete(sh.entries, k)
+		}
+		sh.bytes = 0
+		c.invalidations.Add(int64(n))
+		sh.mu.Unlock()
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *resultCache) stats() CacheStats {
+	entries := 0
+	var bytes int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		entries += len(sh.entries)
+		bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return CacheStats{
+		Entries:       entries,
+		Bytes:         bytes,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}

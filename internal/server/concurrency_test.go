@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestConcurrentQueriesAndMutations hammers the handler from parallel
+// readers while a writer streams mutations through /triples — the test the
+// race detector watches: queries read the view and the cache while
+// mutations re-materialize and invalidate. Assertions are weak on purpose
+// (every response well-formed, final state exact); the value is the
+// interleaving.
+func TestConcurrentQueriesAndMutations(t *testing.T) {
+	s := newTestServer(t, Config{})
+	const (
+		readers = 4
+		rounds  = 60
+	)
+	queries := []string{"?x type vehicle", "?x type car", "?x locatedIn ?y", "?x ?p rome"}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res := postQuery(t, s, QueryRequest{BGP: queries[(r+i)%len(queries)]})
+				if res.status != 200 || res.trailer.Error != "" {
+					t.Errorf("reader %d: status=%d trailer=%+v", r, res.status, res.trailer)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			subj := fmt.Sprintf("van%d", i)
+			code, _, errResp := postTriples(t, s, MutateRequest{Add: []TripleJSON{
+				{Subject: subj, Predicate: store.TypePredicate, Object: "car"},
+			}})
+			if code != 200 {
+				t.Errorf("writer add %d: %d %s", i, code, errResp.Error)
+				return
+			}
+			if i%2 == 0 {
+				code, _, errResp = postTriples(t, s, MutateRequest{Remove: []TripleJSON{
+					{Subject: subj, Predicate: store.TypePredicate, Object: "car"},
+				}})
+				if code != 200 {
+					t.Errorf("writer remove %d: %d %s", i, code, errResp.Error)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent state is exact: the odd-i vans survived, each inferred up to
+	// vehicle.
+	res := postQuery(t, s, QueryRequest{BGP: "?x type vehicle"})
+	want := 3 + rounds/2 // beetle, hilux, bus1 + surviving vans
+	if len(res.rows) != want {
+		t.Fatalf("final vehicle retrieval has %d rows, want %d", len(res.rows), want)
+	}
+}

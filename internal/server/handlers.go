@@ -1,0 +1,482 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// This file holds the wire protocol: the request/response JSON types of
+// every endpoint and their handlers. API.md documents the same surface for
+// HTTP clients, with curl transcripts; the two must be kept in sync.
+
+// ndjsonType is the content type of the streamed endpoints (/query,
+// /snapshot): one JSON object per line.
+const ndjsonType = "application/x-ndjson"
+
+// Query evaluation modes accepted by QueryRequest.Mode.
+const (
+	// ModeMaterialized (the default) evaluates over the asserted∪inferred
+	// view; entailed triples are answered straight off the indexes.
+	ModeMaterialized = "materialized"
+	// ModeExpand evaluates over the asserted store only, rewriting
+	// type-patterns through the ontology index at query time (requires
+	// Config.Ontology).
+	ModeExpand = "expand"
+	// ModePlain evaluates over the asserted store with no expansion at all.
+	ModePlain = "plain"
+)
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// BGP is the textual basic graph pattern, in query.ParseBGP's format:
+	// patterns separated by '.', terms whitespace-separated, ?name a
+	// variable.
+	BGP string `json:"bgp"`
+	// Mode selects the evaluation route: ModeMaterialized (default),
+	// ModeExpand or ModePlain.
+	Mode string `json:"mode,omitempty"`
+	// Limit caps the streamed solutions; 0 (and anything above the server's
+	// MaxSolutions) means the server's MaxSolutions.
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryHeader is the first line of a /query response stream.
+type QueryHeader struct {
+	// Vars is the BGP's variable names in order of first appearance; every
+	// solution line binds exactly these.
+	Vars []string `json:"vars"`
+}
+
+// QueryRow is one solution line of a /query response stream.
+type QueryRow struct {
+	// Bind maps each variable to its value.
+	Bind map[string]string `json:"bind"`
+}
+
+// QueryTrailer is the last line of a /query response stream.
+type QueryTrailer struct {
+	// Done is always true; its presence distinguishes the trailer from rows.
+	Done bool `json:"done"`
+	// Solutions is how many rows were streamed before this trailer.
+	Solutions int `json:"solutions"`
+	// Truncated reports that the solution stream was cut at the limit.
+	Truncated bool `json:"truncated"`
+	// Cached reports that the rows were replayed from the result cache.
+	Cached bool `json:"cached"`
+	// ElapsedUS is the server-side evaluation time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Error is set when evaluation ended early (timeout, malformed BGP
+	// discovered mid-stream); the rows already streamed are valid but the
+	// result set is incomplete.
+	Error string `json:"error,omitempty"`
+}
+
+// TripleJSON is the wire form of one triple.
+type TripleJSON struct {
+	Subject   string `json:"subject"`
+	Predicate string `json:"predicate"`
+	Object    string `json:"object"`
+}
+
+// MutateRequest is the body of POST /triples: a batch of assertions and
+// retractions, applied adds-first, each incrementally re-materialized.
+type MutateRequest struct {
+	// Add is asserted through the engine's batch path (all-or-nothing
+	// validation; duplicates are ignored).
+	Add []TripleJSON `json:"add,omitempty"`
+	// Remove is retracted one triple at a time with delete-and-rederive
+	// maintenance; absent triples count as not removed.
+	Remove []TripleJSON `json:"remove,omitempty"`
+}
+
+// MutateResponse is the body of a successful POST /triples response.
+type MutateResponse struct {
+	// Added and Removed count the triples that actually changed the
+	// asserted store (duplicates and absences excluded).
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// Asserted and Inferred are the store's sizes after the batch.
+	Asserted int `json:"asserted"`
+	Inferred int `json:"inferred"`
+}
+
+// EngineStats is the reasoning-engine block of StatsResponse.
+type EngineStats struct {
+	// Rounds is the number of semi-naive rounds run over the server's life.
+	Rounds int `json:"rounds"`
+	// Derived counts triples ever added to the inferred overlay.
+	Derived int `json:"derived"`
+	// Overdeleted and Rederived count delete-and-rederive traffic.
+	Overdeleted int `json:"overdeleted"`
+	Rederived   int `json:"rederived"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	// Asserted, Inferred and Total are the materialized view's triple
+	// counts (Total = Asserted + Inferred; the two never overlap).
+	Asserted int `json:"asserted"`
+	Inferred int `json:"inferred"`
+	Total    int `json:"total"`
+	// Engine is the reasoner's cumulative work counters.
+	Engine EngineStats `json:"engine"`
+	// Cache is the query-result cache's counters.
+	Cache CacheStats `json:"cache"`
+	// Queries and Mutations count requests served since start.
+	Queries   int64 `json:"queries"`
+	Mutations int64 `json:"mutations"`
+	// UptimeMS is milliseconds since the server was created.
+	UptimeMS int64 `json:"uptime_ms"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" whenever the server answers at all.
+	Status string `json:"status"`
+	// Triples is the materialized view's current size, a cheap liveness
+	// payload (O(1) on the disjoint view).
+	Triples int `json:"triples"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError sends a JSON error with the given status.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeJSON sends a 200 JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// readBody decodes a size-capped JSON request body into v, rejecting
+// unknown fields so typos fail loudly instead of silently selecting
+// defaults. On failure it writes the error response itself — 413 for an
+// oversized body (splitting the request could succeed), 400 for malformed
+// JSON (retrying cannot) — and reports false.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the server limit of %d bytes", mbe.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// handleQuery is POST /query: parse, consult the cache, evaluate, stream.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.queries.Add(1)
+	var req QueryRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	bgp, err := query.ParseBGP(req.BGP)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(bgp) > s.cfg.MaxPatterns {
+		writeError(w, http.StatusBadRequest, "BGP has %d patterns, server limit is %d", len(bgp), s.cfg.MaxPatterns)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxSolutions {
+		limit = s.cfg.MaxSolutions
+	}
+
+	var (
+		src  query.Source
+		opts []query.Option
+		mode = req.Mode
+	)
+	switch mode {
+	case "", ModeMaterialized:
+		mode = ModeMaterialized
+		src = s.reasoner.View()
+		opts = append(opts, query.Materialized())
+	case ModeExpand:
+		if s.cfg.Ontology == nil {
+			writeError(w, http.StatusBadRequest, "mode %q needs a server-side ontology index and none is configured", ModeExpand)
+			return
+		}
+		src = s.reasoner.Base()
+		opts = append(opts, query.Expand(s.cfg.Ontology))
+	case ModePlain:
+		src = s.reasoner.Base()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want %q, %q or %q)", mode, ModeMaterialized, ModeExpand, ModePlain)
+		return
+	}
+
+	// The key carries the variable-name mapping next to the canonical form:
+	// responses are replayed verbatim, so a hit must have asked for the same
+	// variable names (pattern-reordered respellings share an entry; renamed
+	// variables evaluate afresh rather than replay foreign names). Every
+	// client-controlled component is length-prefixed — BGP terms may contain
+	// any non-whitespace byte, so no separator byte is collision-safe on its
+	// own; length prefixes make the key decoding (hence the key) unambiguous.
+	ckey, cvars := query.CanonicalWithVars(bgp)
+	var kb strings.Builder
+	kb.WriteString(mode) // fixed vocabulary, no separator bytes
+	kb.WriteByte('|')
+	kb.WriteString(strconv.Itoa(limit))
+	kb.WriteByte('|')
+	kb.WriteString(strconv.Itoa(len(ckey)))
+	kb.WriteByte('|')
+	kb.WriteString(ckey)
+	for _, v := range cvars {
+		kb.WriteString(strconv.Itoa(len(v)))
+		kb.WriteByte('|')
+		kb.WriteString(v)
+	}
+	key := kb.String()
+	if e := s.cache.get(key); e != nil {
+		s.replay(w, e)
+		return
+	}
+	gen := s.cache.generation()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	opts = append(opts, query.Interrupt(func() bool { return ctx.Err() != nil }))
+
+	start := time.Now()
+	sols := query.Eval(src, bgp, opts...)
+	header, _ := json.Marshal(QueryHeader{Vars: sols.Vars()})
+	header = append(header, '\n')
+
+	w.Header().Set("Content-Type", ndjsonType)
+	if _, err := w.Write(header); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+
+	// Rows are retained for the cache store only when the cache can accept
+	// them; with caching disabled the response is stream-only.
+	caching := s.cache.enabled()
+	var rows [][]byte
+	size := int64(len(header))
+	if caching {
+		rows = make([][]byte, 0, 64)
+	}
+	n := 0
+	truncated := false
+	for sols.Next() {
+		line, err := json.Marshal(QueryRow{Bind: sols.Bind()})
+		if err != nil {
+			writeTrailer(w, QueryTrailer{Done: true, Solutions: n, Error: err.Error()})
+			return
+		}
+		line = append(line, '\n')
+		n++
+		if caching {
+			rows = append(rows, line)
+			size += int64(len(line))
+		}
+		if _, err := w.Write(line); err != nil {
+			return // client gone; nothing to cache (result may be incomplete)
+		}
+		if flusher != nil && n%flushEvery == 0 {
+			flusher.Flush()
+		}
+		if n >= limit {
+			truncated = sols.Next()
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	if err := sols.Err(); err != nil {
+		if n >= limit && errors.Is(err, query.ErrInterrupted) {
+			// The limit-full result the client received is complete; only
+			// the did-more-solutions-exist probe was cut short by the
+			// deadline. Report truncation (the conservative unknown) and
+			// skip caching rather than cache the guess.
+			writeTrailer(w, QueryTrailer{Done: true, Solutions: n, Truncated: true, ElapsedUS: elapsed.Microseconds()})
+			return
+		}
+		msg := err.Error()
+		if errors.Is(err, query.ErrInterrupted) {
+			msg = fmt.Sprintf("query interrupted after %v (server timeout %v or client disconnect); partial results above", elapsed.Round(time.Millisecond), s.cfg.QueryTimeout)
+		}
+		writeTrailer(w, QueryTrailer{Done: true, Solutions: n, ElapsedUS: elapsed.Microseconds(), Error: msg})
+		return
+	}
+
+	if caching {
+		e := &cacheEntry{
+			header:    header,
+			rows:      rows,
+			solutions: n,
+			truncated: truncated,
+			size:      size,
+		}
+		for _, p := range bgp {
+			if p.Predicate.IsVar {
+				e.anyPred = true
+			} else {
+				e.preds = append(e.preds, p.Predicate.Value)
+			}
+		}
+		s.cache.put(key, e, gen)
+	}
+	writeTrailer(w, QueryTrailer{
+		Done:      true,
+		Solutions: n,
+		Truncated: truncated,
+		ElapsedUS: elapsed.Microseconds(),
+	})
+}
+
+// flushEvery is how many streamed rows go between explicit flushes: often
+// enough that slow consumers see progress, rarely enough that flushing does
+// not dominate small-row serialization.
+const flushEvery = 256
+
+// replay writes a cached entry as a fresh response stream.
+func (s *Server) replay(w http.ResponseWriter, e *cacheEntry) {
+	w.Header().Set("Content-Type", ndjsonType)
+	if _, err := w.Write(e.header); err != nil {
+		return
+	}
+	for _, line := range e.rows {
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+	}
+	writeTrailer(w, QueryTrailer{
+		Done:      true,
+		Solutions: e.solutions,
+		Truncated: e.truncated,
+		Cached:    true,
+	})
+}
+
+// writeTrailer appends the final stream line.
+func writeTrailer(w http.ResponseWriter, t QueryTrailer) {
+	line, _ := json.Marshal(t)
+	line = append(line, '\n')
+	_, _ = w.Write(line)
+}
+
+// handleTriples is POST /triples: batched mutations through the engine.
+func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.mutations.Add(1)
+	var req MutateRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	if n := len(req.Add) + len(req.Remove); n == 0 {
+		writeError(w, http.StatusBadRequest, "empty mutation: need add or remove triples")
+		return
+	} else if n > s.cfg.MaxMutations {
+		writeError(w, http.StatusBadRequest, "batch of %d mutations exceeds the server limit of %d", n, s.cfg.MaxMutations)
+		return
+	}
+
+	var resp MutateResponse
+	if len(req.Add) > 0 {
+		batch := make([]store.Triple, len(req.Add))
+		for i, t := range req.Add {
+			batch[i] = store.Triple{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}
+		}
+		added, err := s.reasoner.AddBatch(batch)
+		if err != nil {
+			// AddBatch validation is all-or-nothing: nothing was applied.
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Added = added
+	}
+	for _, t := range req.Remove {
+		if s.reasoner.Remove(store.Triple{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}) {
+			resp.Removed++
+		}
+	}
+	resp.Asserted = s.reasoner.Base().Len()
+	resp.Inferred = s.reasoner.InferredCount()
+	writeJSON(w, resp)
+}
+
+// handleStats is GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	es := s.reasoner.Stats()
+	asserted := s.reasoner.Base().Len()
+	inferred := s.reasoner.InferredCount()
+	writeJSON(w, StatsResponse{
+		Asserted: asserted,
+		Inferred: inferred,
+		Total:    asserted + inferred,
+		Engine: EngineStats{
+			Rounds:      es.Rounds,
+			Derived:     es.Derived,
+			Overdeleted: es.Overdeleted,
+			Rederived:   es.Rederived,
+		},
+		Cache:     s.cache.stats(),
+		Queries:   s.queries.Load(),
+		Mutations: s.mutations.Load(),
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, HealthResponse{Status: "ok", Triples: s.reasoner.View().Len()})
+}
+
+// handleSnapshot is GET /snapshot: stream the materialized view as JSON
+// lines — the read-only snapshot handoff. With ?provenance=1 each line is a
+// store.TaggedTriple ("asserted"/"inferred"); otherwise the plain
+// store.Snapshot format store.Restore reads back. The stream is consistent
+// against a quiescent engine; a snapshot overlapping a mutation may mix
+// pre- and post-mutation triples (each triple is well-formed either way).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", ndjsonType)
+	if r.URL.Query().Get("provenance") == "1" {
+		_, _ = s.reasoner.View().SnapshotProvenance(w)
+		return
+	}
+	_, _ = s.reasoner.View().Snapshot(w)
+}

@@ -1,0 +1,219 @@
+// Package server is the HTTP/JSON serving layer over the materialized
+// ontology store: it owns a reasoning engine (repro/internal/reason) kept at
+// a fixpoint over a base store, and serves BGP queries, batched mutations,
+// statistics and snapshots over plain HTTP. See API.md at the repository
+// root for the wire protocol with curl transcripts.
+//
+// The endpoints are
+//
+//	POST /query    — evaluate a BGP (query.ParseBGP text), stream solutions
+//	POST /triples  — batched add/remove mutations, incrementally re-materialized
+//	GET  /stats    — store, engine, cache and traffic counters
+//	GET  /healthz  — liveness probe
+//	GET  /snapshot — stream the materialized view as JSON lines
+//
+// Query results are memoized in a sharded cache keyed on the canonicalized
+// BGP (query.Canonical) plus evaluation mode and limit, and invalidated at
+// predicate granularity by the engine's delta notifications — a mutation
+// touching predicate p drops exactly the cached results whose BGPs mention
+// p (plus those with variable predicates), so read-heavy traffic keeps its
+// hits across writes to unrelated predicates.
+//
+// Concurrency: a Server is safe for concurrent use by any number of HTTP
+// clients. Queries read the view under the stores' shard read-locks and
+// never block each other; mutations serialize behind the reasoner's write
+// lock; cache invalidation runs inside the mutation's critical section, so
+// a client that observes a mutation's response can never be served a result
+// cached before that mutation (its own later queries re-evaluate).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/reason"
+	"repro/internal/store"
+)
+
+// Config assembles a Server. Base is the only required field; the zero
+// value of every limit picks the default documented on it.
+type Config struct {
+	// Base is the asserted corpus the server materializes and serves.
+	// The server owns the store from New on: all writes must go through
+	// POST /triples (or the Reasoner), never directly to Base.
+	Base *store.Store
+	// Rules is the Horn rule set forward-chained over Base; nil means
+	// reason.RDFSRules().
+	Rules []reason.Rule
+	// Ontology optionally enables mode=expand queries: a classified TBox
+	// index for query-time subsumption expansion. Materialized queries do
+	// not need it.
+	Ontology *store.OntologyIndex
+	// QueryTimeout bounds one /query evaluation; past it the join is
+	// interrupted and the response trailer carries the error. Default 5s.
+	QueryTimeout time.Duration
+	// MaxSolutions caps the solutions one /query may stream; results hitting
+	// the cap are marked truncated. A request's limit can lower, never
+	// raise, it. Default 100000.
+	MaxSolutions int
+	// MaxPatterns caps the patterns of one BGP (plan search is factorial up
+	// to 6 patterns, greedy past that; the cap keeps hostile queries from
+	// exploding the evaluator). Default 16.
+	MaxPatterns int
+	// MaxBodyBytes caps a request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxMutations caps the add+remove triples of one /triples batch.
+	// Default 100000.
+	MaxMutations int
+	// CacheMaxBytes is the query-result cache's budget in retained response
+	// bytes (capacity is accounted in bytes, not entries — one entry can
+	// hold up to MaxSolutions marshaled rows); 0 picks the default
+	// (256 MiB), negative disables caching.
+	CacheMaxBytes int64
+	// CacheShards is the cache's lock-domain count; 0 picks the default
+	// (16).
+	CacheShards int
+}
+
+// defaults the zero fields.
+func (c *Config) defaults() {
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 5 * time.Second
+	}
+	if c.MaxSolutions == 0 {
+		c.MaxSolutions = 100_000
+	}
+	if c.MaxPatterns == 0 {
+		c.MaxPatterns = 16
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxMutations == 0 {
+		c.MaxMutations = 100_000
+	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = 256 << 20
+	}
+	if c.CacheMaxBytes < 0 {
+		c.CacheMaxBytes = 0
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+}
+
+// Server serves the materialized ontology over HTTP. Create one with New;
+// it is immutable after creation (all mutable state lives in the engine,
+// the cache and atomic counters) and safe for concurrent use.
+type Server struct {
+	cfg      Config
+	reasoner *reason.Reasoner
+	cache    *resultCache
+	mux      *http.ServeMux
+	start    time.Time
+
+	queries   atomic.Int64
+	mutations atomic.Int64
+}
+
+// New materializes the base corpus to a fixpoint under the rule set and
+// returns a Server ready to accept requests. The reasoner's delta hook is
+// claimed for cache invalidation — callers must not call SetOnDelta on the
+// returned server's Reasoner — and every later write must flow through
+// POST /triples or the Reasoner's own methods, never the base store
+// directly.
+func New(cfg Config) (*Server, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("server: Config.Base is required")
+	}
+	cfg.defaults()
+	rules := cfg.Rules
+	if rules == nil {
+		rules = reason.RDFSRules()
+	}
+	r, err := reason.Materialize(cfg.Base, rules)
+	if err != nil {
+		return nil, fmt.Errorf("server: materializing the corpus: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		reasoner: r,
+		cache:    newResultCache(cfg.CacheMaxBytes, cfg.CacheShards),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	res := r.View().NewResolver()
+	r.SetOnDelta(func(added, removed []store.IDTriple) {
+		s.cache.invalidate(res, added, removed)
+	})
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/triples", s.handleTriples)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	return s, nil
+}
+
+// Reasoner exposes the engine the server fronts, for in-process callers
+// (tests, examples) that want to inspect or mutate the corpus without going
+// through HTTP. Do not call SetOnDelta on it — the server's cache
+// invalidation owns that hook.
+func (s *Server) Reasoner() *reason.Reasoner { return s.reasoner }
+
+// Handler returns the http.Handler serving every endpoint, for mounting
+// under a custom http.Server or hitting directly in tests and benchmarks.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: in-flight requests get up to shutdownGrace to finish before
+// the server closes their connections. Request contexts deliberately do
+// not derive from ctx — cancelling it stops the listener, it must not
+// interrupt queries the grace period exists to let finish (a request's own
+// context still cancels on client disconnect, as net/http always does). It
+// returns nil on a clean ctx-triggered shutdown and the listener's error
+// otherwise.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+		<-errc // hs.Serve has returned http.ErrServerClosed
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// shutdownGrace is how long Serve's graceful shutdown waits for in-flight
+// requests; it dominates the longest expected query (QueryTimeout's
+// default) so a shutdown does not sever streams a timeout would have ended
+// anyway.
+const shutdownGrace = 10 * time.Second
+
+// ListenAndServe binds addr and calls Serve. It returns once the listener
+// is closed — on ctx cancellation, after the graceful shutdown completes.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listening on %s: %w", addr, err)
+	}
+	return s.Serve(ctx, ln)
+}

@@ -1,0 +1,104 @@
+// The concurrent-snapshot test lives in the external test package so it can
+// drive writes through the real materialization engine (repro/internal/reason
+// imports store; an internal test would be an import cycle).
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/reason"
+	"repro/internal/store"
+)
+
+// TestViewSnapshotUnderConcurrentEngineWrites snapshots a materialized view
+// while a reasoner concurrently adds and removes triples — the serving
+// layer's GET /snapshot racing POST /triples. Run under -race (CI does),
+// this is primarily a data-race probe; the semantic assertions are the
+// documented weak ones: every snapshot line is a well-formed triple
+// (Restore parses the whole stream), and a quiescent snapshot afterwards is
+// exact and byte-stable.
+func TestViewSnapshotUnderConcurrentEngineWrites(t *testing.T) {
+	base := store.New()
+	if _, err := base.AddAll(
+		store.Triple{Subject: "car", Predicate: reason.SubClassOfPredicate, Object: "vehicle"},
+		store.Triple{Subject: "vehicle", Predicate: reason.SubClassOfPredicate, Object: "artifact"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	r, err := reason.Materialize(base, reason.RDFSRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := r.View()
+
+	const (
+		writers = 2
+		rounds  = 150
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tr := store.Triple{
+					Subject:   fmt.Sprintf("item-%d-%d", w, i),
+					Predicate: store.TypePredicate,
+					Object:    "car",
+				}
+				if _, err := r.Add(tr); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%3 == 0 {
+					r.Remove(tr)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if _, err := view.Snapshot(&buf); err != nil {
+				t.Errorf("snapshot under writes: %v", err)
+				return
+			}
+			// Every line must still be a well-formed triple.
+			if _, err := store.Restore(store.New(), &buf); err != nil {
+				t.Errorf("snapshot under writes does not restore: %v", err)
+				return
+			}
+			if _, err := view.SnapshotProvenance(io.Discard); err != nil {
+				t.Errorf("provenance snapshot under writes: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent: the snapshot is exact and byte-stable.
+	var a, b bytes.Buffer
+	na, err := view.Snapshot(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := view.Snapshot(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("quiescent snapshots differ: %d vs %d triples", na, nb)
+	}
+	if na != view.Len() {
+		t.Fatalf("snapshot wrote %d triples, view holds %d", na, view.Len())
+	}
+}

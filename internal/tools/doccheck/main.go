@@ -1,0 +1,149 @@
+// Command doccheck enforces the repository's documentation contract: every
+// exported identifier in the packages it is pointed at must carry a doc
+// comment. CI runs it over the serving stack —
+//
+//	go run ./internal/tools/doccheck internal/store internal/query internal/reason internal/server
+//
+// — and fails the docs job on any bare export. The check is a small go/ast
+// walk, not a full linter: a declaration is documented if the declaration
+// itself, its spec, or (for grouped const/var/type blocks) the group has a
+// comment; test files are skipped; methods count when both the method name
+// and the receiver type are exported.
+//
+// Exit status: 0 when every exported identifier is documented, 1 otherwise
+// (one "file:line: …" diagnostic per finding), 2 on usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run checks every package directory and prints findings to stderr.
+func run(dirs []string) int {
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [<package-dir>...]")
+		return 2
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", len(findings))
+	return 1
+}
+
+// checkDir parses one package directory (test files excluded) and returns
+// one finding per undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", dir, err)
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			findings = append(findings, checkFile(fset, filepath.ToSlash(name), file)...)
+		}
+	}
+	return findings, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, name string, file *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, kind, ident string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", name, p.Line, kind, ident))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A group comment (d.Doc) covers every const/var in the
+					// block; otherwise each exported spec needs its own.
+					if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+						continue
+					}
+					for _, id := range sp.Names {
+						if id.IsExported() {
+							report(id.Pos(), kindOf(d.Tok), id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// kindOf names a ValueSpec's declaration kind for the diagnostic.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// receiverExported reports whether a function's receiver type (if any) is
+// exported; methods on unexported types are not part of the public surface.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDirFindsBareExports(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "x.go", `package x
+
+// Documented is fine.
+type Documented struct{}
+
+type Bare struct{}
+
+func BareFunc() {}
+
+// Group comments cover every name in the block.
+const (
+	CoveredA = 1
+	CoveredB = 2
+)
+
+const BareConst = 3
+
+// DocumentedMethod is fine.
+func (Documented) DocumentedMethod() {}
+
+func (Documented) BareMethod() {}
+
+type hidden struct{}
+
+// Methods on unexported types are not public surface.
+func (hidden) Whatever() {}
+
+func unexported() {}
+`)
+	// Test files are skipped entirely.
+	writeFile(t, dir, "x_test.go", `package x
+
+func TestishBare() {}
+`)
+
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f[strings.LastIndex(f, "exported "):])
+	}
+	want := []string{
+		"exported type Bare has no doc comment",
+		"exported function BareFunc has no doc comment",
+		"exported const BareConst has no doc comment",
+		"exported method BareMethod has no doc comment",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %v", w, got)
+		}
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "absent")}); code != 2 {
+		t.Fatalf("absent dir: exit %d, want 2", code)
+	}
+	clean := t.TempDir()
+	writeFile(t, clean, "ok.go", "package ok\n\n// Fine is documented.\nfunc Fine() {}\n")
+	if code := run([]string{clean}); code != 0 {
+		t.Fatalf("clean dir: exit %d, want 0", code)
+	}
+}
