@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strconv"
 	"testing"
@@ -351,4 +352,67 @@ func BenchmarkQueryJoin2(b *testing.B) {
 // same, extended through the site→region edge.
 func BenchmarkQueryJoin3(b *testing.B) {
 	benchJoin(b, query.MustParseBGP("?x type class-5 . ?x locatedIn ?site . ?site partOf ?region"))
+}
+
+// BenchmarkQueryJoin3At1e6 is the 3-pattern join at 10⁶ triples — the
+// million-triple row of EXPERIMENTS.md's batched-execution table.
+func BenchmarkQueryJoin3At1e6(b *testing.B) {
+	s := store.New()
+	if _, err := s.AddBatch(joinWorkload(1_000_000)); err != nil {
+		b.Fatal(err)
+	}
+	bgp := query.MustParseBGP("?x type class-5 . ?x locatedIn ?site . ?site partOf ?region")
+	b.ReportAllocs()
+	b.ResetTimer()
+	solutions := 0
+	for i := 0; i < b.N; i++ {
+		sols := query.Eval(s, bgp)
+		for sols.Next() {
+			solutions++
+		}
+		if err := sols.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if solutions == 0 {
+		b.Fatal("join produced no solutions")
+	}
+	b.ReportMetric(float64(solutions)/float64(b.N), "solutions/query")
+}
+
+// BenchmarkParallelLeafScan measures the shard-parallel leaf scan: the
+// unselective full scan ?s ?p ?o over the 10⁵-triple join corpus, under
+// GOMAXPROCS=1 (sequential cursor) and GOMAXPROCS=4 (scan parts drained by
+// concurrent workers and merged). The evaluator picks the worker count from
+// GOMAXPROCS, so the two sub-benchmarks exercise the two paths; on a
+// multi-core machine the 4-proc form shows the parallel speedup (a
+// single-core CI runner times both the same, modulo merge overhead).
+func BenchmarkParallelLeafScan(b *testing.B) {
+	s := store.New()
+	if _, err := s.AddBatch(joinWorkload(100_000)); err != nil {
+		b.Fatal(err)
+	}
+	bgp := query.MustParseBGP("?s ?p ?o")
+	for _, procs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("gomaxprocs-%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sols := query.Eval(s, bgp)
+				n := 0
+				for sols.Next() {
+					n++
+				}
+				if err := sols.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if n != 100_000 {
+					b.Fatalf("scanned %d solutions, want 100000", n)
+				}
+			}
+			b.ReportMetric(float64(100_000)*float64(b.N)/b.Elapsed().Seconds(), "triples/s")
+		})
+	}
 }

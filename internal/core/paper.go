@@ -73,7 +73,7 @@ func PaperInput() Input {
 	annotations := store.New()
 	trueClass := map[string]string{}
 	add := func(instance, annotated, actual string) {
-		if err := store.Annotate(annotations, instance, annotated); err != nil {
+		if _, err := annotations.Add(store.Triple{Subject: instance, Predicate: store.TypePredicate, Object: annotated}); err != nil {
 			panic(err)
 		}
 		trueClass[instance] = actual

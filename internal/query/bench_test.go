@@ -49,10 +49,12 @@ func e5Index(b *testing.B) *store.OntologyIndex {
 }
 
 // BenchmarkExpandedClassQuery is the E5 class-query benchmark both ways:
-// the deprecated store.InstancesOfExpanded helper against the same
-// retrieval phrased as a one-pattern BGP with the Expand option. The two
-// must return identical answers (the query tests prove it) at comparable
-// cost — the acceptance bar for replacing the helper is ±10%.
+// the retired InstancesOfExpanded helper's algorithm (a hand-rolled
+// subsumee-union over ForEachSubject with string-keyed dedup, reproduced
+// inline) against the same retrieval phrased as a one-pattern BGP with the
+// Expand option. The two must return identical answers (the query tests
+// prove it) at comparable cost — the bar for retiring the helper was that
+// the BGP form not lose to it.
 func BenchmarkExpandedClassQuery(b *testing.B) {
 	const n = 100_000
 	s := e5Store(b, n)
@@ -60,7 +62,9 @@ func BenchmarkExpandedClassQuery(b *testing.B) {
 	b.Run("legacy-helper", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if got := store.InstancesOfExpanded(s, oi, "root"); len(got) == 0 {
+			// expandedReference (query_test.go) is the retired helper's
+			// algorithm, shared with the equivalence test.
+			if got := expandedReference(s, oi, "root"); len(got) == 0 {
 				b.Fatal("no instances")
 			}
 		}

@@ -1,25 +1,27 @@
 package query
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/query/exec"
 	"repro/internal/store"
 )
 
 // ErrInterrupted is the error a Solutions iterator reports through Err when
 // an Interrupt hook cancelled the evaluation before it was exhausted.
-// Callers wrapping a context deadline should match it with errors.Is.
-var ErrInterrupted = errors.New("query: evaluation interrupted")
+// Callers wrapping a context deadline should match it with errors.Is. It is
+// the same value as exec.ErrInterrupted — the operator runtime produces it,
+// this package re-exports it.
+var ErrInterrupted = exec.ErrInterrupted
 
-// Source is the id-level store surface Eval evaluates over: the hooks of
-// internal/store's ids.go, satisfied by both *store.Store (a single store)
-// and *store.View (the asserted∪inferred union of a materialized store). The
-// evaluator and planner only ever touch these five methods, so anything that
-// exposes dictionary-encoded pattern reads with cardinality statistics can
-// sit under a BGP.
+// Source is the id-level store surface Eval evaluates over, satisfied by
+// both *store.Store (a single store) and *store.View (the asserted∪inferred
+// union of a materialized store): dictionary lookups and cardinality
+// statistics for the planner, plus the batched scan/probe hooks the operator
+// runtime (repro/internal/query/exec) executes with. Anything exposing these
+// eight methods can sit under a BGP.
 type Source interface {
 	// SymbolID returns the dictionary id of a name; ok is false for names
 	// never interned (a pattern bound to one matches nothing).
@@ -27,6 +29,12 @@ type Source interface {
 	// QueryIDFunc streams every triple matching the id pattern to yield,
 	// stopping early when yield returns false.
 	QueryIDFunc(p store.IDPattern, yield func(store.IDTriple) bool)
+	// QueryIDBatch answers a batch of same-shape probes, grouped by index
+	// shard (see store.QueryIDBatch) — the join operators' probe hook.
+	QueryIDBatch(ps []store.IDPattern, yield func(pi int, t store.IDTriple) bool)
+	// ScanParts splits a pattern's matches into independently drainable
+	// cursors (see store.ScanParts) — the leaf operators' scan hook.
+	ScanParts(p store.IDPattern, max int) []*store.ScanPart
 	// CountID returns the number of triples matching the id pattern.
 	CountID(p store.IDPattern) int
 	// StatsID returns cardinality statistics for the id pattern.
@@ -34,6 +42,12 @@ type Source interface {
 	// NewResolver returns a resolver from ids back to names.
 	NewResolver() store.Resolver
 }
+
+// interruptTickMask mirrors the operator runtime's interrupt-poll throttle
+// (exec polls its Ctx hook once every interruptTickMask+1 steps, and the
+// Solutions adapter shares that budget); tests use it to bound how many
+// solutions a cancelled iteration may still produce.
+const interruptTickMask = 255
 
 // config collects Eval's options.
 type config struct {
@@ -57,9 +71,9 @@ func Expand(oi *store.OntologyIndex) Option {
 }
 
 // Interrupt installs a cancellation hook on the evaluation: cancelled is
-// polled periodically (every few hundred probe steps, so long scans cannot
-// run away unobserved) and, once it returns true, the iteration stops —
-// Next returns false and Err reports ErrInterrupted. The hook is how a
+// polled periodically (every few hundred execution steps, so long scans
+// cannot run away unobserved) and, once it returns true, the iteration stops
+// — Next returns false and Err reports ErrInterrupted. The hook is how a
 // server maps a request context's deadline onto an in-flight join:
 //
 //	sols := query.Eval(src, bgp, query.Interrupt(func() bool {
@@ -95,16 +109,11 @@ type comp struct {
 }
 
 // level is one pattern of the join, in evaluation order: its compiled
-// components, its expansion candidates, and the match buffer the current
-// probe filled. buf and local are reused across probes, so steady-state
-// iteration allocates nothing.
+// components and its expansion candidates. The planner orders levels; the
+// builder then lowers them onto the operator tree.
 type level struct {
 	comps  [3]comp
 	expand []store.SymbolID // expanded object candidates; nil when not expanded
-	yield  func(store.IDTriple) bool
-	buf    []store.IDTriple
-	pos    int
-	local  []int // variable indexes bound by the current candidate
 }
 
 // Solutions streams the solutions of a BGP. The iteration protocol is
@@ -115,48 +124,30 @@ type level struct {
 //	}
 //	if err := sols.Err(); err != nil { ... }
 //
+// Under the hood the solutions are produced in columnar batches by the
+// operator tree in repro/internal/query/exec; Next walks the current batch
+// row by row, so the tuple-at-a-time surface costs one virtual call and one
+// bounds check per solution. Batch-aware consumers (the HTTP server's ndjson
+// streamer) can take whole batches through NextBatch instead.
+//
 // A Solutions is single-use and not safe for concurrent use. It holds no
-// locks between Next calls; each probe reads the store under the store's own
-// shard read-locks, so a concurrent writer interleaving with the iteration
-// may be reflected in some probes and not others (the solution set is only
-// guaranteed consistent against a quiescent store).
+// locks between Next calls; each batch refill reads the store under the
+// store's own shard read-locks, so a concurrent writer interleaving with the
+// iteration may be reflected in some batches and not others (the solution
+// set is only guaranteed consistent against a quiescent store).
 type Solutions struct {
-	src     Source
-	res     store.Resolver
-	vars    []string
-	levels  []level
-	bind    []store.SymbolID // current value per variable
-	bound   []bool           // whether the variable is currently bound
-	depth   int
-	err     error
-	done    bool
-	started bool
-	// interrupt is the Interrupt option's cancellation hook; ticks throttles
-	// how often it is polled.
-	interrupt func() bool
-	ticks     uint
-}
-
-// interruptTickMask throttles the Interrupt hook: it is polled once every
-// interruptTickMask+1 probe steps, cheap enough to sit on the innermost
-// loops while still bounding how long a cancelled evaluation keeps running.
-const interruptTickMask = 255
-
-// cancelled polls the Interrupt hook (throttled) and, when it fires, ends
-// the iteration with ErrInterrupted.
-func (sol *Solutions) cancelled() bool {
-	if sol.interrupt == nil || sol.done {
-		return false
-	}
-	if sol.ticks++; sol.ticks&interruptTickMask != 0 {
-		return false
-	}
-	if !sol.interrupt() {
-		return false
-	}
-	sol.err = ErrInterrupted
-	sol.done = true
-	return true
+	src  Source
+	res  store.Resolver
+	vars []string
+	root exec.Op
+	ctx  exec.Ctx
+	cur  *exec.Batch
+	row  int
+	// onRow is true while the iterator is positioned on a valid solution
+	// (between a true Next and the following call).
+	onRow bool
+	err   error
+	done  bool
 }
 
 // Eval plans and evaluates a BGP over a Source — a *store.Store, or a
@@ -166,12 +157,12 @@ func (sol *Solutions) cancelled() bool {
 // the source's indexes (StatsID), and the join order minimizing the
 // estimated total work under a cardinality-propagation model is chosen —
 // exhaustively for BGPs of up to 6 patterns, greedily cheapest-next-probe
-// beyond — so evaluation starts from the most selective pattern and follows
-// shared variables through their most selective probe direction instead of
-// degenerating into cartesian products. Evaluation is an index-nested-loop
-// join at the dictionary-id level: every probe substitutes the bindings
-// accumulated so far and answers from the SPO/POS/OSP permutation family
-// those bound components select.
+// beyond. The planner's output is then lowered onto a batched operator tree
+// (repro/internal/query/exec): the most selective pattern becomes the leaf
+// scan — shard-parallel when it is wide enough — and every later pattern a
+// batch-at-a-time index-nested-loop join whose probes are grouped by index
+// shard. Everything runs on dictionary ids; solutions resolve back to
+// strings only when read.
 //
 // A BGP that mentions an empty-named variable or an empty literal is
 // reported through Err; a literal the store has never seen simply yields no
@@ -184,13 +175,18 @@ func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 	if cfg.materialized {
 		cfg.oi = nil
 	}
-	sol := &Solutions{src: src, res: src.NewResolver(), vars: bgp.Vars(), interrupt: cfg.interrupt}
-	varIdx := make(map[string]int, len(sol.vars))
-	for i, name := range sol.vars {
-		varIdx[name] = i
+	sol := &Solutions{src: src, res: src.NewResolver(), vars: bgpVars(bgp)}
+	sol.ctx.Interrupt = cfg.interrupt
+	// Variable-table lookups are linear: BGPs have a handful of variables,
+	// and a map would cost more to build than every lookup it would serve.
+	varIdx := func(name string) int {
+		for i, v := range sol.vars {
+			if v == name {
+				return i
+			}
+		}
+		return -1
 	}
-	sol.bind = make([]store.SymbolID, len(sol.vars))
-	sol.bound = make([]bool, len(sol.vars))
 
 	unsat := false
 	levels := make([]level, 0, len(bgp))
@@ -204,7 +200,7 @@ func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 					sol.done = true
 					return sol
 				}
-				lv.comps[i] = comp{isVar: true, varIdx: varIdx[t.Value]}
+				lv.comps[i] = comp{isVar: true, varIdx: varIdx(t.Value)}
 				continue
 			}
 			if t.Value == "" {
@@ -239,18 +235,69 @@ func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 		sol.done = true
 		return sol
 	}
-	sol.levels = plan(src, levels, len(sol.vars))
-	for i := range sol.levels {
-		lv := &sol.levels[i]
-		lv.yield = func(t store.IDTriple) bool {
-			if sol.cancelled() {
-				return false
+	if len(levels) == 0 {
+		// The empty BGP: no operator tree; Next synthesizes the one empty
+		// solution.
+		return sol
+	}
+	ordered, estFirst := plan(src, levels, len(sol.vars))
+	sol.root = build(src, ordered, len(sol.vars), estFirst)
+	return sol
+}
+
+// bgpVars collects the BGP's variable names in order of first appearance
+// with linear dedup — BGP.Vars without the map, for the few-variable BGPs
+// every query is.
+func bgpVars(b BGP) []string {
+	var out []string
+	for _, p := range b {
+		for _, t := range p.terms() {
+			if !t.IsVar {
+				continue
 			}
-			lv.buf = append(lv.buf, t)
-			return true
+			seen := false
+			for _, v := range out {
+				if v == t.Value {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				out = append(out, t.Value)
+			}
 		}
 	}
-	return sol
+	return out
+}
+
+// build lowers the planned levels onto the operator tree: the first level
+// becomes the leaf scan (sized by the planner's estimate so wide scans go
+// shard-parallel), every later level a batched probe join.
+func build(src Source, ordered []level, nvars int, estFirst float64) exec.Op {
+	bound := make([]bool, nvars)
+	var root exec.Op
+	for li := range ordered {
+		lv := &ordered[li]
+		var pat exec.Pattern
+		for i, c := range lv.comps {
+			if c.isVar {
+				pat[i] = exec.Var(c.varIdx)
+			} else {
+				pat[i] = exec.Lit(c.id)
+			}
+		}
+		if root == nil {
+			root = exec.NewScan(src, pat, lv.expand, nvars, int(estFirst))
+		} else {
+			root = exec.NewJoin(root, src, pat, lv.expand, append([]bool(nil), bound...), nvars)
+		}
+		for _, c := range lv.comps {
+			if c.isVar {
+				bound[c.varIdx] = true
+			}
+		}
+	}
+	return root
 }
 
 // pstats are one pattern's planning statistics with only its literal
@@ -339,25 +386,48 @@ func planCost(levels []level, stats []pstats, order []int, bound []bool) float64
 // cheapest-next-step ordering under the same cost model.
 const maxExhaustive = 6
 
+// planScratchVars bounds the stack-allocated planning scratch: BGPs with at
+// most this many distinct variables (every realistic query) plan without
+// heap allocation for their bound-flag vector.
+const planScratchVars = 24
+
 // plan orders the levels for the join by estimated total work under the
 // count/distinct cost model: selectivity-ordered, cheapest plan first. The
 // model naturally evaluates selective patterns before unselective ones and
 // follows join-bound variables through their most selective probe direction;
 // disconnected pattern groups end up cheapest-first, keeping the unavoidable
-// cartesian product as small as possible.
-func plan(src Source, levels []level, nvars int) []level {
+// cartesian product as small as possible. The returned order is what build
+// lowers onto the operator tree; the second result is the estimated match
+// count of the order's first level, which sizes the leaf scan.
+func plan(src Source, levels []level, nvars int) ([]level, float64) {
 	n := len(levels)
-	if n <= 1 {
-		return levels
+	if n == 1 {
+		return levels, levelStats(src, &levels[0]).count
 	}
-	stats := make([]pstats, n)
+	// The scratch below lives in fixed-size arrays when the BGP is small —
+	// the overwhelmingly common case — so planning itself allocates nothing.
+	var statsArr [maxExhaustive]pstats
+	var stats []pstats
+	if n <= maxExhaustive {
+		stats = statsArr[:n]
+	} else {
+		stats = make([]pstats, n)
+	}
 	for i := range levels {
 		stats[i] = levelStats(src, &levels[i])
 	}
-	bound := make([]bool, nvars)
+	var boundArr [planScratchVars]bool
+	var bound []bool
+	if nvars <= planScratchVars {
+		bound = boundArr[:nvars]
+	} else {
+		bound = make([]bool, nvars)
+	}
+	var bestArr, permArr [maxExhaustive]int
 	var best []int
 	if n <= maxExhaustive {
-		perm := make([]int, n)
+		best = bestArr[:0]
+		perm := permArr[:n]
 		for i := range perm {
 			perm[i] = i
 		}
@@ -405,133 +475,52 @@ func plan(src Source, levels []level, nvars int) []level {
 	for _, idx := range best {
 		ordered = append(ordered, levels[idx])
 	}
-	return ordered
-}
-
-// probe fills level d's match buffer: the bindings accumulated at shallower
-// levels are substituted into the pattern and the store streams the matching
-// id triples straight into the reused buffer.
-func (sol *Solutions) probe(d int) {
-	lv := &sol.levels[d]
-	lv.buf = lv.buf[:0]
-	lv.pos = -1
-	var ip store.IDPattern
-	if c := lv.comps[0]; c.isVar {
-		if sol.bound[c.varIdx] {
-			ip.S, ip.BoundS = sol.bind[c.varIdx], true
-		}
-	} else {
-		ip.S, ip.BoundS = c.id, true
-	}
-	if c := lv.comps[1]; c.isVar {
-		if sol.bound[c.varIdx] {
-			ip.P, ip.BoundP = sol.bind[c.varIdx], true
-		}
-	} else {
-		ip.P, ip.BoundP = c.id, true
-	}
-	if lv.expand != nil {
-		ip.BoundO = true
-		for _, oid := range lv.expand {
-			ip.O = oid
-			sol.src.QueryIDFunc(ip, lv.yield)
-		}
-		return
-	}
-	if c := lv.comps[2]; c.isVar {
-		if sol.bound[c.varIdx] {
-			ip.O, ip.BoundO = sol.bind[c.varIdx], true
-		}
-	} else {
-		ip.O, ip.BoundO = c.id, true
-	}
-	sol.src.QueryIDFunc(ip, lv.yield)
-}
-
-// tryBind applies the candidate at lv.pos to the binding state, recording
-// which variables it newly bound so they can be rolled back. It fails — with
-// the state unchanged — when the candidate conflicts with an existing
-// binding, which is how repeated variables within one pattern (e.g. ?x p ?x)
-// are enforced.
-func (sol *Solutions) tryBind(lv *level) bool {
-	t := lv.buf[lv.pos]
-	vals := [3]store.SymbolID{t.S, t.P, t.O}
-	lv.local = lv.local[:0]
-	for i := range lv.comps {
-		c := lv.comps[i]
-		if !c.isVar {
-			continue
-		}
-		if sol.bound[c.varIdx] {
-			if sol.bind[c.varIdx] != vals[i] {
-				sol.unbind(lv)
-				return false
-			}
-			continue
-		}
-		sol.bind[c.varIdx] = vals[i]
-		sol.bound[c.varIdx] = true
-		lv.local = append(lv.local, c.varIdx)
-	}
-	return true
-}
-
-// unbind rolls back the variables the level's current candidate bound.
-func (sol *Solutions) unbind(lv *level) {
-	for _, idx := range lv.local {
-		sol.bound[idx] = false
-	}
-	lv.local = lv.local[:0]
+	return ordered, stats[best[0]].count
 }
 
 // Next advances to the next solution, reporting whether one exists. After
 // Next returns true, Bind and Value read the solution; after it returns
 // false, Err reports whether the iteration ended in an error.
 func (sol *Solutions) Next() bool {
+	sol.onRow = false
 	if sol.err != nil || sol.done {
 		return false
 	}
-	if !sol.started {
-		sol.started = true
-		if len(sol.levels) == 0 {
-			// The empty BGP: one empty solution, then exhaustion.
-			sol.done = true
-			return true
-		}
-		sol.depth = 0
-		sol.probe(0)
-	} else {
-		sol.unbind(&sol.levels[sol.depth])
+	if sol.root == nil {
+		// The empty BGP: one empty solution, then exhaustion.
+		sol.done = true
+		sol.onRow = true
+		return true
 	}
-	d := sol.depth
-	for {
-		if sol.cancelled() || sol.err != nil {
+	if sol.cur != nil && sol.row+1 < sol.cur.N {
+		// The interrupt hook is polled here too (throttled), so a
+		// cancellation observed mid-batch stops the iteration without
+		// draining the batch's remaining rows.
+		if sol.ctx.Cancelled() {
+			sol.err = ErrInterrupted
+			sol.done = true
 			return false
 		}
-		lv := &sol.levels[d]
-		advanced := false
-		for lv.pos+1 < len(lv.buf) {
-			lv.pos++
-			if sol.tryBind(lv) {
-				advanced = true
-				break
-			}
+		sol.row++
+		sol.onRow = true
+		return true
+	}
+	for {
+		b, err := sol.root.Next(&sol.ctx)
+		if err != nil {
+			sol.err = err
+			sol.done = true
+			return false
 		}
-		if !advanced {
-			d--
-			if d < 0 {
-				sol.done = true
-				return false
-			}
-			sol.unbind(&sol.levels[d])
+		if b == nil {
+			sol.done = true
+			return false
+		}
+		if b.N == 0 {
 			continue
 		}
-		if d == len(sol.levels)-1 {
-			sol.depth = d
-			return true
-		}
-		d++
-		sol.probe(d)
+		sol.cur, sol.row, sol.onRow = b, 0, true
+		return true
 	}
 }
 
@@ -548,16 +537,22 @@ func (sol *Solutions) Vars() []string {
 	return append([]string(nil), sol.vars...)
 }
 
+// Resolver returns the resolver the iterator reads names through — the hook
+// batch-aware consumers (NextBatch) use to resolve column ids themselves.
+func (sol *Solutions) Resolver() store.Resolver {
+	return sol.res
+}
+
 // Value returns the current solution's value for one variable without
 // allocating. It is only meaningful after Next returned true; ok is false
 // for unknown variables or outside a solution.
 func (sol *Solutions) Value(name string) (string, bool) {
+	if !sol.onRow || sol.cur == nil {
+		return "", false
+	}
 	for i, v := range sol.vars {
 		if v == name {
-			if !sol.bound[i] {
-				return "", false
-			}
-			return sol.res.Name(sol.bind[i]), true
+			return sol.res.Name(sol.cur.Cols[i][sol.row]), true
 		}
 	}
 	return "", false
@@ -568,12 +563,65 @@ func (sol *Solutions) Value(name string) (string, bool) {
 // without the allocation.
 func (sol *Solutions) Bind() Binding {
 	b := make(Binding, len(sol.vars))
+	if !sol.onRow || sol.cur == nil {
+		return b
+	}
 	for i, name := range sol.vars {
-		if sol.bound[i] {
-			b[name] = sol.res.Name(sol.bind[i])
-		}
+		b[name] = sol.res.Name(sol.cur.Cols[i][sol.row])
 	}
 	return b
+}
+
+// SolutionBatch is one columnar window of solutions, handed out by
+// Solutions.NextBatch: Len rows over the iterator's variables (Vars order),
+// each cell a dictionary id resolvable through Solutions.Resolver. A batch
+// is owned by the iterator and valid only until the next NextBatch call.
+type SolutionBatch struct {
+	cols [][]store.SymbolID
+	n    int
+}
+
+// Len returns the number of rows in the batch.
+func (sb SolutionBatch) Len() int { return sb.n }
+
+// ID returns the dictionary id bound by row for the col'th variable of the
+// iterator's Vars.
+func (sb SolutionBatch) ID(col, row int) store.SymbolID { return sb.cols[col][row] }
+
+// NextBatch advances the iteration one whole batch at a time — the bulk form
+// of Next for consumers that stream many solutions (the HTTP server's ndjson
+// writer): no per-solution virtual call, no Binding map, just columns of ids
+// to resolve and format. ok is false when the iteration is exhausted or
+// failed (check Err, exactly as after Next). A non-empty iteration never
+// yields an empty batch; the empty BGP yields one single-row batch whose row
+// binds nothing. Do not mix NextBatch and Next on one iterator — each
+// consumes the stream the other would have seen.
+func (sol *Solutions) NextBatch() (SolutionBatch, bool) {
+	sol.onRow = false
+	if sol.err != nil || sol.done {
+		return SolutionBatch{}, false
+	}
+	if sol.root == nil {
+		// The empty BGP: one batch holding the single empty solution.
+		sol.done = true
+		return SolutionBatch{n: 1}, true
+	}
+	for {
+		b, err := sol.root.Next(&sol.ctx)
+		if err != nil {
+			sol.err = err
+			sol.done = true
+			return SolutionBatch{}, false
+		}
+		if b == nil {
+			sol.done = true
+			return SolutionBatch{}, false
+		}
+		if b.N == 0 {
+			continue
+		}
+		return SolutionBatch{cols: b.Cols, n: b.N}, true
+	}
 }
 
 // All drains the iterator and returns every remaining solution. The order of
@@ -590,11 +638,10 @@ func (sol *Solutions) All() ([]Binding, error) {
 // audit asks: the sorted distinct subjects annotated (via
 // store.TypePredicate) with the class — expanded through the ontology
 // index's subsumees when oi is non-nil, literal annotations only when it is
-// nil. It is the one-pattern BGP {?x type class} projected to ?x, and the
-// query-layer replacement for the deprecated store.InstancesOf and
-// store.InstancesOfExpanded helpers. Over a materialized view pass a nil oi
-// (or use reason.Reasoner.Instances, the allocation-light direct form): the
-// inferred type triples already carry the expansion.
+// nil. It is the one-pattern BGP {?x type class} projected to ?x. Over a
+// materialized view pass a nil oi (or use reason.Reasoner.Instances, the
+// allocation-light direct form): the inferred type triples already carry the
+// expansion.
 func Instances(src Source, oi *store.OntologyIndex, class string) ([]string, error) {
 	bgp := BGP{Pat(Var("x"), Lit(store.TypePredicate), Lit(class))}
 	var opts []Option
@@ -644,7 +691,7 @@ func (sol *Solutions) ProjectFunc(name string, yield func(string) bool) error {
 	}
 	seen := make(map[store.SymbolID]struct{})
 	for sol.Next() {
-		id := sol.bind[idx]
+		id := sol.cur.Cols[idx][sol.row]
 		if _, ok := seen[id]; ok {
 			continue
 		}

@@ -24,8 +24,7 @@
 // store.TypePredicate and whose object is a literal class is rewritten
 // through an OntologyIndex into the union over the class's subsumees — the
 // paper's §4 ontology-mediated query answering as a query option instead of
-// a bespoke helper (store.InstancesOfExpanded is the deprecated equivalent
-// of the one-pattern case).
+// a bespoke helper (Instances is the one-pattern convenience form).
 //
 // Solutions follow SPARQL bag semantics: the multiplicity of a binding is
 // the number of distinct triple combinations producing it (under Expand, an

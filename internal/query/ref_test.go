@@ -222,6 +222,77 @@ func FuzzEvalMatchesReference(f *testing.F) {
 	})
 }
 
+// TestInterruptMidBatch cancels an evaluation from inside the stream — the
+// hook flips after a prefix of solutions has been read, which with the
+// batched evaluator lands mid-batch — and checks that the iteration stops
+// within the documented poll throttle instead of draining the rest of the
+// current batch, and that Err reports ErrInterrupted.
+func TestInterruptMidBatch(t *testing.T) {
+	s := store.New()
+	ts := make([]store.Triple, 0, 40_000)
+	for i := 0; i < 40_000; i++ {
+		ts = append(ts, store.Triple{
+			Subject:   fmt.Sprintf("s%d", i),
+			Predicate: "p",
+			Object:    fmt.Sprintf("o%d", i%13),
+		})
+	}
+	if _, err := s.AddBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	const prefix = 1500 // more than one 1024-row batch
+	cancelled := false
+	sols := Eval(s, MustParseBGP("?s p ?o"), Interrupt(func() bool { return cancelled }))
+	n := 0
+	for sols.Next() {
+		n++
+		if n == prefix {
+			cancelled = true
+		}
+		if n > prefix+4*interruptTickMask {
+			t.Fatal("iterator kept producing solutions long after mid-stream cancellation")
+		}
+	}
+	if !reflect.DeepEqual(sols.Err(), ErrInterrupted) {
+		t.Fatalf("Err = %v, want ErrInterrupted", sols.Err())
+	}
+	if n < prefix {
+		t.Fatalf("iterator stopped after %d solutions, before the cancellation point", n)
+	}
+}
+
+// TestEmptyBatchPipelines covers the empty-batch path: a leaf whose rows are
+// entirely (or partially) eliminated by an intra-pattern repeated-variable
+// filter hands empty (or short) batches to the join above, which must skip
+// them without ending the stream. Checked against the reference evaluator,
+// with and without a surviving self-loop.
+func TestEmptyBatchPipelines(t *testing.T) {
+	base := []store.Triple{
+		{Subject: "a", Predicate: "p", Object: "b"},
+		{Subject: "b", Predicate: "p", Object: "c"},
+		{Subject: "c", Predicate: "p", Object: "a"},
+		{Subject: "a", Predicate: "q", Object: "x"},
+		{Subject: "b", Predicate: "q", Object: "y"},
+	}
+	selfLoop := store.Triple{Subject: "b", Predicate: "p", Object: "b"}
+	bgps := []BGP{
+		MustParseBGP("?x p ?x"),           // filter-everything leaf
+		MustParseBGP("?x p ?x . ?x q ?y"), // empty batches feeding a join
+		MustParseBGP("?x q ?y . ?x p ?x"), // repeated-var pattern as the probe side
+	}
+	for _, withLoop := range []bool{false, true} {
+		triples := base
+		if withLoop {
+			triples = append(append([]store.Triple(nil), base...), selfLoop)
+		}
+		for _, bgp := range bgps {
+			t.Run(fmt.Sprintf("loop=%v/%s", withLoop, bgp), func(t *testing.T) {
+				checkAgainstReference(t, triples, bgp, nil)
+			})
+		}
+	}
+}
+
 // TestGreedyPlannerMatchesReference covers the n > maxExhaustive planner
 // branch, which the random generator (≤4 patterns) never reaches: 7- and
 // 8-pattern BGPs over a path-plus-hub graph, deterministic and seeded-random,

@@ -4,29 +4,55 @@ import (
 	"fmt"
 
 	"repro/internal/query"
+	"repro/internal/query/exec"
 	"repro/internal/store"
 )
 
-// This file compiles rules to the dictionary-id level and implements the
-// joint matcher the fixpoint loops drive. A compiled rule's literals are
-// interned ids (head literals are interned eagerly, so a rule can conclude
-// symbols no asserted triple mentions yet), its variables are indexes into a
-// per-rule binding table, and every probe of a body atom is an IDPattern
-// answered by the view's permutation indexes — the same id-level machinery
-// the query layer joins with, specialized for the semi-naive shape "one atom
-// ranges over the delta, the rest probe the full materialization".
+// This file compiles rules to the dictionary-id level and lowers the
+// semi-naive matching onto the batched operator runtime in
+// repro/internal/query/exec — the same operators the query layer evaluates
+// BGPs with, so materialization is batch joins over deltas instead of a
+// private tuple-at-a-time matcher. A compiled rule's literals are interned
+// ids (head literals are interned eagerly, so a rule can conclude symbols no
+// asserted triple mentions yet), its variables are slot indexes into the
+// operator tree's columnar batches, and each semi-naive term "atom di ranges
+// over the delta, the rest probe the full materialization" becomes a
+// SliceScan leaf over the delta feeding shard-grouped batch joins against
+// the view.
 
 // cterm is one compiled pattern component: an interned literal or a
-// variable-table index.
+// variable slot index.
 type cterm struct {
 	isVar bool
-	v     int            // variable index, when isVar
+	v     int            // variable slot, when isVar
 	id    store.SymbolID // literal id, when !isVar
 }
 
 // catom is one compiled triple pattern.
 type catom struct {
 	t [3]cterm
+}
+
+// execPattern lowers the atom onto the operator runtime's pattern form.
+func (a catom) execPattern() exec.Pattern {
+	var p exec.Pattern
+	for i, t := range a.t {
+		if t.isVar {
+			p[i] = exec.Var(t.v)
+		} else {
+			p[i] = exec.Lit(t.id)
+		}
+	}
+	return p
+}
+
+// bindVars marks the atom's variable slots bound.
+func (a catom) bindVars(bound []bool) {
+	for _, t := range a.t {
+		if t.isVar {
+			bound[t.v] = true
+		}
+	}
 }
 
 // crule is one compiled rule: its head, its body, the number of distinct
@@ -43,7 +69,7 @@ type crule struct {
 }
 
 // compileTerm compiles one term, interning literals and assigning variable
-// indexes through vars.
+// slots through vars.
 func compileTerm(t query.Term, vars map[string]int, base *store.Store) (cterm, error) {
 	if t.IsVar {
 		idx, ok := vars[t.Value]
@@ -153,94 +179,14 @@ func (r *crule) orderFrom(prefix []int, bound map[int]bool) []int {
 	return order
 }
 
-// binding is the matcher's variable state for one rule evaluation, plus the
-// per-depth scratch buffers the join reuses across probes: bufs[d] holds the
-// matches of the probe at recursion depth d (probe results are buffered and
-// the shard read-lock released before the join descends — see matchRest) and
-// locals[d] the variable indexes that depth's current candidate bound.
-type binding struct {
-	vals   []store.SymbolID
-	bound  []bool
-	bufs   [][]store.IDTriple
-	locals [][]int
-}
-
-func newBinding(r *crule) *binding {
-	return &binding{
-		vals:   make([]store.SymbolID, r.nvars),
-		bound:  make([]bool, r.nvars),
-		bufs:   make([][]store.IDTriple, len(r.body)),
-		locals: make([][]int, len(r.body)+1),
-	}
-}
-
-func (b *binding) reset() {
-	for i := range b.bound {
-		b.bound[i] = false
-	}
-}
-
-// unify binds the atom's variables against a concrete triple, recording the
-// newly bound variable indexes in local for rollback. It reports false — with
-// the binding unchanged — when a literal or an already-bound variable
-// disagrees with the triple.
-func (b *binding) unify(a catom, t store.IDTriple, local *[]int) bool {
-	vals := [3]store.SymbolID{t.S, t.P, t.O}
-	n := len(*local)
-	for i, ct := range a.t {
-		if !ct.isVar {
-			if ct.id != vals[i] {
-				b.rollback(local, n)
-				return false
-			}
-			continue
-		}
-		if b.bound[ct.v] {
-			if b.vals[ct.v] != vals[i] {
-				b.rollback(local, n)
-				return false
-			}
-			continue
-		}
-		b.vals[ct.v] = vals[i]
-		b.bound[ct.v] = true
-		*local = append(*local, ct.v)
-	}
-	return true
-}
-
-// rollback unbinds the variables recorded in local past position n.
-func (b *binding) rollback(local *[]int, n int) {
-	for _, v := range (*local)[n:] {
-		b.bound[v] = false
-	}
-	*local = (*local)[:n]
-}
-
-// pattern builds the id pattern of an atom under the current binding: literals
-// and bound variables become bound components, unbound variables wildcards.
-func (b *binding) pattern(a catom) store.IDPattern {
-	var ip store.IDPattern
-	set := func(ct cterm, id *store.SymbolID, flag *bool) {
-		if !ct.isVar {
-			*id, *flag = ct.id, true
-		} else if b.bound[ct.v] {
-			*id, *flag = b.vals[ct.v], true
-		}
-	}
-	set(a.t[0], &ip.S, &ip.BoundS)
-	set(a.t[1], &ip.P, &ip.BoundP)
-	set(a.t[2], &ip.O, &ip.BoundO)
-	return ip
-}
-
-// head instantiates the rule's head under a complete binding (heads are
-// range-restricted, so every head variable is bound by the time this runs).
-func (b *binding) head(r *crule) store.IDTriple {
+// head instantiates the rule's head from row r of a complete-binding batch
+// (heads are range-restricted, so every head variable has a bound slot by
+// the time a body pipeline emits rows).
+func (r *crule) headTriple(b *exec.Batch, row int) store.IDTriple {
 	var out [3]store.SymbolID
 	for i, ct := range r.head.t {
 		if ct.isVar {
-			out[i] = b.vals[ct.v]
+			out[i] = b.Cols[ct.v][row]
 		} else {
 			out[i] = ct.id
 		}
@@ -248,85 +194,89 @@ func (b *binding) head(r *crule) store.IDTriple {
 	return store.IDTriple{S: out[0], P: out[1], O: out[2]}
 }
 
-// facts is the read surface the matcher joins against — the engine passes the
-// materialized view, so body atoms see asserted and inferred triples alike.
-type facts interface {
-	QueryIDFunc(p store.IDPattern, yield func(store.IDTriple) bool)
+// bodyPipeline builds the operator tree of the rule's body in the given atom
+// order, starting from leaf (which must already bind the slots flagged in
+// bound); the remaining atoms become batch joins probing db. bound is
+// updated in place to cover every body variable.
+func bodyPipeline(r *crule, order []int, leaf exec.Op, bound []bool, db exec.Source) exec.Op {
+	op := leaf
+	for _, ai := range order {
+		op = exec.NewJoin(op, db, r.body[ai].execPattern(), nil, append([]bool(nil), bound...), r.nvars)
+		r.body[ai].bindVars(bound)
+	}
+	return op
 }
 
-// matchDelta enumerates every instantiation of the rule whose atom di matches
-// a triple of delta and whose remaining atoms match db, emitting each
-// instantiated head. emit returns false to stop the enumeration; matchDelta
-// reports whether it ran to completion. This is one term of the semi-naive
-// expansion: restricting one atom to the delta makes a round's work
-// proportional to the new facts, and iterating di over all body positions
-// covers every derivation that uses at least one new fact.
-func matchDelta(r *crule, di int, delta []store.IDTriple, db facts, b *binding, emit func(store.IDTriple) bool) bool {
-	b.reset()
+// matchDelta enumerates every instantiation of the rule whose atom di
+// matches a triple of delta and whose remaining atoms match db, emitting
+// each instantiated head; emit returns false to stop the enumeration, and
+// matchDelta reports whether it ran to completion. This is one term of the
+// semi-naive expansion — restricting one atom to the delta makes a round's
+// work proportional to the new facts, and iterating di over all body
+// positions covers every derivation that uses at least one new fact — run
+// as a batched pipeline: a SliceScan leaf over the delta, then one batch
+// join per remaining atom in the precomputed deltaOrder. Heads are emitted
+// from the pipeline's output batches, after every probe's shard lock has
+// been released, so emit may (unlike a store iterator callback) buffer
+// freely.
+func matchDelta(r *crule, di int, delta []store.IDTriple, db exec.Source, emit func(store.IDTriple) bool) bool {
 	order := r.deltaOrder[di]
-	local := b.locals[len(order)][:0]
-	for _, t := range delta {
-		if !b.unify(r.body[di], t, &local) {
-			continue
+	bound := make([]bool, r.nvars)
+	r.body[di].bindVars(bound)
+	op := bodyPipeline(r, order[1:], exec.NewSliceScan(delta, r.body[di].execPattern(), r.nvars), bound, db)
+	var ctx exec.Ctx
+	for {
+		b, err := op.Next(&ctx)
+		if err != nil || b == nil {
+			return true
 		}
-		if !matchRest(r, order, 1, db, b, emit) {
-			b.locals[len(order)] = local
-			return false
+		for row := 0; row < b.N; row++ {
+			if !emit(r.headTriple(b, row)) {
+				exec.Close(op)
+				return false
+			}
 		}
-		b.rollback(&local, 0)
 	}
-	b.locals[len(order)] = local
-	return true
-}
-
-// matchRest evaluates the body atoms from position pos of the order onward.
-// Each probe buffers its matches (b.bufs[pos], reused across probes) and
-// returns from the store's QueryIDFunc — releasing its shard read-lock —
-// before the join descends to the next atom. That discipline is what makes
-// the matcher safe to run concurrently with shard writers: probing the next
-// atom from inside the previous probe's yield would recursively read-lock
-// the shard family and could deadlock behind a queued writer (the query
-// layer's evaluator buffers per level for the same reason).
-func matchRest(r *crule, order []int, pos int, db facts, b *binding, emit func(store.IDTriple) bool) bool {
-	if pos == len(order) {
-		return emit(b.head(r))
-	}
-	a := r.body[order[pos]]
-	buf := b.bufs[pos][:0]
-	db.QueryIDFunc(b.pattern(a), func(t store.IDTriple) bool {
-		buf = append(buf, t)
-		return true
-	})
-	b.bufs[pos] = buf // keep the grown capacity for the next probe
-	local := b.locals[pos][:0]
-	for _, t := range buf {
-		if !b.unify(a, t, &local) {
-			continue
-		}
-		if !matchRest(r, order, pos+1, db, b, emit) {
-			b.locals[pos] = local
-			return false
-		}
-		b.rollback(&local, 0)
-	}
-	b.locals[pos] = local
-	return true
 }
 
 // derives reports whether the rule derives the given triple in one step from
-// db: the head is unified with the triple and the whole body is evaluated
-// under the resulting partial binding. It is the rederivation test of the
-// delete-and-rederive maintenance pass.
-func derives(r *crule, t store.IDTriple, db facts, b *binding) bool {
-	b.reset()
-	var local []int
-	if !b.unify(r.head, t, &local) {
-		return false
+// db: the head is unified with the triple, the resulting bindings seed a
+// one-row leaf, and the whole body is evaluated as batch joins under that
+// seed (the headOrder). It is the rederivation test of the delete-and-
+// rederive maintenance pass; the pipeline is abandoned at the first
+// surviving row.
+func derives(r *crule, t store.IDTriple, db exec.Source) bool {
+	vals := make([]store.SymbolID, r.nvars)
+	bound := make([]bool, r.nvars)
+	tv := [3]store.SymbolID{t.S, t.P, t.O}
+	for i, ct := range r.head.t {
+		if !ct.isVar {
+			if ct.id != tv[i] {
+				return false
+			}
+			continue
+		}
+		if bound[ct.v] {
+			if vals[ct.v] != tv[i] {
+				return false
+			}
+			continue
+		}
+		vals[ct.v] = tv[i]
+		bound[ct.v] = true
 	}
-	found := false
-	matchRest(r, r.headOrder, 0, db, b, func(store.IDTriple) bool {
-		found = true
-		return false
-	})
-	return found
+	op := bodyPipeline(r, r.headOrder, exec.NewSeed(vals, bound, r.nvars), bound, db)
+	var ctx exec.Ctx
+	for {
+		b, err := op.Next(&ctx)
+		if err != nil || b == nil {
+			return false
+		}
+		if b.N > 0 {
+			// Found a derivation: abandon the pipeline and hand its pooled
+			// buffers back rather than enumerating the remaining rows.
+			exec.Close(op)
+			return true
+		}
+	}
 }

@@ -342,16 +342,13 @@ func (r *Reasoner) Remove(t store.Triple) bool {
 	marked := map[store.IDTriple]bool{}
 	var markedList []store.IDTriple
 	delta := []store.IDTriple{idt}
-	b := bindingsFor(r.rules)
 	var heads []store.IDTriple
 	for len(delta) > 0 {
 		heads = heads[:0]
 		for i := range r.rules {
 			rule := &r.rules[i]
 			for di := range rule.body {
-				// Heads are buffered and filtered after the enumeration:
-				// the matcher runs under shard read-locks.
-				matchDelta(rule, di, delta, r.view, b[i], func(h store.IDTriple) bool {
+				matchDelta(rule, di, delta, r.view, func(h store.IDTriple) bool {
 					heads = append(heads, h)
 					return true
 				})
@@ -386,7 +383,7 @@ func (r *Reasoner) Remove(t store.Triple) bool {
 			continue
 		}
 		for i := range r.rules {
-			if derives(&r.rules[i], c, r.view, b[i]) {
+			if derives(&r.rules[i], c, r.view) {
 				if _, err := r.overlay.AddID(c); err != nil {
 					panic(err) // ids came from this dictionary
 				}
@@ -410,27 +407,19 @@ func (r *Reasoner) encode(t store.Triple) (store.IDTriple, bool) {
 	return store.IDTriple{S: s, P: p, O: o}, okS && okP && okO
 }
 
-// bindingsFor allocates one binding table per rule.
-func bindingsFor(rules []crule) []*binding {
-	out := make([]*binding, len(rules))
-	for i := range rules {
-		out[i] = newBinding(&rules[i])
-	}
-	return out
-}
-
 // propagate runs semi-naive rounds from the seed delta until no rule derives
 // anything new: each round restricts one body atom to the previous round's
 // delta (every choice of atom, so no derivation using a new fact is missed)
 // and probes the remaining atoms against the full materialized view, which
-// already includes earlier rounds' conclusions. Derived heads already
-// asserted or inferred are skipped; the rest enter the overlay and the next
-// delta. Heads are buffered during matching and applied only after the
-// enumeration returns — the matcher runs under the stores' shard read-locks,
-// where writing is forbidden. It returns every triple newly derived into the
-// overlay, for the delta hook. Callers hold r.mu.
+// already includes earlier rounds' conclusions — each such term one batched
+// operator pipeline (see matchDelta), so a round's joins run batch-at-a-time
+// over the delta with shard-grouped probes. Derived heads already asserted
+// or inferred are skipped; the rest enter the overlay and the next delta.
+// Heads arrive from the pipelines' output batches, never under a shard
+// read-lock, so inserting them after each enumeration is safe. It returns
+// every triple newly derived into the overlay, for the delta hook. Callers
+// hold r.mu.
 func (r *Reasoner) propagate(delta []store.IDTriple) []store.IDTriple {
-	b := bindingsFor(r.rules)
 	var heads, derived []store.IDTriple
 	for len(delta) > 0 {
 		r.stats.Rounds++
@@ -438,7 +427,7 @@ func (r *Reasoner) propagate(delta []store.IDTriple) []store.IDTriple {
 		for i := range r.rules {
 			rule := &r.rules[i]
 			for di := range rule.body {
-				matchDelta(rule, di, delta, r.view, b[i], func(h store.IDTriple) bool {
+				matchDelta(rule, di, delta, r.view, func(h store.IDTriple) bool {
 					heads = append(heads, h)
 					return true
 				})

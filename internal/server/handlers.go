@@ -268,7 +268,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	sols := query.Eval(src, bgp, opts...)
-	header, _ := json.Marshal(QueryHeader{Vars: sols.Vars()})
+	vars := sols.Vars()
+	header, _ := json.Marshal(QueryHeader{Vars: vars})
 	header = append(header, '\n')
 
 	w.Header().Set("Content-Type", ndjsonType)
@@ -276,6 +277,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	flusher, _ := w.(http.Flusher)
+
+	// Rows are streamed straight from the evaluator's columnar batches:
+	// each row is formatted by appending precomputed `"var":"` fragments
+	// and JSON-escaped values into one reused buffer — no Binding map, no
+	// per-row json.Marshal — and the whole batch costs one NextBatch call.
+	res := sols.Resolver()
+	frags := rowFragments(vars)
+	var line []byte
 
 	// Rows are retained for the cache store only when the cache can accept
 	// them; with caching disabled the response is stream-only.
@@ -287,27 +296,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	n := 0
 	truncated := false
-	for sols.Next() {
-		line, err := json.Marshal(QueryRow{Bind: sols.Bind()})
-		if err != nil {
-			writeTrailer(w, QueryTrailer{Done: true, Solutions: n, Error: err.Error()})
-			return
-		}
-		line = append(line, '\n')
-		n++
-		if caching {
-			rows = append(rows, line)
-			size += int64(len(line))
-		}
-		if _, err := w.Write(line); err != nil {
-			return // client gone; nothing to cache (result may be incomplete)
-		}
-		if flusher != nil && n%flushEvery == 0 {
-			flusher.Flush()
-		}
-		if n >= limit {
-			truncated = sols.Next()
+stream:
+	for {
+		sb, ok := sols.NextBatch()
+		if !ok {
 			break
+		}
+		for r := 0; r < sb.Len(); r++ {
+			if len(vars) == 0 {
+				line = append(line[:0], emptyRowLine...)
+			} else {
+				line = line[:0]
+				for c := range vars {
+					line = append(line, frags[c]...)
+					line = appendJSONString(line, res.Name(sb.ID(c, r)))
+				}
+				line = append(line, rowTail...)
+			}
+			n++
+			if caching {
+				// The cache keeps its own copy; the stream buffer is reused.
+				rows = append(rows, append([]byte(nil), line...))
+				size += int64(len(line))
+			}
+			if _, err := w.Write(line); err != nil {
+				return // client gone; nothing to cache (result may be incomplete)
+			}
+			if flusher != nil && n%flushEvery == 0 {
+				flusher.Flush()
+			}
+			if n >= limit {
+				// More rows in this batch, or another non-empty batch,
+				// means the limit cut the stream short.
+				truncated = r+1 < sb.Len()
+				if !truncated {
+					_, truncated = sols.NextBatch()
+				}
+				break stream
+			}
 		}
 	}
 	elapsed := time.Since(start)
@@ -357,6 +383,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // enough that slow consumers see progress, rarely enough that flushing does
 // not dominate small-row serialization.
 const flushEvery = 256
+
+// rowTail closes a streamed row line: the value's closing quote, the bind
+// object, the row object, the newline.
+var rowTail = []byte("\"}}\n")
+
+// rowFragments precomputes the constant byte fragments of a QueryRow line
+// for the given variables, so streaming a row is append-fragment,
+// append-value repeated: frags[0] opens the line through the first
+// variable's name, frags[i>0] closes the previous value and names the next.
+// Variable names are JSON-escaped once here. The zero-variable case (the
+// empty BGP) is handled by the caller.
+func rowFragments(vars []string) [][]byte {
+	frags := make([][]byte, len(vars))
+	for i, v := range vars {
+		name, _ := json.Marshal(v)
+		var b []byte
+		if i == 0 {
+			b = append(b, `{"bind":{`...)
+		} else {
+			b = append(b, `",`...)
+		}
+		b = append(b, name...)
+		b = append(b, ':', '"')
+		frags[i] = b
+	}
+	return frags
+}
+
+// emptyRowLine is the streamed form of the empty BGP's single solution.
+var emptyRowLine = []byte(`{"bind":{}}` + "\n")
+
+// appendJSONString appends s to dst with JSON string escaping. The fast path
+// copies plain ASCII verbatim; anything needing escaping (control bytes,
+// quotes, backslashes, non-ASCII, and the <, >, & that encoding/json
+// HTML-escapes) takes the encoding/json slow path so the wire bytes stay
+// identical to what json.Marshal would have produced.
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, _ := json.Marshal(s)
+			return append(dst, b[1:len(b)-1]...)
+		}
+	}
+	return append(dst, s...)
+}
 
 // replay writes a cached entry as a fresh response stream.
 func (s *Server) replay(w http.ResponseWriter, e *cacheEntry) {

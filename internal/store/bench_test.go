@@ -187,7 +187,8 @@ func BenchmarkStoreQuery(b *testing.B) {
 }
 
 // BenchmarkOntologyExpansion measures the full E5 read loop at store scale:
-// InstancesOfExpanded over a realistic subsumee fan-out.
+// the subsumee-union retrieval (what the query layer's Expand option runs)
+// over a realistic 32-subsumee fan-out, phrased directly over the POS index.
 func BenchmarkOntologyExpansion(b *testing.B) {
 	const n = 100_000
 	s := New()
@@ -202,7 +203,9 @@ func BenchmarkOntologyExpansion(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := InstancesOfExpanded(s, oi, "root"); len(got) == 0 {
+		// expandedInstances (ontology_test.go) is the subsumee-union walk,
+		// shared with the retrieval test.
+		if got := expandedInstances(s, oi, "root"); len(got) == 0 {
 			b.Fatal("no instances")
 		}
 	}

@@ -123,50 +123,10 @@ func (oi *OntologyIndex) Subsumers(class string) []string {
 	return out
 }
 
-// InstancesOf returns the subjects annotated (via TypePredicate) with the
-// class itself, without ontology expansion: the "database without the
-// ontonomy" baseline.
-//
-// Deprecated: use the query layer instead — query.Instances(s, nil, class)
-// returns the same sorted, deduplicated answer (it is the one-pattern BGP
-// {?x type class} projected to ?x), and the BGP form composes with further
-// patterns.
-func InstancesOf(s *Store, class string) []string {
-	return s.Subjects(TypePredicate, class)
-}
-
-// InstancesOfExpanded returns the subjects annotated with the class or any
-// class the ontology index reports as subsumed by it, deduplicated and
-// sorted: the ontology-mediated answer. The expansion streams each subsumee's
-// instances straight off the POS index (ForEachSubject), so no per-class
-// intermediate slice is materialized or sorted; only the final deduplicated
-// answer is.
-//
-// Deprecated: use the query layer instead — query.Instances(s, oi, class)
-// returns the identical answer (the same one-pattern BGP evaluated with the
-// query.Expand option; internal/query's tests prove the equivalence on the
-// E5 corpus).
-func InstancesOfExpanded(s *Store, oi *OntologyIndex, class string) []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, c := range oi.Subsumees(class) {
-		s.ForEachSubject(TypePredicate, c, func(subj string) bool {
-			if !seen[subj] {
-				seen[subj] = true
-				out = append(out, subj)
-			}
-			return true
-		})
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Annotate adds a type annotation for an instance.
-//
-// Deprecated: it is a one-line wrapper; call Add with a TypePredicate triple
-// directly, as the experiment corpora do via AddBatch.
-func Annotate(s *Store, instance, class string) error {
-	_, err := s.Add(Triple{Subject: instance, Predicate: TypePredicate, Object: class})
-	return err
-}
+// Class retrieval lives in the query layer: query.Instances(src, oi, class)
+// is the one-pattern BGP {?x type class} projected to ?x, expanded through
+// the index's subsumees when oi is non-nil. The store package only provides
+// the index (this file) and the raw reads the query layer is built on; the
+// old InstancesOf/InstancesOfExpanded/Annotate helpers that duplicated that
+// retrieval here were deprecated in favor of the query layer and have been
+// removed.

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/dl"
@@ -54,36 +55,48 @@ func TestOntologyIndexSubsumption(t *testing.T) {
 	}
 }
 
-func TestInstancesOfExpanded(t *testing.T) {
+// expandedInstances is the expansion the query layer performs, phrased over
+// the store's raw reads: the deduplicated sorted union of each subsumee's
+// annotated subjects. It stands in for the removed InstancesOfExpanded
+// helper so the subsumption index's retrieval semantics stay covered at the
+// store level (the query package proves its Expand option equivalent).
+func expandedInstances(s *Store, oi *OntologyIndex, class string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range oi.Subsumees(class) {
+		s.ForEachSubject(TypePredicate, c, func(subj string) bool {
+			if !seen[subj] {
+				seen[subj] = true
+				out = append(out, subj)
+			}
+			return true
+		})
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestExpandedRetrievalThroughIndex(t *testing.T) {
 	oi, err := NewOntologyIndex(vehiclesTBox(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := New()
-	if err := Annotate(s, "c1", "car"); err != nil {
-		t.Fatal(err)
-	}
-	if err := Annotate(s, "c2", "car"); err != nil {
-		t.Fatal(err)
-	}
-	if err := Annotate(s, "p1", "pickup"); err != nil {
-		t.Fatal(err)
-	}
-	if err := Annotate(s, "r1", "roadvehicle"); err != nil {
-		t.Fatal(err)
+	for _, a := range [][2]string{{"c1", "car"}, {"c2", "car"}, {"p1", "pickup"}, {"r1", "roadvehicle"}} {
+		s.MustAdd(Triple{Subject: a[0], Predicate: TypePredicate, Object: a[1]})
 	}
 
-	plain := InstancesOf(s, "roadvehicle")
+	plain := s.Subjects(TypePredicate, "roadvehicle")
 	if len(plain) != 1 || plain[0] != "r1" {
-		t.Errorf("unexpanded InstancesOf(roadvehicle) = %v, want [r1]", plain)
+		t.Errorf("unexpanded Subjects(type, roadvehicle) = %v, want [r1]", plain)
 	}
-	expanded := InstancesOfExpanded(s, oi, "roadvehicle")
+	expanded := expandedInstances(s, oi, "roadvehicle")
 	if len(expanded) != 4 {
-		t.Errorf("expanded InstancesOf(roadvehicle) = %v, want all four instances", expanded)
+		t.Errorf("expanded retrieval of roadvehicle = %v, want all four instances", expanded)
 	}
 	// Expansion of a leaf class adds nothing.
-	if got := InstancesOfExpanded(s, oi, "car"); len(got) != 2 {
-		t.Errorf("expanded InstancesOf(car) = %v, want [c1 c2]", got)
+	if got := expandedInstances(s, oi, "car"); len(got) != 2 {
+		t.Errorf("expanded retrieval of car = %v, want [c1 c2]", got)
 	}
 	// Expansion never loses the unexpanded answers.
 	for _, subj := range plain {

@@ -1,0 +1,795 @@
+package store
+
+import "sync"
+
+// This file is the store's batched scan-and-probe surface: the hooks the
+// vectorized operator runtime in repro/internal/query/exec pulls triples
+// through. Where ids.go answers one pattern at a time through a callback,
+// these hooks move triples in batches — a ScanPart is a resumable cursor that
+// fills caller-provided slices under one shard read-lock per refill, ScanParts
+// splits a pattern's matches into independently scannable parts so leaf scans
+// can run shard-parallel and merge, and QueryIDBatch answers a whole batch of
+// same-shape probes while visiting each index shard at most once. The
+// amortization is the point: a tuple-at-a-time join pays a lock round trip and
+// a callback per probe, a batched one pays them per thousand triples.
+
+// Index families a ScanPart can walk, in the lead/mid/trail vocabulary of
+// shard.go: famSPO has subjects leading, famPOS predicates, famOSP objects.
+const (
+	famSPO = iota
+	famPOS
+	famOSP
+)
+
+// tripleOf reassembles an IDTriple from a family's (lead, mid, trail)
+// coordinates.
+func tripleOf(fam uint8, lead, mid, trail uint32) IDTriple {
+	switch fam {
+	case famPOS:
+		return IDTriple{S: trail, P: lead, O: mid}
+	case famOSP:
+		return IDTriple{S: mid, P: trail, O: lead}
+	default:
+		return IDTriple{S: lead, P: mid, O: trail}
+	}
+}
+
+// ScanPart is a resumable cursor over one independently scannable slice of
+// the triples matching a pattern. Obtain parts with ScanParts (or a single
+// whole-pattern cursor with ScanIDBatch) and drain each by calling NextBatch
+// until it reports done. Distinct parts of one ScanParts call cover disjoint
+// triples and may be drained concurrently from different goroutines — each
+// refill takes its shard's read-lock independently — which is how the query
+// layer's parallel leaf scans work; a single part must not be shared.
+//
+// Like every store iterator, a cursor overlapping concurrent writers is
+// well-formed but not snapshot-consistent: a triple inserted or removed while
+// the scan is between refills may be seen or missed, and results are only
+// guaranteed exact against quiescent members. NextBatch never blocks writers
+// for longer than one refill.
+type ScanPart struct {
+	owner *Store
+	// dedup, when non-nil, suppresses triples also present in that store —
+	// how a View hands out overlay parts without double-reporting triples
+	// shadowed by the base.
+	dedup *Store
+
+	fam        uint8
+	lead       uint32
+	midBound   bool
+	mid        uint32
+	trailBound bool
+	trail      uint32
+	allBound   bool
+	unbound    bool // full scan over the owner's SPO shards
+
+	// Cursor state. For unbound scans: the current shard, its snapshotted
+	// lead keys and the position in them. For single-lead scans: the entry
+	// range [midLo, midHi) and the position in it (midHi < 0 means "to the
+	// end", kept open so single-part scans do not miss entries appended
+	// after the cursor was created), plus the position within the current
+	// entry's trailing element slice — trailing sets keep their members in
+	// an indexable slice whatever their size, so a refill stops exactly at
+	// the batch boundary and resumes by position (re-clamped each refill,
+	// since the set may have mutated in between).
+	shard     int
+	shardHi   int
+	leads     []uint32
+	haveLeads bool
+	leadPos   int
+	midLo     int
+	midPos    int
+	midHi     int
+	trailPos  int
+
+	// pending spills triples that did not fit the caller's batch on the
+	// unbound full-scan path, where a whole lead entry (one subject's few
+	// predicates and objects) is enumerated per lock hold; single-lead
+	// scans never spill.
+	pending []IDTriple
+	pendPos int
+	done    bool
+}
+
+// NextBatch fills out with the part's next triples, returning how many were
+// written and whether the part is exhausted (done true means no further call
+// will produce anything). A refill holds the current shard's read-lock once;
+// the usual no-writes-from-the-calling-goroutine rule of QueryIDFunc does not
+// apply between calls — the lock is released before NextBatch returns.
+func (pt *ScanPart) NextBatch(out []IDTriple) (int, bool) {
+	n := pt.drainPending(out)
+	if n == len(out) || pt.done {
+		return n, pt.exhausted()
+	}
+	if pt.unbound {
+		n = pt.fillUnbound(out, n)
+	} else {
+		n = pt.fillLead(out, n)
+	}
+	return n, pt.exhausted()
+}
+
+// exhausted reports whether nothing at all remains, spill included.
+func (pt *ScanPart) exhausted() bool {
+	return pt.done && pt.pendPos >= len(pt.pending)
+}
+
+// drainPending moves spilled triples into out first.
+func (pt *ScanPart) drainPending(out []IDTriple) int {
+	n := 0
+	for pt.pendPos < len(pt.pending) && n < len(out) {
+		out[n] = pt.pending[pt.pendPos]
+		n++
+		pt.pendPos++
+	}
+	if pt.pendPos >= len(pt.pending) {
+		pt.pending = pt.pending[:0]
+		pt.pendPos = 0
+	}
+	return n
+}
+
+// emit places one triple into out, spilling into pending once out is full and
+// applying the view's duplicate suppression.
+func (pt *ScanPart) emit(t IDTriple, out []IDTriple, n *int) {
+	if pt.dedup != nil && pt.dedup.ContainsID(t) {
+		return
+	}
+	if *n < len(out) {
+		out[*n] = t
+		*n = *n + 1
+	} else {
+		pt.pending = append(pt.pending, t)
+	}
+}
+
+// fillUnbound advances a full-scan part: SPO shards [shard, shardHi), lead
+// keys snapshotted per shard, each lead's whole entry enumerated in one
+// lock hold (overflow spills into pending).
+func (pt *ScanPart) fillUnbound(out []IDTriple, n int) int {
+	for pt.shard < pt.shardHi && n < len(out) {
+		sh := &pt.owner.spo[pt.shard]
+		sh.mu.RLock()
+		if !pt.haveLeads {
+			pt.leads = pt.leads[:0]
+			for k := range sh.m {
+				pt.leads = append(pt.leads, k)
+			}
+			pt.haveLeads = true
+			pt.leadPos = 0
+		}
+		for pt.leadPos < len(pt.leads) && n < len(out) {
+			lead := pt.leads[pt.leadPos]
+			if e := sh.m[lead]; e != nil {
+				e.forEach(func(mid uint32, trail *idSet) bool {
+					trail.forEach(func(c uint32) bool {
+						pt.emit(IDTriple{S: lead, P: mid, O: c}, out, &n)
+						return true
+					})
+					return true
+				})
+			}
+			pt.leadPos++
+		}
+		finished := pt.leadPos >= len(pt.leads)
+		sh.mu.RUnlock()
+		if finished {
+			pt.shard++
+			pt.haveLeads = false
+		}
+	}
+	if pt.shard >= pt.shardHi {
+		pt.done = true
+	}
+	return n
+}
+
+// family returns the owner's index family the part walks.
+func (pt *ScanPart) family() *indexFamily {
+	switch pt.fam {
+	case famPOS:
+		return &pt.owner.pos
+	case famOSP:
+		return &pt.owner.osp
+	default:
+		return &pt.owner.spo
+	}
+}
+
+// fillLead advances a single-lead part: the lead entry is re-looked-up under
+// a fresh read-lock each refill (it may have mutated in between; positions
+// are re-clamped, which keeps the cursor crash-free under concurrent writes
+// at the documented may-miss-may-duplicate consistency).
+func (pt *ScanPart) fillLead(out []IDTriple, n int) int {
+	sh := pt.family().shard(pt.lead)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.m[pt.lead]
+	if e == nil {
+		pt.done = true
+		return n
+	}
+	switch {
+	case pt.allBound:
+		if set := e.find(pt.mid); set != nil && set.contains(pt.trail) {
+			pt.emit(tripleOf(pt.fam, pt.lead, pt.mid, pt.trail), out, &n)
+		}
+		pt.done = true
+	case pt.midBound:
+		set := e.find(pt.mid)
+		if set == nil {
+			pt.done = true
+			return n
+		}
+		// The hot leaf shape (two bound components, e.g. every
+		// {?x type class} scan): fill straight from the element slice,
+		// resuming by position, with the family dispatch hoisted out of
+		// the loop. Stopping at the batch boundary (rather than spilling
+		// the rest) keeps both the lock hold and the cursor's memory
+		// bounded however large the posting list is.
+		elems := set.elems
+		if pt.trailPos > len(elems) {
+			pt.trailPos = len(elems)
+		}
+		lead, mid := pt.lead, pt.mid
+		if pt.dedup == nil {
+			switch pt.fam {
+			case famPOS:
+				for pt.trailPos < len(elems) && n < len(out) {
+					out[n] = IDTriple{S: elems[pt.trailPos], P: lead, O: mid}
+					n++
+					pt.trailPos++
+				}
+			case famOSP:
+				for pt.trailPos < len(elems) && n < len(out) {
+					out[n] = IDTriple{S: mid, P: elems[pt.trailPos], O: lead}
+					n++
+					pt.trailPos++
+				}
+			default:
+				for pt.trailPos < len(elems) && n < len(out) {
+					out[n] = IDTriple{S: lead, P: mid, O: elems[pt.trailPos]}
+					n++
+					pt.trailPos++
+				}
+			}
+		} else {
+			for pt.trailPos < len(elems) && n < len(out) {
+				t := tripleOf(pt.fam, lead, mid, elems[pt.trailPos])
+				pt.trailPos++
+				if !pt.dedup.ContainsID(t) {
+					out[n] = t
+					n++
+				}
+			}
+		}
+		if pt.trailPos >= len(elems) {
+			pt.done = true
+		}
+	default:
+		hi := len(e.entries)
+		if pt.midHi >= 0 && pt.midHi < hi {
+			hi = pt.midHi
+		}
+		if pt.midPos < pt.midLo {
+			pt.midPos = pt.midLo
+		}
+		for pt.midPos < hi && n < len(out) {
+			mt := &e.entries[pt.midPos]
+			if pt.trailBound {
+				if mt.trail.contains(pt.trail) {
+					t := tripleOf(pt.fam, pt.lead, mt.mid, pt.trail)
+					if pt.dedup == nil || !pt.dedup.ContainsID(t) {
+						out[n] = t
+						n++
+					}
+				}
+				pt.midPos++
+				continue
+			}
+			// Resume within the current entry's element slice, exactly as
+			// the midBound fast path does, so one huge trailing set never
+			// spills past the batch boundary.
+			elems := mt.trail.elems
+			if pt.trailPos > len(elems) {
+				pt.trailPos = len(elems)
+			}
+			for pt.trailPos < len(elems) && n < len(out) {
+				t := tripleOf(pt.fam, pt.lead, mt.mid, elems[pt.trailPos])
+				pt.trailPos++
+				if pt.dedup == nil || !pt.dedup.ContainsID(t) {
+					out[n] = t
+					n++
+				}
+			}
+			if pt.trailPos >= len(elems) {
+				pt.midPos++
+				pt.trailPos = 0
+			}
+		}
+		if pt.midPos >= hi {
+			pt.done = true
+		}
+	}
+	return n
+}
+
+// minMidsPerPart is the smallest entry range worth a part of its own: below
+// it the per-part cursor overhead outweighs any parallelism.
+const minMidsPerPart = 16
+
+// partPool recycles ScanPart cursors (with their lead snapshots and spill
+// buffers) so steady-state scans allocate nothing per part.
+var partPool = sync.Pool{New: func() any { return new(ScanPart) }}
+
+// takePart draws a zeroed cursor with its buffers kept.
+func takePart() *ScanPart {
+	pt := partPool.Get().(*ScanPart)
+	leads, pending := pt.leads[:0], pt.pending[:0]
+	*pt = ScanPart{leads: leads, pending: pending}
+	return pt
+}
+
+// maxPooledPartBuf bounds the snapshot/spill buffers a released cursor may
+// park in the pool, so one scan over a pathological shard does not pin its
+// peak footprint forever.
+const maxPooledPartBuf = 1 << 15
+
+// Release returns an exhausted or abandoned cursor to the pool; the caller
+// must not touch it afterwards. Releasing is optional — an unreleased part
+// is garbage-collected like anything else — but the batched evaluator
+// releases every part it drains so scan-heavy serving reuses the cursors'
+// snapshot and spill buffers instead of reallocating them per query.
+// Oversized buffers are dropped rather than pooled.
+func (pt *ScanPart) Release() {
+	if cap(pt.leads) > maxPooledPartBuf {
+		pt.leads = nil
+	}
+	if cap(pt.pending) > maxPooledPartBuf {
+		pt.pending = nil
+	}
+	partPool.Put(pt)
+}
+
+// ScanIDBatch returns a single resumable cursor over every triple matching
+// the id pattern — the batched twin of QueryIDFunc. Drain it with NextBatch;
+// each refill costs one shard lock round trip however many triples it moves.
+func (s *Store) ScanIDBatch(p IDPattern) *ScanPart {
+	return s.ScanParts(p, 1)[0]
+}
+
+// ScanParts splits the pattern's matching triples into at most max parts that
+// can be drained concurrently (see ScanPart); the parts jointly cover exactly
+// the pattern's matches and pairwise overlap nothing. A fully unbound pattern
+// splits by SPO shard; a pattern with one bound component splits its lead
+// entry's middle range; more tightly bound patterns are a single point lookup
+// and come back as one part. Fewer than max parts (often just one) are
+// returned when the matches are too few to be worth splitting.
+func (s *Store) ScanParts(p IDPattern, max int) []*ScanPart {
+	if max < 1 {
+		max = 1
+	}
+	point := func(fam uint8, lead, mid, trail uint32, allBound bool) []*ScanPart {
+		pt := takePart()
+		pt.owner, pt.fam, pt.lead, pt.mid, pt.trail = s, fam, lead, mid, trail
+		pt.allBound, pt.midBound, pt.midHi = allBound, !allBound, -1
+		return []*ScanPart{pt}
+	}
+	switch {
+	case p.BoundS && p.BoundP && p.BoundO:
+		return point(famSPO, p.S, p.P, p.O, true)
+	case p.BoundS && p.BoundP:
+		return point(famSPO, p.S, p.P, 0, false)
+	case p.BoundP && p.BoundO:
+		return point(famPOS, p.P, p.O, 0, false)
+	case p.BoundS && p.BoundO:
+		return s.leadParts(famSPO, p.S, true, p.O, max)
+	case p.BoundS:
+		return s.leadParts(famSPO, p.S, false, 0, max)
+	case p.BoundP:
+		return s.leadParts(famPOS, p.P, false, 0, max)
+	case p.BoundO:
+		return s.leadParts(famOSP, p.O, false, 0, max)
+	default:
+		groups := max
+		if groups > numShards {
+			groups = numShards
+		}
+		parts := make([]*ScanPart, 0, groups)
+		for g := 0; g < groups; g++ {
+			pt := takePart()
+			pt.owner, pt.unbound, pt.midHi = s, true, -1
+			pt.shard = g * numShards / groups
+			pt.shardHi = (g + 1) * numShards / groups
+			parts = append(parts, pt)
+		}
+		return parts
+	}
+}
+
+// leadParts builds the parts of a single-lead scan, splitting the lead
+// entry's middle range when it is wide enough.
+func (s *Store) leadParts(fam uint8, lead uint32, trailBound bool, trail uint32, max int) []*ScanPart {
+	part := func(lo, hi int) *ScanPart {
+		pt := takePart()
+		pt.owner, pt.fam, pt.lead, pt.trailBound, pt.trail = s, fam, lead, trailBound, trail
+		pt.midLo, pt.midPos, pt.midHi = lo, lo, hi
+		return pt
+	}
+	if max == 1 {
+		return []*ScanPart{part(0, -1)}
+	}
+	var fams *indexFamily
+	switch fam {
+	case famPOS:
+		fams = &s.pos
+	case famOSP:
+		fams = &s.osp
+	default:
+		fams = &s.spo
+	}
+	sh := fams.shard(lead)
+	sh.mu.RLock()
+	width := 0
+	if e := sh.m[lead]; e != nil {
+		width = len(e.entries)
+	}
+	sh.mu.RUnlock()
+	parts := max
+	if w := width / minMidsPerPart; parts > w {
+		parts = w
+	}
+	if parts <= 1 {
+		return []*ScanPart{part(0, -1)}
+	}
+	out := make([]*ScanPart, 0, parts)
+	for g := 0; g < parts; g++ {
+		lo := g * width / parts
+		hi := (g + 1) * width / parts
+		if g == parts-1 {
+			hi = -1 // the last part stays open-ended, like the single-part form
+		}
+		out = append(out, part(lo, hi))
+	}
+	return out
+}
+
+// ScanParts is the View form of Store.ScanParts: the base's parts followed by
+// the overlay's, with overlay parts suppressing triples also present in the
+// base (so each union triple is reported exactly once) unless the view was
+// built with the disjointness promise, in which case the per-triple probe is
+// skipped.
+func (v *View) ScanParts(p IDPattern, max int) []*ScanPart {
+	parts := v.base.ScanParts(p, max)
+	over := v.overlay.ScanParts(p, max)
+	if !v.disjoint {
+		for _, pt := range over {
+			pt.dedup = v.base
+		}
+	}
+	return append(parts, over...)
+}
+
+// orderPool recycles the probe-ordering scratch QueryIDBatch uses for its
+// counting sort, so steady-state batched joins allocate nothing per batch
+// (array pointers, not slices, so Put does not box a header).
+var orderPool = sync.Pool{New: func() any { return new([batchOrderSize]int32) }}
+
+// batchOrderSize is the largest probe batch the pooled scratch covers; the
+// rare larger batch allocates its own.
+const batchOrderSize = 1024
+
+// QueryIDBatch streams the matches of a batch of probe patterns to yield,
+// each tagged with the index of the pattern it answers, stopping early when
+// yield returns false. All patterns of one call must share the same bound
+// shape (the same Bound flags — the form a batched join produces, where every
+// probe of a batch binds the same components); the batch is grouped by index
+// shard and each shard is locked once for all its probes, instead of once per
+// probe as repeated QueryIDFunc calls would. Matches arrive grouped by shard,
+// not in pattern order. yield runs under a shard read-lock and must not write
+// to the store.
+func (s *Store) QueryIDBatch(ps []IDPattern, yield func(pi int, t IDTriple) bool) {
+	if len(ps) == 0 {
+		return
+	}
+	shape := ps[0]
+	if !shape.BoundS && !shape.BoundP && !shape.BoundO {
+		// Unbound probes (a cartesian stage): no lead to group by; fall back
+		// to one full scan per pattern.
+		for i := range ps {
+			stopped := false
+			s.QueryIDFunc(ps[i], func(t IDTriple) bool {
+				if !yield(i, t) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+		}
+		return
+	}
+	// The two most common join shapes — (S P ?) answering objects and
+	// (? P O) answering subjects, the forms a join's bound lead plus one
+	// more bound component produces — run fully specialized loops: lead
+	// extraction, shard grouping, map lookup, entry find and element walk
+	// are all inlined with no per-probe dispatch, because this is the
+	// innermost loop of every batched join. Everything else goes through
+	// the general per-probe dispatch.
+	switch {
+	case shape.BoundS && shape.BoundP && !shape.BoundO:
+		s.batchProbeSP(ps, yield)
+	case shape.BoundP && shape.BoundO && !shape.BoundS:
+		s.batchProbePO(ps, yield)
+	default:
+		var fams *indexFamily
+		var leadOf func(IDPattern) uint32
+		switch {
+		case shape.BoundS:
+			fams, leadOf = &s.spo, func(p IDPattern) uint32 { return p.S }
+		case shape.BoundP:
+			fams, leadOf = &s.pos, func(p IDPattern) uint32 { return p.P }
+		default:
+			fams, leadOf = &s.osp, func(p IDPattern) uint32 { return p.O }
+		}
+		order, counts, release := groupByShard(ps, leadOf)
+		defer release()
+		for shIdx := 0; shIdx < numShards; shIdx++ {
+			lo, hi := counts[shIdx], counts[shIdx+1]
+			if lo == hi {
+				continue
+			}
+			sh := &fams[shIdx]
+			sh.mu.RLock()
+			for _, pi := range order[lo:hi] {
+				if !probeShardLocked(sh, ps[pi], int(pi), yield) {
+					sh.mu.RUnlock()
+					return
+				}
+			}
+			sh.mu.RUnlock()
+		}
+	}
+}
+
+// groupByShard counting-sorts the probe indexes by the shard of their lead
+// component: one pass to size the buckets, one to place, so each shard is
+// visited exactly once. The scratch comes from a pool; call release when
+// done with the order slice.
+func groupByShard(ps []IDPattern, leadOf func(IDPattern) uint32) (order []int32, counts [numShards + 1]int32, release func()) {
+	for i := range ps {
+		counts[shardOf(leadOf(ps[i]))+1]++
+	}
+	for i := 0; i < numShards; i++ {
+		counts[i+1] += counts[i]
+	}
+	release = func() {}
+	if len(ps) <= batchOrderSize {
+		pooled := orderPool.Get().(*[batchOrderSize]int32)
+		release = func() { orderPool.Put(pooled) }
+		order = pooled[:len(ps)]
+	} else {
+		order = make([]int32, len(ps))
+	}
+	var next [numShards]int32
+	for i := range ps {
+		sh := shardOf(leadOf(ps[i]))
+		order[counts[sh]+next[sh]] = int32(i)
+		next[sh]++
+	}
+	return order, counts, release
+}
+
+// batchProbeSP answers a batch of (S P ?) probes: SPO family, objects out.
+func (s *Store) batchProbeSP(ps []IDPattern, yield func(pi int, t IDTriple) bool) {
+	var counts [numShards + 1]int32
+	for i := range ps {
+		counts[shardOf(ps[i].S)+1]++
+	}
+	for i := 0; i < numShards; i++ {
+		counts[i+1] += counts[i]
+	}
+	var order []int32
+	if len(ps) <= batchOrderSize {
+		pooled := orderPool.Get().(*[batchOrderSize]int32)
+		defer orderPool.Put(pooled)
+		order = pooled[:len(ps)]
+	} else {
+		order = make([]int32, len(ps))
+	}
+	var next [numShards]int32
+	for i := range ps {
+		sh := shardOf(ps[i].S)
+		order[counts[sh]+next[sh]] = int32(i)
+		next[sh]++
+	}
+	for shIdx := 0; shIdx < numShards; shIdx++ {
+		lo, hi := counts[shIdx], counts[shIdx+1]
+		if lo == hi {
+			continue
+		}
+		sh := &s.spo[shIdx]
+		sh.mu.RLock()
+		for _, pi := range order[lo:hi] {
+			p := ps[pi]
+			e := sh.m[p.S]
+			if e == nil {
+				continue
+			}
+			set := e.find(p.P)
+			if set == nil {
+				continue
+			}
+			for _, v := range set.elems {
+				if !yield(int(pi), IDTriple{S: p.S, P: p.P, O: v}) {
+					sh.mu.RUnlock()
+					return
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// batchProbePO answers a batch of (? P O) probes: POS family, subjects out.
+func (s *Store) batchProbePO(ps []IDPattern, yield func(pi int, t IDTriple) bool) {
+	var counts [numShards + 1]int32
+	for i := range ps {
+		counts[shardOf(ps[i].P)+1]++
+	}
+	for i := 0; i < numShards; i++ {
+		counts[i+1] += counts[i]
+	}
+	var order []int32
+	if len(ps) <= batchOrderSize {
+		pooled := orderPool.Get().(*[batchOrderSize]int32)
+		defer orderPool.Put(pooled)
+		order = pooled[:len(ps)]
+	} else {
+		order = make([]int32, len(ps))
+	}
+	var next [numShards]int32
+	for i := range ps {
+		sh := shardOf(ps[i].P)
+		order[counts[sh]+next[sh]] = int32(i)
+		next[sh]++
+	}
+	for shIdx := 0; shIdx < numShards; shIdx++ {
+		lo, hi := counts[shIdx], counts[shIdx+1]
+		if lo == hi {
+			continue
+		}
+		sh := &s.pos[shIdx]
+		sh.mu.RLock()
+		for _, pi := range order[lo:hi] {
+			p := ps[pi]
+			e := sh.m[p.P]
+			if e == nil {
+				continue
+			}
+			set := e.find(p.O)
+			if set == nil {
+				continue
+			}
+			for _, v := range set.elems {
+				if !yield(int(pi), IDTriple{S: v, P: p.P, O: p.O}) {
+					sh.mu.RUnlock()
+					return
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// probeShardLocked answers one probe from its (already read-locked) shard,
+// reporting false when yield stopped the enumeration. The branch structure
+// mirrors QueryIDFunc's family dispatch, minus the locking; trailing sets
+// are walked with explicit loops over the adaptive representation rather
+// than forEach closures — this is the innermost loop of every batched join,
+// and a closure per probe is exactly the per-binding cost batching exists
+// to remove.
+func probeShardLocked(sh *shard, p IDPattern, pi int, yield func(int, IDTriple) bool) bool {
+	switch {
+	case p.BoundS:
+		e := sh.m[p.S]
+		if e == nil {
+			return true
+		}
+		if p.BoundP {
+			set := e.find(p.P)
+			if set == nil {
+				return true
+			}
+			if p.BoundO {
+				if set.contains(p.O) {
+					return yield(pi, IDTriple{S: p.S, P: p.P, O: p.O})
+				}
+				return true
+			}
+			return emitSet(set, pi, yield, famSPO, p.S, p.P)
+		}
+		for i := range e.entries {
+			mt := &e.entries[i]
+			if p.BoundO {
+				if mt.trail.contains(p.O) && !yield(pi, IDTriple{S: p.S, P: mt.mid, O: p.O}) {
+					return false
+				}
+				continue
+			}
+			if !emitSet(&mt.trail, pi, yield, famSPO, p.S, mt.mid) {
+				return false
+			}
+		}
+		return true
+	case p.BoundP:
+		e := sh.m[p.P]
+		if e == nil {
+			return true
+		}
+		if p.BoundO {
+			set := e.find(p.O)
+			if set == nil {
+				return true
+			}
+			return emitSet(set, pi, yield, famPOS, p.P, p.O)
+		}
+		for i := range e.entries {
+			mt := &e.entries[i]
+			if !emitSet(&mt.trail, pi, yield, famPOS, p.P, mt.mid) {
+				return false
+			}
+		}
+		return true
+	default: // BoundO
+		e := sh.m[p.O]
+		if e == nil {
+			return true
+		}
+		for i := range e.entries {
+			mt := &e.entries[i]
+			if !emitSet(&mt.trail, pi, yield, famOSP, p.O, mt.mid) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// emitSet yields one triple per member of a trailing set, reassembled from
+// the family's (lead, mid, trail) coordinates, as a direct loop over the
+// set's element slice (no per-set closure).
+func emitSet(set *idSet, pi int, yield func(int, IDTriple) bool, fam uint8, lead, mid uint32) bool {
+	for _, v := range set.elems {
+		if !yield(pi, tripleOf(fam, lead, mid, v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryIDBatch is the View form of Store.QueryIDBatch: each probe answers
+// from the base, then from the overlay with base-shadowed triples suppressed
+// (skipped entirely under the disjoint view's promise). The same same-shape
+// and no-writes-from-yield rules apply.
+func (v *View) QueryIDBatch(ps []IDPattern, yield func(pi int, t IDTriple) bool) {
+	stopped := false
+	v.base.QueryIDBatch(ps, func(pi int, t IDTriple) bool {
+		if !yield(pi, t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	v.overlay.QueryIDBatch(ps, func(pi int, t IDTriple) bool {
+		if !v.disjoint && v.base.ContainsID(t) {
+			return true
+		}
+		return yield(pi, t)
+	})
+}

@@ -42,53 +42,64 @@ func shardOf(id uint32) uint32 {
 	return (id * 2654435761) >> 16 & (numShards - 1)
 }
 
-// idSet is an adaptive set of ids: a small unsorted slice until setSpill,
-// a map afterwards.
+// idSet is an adaptive set of ids. Its members always live in the unsorted
+// elems slice — enumeration is a contiguous array walk whatever the size,
+// which is what the batched scan and probe paths stream from — and past
+// setSpill members a value→position map is added so membership tests and
+// swap-deletes stay O(1) instead of going linear. The slice-plus-index
+// layout costs a little more memory than a bare map once spilled, but every
+// read path (scans, probes, batch fills) iterates elems at cache speed
+// rather than walking map buckets.
 type idSet struct {
-	small []uint32
-	large map[uint32]struct{}
+	elems []uint32
+	idx   map[uint32]int32 // value -> position in elems; nil while small
 }
 
 func (s *idSet) add(c uint32) bool {
-	if s.large != nil {
-		if _, ok := s.large[c]; ok {
+	if s.idx != nil {
+		if _, ok := s.idx[c]; ok {
 			return false
 		}
-		s.large[c] = struct{}{}
+		s.idx[c] = int32(len(s.elems))
+		s.elems = append(s.elems, c)
 		return true
 	}
-	for _, v := range s.small {
+	for _, v := range s.elems {
 		if v == c {
 			return false
 		}
 	}
-	if len(s.small) < setSpill {
-		s.small = append(s.small, c)
-		return true
+	s.elems = append(s.elems, c)
+	if len(s.elems) > setSpill {
+		s.idx = make(map[uint32]int32, 2*setSpill)
+		for i, v := range s.elems {
+			s.idx[v] = int32(i)
+		}
 	}
-	m := make(map[uint32]struct{}, 2*setSpill)
-	for _, v := range s.small {
-		m[v] = struct{}{}
-	}
-	m[c] = struct{}{}
-	s.large = m
-	s.small = nil
 	return true
 }
 
 func (s *idSet) remove(c uint32) bool {
-	if s.large != nil {
-		if _, ok := s.large[c]; !ok {
+	if s.idx != nil {
+		pos, ok := s.idx[c]
+		if !ok {
 			return false
 		}
-		delete(s.large, c)
+		last := len(s.elems) - 1
+		moved := s.elems[last]
+		s.elems[pos] = moved
+		s.elems = s.elems[:last]
+		if int(pos) != last {
+			s.idx[moved] = pos
+		}
+		delete(s.idx, c)
 		return true
 	}
-	for i, v := range s.small {
+	for i, v := range s.elems {
 		if v == c {
-			last := len(s.small) - 1
-			s.small[i] = s.small[last]
-			s.small = s.small[:last]
+			last := len(s.elems) - 1
+			s.elems[i] = s.elems[last]
+			s.elems = s.elems[:last]
 			return true
 		}
 	}
@@ -96,11 +107,11 @@ func (s *idSet) remove(c uint32) bool {
 }
 
 func (s *idSet) contains(c uint32) bool {
-	if s.large != nil {
-		_, ok := s.large[c]
+	if s.idx != nil {
+		_, ok := s.idx[c]
 		return ok
 	}
-	for _, v := range s.small {
+	for _, v := range s.elems {
 		if v == c {
 			return true
 		}
@@ -109,23 +120,14 @@ func (s *idSet) contains(c uint32) bool {
 }
 
 func (s *idSet) len() int {
-	if s.large != nil {
-		return len(s.large)
-	}
-	return len(s.small)
+	return len(s.elems)
 }
 
 // appendResolved appends every id's resolved name to out. It is the
-// materializing twin of forEach, kept here so the adaptive representation is
-// walked in one place only.
+// materializing twin of forEach, kept here so the set layout is walked in
+// one place only.
 func (s *idSet) appendResolved(res resolver, out []string) []string {
-	if s.large != nil {
-		for v := range s.large {
-			out = append(out, res.name(v))
-		}
-		return out
-	}
-	for _, v := range s.small {
+	for _, v := range s.elems {
 		out = append(out, res.name(v))
 	}
 	return out
@@ -133,15 +135,7 @@ func (s *idSet) appendResolved(res resolver, out []string) []string {
 
 // forEach streams the set, reporting false when fn stopped the enumeration.
 func (s *idSet) forEach(fn func(uint32) bool) bool {
-	if s.large != nil {
-		for v := range s.large {
-			if !fn(v) {
-				return false
-			}
-		}
-		return true
-	}
-	for _, v := range s.small {
+	for _, v := range s.elems {
 		if !fn(v) {
 			return false
 		}

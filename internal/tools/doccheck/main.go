@@ -2,7 +2,7 @@
 // exported identifier in the packages it is pointed at must carry a doc
 // comment. CI runs it over the serving stack —
 //
-//	go run ./internal/tools/doccheck internal/store internal/query internal/reason internal/server
+//	go run ./internal/tools/doccheck internal/store internal/query internal/query/exec internal/reason internal/server
 //
 // — and fails the docs job on any bare export. The check is a small go/ast
 // walk, not a full linter: a declaration is documented if the declaration

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/dl"
+	"repro/internal/query"
 	"repro/internal/semfield"
 	"repro/internal/store"
 )
@@ -198,7 +199,10 @@ func TestSyntheticCorpusNoDriftPerfectRetrieval(t *testing.T) {
 	}
 	// With no drift, expanded retrieval is exact for every class.
 	for _, class := range c.Classes {
-		retrieved := store.InstancesOfExpanded(c.Store, oi, class)
+		retrieved, err := query.Instances(c.Store, oi, class)
+		if err != nil {
+			t.Fatal(err)
+		}
 		relevant := c.RelevantTo(oi, class)
 		res := store.Evaluate(retrieved, relevant)
 		if res.Precision() != 1 || res.Recall() != 1 {
