@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildOntolint compiles the vettool into a temp dir and returns its path.
+func buildOntolint(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "ontolint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ontolint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module so go vet runs the tool through the
+// real unitchecker protocol (config files, import maps, vetx outputs) rather
+// than our in-process driver.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, dir, bin string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVettoolFindsSeededViolations drives the binary exactly as CI does and
+// checks that seeded lockcheck and maporder violations surface as vet
+// failures. doccheck and interruptcheck stay quiet here by design: they are
+// scoped to the repro serving-stack import paths, which a scratch module
+// never matches.
+func TestVettoolFindsSeededViolations(t *testing.T) {
+	bin := buildOntolint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"bad.go": `package scratch
+
+import "sync"
+
+var mu sync.Mutex
+
+// Leak forgets to unlock on the early return.
+func Leak(fail bool) error {
+	mu.Lock()
+	if fail {
+		return nil
+	}
+	mu.Unlock()
+	return nil
+}
+
+// Names feeds map order straight into the result.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	out, err := runVet(t, dir, bin)
+	if err == nil {
+		t.Fatalf("go vet succeeded, want failure; output:\n%s", out)
+	}
+	for _, marker := range []string{"[lockcheck]", "[maporder]"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("vet output missing %s finding:\n%s", marker, out)
+		}
+	}
+}
+
+// TestVettoolCleanModule checks the tool exits zero on a module with no
+// violations — the shape CI depends on to pass.
+func TestVettoolCleanModule(t *testing.T) {
+	bin := buildOntolint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"ok.go": `package scratch
+
+import (
+	"sort"
+	"sync"
+)
+
+var mu sync.Mutex
+
+// Tidy locks and unlocks on every path.
+func Tidy() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// Names sorts before returning.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+	})
+	if out, err := runVet(t, dir, bin); err != nil {
+		t.Fatalf("go vet failed on clean module: %v\n%s", err, out)
+	}
+}

@@ -239,7 +239,7 @@ func (a GroceryListArtifact) Symbols() []string {
 // Statements implements Artifact.
 func (a GroceryListArtifact) Statements() []string {
 	var out []string
-	aisles := sortedKeys(toSet(keys(a.ItemsByAisle)))
+	aisles := keys(a.ItemsByAisle)
 	for _, aisle := range aisles {
 		for _, it := range a.ItemsByAisle[aisle] {
 			out = append(out, fmt.Sprintf("buy %s (%s)", it, aisle))
@@ -260,13 +260,13 @@ func (a TaxFormArtifact) Kind() Kind { return KindTaxForm }
 
 // Symbols implements Artifact.
 func (a TaxFormArtifact) Symbols() []string {
-	return sortedKeys(toSet(keys(a.Fields)))
+	return keys(a.Fields)
 }
 
 // Statements implements Artifact.
 func (a TaxFormArtifact) Statements() []string {
 	var out []string
-	for _, f := range sortedKeys(toSet(keys(a.Fields))) {
+	for _, f := range keys(a.Fields) {
 		out = append(out, fmt.Sprintf("%s = %d", f, a.Fields[f]))
 	}
 	out = append(out, a.Rules...)
@@ -283,18 +283,13 @@ func sortedKeys(set map[string]bool) []string {
 	return out
 }
 
-func toSet(ss []string) map[string]bool {
-	set := make(map[string]bool, len(ss))
-	for _, s := range ss {
-		set[s] = true
-	}
-	return set
-}
-
+// keys returns the keys of a string-keyed map, sorted, so callers never see
+// map iteration order.
 func keys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }

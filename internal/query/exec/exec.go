@@ -451,6 +451,11 @@ func (s *scan) nextSequential(ctx *Ctx) (*Batch, error) {
 		s.tbuf = takeTrips()
 	}
 	for {
+		if ctx.Cancelled() {
+			s.done = true
+			s.close()
+			return nil, ErrInterrupted
+		}
 		if len(s.parts) == 0 {
 			if s.nextCandidate() {
 				continue

@@ -153,6 +153,7 @@ func (pt *ScanPart) fillUnbound(out []IDTriple, n int) int {
 		if !pt.haveLeads {
 			pt.leads = pt.leads[:0]
 			for k := range sh.m {
+				//ontolint:ignore maporder ScanPart enumeration order is documented unspecified; sorted forms sort after materializing
 				pt.leads = append(pt.leads, k)
 			}
 			pt.haveLeads = true
@@ -257,6 +258,7 @@ func (pt *ScanPart) fillLead(out []IDTriple, n int) int {
 			for pt.trailPos < len(elems) && n < len(out) {
 				t := tripleOf(pt.fam, lead, mid, elems[pt.trailPos])
 				pt.trailPos++
+				//ontolint:ignore lockcheck dedup is the view's base store, not pt.owner; its shard locks are distinct so the probe cannot self-deadlock
 				if !pt.dedup.ContainsID(t) {
 					out[n] = t
 					n++
@@ -279,6 +281,7 @@ func (pt *ScanPart) fillLead(out []IDTriple, n int) int {
 			if pt.trailBound {
 				if mt.trail.contains(pt.trail) {
 					t := tripleOf(pt.fam, pt.lead, mt.mid, pt.trail)
+					//ontolint:ignore lockcheck dedup is the view's base store, not pt.owner; its shard locks are distinct so the probe cannot self-deadlock
 					if pt.dedup == nil || !pt.dedup.ContainsID(t) {
 						out[n] = t
 						n++
@@ -297,6 +300,7 @@ func (pt *ScanPart) fillLead(out []IDTriple, n int) int {
 			for pt.trailPos < len(elems) && n < len(out) {
 				t := tripleOf(pt.fam, pt.lead, mt.mid, elems[pt.trailPos])
 				pt.trailPos++
+				//ontolint:ignore lockcheck dedup is the view's base store, not pt.owner; its shard locks are distinct so the probe cannot self-deadlock
 				if pt.dedup == nil || !pt.dedup.ContainsID(t) {
 					out[n] = t
 					n++

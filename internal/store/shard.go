@@ -320,9 +320,9 @@ func (s *Store) lockTriple(e encTriple) tripleLocker {
 		pos: s.pos.shard(e.p),
 		osp: s.osp.shard(e.o),
 	}
-	l.spo.mu.Lock()
-	l.pos.mu.Lock()
-	l.osp.mu.Lock()
+	l.spo.mu.Lock() //ontolint:ignore lockcheck held across return by design; the caller releases all three via tripleLocker.unlock
+	l.pos.mu.Lock() //ontolint:ignore lockcheck fixed family order (SPO, POS, OSP) makes the nested acquisition deadlock-free
+	l.osp.mu.Lock() //ontolint:ignore lockcheck fixed family order (SPO, POS, OSP) makes the nested acquisition deadlock-free
 	return l
 }
 

@@ -69,6 +69,7 @@ func Collisions(t *dl.TBox, maxDepth int, e Erasure) CollisionReport {
 	skeletons, skipped := Skeletons(t, maxDepth, e)
 	byskeleton := map[Skeleton][]string{}
 	for name, sk := range skeletons {
+		//ontolint:ignore maporder every group is sorted (sort.Strings(names)) before use and Groups itself is re-sorted below
 		byskeleton[sk] = append(byskeleton[sk], name)
 	}
 	report := CollisionReport{

@@ -1,0 +1,80 @@
+// Package analysis is a deliberately small, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: enough surface — Analyzer, Pass,
+// Diagnostic — for the repository's own vet-style checkers
+// (repro/internal/tools/analyzers) to be written in the standard shape,
+// without pulling x/tools into a module that is otherwise stdlib-only.
+//
+// An Analyzer inspects one type-checked package at a time through its Pass
+// and reports findings with Pass.Report or Pass.Reportf. There is no fact or
+// result plumbing between packages: every checker in this repository is a
+// package-local invariant, so the cross-package machinery of the full
+// framework is intentionally absent. Analyzers written against this package
+// are source-compatible with x/tools for the subset they use, should the
+// dependency ever be adopted.
+//
+// Two drivers execute analyzers: repro/internal/tools/analysis/unitchecker
+// implements the `go vet -vettool` protocol for CI, and
+// repro/internal/tools/analysis/analysistest runs them over testdata fixture
+// packages in unit tests. Both apply the //ontolint:ignore suppression rules
+// implemented in this package (see suppress.go) so behavior cannot drift
+// between CI and tests.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ontolint:ignore comments. By convention a short lowercase word.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report and returns an optional result (unused by this
+	// repository's drivers) and an error for operational failures —
+	// findings are diagnostics, not errors.
+	Run func(pass *Pass) (any, error)
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run function and
+// collects its diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files are the package's parsed syntax trees, with comments.
+	Files []*ast.File
+
+	// Pkg is the package's type information.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's facts about the expressions and
+	// identifiers in Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it; analyzers
+	// usually call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,171 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against expectations written in the fixtures themselves, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture package lives in testdata/src/<name>/ next to the analyzer's
+// test. Expected findings are trailing comments of the form
+//
+//	offender() // want "regexp" "second regexp"
+//
+// where each quoted (or backquoted) Go string is a regular expression that
+// must match the message of one diagnostic reported on that line. The test
+// fails on any diagnostic with no matching expectation and on any
+// expectation with no matching diagnostic, so fixtures pin both the positive
+// findings and the clean code of every analyzer.
+//
+// Fixtures are typechecked from source (the "source" importer), so they may
+// import standard-library packages such as sync and sort, but not packages
+// of this module. Diagnostics are filtered through the same
+// //ontolint:ignore handling as the CI driver, which is what lets fixtures
+// assert that suppression comments work.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/tools/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// expectation is one "want" regexp awaiting a diagnostic on its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run applies the analyzer to each fixture package under testdata/src and
+// reports mismatches between its diagnostics and the fixtures' want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPackage(t, filepath.Join(testdata, "src", pkg), pkg, a)
+	}
+}
+
+// runPackage checks one fixture package directory.
+func runPackage(t *testing.T, dir, path string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Errorf("%s: no fixture files (%v)", dir, err)
+		return
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Errorf("parsing fixture: %v", err)
+			return
+		}
+		files = append(files, f)
+		ws, err := parseWants(fset, f)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		wants = append(wants, ws...)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := tcfg.Check(path, fset, files, info)
+	if err != nil {
+		t.Errorf("typechecking fixture %s: %v", dir, err)
+		return
+	}
+
+	findings, err := analysis.RunPackage(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("running %s on %s: %v", a.Name, dir, err)
+		return
+	}
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		pos := fset.Position(f.Pos)
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", relPos(pos), f.Analyzer, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// relPos renders a position with its directory trimmed, for readable test
+// failures.
+func relPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(pos.Filename), pos.Line, pos.Column)
+}
+
+// parseWants extracts every "// want" expectation in the file.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(text)
+			for rest != "" {
+				lit, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: malformed want comment %q", pos.Line, c.Text)
+				}
+				pat, err := strconv.Unquote(lit)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", pos.Line, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad want regexp: %v", pos.Line, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				rest = strings.TrimSpace(rest[len(lit):])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one diagnostic attributed to the analyzer that produced it —
+// the unit of output shared by both drivers (unitchecker and analysistest).
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// RunPackage applies every analyzer to one type-checked package, filters the
+// diagnostics through the package's //ontolint:ignore directives, and returns
+// the surviving findings sorted by position. Malformed ignore directives are
+// themselves returned as findings under the analyzer name "ontolint".
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	sup := ScanSuppressions(fset, files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				if sup.Suppressed(fset, a.Name, d.Pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: d.Pos, Message: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	for _, d := range sup.Malformed {
+		out = append(out, Finding{Analyzer: "ontolint", Pos: d.Pos, Message: d.Message})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parse typechecks one synthetic file.
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object), Uses: make(map[*ast.Ident]types.Object)}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// flagFuncs reports every function declaration by name — a minimal analyzer
+// for exercising the driver.
+var flagFuncs = &Analyzer{
+	Name: "flagfuncs",
+	Doc:  "flag every function",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestSuppressionAndMalformed(t *testing.T) {
+	src := `package p
+
+func a() {}
+
+//ontolint:ignore flagfuncs reason recorded here
+func b() {}
+
+//ontolint:ignore otherchecker wrong analyzer name does not silence flagfuncs
+func c() {}
+
+//ontolint:ignore flagfuncs
+func d() {}
+`
+	fset, files, pkg, info := parse(t, src)
+	findings, err := RunPackage(fset, files, pkg, info, []*Analyzer{flagFuncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer+": "+f.Message)
+	}
+	want := []string{
+		"flagfuncs: function a",
+		"flagfuncs: function c", // wrong analyzer name suppresses nothing
+		"ontolint: malformed //ontolint:ignore: want \"//ontolint:ignore <analyzer> <reason>\"",
+		"flagfuncs: function d", // the malformed directive above it suppresses nothing
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("findings:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestSameLineSuppression(t *testing.T) {
+	src := `package p
+
+func a() {} //ontolint:ignore flagfuncs trailing directives cover their own line
+`
+	fset, files, pkg, info := parse(t, src)
+	findings, err := RunPackage(fset, files, pkg, info, []*Analyzer{flagFuncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("got %d findings, want 0 (trailing suppression)", len(findings))
+	}
+}

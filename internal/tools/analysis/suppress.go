@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A finding can be silenced — with a recorded justification — by an
+//
+//	//ontolint:ignore <analyzer> <reason>
+//
+// comment either on the same line as the finding or on the line immediately
+// above it. The analyzer name selects which checker is silenced (other
+// analyzers still report on that line), and the reason is mandatory: an
+// ignore comment without one is itself a finding, so suppressions cannot
+// silently accumulate without explanation. An unknown analyzer name is not an
+// error — a comment may target a checker that the running driver does not
+// load — it simply suppresses nothing.
+
+// ignorePrefix is the directive tag, in the standard "//tool:directive" form
+// (no space after //, so gofmt preserves it verbatim).
+const ignorePrefix = "ontolint:ignore"
+
+// Suppressions is the parsed set of //ontolint:ignore directives for one
+// package, plus a diagnostic for each malformed directive.
+type Suppressions struct {
+	// byAnalyzer maps analyzer name -> filename -> set of suppressed lines.
+	byAnalyzer map[string]map[string]map[int]bool
+
+	// Malformed holds one diagnostic per directive missing its analyzer
+	// name or reason. Drivers report these under the name "ontolint".
+	Malformed []Diagnostic
+}
+
+// ScanSuppressions collects every //ontolint:ignore directive in files.
+func ScanSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byAnalyzer: make(map[string]map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //ontolint:ignore: want \"//ontolint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name := fields[0]
+				byFile := s.byAnalyzer[name]
+				if byFile == nil {
+					byFile = make(map[string]map[int]bool)
+					s.byAnalyzer[name] = byFile
+				}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					byFile[pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment)
+				// and the next line (comment above the finding).
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos is
+// covered by an ignore directive.
+func (s *Suppressions) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	byFile := s.byAnalyzer[analyzer]
+	if byFile == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	return byFile[p.Filename][p.Line]
+}

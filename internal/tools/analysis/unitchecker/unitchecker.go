@@ -1,0 +1,231 @@
+// Package unitchecker implements the driver side of the `go vet -vettool`
+// protocol for the analyzers in this repository, on the standard library
+// alone.
+//
+// When go vet is given -vettool=<binary>, it does not hand the binary a
+// package pattern; it drives it one compilation unit at a time:
+//
+//   - <tool> -V=full       must print an identity line ending in a build ID,
+//     which cmd/go folds into its action cache keys;
+//   - <tool> -flags        must print a JSON description of the tool's flags
+//     (this tool has none, so it prints "[]");
+//   - <tool> <file>.cfg    analyzes one package: the JSON config file carries
+//     the unit's source files, its import map, and the compiler-produced
+//     export data of its dependencies.
+//
+// The tool typechecks the unit with go/types using the export data named in
+// the config — the same data the compiler just produced, so no source of any
+// dependency is re-parsed — runs every analyzer, and prints findings to
+// stderr as "file:line:col: [analyzer] message". Exit status: 0 for a clean
+// unit, 2 when there are findings, 1 on operational errors. Any nonzero exit
+// fails the enclosing go vet run.
+//
+// cmd/go also schedules dependency units with VetxOnly set, expecting only
+// cross-package facts (the .vetx file) from them. The analyzers in this
+// repository are strictly package-local and export no facts, so for those
+// units the tool writes the expected (empty) output file and exits without
+// parsing anything, which keeps `go vet -vettool=ontolint ./...` cheap even
+// though cmd/go visits the whole dependency graph.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/tools/analysis"
+)
+
+// config mirrors the JSON written by cmd/go for each vet invocation (struct
+// vetConfig in cmd/go/internal/work); only the fields this driver consumes
+// are listed, unknown fields are ignored by encoding/json.
+type config struct {
+	ID         string   // package ID, e.g. "repro/internal/store [repro/internal/store.test]"
+	Compiler   string   // "gc" or "gccgo"
+	Dir        string   // package directory
+	ImportPath string   // canonical import path
+	GoFiles    []string // absolute paths of the unit's Go sources
+
+	ImportMap   map[string]string // import path as written -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+
+	VetxOnly   bool   // facts-only invocation for a dependency; no diagnostics wanted
+	VetxOutput string // file the driver must write (facts; empty for this tool)
+	GoVersion  string // language version for the unit, e.g. "go1.22"
+
+	SucceedOnTypecheckFailure bool // exit 0 on typecheck errors (go test's vet mode)
+}
+
+// Main is the entry point for a vettool binary: it interprets the cmd/go
+// protocol arguments and never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion(progname)
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags: an empty JSON flag list.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		code, err := run(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	default:
+		fmt.Fprintf(os.Stderr, "usage: %s <file.cfg>\n\n", progname)
+		fmt.Fprintf(os.Stderr, "%s is a go vet analysis tool; invoke it via\n\n", progname)
+		fmt.Fprintf(os.Stderr, "\tgo vet -vettool=$(which %s) ./...\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "\t%-14s %s\n", a.Name, doc)
+		}
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the -V=full identity line. cmd/go requires the form
+// "<name> version devel ... buildID=<id>" and uses the final field as the
+// tool's cache key, so the ID is a hash of the executable itself: rebuild
+// the tool (changing any analyzer) and every cached vet result is invalidated.
+func printVersion(progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = hex.EncodeToString(sum[:16])
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, id)
+}
+
+// run analyzes the single compilation unit described by cfgFile, returning
+// the process exit code.
+func run(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// cmd/go expects the facts file even from units it only wants facts
+	// from. These analyzers produce none, so the file is always empty —
+	// and for facts-only dependency units that is all the work there is.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	tcfg := types.Config{
+		Importer:  newImporter(fset, &cfg),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %w", cfg.ID, err)
+	}
+
+	findings, err := analysis.RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if len(findings) == 0 {
+		return 0, nil
+	}
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := fset.Position(f.Pos)
+		name := pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, f.Analyzer, f.Message)
+	}
+	return 2, nil
+}
+
+// newImporter builds the unit's dependency importer: export data files named
+// by the config, looked up through the source-path -> canonical-path import
+// map. This is importer.ForCompiler's lookup mode, so "unsafe" and friends
+// are handled by the toolchain importer itself.
+func newImporter(fset *token.FileSet, cfg *config) types.Importer {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &mappedImporter{
+		imports: cfg.ImportMap,
+		under:   importer.ForCompiler(fset, compiler, lookup).(types.ImporterFrom),
+		dir:     cfg.Dir,
+	}
+}
+
+// mappedImporter rewrites import paths as written in source to the canonical
+// package paths the export data is keyed by (vendoring, "test" variants).
+type mappedImporter struct {
+	imports map[string]string
+	under   types.ImporterFrom
+	dir     string
+}
+
+// Import resolves one import path through the unit's import map.
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.imports[path]; ok {
+		path = mapped
+	}
+	return m.under.ImportFrom(path, m.dir, 0)
+}

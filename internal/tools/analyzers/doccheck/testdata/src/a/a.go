@@ -1,0 +1,40 @@
+// Package a is the doccheck fixture: undocumented exported identifiers,
+// documented and grouped forms, unexported receivers, suppression, and a
+// malformed ignore directive.
+package a
+
+func Undocumented() {} // want "exported function Undocumented has no doc comment"
+
+// Documented has a doc comment.
+func Documented() {}
+
+type Widget struct { // want "exported type Widget has no doc comment"
+	ID int
+}
+
+// Gadget is documented.
+type Gadget struct{}
+
+// Frob is documented; its receiver is exported too.
+func (Gadget) Frob() {}
+
+func (Gadget) Twiddle() {} // want "exported method Twiddle has no doc comment"
+
+type gizmo struct{}
+
+// methods on unexported receivers are not part of the public surface.
+func (gizmo) Exported() {}
+
+// Grouped constants are covered by the group comment.
+const (
+	Alpha = iota
+	Beta
+)
+
+var Loose = []int{ // want "exported var Loose has no doc comment"
+	1,
+}
+
+var Silenced = []int{ //ontolint:ignore doccheck fixture: documented in the package overview instead
+	2,
+}

@@ -1,0 +1,363 @@
+// Package pathwalk is the path-sensitive statement walker shared by the
+// lockcheck and poolcheck analyzers. Both enforce obligation disciplines —
+// "every Lock is released on every path", "every pooled Get is Put on every
+// path" — which a plain syntactic walk cannot check: the interesting bugs
+// are precisely the early-return and error paths. pathwalk interprets a
+// function body abstractly, forking the client's state at branches, joining
+// (with deduplication) where control flow meets, and calling back at every
+// function exit and loop-iteration boundary so the client can check that its
+// obligations are balanced there.
+//
+// The engine is deliberately modest: it is intraprocedural, analyzes each
+// loop body for a single abstract iteration (requiring the client's state to
+// be balanced across it, which is exactly the discipline the analyzers
+// enforce), treats goto as abandoning the path, and never descends into
+// function literals — clients analyze those as independent function bodies.
+// States are treated as immutable values: the client's Exec must
+// copy-on-write, never mutate in place, because the engine shares states
+// freely between forked branches.
+package pathwalk
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// maxStates caps the abstract states tracked at any program point. Beyond
+// the cap further states are dropped, trading completeness for termination;
+// real function bodies in this repository stay in single digits.
+const maxStates = 64
+
+// State is the client's abstract state at a program point.
+type State any
+
+// Hooks is the client half of the walk.
+type Hooks struct {
+	// Exec interprets one atomic node — a simple statement, or a
+	// condition/initializer expression of a compound one — and returns the
+	// successor state. It must not mutate st in place.
+	Exec func(n ast.Node, st State) State
+
+	// Key returns a canonical signature of a state; states with equal keys
+	// are merged at join points.
+	Key func(st State) string
+
+	// Return is called once per path that leaves the function, with the
+	// state at the exit and the position of the return (or closing brace).
+	Return func(st State, pos token.Pos)
+
+	// LoopIterEnd is called when one abstract iteration of a loop body
+	// completes (at the body's end and at each continue), with the states
+	// at loop entry and iteration end. Clients report when the signatures
+	// differ: an imbalanced iteration compounds its imbalance on every
+	// pass.
+	LoopIterEnd func(entry, end State, loop ast.Stmt)
+}
+
+// frame is one enclosing breakable construct during the walk.
+type frame struct {
+	node   ast.Stmt
+	label  string
+	isLoop bool
+	entry  State   // loop-entry state of the iteration being walked
+	brk    []State // states carried out by break statements
+}
+
+type walker struct {
+	h      Hooks
+	frames []*frame
+	label  string // label of a LabeledStmt awaiting its construct
+}
+
+// Walk interprets body starting from init.
+func Walk(body *ast.BlockStmt, init State, h Hooks) {
+	w := &walker{h: h}
+	out := w.stmt(body, []State{init})
+	for _, st := range out {
+		h.Return(st, body.Rbrace)
+	}
+}
+
+// dedup merges states with identical keys and applies the state cap.
+func (w *walker) dedup(states []State) []State {
+	if len(states) <= 1 {
+		return states
+	}
+	seen := make(map[string]bool, len(states))
+	out := states[:0:0]
+	for _, s := range states {
+		k := w.h.Key(s)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+		if len(out) >= maxStates {
+			break
+		}
+	}
+	return out
+}
+
+// exec maps Exec over every state; a nil node is a no-op.
+func (w *walker) exec(n ast.Node, states []State) []State {
+	if n == nil || isNilNode(n) {
+		return states
+	}
+	out := make([]State, len(states))
+	for i, s := range states {
+		out[i] = w.h.Exec(n, s)
+	}
+	return out
+}
+
+// isNilNode guards against typed-nil ast.Expr/ast.Stmt interface values
+// (e.g. a ForStmt's absent Init arrives as a nil *ast.AssignStmt in an
+// ast.Stmt).
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+// stmtList folds the walk over a statement list.
+func (w *walker) stmtList(list []ast.Stmt, states []State) []State {
+	for _, s := range list {
+		states = w.stmt(s, states)
+		if len(states) == 0 {
+			break
+		}
+	}
+	return states
+}
+
+// takeLabel consumes a pending statement label for a frame.
+func (w *walker) takeLabel() string {
+	l := w.label
+	w.label = ""
+	return l
+}
+
+// push adds a frame; pop removes it.
+func (w *walker) push(fr *frame) {
+	w.frames = append(w.frames, fr)
+}
+
+func (w *walker) pop() {
+	w.frames = w.frames[:len(w.frames)-1]
+}
+
+// findFrame locates the target of a break (any frame) or continue (loop
+// frames only), innermost first, honoring an optional label.
+func (w *walker) findFrame(label *ast.Ident, needLoop bool) *frame {
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		fr := w.frames[i]
+		if needLoop && !fr.isLoop {
+			continue
+		}
+		if label != nil && fr.label != label.Name {
+			continue
+		}
+		return fr
+	}
+	return nil
+}
+
+// stmt walks one statement from every state in states, returning the states
+// that flow past it.
+func (w *walker) stmt(s ast.Stmt, states []State) []State {
+	if s == nil || len(states) == 0 {
+		return states
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmtList(s.List, states)
+
+	case *ast.IfStmt:
+		states = w.exec(s.Init, states)
+		states = w.dedup(w.exec(s.Cond, states))
+		thenOut := w.stmt(s.Body, states)
+		elseOut := states
+		if s.Else != nil {
+			elseOut = w.stmt(s.Else, states)
+		}
+		return w.dedup(append(thenOut, elseOut...))
+
+	case *ast.ForStmt:
+		pre := w.exec(s.Init, states)
+		pre = w.dedup(w.exec(s.Cond, pre))
+		fr := &frame{node: s, label: w.takeLabel(), isLoop: true}
+		w.push(fr)
+		for _, entry := range pre {
+			fr.entry = entry
+			end := w.stmt(s.Body, []State{entry})
+			end = w.exec(s.Post, end)
+			for _, e := range end {
+				w.h.LoopIterEnd(entry, e, s)
+			}
+		}
+		w.pop()
+		var out []State
+		if s.Cond != nil {
+			// The condition can be false before any iteration, so the
+			// pre-loop states flow past; a balanced body means they also
+			// stand in for the states after N iterations.
+			out = append(out, pre...)
+		}
+		out = append(out, fr.brk...)
+		return w.dedup(out)
+
+	case *ast.RangeStmt:
+		pre := w.dedup(w.exec(s.X, states))
+		fr := &frame{node: s, label: w.takeLabel(), isLoop: true}
+		w.push(fr)
+		for _, entry := range pre {
+			fr.entry = entry
+			end := w.stmt(s.Body, []State{entry})
+			for _, e := range end {
+				w.h.LoopIterEnd(entry, e, s)
+			}
+		}
+		w.pop()
+		out := append(append([]State(nil), pre...), fr.brk...)
+		return w.dedup(out)
+
+	case *ast.SwitchStmt:
+		pre := w.exec(s.Init, states)
+		pre = w.dedup(w.exec(s.Tag, pre))
+		return w.cases(s, pre, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		pre := w.exec(s.Init, states)
+		pre = w.dedup(w.exec(s.Assign, pre))
+		return w.cases(s, pre, s.Body.List)
+
+	case *ast.SelectStmt:
+		// Every select clause (including default) is a body; control never
+		// flows past without entering one, so there is no pre passthrough.
+		fr := &frame{node: s, label: w.takeLabel()}
+		w.push(fr)
+		var out []State
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			st := states
+			if cc.Comm != nil {
+				st = w.stmt(cc.Comm, st)
+			}
+			out = append(out, w.stmtList(cc.Body, st)...)
+		}
+		w.pop()
+		if len(s.Body.List) == 0 {
+			out = states // select{} blocks forever; keep the walk total
+		}
+		return w.dedup(append(out, fr.brk...))
+
+	case *ast.LabeledStmt:
+		w.label = s.Label.Name
+		return w.stmt(s.Stmt, states)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if fr := w.findFrame(s.Label, false); fr != nil {
+				fr.brk = append(fr.brk, states...)
+			}
+			return nil
+		case token.CONTINUE:
+			if fr := w.findFrame(s.Label, true); fr != nil {
+				for _, st := range states {
+					w.h.LoopIterEnd(fr.entry, st, fr.node)
+				}
+			}
+			return nil
+		case token.GOTO:
+			return nil // abandon the path; goto is out of scope
+		default: // fallthrough: approximated as falling out of the case
+			return states
+		}
+
+	case *ast.ReturnStmt:
+		states = w.exec(s, states)
+		for _, st := range states {
+			w.h.Return(st, s.Pos())
+		}
+		return nil
+
+	default:
+		// Atomic statements: expression, assignment, declaration, inc/dec,
+		// send, defer, go, empty. The client interprets the whole node.
+		return w.exec(s, states)
+	}
+}
+
+// cases walks the clause bodies of a switch or type switch.
+func (w *walker) cases(sw ast.Stmt, pre []State, clauses []ast.Stmt) []State {
+	fr := &frame{node: sw, label: w.takeLabel()}
+	w.push(fr)
+	var out []State
+	hasDefault := false
+	for _, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		st := pre
+		for _, e := range cc.List {
+			st = w.exec(e, st)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		out = append(out, w.stmtList(cc.Body, st)...)
+	}
+	w.pop()
+	out = append(out, fr.brk...)
+	if !hasDefault {
+		out = append(out, pre...)
+	}
+	return w.dedup(out)
+}
+
+// Calls invokes fn for every call expression syntactically inside n, in
+// source order, without descending into function literals (their bodies are
+// separate functions to the analyzers).
+func Calls(n ast.Node, fn func(*ast.CallExpr)) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fn(m)
+		}
+		return true
+	})
+}
+
+// ExprKey renders an expression as a canonical string key — "sh.mu",
+// "s.pos[i].mu" — for matching a Lock to its Unlock or a pool to its Put.
+// Expressions outside the renderable subset get a position-unique key, which
+// simply means they never match anything else.
+func ExprKey(fset *token.FileSet, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprKey(fset, e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + ExprKey(fset, e.X)
+	case *ast.ParenExpr:
+		return ExprKey(fset, e.X)
+	case *ast.IndexExpr:
+		return ExprKey(fset, e.X) + "[" + ExprKey(fset, e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		p := fset.Position(e.Pos())
+		return fmt.Sprintf("?@%s:%d:%d", p.Filename, p.Line, p.Column)
+	}
+}

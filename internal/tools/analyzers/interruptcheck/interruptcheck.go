@@ -1,0 +1,231 @@
+// Package interruptcheck keeps request cancellation honest in the serving
+// stack: a loop that pulls batches from an operator or solution stream
+// (Next/NextBatch) can run for a long time, and if it never consults the
+// query Interrupt option or a context, a cancelled HTTP request keeps
+// burning CPU until the scan completes — a regression that reviews rarely
+// catch because the happy path is unaffected.
+//
+// Within the configured packages (the query/reason/server stack by default;
+// see Packages), every for/range loop that calls a method named Next or
+// NextBatch must satisfy one of: the call forwards an execution context (an
+// argument whose named type is Ctx, the delegation idiom — cancellation is
+// the callee's job); the loop itself consults cancellation (a Cancelled()
+// call, a ctx.Err() check, or a reference to an Interrupt option/field); the
+// enclosing function installs an interrupt (a call to an Interrupt function
+// or an assignment to an Interrupt field); or the pull is the enclosing
+// method forwarding to its own receiver (sol.Next() inside a Solutions
+// method — the receiver's own contract covers it). Test files are skipped.
+package interruptcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analysis"
+)
+
+// Analyzer is the interruptcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "interruptcheck",
+	Doc: "check that batch-pulling loops in the serving stack consult cancellation\n\n" +
+		"A for loop calling Next/NextBatch must forward an execution Ctx, poll Cancelled/ctx.Err/an\n" +
+		"Interrupt option, or be the receiver's own forwarding method; otherwise a cancelled request\n" +
+		"cannot stop the loop.",
+	Run: run,
+}
+
+// Packages lists the package paths the check applies to; batch-pulling
+// loops elsewhere (one-shot tools, experiments) may legitimately run to
+// completion. A package is checked when its import path equals an entry.
+// Tests may override this to point the analyzer at fixture packages.
+var Packages = []string{
+	"repro/internal/query",
+	"repro/internal/query/exec",
+	"repro/internal/reason",
+	"repro/internal/server",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	checked := false
+	for _, p := range Packages {
+		if pass.Pkg.Path() == p {
+			checked = true
+			break
+		}
+	}
+	if !checked {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc inspects every loop of one top-level function. Function
+// literals inside it are treated as part of the function: the interrupt
+// evidence (an installed Interrupt option, say) lives at function scope,
+// and a cancellation poll in an outer loop covers the pulls of the loops it
+// drives (the parallel-wave idiom: the wave loop polls, the inner fan-out
+// loop pulls).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := receiverName(fd)
+	funcInstalls := installsInterrupt(fd.Body)
+	consults := make(map[ast.Node]bool) // loop node -> body consults cancellation
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Next" && sel.Sel.Name != "NextBatch" {
+			return true
+		}
+		if _, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !ok {
+			return true
+		}
+		covered := funcInstalls || forwardsCtx(pass, call)
+		inLoop := false
+		for i := len(stack) - 2; i >= 0 && !covered; i-- {
+			var body *ast.BlockStmt
+			switch l := stack[i].(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				continue
+			}
+			inLoop = true
+			c, seen := consults[stack[i]]
+			if !seen {
+				c = consultsCancellation(body)
+				consults[stack[i]] = c
+			}
+			covered = covered || c
+		}
+		if covered || !inLoop {
+			return true
+		}
+		// A method pulling from its own receiver is forwarding its
+		// receiver's contract, not driving a scan of its own.
+		if id, ok := sel.X.(*ast.Ident); ok && recv != "" && id.Name == recv {
+			return true
+		}
+		pass.Reportf(call.Pos(), "loop pulls %s.%s without consulting cancellation: forward an exec Ctx, poll Cancelled/ctx.Err, or install an Interrupt so a cancelled request can stop this loop", exprText(sel.X), sel.Sel.Name)
+		return true
+	})
+}
+
+// receiverName returns the name of fd's receiver identifier, or "".
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// forwardsCtx reports whether the pull call passes an execution context —
+// an argument whose named (element) type is called Ctx.
+func forwardsCtx(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := pass.TypesInfo.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed && n.Obj().Name() == "Ctx" {
+			return true
+		}
+	}
+	return false
+}
+
+// consultsCancellation reports whether the loop body checks for
+// cancellation: a Cancelled() call, a ctx.Err() check, or any reference to
+// an Interrupt identifier or field.
+func consultsCancellation(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Cancelled" || n.Sel.Name == "Err" || n.Sel.Name == "Interrupt" {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "Interrupt" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// installsInterrupt reports whether the function body installs an interrupt:
+// a call to an Interrupt function/option or an assignment whose target is an
+// Interrupt field.
+func installsInterrupt(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Interrupt" {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "Interrupt" {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Interrupt" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprText renders the pull receiver for the diagnostic.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "()"
+	default:
+		return "stream"
+	}
+}

@@ -1,0 +1,22 @@
+package interruptcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analysis/analysistest"
+	"repro/internal/tools/analyzers/interruptcheck"
+)
+
+func TestInterruptcheck(t *testing.T) {
+	defer func(prev []string) { interruptcheck.Packages = prev }(interruptcheck.Packages)
+	interruptcheck.Packages = []string{"a"}
+	analysistest.Run(t, analysistest.TestData(), interruptcheck.Analyzer, "a")
+}
+
+// TestScopedOut checks that packages outside the configured serving stack
+// are not checked at all.
+func TestScopedOut(t *testing.T) {
+	defer func(prev []string) { interruptcheck.Packages = prev }(interruptcheck.Packages)
+	interruptcheck.Packages = []string{"some/other/pkg"}
+	analysistest.Run(t, analysistest.TestData(), interruptcheck.Analyzer, "scoped")
+}

@@ -1,0 +1,122 @@
+// Package a is the interruptcheck fixture: uncancellable pull loops, the
+// delegation/polling/receiver-forwarding exemptions, and suppression. The
+// local Ctx, Stream and Solutions types mirror the shapes of the real
+// exec/query packages.
+package a
+
+// Ctx mirrors the execution context of the real exec package: pulls that
+// forward one delegate cancellation to the callee.
+type Ctx struct {
+	Interrupt func() bool
+}
+
+// Cancelled reports whether the interrupt has tripped.
+func (c *Ctx) Cancelled() bool { return c.Interrupt != nil && c.Interrupt() }
+
+// Stream is a batch-pulling operator.
+type Stream struct{ n int }
+
+// Next pulls one batch without taking a context.
+func (s *Stream) Next() (int, bool) { s.n--; return s.n, s.n > 0 }
+
+// NextBatch pulls one batch under an execution context.
+func (s *Stream) NextBatch(ctx *Ctx) (int, bool) { s.n--; return s.n, s.n > 0 }
+
+func uncancellable(s *Stream) int {
+	total := 0
+	for {
+		n, ok := s.Next() // want "without consulting cancellation"
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}
+
+func delegates(s *Stream, ctx *Ctx) int {
+	total := 0
+	for {
+		n, ok := s.NextBatch(ctx)
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}
+
+func polls(s *Stream, ctx *Ctx) int {
+	total := 0
+	for {
+		if ctx.Cancelled() {
+			return total
+		}
+		n, ok := s.Next()
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}
+
+// outerPolls mirrors the parallel-wave idiom: the outer loop polls, the
+// inner fan-out loop pulls.
+func outerPolls(s *Stream, ctx *Ctx, workers int) int {
+	total := 0
+	for {
+		if ctx.Cancelled() {
+			return total
+		}
+		for i := 0; i < workers; i++ {
+			n, ok := s.Next()
+			if !ok {
+				return total
+			}
+			total += n
+		}
+	}
+}
+
+// Solutions mirrors the query façade: its methods forward their own
+// receiver, whose contract already covers cancellation.
+type Solutions struct{ s Stream }
+
+// Next forwards the receiver's stream.
+func (sol *Solutions) Next() (int, bool) { return sol.s.Next() }
+
+// Drain pulls from its own receiver; the receiver's contract covers it.
+func (sol *Solutions) Drain() int {
+	total := 0
+	for {
+		n, ok := sol.Next()
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}
+
+// installs mirrors the server handler: the function installs an Interrupt,
+// so its loops are covered.
+func installs(s *Stream, stop func() bool) int {
+	ctx := Ctx{}
+	ctx.Interrupt = stop
+	total := 0
+	for {
+		n, ok := s.Next()
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}
+
+func suppressed(s *Stream) int {
+	total := 0
+	for {
+		n, ok := s.Next() //ontolint:ignore interruptcheck fixture: maintenance loop is deliberately uncancellable
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}

@@ -1,0 +1,20 @@
+// Package scoped holds an uncancellable pull loop in a package outside the
+// analyzer's configured scope; nothing here may be reported.
+package scoped
+
+// Feed is a batch source.
+type Feed struct{ n int }
+
+// Next pulls one item.
+func (f *Feed) Next() (int, bool) { f.n--; return f.n, f.n > 0 }
+
+func drain(f *Feed) int {
+	total := 0
+	for {
+		n, ok := f.Next()
+		if !ok {
+			return total
+		}
+		total += n
+	}
+}

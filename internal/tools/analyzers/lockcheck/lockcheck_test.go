@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analysis/analysistest"
+	"repro/internal/tools/analyzers/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "a")
+}

@@ -1,0 +1,119 @@
+// Package a is the lockcheck fixture: early-return leaks, re-entrant and
+// nested acquisitions, exported calls under a lock, loop imbalance, and the
+// clean and suppressed forms of each.
+package a
+
+import "sync"
+
+// Shard is a lock-guarded cell, exported so method calls on it exercise the
+// exported-call-under-lock rule.
+type Shard struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Len is an exported self-locking accessor.
+func (s *Shard) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func leakOnEarlyReturn(s *Shard, bail bool) int {
+	s.mu.Lock() // want "not released on every path"
+	if bail {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func balancedDefer(s *Shard) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func balancedExplicit(s *Shard, bail bool) int {
+	s.mu.Lock()
+	if bail {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func reentrant(s *Shard) {
+	s.mu.Lock()
+	s.mu.Lock() // want "acquired while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func nested(a, b *Shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want "nested mutex acquisition"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func nestedSuppressed(a, b *Shard) {
+	a.mu.Lock()
+	b.mu.Lock() //ontolint:ignore lockcheck fixture: ordered acquisition is deadlock-free
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func exportedUnderLock(s *Shard, t *Shard) {
+	s.mu.Lock()
+	_ = t.Len() // want "call to exported method Shard.Len"
+	s.mu.Unlock()
+}
+
+func exportedAfterUnlock(s *Shard, t *Shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_ = t.Len()
+}
+
+func loopImbalance(s *Shard, xs []int) {
+	for range xs { // want "lock state changes across a loop iteration"
+		s.mu.Lock()
+	}
+}
+
+func loopBalanced(s *Shard, xs []int) {
+	for range xs {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// sequential lock/unlock of the same mutex is not nesting.
+func sequential(s *Shard) {
+	s.mu.RLock()
+	n := s.n
+	s.mu.RUnlock()
+	s.mu.Lock()
+	s.n = n + 1
+	s.mu.Unlock()
+}
+
+// unlockHelper releases a lock its caller acquired; the unmatched release
+// is deliberately not a finding (split acquire/release helper pattern).
+func unlockHelper(s *Shard) {
+	s.mu.Unlock()
+}
+
+func branches(s *Shard, mode int) {
+	s.mu.Lock() // want "not released on every path"
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+	case 1:
+		s.mu.Unlock()
+	}
+	// default falls through still holding the lock
+}

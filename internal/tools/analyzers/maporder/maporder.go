@@ -1,0 +1,200 @@
+// Package maporder guards the repository's determinism contract: every
+// user-visible result — Query/Triples/Subjects slices, byte-stable
+// snapshots, ndjson rows — must depend only on the store's contents, never
+// on Go's randomized map iteration order (package store's "Ordering" doc,
+// DESIGN.md "Enforced invariants").
+//
+// Two patterns are reported inside a `for range` over a map: appending to a
+// slice that the enclosing function never sorts (the slice's order is then
+// the map's), and writing directly to an output — io writers, encoders,
+// fmt.Fprint* — from inside the iteration, where no later sort is even
+// possible. Appends whose slice is passed to sort.* or slices.Sort* later
+// in the same function are the sanctioned collect-then-sort idiom and pass.
+// Iterations whose order genuinely may not matter (counting, deleting,
+// draining into an unordered structure) are untouched: neither pattern
+// matches them. Test files are skipped.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analysis"
+	"repro/internal/tools/analyzers/internal/pathwalk"
+)
+
+// Analyzer is the maporder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "check that map iteration never feeds user-visible output without a sort\n\n" +
+		"Inside a for-range over a map, appending to a slice the function never sorts, or writing\n" +
+		"directly to a writer/encoder, makes the output depend on Go's randomized map order.",
+	Run: run,
+}
+
+// writerMethods are method names that emit output directly; calling one
+// inside a map iteration bakes map order into the output stream.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc inspects one function body: collects the appends made under map
+// iteration, then clears those whose destination the function sorts.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	type appendSite struct {
+		dst string
+		pos token.Pos
+	}
+	var appends []appendSite
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own function
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.Types[rng.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				if dst, pos, ok := appendAssign(pass, m); ok {
+					// A destination indexed by the range key gets a
+					// distinct slice per iteration, so map order cannot
+					// leak into any one of them.
+					if !indexedByRangeKey(pass, m.Lhs[0], rng) {
+						appends = append(appends, appendSite{dst: dst, pos: pos})
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+					pass.Reportf(m.Pos(), "%s called inside iteration over a map: output order follows Go's randomized map order; collect into a slice, sort, then emit", sel.Sel.Name)
+				}
+				if id, ok := m.Fun.(*ast.Ident); ok && writerMethods[id.Name] {
+					pass.Reportf(m.Pos(), "%s called inside iteration over a map: output order follows Go's randomized map order; collect into a slice, sort, then emit", id.Name)
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	if len(appends) == 0 {
+		return
+	}
+	sorted := sortedSlices(pass, body)
+	for _, a := range appends {
+		if !sorted[a.dst] {
+			pass.Reportf(a.pos, "%s is appended to from a map iteration but never sorted in this function: its order follows Go's randomized map order", a.dst)
+		}
+	}
+}
+
+// indexedByRangeKey reports whether the assignment destination is an index
+// expression whose index is the range statement's key variable.
+func indexedByRangeKey(pass *analysis.Pass, dst ast.Expr, rng *ast.RangeStmt) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[keyID]
+	}
+	if keyObj == nil {
+		return false
+	}
+	ie, ok := dst.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	idx, ok := ie.Index.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.Uses[idx] == keyObj
+}
+
+// appendAssign matches `dst = append(dst, ...)` (or :=) and returns the
+// destination's canonical expression.
+func appendAssign(pass *analysis.Pass, as *ast.AssignStmt) (string, token.Pos, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", token.NoPos, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return "", token.NoPos, false
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return "", token.NoPos, false
+	}
+	return pathwalk.ExprKey(pass.Fset, as.Lhs[0]), as.Pos(), true
+}
+
+// sortedSlices returns the canonical expressions passed to a sort.* or
+// slices.Sort* call anywhere in the function.
+func sortedSlices(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isPkg := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !isPkg {
+			return true
+		}
+		if pkgID.Name != "sort" && pkgID.Name != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			out[pathwalk.ExprKey(pass.Fset, arg)] = true
+		}
+		return true
+	})
+	return out
+}

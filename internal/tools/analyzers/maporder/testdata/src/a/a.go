@@ -1,0 +1,74 @@
+// Package a is the maporder fixture: unsorted map-fed appends, direct
+// writes under map iteration, the sanctioned collect-then-sort idiom, and
+// suppression.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appended to from a map iteration but never sorted"
+	}
+	return out
+}
+
+func sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func writerInLoop(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf called inside iteration over a map"
+	}
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//ontolint:ignore maporder fixture: order is irrelevant to the caller
+		out = append(out, k)
+	}
+	return out
+}
+
+// counting and deleting are order-insensitive and must not be flagged.
+func countAndPrune(m map[string]int) int {
+	n := 0
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+// a per-key destination gets a distinct slice per iteration; map order
+// cannot leak into any one of them.
+func regroup(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analysis/analysistest"
+	"repro/internal/tools/analyzers/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolcheck.Analyzer, "a")
+}

@@ -1,0 +1,85 @@
+// Package a is the poolcheck fixture: leaked Gets on early-return paths,
+// slice-typed Puts, unasserted Gets, a never-refilled pool, and the clean
+// and suppressed forms of each.
+package a
+
+import "sync"
+
+const size = 64
+
+var bufPool = sync.Pool{New: func() any { return new([size]byte) }}
+
+// slicePool is drawn from but never refilled anywhere in the package.
+var slicePool = sync.Pool{New: func() any { return make([]byte, size) }} // want "has Get calls but no Put"
+
+func leakOnEarlyReturn(fail bool) int {
+	buf := bufPool.Get().(*[size]byte) // want "not returned to the pool"
+	if fail {
+		return 0
+	}
+	n := len(buf)
+	bufPool.Put(buf)
+	return n
+}
+
+func balanced(fail bool) int {
+	buf := bufPool.Get().(*[size]byte)
+	if fail {
+		bufPool.Put(buf)
+		return 0
+	}
+	n := len(buf)
+	bufPool.Put(buf)
+	return n
+}
+
+func balancedDefer(fail bool) int {
+	buf := bufPool.Get().(*[size]byte)
+	defer bufPool.Put(buf)
+	if fail {
+		return 0
+	}
+	return len(buf)
+}
+
+// handing the buffer to the caller transfers the release obligation.
+func handOff() *[size]byte {
+	buf := bufPool.Get().(*[size]byte)
+	return buf
+}
+
+// a closure capturing the buffer owns its release.
+func closureRelease() func() {
+	buf := bufPool.Get().(*[size]byte)
+	return func() { bufPool.Put(buf) }
+}
+
+func putSlice(b []byte) {
+	slicePool.Get() // want "not type-asserted"
+	bufPool.Put(b)  // want "slice passed to bufPool.Put"
+}
+
+func suppressedLeak(fail bool) int {
+	buf := bufPool.Get().(*[size]byte) //ontolint:ignore poolcheck fixture: leak is intentional here
+	if fail {
+		return 0
+	}
+	n := len(buf)
+	bufPool.Put(buf)
+	return n
+}
+
+func loopLeak(rounds int) {
+	for i := 0; i < rounds; i++ {
+		buf := bufPool.Get().(*[size]byte) // want "leaks across a loop iteration"
+		buf[0] = byte(i)
+	}
+}
+
+func loopBalanced(rounds int) {
+	for i := 0; i < rounds; i++ {
+		buf := bufPool.Get().(*[size]byte)
+		buf[0] = byte(i)
+		bufPool.Put(buf)
+	}
+}
