@@ -10,6 +10,7 @@
 //	ontoserve -paper [-addr :8080]
 //	ontoserve -annotations data.triples [-f ontology.tbox] [-rules extra.rules]
 //	ontoserve -annotations data.triples -addr 127.0.0.1:0 -cache 512 -timeout 2s
+//	ontoserve -paper -data-dir /var/lib/ontoserve [-fsync batch] [-checkpoint-mib 128]
 //
 // -paper serves the paper's own example corpus (the quickest way to poke
 // the API); otherwise -annotations names a store snapshot (one JSON triple
@@ -19,8 +20,23 @@
 // -materialize does. -rules appends user Horn rules (one "head :- body .
 // body" per line) to the built-in RDFS set.
 //
+// -data-dir makes the asserted store durable (repro/internal/durable): on
+// boot the server recovers the directory's checkpoint segment and
+// write-ahead log, then loads the flag-named corpora through the journaled
+// store — an idempotent re-assertion, since triples already recovered are
+// duplicates the batch path skips — and every POST /triples mutation is
+// group-committed to the log before it is acknowledged. -fsync picks the
+// durability/latency trade (always, batch, off), -fsync-interval the batch
+// cadence, and -checkpoint-mib how much log growth triggers compaction into
+// a fresh segment; POST /checkpoint forces one.
+//
+// A corpus snapshot that fails to parse refuses to serve at all — corpora
+// are staged through a scratch store and asserted only on a clean restore,
+// so a malformed tail can never put a partially restored corpus behind the
+// API (see store.Restore's partial-commit contract).
+//
 // The process runs until SIGINT/SIGTERM, then shuts down gracefully,
-// letting in-flight requests finish.
+// letting in-flight requests finish and flushing the log.
 package main
 
 import (
@@ -37,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/reason"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -60,6 +77,10 @@ func run(args []string, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-query evaluation timeout")
 	maxSolutions := fs.Int("max-solutions", 100_000, "cap on solutions streamed per query")
 	cacheMiB := fs.Int("cache", 256, "query-result cache budget in MiB of retained responses (0 or negative disables)")
+	dataDir := fs.String("data-dir", "", "directory for the write-ahead log and checkpoint segments; empty serves purely from memory")
+	fsyncMode := fs.String("fsync", "always", "when the log reaches stable storage: always (group commit per mutation), batch (background interval), off (rotation and close only)")
+	fsyncInterval := fs.Duration("fsync-interval", durable.DefaultBatchInterval, "background fsync cadence under -fsync batch")
+	checkpointMiB := fs.Int("checkpoint-mib", 64, "log growth in MiB that triggers automatic compaction into a segment (negative disables; POST /checkpoint still works)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ontoserve (-paper | -annotations <file>) [-f <tbox>] [-rules <file>] [-addr host:port] [options]\n")
 		fs.PrintDefaults()
@@ -82,11 +103,39 @@ func run(args []string, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg, err := buildConfig(*paper, *annotations, *file, *rulesFile)
+	logger := log.New(stderr, "ontoserve: ", log.LstdFlags)
+
+	// The base store exists before any corpus loading so that, with a data
+	// directory, durable.Open can recover into it and install its journal
+	// first — every triple loaded afterwards flows through the log.
+	base := store.New()
+	var eng *durable.Engine
+	if *dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fmt.Fprintf(stderr, "ontoserve: %v\n", err)
+			return 2
+		}
+		eng, err = durable.Open(base, durable.Options{
+			Dir:             *dataDir,
+			Fsync:           policy,
+			BatchInterval:   *fsyncInterval,
+			CheckpointBytes: int64(*checkpointMiB) << 20,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "ontoserve: opening %s: %v\n", *dataDir, err)
+			return 1
+		}
+		logger.Printf("recovered %d triples from %s (log seq %d, fsync=%s)",
+			base.Len(), *dataDir, eng.LastSeq(), policy)
+	}
+
+	cfg, err := buildConfig(base, *paper, *annotations, *file, *rulesFile)
 	if err != nil {
 		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
 		return 1
 	}
+	cfg.Durable = eng
 	cfg.QueryTimeout = *timeout
 	cfg.MaxSolutions = *maxSolutions
 	cfg.CacheMaxBytes = int64(*cacheMiB) << 20
@@ -108,27 +157,37 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
 		return 1
 	}
-	logger := log.New(stderr, "ontoserve: ", log.LstdFlags)
 	logger.Printf("serving %d asserted + %d inferred triples on http://%s",
 		srv.Reasoner().Base().Len(), srv.Reasoner().InferredCount(), ln.Addr())
 	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
 		return 1
 	}
+	if eng != nil {
+		// Flush and fsync the log tail so the clean shutdown loses nothing,
+		// whatever the fsync policy.
+		if err := eng.Close(); err != nil {
+			fmt.Fprintf(stderr, "ontoserve: closing the durable engine: %v\n", err)
+			return 1
+		}
+	}
 	logger.Printf("shut down cleanly")
 	return 0
 }
 
-// buildConfig loads the corpus the flags name: the base store (paper
-// example or snapshot file), the TBox's hierarchy asserted as subClassOf
-// triples, and the rule set.
-func buildConfig(paper bool, annotations, tboxFile, rulesFile string) (server.Config, error) {
+// buildConfig loads the flag-named corpora into base (which may already
+// hold recovered triples and carry a journal): the paper example or a
+// snapshot file, the TBox's hierarchy asserted as subClassOf triples, and
+// the rule set. Loading is idempotent over a recovered store — triples
+// already present are duplicates the batch path skips.
+func buildConfig(base *store.Store, paper bool, annotations, tboxFile, rulesFile string) (server.Config, error) {
 	var cfg server.Config
-	base := store.New()
 
 	if paper {
 		input := core.PaperInput()
-		base = input.Annotations
+		if _, err := base.AddBatch(input.Annotations.Triples()); err != nil {
+			return cfg, err
+		}
 		oi, err := store.NewOntologyIndex(input.TBox)
 		if err != nil {
 			return cfg, fmt.Errorf("classifying the paper TBox: %w", err)
@@ -143,12 +202,20 @@ func buildConfig(paper bool, annotations, tboxFile, rulesFile string) (server.Co
 		if err != nil {
 			return cfg, err
 		}
-		_, err = store.Restore(base, f)
+		// Restore into a scratch store first: Restore's partial-commit
+		// contract keeps the valid prefix of a malformed snapshot, and a
+		// partially restored corpus must never reach the served (and
+		// journaled) base. Only a clean restore is asserted.
+		scratch := store.New()
+		_, err = store.Restore(scratch, f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return cfg, fmt.Errorf("restoring %s: %w", annotations, err)
+			return cfg, fmt.Errorf("restoring %s: %w (refusing to serve a partially restored corpus; fix the snapshot and restart)", annotations, err)
+		}
+		if _, err := base.AddBatch(scratch.Triples()); err != nil {
+			return cfg, err
 		}
 	}
 	if tboxFile != "" {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/store"
+)
+
+// TestMalformedSnapshotRefusesToServe is the fail-fast contract: a snapshot
+// with a malformed tail must abort startup with a clear error AND leave the
+// base store untouched — store.Restore keeps the valid prefix in whatever
+// store it writes, so buildConfig must stage through a scratch store.
+func TestMalformedSnapshotRefusesToServe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.triples")
+	content := `{"Subject":"a","Predicate":"b","Object":"c"}
+{"Subject":"d","Predicate":"e","Object":"f"}
+this line is not JSON
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := store.New()
+	_, err := buildConfig(base, false, path, "", "")
+	if err == nil {
+		t.Fatal("buildConfig served a snapshot with a malformed tail")
+	}
+	if !strings.Contains(err.Error(), "partially restored") {
+		t.Fatalf("error %q does not explain the partial-restore refusal", err)
+	}
+	if base.Len() != 0 {
+		t.Fatalf("the valid prefix (%d triples) leaked into the base store; it must stay empty", base.Len())
+	}
+}
+
+// TestDurableBootSequence mirrors run()'s boot order — open the engine over
+// the base store, then load the corpus through the journal — and restarts
+// it: recovery must reproduce the store, and re-loading the same corpus over
+// the recovered state must be a no-op re-assertion.
+func TestDurableBootSequence(t *testing.T) {
+	dataDir := t.TempDir()
+
+	base := store.New()
+	eng, err := durable.Open(base, durable.Options{Dir: dataDir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildConfig(base, true, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Base != base {
+		t.Fatal("buildConfig must serve the caller's (journaled) store")
+	}
+	loaded := base.Len()
+	if loaded == 0 {
+		t.Fatal("paper corpus loaded nothing")
+	}
+	seqAfterLoad := eng.LastSeq()
+	if seqAfterLoad == 0 {
+		t.Fatal("corpus load journaled nothing; the boot order is wrong")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: recover, then re-load the same corpus.
+	base2 := store.New()
+	eng2, err := durable.Open(base2, durable.Options{Dir: dataDir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer eng2.Close()
+	if base2.Len() != loaded {
+		t.Fatalf("recovered %d triples, served %d before restart", base2.Len(), loaded)
+	}
+	if _, err := buildConfig(base2, true, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if base2.Len() != loaded {
+		t.Fatalf("re-loading the corpus over the recovered store changed it: %d -> %d triples", loaded, base2.Len())
+	}
+	if got := eng2.LastSeq(); got != seqAfterLoad {
+		t.Fatalf("idempotent re-load appended log records: seq %d -> %d", seqAfterLoad, got)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var stderr strings.Builder
+	if code := run([]string{"-paper", "-data-dir", t.TempDir(), "-fsync", "sometimes"}, &stderr); code != 2 {
+		t.Fatalf("run with a bad -fsync = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{}, &stderr); code != 2 {
+		t.Fatalf("run with no corpus = %d, want 2", code)
+	}
+}

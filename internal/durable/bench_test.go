@@ -1,0 +1,97 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// BenchmarkIngestWAL measures what durability costs the ingest path: 1e5
+// triples in 1000-triple batches, against the bare in-memory store and
+// against a journaled store under each fsync policy. The "always/group"
+// variant ingests the same work from 8 goroutines so concurrent committers
+// share fsyncs — the group-commit effect the log is built around.
+func BenchmarkIngestWAL(b *testing.B) {
+	const total, batch = 100_000, 1000
+	batches := make([][]store.Triple, 0, total/batch)
+	for off := 0; off < total; off += batch {
+		ts := make([]store.Triple, 0, batch)
+		for i := off; i < off+batch; i++ {
+			ts = append(ts, store.Triple{
+				Subject:   fmt.Sprintf("subject-%d", i%5000),
+				Predicate: fmt.Sprintf("predicate-%d", i%17),
+				Object:    fmt.Sprintf("object-%d", i),
+			})
+		}
+		batches = append(batches, ts)
+	}
+
+	ingest := func(b *testing.B, st *store.Store, workers int) {
+		b.Helper()
+		if workers <= 1 {
+			for _, ts := range batches {
+				if _, err := st.AddBatch(ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		next := make(chan []store.Triple)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ts := range next {
+					if _, err := st.AddBatch(ts); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		for _, ts := range batches {
+			next <- ts
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	b.Run("memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ingest(b, store.New(), 1)
+		}
+		b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "triples/s")
+	})
+	for _, bench := range []struct {
+		name    string
+		policy  FsyncPolicy
+		workers int
+	}{
+		{"wal-off", FsyncOff, 1},
+		{"wal-batch", FsyncBatch, 1},
+		{"wal-always", FsyncAlways, 1},
+		{"wal-always-group", FsyncAlways, 8},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := store.New()
+				eng, err := Open(st, Options{Dir: b.TempDir(), Fsync: bench.policy, CheckpointBytes: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				ingest(b, st, bench.workers)
+				b.StopTimer()
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "triples/s")
+		})
+	}
+}

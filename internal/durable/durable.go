@@ -1,0 +1,360 @@
+// Package durable is the store's crash-safe persistence engine: a write-ahead
+// log in front of the in-memory triple store, periodically compacted into
+// immutable segment files.
+//
+// The engine journals every acknowledged mutation — at dictionary-id level,
+// through the store's Journal hook — before reporting it committed, batching
+// concurrent committers behind one fsync (group commit). A background
+// checkpoint dumps the whole store into a segment file and truncates the log
+// behind it, so startup cost is bounded: recovery loads the newest segment
+// and replays only the log tail, truncating the torn frame a crash may have
+// left mid-write.
+//
+// Typical use:
+//
+//	st := store.New()
+//	eng, err := durable.Open(st, durable.Options{Dir: dataDir})
+//	if err != nil { ... }
+//	defer eng.Close()
+//	// st now persists: every Add/AddBatch/Remove is journaled, and the next
+//	// Open over the same directory rebuilds exactly the committed state.
+//
+// The store handed to Open must be empty — the directory is the single
+// source of truth, and recovery rebuilds the store from it. Load corpora
+// AFTER opening, through the store's ordinary mutation methods, so the loads
+// are journaled like any other write.
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// FsyncPolicy says when the log is fsynced relative to commit
+// acknowledgement — the durability/latency trade every WAL exposes.
+type FsyncPolicy int
+
+// Policies, from safest to fastest.
+const (
+	// FsyncAlways fsyncs before every commit acknowledgement (group
+	// committed: concurrent committers share one fsync). An acknowledged
+	// mutation survives both process and OS crash.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncBatch acknowledges after the write syscall and fsyncs on a
+	// background interval. An acknowledged mutation survives a process
+	// crash; an OS crash may lose the last interval's worth.
+	FsyncBatch
+	// FsyncOff acknowledges after the write syscall and fsyncs only at
+	// rotation and close. For tests and bulk loads.
+	FsyncOff
+)
+
+// String names the policy the way the -fsync flag spells it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncBatch:
+		return "batch"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses the -fsync flag forms: always, batch, off.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, batch or off)", s)
+}
+
+// Defaults for Options zero values.
+const (
+	// DefaultBatchInterval is the FsyncBatch background fsync cadence.
+	DefaultBatchInterval = 10 * time.Millisecond
+	// DefaultCheckpointBytes is the log growth that triggers a checkpoint.
+	DefaultCheckpointBytes = 64 << 20
+)
+
+// Options configures Open. The zero value of every field but Dir is usable.
+type Options struct {
+	// Dir is the data directory — segments and log files live there. It is
+	// created if missing. Required.
+	Dir string
+	// Fsync is the durability policy; the zero value is FsyncAlways.
+	Fsync FsyncPolicy
+	// BatchInterval is the background fsync cadence under FsyncBatch;
+	// DefaultBatchInterval if zero.
+	BatchInterval time.Duration
+	// CheckpointBytes triggers an automatic checkpoint once the log has
+	// grown past it; DefaultCheckpointBytes if zero, negative disables
+	// automatic checkpoints (Checkpoint can still be called directly).
+	CheckpointBytes int64
+}
+
+// Stats is a point-in-time report of the engine's durability state, the
+// shape GET /stats serves.
+type Stats struct {
+	// Seq is the sequence number of the last journaled record.
+	Seq uint64
+	// DurableSeq is the highest seq known fsynced; Seq - DurableSeq records
+	// are exposed to an OS crash right now.
+	DurableSeq uint64
+	// LastFsync is when the log last reached stable storage.
+	LastFsync time.Time
+	// Fsyncs counts fsync syscalls on the log — under group commit, usually
+	// far fewer than commits.
+	Fsyncs int64
+	// WALBytes is the log growth since the last checkpoint.
+	WALBytes int64
+	// Segments is the number of segment files (0 before the first
+	// checkpoint, 1 after — older segments are deleted once superseded).
+	Segments int
+	// SegmentSeq is the seq the newest segment covers through.
+	SegmentSeq uint64
+	// Checkpoints counts completed checkpoints this process.
+	Checkpoints int64
+	// Err is the engine's sticky error, "" while healthy. Once set, commits
+	// fail and the engine needs a restart (and recovery) to trust its log.
+	Err string
+}
+
+// Engine is the durability engine: it implements store.Journal, owns the
+// log writer and the checkpoint lifecycle, and is what Open installs on the
+// store. Safe for concurrent use.
+type Engine struct {
+	st   *store.Store
+	opts Options
+	w    *walWriter
+
+	// ckptMu serializes checkpoints (manual and automatic).
+	ckptMu sync.Mutex
+
+	// mu guards the segment/checkpoint counters below.
+	mu          sync.Mutex
+	segSeq      uint64
+	segments    int
+	checkpoints int64
+	ckptErr     error // last checkpoint failure, cleared by a later success
+
+	ckptC chan struct{} // pokes the background goroutine; capacity 1
+	done  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// Open recovers the data directory into st (which must be a fresh, empty
+// store — recovery rebuilds both its dictionary and its triples, and the ids
+// in the directory's files are only meaningful from an empty dictionary),
+// installs the engine as the store's journal, and starts the background
+// fsync/checkpoint goroutine. On a pristine directory it simply starts a new
+// log. The caller must Close the engine to release the log file and flush
+// the tail.
+func Open(st *store.Store, opts Options) (*Engine, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("durable: Options.Dir is required")
+	}
+	if st.Len() != 0 || st.DictLen() != 0 {
+		return nil, fmt.Errorf("durable: Open needs an empty store (it holds %d triples, %d dictionary entries); recovery is the only writer allowed before the journal is attached", st.Len(), st.DictLen())
+	}
+	if opts.BatchInterval <= 0 {
+		opts.BatchInterval = DefaultBatchInterval
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if err := ensureDir(opts.Dir); err != nil {
+		return nil, err
+	}
+	rec, err := recoverDir(st, opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		st:     st,
+		opts:   opts,
+		w:      newWALWriter(opts.Dir, opts.Fsync, rec.file, rec.lastSeq, rec.fileFirst),
+		segSeq: rec.segSeq,
+		ckptC:  make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	e.segments = rec.segments
+	st.SetJournal(e)
+	e.wg.Add(1)
+	go e.background()
+	return e, nil
+}
+
+// LastSeq returns the seq of the last journaled record — right after Open,
+// the seq recovery replayed through.
+func (e *Engine) LastSeq() uint64 { return e.w.currentSeq() }
+
+// JournalDict implements store.Journal. Called under the store's
+// symbol-table lock; it only stages bytes (see walWriter.appendDict).
+func (e *Engine) JournalDict(first store.SymbolID, names []string) {
+	e.w.appendDict(first, names)
+}
+
+// JournalAdd implements store.Journal.
+func (e *Engine) JournalAdd(batch []store.IDTriple) {
+	e.w.appendAdd(batch)
+}
+
+// JournalRemove implements store.Journal.
+func (e *Engine) JournalRemove(t store.IDTriple) {
+	e.w.appendRemove(t)
+}
+
+// JournalCommit implements store.Journal: it group-commits the log to the
+// configured durability and nudges the checkpointer if the log has outgrown
+// its budget.
+func (e *Engine) JournalCommit() error {
+	err := e.w.commit()
+	if e.opts.CheckpointBytes > 0 && e.w.bytesSinceRotation() >= e.opts.CheckpointBytes {
+		select {
+		case e.ckptC <- struct{}{}:
+		default: // a checkpoint poke is already pending
+		}
+	}
+	return err
+}
+
+// background is the engine's single service goroutine: interval fsync under
+// FsyncBatch, and checkpoints when the log outgrows its budget.
+func (e *Engine) background() {
+	defer e.wg.Done()
+	var tick <-chan time.Time
+	if e.opts.Fsync == FsyncBatch {
+		t := time.NewTicker(e.opts.BatchInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-tick:
+			// Harmless when nothing is pending: syncTo of an already-durable
+			// seq returns without touching the file.
+			_ = e.w.syncTo(e.w.currentSeq())
+		case <-e.ckptC:
+			if err := e.Checkpoint(); err != nil {
+				e.mu.Lock()
+				e.ckptErr = err
+				e.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Checkpoint compacts the log: it rotates the WAL, dumps the store into a
+// new segment covering everything up to the rotation point, and deletes the
+// log files and older segment the new segment supersedes. Mutations proceed
+// concurrently — the dump is fuzzy, which is safe because replay is
+// idempotent (see recover.go). A checkpoint with an empty log window is a
+// no-op.
+func (e *Engine) Checkpoint() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	e.mu.Lock() //ontolint:ignore lockcheck fixed one-way order: ckptMu is always taken before mu and mu critical sections never take ckptMu, so the nesting cannot deadlock
+	lastSeg := e.segSeq
+	e.mu.Unlock()
+	if e.w.currentSeq() == lastSeg {
+		return nil // nothing journaled since the last checkpoint
+	}
+	covered, err := e.w.rotate()
+	if err != nil {
+		return err
+	}
+	// Dump triples BEFORE reading the dictionary length: ids are minted
+	// before the triples using them are inserted, so every id visible in the
+	// triple scan is below a DictLen read after the scan. The other order
+	// could dump a triple whose ids the dumped dictionary lacks.
+	var triples []store.IDTriple
+	e.st.QueryIDFunc(store.IDPattern{}, func(t store.IDTriple) bool {
+		triples = append(triples, t)
+		return true
+	})
+	n := e.st.DictLen()
+	res := e.st.NewResolver()
+	dict := make([]string, n)
+	for i := range dict {
+		dict[i] = res.Name(store.SymbolID(i))
+	}
+	if err := writeSegment(e.opts.Dir, covered, dict, triples); err != nil {
+		return err
+	}
+	// The new segment supersedes the old one and every log file that ends at
+	// or before the rotation point. Deletion failures are reported but the
+	// checkpoint itself has succeeded — recovery deletes leftovers too.
+	cleanupErr := e.cleanup(lastSeg, covered)
+	e.mu.Lock() //ontolint:ignore lockcheck fixed one-way order: ckptMu is always taken before mu and mu critical sections never take ckptMu, so the nesting cannot deadlock
+	e.segSeq = covered
+	e.segments = 1
+	e.checkpoints++
+	e.ckptErr = cleanupErr
+	e.mu.Unlock()
+	return cleanupErr
+}
+
+// cleanup deletes the files a checkpoint at covered supersedes: the previous
+// segment and the wal files that start at or before covered (rotation
+// guarantees they also end there).
+func (e *Engine) cleanup(prevSeg, covered uint64) error {
+	var firstErr error
+	if e.segments > 0 && prevSeg != covered {
+		if err := removeFile(e.opts.Dir, segFileName(prevSeg)); err != nil {
+			firstErr = err
+		}
+	}
+	firsts, err := walFilesThrough(e.opts.Dir, covered)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for _, first := range firsts {
+		if err := removeFile(e.opts.Dir, walFileName(first)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats returns a point-in-time durability report.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	e.w.snapshotStats(&st)
+	e.mu.Lock()
+	st.Segments = e.segments
+	st.SegmentSeq = e.segSeq
+	st.Checkpoints = e.checkpoints
+	if st.Err == "" && e.ckptErr != nil {
+		st.Err = e.ckptErr.Error()
+	}
+	e.mu.Unlock()
+	return st
+}
+
+// Close detaches the engine from the store, stops the background goroutine,
+// and flushes and fsyncs the log tail — a cleanly closed engine never loses
+// an acknowledged mutation, whatever the fsync policy. The store remains
+// usable in memory afterwards, but new mutations are no longer journaled.
+func (e *Engine) Close() error {
+	var err error
+	e.once.Do(func() {
+		e.st.SetJournal(nil)
+		close(e.done)
+		e.wg.Wait()
+		err = e.w.close()
+	})
+	return err
+}

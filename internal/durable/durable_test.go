@@ -1,0 +1,495 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// testTriple returns the i-th triple of a deterministic corpus whose
+// components recur across triples, so the dictionary grows slower than the
+// triple count and batches mix fresh and known ids.
+func testTriple(i int) store.Triple {
+	return store.Triple{
+		Subject:   fmt.Sprintf("s%d", i%37),
+		Predicate: fmt.Sprintf("p%d", i%11),
+		Object:    fmt.Sprintf("o%d", i),
+	}
+}
+
+// snapshotString returns the store's canonical snapshot as a string.
+func snapshotString(t *testing.T, st *store.Store) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := st.Snapshot(&b); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return b.String()
+}
+
+// mustOpen opens an engine over dir or fails the test.
+func mustOpen(t *testing.T, st *store.Store, opts Options) *Engine {
+	t.Helper()
+	eng, err := Open(st, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", opts.Dir, err)
+	}
+	return eng
+}
+
+func TestOpenPristineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff})
+	var triples []store.Triple
+	for i := 0; i < 500; i++ {
+		triples = append(triples, testTriple(i))
+	}
+	if _, err := st.AddBatch(triples[:300]); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	if _, err := st.Add(triples[300]); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if _, err := st.AddBatch(triples[301:]); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	if removed := st.Remove(triples[7]); !removed {
+		t.Fatalf("Remove(%v) found nothing", triples[7])
+	}
+	want := snapshotString(t, st)
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff})
+	defer eng2.Close()
+	if got := snapshotString(t, st2); got != want {
+		t.Fatalf("recovered snapshot differs from the one before close:\ngot  %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	if got, wantSeq := eng2.LastSeq(), eng.LastSeq(); got != wantSeq {
+		t.Fatalf("recovered LastSeq = %d, want %d", got, wantSeq)
+	}
+}
+
+func TestOpenRejectsNonEmptyStore(t *testing.T) {
+	st := store.New()
+	if _, err := st.Add(testTriple(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(st, Options{Dir: t.TempDir()}); err == nil {
+		t.Fatal("Open accepted a non-empty store")
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(store.New(), Options{}); err == nil {
+		t.Fatal("Open accepted empty Options.Dir")
+	}
+}
+
+func TestCheckpointCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1})
+	var first, second []store.Triple
+	for i := 0; i < 400; i++ {
+		first = append(first, testTriple(i))
+	}
+	for i := 400; i < 700; i++ {
+		second = append(second, testTriple(i))
+	}
+	if _, err := st.AddBatch(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	stats := eng.Stats()
+	if stats.Segments != 1 || stats.SegmentSeq == 0 || stats.Checkpoints != 1 {
+		t.Fatalf("after checkpoint: %+v", stats)
+	}
+	if stats.WALBytes != 0 {
+		t.Fatalf("WALBytes = %d after checkpoint, want 0", stats.WALBytes)
+	}
+	// The log behind the checkpoint is gone; one fresh tail file remains.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs, wals int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs++
+		}
+		if strings.HasSuffix(e.Name(), ".wal") {
+			wals++
+		}
+	}
+	if segs != 1 || wals != 1 {
+		t.Fatalf("after checkpoint the directory holds %d segments and %d log files, want 1 and 1", segs, wals)
+	}
+
+	// Mutate past the checkpoint, checkpoint again (supersedes the first),
+	// mutate more, and verify recovery sees segment + tail.
+	if _, err := st.AddBatch(second[:200]); err != nil {
+		t.Fatal(err)
+	}
+	st.Remove(first[3])
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatalf("second Checkpoint: %v", err)
+	}
+	if got := eng.Stats().Segments; got != 1 {
+		t.Fatalf("Segments = %d after second checkpoint, want 1 (superseded segment deleted)", got)
+	}
+	if _, err := st.AddBatch(second[200:]); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotString(t, st)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff})
+	defer eng2.Close()
+	if got := snapshotString(t, st2); got != want {
+		t.Fatal("snapshot after segment+tail recovery differs from the pre-close snapshot")
+	}
+}
+
+func TestCheckpointEmptyWindowIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff})
+	defer eng.Close()
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint on an empty log: %v", err)
+	}
+	if got := eng.Stats().Checkpoints; got != 0 {
+		t.Fatalf("empty-window checkpoint ran (%d), want no-op", got)
+	}
+	if _, err := st.Add(testTriple(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Checkpoint(); err != nil { // window empty again
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Checkpoints; got != 1 {
+		t.Fatalf("Checkpoints = %d, want 1", got)
+	}
+}
+
+func TestAutoCheckpointTriggers(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	// A tiny budget so the first real batch crosses it.
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: 512})
+	defer eng.Close()
+	var triples []store.Triple
+	for i := 0; i < 2000; i++ {
+		triples = append(triples, testTriple(i))
+	}
+	if _, err := st.AddBatch(triples); err != nil {
+		t.Fatal(err)
+	}
+	// The trigger is asynchronous; poll until the background goroutine has
+	// run the checkpoint.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no automatic checkpoint after far exceeding CheckpointBytes")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncAlways, CheckpointBytes: -1})
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := w*perWorker + i
+				if _, err := st.AddBatch([]store.Triple{testTriple(n), testTriple(n + 10000)}); err != nil {
+					t.Errorf("worker %d: AddBatch: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := eng.Stats()
+	if stats.Seq == 0 || stats.DurableSeq != stats.Seq {
+		t.Fatalf("after concurrent committed batches: %+v", stats)
+	}
+	want := snapshotString(t, st)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff})
+	defer eng2.Close()
+	if snapshotString(t, st2) != want {
+		t.Fatal("recovery after concurrent group-committed batches lost triples")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncBatch, FsyncOff} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted nonsense")
+	}
+}
+
+// buildLog runs a deterministic mutation script through an FsyncOff engine
+// and returns the resulting single wal file's bytes, together with the log
+// offset and canonical snapshot recorded after every mutation (index 0 is
+// the empty store at offset 0).
+func buildLog(t *testing.T) (data []byte, offsets []int64, snaps []string) {
+	t.Helper()
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1})
+	record := func() {
+		offsets = append(offsets, eng.Stats().WALBytes)
+		snaps = append(snaps, snapshotString(t, st))
+	}
+	record()
+	for i := 0; i < 10; i++ {
+		switch {
+		case i%4 == 3:
+			if removed := st.Remove(testTriple(i - 2)); !removed {
+				t.Fatalf("script step %d: Remove found nothing", i)
+			}
+		default:
+			var batch []store.Triple
+			for j := 0; j < 5; j++ {
+				batch = append(batch, testTriple(i*5+j))
+			}
+			if _, err := st.AddBatch(batch); err != nil {
+				t.Fatalf("script step %d: %v", i, err)
+			}
+		}
+		record()
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walFileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != offsets[len(offsets)-1] {
+		t.Fatalf("log file is %d bytes but the last commit offset is %d", len(data), offsets[len(offsets)-1])
+	}
+	return data, offsets, snaps
+}
+
+// recoverPrefix writes data as the only wal file of a fresh directory,
+// recovers a fresh store from it, and returns the recovered snapshot.
+func recoverPrefix(t *testing.T, root string, name string, data []byte) string {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFileName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	rec, err := recoverDir(st, dir)
+	if err != nil {
+		t.Fatalf("%s: recoverDir: %v", name, err)
+	}
+	rec.file.Close()
+	return snapshotString(t, st)
+}
+
+// TestPrefixReplayProperty cuts the recorded log at EVERY byte offset and
+// checks the property the durability contract promises: replaying any
+// prefix yields exactly the store state at the last commit boundary the
+// prefix wholly contains — never a partial batch, never a lost earlier
+// record.
+func TestPrefixReplayProperty(t *testing.T) {
+	data, offsets, snaps := buildLog(t)
+	root := t.TempDir()
+	for cut := 0; cut <= len(data); cut++ {
+		j := 0
+		for k, off := range offsets {
+			if off <= int64(cut) {
+				j = k
+			}
+		}
+		got := recoverPrefix(t, root, fmt.Sprintf("cut%d", cut), data[:cut])
+		if got != snaps[j] {
+			t.Fatalf("cut at byte %d: recovered state is not the boundary-%d state (offset %d)", cut, j, offsets[j])
+		}
+	}
+}
+
+// TestBitFlipRecovery flips single bits across the whole log and checks the
+// CRC framing turns every flip into a clean torn-tail truncation at the
+// damaged frame: recovery succeeds and lands exactly on the last commit
+// boundary before that frame.
+func TestBitFlipRecovery(t *testing.T) {
+	data, offsets, snaps := buildLog(t)
+	var frameStarts []int
+	for off := 0; off < len(data); {
+		_, next, ok := nextFrame(data, off)
+		if !ok {
+			t.Fatalf("pristine log has a bad frame at %d", off)
+		}
+		frameStarts = append(frameStarts, off)
+		off = next
+	}
+	root := t.TempDir()
+	for p := 0; p < len(data); p++ {
+		for _, bit := range []uint{0, 7} {
+			start := 0
+			for _, fs := range frameStarts {
+				if fs <= p {
+					start = fs
+				}
+			}
+			j := 0
+			for k, off := range offsets {
+				if off <= int64(start) {
+					j = k
+				}
+			}
+			mut := append([]byte(nil), data...)
+			mut[p] ^= 1 << bit
+			got := recoverPrefix(t, root, fmt.Sprintf("flip%d-%d", p, bit), mut)
+			if got != snaps[j] {
+				t.Fatalf("flip byte %d bit %d: recovered state is not the boundary-%d state (frame at %d)", p, bit, j, start)
+			}
+		}
+	}
+}
+
+func TestCorruptSealedFileIsAnError(t *testing.T) {
+	data, _, _ := buildLog(t)
+	dir := t.TempDir()
+	// Pretend the log rotated: the corrupted bytes become a SEALED file
+	// (wal-1) because a later file exists. Its seq chain ends early, so the
+	// follow-on file no longer chains — recovery must refuse, not truncate.
+	tail := append([]byte(nil), data...)
+	tail[len(tail)/2] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, walFileName(1)), tail, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFileName(1_000_000)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recoverDir(store.New(), dir); err == nil {
+		t.Fatal("recoverDir tolerated a bad frame in a sealed log file")
+	}
+}
+
+func TestLogGapIsAnError(t *testing.T) {
+	data, _, _ := buildLog(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFileName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A tail file whose name skips ahead of the chain.
+	if err := os.WriteFile(filepath.Join(dir, walFileName(1_000_000)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recoverDir(store.New(), dir); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("recoverDir over a gapped log: %v, want a gap error", err)
+	}
+}
+
+func TestForeignFileIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recoverDir(store.New(), dir); err == nil {
+		t.Fatal("recoverDir accepted a directory holding foreign files")
+	}
+}
+
+func TestLeftoverTmpIsDeleted(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, segFileName(9)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	rec, err := recoverDir(st, dir)
+	if err != nil {
+		t.Fatalf("recoverDir: %v", err)
+	}
+	rec.file.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("recovery kept the unpublished checkpoint temp file")
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dict := []string{"s0", "p0", "o0", "o1"}
+	triples := []store.IDTriple{{S: 0, P: 1, O: 3}, {S: 0, P: 1, O: 2}}
+	if err := writeSegment(dir, 42, dict, triples); err != nil {
+		t.Fatalf("writeSegment: %v", err)
+	}
+	path := filepath.Join(dir, segFileName(42))
+	seq, gotDict, gotTriples, err := loadSegment(path)
+	if err != nil {
+		t.Fatalf("loadSegment: %v", err)
+	}
+	if seq != 42 {
+		t.Fatalf("seq = %d, want 42", seq)
+	}
+	if len(gotDict) != len(dict) || gotDict[3] != "o1" {
+		t.Fatalf("dict = %v", gotDict)
+	}
+	// writeSegment sorts.
+	if len(gotTriples) != 2 || gotTriples[0] != (store.IDTriple{S: 0, P: 1, O: 2}) {
+		t.Fatalf("triples = %v", gotTriples)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, corrupt := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"bit flip", func(b []byte) []byte { b[len(b)/2] ^= 1; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+	} {
+		bad := corrupt.mut(append([]byte(nil), data...))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := loadSegment(path); err == nil {
+			t.Fatalf("loadSegment accepted a %s segment", corrupt.name)
+		}
+	}
+}

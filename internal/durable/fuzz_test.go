@@ -1,0 +1,78 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// FuzzDecodeRecord throws arbitrary bytes at the record decoder: whatever
+// the input, it must return cleanly — an error or a record, never a panic or
+// a length-driven runaway allocation (the decoder bounds-checks every length
+// against the bytes actually present).
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(encodeDict(nil, 1, 0, []string{"a", "bb", ""}))
+	f.Add(encodeAdd(nil, 2, []store.IDTriple{{S: 0, P: 1, O: 2}, {S: 2, P: 1, O: 0}}))
+	f.Add(encodeRemove(nil, 3, store.IDTriple{S: 7, P: 8, O: 9}))
+	f.Add([]byte{})
+	f.Add([]byte{recDict, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return
+		}
+		// Fixed-width bodies round-trip byte-exactly. Dict bodies may not
+		// (binary.Uvarint tolerates non-canonical length encodings), so for
+		// them re-encode and re-decode: the RECORD must survive unchanged.
+		switch r.typ {
+		case recAdd:
+			if again := encodeAdd(nil, r.seq, r.triples); string(again) != string(payload) {
+				t.Fatalf("add record round trip changed the payload: %x -> %x", payload, again)
+			}
+		case recRemove:
+			if again := encodeRemove(nil, r.seq, r.triples[0]); string(again) != string(payload) {
+				t.Fatalf("remove record round trip changed the payload: %x -> %x", payload, again)
+			}
+		case recDict:
+			r2, err := decodeRecord(encodeDict(nil, r.seq, r.first, r.names))
+			if err != nil {
+				t.Fatalf("re-encoded dict record does not decode: %v", err)
+			}
+			if r2.first != r.first || len(r2.names) != len(r.names) {
+				t.Fatalf("dict record round trip changed: %+v -> %+v", r, r2)
+			}
+			for i := range r.names {
+				if r2.names[i] != r.names[i] {
+					t.Fatalf("dict record round trip changed name %d: %q -> %q", i, r.names[i], r2.names[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzRecoverLog feeds arbitrary bytes to the whole recovery path as a log
+// tail: recovery must either succeed (torn tails are legal in the last file)
+// or fail with an error — never panic, and never leave the store in a state
+// the decoder did not explicitly apply.
+func FuzzRecoverLog(f *testing.F) {
+	var seed []byte
+	seed = appendFrame(seed, encodeDict(nil, 1, 0, []string{"s", "p", "o"}))
+	seed = appendFrame(seed, encodeAdd(nil, 2, []store.IDTriple{{S: 0, P: 1, O: 2}}))
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walFileName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := store.New()
+		rec, err := recoverDir(st, dir)
+		if err != nil {
+			return
+		}
+		rec.file.Close()
+	})
+}

@@ -1,0 +1,204 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/store"
+)
+
+// This file is the log's wire format: length-prefixed, CRC-framed records,
+// each carrying a sequence number and a dictionary-id-level payload. The
+// format is append-only and self-delimiting, so a reader can walk a file
+// frame by frame and stop at the first frame the CRC rejects — which is
+// exactly how torn tails are detected after a crash.
+//
+// Frame layout (all integers little-endian):
+//
+//	+------------+------------+====================+
+//	| len uint32 | crc uint32 | payload (len bytes)|
+//	+------------+------------+====================+
+//
+// crc is CRC-32C (Castagnoli) over the payload only, so a frame is valid iff
+// its length field delimits a payload whose checksum matches — a truncated
+// write, a bit flip in the payload, and a bit flip in the length field are
+// all rejected (the last because the misdelimited span checksums wrong).
+//
+// Payload layout:
+//
+//	+----------+------------+======+
+//	| typ byte | seq uint64 | body |
+//	+----------+------------+======+
+//
+// seq numbers records 1, 2, 3… across the log's whole life (files included),
+// so replay can verify continuity and a checkpoint can name the exact record
+// its segment covers through. The three record types:
+//
+//	recDict   body = first uint32, count uint32, count × (uvarint n, n bytes)
+//	          — names[i] was interned as dictionary id first+i
+//	recAdd    body = count uint32, count × (s, p, o uint32)
+//	          — the triples one mutation actually inserted
+//	recRemove body = s, p, o uint32
+//	          — one removed triple
+
+// Record type tags.
+const (
+	recDict   = 1
+	recAdd    = 2
+	recRemove = 3
+)
+
+// frameHeader is the fixed prefix of every frame: length + CRC.
+const frameHeader = 8
+
+// maxFramePayload caps a single frame. The largest legitimate payloads — a
+// 100k-triple server batch (~1.2 MB) or its dictionary growth — sit far
+// below it; anything above is treated as corruption rather than trusted to
+// allocate.
+const maxFramePayload = 1 << 26
+
+// castagnoli is the CRC-32C table shared by framing and segment footers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame wraps payload in a frame and appends it to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// nextFrame delimits the frame starting at data[off:], returning its payload
+// and the offset of the following frame. ok is false when the bytes at off do
+// not form a whole, checksum-valid frame — the torn-tail condition; the
+// caller decides whether that means "clean end" (off == len(data)) or
+// corruption worth reporting.
+func nextFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off < 0 || len(data)-off < frameHeader {
+		return nil, off, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	if n > maxFramePayload || len(data)-off-frameHeader < n {
+		return nil, off, false
+	}
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	payload = data[off+frameHeader : off+frameHeader+n]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, off, false
+	}
+	return payload, off + frameHeader + n, true
+}
+
+// record is one decoded WAL record.
+type record struct {
+	typ byte
+	seq uint64
+	// first and names carry a recDict body.
+	first store.SymbolID
+	names []string
+	// triples carries a recAdd body, or the single triple of a recRemove.
+	triples []store.IDTriple
+}
+
+// encodeDict appends a recDict payload to dst.
+func encodeDict(dst []byte, seq uint64, first store.SymbolID, names []string) []byte {
+	dst = append(dst, recDict)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint32(dst, first)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(names)))
+	for _, name := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+	}
+	return dst
+}
+
+// encodeAdd appends a recAdd payload to dst.
+func encodeAdd(dst []byte, seq uint64, triples []store.IDTriple) []byte {
+	dst = append(dst, recAdd)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(triples)))
+	for _, t := range triples {
+		dst = binary.LittleEndian.AppendUint32(dst, t.S)
+		dst = binary.LittleEndian.AppendUint32(dst, t.P)
+		dst = binary.LittleEndian.AppendUint32(dst, t.O)
+	}
+	return dst
+}
+
+// encodeRemove appends a recRemove payload to dst.
+func encodeRemove(dst []byte, seq uint64, t store.IDTriple) []byte {
+	dst = append(dst, recRemove)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint32(dst, t.S)
+	dst = binary.LittleEndian.AppendUint32(dst, t.P)
+	dst = binary.LittleEndian.AppendUint32(dst, t.O)
+	return dst
+}
+
+// decodeRecord parses one frame payload. Every length is bounds-checked
+// against the remaining bytes before it is trusted, so a corrupt payload that
+// slipped past the CRC (or a fuzzer's invention) yields an error, never a
+// panic or an oversized allocation.
+func decodeRecord(payload []byte) (record, error) {
+	var r record
+	if len(payload) < 9 {
+		return r, fmt.Errorf("durable: record payload of %d bytes is shorter than its type+seq header", len(payload))
+	}
+	r.typ = payload[0]
+	r.seq = binary.LittleEndian.Uint64(payload[1:])
+	body := payload[9:]
+	switch r.typ {
+	case recDict:
+		if len(body) < 8 {
+			return r, fmt.Errorf("durable: dict record body of %d bytes is shorter than its first+count header", len(body))
+		}
+		r.first = binary.LittleEndian.Uint32(body)
+		count := int(binary.LittleEndian.Uint32(body[4:]))
+		body = body[8:]
+		if count > len(body) { // every name costs ≥1 length byte
+			return r, fmt.Errorf("durable: dict record claims %d names in %d bytes", count, len(body))
+		}
+		r.names = make([]string, 0, count)
+		for i := 0; i < count; i++ {
+			n, w := binary.Uvarint(body)
+			if w <= 0 || n > uint64(len(body)-w) {
+				return r, fmt.Errorf("durable: dict record name %d overruns the body", i)
+			}
+			r.names = append(r.names, string(body[w:w+int(n)]))
+			body = body[w+int(n):]
+		}
+		if len(body) != 0 {
+			return r, fmt.Errorf("durable: dict record has %d trailing bytes", len(body))
+		}
+	case recAdd:
+		if len(body) < 4 {
+			return r, fmt.Errorf("durable: add record body of %d bytes is shorter than its count header", len(body))
+		}
+		count := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if len(body) != 12*count {
+			return r, fmt.Errorf("durable: add record claims %d triples but carries %d bytes", count, len(body))
+		}
+		r.triples = make([]store.IDTriple, 0, count)
+		for i := 0; i < count; i++ {
+			r.triples = append(r.triples, store.IDTriple{
+				S: binary.LittleEndian.Uint32(body[12*i:]),
+				P: binary.LittleEndian.Uint32(body[12*i+4:]),
+				O: binary.LittleEndian.Uint32(body[12*i+8:]),
+			})
+		}
+	case recRemove:
+		if len(body) != 12 {
+			return r, fmt.Errorf("durable: remove record body is %d bytes, want 12", len(body))
+		}
+		r.triples = []store.IDTriple{{
+			S: binary.LittleEndian.Uint32(body),
+			P: binary.LittleEndian.Uint32(body[4:]),
+			O: binary.LittleEndian.Uint32(body[8:]),
+		}}
+	default:
+		return r, fmt.Errorf("durable: unknown record type %d", r.typ)
+	}
+	return r, nil
+}

@@ -1,0 +1,301 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// This file is startup recovery: scan the data directory, load the latest
+// segment into the store, replay the WAL tail beyond it, truncate the torn
+// tail a crash may have left, and hand back an open log file positioned for
+// appending. The state machine, in order:
+//
+//	scan      classify directory entries: seg-*.seg, wal-*.wal, leftovers
+//	clean     delete *.tmp (unpublished checkpoints) and anything the last
+//	          completed checkpoint made obsolete (older segments, wal files
+//	          entirely ≤ the segment's seq)
+//	load      read the newest segment; intern its dictionary in id order —
+//	          which reproduces ids 0..n-1 exactly, because the store mints
+//	          dense append-only ids — then bulk-insert its triple runs
+//	replay    walk the remaining wal files in ascending order, applying
+//	          records and checking the seq chain stays dense
+//	truncate  a frame that fails its CRC in the LAST file is a torn tail:
+//	          cut the file there and stop. The same failure in any earlier
+//	          file is corruption, reported as an error — earlier files were
+//	          sealed by a rotation's fsync and have no business being torn.
+//	reopen    open the last wal file for appending (creating wal-<lastSeq+1>
+//	          if the tail is empty), ready for the writer.
+//
+// Replay is idempotent against the fuzzy checkpoint: a segment dumped
+// concurrently with mutations may already contain the effects of tail
+// records, so dictionary records verify-or-intern (ids already present must
+// resolve to the same name) and triple records re-apply as set operations.
+
+// recovered is what recoverDir hands the engine: the store is loaded, the
+// log tail is clean, and file is the wal file to keep appending to.
+type recovered struct {
+	lastSeq   uint64 // seq of the last record applied (0 = pristine directory)
+	file      *os.File
+	fileFirst uint64 // first seq of file (its name)
+	segSeq    uint64 // seq of the loaded segment, 0 if none
+	segments  int    // segment files present (0 or 1 after cleanup)
+	walFiles  int    // wal files present, file included
+}
+
+// ensureDir creates the data directory if it is missing.
+func ensureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("durable: creating data directory: %w", err)
+	}
+	return nil
+}
+
+// removeFile deletes one file of the data directory.
+func removeFile(dir, name string) error {
+	if err := os.Remove(filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("durable: removing %s: %w", name, err)
+	}
+	return nil
+}
+
+// walFilesThrough lists the first-seqs of wal files that start at or before
+// covered — the files a checkpoint at covered supersedes (rotation
+// guarantees a file starting at or before the rotation point also ends
+// there).
+func walFilesThrough(dir string, covered uint64) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: scanning data directory: %w", err)
+	}
+	var firsts []uint64
+	for _, e := range entries {
+		if n, ok := parseSeqName(e.Name(), "wal-", ".wal"); ok && n <= covered {
+			firsts = append(firsts, n)
+		}
+	}
+	return firsts, nil
+}
+
+// parseSeqName extracts the sequence number from a "prefix-%016d.ext" name.
+func parseSeqName(name, prefix, ext string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(ext)]
+	if len(mid) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// recoverDir rebuilds st (which must be empty) from dir and returns the open
+// log tail. Any error leaves the directory as it was found, minus deleted
+// leftovers.
+func recoverDir(st *store.Store, dir string) (recovered, error) {
+	var rec recovered
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rec, fmt.Errorf("durable: scanning data directory: %w", err)
+	}
+	var segSeqs, walSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An unpublished checkpoint: a crash hit between temp write and
+			// rename. The WAL behind it is intact, so it is pure garbage.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return rec, fmt.Errorf("durable: removing leftover %s: %w", name, err)
+			}
+		case strings.HasSuffix(name, ".seg"):
+			n, ok := parseSeqName(name, "seg-", ".seg")
+			if !ok {
+				return rec, fmt.Errorf("durable: unrecognized segment file name %q in data directory", name)
+			}
+			segSeqs = append(segSeqs, n)
+		case strings.HasSuffix(name, ".wal"):
+			n, ok := parseSeqName(name, "wal-", ".wal")
+			if !ok {
+				return rec, fmt.Errorf("durable: unrecognized log file name %q in data directory", name)
+			}
+			walSeqs = append(walSeqs, n)
+		default:
+			return rec, fmt.Errorf("durable: unexpected file %q in data directory; refusing to treat %s as a WAL directory", name, dir)
+		}
+	}
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
+
+	// Load the newest segment; every older one (and every wal file wholly
+	// covered by it — rotation happens before the dump, so a file whose first
+	// seq is ≤ the segment's seq also ends at or before it) is a leftover of
+	// an interrupted cleanup.
+	if len(segSeqs) > 0 {
+		rec.segSeq = segSeqs[len(segSeqs)-1]
+		rec.segments = 1
+		for _, n := range segSeqs[:len(segSeqs)-1] {
+			if err := os.Remove(filepath.Join(dir, segFileName(n))); err != nil {
+				return rec, fmt.Errorf("durable: removing superseded segment: %w", err)
+			}
+		}
+		path := filepath.Join(dir, segFileName(rec.segSeq))
+		seq, dict, triples, err := loadSegment(path)
+		if err != nil {
+			return rec, err
+		}
+		if seq != rec.segSeq {
+			return rec, fmt.Errorf("durable: segment %s claims internal seq %d", filepath.Base(path), seq)
+		}
+		for i, name := range dict {
+			id, err := st.Intern(name)
+			if err != nil {
+				return rec, fmt.Errorf("durable: segment dictionary entry %d: %w", i, err)
+			}
+			if id != store.SymbolID(i) {
+				return rec, fmt.Errorf("durable: segment dictionary entry %d interned as id %d (duplicate name in segment?)", i, id)
+			}
+		}
+		if _, err := st.AddIDBatch(triples); err != nil {
+			return rec, fmt.Errorf("durable: loading segment triples: %w", err)
+		}
+		rec.lastSeq = rec.segSeq
+	}
+	keep := walSeqs[:0]
+	for _, n := range walSeqs {
+		if n <= rec.segSeq && rec.segSeq != 0 {
+			if err := os.Remove(filepath.Join(dir, walFileName(n))); err != nil {
+				return rec, fmt.Errorf("durable: removing log file behind the checkpoint: %w", err)
+			}
+			continue
+		}
+		keep = append(keep, n)
+	}
+	walSeqs = keep
+
+	// Replay the tail. Rotation boundaries and record seqs must chain
+	// densely: file wal-F holds records F, F+1, … and the next file picks up
+	// exactly where it ended.
+	res := st.NewResolver()
+	for i, first := range walSeqs {
+		if first != rec.lastSeq+1 {
+			return rec, fmt.Errorf("durable: log file %s does not follow record %d; the log has a gap", walFileName(first), rec.lastSeq)
+		}
+		last := i == len(walSeqs)-1
+		path := filepath.Join(dir, walFileName(first))
+		lastSeq, err := replayFile(st, res, path, rec.lastSeq, last)
+		if err != nil {
+			return rec, err
+		}
+		rec.lastSeq = lastSeq
+	}
+
+	// Reopen (or create) the tail file for appending.
+	rec.walFiles = len(walSeqs)
+	if len(walSeqs) > 0 {
+		rec.fileFirst = walSeqs[len(walSeqs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, walFileName(rec.fileFirst)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return rec, fmt.Errorf("durable: reopening log tail: %w", err)
+		}
+		rec.file = f
+	} else {
+		rec.fileFirst = rec.lastSeq + 1
+		f, err := createWALFile(dir, rec.fileFirst)
+		if err != nil {
+			return rec, err
+		}
+		rec.file = f
+		rec.walFiles = 1
+	}
+	return rec, nil
+}
+
+// replayFile applies every record of one wal file to the store, enforcing
+// the dense seq chain from prevSeq. In the last file a frame that fails
+// framing is a torn tail: the file is truncated at the last good offset and
+// replay ends there. Anywhere else the same failure is corruption.
+func replayFile(st *store.Store, res store.Resolver, path string, prevSeq uint64, last bool) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return prevSeq, fmt.Errorf("durable: reading log file: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			if !last {
+				return prevSeq, fmt.Errorf("durable: %s: bad frame at offset %d in a sealed log file; the log is corrupt", filepath.Base(path), off)
+			}
+			// Torn tail: everything from off on is a half-written frame (or
+			// damage to one). Cut it so the writer appends after the last
+			// good record instead of burying garbage mid-file.
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return prevSeq, fmt.Errorf("durable: truncating torn log tail: %w", err)
+			}
+			return prevSeq, nil
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return prevSeq, fmt.Errorf("durable: %s: offset %d: %w", filepath.Base(path), off, err)
+		}
+		if r.seq != prevSeq+1 {
+			return prevSeq, fmt.Errorf("durable: %s: record at offset %d has seq %d, want %d; the log has a gap", filepath.Base(path), off, r.seq, prevSeq+1)
+		}
+		if err := applyRecord(st, res, r); err != nil {
+			return prevSeq, fmt.Errorf("durable: %s: record %d: %w", filepath.Base(path), r.seq, err)
+		}
+		prevSeq = r.seq
+		off = next
+	}
+	return prevSeq, nil
+}
+
+// applyRecord applies one decoded record. Application is idempotent — the
+// fuzzy checkpoint may have captured this record's effects already — so
+// dictionary entries verify-or-intern and triple records are set operations.
+func applyRecord(st *store.Store, res store.Resolver, r record) error {
+	switch r.typ {
+	case recDict:
+		for i, name := range r.names {
+			id := r.first + store.SymbolID(i)
+			switch n := store.SymbolID(st.DictLen()); {
+			case id < n:
+				// Already present (from the segment or an earlier record):
+				// the name must agree, or the log and segment disagree about
+				// what the id means.
+				if got := res.Name(id); got != name {
+					return fmt.Errorf("dictionary id %d is %q but the log says %q", id, got, name)
+				}
+			case id == n:
+				got, err := st.Intern(name)
+				if err != nil {
+					return err
+				}
+				if got != id {
+					return fmt.Errorf("name %q interned as id %d, but the log minted it as %d", name, got, id)
+				}
+			default:
+				return fmt.Errorf("dictionary record skips from id %d to %d", n, id)
+			}
+		}
+	case recAdd:
+		if _, err := st.AddIDBatch(r.triples); err != nil {
+			return err
+		}
+	case recRemove:
+		st.RemoveID(r.triples[0])
+	default:
+		return fmt.Errorf("unknown record type %d", r.typ)
+	}
+	return nil
+}

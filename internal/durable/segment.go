@@ -1,0 +1,222 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// This file is the checkpoint format: an immutable segment file holding a
+// whole store — interned dictionary plus sorted id-triple runs — loadable on
+// startup without re-parsing a line of JSON. A segment named seg-N captures
+// the store's state with every WAL record ≤ N applied, so recovery loads the
+// latest segment and replays only the log tail beyond N.
+//
+// Layout (integers little-endian):
+//
+//	magic   "ONTOSEG1"                       8 bytes
+//	seq     uint64                           the log seq the segment covers through
+//	dict    count uint32,
+//	        count × (uvarint n, n bytes)     names in id order: ids 0..count-1
+//	triples count uint64,
+//	        count × (s, p, o uint32)         sorted by (s, p, o)
+//	crc     uint32                           CRC-32C of everything above
+//	trailer "ONTOSEGE"                       8 bytes
+//
+// The dictionary is written in id order so loading it into a fresh store by
+// interning name after name reproduces ids 0..count-1 exactly — the property
+// that lets the replayed log tail keep speaking the same ids. The triple
+// runs are sorted so the file is deterministic for a given state and loads
+// as one pre-deduplicated batch.
+//
+// A segment becomes visible atomically: it is written to a .tmp name,
+// fsynced, renamed into place, and the directory fsynced. Readers therefore
+// never see a half-written seg- file; a crash mid-checkpoint leaves a .tmp
+// that recovery deletes.
+
+// Segment magic strings.
+const (
+	segMagic   = "ONTOSEG1"
+	segTrailer = "ONTOSEGE"
+)
+
+// segFileName names the segment covering the log through seq.
+func segFileName(seq uint64) string {
+	return fmt.Sprintf("seg-%016d.seg", seq)
+}
+
+// crcWriter feeds every written byte to both the file and the running
+// checksum, so the footer CRC covers exactly the bytes on disk before it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// writeSegment atomically writes the segment file for a store state: dict is
+// the id→name mapping (index = id), triples the id-level triple set. It
+// sorts triples in place. On success the file seg-<seq>.seg is durably in
+// dir.
+func writeSegment(dir string, seq uint64, dict []string, triples []store.IDTriple) (retErr error) {
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+
+	final := filepath.Join(dir, segFileName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: creating segment: %w", err)
+	}
+	defer func() {
+		if retErr != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcWriter{w: bw}
+	var scratch [12]byte
+
+	if _, err := cw.Write([]byte(segMagic)); err != nil {
+		return fmt.Errorf("durable: writing segment: %w", err)
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], seq)
+	if _, err := cw.Write(scratch[:8]); err != nil {
+		return fmt.Errorf("durable: writing segment: %w", err)
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(dict)))
+	if _, err := cw.Write(scratch[:4]); err != nil {
+		return fmt.Errorf("durable: writing segment: %w", err)
+	}
+	var varint [binary.MaxVarintLen64]byte
+	for _, name := range dict {
+		n := binary.PutUvarint(varint[:], uint64(len(name)))
+		if _, err := cw.Write(varint[:n]); err != nil {
+			return fmt.Errorf("durable: writing segment dictionary: %w", err)
+		}
+		if _, err := io.WriteString(cw, name); err != nil {
+			return fmt.Errorf("durable: writing segment dictionary: %w", err)
+		}
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(triples)))
+	if _, err := cw.Write(scratch[:8]); err != nil {
+		return fmt.Errorf("durable: writing segment: %w", err)
+	}
+	for _, t := range triples {
+		binary.LittleEndian.PutUint32(scratch[0:], t.S)
+		binary.LittleEndian.PutUint32(scratch[4:], t.P)
+		binary.LittleEndian.PutUint32(scratch[8:], t.O)
+		if _, err := cw.Write(scratch[:12]); err != nil {
+			return fmt.Errorf("durable: writing segment triples: %w", err)
+		}
+	}
+	// Footer: CRC of everything above, then the trailer magic. Written to the
+	// buffered writer directly — the CRC must not hash itself.
+	binary.LittleEndian.PutUint32(scratch[:4], cw.crc)
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return fmt.Errorf("durable: writing segment footer: %w", err)
+	}
+	if _, err := bw.WriteString(segTrailer); err != nil {
+		return fmt.Errorf("durable: writing segment footer: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("durable: flushing segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsyncing segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: closing segment: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("durable: publishing segment: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadSegment reads and verifies a segment file, returning the log seq it
+// covers through, its dictionary in id order, and its sorted triples. Any
+// framing violation — bad magic, bad CRC, truncation, an id out of
+// dictionary range — is an error: segments are published atomically, so a
+// damaged one means real corruption, never a torn write to tolerate.
+func loadSegment(path string) (seq uint64, dict []string, triples []store.IDTriple, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("durable: reading segment: %w", err)
+	}
+	const header = len(segMagic) + 8 + 4
+	const footer = 4 + len(segTrailer)
+	if len(data) < header+8+footer {
+		return 0, nil, nil, fmt.Errorf("durable: segment %s is %d bytes, too short to be valid", filepath.Base(path), len(data))
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, nil, nil, fmt.Errorf("durable: segment %s has a bad magic header", filepath.Base(path))
+	}
+	if string(data[len(data)-len(segTrailer):]) != segTrailer {
+		return 0, nil, nil, fmt.Errorf("durable: segment %s has a bad trailer (truncated checkpoint?)", filepath.Base(path))
+	}
+	body := data[:len(data)-footer]
+	wantCRC := binary.LittleEndian.Uint32(data[len(body):])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return 0, nil, nil, fmt.Errorf("durable: segment %s fails its checksum", filepath.Base(path))
+	}
+
+	seq = binary.LittleEndian.Uint64(body[len(segMagic):])
+	dictCount := int(binary.LittleEndian.Uint32(body[len(segMagic)+8:]))
+	rest := body[header:]
+	if dictCount > len(rest) {
+		return 0, nil, nil, fmt.Errorf("durable: segment %s claims %d dictionary names in %d bytes", filepath.Base(path), dictCount, len(rest))
+	}
+	dict = make([]string, 0, dictCount)
+	for i := 0; i < dictCount; i++ {
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)-w) {
+			return 0, nil, nil, fmt.Errorf("durable: segment %s: dictionary name %d overruns the file", filepath.Base(path), i)
+		}
+		dict = append(dict, string(rest[w:w+int(n)]))
+		rest = rest[w+int(n):]
+	}
+	if len(rest) < 8 {
+		return 0, nil, nil, fmt.Errorf("durable: segment %s is truncated before its triple count", filepath.Base(path))
+	}
+	tripleCount := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	if uint64(len(rest)) != 12*tripleCount {
+		return 0, nil, nil, fmt.Errorf("durable: segment %s claims %d triples but carries %d bytes", filepath.Base(path), tripleCount, len(rest))
+	}
+	triples = make([]store.IDTriple, 0, tripleCount)
+	n := store.SymbolID(dictCount)
+	for i := uint64(0); i < tripleCount; i++ {
+		t := store.IDTriple{
+			S: binary.LittleEndian.Uint32(rest[12*i:]),
+			P: binary.LittleEndian.Uint32(rest[12*i+4:]),
+			O: binary.LittleEndian.Uint32(rest[12*i+8:]),
+		}
+		if t.S >= n || t.P >= n || t.O >= n {
+			return 0, nil, nil, fmt.Errorf("durable: segment %s: triple %d references id beyond its %d-name dictionary", filepath.Base(path), i, dictCount)
+		}
+		triples = append(triples, t)
+	}
+	return seq, dict, triples, nil
+}

@@ -1,0 +1,370 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file is the write-ahead log writer: an append-only, group-committing
+// front for the record format in record.go. Appenders (the store's mutation
+// goroutines, calling through the Journal hook) stage encoded frames in an
+// in-memory buffer under a mutex; commit drains the buffer to the file and —
+// under the always policy — fsyncs, with one goroutine doing the I/O while
+// every other committer waits on a condition variable. That is the group
+// commit: when ten handlers commit concurrently, the first one into the
+// syncer role writes and fsyncs everyone's frames, and the other nine return
+// without touching the disk.
+//
+// The single invariant that keeps the concurrency sound: ALL file I/O —
+// write, fsync, close, rotate — happens with the syncing flag held, and the
+// flag is only taken and released under mu. Appenders never touch the file;
+// the flag holder drops mu around each syscall, so staging new frames never
+// blocks on the disk.
+//
+// Errors are sticky: the first I/O failure is kept and returned by every
+// later commit. A log that failed once cannot promise anything about its
+// tail, so there is no retry path — the operator restarts and recovery
+// truncates at the torn frame.
+
+// walWriter is the append/commit side of the log. One per Engine.
+type walWriter struct {
+	dir    string
+	policy FsyncPolicy
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast whenever syncing is released or seqs advance
+	f    *os.File   // current wal file; I/O only with syncing held
+	// syncing marks the one goroutine allowed to touch f. Taken and released
+	// only under mu; the holder drops mu around syscalls.
+	syncing bool
+	err     error // sticky: first I/O failure, returned by every later commit
+
+	buf     []byte // staged frames not yet written to f
+	spare   []byte // recycled staging buffer (swapped with buf at each drain)
+	scratch []byte // payload encode scratch, reused under mu
+
+	seq        uint64 // seq of the last staged record
+	writtenSeq uint64 // every record ≤ this has reached the OS
+	durableSeq uint64 // every record ≤ this has been fsynced
+
+	fileFirst  uint64 // first seq the current file can hold (its name)
+	totalBytes int64  // bytes appended since the last rotation (checkpoint trigger)
+
+	lastFsync time.Time
+	fsyncs    int64
+}
+
+// walFileName names the log file whose first record is seq. Fixed-width
+// decimal so lexical directory order is replay order.
+func walFileName(first uint64) string {
+	return fmt.Sprintf("wal-%016d.wal", first)
+}
+
+// createWALFile creates (or truncates) the log file for records starting at
+// first and fsyncs the directory so the entry itself survives a crash.
+func createWALFile(dir string, first uint64) (*os.File, error) {
+	path := filepath.Join(dir, walFileName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: creating log file: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening directory for fsync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("durable: fsyncing directory: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("durable: closing directory after fsync: %w", cerr)
+	}
+	return nil
+}
+
+// newWALWriter wraps an already-open log file positioned at its end. lastSeq
+// is the seq of the last record recovery accepted (everything ≤ lastSeq is on
+// disk and fsync-clean after recovery's truncate), fileFirst the first seq of
+// the open file.
+func newWALWriter(dir string, policy FsyncPolicy, f *os.File, lastSeq, fileFirst uint64) *walWriter {
+	w := &walWriter{
+		dir:        dir,
+		policy:     policy,
+		f:          f,
+		seq:        lastSeq,
+		writtenSeq: lastSeq,
+		durableSeq: lastSeq,
+		fileFirst:  fileFirst,
+		lastFsync:  time.Now(),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// stageLocked frames the payload in scratch and stages it. Callers hold mu
+// and have already advanced w.seq.
+func (w *walWriter) stageLocked() {
+	w.buf = appendFrame(w.buf, w.scratch)
+	w.totalBytes += int64(frameHeader + len(w.scratch))
+}
+
+// appendDict stages a dictionary-growth record. Called under the store's
+// symbol-table lock (see store.Journal), which is what orders it ahead of
+// every triple record using the new ids; it must therefore stay
+// syscall-free, and it does — staging only appends to the in-memory buffer.
+func (w *walWriter) appendDict(first store.SymbolID, names []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	if w.err != nil {
+		return // the log is dead; don't grow the buffer for records that can never commit
+	}
+	w.scratch = encodeDict(w.scratch[:0], w.seq, first, names)
+	w.stageLocked()
+}
+
+// appendAdd stages an insertion record.
+func (w *walWriter) appendAdd(batch []store.IDTriple) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	if w.err != nil {
+		return
+	}
+	w.scratch = encodeAdd(w.scratch[:0], w.seq, batch)
+	w.stageLocked()
+}
+
+// appendRemove stages a removal record.
+func (w *walWriter) appendRemove(t store.IDTriple) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	if w.err != nil {
+		return
+	}
+	w.scratch = encodeRemove(w.scratch[:0], w.seq, t)
+	w.stageLocked()
+}
+
+// commit makes every record staged so far durable to the degree the policy
+// promises: written and fsynced for FsyncAlways, written to the OS for
+// FsyncBatch (the background ticker supplies the fsync) and FsyncOff.
+func (w *walWriter) commit() error {
+	w.mu.Lock()
+	target := w.seq
+	w.mu.Unlock()
+	if w.policy == FsyncAlways {
+		return w.syncTo(target)
+	}
+	return w.writeTo(target)
+}
+
+// writeTo blocks until every record ≤ target has reached the OS (no fsync).
+func (w *walWriter) writeTo(target uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.writtenSeq < target && w.err == nil {
+		if w.syncing {
+			w.cond.Wait() // another goroutine is on the disk; it advances seqs for us too
+			continue
+		}
+		w.drainLocked(false)
+	}
+	return w.err
+}
+
+// syncTo blocks until every record ≤ target is fsynced — the group-commit
+// loop. The first committer to find the syncer role free takes it, writes
+// and fsyncs everything staged (its own frames and everyone else's), and
+// wakes the rest; committers whose target was covered return without any
+// I/O of their own.
+func (w *walWriter) syncTo(target uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.durableSeq < target && w.err == nil {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.drainLocked(true)
+	}
+	return w.err
+}
+
+// drainLocked takes the syncer role, writes the staged buffer (and fsyncs,
+// when asked) with mu released, then publishes the advanced seqs. Callers
+// hold mu with syncing free; on return mu is held again. The buffer swap
+// means appenders staged into spare while we were on the disk, and the next
+// drain picks those up.
+func (w *walWriter) drainLocked(sync bool) {
+	buf := w.buf
+	w.buf = w.spare[:0]
+	w.spare = nil
+	covered := w.seq
+	f := w.f
+	w.syncing = true
+	w.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = f.Write(buf)
+	}
+	if err == nil && sync {
+		err = f.Sync()
+	}
+	now := time.Now()
+
+	w.mu.Lock() //ontolint:ignore lockcheck reacquisition after the unlocked I/O window; drainLocked's caller entered with the lock held and releases it, so this Lock is deliberately unbalanced here
+	w.syncing = false
+	w.spare = buf[:0]
+	if err != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("durable: log write: %w", err)
+		}
+	} else {
+		w.writtenSeq = covered
+		if sync {
+			w.durableSeq = covered
+			w.lastFsync = now
+			w.fsyncs++
+		}
+	}
+	w.cond.Broadcast()
+}
+
+// rotate finishes the current file — final write, fsync, close — and opens
+// the successor wal file. It returns the seq the finished file covers
+// through: the checkpoint that triggered the rotation will dump the store
+// (whose state includes every record ≤ that seq, by apply-before-log) and
+// name its segment after it. Frames staged by appenders while the rotation
+// is on the disk carry seqs beyond the returned one and land in the new
+// file, where they belong.
+func (w *walWriter) rotate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	buf := w.buf
+	w.buf = w.spare[:0]
+	w.spare = nil
+	covered := w.seq
+	f := w.f
+	w.syncing = true
+	w.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = f.Write(buf)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	var next *os.File
+	if err == nil {
+		next, err = createWALFile(w.dir, covered+1)
+	}
+	now := time.Now()
+
+	w.mu.Lock()
+	w.syncing = false
+	defer w.cond.Broadcast()
+	w.spare = buf[:0]
+	if err != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("durable: log rotation: %w", err)
+		}
+		return 0, w.err
+	}
+	w.f = next
+	w.fileFirst = covered + 1
+	w.totalBytes = 0
+	w.writtenSeq = covered
+	w.durableSeq = covered
+	w.lastFsync = now
+	w.fsyncs++
+	return covered, nil
+}
+
+// close drains and fsyncs whatever is staged (whatever the policy — a clean
+// shutdown should never lose acknowledged work) and closes the file.
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.durableSeq < w.seq && w.err == nil {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.drainLocked(true)
+	}
+	err := w.err
+	for w.syncing {
+		w.cond.Wait()
+	}
+	w.syncing = true
+	f := w.f
+	w.mu.Unlock()
+	cerr := f.Close()
+	w.mu.Lock()
+	w.syncing = false
+	if w.err == nil && cerr != nil {
+		w.err = fmt.Errorf("durable: closing log: %w", cerr)
+	}
+	w.cond.Broadcast()
+	if err == nil {
+		err = w.err
+	}
+	return err
+}
+
+// currentSeq returns the seq of the last staged record.
+func (w *walWriter) currentSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// bytesSinceRotation returns how much log the current checkpoint window has
+// accumulated — the auto-checkpoint trigger reads it after every commit.
+func (w *walWriter) bytesSinceRotation() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.totalBytes
+}
+
+// snapshotStats copies the writer's counters into st under the lock.
+func (w *walWriter) snapshotStats(st *Stats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st.Seq = w.seq
+	st.DurableSeq = w.durableSeq
+	st.WALBytes = w.totalBytes
+	st.LastFsync = w.lastFsync
+	st.Fsyncs = w.fsyncs
+	if w.err != nil {
+		st.Err = w.err.Error()
+	}
+}

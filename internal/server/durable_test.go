@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/store"
+)
+
+// postCheckpoint drives /checkpoint through the in-process handler.
+func postCheckpoint(t testing.TB, s *Server) (int, CheckpointResponse, ErrorResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/checkpoint", nil))
+	var resp CheckpointResponse
+	var errResp ErrorResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, resp, errResp
+}
+
+// TestDurableServerLifecycle is the serving-stack acceptance path: a server
+// whose base store is journaled by a durable engine, mutated over HTTP,
+// checkpointed over HTTP, shut down, and recovered — the recovered asserted
+// store must byte-match the served one.
+func TestDurableServerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	base := store.New()
+	eng, err := durable.Open(base, durable.Options{Dir: dir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corpus loads AFTER Open, through the journaled store, like ontoserve.
+	if _, err := base.AddBatch(carCorpus(t).Triples()); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Base: base, Durable: eng})
+
+	st := getStats(t, s)
+	if st.Durability == nil {
+		t.Fatal("/stats has no durability block on a durable server")
+	}
+	if st.Durability.Seq == 0 || st.Durability.Checkpoints != 0 {
+		t.Fatalf("durability block before checkpoint: %+v", st.Durability)
+	}
+
+	// Mutate over the wire; the journal commits inside the request.
+	code, mresp, errResp := postTriples(t, s, MutateRequest{
+		Add:    []TripleJSON{{Subject: "t1", Predicate: "locatedIn", Object: "lisbon"}},
+		Remove: []TripleJSON{{Subject: "beetle", Predicate: "locatedIn", Object: "rome"}},
+	})
+	if code != http.StatusOK || mresp.Added != 1 || mresp.Removed != 1 {
+		t.Fatalf("/triples = %d %+v %+v", code, mresp, errResp)
+	}
+
+	code, cresp, errResp := postCheckpoint(t, s)
+	if code != http.StatusOK {
+		t.Fatalf("/checkpoint = %d: %+v", code, errResp)
+	}
+	if cresp.Durability == nil || cresp.Durability.Checkpoints != 1 || cresp.Durability.Segments != 1 {
+		t.Fatalf("/checkpoint response: %+v", cresp.Durability)
+	}
+	if cresp.Durability.WALBytes != 0 {
+		t.Fatalf("WALBytes = %d right after a checkpoint, want 0", cresp.Durability.WALBytes)
+	}
+	if st := getStats(t, s); st.Durability.Checkpoints != 1 {
+		t.Fatalf("/stats after checkpoint: %+v", st.Durability)
+	}
+
+	// Method check mirrors the other endpoints.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/checkpoint", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /checkpoint = %d, want 405", rec.Code)
+	}
+
+	// Shut down and recover: the asserted store must come back byte-equal.
+	var before strings.Builder
+	if _, err := base.Snapshot(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := store.New()
+	eng2, err := durable.Open(recovered, durable.Options{Dir: dir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatalf("recovery after server shutdown: %v", err)
+	}
+	defer eng2.Close()
+	var after strings.Builder
+	if _, err := recovered.Snapshot(&after); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Fatal("recovered asserted store differs from the served one")
+	}
+}
+
+func TestCheckpointWithoutDurableEngine(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, _, errResp := postCheckpoint(t, s)
+	if code != http.StatusConflict {
+		t.Fatalf("/checkpoint on an in-memory server = %d, want 409", code)
+	}
+	if !strings.Contains(errResp.Error, "memory") {
+		t.Fatalf("error %q does not say the server is memory-only", errResp.Error)
+	}
+	if st := getStats(t, s); st.Durability != nil {
+		t.Fatalf("in-memory server reports durability: %+v", st.Durability)
+	}
+}

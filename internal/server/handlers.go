@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -120,6 +121,58 @@ type EngineStats struct {
 	Rederived   int `json:"rederived"`
 }
 
+// DurabilityStats is the durability block of StatsResponse, present only on
+// servers running with a durable engine. It is the wire form of
+// durable.Stats.
+type DurabilityStats struct {
+	// Seq is the sequence number of the last journaled WAL record.
+	Seq uint64 `json:"seq"`
+	// DurableSeq is the highest seq known fsynced; under fsync=always the
+	// two track each other, under fsync=batch the gap is the exposure
+	// window.
+	DurableSeq uint64 `json:"durable_seq"`
+	// LastFsyncAgoMS is how many milliseconds ago the log last reached
+	// stable storage.
+	LastFsyncAgoMS int64 `json:"last_fsync_ago_ms"`
+	// Fsyncs counts fsync syscalls on the log — under group commit, usually
+	// far fewer than mutations.
+	Fsyncs int64 `json:"fsyncs"`
+	// WALBytes is the log growth since the last checkpoint.
+	WALBytes int64 `json:"wal_bytes"`
+	// Segments is the number of segment files (0 before the first
+	// checkpoint, 1 after).
+	Segments int `json:"segments"`
+	// SegmentSeq is the WAL seq the newest segment covers through.
+	SegmentSeq uint64 `json:"segment_seq"`
+	// Checkpoints counts completed checkpoints since the server started.
+	Checkpoints int64 `json:"checkpoints"`
+	// Error is the engine's sticky error; once set, mutations fail with 500
+	// and the process needs a restart (and recovery) to trust its log.
+	Error string `json:"error,omitempty"`
+}
+
+// durabilityStats converts the engine's report to the wire form.
+func durabilityStats(eng *durable.Engine) *DurabilityStats {
+	d := eng.Stats()
+	return &DurabilityStats{
+		Seq:            d.Seq,
+		DurableSeq:     d.DurableSeq,
+		LastFsyncAgoMS: time.Since(d.LastFsync).Milliseconds(),
+		Fsyncs:         d.Fsyncs,
+		WALBytes:       d.WALBytes,
+		Segments:       d.Segments,
+		SegmentSeq:     d.SegmentSeq,
+		Checkpoints:    d.Checkpoints,
+		Error:          d.Err,
+	}
+}
+
+// CheckpointResponse is the body of a successful POST /checkpoint.
+type CheckpointResponse struct {
+	// Durability is the engine's state after the checkpoint.
+	Durability *DurabilityStats `json:"durability"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	// Asserted, Inferred and Total are the materialized view's triple
@@ -131,6 +184,9 @@ type StatsResponse struct {
 	Engine EngineStats `json:"engine"`
 	// Cache is the query-result cache's counters.
 	Cache CacheStats `json:"cache"`
+	// Durability is the durable engine's state; absent on servers running
+	// purely in memory.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 	// Queries and Mutations count requests served since start.
 	Queries   int64 `json:"queries"`
 	Mutations int64 `json:"mutations"`
@@ -483,6 +539,14 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		}
 		added, err := s.reasoner.AddBatch(batch)
 		if err != nil {
+			if errors.Is(err, store.ErrJournal) {
+				// The batch WAS applied in memory but its journal commit
+				// failed: the client must not retry (the triples are visible)
+				// and must not trust the write (it may not survive a crash).
+				// That is a server-side durability fault, not a bad request.
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
 			// AddBatch validation is all-or-nothing: nothing was applied.
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -508,6 +572,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.reasoner.Stats()
 	asserted := s.reasoner.Base().Len()
 	inferred := s.reasoner.InferredCount()
+	var dur *DurabilityStats
+	if s.cfg.Durable != nil {
+		dur = durabilityStats(s.cfg.Durable)
+	}
 	writeJSON(w, StatsResponse{
 		Asserted: asserted,
 		Inferred: inferred,
@@ -518,11 +586,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Overdeleted: es.Overdeleted,
 			Rederived:   es.Rederived,
 		},
-		Cache:     s.cache.stats(),
-		Queries:   s.queries.Load(),
-		Mutations: s.mutations.Load(),
-		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Cache:      s.cache.stats(),
+		Durability: dur,
+		Queries:    s.queries.Load(),
+		Mutations:  s.mutations.Load(),
+		UptimeMS:   time.Since(s.start).Milliseconds(),
 	})
+}
+
+// handleCheckpoint is POST /checkpoint: compact the write-ahead log into a
+// segment right now, instead of waiting for the byte-budget trigger —
+// operators call it before backups or planned restarts to minimize replay.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.Durable == nil {
+		writeError(w, http.StatusConflict, "this server runs purely in memory (no -data-dir); there is no log to checkpoint")
+		return
+	}
+	if err := s.cfg.Durable.Checkpoint(); err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		return
+	}
+	writeJSON(w, CheckpointResponse{Durability: durabilityStats(s.cfg.Durable)})
 }
 
 // handleHealthz is GET /healthz.

@@ -6,11 +6,12 @@
 //
 // The endpoints are
 //
-//	POST /query    — evaluate a BGP (query.ParseBGP text), stream solutions
-//	POST /triples  — batched add/remove mutations, incrementally re-materialized
-//	GET  /stats    — store, engine, cache and traffic counters
-//	GET  /healthz  — liveness probe
-//	GET  /snapshot — stream the materialized view as JSON lines
+//	POST /query      — evaluate a BGP (query.ParseBGP text), stream solutions
+//	POST /triples    — batched add/remove mutations, incrementally re-materialized
+//	GET  /stats      — store, engine, cache, durability and traffic counters
+//	GET  /healthz    — liveness probe
+//	GET  /snapshot   — stream the materialized view as JSON lines
+//	POST /checkpoint — compact the write-ahead log into a segment (durable servers)
 //
 // Query results are memoized in a sharded cache keyed on the canonicalized
 // BGP (query.Canonical) plus evaluation mode and limit, and invalidated at
@@ -36,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/reason"
 	"repro/internal/store"
 )
@@ -54,6 +56,13 @@ type Config struct {
 	// index for query-time subsumption expansion. Materialized queries do
 	// not need it.
 	Ontology *store.OntologyIndex
+	// Durable, when set, is the durability engine journaling Base (it must
+	// already be attached via durable.Open before New is called). The server
+	// reports its state in GET /stats, triggers checkpoints on POST
+	// /checkpoint, and maps journal-commit failures on the mutation path to
+	// server-side errors. The server does not own the engine: the caller
+	// opens it before assembling the Config and closes it after shutdown.
+	Durable *durable.Engine
 	// QueryTimeout bounds one /query evaluation; past it the join is
 	// interrupted and the response trailer carries the error. Default 5s.
 	QueryTimeout time.Duration
@@ -157,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	return s, nil
 }
 

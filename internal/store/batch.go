@@ -15,6 +15,11 @@ import "fmt"
 // once per family pass instead of once per triple. See the package
 // documentation for what concurrent readers may observe while a batch is in
 // flight.
+//
+// With a journal attached (SetJournal) the batch is acknowledged durable
+// before returning: the freshly inserted triples are journaled and the call
+// blocks in JournalCommit. A commit failure is returned wrapping ErrJournal —
+// the batch is applied in memory but not durable.
 func (s *Store) AddBatch(ts []Triple) (int, error) {
 	for i, t := range ts {
 		if !t.valid() {
@@ -25,7 +30,21 @@ func (s *Store) AddBatch(ts []Triple) (int, error) {
 		return 0, nil
 	}
 	enc := s.syms.internBatch(ts, make([]encTriple, 0, len(ts)))
+	fresh := s.insertBatch(enc)
+	if s.journal != nil && len(fresh) > 0 {
+		s.journal.JournalAdd(freshIDs(fresh))
+		if err := s.journalCommit(); err != nil {
+			return len(fresh), err
+		}
+	}
+	return len(fresh), nil
+}
 
+// insertBatch applies an encoded batch to the three index families and the
+// size counter, returning the triples that were actually absent (the batch's
+// fresh subset, reusing enc's storage). It is the shared body of AddBatch and
+// AddIDBatch.
+func (s *Store) insertBatch(enc []encTriple) []encTriple {
 	// Pass 1 — SPO, the arbiter of newness: group the batch by subject
 	// shard, lock each shard once, and keep only the triples that were
 	// actually absent.
@@ -90,5 +109,5 @@ func (s *Store) AddBatch(ts []Triple) (int, error) {
 	}
 
 	s.size.Add(int64(len(fresh)))
-	return len(fresh), nil
+	return fresh
 }

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the store's durability hook: a Journal interface the mutation
+// path reports to, at dictionary-id level, so a write-ahead log (package
+// repro/internal/durable) can make every acknowledged mutation replayable
+// without the store knowing anything about files, fsync or record formats.
+//
+// The contract between the store and a journal is ordering: dictionary-growth
+// notifications are emitted under the symbol-table lock, in id order, so a
+// journal that appends them to a log in call order is guaranteed that every
+// id is defined before any triple notification references it. Triple
+// notifications for concurrent batches may interleave in any order — adds
+// commute under set semantics — but a racing Add and Remove of the same
+// triple may be journaled in either order (the store documents that race as
+// unspecified; callers that need a deterministic log, like the serving
+// stack's reasoner, already serialize mutations behind one lock).
+
+// ErrJournal marks a mutation that was applied to the in-memory indexes but
+// whose journal commit failed: the triples are visible to readers of this
+// process yet are not guaranteed durable. Callers that promise durability
+// (the HTTP serving layer) should report such errors as server-side failures,
+// not client errors.
+var ErrJournal = errors.New("journal commit failed")
+
+// Journal receives the store's mutation stream at dictionary-id level. A
+// journal is attached with SetJournal; afterwards every mutating method
+// reports what it changed and blocks in JournalCommit until the journal calls
+// the change durable. Implementations must be safe for concurrent use — the
+// store calls them from every writing goroutine — and may retain the slices
+// they are handed (the store never mutates them afterwards).
+type Journal interface {
+	// JournalDict reports freshly minted dictionary ids: names[i] was
+	// assigned id first+i. It is called under the symbol-table lock, so
+	// calls arrive in ascending id order and before any JournalAdd or
+	// JournalRemove that references the new ids; it must be fast and must
+	// not call back into the store.
+	JournalDict(first SymbolID, names []string)
+	// JournalAdd reports triples newly inserted by one mutation (duplicates
+	// already present are excluded). Every component id has been reported by
+	// an earlier JournalDict call or belongs to the dictionary state the
+	// journal was opened over.
+	JournalAdd(batch []IDTriple)
+	// JournalRemove reports one removed triple.
+	JournalRemove(t IDTriple)
+	// JournalCommit blocks until every change this goroutine journaled so
+	// far is durable, and returns the journal's sticky error if durability
+	// has failed. The store calls it once per acknowledged mutation, after
+	// the in-memory apply, so group-committing journals see concurrent
+	// mutations pile up and can amortize one fsync across all of them.
+	JournalCommit() error
+}
+
+// SetJournal attaches a journal to the store's mutation path, or detaches it
+// with nil. The journal observes dictionary growth for every store sharing
+// this store's symbol table (overlays included — their ids must be defined
+// too), and triple changes for this store only, which is what lets a serving
+// stack journal the asserted base while the reasoner's derived overlay stays
+// ephemeral.
+//
+// Attach the journal before the store is shared across goroutines: the field
+// is read without synchronization on the hot mutation path, exactly like the
+// store's other construction-time configuration. Once attached, a mutation
+// returns only after JournalCommit; if the commit fails the mutation is still
+// applied in memory and the error (wrapping ErrJournal where the signature
+// allows) tells the caller durability is gone. Remove and RemoveID have no
+// error return; their commit failures are only visible through the journal's
+// own sticky-error reporting, so durability monitors must watch the journal,
+// not the store.
+func (s *Store) SetJournal(j Journal) {
+	s.journal = j
+	s.syms.setJournal(j)
+}
+
+// DictLen returns the number of names interned in the store's dictionary —
+// the exclusive upper bound of every minted SymbolID. A checkpointer pairs it
+// with NewResolver to dump the id→name mapping: every id below DictLen
+// resolves, and ids minted later refer to names the dump does not need.
+func (s *Store) DictLen() int {
+	return len(s.syms.snapshot())
+}
+
+// journalCommit runs the attached journal's commit, wrapping failures in
+// ErrJournal. It is a no-op without a journal.
+func (s *Store) journalCommit() error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.JournalCommit(); err != nil {
+		return fmt.Errorf("store: mutation applied in memory but not durable: %w: %w", ErrJournal, err)
+	}
+	return nil
+}
+
+// AddIDBatch inserts a batch of dictionary-encoded triples, returning how
+// many were newly inserted — the id-level twin of AddBatch, used by recovery
+// to bulk-load segment runs and replayed log records without resolving a
+// single string. Validation is all-or-nothing exactly as AddBatch: every
+// component id must have been minted by the store's dictionary, and if any
+// was not, an error identifying the first offending triple is returned and
+// nothing is inserted. Like AddBatch it visits each index shard at most once
+// per family pass, and shares its in-flight visibility caveats.
+func (s *Store) AddIDBatch(ts []IDTriple) (int, error) {
+	n := SymbolID(s.DictLen())
+	for i, t := range ts {
+		if t.S >= n || t.P >= n || t.O >= n {
+			return 0, fmt.Errorf("store: batch id triple %d %v has an id the dictionary never minted; batch not inserted", i, t)
+		}
+	}
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	enc := make([]encTriple, 0, len(ts))
+	for _, t := range ts {
+		enc = append(enc, encTriple{t.S, t.P, t.O})
+	}
+	fresh := s.insertBatch(enc)
+	if s.journal != nil && len(fresh) > 0 {
+		s.journal.JournalAdd(freshIDs(fresh))
+		if err := s.journalCommit(); err != nil {
+			return len(fresh), err
+		}
+	}
+	return len(fresh), nil
+}
+
+// freshIDs converts the batch path's encoded triples to the exported id form
+// the journal receives.
+func freshIDs(fresh []encTriple) []IDTriple {
+	out := make([]IDTriple, len(fresh))
+	for i, e := range fresh {
+		out[i] = IDTriple{S: e.s, P: e.p, O: e.o}
+	}
+	return out
+}

@@ -37,11 +37,25 @@ const restoreChunk = 4096
 
 // Restore reads a snapshot produced by Snapshot and adds every triple to the
 // store (existing triples are kept; duplicates are ignored). It returns the
-// number of triples added. A malformed or invalid entry aborts the restore
-// with an error identifying the entry number; valid triples read before the
-// error remain in the store. Ingest goes through the batch path in chunks, so
-// restoring a large snapshot locks each index shard a handful of times
-// instead of three times per triple.
+// number of triples added.
+//
+// Partial-commit contract: a malformed or invalid entry aborts the restore
+// with an error identifying the entry number, and the valid triples read
+// before the error REMAIN in the store — Restore streams through the batch
+// path and is deliberately not transactional, so a multi-gigabyte snapshot
+// never has to be buffered twice. Callers that must not observe (or serve,
+// or journal) a partially restored corpus restore into a scratch store
+// first and move the triples over only on success, as cmd/ontoserve does:
+//
+//	scratch := store.New()
+//	if _, err := store.Restore(scratch, r); err != nil {
+//	    return err // nothing reached the real store
+//	}
+//	_, err := s.AddBatch(scratch.Triples())
+//
+// Ingest goes through the batch path in chunks, so restoring a large
+// snapshot locks each index shard a handful of times instead of three times
+// per triple.
 func Restore(s *Store, r io.Reader) (int, error) {
 	dec := json.NewDecoder(r)
 	added := 0

@@ -105,6 +105,10 @@ type Store struct {
 	spo  indexFamily // sharded by subject
 	pos  indexFamily // sharded by predicate
 	osp  indexFamily // sharded by object
+	// journal, when non-nil, receives this store's triple mutations and
+	// gates their acknowledgment on durability; see SetJournal. Overlays
+	// never inherit it.
+	journal Journal
 }
 
 // New returns an empty store.
@@ -113,7 +117,9 @@ func New() *Store {
 }
 
 // Add inserts a triple, reporting whether it was newly inserted. Triples with
-// an empty component are rejected with an error.
+// an empty component are rejected with an error. With a journal attached, a
+// newly inserted triple is journaled and committed before returning; a commit
+// failure is returned wrapping ErrJournal (the triple is applied in memory).
 func (s *Store) Add(t Triple) (bool, error) {
 	if !t.valid() {
 		return false, fmt.Errorf("store: triple %v has an empty component", t)
@@ -128,6 +134,12 @@ func (s *Store) Add(t Triple) (bool, error) {
 	l.unlock()
 	if added {
 		s.size.Add(1)
+		if s.journal != nil {
+			s.journal.JournalAdd([]IDTriple{{S: e.s, P: e.p, O: e.o}})
+			if err := s.journalCommit(); err != nil {
+				return true, err
+			}
+		}
 	}
 	return added, nil
 }
@@ -148,7 +160,11 @@ func (s *Store) AddAll(ts ...Triple) (int, error) {
 	return s.AddBatch(ts)
 }
 
-// Remove deletes a triple, reporting whether it was present.
+// Remove deletes a triple, reporting whether it was present. With a journal
+// attached the removal is journaled and committed before returning; the
+// signature has no error slot, so a failed commit is only observable through
+// the journal's own sticky-error reporting (the removal stays applied in
+// memory either way).
 func (s *Store) Remove(t Triple) bool {
 	e, ok := s.syms.lookupTriple(t)
 	if !ok {
@@ -163,6 +179,10 @@ func (s *Store) Remove(t Triple) bool {
 	l.unlock()
 	if removed {
 		s.size.Add(-1)
+		if s.journal != nil {
+			s.journal.JournalRemove(IDTriple{S: e.s, P: e.p, O: e.o})
+			_ = s.journalCommit() // sticky in the journal; no error slot here
+		}
 	}
 	return removed
 }

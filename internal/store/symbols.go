@@ -12,10 +12,33 @@ type symtab struct {
 	mu    sync.RWMutex
 	ids   map[string]uint32
 	names []string
+	// journal, when non-nil, is told about freshly minted ids before the
+	// interning lock is released, so dictionary-growth records reach the log
+	// in id order ahead of any triple record that references them. The
+	// symbol table is shared by overlays, so the hook covers every store of
+	// a dictionary-sharing family.
+	journal Journal
 }
 
 func newSymtab() *symtab {
 	return &symtab{ids: make(map[string]uint32)}
+}
+
+// setJournal installs (or clears) the dictionary-growth hook.
+func (st *symtab) setJournal(j Journal) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.journal = j
+}
+
+// journalGrowthLocked reports the names minted since the dictionary held
+// before entries to the journal. Callers hold st.mu for writing; running
+// under the lock is what orders dictionary records ahead of every triple
+// record that uses the new ids.
+func (st *symtab) journalGrowthLocked(before int) {
+	if st.journal != nil && len(st.names) > before {
+		st.journal.JournalDict(SymbolID(before), st.names[before:]) //ontolint:ignore lockcheck the journal only appends to its own buffer (its lock nests strictly inside the dictionary lock, never the reverse) and the under-lock call is what keeps dictionary records ordered before the triple records that use the new ids
+	}
 }
 
 // internTriple interns all three components under a single lock round trip.
@@ -30,7 +53,10 @@ func (st *symtab) internTriple(t Triple) encTriple {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return encTriple{st.internLocked(t.Subject), st.internLocked(t.Predicate), st.internLocked(t.Object)}
+	before := len(st.names)
+	e := encTriple{st.internLocked(t.Subject), st.internLocked(t.Predicate), st.internLocked(t.Object)}
+	st.journalGrowthLocked(before)
+	return e
 }
 
 // internBatch interns every component of ts under one write lock, appending
@@ -39,6 +65,7 @@ func (st *symtab) internTriple(t Triple) encTriple {
 func (st *symtab) internBatch(ts []Triple, enc []encTriple) []encTriple {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	before := len(st.names)
 	for _, t := range ts {
 		enc = append(enc, encTriple{
 			st.internLocked(t.Subject),
@@ -46,6 +73,7 @@ func (st *symtab) internBatch(ts []Triple, enc []encTriple) []encTriple {
 			st.internLocked(t.Object),
 		})
 	}
+	st.journalGrowthLocked(before)
 	return enc
 }
 

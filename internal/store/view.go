@@ -68,7 +68,10 @@ func (s *Store) Intern(name string) (SymbolID, error) {
 	}
 	s.syms.mu.Lock()
 	defer s.syms.mu.Unlock()
-	return s.syms.internLocked(name), nil
+	before := len(s.syms.names)
+	id := s.syms.internLocked(name)
+	s.syms.journalGrowthLocked(before)
+	return id, nil
 }
 
 // ContainsID reports whether the id triple is present. It is the id-level
@@ -107,6 +110,12 @@ func (s *Store) AddID(t IDTriple) (bool, error) {
 	l.unlock()
 	if added {
 		s.size.Add(1)
+		if s.journal != nil {
+			s.journal.JournalAdd([]IDTriple{t})
+			if err := s.journalCommit(); err != nil {
+				return true, err
+			}
+		}
 	}
 	return added, nil
 }
@@ -128,6 +137,10 @@ func (s *Store) RemoveID(t IDTriple) bool {
 	l.unlock()
 	if removed {
 		s.size.Add(-1)
+		if s.journal != nil {
+			s.journal.JournalRemove(t)
+			_ = s.journalCommit() // sticky in the journal; no error slot here
+		}
 	}
 	return removed
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockcheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "a", "wal")
 }

@@ -1,0 +1,116 @@
+// Package wal is the lockcheck fixture for the group-commit mutex
+// discipline of repro/internal/durable: one mutex guards the staging
+// buffer, a claim flag hands the file to exactly one goroutine, and the
+// claim holder drops the mutex around file I/O. The clean functions mirror
+// the real writer; the seeded violations are the mistakes the discipline
+// forbids, and the suppressed sites pin the two //ontolint:ignore directives
+// the real package carries.
+package wal
+
+import "sync"
+
+// Writer is the fixture's group-commit log writer, exported so calls to its
+// methods exercise the exported-call-under-lock rule.
+type Writer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	syncing bool // claim flag: the holder owns the file until it clears it
+	buf     []byte
+	seq     uint64
+	durable uint64
+}
+
+// Append stages a record under the lock and never touches the file — the
+// appender side of the protocol is syscall-free by construction.
+func (w *Writer) Append(p []byte) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	w.seq++
+	return w.seq
+}
+
+// Sync is the clean group-commit wait loop: whichever branch an iteration
+// takes — wait for the current claim holder or become it — the lock state
+// at iteration end matches loop entry.
+func (w *Writer) Sync(target uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.durable < target {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.drainLocked()
+	}
+}
+
+// drainLocked is the claim-holder protocol: entered with w.mu held, it
+// releases the mutex around the (simulated) file I/O — legal because the
+// syncing flag keeps every other goroutine off the file — and reacquires it
+// before returning to the caller, who still owns the release. The
+// reacquisition is unbalanced within this function by design, exactly like
+// the real writer's, so it carries the real suppression.
+func (w *Writer) drainLocked() {
+	buf := w.buf
+	w.buf = nil
+	w.mu.Unlock()
+	writeFile(buf)
+	w.mu.Lock() //ontolint:ignore lockcheck fixture: reacquisition after the unlocked I/O window; the caller entered with the lock held and releases it
+	w.syncing = false
+	w.durable = w.seq
+	w.cond.Broadcast()
+}
+
+// checkpointOrdered mirrors Engine.Checkpoint's fixed one-way lock order:
+// ck is always taken before w.mu, and w.mu critical sections never take ck.
+func (w *Writer) checkpointOrdered(ck *sync.Mutex) uint64 {
+	ck.Lock()
+	defer ck.Unlock()
+	w.mu.Lock() //ontolint:ignore lockcheck fixture: fixed one-way order (checkpoint mutex before writer mutex) cannot deadlock
+	seq := w.seq
+	w.mu.Unlock()
+	return seq
+}
+
+// checkpointUnordered takes the two mutexes in the opposite order with no
+// documented discipline — the deadlock-prone shape the rule exists for.
+func (w *Writer) checkpointUnordered(ck *sync.Mutex) {
+	w.mu.Lock()
+	ck.Lock() // want "nested mutex acquisition"
+	ck.Unlock()
+	w.mu.Unlock()
+}
+
+// commitLeaky forgets the unlock on the sticky-error early return.
+func (w *Writer) commitLeaky(target uint64) bool {
+	w.mu.Lock() // want "not released on every path"
+	if w.seq < target {
+		return false
+	}
+	w.mu.Unlock()
+	return true
+}
+
+// syncUnderLock re-enters the writer's public self-locking surface from
+// under its own lock.
+func (w *Writer) syncUnderLock() {
+	w.mu.Lock()
+	w.Sync(w.seq) // want "call to exported method Writer.Sync"
+	w.mu.Unlock()
+}
+
+// pollImbalanced acquires inside the wait loop without releasing, so every
+// iteration compounds the imbalance.
+func (w *Writer) pollImbalanced(target uint64) {
+	for w.durable < target { // want "lock state changes across a loop iteration"
+		w.mu.Lock()
+	}
+}
+
+// writeFile stands in for the file syscalls the claim holder performs with
+// the mutex dropped.
+func writeFile(p []byte) {
+	_ = p
+}
