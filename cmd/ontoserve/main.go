@@ -22,13 +22,17 @@
 //
 // -data-dir makes the asserted store durable (repro/internal/durable): on
 // boot the server recovers the directory's checkpoint segment and
-// write-ahead log, then loads the flag-named corpora through the journaled
-// store — an idempotent re-assertion, since triples already recovered are
-// duplicates the batch path skips — and every POST /triples mutation is
-// group-committed to the log before it is acknowledged. -fsync picks the
-// durability/latency trade (always, batch, off), -fsync-interval the batch
-// cadence, and -checkpoint-mib how much log growth triggers compaction into
-// a fresh segment; POST /checkpoint forces one.
+// write-ahead log, and every POST /triples mutation is group-committed to
+// the log before it is acknowledged. The flag-named corpora seed the store
+// ONLY when recovery finds a pristine directory; once the directory holds
+// state, the log is the single source of truth and the corpus flags merely
+// configure the ontology index and rules (re-asserting the corpus on every
+// boot would resurrect corpus triples a client had durably removed). Point
+// -data-dir at a fresh directory to reseed — including after a boot that
+// crashed mid-seed, which leaves the directory partially seeded. -fsync
+// picks the durability/latency trade (always, batch, off), -fsync-interval
+// the batch cadence, and -checkpoint-mib how much log growth triggers
+// compaction into a fresh segment; POST /checkpoint forces one.
 //
 // A corpus snapshot that fails to parse refuses to serve at all — corpora
 // are staged through a scratch store and asserted only on a clean restore,
@@ -130,12 +134,25 @@ func run(args []string, stderr io.Writer) int {
 			base.Len(), *dataDir, eng.LastSeq(), policy)
 	}
 
-	cfg, err := buildConfig(base, *paper, *annotations, *file, *rulesFile)
+	// Corpus flags seed the store only when the data directory is pristine
+	// (or there is no data directory at all). Once the directory holds
+	// state, the log is the single source of truth: re-asserting the corpus
+	// on every boot would resurrect corpus triples a client durably removed
+	// through POST /triples.
+	seed := eng == nil || eng.LastSeq() == 0
+	if !seed {
+		logger.Printf("data directory already holds state; corpus flags configure the ontology and rules but seed no triples (wipe %s to reseed)", *dataDir)
+	}
+	cfg, err := buildConfig(base, seed, *paper, *annotations, *file, *rulesFile)
 	if err != nil {
 		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
 		return 1
 	}
-	cfg.Durable = eng
+	if eng != nil {
+		// Assigning a nil *durable.Engine would make the interface non-nil
+		// and crash the durability handlers.
+		cfg.Durable = eng
+	}
 	cfg.QueryTimeout = *timeout
 	cfg.MaxSolutions = *maxSolutions
 	cfg.CacheMaxBytes = int64(*cacheMiB) << 20
@@ -175,29 +192,33 @@ func run(args []string, stderr io.Writer) int {
 	return 0
 }
 
-// buildConfig loads the flag-named corpora into base (which may already
-// hold recovered triples and carry a journal): the paper example or a
-// snapshot file, the TBox's hierarchy asserted as subClassOf triples, and
-// the rule set. Loading is idempotent over a recovered store — triples
-// already present are duplicates the batch path skips.
-func buildConfig(base *store.Store, paper bool, annotations, tboxFile, rulesFile string) (server.Config, error) {
+// buildConfig assembles the server config around base. With seed true the
+// flag-named corpora are asserted into base (which may carry a journal —
+// assertion then flows through the log like any other write): the paper
+// example or a snapshot file, plus the TBox's hierarchy as subClassOf
+// triples. With seed false — the directory was recovered, its log is the
+// single source of truth — no triple is asserted; the corpus flags only
+// supply the ontology index and rule set the serving stack still needs.
+func buildConfig(base *store.Store, seed, paper bool, annotations, tboxFile, rulesFile string) (server.Config, error) {
 	var cfg server.Config
 
 	if paper {
 		input := core.PaperInput()
-		if _, err := base.AddBatch(input.Annotations.Triples()); err != nil {
-			return cfg, err
-		}
 		oi, err := store.NewOntologyIndex(input.TBox)
 		if err != nil {
 			return cfg, fmt.Errorf("classifying the paper TBox: %w", err)
 		}
-		if _, err := base.AddBatch(reason.OntologyTriples(oi)); err != nil {
-			return cfg, err
+		if seed {
+			if _, err := base.AddBatch(input.Annotations.Triples()); err != nil {
+				return cfg, err
+			}
+			if _, err := base.AddBatch(reason.OntologyTriples(oi)); err != nil {
+				return cfg, err
+			}
 		}
 		cfg.Ontology = oi
 	}
-	if annotations != "" {
+	if annotations != "" && seed {
 		f, err := os.Open(annotations)
 		if err != nil {
 			return cfg, err
@@ -234,8 +255,10 @@ func buildConfig(base *store.Store, paper bool, annotations, tboxFile, rulesFile
 		if err != nil {
 			return cfg, fmt.Errorf("classifying %s: %w", tboxFile, err)
 		}
-		if _, err := base.AddBatch(reason.OntologyTriples(oi)); err != nil {
-			return cfg, err
+		if seed {
+			if _, err := base.AddBatch(reason.OntologyTriples(oi)); err != nil {
+				return cfg, err
+			}
 		}
 		cfg.Ontology = oi
 	}

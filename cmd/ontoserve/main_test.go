@@ -25,7 +25,7 @@ this line is not JSON
 		t.Fatal(err)
 	}
 	base := store.New()
-	_, err := buildConfig(base, false, path, "", "")
+	_, err := buildConfig(base, true, false, path, "", "")
 	if err == nil {
 		t.Fatal("buildConfig served a snapshot with a malformed tail")
 	}
@@ -38,9 +38,11 @@ this line is not JSON
 }
 
 // TestDurableBootSequence mirrors run()'s boot order — open the engine over
-// the base store, then load the corpus through the journal — and restarts
-// it: recovery must reproduce the store, and re-loading the same corpus over
-// the recovered state must be a no-op re-assertion.
+// the base store, seed the corpus through the journal on the first boot, and
+// restart: recovery must reproduce the store, the second boot must NOT
+// re-assert the corpus (the log is the single source of truth once the
+// directory holds state — re-seeding would resurrect durably removed corpus
+// triples), and the corpus flags must still configure the ontology index.
 func TestDurableBootSequence(t *testing.T) {
 	dataDir := t.TempDir()
 
@@ -49,43 +51,60 @@ func TestDurableBootSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := buildConfig(base, true, "", "", "")
+	cfg, err := buildConfig(base, eng.LastSeq() == 0, true, "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Base != base {
 		t.Fatal("buildConfig must serve the caller's (journaled) store")
 	}
+	if cfg.Ontology == nil {
+		t.Fatal("seeding boot built no ontology index")
+	}
 	loaded := base.Len()
 	if loaded == 0 {
 		t.Fatal("paper corpus loaded nothing")
 	}
-	seqAfterLoad := eng.LastSeq()
-	if seqAfterLoad == 0 {
+	if eng.LastSeq() == 0 {
 		t.Fatal("corpus load journaled nothing; the boot order is wrong")
 	}
+	// A client durably removes one corpus triple; the restart below must not
+	// bring it back.
+	removed := base.Triples()[0]
+	if !base.Remove(removed) {
+		t.Fatalf("Remove(%v) found nothing", removed)
+	}
+	seqBeforeRestart := eng.LastSeq()
 	if err := eng.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Restart: recover, then re-load the same corpus.
+	// Restart: recover, then rebuild the config exactly as run() does — with
+	// seeding off, because the directory holds state.
 	base2 := store.New()
 	eng2, err := durable.Open(base2, durable.Options{Dir: dataDir, Fsync: durable.FsyncOff})
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
 	defer eng2.Close()
-	if base2.Len() != loaded {
-		t.Fatalf("recovered %d triples, served %d before restart", base2.Len(), loaded)
+	if base2.Len() != loaded-1 {
+		t.Fatalf("recovered %d triples, served %d before restart", base2.Len(), loaded-1)
 	}
-	if _, err := buildConfig(base2, true, "", "", ""); err != nil {
+	cfg2, err := buildConfig(base2, eng2.LastSeq() == 0, true, "", "", "")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if base2.Len() != loaded {
-		t.Fatalf("re-loading the corpus over the recovered store changed it: %d -> %d triples", loaded, base2.Len())
+	if cfg2.Ontology == nil {
+		t.Fatal("non-seeding boot must still build the ontology index")
 	}
-	if got := eng2.LastSeq(); got != seqAfterLoad {
-		t.Fatalf("idempotent re-load appended log records: seq %d -> %d", seqAfterLoad, got)
+	if base2.Contains(removed) {
+		t.Fatalf("restart resurrected the durably removed triple %v", removed)
+	}
+	if base2.Len() != loaded-1 {
+		t.Fatalf("non-seeding boot changed the recovered store: %d -> %d triples", loaded-1, base2.Len())
+	}
+	if got := eng2.LastSeq(); got != seqBeforeRestart {
+		t.Fatalf("non-seeding boot appended log records: seq %d -> %d", seqBeforeRestart, got)
 	}
 }
 

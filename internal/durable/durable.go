@@ -199,6 +199,14 @@ func Open(st *store.Store, opts Options) (*Engine, error) {
 // the seq recovery replayed through.
 func (e *Engine) LastSeq() uint64 { return e.w.currentSeq() }
 
+// Err returns the engine's sticky log error — nil while every commit has
+// succeeded. Once non-nil it never clears: the log cannot vouch for its tail,
+// so every later commit fails too and the process needs a restart (and
+// recovery) to trust its data again. Callers that acknowledge mutations
+// through paths without an error slot (store.Store.Remove) check it after the
+// fact, so a lost write is reported as a failure rather than as durable.
+func (e *Engine) Err() error { return e.w.stickyErr() }
+
 // JournalDict implements store.Journal. Called under the store's
 // symbol-table lock; it only stages bytes (see walWriter.appendDict).
 func (e *Engine) JournalDict(first store.SymbolID, names []string) {
@@ -344,17 +352,27 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// Close detaches the engine from the store, stops the background goroutine,
-// and flushes and fsyncs the log tail — a cleanly closed engine never loses
-// an acknowledged mutation, whatever the fsync policy. The store remains
-// usable in memory afterwards, but new mutations are no longer journaled.
+// Close stops the background goroutine, flushes and fsyncs the log tail,
+// closes it, and detaches the engine from the store — a cleanly closed
+// engine never loses an acknowledged mutation, whatever the fsync policy.
+// The store remains usable in memory afterwards, but new mutations are no
+// longer journaled.
+//
+// Closing while mutations are in flight is not a data race (the store reads
+// its journal atomically, once per mutation), and the log is closed BEFORE
+// the journal detaches, so a mutation racing Close either has its records
+// flushed by the final drain and commits clean, or finds the log closed and
+// gets ErrJournal from its commit. Only a mutation starting after the
+// detach — indistinguishable from one starting after Close returned — is
+// applied in memory without journaling. Drain mutators first (as
+// ontoserve's graceful shutdown does) for a crisp durability boundary.
 func (e *Engine) Close() error {
 	var err error
 	e.once.Do(func() {
-		e.st.SetJournal(nil)
 		close(e.done)
 		e.wg.Wait()
 		err = e.w.close()
+		e.st.SetJournal(nil)
 	})
 	return err
 }

@@ -1,11 +1,15 @@
 package durable
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -250,6 +254,215 @@ func TestGroupCommitConcurrent(t *testing.T) {
 	}
 }
 
+// TestCloseDuringMutations races Close against live mutators (run it under
+// -race): the journal detach is an atomic pointer swap, so closing mid-flight
+// is not a data race. The durability contract it pins: an Add that completed
+// with a nil error BEFORE Close began must survive recovery — its journal
+// commit succeeded while the log was open, and Close's final drain fsyncs
+// everything written. Mutations overlapping Close itself may instead get
+// ErrJournal (the log closed under them) or, if they start after the
+// detach, apply in memory only — both legal, so the test records a triple
+// as must-survive only when the closing flag is still down AFTER its Add
+// returns, proving the whole mutation preceded Close.
+func TestCloseDuringMutations(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff})
+
+	var mu sync.Mutex
+	committed := map[store.Triple]bool{}
+	var closing atomic.Bool
+	var wg, warm sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		warm.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				tr := store.Triple{
+					Subject:   fmt.Sprintf("close-s%d", w),
+					Predicate: "p",
+					Object:    fmt.Sprintf("o%d", i),
+				}
+				added, err := st.Add(tr)
+				if err == nil && added && !closing.Load() {
+					mu.Lock()
+					committed[tr] = true
+					mu.Unlock()
+				} // ErrJournal, or a nil-error Add racing Close, is legal
+				if i == 49 {
+					warm.Done() // enough pre-Close commits to make recovery meaningful
+				}
+			}
+		}(w)
+	}
+	close(start)
+	warm.Wait()
+	closing.Store(true)
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close during mutations: %v", err)
+	}
+	wg.Wait()
+
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff})
+	defer eng2.Close()
+	for tr := range committed {
+		if !st2.Contains(tr) {
+			t.Fatalf("recovery lost %v, whose Add completed before Close began", tr)
+		}
+	}
+}
+
+// TestWALChunksOversizedMutations shrinks the writer's payload cap and
+// pushes one batch (and its dictionary growth) far past it: every frame on
+// disk must stay under the cap, and recovery over the chunked log must
+// reproduce the store byte-exactly. This is the write-side half of the
+// maxFramePayload contract — a mutation of any size journals as records
+// replay can always read back.
+func TestWALChunksOversizedMutations(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1})
+	const cap = 256
+	eng.w.maxPayload = cap // before any mutation; the writer is idle
+
+	var batch []store.Triple
+	for i := 0; i < 400; i++ {
+		batch = append(batch, testTriple(i))
+	}
+	if _, err := st.AddBatch(batch); err != nil {
+		t.Fatalf("AddBatch over the shrunken cap: %v", err)
+	}
+	want := snapshotString(t, st)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, walFileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, prevSeq := 0, uint64(0)
+	for off := 0; off < len(data); {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			t.Fatalf("chunked log has a bad frame at offset %d", off)
+		}
+		if len(payload) > cap {
+			t.Fatalf("frame at offset %d carries %d bytes, beyond the %d-byte cap the writer promised", off, len(payload), cap)
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatalf("frame at offset %d: %v", off, err)
+		}
+		if r.seq != prevSeq+1 {
+			t.Fatalf("chunking broke the seq chain: record at offset %d has seq %d, want %d", off, r.seq, prevSeq+1)
+		}
+		prevSeq = r.seq
+		frames++
+		off = next
+	}
+	if frames < 3 {
+		t.Fatalf("a 400-triple batch under a %d-byte cap produced only %d frames; chunking did not happen", cap, frames)
+	}
+
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff})
+	defer eng2.Close()
+	if got := snapshotString(t, st2); got != want {
+		t.Fatal("recovery over the chunked log lost triples")
+	}
+}
+
+// TestOversizedDictNameKillsLog covers the one mutation chunking cannot
+// split: a single dictionary name bigger than a whole frame. The log must
+// go sticky-dead — the commit fails with ErrJournal and Err reports it —
+// rather than write a frame recovery would reject (or silently drop a
+// record and desynchronize id assignment).
+func TestOversizedDictNameKillsLog(t *testing.T) {
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: t.TempDir(), Fsync: FsyncOff})
+	defer eng.Close()
+	eng.w.maxPayload = 64
+
+	_, err := st.Add(store.Triple{Subject: strings.Repeat("x", 100), Predicate: "p", Object: "o"})
+	if err == nil {
+		t.Fatal("Add with an un-journalable name was acknowledged durable")
+	}
+	if !errors.Is(err, store.ErrJournal) {
+		t.Fatalf("Add error %v does not wrap ErrJournal", err)
+	}
+	if eng.Err() == nil {
+		t.Fatal("Err() is nil after the log went dead")
+	}
+	// Sticky: a later, perfectly journalable mutation must fail too.
+	if _, err := st.Add(testTriple(1)); err == nil {
+		t.Fatal("a later Add committed on a dead log")
+	}
+}
+
+// TestOverCapSealedFrameIsAnError crafts a log whose (only, therefore last)
+// file opens with a frame claiming a payload beyond maxFramePayload.
+// Pre-fix recovery treated it as a torn tail and TRUNCATED — silently
+// discarding everything in the file; it must instead refuse with a
+// corruption error, because the writer chunks every record below the cap
+// and can never have produced such a frame.
+func TestOverCapSealedFrameIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	frame := make([]byte, 64)
+	binary.LittleEndian.PutUint32(frame, maxFramePayload+1)
+	path := filepath.Join(dir, walFileName(1))
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := recoverDir(store.New(), dir)
+	if err == nil {
+		t.Fatal("recovery accepted (and would have truncated) an over-cap frame")
+	}
+	if !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("error %q does not name the payload cap", err)
+	}
+	if data, rerr := os.ReadFile(path); rerr != nil || len(data) != len(frame) {
+		t.Fatalf("recovery truncated the file it refused (now %d bytes, want %d)", len(data), len(frame))
+	}
+}
+
+// TestLoadSegmentRejectsOverflowedTripleCount patches a valid segment's
+// triple count to a value whose 12× product wraps uint64 back to the true
+// byte length: the pre-fix multiplication check passed it through to a
+// make() that panicked. loadSegment must return the clean corruption error
+// it promises.
+func TestLoadSegmentRejectsOverflowedTripleCount(t *testing.T) {
+	dir := t.TempDir()
+	dict := []string{"s", "p", "o"}
+	triples := []store.IDTriple{{S: 0, P: 1, O: 2}, {S: 2, P: 1, O: 0}}
+	if err := writeSegment(dir, 7, dict, triples); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segFileName(7))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The triple count sits right before the triple runs and the 12-byte
+	// footer. 12*(count + 2^62) = 12*count + 3*2^64 ≡ 12*count (mod 2^64),
+	// so the patched count defeats any multiplication-based check.
+	countOff := len(data) - (4 + len(segTrailer)) - 12*len(triples) - 8
+	count := binary.LittleEndian.Uint64(data[countOff:])
+	binary.LittleEndian.PutUint64(data[countOff:], count+1<<62)
+	body := data[:len(data)-(4+len(segTrailer))]
+	binary.LittleEndian.PutUint32(data[len(body):], crc32.Checksum(body, castagnoli))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := loadSegment(path); err == nil {
+		t.Fatal("loadSegment accepted a wrapped triple count")
+	}
+}
+
 func TestParseFsyncPolicy(t *testing.T) {
 	for _, p := range []FsyncPolicy{FsyncAlways, FsyncBatch, FsyncOff} {
 		got, err := ParseFsyncPolicy(p.String())
@@ -310,6 +523,17 @@ func buildLog(t *testing.T) (data []byte, offsets []int64, snaps []string) {
 // recovers a fresh store from it, and returns the recovered snapshot.
 func recoverPrefix(t *testing.T, root string, name string, data []byte) string {
 	t.Helper()
+	snap, err := recoverPrefixErr(t, root, name, data)
+	if err != nil {
+		t.Fatalf("%s: recoverDir: %v", name, err)
+	}
+	return snap
+}
+
+// recoverPrefixErr is recoverPrefix for inputs recovery may legitimately
+// refuse: it hands back recoverDir's error instead of failing the test.
+func recoverPrefixErr(t *testing.T, root string, name string, data []byte) (string, error) {
+	t.Helper()
 	dir := filepath.Join(root, name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
@@ -320,10 +544,10 @@ func recoverPrefix(t *testing.T, root string, name string, data []byte) string {
 	st := store.New()
 	rec, err := recoverDir(st, dir)
 	if err != nil {
-		t.Fatalf("%s: recoverDir: %v", name, err)
+		return "", err
 	}
 	rec.file.Close()
-	return snapshotString(t, st)
+	return snapshotString(t, st), nil
 }
 
 // TestPrefixReplayProperty cuts the recorded log at EVERY byte offset and
@@ -349,9 +573,13 @@ func TestPrefixReplayProperty(t *testing.T) {
 }
 
 // TestBitFlipRecovery flips single bits across the whole log and checks the
-// CRC framing turns every flip into a clean torn-tail truncation at the
-// damaged frame: recovery succeeds and lands exactly on the last commit
-// boundary before that frame.
+// CRC framing turns the flip into a clean torn-tail truncation at the
+// damaged frame — recovery succeeds and lands exactly on the last commit
+// boundary before it — with one deliberate exception: a flip that drives a
+// length field beyond maxFramePayload is refused as corruption, because the
+// writer chunks every record below the cap and a torn write never scrambles
+// the bytes it did write, so an over-cap claim proves damage; truncating
+// there would silently discard every record behind the damaged header.
 func TestBitFlipRecovery(t *testing.T) {
 	data, offsets, snaps := buildLog(t)
 	var frameStarts []int
@@ -380,6 +608,12 @@ func TestBitFlipRecovery(t *testing.T) {
 			}
 			mut := append([]byte(nil), data...)
 			mut[p] ^= 1 << bit
+			if p-start < 4 && binary.LittleEndian.Uint32(mut[start:]) > maxFramePayload {
+				if _, err := recoverPrefixErr(t, root, fmt.Sprintf("flip%d-%d", p, bit), mut); err == nil {
+					t.Fatalf("flip byte %d bit %d: over-cap length claim was recovered silently, want a corruption error", p, bit)
+				}
+				continue
+			}
 			got := recoverPrefix(t, root, fmt.Sprintf("flip%d-%d", p, bit), mut)
 			if got != snaps[j] {
 				t.Fatalf("flip byte %d bit %d: recovered state is not the boundary-%d state (frame at %d)", p, bit, j, start)

@@ -52,11 +52,24 @@ const (
 // frameHeader is the fixed prefix of every frame: length + CRC.
 const frameHeader = 8
 
-// maxFramePayload caps a single frame. The largest legitimate payloads — a
-// 100k-triple server batch (~1.2 MB) or its dictionary growth — sit far
-// below it; anything above is treated as corruption rather than trusted to
-// allocate.
+// maxFramePayload caps a single frame, and is enforced on BOTH sides of the
+// format: the writer chunks any mutation whose record would exceed it into
+// consecutive smaller records (see walWriter.appendAdd/appendDict), so the
+// reader may treat a frame claiming more than the cap as corruption rather
+// than trust it to allocate. A typical payload — a 100k-triple server batch
+// (~1.2 MB) or its dictionary growth — sits far below it.
 const maxFramePayload = 1 << 26
+
+// Fixed payload-prefix sizes, which the writer subtracts from maxFramePayload
+// when deciding where to chunk an oversized mutation.
+const (
+	// recHeader is the typ byte plus the seq uint64 every record carries.
+	recHeader = 9
+	// addPayloadHeader is recHeader plus recAdd's count uint32.
+	addPayloadHeader = recHeader + 4
+	// dictPayloadHeader is recHeader plus recDict's first and count uint32s.
+	dictPayloadHeader = recHeader + 8
+)
 
 // castagnoli is the CRC-32C table shared by framing and segment footers.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -113,6 +126,17 @@ func encodeDict(dst []byte, seq uint64, first store.SymbolID, names []string) []
 	return dst
 }
 
+// dictNameSize is the encoded size of one recDict name: its uvarint length
+// prefix plus its bytes. The writer sums it to chunk dictionary growth below
+// the frame cap.
+func dictNameSize(name string) int {
+	n := 1
+	for x := uint64(len(name)); x >= 0x80; x >>= 7 {
+		n++
+	}
+	return n + len(name)
+}
+
 // encodeAdd appends a recAdd payload to dst.
 func encodeAdd(dst []byte, seq uint64, triples []store.IDTriple) []byte {
 	dst = append(dst, recAdd)
@@ -142,12 +166,12 @@ func encodeRemove(dst []byte, seq uint64, t store.IDTriple) []byte {
 // panic or an oversized allocation.
 func decodeRecord(payload []byte) (record, error) {
 	var r record
-	if len(payload) < 9 {
+	if len(payload) < recHeader {
 		return r, fmt.Errorf("durable: record payload of %d bytes is shorter than its type+seq header", len(payload))
 	}
 	r.typ = payload[0]
 	r.seq = binary.LittleEndian.Uint64(payload[1:])
-	body := payload[9:]
+	body := payload[recHeader:]
 	switch r.typ {
 	case recDict:
 		if len(body) < 8 {

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,6 +30,10 @@ import (
 //	          cut the file there and stop. The same failure in any earlier
 //	          file is corruption, reported as an error — earlier files were
 //	          sealed by a rotation's fsync and have no business being torn.
+//	          A frame claiming a payload beyond maxFramePayload is corruption
+//	          even in the last file: the writer never produces one (oversized
+//	          mutations are chunked), so truncating there would throw away
+//	          good records behind a damaged header.
 //	reopen    open the last wal file for appending (creating wal-<lastSeq+1>
 //	          if the tail is empty), ready for the writer.
 //
@@ -233,6 +238,16 @@ func replayFile(st *store.Store, res store.Resolver, path string, prevSeq uint64
 	for off < len(data) {
 		payload, next, ok := nextFrame(data, off)
 		if !ok {
+			// A length field beyond the cap is never a torn tail: the writer
+			// chunks every record below maxFramePayload, so an over-cap claim
+			// means damage to a frame header (or a log from a broken writer).
+			// Truncating here would silently discard every record after it —
+			// report it instead, wherever it sits.
+			if len(data)-off >= 4 {
+				if claim := binary.LittleEndian.Uint32(data[off:]); claim > maxFramePayload {
+					return prevSeq, fmt.Errorf("durable: %s: frame at offset %d claims a %d-byte payload, beyond the %d-byte cap the writer enforces; the log is corrupt, not torn", filepath.Base(path), off, claim, maxFramePayload)
+				}
+			}
 			if !last {
 				return prevSeq, fmt.Errorf("durable: %s: bad frame at offset %d in a sealed log file; the log is corrupt", filepath.Base(path), off)
 			}

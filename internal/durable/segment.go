@@ -202,7 +202,10 @@ func loadSegment(path string) (seq uint64, dict []string, triples []store.IDTrip
 	}
 	tripleCount := binary.LittleEndian.Uint64(rest)
 	rest = rest[8:]
-	if uint64(len(rest)) != 12*tripleCount {
+	// Validate by division, not multiplication: 12*tripleCount would wrap
+	// for a corrupt count near 2^64, sneak past an equality check, and turn
+	// the allocation below into a panic instead of a clean error.
+	if len(rest)%12 != 0 || tripleCount != uint64(len(rest)/12) {
 		return 0, nil, nil, fmt.Errorf("durable: segment %s claims %d triples but carries %d bytes", filepath.Base(path), tripleCount, len(rest))
 	}
 	triples = make([]store.IDTriple, 0, tripleCount)

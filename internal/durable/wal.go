@@ -35,6 +35,10 @@ import (
 type walWriter struct {
 	dir    string
 	policy FsyncPolicy
+	// maxPayload caps one record's payload; appenders chunk mutations that
+	// would exceed it into consecutive records, so every frame stays below
+	// the cap the reader enforces. Always maxFramePayload outside tests.
+	maxPayload int
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast whenever syncing is released or seqs advance
@@ -105,6 +109,7 @@ func newWALWriter(dir string, policy FsyncPolicy, f *os.File, lastSeq, fileFirst
 	w := &walWriter{
 		dir:        dir,
 		policy:     policy,
+		maxPayload: maxFramePayload,
 		f:          f,
 		seq:        lastSeq,
 		writtenSeq: lastSeq,
@@ -123,31 +128,70 @@ func (w *walWriter) stageLocked() {
 	w.totalBytes += int64(frameHeader + len(w.scratch))
 }
 
-// appendDict stages a dictionary-growth record. Called under the store's
+// appendDict stages dictionary-growth records. Called under the store's
 // symbol-table lock (see store.Journal), which is what orders it ahead of
 // every triple record using the new ids; it must therefore stay
 // syscall-free, and it does — staging only appends to the in-memory buffer.
+//
+// Growth too large for one frame is chunked into consecutive records, each
+// under the payload cap; replay applies each chunk's verify-or-intern run
+// independently, so the split is invisible to recovery. A single name that
+// cannot fit even alone kills the log (sticky error): dropping it would
+// desynchronize the log's id assignment from the store's, so every later
+// commit must report the loss instead of acknowledging it.
 func (w *walWriter) appendDict(first store.SymbolID, names []string) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.seq++
-	if w.err != nil {
-		return // the log is dead; don't grow the buffer for records that can never commit
+	for len(names) > 0 {
+		size := dictPayloadHeader + dictNameSize(names[0])
+		if size > w.maxPayload {
+			w.seq++
+			if w.err == nil {
+				w.err = fmt.Errorf("durable: dictionary name of %d bytes exceeds the %d-byte record cap; the log cannot represent this mutation", len(names[0]), w.maxPayload)
+			}
+			first++
+			names = names[1:]
+			continue
+		}
+		n := 1
+		for n < len(names) {
+			c := dictNameSize(names[n])
+			if size+c > w.maxPayload {
+				break
+			}
+			size += c
+			n++
+		}
+		w.seq++
+		if w.err == nil { // a dead log stays dead; keep seq accounting only
+			w.scratch = encodeDict(w.scratch[:0], w.seq, first, names[:n])
+			w.stageLocked()
+		}
+		first += store.SymbolID(n)
+		names = names[n:]
 	}
-	w.scratch = encodeDict(w.scratch[:0], w.seq, first, names)
-	w.stageLocked()
 }
 
-// appendAdd stages an insertion record.
+// appendAdd stages insertion records, chunking a batch too large for one
+// frame into consecutive records — each chunk replays as an ordinary set
+// insertion, so the split is invisible to recovery.
 func (w *walWriter) appendAdd(batch []store.IDTriple) {
+	max := (w.maxPayload - addPayloadHeader) / 12
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.seq++
-	if w.err != nil {
-		return
+	for len(batch) > 0 {
+		chunk := batch
+		if len(chunk) > max {
+			chunk = chunk[:max]
+		}
+		batch = batch[len(chunk):]
+		w.seq++
+		if w.err != nil {
+			continue // the log is dead; don't grow the buffer for records that can never commit
+		}
+		w.scratch = encodeAdd(w.scratch[:0], w.seq, chunk)
+		w.stageLocked()
 	}
-	w.scratch = encodeAdd(w.scratch[:0], w.seq, batch)
-	w.stageLocked()
 }
 
 // appendRemove stages a removal record.
@@ -338,6 +382,14 @@ func (w *walWriter) close() error {
 		err = w.err
 	}
 	return err
+}
+
+// stickyErr returns the writer's sticky error — nil while every write and
+// fsync has succeeded.
+func (w *walWriter) stickyErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // currentSeq returns the seq of the last staged record.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -103,6 +104,68 @@ func TestDurableServerLifecycle(t *testing.T) {
 	}
 	if before.String() != after.String() {
 		t.Fatal("recovered asserted store differs from the served one")
+	}
+}
+
+// failingEngine satisfies DurabilityEngine with a sticky error, standing in
+// for a durable engine whose log has died mid-flight.
+type failingEngine struct {
+	err error
+}
+
+func (f *failingEngine) Stats() durable.Stats {
+	var s durable.Stats
+	if f.err != nil {
+		s.Err = f.err.Error()
+	}
+	return s
+}
+func (f *failingEngine) Checkpoint() error { return f.err }
+func (f *failingEngine) Err() error        { return f.err }
+
+// TestRemoveDurabilityFailureIs500 pins the removal half of the /triples
+// durability contract: Store.Remove has no error slot, so a failed journal
+// commit is only visible through the engine's sticky error — and the
+// handler must consult it instead of acknowledging a lost removal with 200,
+// matching the add path's ErrJournal mapping.
+func TestRemoveDurabilityFailureIs500(t *testing.T) {
+	base := store.New()
+	if _, err := base.AddBatch(carCorpus(t).Triples()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.AddBatch([]store.Triple{{Subject: "t2", Predicate: "locatedIn", Object: "lisbon"}}); err != nil {
+		t.Fatal(err)
+	}
+	eng := &failingEngine{}
+	s := newTestServer(t, Config{Base: base, Durable: eng})
+
+	// Healthy engine: removals are acknowledged normally.
+	code, mresp, errResp := postTriples(t, s, MutateRequest{
+		Remove: []TripleJSON{{Subject: "beetle", Predicate: "locatedIn", Object: "rome"}},
+	})
+	if code != http.StatusOK || mresp.Removed != 1 {
+		t.Fatalf("/triples remove on a healthy engine = %d %+v %+v", code, mresp, errResp)
+	}
+
+	// Dead log: the removal still applies in memory, but acknowledging it
+	// as durable would be a lie — the handler must 500.
+	eng.err = errors.New("log write: disk on fire")
+	code, _, errResp = postTriples(t, s, MutateRequest{
+		Remove: []TripleJSON{{Subject: "t2", Predicate: "locatedIn", Object: "lisbon"}},
+	})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("/triples remove on a dead log = %d, want 500 (%+v)", code, errResp)
+	}
+	if !strings.Contains(errResp.Error, "not durable") {
+		t.Fatalf("error %q does not say the removal is not durable", errResp.Error)
+	}
+	// Removing a triple that was never present journals nothing — no false
+	// 500 for a no-op, even on a dead log.
+	code, mresp, errResp = postTriples(t, s, MutateRequest{
+		Remove: []TripleJSON{{Subject: "nobody", Predicate: "locatedIn", Object: "nowhere"}},
+	})
+	if code != http.StatusOK || mresp.Removed != 0 {
+		t.Fatalf("/triples no-op remove on a dead log = %d %+v %+v, want 200 with removed=0", code, mresp, errResp)
 	}
 }
 

@@ -10,7 +10,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/durable"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -152,7 +151,7 @@ type DurabilityStats struct {
 }
 
 // durabilityStats converts the engine's report to the wire form.
-func durabilityStats(eng *durable.Engine) *DurabilityStats {
+func durabilityStats(eng DurabilityEngine) *DurabilityStats {
 	d := eng.Stats()
 	return &DurabilityStats{
 		Seq:            d.Seq,
@@ -556,6 +555,17 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 	for _, t := range req.Remove {
 		if s.reasoner.Remove(store.Triple{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}) {
 			resp.Removed++
+		}
+	}
+	if resp.Removed > 0 && s.cfg.Durable != nil {
+		// Remove has no error slot (store.Store.Remove discards its journal
+		// commit's result), so a durability failure surfaces through the
+		// engine's sticky error. Same contract as the add path's ErrJournal
+		// mapping above: the removals (and any adds) are applied in memory,
+		// but the client must not trust them to survive a restart.
+		if err := s.cfg.Durable.Err(); err != nil {
+			writeError(w, http.StatusInternalServerError, "store: removal applied in memory but not durable: %v", err)
+			return
 		}
 	}
 	resp.Asserted = s.reasoner.Base().Len()

@@ -42,6 +42,16 @@ import (
 	"repro/internal/store"
 )
 
+// DurabilityEngine is the slice of *durable.Engine the server drives:
+// durability state for GET /stats, manual compaction for POST /checkpoint,
+// and the sticky error that turns an acknowledged-but-not-durable removal
+// into a 500 (removals have no error slot of their own; see Store.Remove).
+type DurabilityEngine interface {
+	Stats() durable.Stats
+	Checkpoint() error
+	Err() error
+}
+
 // Config assembles a Server. Base is the only required field; the zero
 // value of every limit picks the default documented on it.
 type Config struct {
@@ -62,7 +72,9 @@ type Config struct {
 	// /checkpoint, and maps journal-commit failures on the mutation path to
 	// server-side errors. The server does not own the engine: the caller
 	// opens it before assembling the Config and closes it after shutdown.
-	Durable *durable.Engine
+	// Leave it nil — not a typed nil *durable.Engine — on an in-memory
+	// server.
+	Durable DurabilityEngine
 	// QueryTimeout bounds one /query evaluation; past it the join is
 	// interrupted and the response trailer carries the error. Default 5s.
 	QueryTimeout time.Duration

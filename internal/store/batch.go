@@ -31,9 +31,9 @@ func (s *Store) AddBatch(ts []Triple) (int, error) {
 	}
 	enc := s.syms.internBatch(ts, make([]encTriple, 0, len(ts)))
 	fresh := s.insertBatch(enc)
-	if s.journal != nil && len(fresh) > 0 {
-		s.journal.JournalAdd(freshIDs(fresh))
-		if err := s.journalCommit(); err != nil {
+	if j := s.getJournal(); j != nil && len(fresh) > 0 {
+		j.JournalAdd(freshIDs(fresh))
+		if err := commitJournal(j); err != nil {
 			return len(fresh), err
 		}
 	}

@@ -62,18 +62,34 @@ type Journal interface {
 // stack journal the asserted base while the reasoner's derived overlay stays
 // ephemeral.
 //
-// Attach the journal before the store is shared across goroutines: the field
-// is read without synchronization on the hot mutation path, exactly like the
-// store's other construction-time configuration. Once attached, a mutation
-// returns only after JournalCommit; if the commit fails the mutation is still
-// applied in memory and the error (wrapping ErrJournal where the signature
-// allows) tells the caller durability is gone. Remove and RemoveID have no
-// error return; their commit failures are only visible through the journal's
-// own sticky-error reporting, so durability monitors must watch the journal,
-// not the store.
+// SetJournal is safe to call while mutations are in flight: the field is an
+// atomic pointer the mutation path loads once per mutation, so a concurrent
+// detach (durable.Engine.Close) is not a data race — a racing mutation either
+// journals and commits through the old journal or skips journaling entirely.
+// Once attached, a mutation returns only after JournalCommit; if the commit
+// fails the mutation is still applied in memory and the error (wrapping
+// ErrJournal where the signature allows) tells the caller durability is gone.
+// Remove and RemoveID have no error return; their commit failures are only
+// visible through the journal's own sticky-error reporting, so durability
+// monitors must watch the journal, not the store.
 func (s *Store) SetJournal(j Journal) {
-	s.journal = j
+	if j == nil {
+		s.journal.Store(nil)
+	} else {
+		s.journal.Store(&j)
+	}
 	s.syms.setJournal(j)
+}
+
+// getJournal loads the attached journal, nil when none is attached. Mutation
+// paths call it exactly once per mutation and thread the loaded value through
+// to the commit, so a concurrent SetJournal cannot split one mutation across
+// two journals.
+func (s *Store) getJournal() Journal {
+	if p := s.journal.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // DictLen returns the number of names interned in the store's dictionary —
@@ -84,13 +100,10 @@ func (s *Store) DictLen() int {
 	return len(s.syms.snapshot())
 }
 
-// journalCommit runs the attached journal's commit, wrapping failures in
-// ErrJournal. It is a no-op without a journal.
-func (s *Store) journalCommit() error {
-	if s.journal == nil {
-		return nil
-	}
-	if err := s.journal.JournalCommit(); err != nil {
+// commitJournal runs j's commit, wrapping failures in ErrJournal. Callers
+// pass the journal they already loaded for this mutation (see getJournal).
+func commitJournal(j Journal) error {
+	if err := j.JournalCommit(); err != nil {
 		return fmt.Errorf("store: mutation applied in memory but not durable: %w: %w", ErrJournal, err)
 	}
 	return nil
@@ -119,9 +132,9 @@ func (s *Store) AddIDBatch(ts []IDTriple) (int, error) {
 		enc = append(enc, encTriple{t.S, t.P, t.O})
 	}
 	fresh := s.insertBatch(enc)
-	if s.journal != nil && len(fresh) > 0 {
-		s.journal.JournalAdd(freshIDs(fresh))
-		if err := s.journalCommit(); err != nil {
+	if j := s.getJournal(); j != nil && len(fresh) > 0 {
+		j.JournalAdd(freshIDs(fresh))
+		if err := commitJournal(j); err != nil {
 			return len(fresh), err
 		}
 	}

@@ -107,8 +107,11 @@ type Store struct {
 	osp  indexFamily // sharded by object
 	// journal, when non-nil, receives this store's triple mutations and
 	// gates their acknowledgment on durability; see SetJournal. Overlays
-	// never inherit it.
-	journal Journal
+	// never inherit it. Held as an atomic pointer so a detach at engine
+	// close is safe against in-flight mutations; each mutation loads it
+	// once (getJournal) and uses that value for both the journaling calls
+	// and the commit.
+	journal atomic.Pointer[Journal]
 }
 
 // New returns an empty store.
@@ -134,9 +137,9 @@ func (s *Store) Add(t Triple) (bool, error) {
 	l.unlock()
 	if added {
 		s.size.Add(1)
-		if s.journal != nil {
-			s.journal.JournalAdd([]IDTriple{{S: e.s, P: e.p, O: e.o}})
-			if err := s.journalCommit(); err != nil {
+		if j := s.getJournal(); j != nil {
+			j.JournalAdd([]IDTriple{{S: e.s, P: e.p, O: e.o}})
+			if err := commitJournal(j); err != nil {
 				return true, err
 			}
 		}
@@ -179,9 +182,9 @@ func (s *Store) Remove(t Triple) bool {
 	l.unlock()
 	if removed {
 		s.size.Add(-1)
-		if s.journal != nil {
-			s.journal.JournalRemove(IDTriple{S: e.s, P: e.p, O: e.o})
-			_ = s.journalCommit() // sticky in the journal; no error slot here
+		if j := s.getJournal(); j != nil {
+			j.JournalRemove(IDTriple{S: e.s, P: e.p, O: e.o})
+			_ = commitJournal(j) // sticky in the journal; no error slot here
 		}
 	}
 	return removed

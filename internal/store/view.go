@@ -110,9 +110,9 @@ func (s *Store) AddID(t IDTriple) (bool, error) {
 	l.unlock()
 	if added {
 		s.size.Add(1)
-		if s.journal != nil {
-			s.journal.JournalAdd([]IDTriple{t})
-			if err := s.journalCommit(); err != nil {
+		if j := s.getJournal(); j != nil {
+			j.JournalAdd([]IDTriple{t})
+			if err := commitJournal(j); err != nil {
 				return true, err
 			}
 		}
@@ -137,9 +137,9 @@ func (s *Store) RemoveID(t IDTriple) bool {
 	l.unlock()
 	if removed {
 		s.size.Add(-1)
-		if s.journal != nil {
-			s.journal.JournalRemove(t)
-			_ = s.journalCommit() // sticky in the journal; no error slot here
+		if j := s.getJournal(); j != nil {
+			j.JournalRemove(t)
+			_ = commitJournal(j) // sticky in the journal; no error slot here
 		}
 	}
 	return removed
