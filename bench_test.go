@@ -8,7 +8,9 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/durable"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/reason"
 	"repro/internal/store"
@@ -378,6 +380,87 @@ func BenchmarkQueryJoin3At1e6(b *testing.B) {
 		b.Fatal("join produced no solutions")
 	}
 	b.ReportMetric(float64(solutions)/float64(b.N), "solutions/query")
+}
+
+// BenchmarkObsOverhead guards the observability tax. The query pair runs
+// the 3-pattern join of BenchmarkQueryJoin3 with tracing off (the default
+// every production query takes: per-operator stat pointers nil, one branch
+// per Next) and with a full execution trace attached; the acceptance bar is
+// traced within 3% of plain. The ingest pair journals the same batch
+// through a durable engine with and without a metrics registry (WAL frame
+// counters and fsync histograms live on that path). registry-hotpath pins
+// the primitives themselves: Counter.Inc plus Histogram.Observe must stay
+// allocation-free.
+func BenchmarkObsOverhead(b *testing.B) {
+	s := store.New()
+	if _, err := s.AddBatch(joinWorkload(100_000)); err != nil {
+		b.Fatal(err)
+	}
+	bgp := query.MustParseBGP("?x type class-5 . ?x locatedIn ?site . ?site partOf ?region")
+	runJoin := func(b *testing.B, traced bool) {
+		b.ReportAllocs()
+		solutions := 0
+		for i := 0; i < b.N; i++ {
+			var opts []query.Option
+			if traced {
+				var tr query.Trace
+				opts = append(opts, query.WithTrace(&tr))
+			}
+			sols := query.Eval(s, bgp, opts...)
+			for sols.Next() {
+				solutions++
+			}
+			if err := sols.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if solutions == 0 {
+			b.Fatal("join produced no solutions")
+		}
+		b.ReportMetric(float64(solutions)/float64(b.N), "solutions/query")
+	}
+	b.Run("query-plain", func(b *testing.B) { runJoin(b, false) })
+	b.Run("query-traced", func(b *testing.B) { runJoin(b, true) })
+
+	ingest := func(b *testing.B, metered bool) {
+		ts := storeWorkload(50_000)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			base := store.New()
+			opts := durable.Options{Dir: b.TempDir(), Fsync: durable.FsyncOff}
+			if metered {
+				opts.Metrics = obs.NewRegistry()
+			}
+			eng, err := durable.Open(base, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := base.AddBatch(ts); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.Run("ingest-plain", func(b *testing.B) { ingest(b, false) })
+	b.Run("ingest-metered", func(b *testing.B) { ingest(b, true) })
+
+	b.Run("registry-hotpath", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		c := reg.Counter("bench_ops_total", "Hot-path counter under benchmark.")
+		h := reg.Histogram("bench_op_seconds", "Hot-path histogram under benchmark.", obs.LatencyBuckets())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(float64(i&1023) * 1e-6)
+		}
+	})
 }
 
 // BenchmarkParallelLeafScan measures the shard-parallel leaf scan: the

@@ -34,6 +34,13 @@
 // the batch cadence, and -checkpoint-mib how much log growth triggers
 // compaction into a fresh segment; POST /checkpoint forces one.
 //
+// -metrics (on by default) exposes the process's instruments — traffic
+// counters, latency histograms, WAL/checkpoint state, reasoner and cache
+// counters — as a Prometheus text scrape at GET /metrics. -slow-query
+// logs every query at least that slow as one JSON line, to the file named
+// by -slow-query-log or to stderr. -pprof-addr serves net/http/pprof on a
+// separate listener, keeping the profiling surface off the API address.
+//
 // A corpus snapshot that fails to parse refuses to serve at all — corpora
 // are staged through a scratch store and asserted only on a clean restore,
 // so a malformed tail can never put a partially restored corpus behind the
@@ -56,8 +63,12 @@ import (
 	"syscall"
 	"time"
 
+	"net/http"
+	"net/http/pprof"
+
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/reason"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -85,6 +96,10 @@ func run(args []string, stderr io.Writer) int {
 	fsyncMode := fs.String("fsync", "always", "when the log reaches stable storage: always (group commit per mutation), batch (background interval), off (rotation and close only)")
 	fsyncInterval := fs.Duration("fsync-interval", durable.DefaultBatchInterval, "background fsync cadence under -fsync batch")
 	checkpointMiB := fs.Int("checkpoint-mib", 64, "log growth in MiB that triggers automatic compaction into a segment (negative disables; POST /checkpoint still works)")
+	metrics := fs.Bool("metrics", true, "expose the Prometheus text scrape at GET /metrics")
+	slowQuery := fs.Duration("slow-query", 0, "log queries at least this slow as ndjson records (0 disables the slow-query log)")
+	slowQueryLog := fs.String("slow-query-log", "", "file the slow-query log appends to; empty logs to stderr")
+	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof on its own listener (empty disables profiling)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ontoserve (-paper | -annotations <file>) [-f <tbox>] [-rules <file>] [-addr host:port] [options]\n")
 		fs.PrintDefaults()
@@ -109,6 +124,11 @@ func run(args []string, stderr io.Writer) int {
 
 	logger := log.New(stderr, "ontoserve: ", log.LstdFlags)
 
+	// One registry spans the process: the durable engine registers its WAL
+	// and checkpoint instruments on it at Open, the server everything else
+	// at New, and GET /metrics serves the union.
+	reg := obs.NewRegistry()
+
 	// The base store exists before any corpus loading so that, with a data
 	// directory, durable.Open can recover into it and install its journal
 	// first — every triple loaded afterwards flows through the log.
@@ -125,6 +145,7 @@ func run(args []string, stderr io.Writer) int {
 			Fsync:           policy,
 			BatchInterval:   *fsyncInterval,
 			CheckpointBytes: int64(*checkpointMiB) << 20,
+			Metrics:         reg,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "ontoserve: opening %s: %v\n", *dataDir, err)
@@ -159,11 +180,52 @@ func run(args []string, stderr io.Writer) int {
 	if *cacheMiB <= 0 {
 		cfg.CacheMaxBytes = -1 // flag 0 means "disable", Config 0 means "default"
 	}
+	cfg.Metrics = reg
+	cfg.DisableMetrics = !*metrics
+	if *slowQuery > 0 {
+		cfg.SlowQueryThreshold = *slowQuery
+		if *slowQueryLog != "" {
+			f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(stderr, "ontoserve: opening slow-query log: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			cfg.SlowQueryLog = f
+		} else {
+			cfg.SlowQueryLog = stderr
+		}
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "ontoserve: %v\n", err)
 		return 1
+	}
+
+	// Profiling, when asked for, goes on its own listener so the pprof
+	// surface (heap dumps, CPU profiles) is never reachable through the
+	// address the API is published on.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ontoserve: pprof listener: %v\n", err)
+			return 1
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+		defer psrv.Close()
+		logger.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -27,9 +27,12 @@ package durable
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -100,6 +103,11 @@ type Options struct {
 	// grown past it; DefaultCheckpointBytes if zero, negative disables
 	// automatic checkpoints (Checkpoint can still be called directly).
 	CheckpointBytes int64
+	// Metrics, when non-nil, registers the engine's instruments on the given
+	// registry: fsync latency and group-commit size distributions, WAL
+	// frame/byte counters, checkpoint duration and compaction ratio, and
+	// gauges over the durability state. Nil disables all observation.
+	Metrics *obs.Registry
 }
 
 // Stats is a point-in-time report of the engine's durability state, the
@@ -151,6 +159,12 @@ type Engine struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 	once  sync.Once
+
+	// Metric handles, nil without Options.Metrics (observations are
+	// nil-safe): checkpoint wall time and the last checkpoint's compaction
+	// ratio (segment bytes per superseded log byte).
+	mCkptSeconds *obs.Histogram
+	mCompaction  *obs.Gauge
 }
 
 // Open recovers the data directory into st (which must be a fresh, empty
@@ -189,10 +203,45 @@ func Open(st *store.Store, opts Options) (*Engine, error) {
 		done:   make(chan struct{}),
 	}
 	e.segments = rec.segments
+	if opts.Metrics != nil {
+		// Before the journal attaches and the background goroutine starts:
+		// nothing else can touch the handles yet, so plain assignment is safe
+		// and the hot paths read them without synchronization.
+		e.registerMetrics(opts.Metrics)
+	}
 	st.SetJournal(e)
 	e.wg.Add(1)
 	go e.background()
 	return e, nil
+}
+
+// registerMetrics registers the engine's instruments on reg. Called from
+// Open only, before any journal traffic or background goroutine exists.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	e.w.mFsyncSeconds = reg.Histogram("onto_wal_fsync_seconds", "Log fsync syscall latency.", obs.LatencyBuckets())
+	e.w.mCommitFrames = reg.Histogram("onto_wal_commit_frames", "Frames drained per group commit.", obs.SizeBuckets())
+	e.w.mFrames = reg.Counter("onto_wal_frames_total", "Frames appended to the write-ahead log.")
+	e.w.mBytes = reg.Counter("onto_wal_bytes_total", "Bytes appended to the write-ahead log.")
+	e.mCkptSeconds = reg.Histogram("onto_checkpoint_seconds", "Checkpoint wall time (rotate, dump, cleanup).", obs.LatencyBuckets())
+	e.mCompaction = reg.Gauge("onto_checkpoint_compaction_ratio", "Last checkpoint's segment bytes per superseded log byte.")
+	reg.GaugeFunc("onto_wal_seq", "Sequence number of the last journaled record.", func() float64 {
+		return float64(e.Stats().Seq)
+	})
+	reg.GaugeFunc("onto_wal_durable_seq", "Highest sequence number known fsynced.", func() float64 {
+		return float64(e.Stats().DurableSeq)
+	})
+	reg.GaugeFunc("onto_wal_window_bytes", "Log growth since the last checkpoint.", func() float64 {
+		return float64(e.Stats().WALBytes)
+	})
+	reg.GaugeFunc("onto_segments", "Live segment files.", func() float64 {
+		return float64(e.Stats().Segments)
+	})
+	reg.CounterFunc("onto_wal_fsyncs_total", "Fsync syscalls on the log.", func() float64 {
+		return float64(e.Stats().Fsyncs)
+	})
+	reg.CounterFunc("onto_checkpoints_total", "Completed checkpoints this process.", func() float64 {
+		return float64(e.Stats().Checkpoints)
+	})
 }
 
 // LastSeq returns the seq of the last journaled record — right after Open,
@@ -280,6 +329,13 @@ func (e *Engine) Checkpoint() error {
 	if e.w.currentSeq() == lastSeg {
 		return nil // nothing journaled since the last checkpoint
 	}
+	var ckptStart time.Time
+	if e.mCkptSeconds != nil {
+		ckptStart = time.Now()
+	}
+	// The superseded log window, read before rotation resets it — the
+	// denominator of the compaction ratio.
+	walBytes := e.w.bytesSinceRotation()
 	covered, err := e.w.rotate()
 	if err != nil {
 		return err
@@ -302,6 +358,11 @@ func (e *Engine) Checkpoint() error {
 	if err := writeSegment(e.opts.Dir, covered, dict, triples); err != nil {
 		return err
 	}
+	if e.mCompaction != nil && walBytes > 0 {
+		if fi, err := os.Stat(filepath.Join(e.opts.Dir, segFileName(covered))); err == nil {
+			e.mCompaction.Set(float64(fi.Size()) / float64(walBytes))
+		}
+	}
 	// The new segment supersedes the old one and every log file that ends at
 	// or before the rotation point. Deletion failures are reported but the
 	// checkpoint itself has succeeded — recovery deletes leftovers too.
@@ -312,6 +373,9 @@ func (e *Engine) Checkpoint() error {
 	e.checkpoints++
 	e.ckptErr = cleanupErr
 	e.mu.Unlock()
+	if e.mCkptSeconds != nil {
+		e.mCkptSeconds.Since(ckptStart)
+	}
 	return cleanupErr
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -61,6 +62,18 @@ type walWriter struct {
 
 	lastFsync time.Time
 	fsyncs    int64
+
+	// pendingFrames counts frames staged since the last drain — the size of
+	// the next group commit, observed into mCommitFrames when it drains.
+	pendingFrames int64
+
+	// Metric handles, nil until the engine registers them (observations are
+	// nil-safe): fsync syscall latency, group-commit batch sizes, and the
+	// cumulative frame/byte append counters.
+	mFsyncSeconds *obs.Histogram
+	mCommitFrames *obs.Histogram
+	mFrames       *obs.Counter
+	mBytes        *obs.Counter
 }
 
 // walFileName names the log file whose first record is seq. Fixed-width
@@ -126,6 +139,9 @@ func newWALWriter(dir string, policy FsyncPolicy, f *os.File, lastSeq, fileFirst
 func (w *walWriter) stageLocked() {
 	w.buf = appendFrame(w.buf, w.scratch)
 	w.totalBytes += int64(frameHeader + len(w.scratch))
+	w.pendingFrames++
+	w.mFrames.Inc()
+	w.mBytes.Add(int64(frameHeader + len(w.scratch)))
 }
 
 // appendDict stages dictionary-growth records. Called under the store's
@@ -261,16 +277,23 @@ func (w *walWriter) drainLocked(sync bool) {
 	w.buf = w.spare[:0]
 	w.spare = nil
 	covered := w.seq
+	frames := w.pendingFrames
+	w.pendingFrames = 0
 	f := w.f
 	w.syncing = true
 	w.mu.Unlock()
 
+	if frames > 0 {
+		w.mCommitFrames.Observe(float64(frames))
+	}
 	var err error
 	if len(buf) > 0 {
 		_, err = f.Write(buf)
 	}
 	if err == nil && sync {
+		fsStart := time.Now()
 		err = f.Sync()
+		w.mFsyncSeconds.Since(fsStart)
 	}
 	now := time.Now()
 
@@ -312,16 +335,23 @@ func (w *walWriter) rotate() (uint64, error) {
 	w.buf = w.spare[:0]
 	w.spare = nil
 	covered := w.seq
+	frames := w.pendingFrames
+	w.pendingFrames = 0
 	f := w.f
 	w.syncing = true
 	w.mu.Unlock()
 
+	if frames > 0 {
+		w.mCommitFrames.Observe(float64(frames))
+	}
 	var err error
 	if len(buf) > 0 {
 		_, err = f.Write(buf)
 	}
 	if err == nil {
+		fsStart := time.Now()
 		err = f.Sync()
+		w.mFsyncSeconds.Since(fsStart)
 	}
 	if cerr := f.Close(); err == nil && cerr != nil {
 		err = cerr

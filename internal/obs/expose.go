@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4). The output is byte-deterministic for a given metric
+// state: families are sorted by name, series within a family by their
+// canonical label key, and floats format through one shared routine — the
+// property the exposition tests pin and the fuzz target exercises against
+// hostile help strings and label values.
+
+// WriteTo renders every registered family as Prometheus text, returning
+// the bytes written. It holds the registry lock only while collecting the
+// family list; instrument reads are the instruments' own atomic loads.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	// Series order within a family is registration order; sort a copy by
+	// label key so scrapes are stable whatever order layers registered in.
+	sorted := make([][]series, len(fams))
+	for i, f := range fams {
+		ss := append([]series(nil), f.series...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].labelKey < ss[b].labelKey })
+		sorted[i] = ss
+	}
+	r.mu.Unlock()
+
+	var buf []byte
+	for i, f := range fams {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = appendEscapedHelp(buf, f.help)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind.String()...)
+		buf = append(buf, '\n')
+		for _, s := range sorted[i] {
+			buf = s.expose(buf, f.name, s.labels)
+		}
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// appendSample appends one sample line: name{labels,extra} value. suffix is
+// appended to the family name (histogram _bucket/_sum/_count lines); extra
+// is an additional label rendered after the constant ones (the histogram
+// `le` label).
+func appendSample(buf []byte, name, suffix string, labels []Label, extra *Label, value float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	if len(labels) > 0 || extra != nil {
+		buf = append(buf, '{')
+		for i, l := range labels {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendLabel(buf, l)
+		}
+		if extra != nil {
+			if len(labels) > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendLabel(buf, *extra)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, formatFloat(value)...)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// appendLabel appends name="escaped value".
+func appendLabel(buf []byte, l Label) []byte {
+	buf = append(buf, l.Name...)
+	buf = append(buf, '=', '"')
+	for i := 0; i < len(l.Value); i++ {
+		switch c := l.Value[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// appendEscapedHelp appends help text with the format's two escapes
+// (backslash and newline).
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// the one formatting every exposition shares so identical states render
+// identical bytes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,140 @@
+package obs_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzExposition feeds hostile help text, label values and sample values
+// through the text encoder and checks the two properties every scrape must
+// hold: the output parses line-by-line as the exposition format (every
+// non-comment line is `name[{labels}] value` with balanced, escaped label
+// quoting), and encoding the same state twice is byte-identical.
+func FuzzExposition(f *testing.F) {
+	f.Add("Total requests.", "GET /query", 1.5, int64(3))
+	f.Add("line\nbreak \\ slash", "quote\" slash\\ nl\n", math.Inf(1), int64(0))
+	f.Add("", "", -0.0, int64(-7))
+	f.Add("héłp", "væl\x00ue", 1e-300, int64(1<<62))
+	f.Fuzz(func(t *testing.T, help, labelVal string, gv float64, cv int64) {
+		r := obs.NewRegistry()
+		r.Counter("fz_events_total", help, obs.L("tag", labelVal)).Add(cv)
+		r.Gauge("fz_level", help).Set(gv)
+		r.Histogram("fz_lat", help, []float64{0.5, 1, 2}).Observe(gv)
+
+		var b1, b2 bytes.Buffer
+		if _, err := r.WriteTo(&b1); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if _, err := r.WriteTo(&b2); err != nil {
+			t.Fatalf("WriteTo(2): %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("two scrapes of one state differ:\n%q\n%q", b1.Bytes(), b2.Bytes())
+		}
+		checkExposition(t, b1.String())
+	})
+}
+
+// checkExposition is a minimal exposition-format parser: it fails the test
+// on any line a Prometheus scraper would reject.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	if out != "" && !strings.HasSuffix(out, "\n") {
+		t.Fatalf("output does not end in newline: %q", out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			if i := strings.IndexByte(rest, ' '); i <= 0 {
+				t.Fatalf("comment line without metric name: %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment form: %q", line)
+		}
+		parseSample(t, line)
+	}
+}
+
+// parseSample validates one `name[{labels}] value` line.
+func parseSample(t *testing.T, line string) {
+	t.Helper()
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name := rest[:i]
+	if name == "" {
+		t.Fatalf("sample with empty name: %q", line)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := parseLabels(t, line, rest)
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		t.Fatalf("no space before value: %q", line)
+	}
+	val := rest[1:]
+	if val == "" || strings.ContainsAny(val, " \t") {
+		t.Fatalf("malformed value %q in line %q", val, line)
+	}
+	// The formatter emits Go float syntax plus +Inf/-Inf/NaN, all of which
+	// Prometheus accepts; just require it non-empty and space-free above.
+}
+
+// parseLabels walks a `{k="v",...}` block, enforcing escaped quoting, and
+// returns the index just past the closing brace.
+func parseLabels(t *testing.T, line, s string) int {
+	t.Helper()
+	i := 1 // past '{'
+	for {
+		start := i
+		for i < len(s) && s[i] != '=' {
+			if s[i] == '"' || s[i] == '}' || s[i] == ',' {
+				t.Fatalf("malformed label name at %d in %q", i, line)
+			}
+			i++
+		}
+		if i == start || i >= len(s) {
+			t.Fatalf("label block without name=: %q", line)
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			t.Fatalf("label value not quoted: %q", line)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					t.Fatalf("dangling escape: %q", line)
+				}
+				if c := s[i+1]; c != '\\' && c != '"' && c != 'n' {
+					t.Fatalf("invalid escape \\%c: %q", c, line)
+				}
+				i++
+			} else if s[i] == '\n' {
+				t.Fatalf("raw newline inside label value: %q", line)
+			}
+			i++
+		}
+		if i >= len(s) {
+			t.Fatalf("unterminated label value: %q", line)
+		}
+		i++ // past closing '"'
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1
+		}
+		t.Fatalf("expected , or } after label value: %q", line)
+	}
+}

@@ -54,6 +54,7 @@ type config struct {
 	oi           *store.OntologyIndex
 	materialized bool
 	interrupt    func() bool
+	trace        *Trace
 }
 
 // Option configures one Eval call.
@@ -114,6 +115,7 @@ type comp struct {
 type level struct {
 	comps  [3]comp
 	expand []store.SymbolID // expanded object candidates; nil when not expanded
+	orig   int              // the pattern's index in the request BGP (trace labeling)
 }
 
 // Solutions streams the solutions of a BGP. The iteration protocol is
@@ -190,8 +192,8 @@ func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 
 	unsat := false
 	levels := make([]level, 0, len(bgp))
-	for _, p := range bgp {
-		var lv level
+	for pi, p := range bgp {
+		lv := level{orig: pi}
 		expanded := cfg.oi != nil && !p.Predicate.IsVar && p.Predicate.Value == store.TypePredicate && !p.Object.IsVar
 		for i, t := range p.terms() {
 			if t.IsVar {
@@ -240,8 +242,13 @@ func Eval(src Source, bgp BGP, opts ...Option) *Solutions {
 		// solution.
 		return sol
 	}
-	ordered, estFirst := plan(src, levels, len(sol.vars))
-	sol.root = build(src, ordered, len(sol.vars), estFirst)
+	ordered, estFirst := plan(src, levels, len(sol.vars), cfg.trace)
+	if tr := cfg.trace; tr != nil {
+		for i := range tr.Levels {
+			tr.Levels[i].Pattern = bgp[tr.Levels[i].Index].String()
+		}
+	}
+	sol.root = build(src, ordered, len(sol.vars), estFirst, cfg.trace)
 	return sol
 }
 
@@ -272,8 +279,9 @@ func bgpVars(b BGP) []string {
 
 // build lowers the planned levels onto the operator tree: the first level
 // becomes the leaf scan (sized by the planner's estimate so wide scans go
-// shard-parallel), every later level a batched probe join.
-func build(src Source, ordered []level, nvars int, estFirst float64) exec.Op {
+// shard-parallel), every later level a batched probe join. With a trace
+// attached, each lowered operator is instrumented with its level's OpStat.
+func build(src Source, ordered []level, nvars int, estFirst float64, tr *Trace) exec.Op {
 	bound := make([]bool, nvars)
 	var root exec.Op
 	for li := range ordered {
@@ -290,6 +298,9 @@ func build(src Source, ordered []level, nvars int, estFirst float64) exec.Op {
 			root = exec.NewScan(src, pat, lv.expand, nvars, int(estFirst))
 		} else {
 			root = exec.NewJoin(root, src, pat, lv.expand, append([]bool(nil), bound...), nvars)
+		}
+		if tr != nil && li < len(tr.Levels) {
+			exec.Instrument(root, &tr.Levels[li].Stat)
 		}
 		for _, c := range lv.comps {
 			if c.isVar {
@@ -398,11 +409,22 @@ const planScratchVars = 24
 // disconnected pattern groups end up cheapest-first, keeping the unavoidable
 // cartesian product as small as possible. The returned order is what build
 // lowers onto the operator tree; the second result is the estimated match
-// count of the order's first level, which sizes the leaf scan.
-func plan(src Source, levels []level, nvars int) ([]level, float64) {
+// count of the order's first level, which sizes the leaf scan. A non-nil tr
+// records every candidate order costed and the chosen order's per-level
+// estimates (see trace.go).
+func plan(src Source, levels []level, nvars int, tr *Trace) ([]level, float64) {
 	n := len(levels)
 	if n == 1 {
-		return levels, levelStats(src, &levels[0]).count
+		st := levelStats(src, &levels[0])
+		if tr != nil {
+			stats := []pstats{st}
+			bound := make([]bool, nvars)
+			order := []int{0}
+			c := planCost(levels, stats, order, bound)
+			tr.recordCandidate(levels, order, c)
+			tr.finishPlan(levels, stats, order, c, bound, true)
+		}
+		return levels, st.count
 	}
 	// The scratch below lives in fixed-size arrays when the BGP is small —
 	// the overwhelmingly common case — so planning itself allocates nothing.
@@ -435,7 +457,11 @@ func plan(src Source, levels []level, nvars int) ([]level, float64) {
 		var rec func(k int)
 		rec = func(k int) {
 			if k == n {
-				if c := planCost(levels, stats, perm, bound); c < bestCost {
+				c := planCost(levels, stats, perm, bound)
+				if tr != nil {
+					tr.recordCandidate(levels, perm, c)
+				}
+				if c < bestCost {
 					bestCost = c
 					best = append(best[:0], perm...)
 				}
@@ -448,6 +474,9 @@ func plan(src Source, levels []level, nvars int) ([]level, float64) {
 			}
 		}
 		rec(0)
+		if tr != nil {
+			tr.finishPlan(levels, stats, best, bestCost, bound, true)
+		}
 	} else {
 		used := make([]bool, n)
 		solutions := 1.0
@@ -469,6 +498,11 @@ func plan(src Source, levels []level, nvars int) ([]level, float64) {
 					bound[c.varIdx] = true
 				}
 			}
+		}
+		if tr != nil {
+			c := planCost(levels, stats, best, bound)
+			tr.recordCandidate(levels, best, c)
+			tr.finishPlan(levels, stats, best, c, bound, false)
 		}
 	}
 	ordered := make([]level, 0, n)

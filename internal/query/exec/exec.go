@@ -102,12 +102,14 @@ func newBatch(nslots int) *Batch {
 	*b = Batch{}
 	if nslots <= blockSlots {
 		b.block = blockPool.Get().(*[blockSlots * BatchSize]store.SymbolID)
+		poolGets.Add(2) // batch + block
 		for i := 0; i < nslots; i++ {
 			b.colsArr[i] = b.block[i*BatchSize : (i+1)*BatchSize : (i+1)*BatchSize]
 		}
 		b.Cols = b.colsArr[:nslots]
 		return b
 	}
+	poolGets.Add(1 + int64(nslots)) // batch + one column each
 	b.Cols = make([][]store.SymbolID, nslots)
 	for i := range b.Cols {
 		b.Cols[i] = colPool.Get().(*[BatchSize]store.SymbolID)[:]
@@ -120,25 +122,32 @@ func newBatch(nslots int) *Batch {
 func (b *Batch) release() {
 	if b.block != nil {
 		blockPool.Put(b.block)
+		poolPuts.Add(1)
 	} else {
 		for i := range b.Cols {
 			if c := b.Cols[i]; c != nil && cap(c) >= BatchSize {
 				colPool.Put((*[BatchSize]store.SymbolID)(c[:BatchSize]))
+				poolPuts.Add(1)
 			}
 		}
 	}
 	*b = Batch{}
 	batchPool.Put(b)
+	poolPuts.Add(1)
 }
 
 // takeTrips pops a pooled triple buffer of length BatchSize.
-func takeTrips() []store.IDTriple { return tripPool.Get().(*[BatchSize]store.IDTriple)[:] }
+func takeTrips() []store.IDTriple {
+	poolGets.Add(1)
+	return tripPool.Get().(*[BatchSize]store.IDTriple)[:]
+}
 
 // putTrips returns a triple buffer to the pool (first BatchSize entries of a
 // grown buffer; callers bound what they hand back with maxPooledCap).
 func putTrips(buf []store.IDTriple) {
 	if cap(buf) >= BatchSize {
 		tripPool.Put((*[BatchSize]store.IDTriple)(buf[:BatchSize]))
+		poolPuts.Add(1)
 	}
 }
 
@@ -346,6 +355,7 @@ type scan struct {
 	free     [][]store.IDTriple // reusable wave buffers
 	done     bool
 	released bool
+	stat     *OpStat // span statistics, when instrumented (see stats.go)
 }
 
 // close releases the scan's pooled buffers — and the scan itself — once its
@@ -374,6 +384,7 @@ func (s *scan) close() {
 	}
 	s.free = nil
 	scanPool.Put(s)
+	poolPuts.Add(1)
 }
 
 // NewScan builds a leaf scanning the pattern's matches off src. nslots sizes
@@ -383,6 +394,7 @@ func (s *scan) close() {
 // object position with each candidate id in turn (the query layer's
 // ontology expansion).
 func NewScan(src Source, pat Pattern, expand []store.SymbolID, nslots, estCount int) Op {
+	poolGets.Add(1)
 	s := scanPool.Get().(*scan)
 	*s = scan{
 		src:    src,
@@ -400,8 +412,27 @@ func NewScan(src Source, pat Pattern, expand []store.SymbolID, nslots, estCount 
 	return s
 }
 
-// Next pulls the scan's next batch.
+// Next pulls the scan's next batch, accounting the pull when instrumented.
+// The stat pointer and clock are captured before the inner call: the scan
+// struct is pooled and may be recycled the moment next ends its stream, so
+// nothing touches s afterwards.
 func (s *scan) Next(ctx *Ctx) (*Batch, error) {
+	st := s.stat
+	if st == nil {
+		return s.next(ctx)
+	}
+	start := nanotime()
+	b, err := s.next(ctx)
+	st.Nanos += nanotime() - start
+	if b != nil {
+		st.Batches++
+		st.Rows += int64(b.N)
+	}
+	return b, err
+}
+
+// next is the uninstrumented pull.
+func (s *scan) next(ctx *Ctx) (*Batch, error) {
 	if s.done {
 		return nil, nil
 	}
@@ -704,6 +735,7 @@ type join struct {
 	done        bool
 	interrupted bool
 	released    bool
+	stat        *OpStat // span statistics, when instrumented (see stats.go)
 }
 
 // close releases the join's pooled buffers once its stream has ended.
@@ -715,6 +747,7 @@ func (j *join) close() {
 	j.out.release()
 	if j.probes != nil && cap(j.probes) >= BatchSize {
 		probePool.Put((*[BatchSize]store.IDPattern)(j.probes[:BatchSize]))
+		poolPuts.Add(1)
 	}
 	j.probes = nil
 	if j.matchTrips != nil && cap(j.matchTrips) >= BatchSize && cap(j.matchTrips) <= maxPooledCap {
@@ -723,10 +756,12 @@ func (j *join) close() {
 	j.matchTrips = nil
 	if j.matchRows != nil && cap(j.matchRows) >= BatchSize && cap(j.matchRows) <= maxPooledCap {
 		rowPool.Put((*[BatchSize]int32)(j.matchRows[:BatchSize]))
+		poolPuts.Add(1)
 	}
 	j.matchRows = nil
 	j.child, j.childBatch, j.src = nil, nil, nil
 	joinPool.Put(j)
+	poolPuts.Add(1)
 }
 
 // NewJoin builds a join of child against src on pat. boundBefore flags, per
@@ -734,6 +769,7 @@ func (j *join) close() {
 // components, the rest output columns. nslots sizes the output batches;
 // expand, when non-nil, probes each candidate object id in turn.
 func NewJoin(child Op, src Source, pat Pattern, expand []store.SymbolID, boundBefore []bool, nslots int) Op {
+	poolGets.Add(2) // join + probe buffer
 	j := joinPool.Get().(*join)
 	*j = join{
 		child:     child,
@@ -770,8 +806,27 @@ func NewJoin(child Op, src Source, pat Pattern, expand []store.SymbolID, boundBe
 	return j
 }
 
-// Next pulls the join's next batch.
+// Next pulls the join's next batch, accounting the pull when instrumented.
+// Nanos is inclusive of child pulls; the stat pointer and clock are captured
+// before the inner call because the join struct is pooled and may be
+// recycled the moment next ends its stream.
 func (j *join) Next(ctx *Ctx) (*Batch, error) {
+	st := j.stat
+	if st == nil {
+		return j.next(ctx)
+	}
+	start := nanotime()
+	b, err := j.next(ctx)
+	st.Nanos += nanotime() - start
+	if b != nil {
+		st.Batches++
+		st.Rows += int64(b.N)
+	}
+	return b, err
+}
+
+// next is the uninstrumented pull.
+func (j *join) next(ctx *Ctx) (*Batch, error) {
 	if j.done {
 		return nil, nil
 	}
@@ -816,6 +871,7 @@ func (j *join) collect(ctx *Ctx, cb *Batch) {
 	if j.matchTrips == nil {
 		j.matchTrips = takeTrips()
 		j.matchRows = rowPool.Get().(*[BatchSize]int32)[:]
+		poolGets.Add(1)
 	}
 	j.matchRows = j.matchRows[:0]
 	j.matchTrips = j.matchTrips[:0]
@@ -850,12 +906,18 @@ func (j *join) collect(ctx *Ctx, cb *Batch) {
 			for r := 0; r < cb.N; r++ {
 				j.probes[r].O = cand
 			}
+			if j.stat != nil {
+				j.stat.Probes += int64(cb.N)
+			}
 			j.src.QueryIDBatch(j.probes[:cb.N], yield)
 			if j.interrupted {
 				return
 			}
 		}
 		return
+	}
+	if j.stat != nil {
+		j.stat.Probes += int64(cb.N)
 	}
 	j.src.QueryIDBatch(j.probes[:cb.N], yield)
 }

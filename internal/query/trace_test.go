@@ -1,0 +1,112 @@
+package query
+
+import (
+	"testing"
+)
+
+// TestTraceThreePatternJoin drives a 3-pattern BGP with a Trace attached
+// and checks the planner fields and the per-operator stats the drained
+// evaluation must have filled.
+func TestTraceThreePatternJoin(t *testing.T) {
+	s := fill(t,
+		[3]string{"a", "type", "car"},
+		[3]string{"b", "type", "car"},
+		[3]string{"a", "locatedIn", "site1"},
+		[3]string{"b", "locatedIn", "site2"},
+		[3]string{"site1", "partOf", "region1"},
+		[3]string{"site2", "partOf", "region1"},
+	)
+	bgp := MustParseBGP("?x type car . ?x locatedIn ?site . ?site partOf ?region")
+	var tr Trace
+	got := bindings(t, Eval(s, bgp, WithTrace(&tr)))
+	if len(got) != 2 {
+		t.Fatalf("solutions = %d, want 2", len(got))
+	}
+	if !tr.Exhaustive {
+		t.Error("3-pattern BGP must plan exhaustively")
+	}
+	if tr.Considered != 6 {
+		t.Errorf("considered = %d, want 3! = 6", tr.Considered)
+	}
+	if len(tr.Chosen) != 3 || len(tr.Levels) != 3 {
+		t.Fatalf("chosen/levels = %d/%d, want 3/3", len(tr.Chosen), len(tr.Levels))
+	}
+	seen := map[int]bool{}
+	for _, idx := range tr.Chosen {
+		if idx < 0 || idx > 2 || seen[idx] {
+			t.Fatalf("chosen order %v is not a permutation of the BGP", tr.Chosen)
+		}
+		seen[idx] = true
+	}
+	if len(tr.Candidates) == 0 || tr.Candidates[0].Cost != tr.Cost {
+		t.Errorf("candidates[0] must be the chosen cost %g, got %+v", tr.Cost, tr.Candidates)
+	}
+	for i, lt := range tr.Levels {
+		if lt.Index != tr.Chosen[i] {
+			t.Errorf("level %d index %d != chosen %d", i, lt.Index, tr.Chosen[i])
+		}
+		if lt.Pattern != bgp[lt.Index].String() {
+			t.Errorf("level %d pattern %q != %q", i, lt.Pattern, bgp[lt.Index].String())
+		}
+		if lt.Stat.Batches == 0 || lt.Stat.Rows == 0 {
+			t.Errorf("level %d stat not filled: %+v", i, lt.Stat)
+		}
+		if lt.Stat.Nanos <= 0 {
+			t.Errorf("level %d has no wall time: %+v", i, lt.Stat)
+		}
+		if i > 0 && lt.Stat.Probes == 0 {
+			t.Errorf("join level %d issued no probes: %+v", i, lt.Stat)
+		}
+	}
+	// The root (last level) emits exactly the solution rows.
+	if root := tr.Levels[2].Stat; root.Rows != 2 {
+		t.Errorf("root rows = %d, want 2", root.Rows)
+	}
+}
+
+// TestTraceSinglePattern pins the single-pattern fast path: one candidate,
+// one level, leaf stats filled.
+func TestTraceSinglePattern(t *testing.T) {
+	s := fill(t,
+		[3]string{"a", "type", "car"},
+		[3]string{"b", "type", "car"},
+	)
+	var tr Trace
+	got := bindings(t, Eval(s, MustParseBGP("?x type car"), WithTrace(&tr)))
+	if len(got) != 2 {
+		t.Fatalf("solutions = %d, want 2", len(got))
+	}
+	if !tr.Exhaustive || tr.Considered != 1 || len(tr.Levels) != 1 {
+		t.Errorf("single-pattern trace: %+v", tr)
+	}
+	if tr.Levels[0].Stat.Rows != 2 {
+		t.Errorf("leaf rows = %d, want 2", tr.Levels[0].Stat.Rows)
+	}
+}
+
+// TestTraceGreedyPlan pins the greedy fallback above maxExhaustive: the
+// trace marks it non-exhaustive and records one candidate (the greedy
+// order).
+func TestTraceGreedyPlan(t *testing.T) {
+	s := fill(t,
+		[3]string{"a", "p1", "b"},
+		[3]string{"b", "p2", "c"},
+		[3]string{"c", "p3", "d"},
+		[3]string{"d", "p4", "e"},
+		[3]string{"e", "p5", "f"},
+		[3]string{"f", "p6", "g"},
+		[3]string{"g", "p7", "h"},
+	)
+	bgp := MustParseBGP("?a p1 ?b . ?b p2 ?c . ?c p3 ?d . ?d p4 ?e . ?e p5 ?f . ?f p6 ?g . ?g p7 ?h")
+	var tr Trace
+	got := bindings(t, Eval(s, bgp, WithTrace(&tr)))
+	if len(got) != 1 {
+		t.Fatalf("solutions = %d, want 1", len(got))
+	}
+	if tr.Exhaustive {
+		t.Error("7-pattern BGP must plan greedily")
+	}
+	if len(tr.Chosen) != 7 || len(tr.Candidates) != 1 {
+		t.Errorf("greedy trace: chosen %v candidates %v", tr.Chosen, tr.Candidates)
+	}
+}

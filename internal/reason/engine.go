@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -53,6 +56,42 @@ type Reasoner struct {
 	source  []Rule
 	stats   Stats
 	onDelta func(added, removed []store.IDTriple)
+	// gen counts content-changing writes: it advances exactly when the delta
+	// hook would fire, so any two reads bracketing an unchanged generation
+	// saw the same materialization. The replica tier's staleness signal.
+	gen atomic.Uint64
+	// Metric handles, nil until RegisterMetrics; every observation is
+	// nil-safe, so an unobserved reasoner pays one branch per round.
+	mRounds       *obs.Counter
+	mDerived      *obs.Counter
+	mRoundSeconds *obs.Histogram
+	mDeltaSize    *obs.Histogram
+}
+
+// Generation returns the materialization generation: it advances on every
+// write that changed (or may have changed — Rematerialize) the view's
+// contents, and never otherwise. Two equal readings bracket an unchanged
+// materialization, which is what result caches and the future replica tier
+// compare.
+func (r *Reasoner) Generation() uint64 { return r.gen.Load() }
+
+// RegisterMetrics registers the reasoner's instruments on reg: round and
+// derivation counters, per-round latency and delta-size distributions, and
+// gauges for the overlay size and generation. Call it once, before traffic;
+// an unregistered reasoner skips all observation.
+func (r *Reasoner) RegisterMetrics(reg *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mRounds = reg.Counter("onto_reason_rounds_total", "Semi-naive materialization rounds run.")
+	r.mDerived = reg.Counter("onto_reason_derived_total", "Triples ever derived into the inferred overlay.")
+	r.mRoundSeconds = reg.Histogram("onto_reason_round_seconds", "Wall time of one semi-naive round.", obs.LatencyBuckets())
+	r.mDeltaSize = reg.Histogram("onto_reason_delta_size", "Seed delta sizes entering propagation.", obs.SizeBuckets())
+	reg.GaugeFunc("onto_reason_overlay_triples", "Currently inferred triples (overlay size).", func() float64 {
+		return float64(r.overlay.Len())
+	})
+	reg.GaugeFunc("onto_reason_generation", "Materialization generation (advances on every content-changing write).", func() float64 {
+		return float64(r.gen.Load())
+	})
 }
 
 // SetOnDelta installs a hook invoked after every write (Add, AddBatch,
@@ -89,6 +128,7 @@ func (r *Reasoner) SetOnDelta(hook func(added, removed []store.IDTriple)) {
 // guarantee at least one of the lists is meaningful (both nil is the
 // Rematerialize "everything may have changed" signal).
 func (r *Reasoner) notify(added, removed []store.IDTriple) {
+	r.gen.Add(1)
 	if r.onDelta != nil {
 		r.onDelta(added, removed)
 	}
@@ -420,9 +460,17 @@ func (r *Reasoner) encode(t store.Triple) (store.IDTriple, bool) {
 // every triple newly derived into the overlay, for the delta hook. Callers
 // hold r.mu.
 func (r *Reasoner) propagate(delta []store.IDTriple) []store.IDTriple {
+	if len(delta) > 0 {
+		r.mDeltaSize.Observe(float64(len(delta)))
+	}
 	var heads, derived []store.IDTriple
 	for len(delta) > 0 {
 		r.stats.Rounds++
+		r.mRounds.Inc()
+		var roundStart time.Time
+		if r.mRoundSeconds != nil {
+			roundStart = time.Now()
+		}
 		heads = heads[:0]
 		for i := range r.rules {
 			rule := &r.rules[i]
@@ -443,6 +491,10 @@ func (r *Reasoner) propagate(delta []store.IDTriple) []store.IDTriple {
 			}
 			r.stats.Derived++
 			next = append(next, h)
+		}
+		r.mDerived.Add(int64(len(next)))
+		if r.mRoundSeconds != nil {
+			r.mRoundSeconds.Since(roundStart)
 		}
 		derived = append(derived, next...)
 		delta = next

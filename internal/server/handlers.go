@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/query"
+	"repro/internal/query/exec"
 	"repro/internal/store"
 )
 
@@ -118,6 +119,10 @@ type EngineStats struct {
 	// Overdeleted and Rederived count delete-and-rederive traffic.
 	Overdeleted int `json:"overdeleted"`
 	Rederived   int `json:"rederived"`
+	// Generation counts materialization epochs: it advances once per delta
+	// notification (including full rematerializations), so caches and
+	// replicas can detect staleness with one comparison.
+	Generation uint64 `json:"generation"`
 }
 
 // DurabilityStats is the durability block of StatsResponse, present only on
@@ -189,8 +194,11 @@ type StatsResponse struct {
 	// Queries and Mutations count requests served since start.
 	Queries   int64 `json:"queries"`
 	Mutations int64 `json:"mutations"`
-	// UptimeMS is milliseconds since the server was created.
-	UptimeMS int64 `json:"uptime_ms"`
+	// UptimeMS is milliseconds since the server was created; UptimeSeconds
+	// is the same duration in seconds, matching the onto_uptime_seconds
+	// gauge on /metrics.
+	UptimeMS      int64   `json:"uptime_ms"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -241,12 +249,16 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // handleQuery is POST /query: parse, consult the cache, evaluate, stream.
+// With ?explain=1 it evaluates in EXPLAIN ANALYZE form instead (see
+// explainQuery).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	s.queries.Add(1)
+	hstart := time.Now()
+	defer func() { s.m.querySeconds.Since(hstart) }()
 	var req QueryRequest
 	if !s.readBody(w, r, &req) {
 		return
@@ -289,6 +301,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if r.URL.Query().Get("explain") == "1" {
+		s.explainQuery(w, r, src, bgp, opts, mode, limit, hstart)
+		return
+	}
+
 	// The key carries the variable-name mapping next to the canonical form:
 	// responses are replayed verbatim, so a hit must have asked for the same
 	// variable names (pattern-reordered respellings share an entry; renamed
@@ -313,6 +330,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	key := kb.String()
 	if e := s.cache.get(key); e != nil {
 		s.replay(w, e)
+		s.slow.observe(time.Since(hstart), slowQueryRecord{
+			RequestID: r.Header.Get(requestIDHeader),
+			BGP:       ckey,
+			Mode:      mode,
+			Solutions: e.solutions,
+			Truncated: e.truncated,
+			Cached:    true,
+		})
 		return
 	}
 	gen := s.cache.generation()
@@ -351,6 +376,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	n := 0
 	truncated := false
+	var sqErr string
+	defer func() {
+		s.slow.observe(time.Since(hstart), slowQueryRecord{
+			RequestID: r.Header.Get(requestIDHeader),
+			BGP:       ckey,
+			Mode:      mode,
+			Solutions: n,
+			Truncated: truncated,
+			Error:     sqErr,
+		})
+	}()
 stream:
 	for {
 		sb, ok := sols.NextBatch()
@@ -398,6 +434,7 @@ stream:
 			// the did-more-solutions-exist probe was cut short by the
 			// deadline. Report truncation (the conservative unknown) and
 			// skip caching rather than cache the guess.
+			truncated = true
 			writeTrailer(w, QueryTrailer{Done: true, Solutions: n, Truncated: true, ElapsedUS: elapsed.Microseconds()})
 			return
 		}
@@ -405,6 +442,7 @@ stream:
 		if errors.Is(err, query.ErrInterrupted) {
 			msg = fmt.Sprintf("query interrupted after %v (server timeout %v or client disconnect); partial results above", elapsed.Round(time.Millisecond), s.cfg.QueryTimeout)
 		}
+		sqErr = msg
 		writeTrailer(w, QueryTrailer{Done: true, Solutions: n, ElapsedUS: elapsed.Microseconds(), Error: msg})
 		return
 	}
@@ -431,6 +469,97 @@ stream:
 		Solutions: n,
 		Truncated: truncated,
 		ElapsedUS: elapsed.Microseconds(),
+	})
+}
+
+// ExplainResponse is the body of POST /query?explain=1: the planner's
+// decision record and the executor's per-operator stats for one evaluation,
+// in place of the solution stream (solutions are drained and counted, not
+// returned — EXPLAIN ANALYZE, not EXPLAIN).
+type ExplainResponse struct {
+	// Vars is the BGP's variable names, as the QueryHeader would carry.
+	Vars []string `json:"vars"`
+	// Mode is the evaluation mode after defaulting.
+	Mode string `json:"mode"`
+	// Plan is the trace: candidate join orders with cost estimates, the
+	// chosen order, and one level per operator in the right-deep chain
+	// (levels[0] is the leaf scan, the last level the root) with its
+	// estimated rows and measured batches/rows/probes/nanoseconds.
+	Plan query.Trace `json:"plan"`
+	// Solutions, Truncated and ElapsedUS mirror the QueryTrailer of the
+	// evaluation the stats describe.
+	Solutions int   `json:"solutions"`
+	Truncated bool  `json:"truncated"`
+	ElapsedUS int64 `json:"elapsed_us"`
+	// PoolGets and PoolPuts are the executor's buffer-pool round trips
+	// observed across this evaluation. The counters are process-wide, so
+	// the deltas are exact only when no other query ran concurrently.
+	PoolGets int64 `json:"pool_gets"`
+	PoolPuts int64 `json:"pool_puts"`
+	// Error is set when evaluation ended early; the stats describe the
+	// partial run.
+	Error string `json:"error,omitempty"`
+}
+
+// explainQuery is the ?explain=1 arm of handleQuery: evaluate with a trace
+// attached, drain (up to the limit) without marshaling rows, and return the
+// annotated plan. Explain runs bypass the result cache in both directions —
+// a replayed result has no execution to describe, and an explain run's
+// drained rows are never cached.
+func (s *Server) explainQuery(w http.ResponseWriter, r *http.Request, src query.Source, bgp query.BGP, opts []query.Option, mode string, limit int, hstart time.Time) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	opts = append(opts, query.Interrupt(func() bool { return ctx.Err() != nil }))
+	var tr query.Trace
+	opts = append(opts, query.WithTrace(&tr))
+
+	gets0, puts0 := exec.PoolCounters()
+	start := time.Now()
+	sols := query.Eval(src, bgp, opts...)
+	n := 0
+	truncated := false
+	for {
+		sb, ok := sols.NextBatch()
+		if !ok {
+			break
+		}
+		if n+sb.Len() >= limit {
+			truncated = n+sb.Len() > limit
+			n = limit
+			if !truncated {
+				_, truncated = sols.NextBatch()
+			}
+			break
+		}
+		n += sb.Len()
+	}
+	elapsed := time.Since(start)
+	gets1, puts1 := exec.PoolCounters()
+
+	resp := ExplainResponse{
+		Vars:      sols.Vars(),
+		Mode:      mode,
+		Plan:      tr,
+		Solutions: n,
+		Truncated: truncated,
+		ElapsedUS: elapsed.Microseconds(),
+		PoolGets:  gets1 - gets0,
+		PoolPuts:  puts1 - puts0,
+	}
+	if err := sols.Err(); err != nil {
+		resp.Error = err.Error()
+	}
+	writeJSON(w, resp)
+
+	ckey, _ := query.CanonicalWithVars(bgp)
+	s.slow.observe(time.Since(hstart), slowQueryRecord{
+		RequestID: r.Header.Get(requestIDHeader),
+		BGP:       ckey,
+		Mode:      mode,
+		Explain:   true,
+		Solutions: n,
+		Truncated: truncated,
+		Error:     resp.Error,
 	})
 }
 
@@ -518,6 +647,8 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mutations.Add(1)
+	mstart := time.Now()
+	defer func() { s.m.mutationSeconds.Since(mstart) }()
 	var req MutateRequest
 	if !s.readBody(w, r, &req) {
 		return
@@ -595,12 +726,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Derived:     es.Derived,
 			Overdeleted: es.Overdeleted,
 			Rederived:   es.Rederived,
+			Generation:  s.reasoner.Generation(),
 		},
-		Cache:      s.cache.stats(),
-		Durability: dur,
-		Queries:    s.queries.Load(),
-		Mutations:  s.mutations.Load(),
-		UptimeMS:   time.Since(s.start).Milliseconds(),
+		Cache:         s.cache.stats(),
+		Durability:    dur,
+		Queries:       s.queries.Load(),
+		Mutations:     s.mutations.Load(),
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
 

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file wires the serving layer onto the obs registry: traffic counters
+// and latency histograms for every endpoint, scrape-time gauges over the
+// store/cache/reasoner state the server already tracks, the request-ID
+// middleware, and the slow-query log. GET /stats and GET /metrics read the
+// same underlying counters, so the two surfaces cannot drift.
+
+// registerMetrics registers every server-layer instrument on reg. Called
+// once from New, before the server accepts any request.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	// Traffic counters are CounterFuncs over the atomics /stats already
+	// reports: one source of truth, two exposition formats.
+	reg.CounterFunc("onto_queries_total",
+		"POST /query requests accepted since start.",
+		func() float64 { return float64(s.queries.Load()) })
+	reg.CounterFunc("onto_mutations_total",
+		"POST /triples requests accepted since start.",
+		func() float64 { return float64(s.mutations.Load()) })
+	reg.GaugeFunc("onto_uptime_seconds",
+		"Seconds since the server was created.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.m.querySeconds = reg.Histogram("onto_query_seconds",
+		"POST /query handler latency in seconds (parse, cache lookup, evaluation and streaming).",
+		obs.LatencyBuckets())
+	s.m.mutationSeconds = reg.Histogram("onto_mutation_seconds",
+		"POST /triples handler latency in seconds (decode, apply, re-materialize).",
+		obs.LatencyBuckets())
+	s.m.httpRequests = reg.CounterVec("onto_http_requests_total",
+		"HTTP responses by handler path and status code.",
+		"handler", "code")
+
+	s.cache.registerMetrics(reg)
+	s.reasoner.RegisterMetrics(reg)
+
+	// Store-level gauges: sizes the scrape reads straight off the engine.
+	base := s.reasoner.Base()
+	reg.GaugeFunc("onto_store_triples",
+		"Triples in the asserted store.",
+		func() float64 { return float64(base.Len()) })
+	reg.GaugeFunc("onto_store_inferred_triples",
+		"Triples in the inferred overlay.",
+		func() float64 { return float64(s.reasoner.InferredCount()) })
+	reg.GaugeFunc("onto_store_dict_symbols",
+		"Interned symbols in the asserted store's dictionary.",
+		func() float64 { return float64(base.DictLen()) })
+	for i := 0; i < base.NumShards(); i++ {
+		shard := i
+		reg.GaugeFunc("onto_store_shard_triples",
+			"Triples per SPO index shard of the asserted store (write-skew signal).",
+			func() float64 { return float64(base.ShardTripleCount(shard)) },
+			obs.L("shard", strconv.Itoa(shard)))
+	}
+}
+
+// registerMetrics exposes the cache's counters (the same atomics
+// CacheStats reports) and occupancy gauges on reg.
+func (c *resultCache) registerMetrics(reg *obs.Registry) {
+	reg.CounterFunc("onto_cache_hits_total",
+		"Query-result cache lookups that replayed a cached response.",
+		func() float64 { return float64(c.hits.Load()) })
+	reg.CounterFunc("onto_cache_misses_total",
+		"Query-result cache lookups that fell through to evaluation.",
+		func() float64 { return float64(c.misses.Load()) })
+	reg.CounterFunc("onto_cache_invalidations_total",
+		"Cached results dropped by mutation deltas.",
+		func() float64 { return float64(c.invalidations.Load()) })
+	reg.GaugeFunc("onto_cache_entries",
+		"Query results currently cached.",
+		func() float64 { return float64(c.stats().Entries) })
+	reg.GaugeFunc("onto_cache_bytes",
+		"Retained bytes of cached query results.",
+		func() float64 { return float64(c.stats().Bytes) })
+}
+
+// serverMetrics holds the instruments the handlers touch per request.
+// Instruments are nil-safe, but on a Server built by New they are always
+// registered; the struct exists to keep Server's field list flat.
+type serverMetrics struct {
+	querySeconds    *obs.Histogram
+	mutationSeconds *obs.Histogram
+	httpRequests    *obs.CounterVec
+}
+
+// requestIDHeader is the header the middleware reads (client-supplied ids
+// are propagated) and always writes on the response.
+const requestIDHeader = "X-Request-Id"
+
+// statusRecorder captures the response status for the per-handler counter
+// while forwarding everything — including Flush, which the streaming
+// endpoints rely on — to the wrapped writer.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with the request-ID and per-handler accounting
+// middleware. The handler label is the request path for the mux's known
+// endpoints and "other" for everything else, keeping the label space
+// bounded against path-scanning traffic.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	known := map[string]bool{
+		"/query": true, "/triples": true, "/stats": true, "/healthz": true,
+		"/snapshot": true, "/checkpoint": true, "/metrics": true,
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(requestIDHeader)
+		if rid == "" {
+			rid = s.nextRequestID()
+			r.Header.Set(requestIDHeader, rid) // handlers read it back off the request
+		}
+		w.Header().Set(requestIDHeader, rid)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		handler := r.URL.Path
+		if !known[handler] {
+			handler = "other"
+		}
+		s.m.httpRequests.With(handler, strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// nextRequestID mints a request id unique within and across this server's
+// restarts: the start time in hex plus a process-local sequence number.
+func (s *Server) nextRequestID() string {
+	return s.ridPrefix + "-" + strconv.FormatInt(s.ridSeq.Add(1), 10)
+}
+
+// slowQueryLog appends one ndjson record per query slower than the
+// threshold. A mutex serializes writers so concurrent slow queries never
+// interleave bytes; the log is off the hot path by construction (only
+// already-slow queries reach the lock).
+type slowQueryLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	w         io.Writer
+}
+
+// slowQueryRecord is one slow-query log line.
+type slowQueryRecord struct {
+	// TS is the completion time, RFC 3339 with nanoseconds, UTC.
+	TS string `json:"ts"`
+	// RequestID ties the line to the response's X-Request-Id header.
+	RequestID string `json:"request_id"`
+	// BGP is the canonicalized pattern text (query.Canonical), so respellings
+	// of one query aggregate under one string.
+	BGP string `json:"bgp"`
+	// Mode is the evaluation mode after defaulting.
+	Mode string `json:"mode"`
+	// Explain marks EXPLAIN runs (drained, not streamed).
+	Explain bool `json:"explain,omitempty"`
+	// Solutions, Truncated and Cached mirror the response trailer.
+	Solutions int  `json:"solutions"`
+	Truncated bool `json:"truncated,omitempty"`
+	Cached    bool `json:"cached,omitempty"`
+	// ElapsedUS is the handler's wall time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Error is the trailer error, when evaluation ended early.
+	Error string `json:"error,omitempty"`
+}
+
+// newSlowQueryLog builds a log writing to w; a nil *slowQueryLog (threshold
+// unset) disables logging entirely.
+func newSlowQueryLog(threshold time.Duration, w io.Writer) *slowQueryLog {
+	if threshold <= 0 || w == nil {
+		return nil
+	}
+	return &slowQueryLog{threshold: threshold, w: w}
+}
+
+// observe writes rec if elapsed crossed the threshold. Nil-safe.
+func (l *slowQueryLog) observe(elapsed time.Duration, rec slowQueryRecord) {
+	if l == nil || elapsed < l.threshold {
+		return
+	}
+	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	rec.ElapsedUS = elapsed.Microseconds()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(line)
+}
+
+// ridPrefixFor renders the server start time as the request-id prefix.
+func ridPrefixFor(start time.Time) string {
+	return fmt.Sprintf("%x", start.UnixNano())
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// This file is the end-to-end observability test: a durable server on a
+// real TCP listener takes known traffic (queries, cache hits, an explain
+// run, mutations, a checkpoint), and the /metrics scrape, the /stats body
+// and the explain response must reflect exactly that traffic.
+
+// scrape fetches url and parses the exposition into series-line → value.
+// The key is the sample name with its label set verbatim, e.g.
+// `onto_http_requests_total{code="200",handler="/query"}`.
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("scrape content type = %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// seriesSum sums every series of one family (all label sets), optionally
+// filtered to keys containing each needle.
+func seriesSum(m map[string]float64, name string, needles ...string) float64 {
+	sum := 0.0
+	for k, v := range m {
+		if k != name && !strings.HasPrefix(k, name+"{") {
+			continue
+		}
+		ok := true
+		for _, n := range needles {
+			if !strings.Contains(k, n) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func TestObservabilityEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	base := store.New()
+	eng, err := durable.Open(base, durable.Options{
+		Dir:     t.TempDir(),
+		Fsync:   durable.FsyncAlways,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := base.AddBatch(carCorpus(t).Triples()); err != nil {
+		t.Fatal(err)
+	}
+
+	var slowBuf bytes.Buffer
+	srv := newTestServer(t, Config{
+		Base:               base,
+		Durable:            eng,
+		Metrics:            reg,
+		SlowQueryThreshold: time.Nanosecond, // log every query
+		SlowQueryLog:       &slowBuf,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	url := "http://" + ln.Addr().String()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	// Traffic: one mutation (connecting rome to italy so a 3-pattern join
+	// has a solution), the same query three times (miss, hit, hit), and a
+	// checkpoint.
+	resp, body := post("/triples", `{"add":[{"subject":"rome","predicate":"partOf","object":"italy"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("response has no X-Request-Id")
+	}
+
+	const joinBGP = `{"bgp":"?x type car . ?x locatedIn ?site . ?site partOf ?region"}`
+	for i := 0; i < 3; i++ {
+		resp, body = post("/query", joinBGP)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, resp.StatusCode, body)
+		}
+		if i > 0 && !bytes.Contains(body, []byte(`"cached":true`)) {
+			t.Errorf("query %d not served from cache: %s", i, body)
+		}
+	}
+
+	// EXPLAIN ANALYZE over the same BGP: the chosen order must be a
+	// 3-pattern plan with live per-operator stats.
+	resp, body = post("/query?explain=1", joinBGP)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: %d %s", resp.StatusCode, body)
+	}
+	var ex ExplainResponse
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatalf("explain body: %v in %s", err, body)
+	}
+	if ex.Error != "" {
+		t.Fatalf("explain error: %s", ex.Error)
+	}
+	if ex.Solutions != 1 {
+		t.Errorf("explain solutions = %d, want 1 (beetle/rome/italy)", ex.Solutions)
+	}
+	if !ex.Plan.Exhaustive || ex.Plan.Considered != 6 || len(ex.Plan.Chosen) != 3 {
+		t.Errorf("explain plan: exhaustive=%v considered=%d chosen=%v",
+			ex.Plan.Exhaustive, ex.Plan.Considered, ex.Plan.Chosen)
+	}
+	if len(ex.Plan.Levels) != 3 {
+		t.Fatalf("explain levels = %d, want 3", len(ex.Plan.Levels))
+	}
+	for i, lv := range ex.Plan.Levels {
+		if lv.Pattern == "" || lv.Stat.Batches == 0 || lv.Stat.Nanos <= 0 {
+			t.Errorf("level %d not annotated: %+v", i, lv)
+		}
+		if i > 0 && lv.Stat.Probes == 0 {
+			t.Errorf("join level %d reports no probes: %+v", i, lv)
+		}
+	}
+	if ex.PoolGets == 0 || ex.PoolPuts == 0 {
+		t.Errorf("explain pool round trips = %d/%d, want nonzero", ex.PoolGets, ex.PoolPuts)
+	}
+
+	resp, body = post("/checkpoint", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", resp.StatusCode, body)
+	}
+
+	// The scrape must account exactly for the traffic above.
+	m := scrape(t, url+"/metrics")
+	if got := m["onto_queries_total"]; got != 4 {
+		t.Errorf("onto_queries_total = %g, want 4 (3 streamed + 1 explain)", got)
+	}
+	if got := m["onto_mutations_total"]; got != 1 {
+		t.Errorf("onto_mutations_total = %g, want 1", got)
+	}
+	if got := m["onto_query_seconds_count"]; got != 4 {
+		t.Errorf("onto_query_seconds_count = %g, want 4", got)
+	}
+	if got := m["onto_mutation_seconds_count"]; got != 1 {
+		t.Errorf("onto_mutation_seconds_count = %g, want 1", got)
+	}
+	if got := m["onto_cache_hits_total"]; got != 2 {
+		t.Errorf("onto_cache_hits_total = %g, want 2", got)
+	}
+	if m["onto_cache_misses_total"] < 1 {
+		t.Errorf("onto_cache_misses_total = %g, want >= 1", m["onto_cache_misses_total"])
+	}
+	if got := seriesSum(m, "onto_http_requests_total", `handler="/query"`, `code="200"`); got != 4 {
+		t.Errorf("http requests for /query = %g, want 4", got)
+	}
+	if m["onto_wal_fsync_seconds_count"] < 1 {
+		t.Errorf("onto_wal_fsync_seconds_count = %g, want >= 1", m["onto_wal_fsync_seconds_count"])
+	}
+	if m["onto_wal_frames_total"] < 1 {
+		t.Errorf("onto_wal_frames_total = %g, want >= 1", m["onto_wal_frames_total"])
+	}
+	if got := m["onto_checkpoints_total"]; got != 1 {
+		t.Errorf("onto_checkpoints_total = %g, want 1", got)
+	}
+	if m["onto_checkpoint_seconds_count"] < 1 {
+		t.Errorf("onto_checkpoint_seconds_count = %g, want >= 1", m["onto_checkpoint_seconds_count"])
+	}
+	if m["onto_reason_generation"] < 1 {
+		t.Errorf("onto_reason_generation = %g, want >= 1 after a mutation", m["onto_reason_generation"])
+	}
+	if m["onto_store_triples"] < 7 {
+		t.Errorf("onto_store_triples = %g, want >= 7", m["onto_store_triples"])
+	}
+	if got := seriesSum(m, "onto_store_shard_triples"); got != m["onto_store_triples"] {
+		t.Errorf("shard triple counts sum to %g, store reports %g", got, m["onto_store_triples"])
+	}
+	if m["onto_uptime_seconds"] <= 0 {
+		t.Errorf("onto_uptime_seconds = %g, want > 0", m["onto_uptime_seconds"])
+	}
+
+	// /stats and /metrics are the same counters: the JSON body must agree
+	// with the scrape taken around it.
+	resp2, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if float64(st.Queries) != m["onto_queries_total"] {
+		t.Errorf("/stats queries %d != scrape %g", st.Queries, m["onto_queries_total"])
+	}
+	if float64(st.Cache.Hits) != m["onto_cache_hits_total"] {
+		t.Errorf("/stats cache hits %d != scrape %g", st.Cache.Hits, m["onto_cache_hits_total"])
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Error("/stats uptime_seconds missing")
+	}
+	if st.Engine.Generation < 1 {
+		t.Errorf("/stats engine generation = %d, want >= 1", st.Engine.Generation)
+	}
+
+	// The slow-query log (threshold 1ns: everything logs) carries one
+	// ndjson record per query, tied to the request id.
+	lines := bytes.Split(bytes.TrimSpace(slowBuf.Bytes()), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("slow-query log has %d records, want 4: %s", len(lines), slowBuf.Bytes())
+	}
+	explains, cached := 0, 0
+	for _, line := range lines {
+		var rec slowQueryRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad slow-query record %s: %v", line, err)
+		}
+		if rec.RequestID == "" || rec.BGP == "" || rec.Mode != ModeMaterialized || rec.TS == "" {
+			t.Errorf("incomplete slow-query record: %+v", rec)
+		}
+		if rec.Explain {
+			explains++
+		}
+		if rec.Cached {
+			cached++
+		}
+	}
+	if explains != 1 || cached != 2 {
+		t.Errorf("slow-query log: %d explain / %d cached records, want 1 / 2", explains, cached)
+	}
+}
+
+// TestMetricsDisabled pins DisableMetrics: instrumentation still runs, only
+// the exposition endpoint is withheld.
+func TestMetricsDisabled(t *testing.T) {
+	srv := newTestServer(t, Config{DisableMetrics: true})
+	ts := newLocalServer(t, srv)
+	resp, err := http.Get(ts + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics on a DisableMetrics server = %d, want 404", resp.StatusCode)
+	}
+	if srv.Metrics() == nil {
+		t.Fatal("registry missing despite DisableMetrics")
+	}
+}
+
+// newLocalServer starts srv on a loopback listener torn down with the test.
+func newLocalServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return fmt.Sprintf("http://%s", ln.Addr())
+}

@@ -9,9 +9,17 @@
 //	POST /query      — evaluate a BGP (query.ParseBGP text), stream solutions
 //	POST /triples    — batched add/remove mutations, incrementally re-materialized
 //	GET  /stats      — store, engine, cache, durability and traffic counters
+//	GET  /metrics    — the same state as a Prometheus text scrape (repro/internal/obs)
 //	GET  /healthz    — liveness probe
 //	GET  /snapshot   — stream the materialized view as JSON lines
 //	POST /checkpoint — compact the write-ahead log into a segment (durable servers)
+//
+// POST /query?explain=1 runs the query in EXPLAIN ANALYZE form: instead of
+// streaming solutions it evaluates the BGP with a planner/executor trace
+// attached and returns one JSON object describing the candidate join
+// orders, the chosen plan and per-operator batch/row/probe/time stats.
+// Queries slower than Config.SlowQueryThreshold are appended to the
+// slow-query log as ndjson records carrying the response's X-Request-Id.
 //
 // Query results are memoized in a sharded cache keyed on the canonicalized
 // BGP (query.Canonical) plus evaluation mode and limit, and invalidated at
@@ -32,12 +40,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/reason"
 	"repro/internal/store"
 )
@@ -99,6 +110,24 @@ type Config struct {
 	// CacheShards is the cache's lock-domain count; 0 picks the default
 	// (16).
 	CacheShards int
+	// Metrics is the observability registry the server instruments itself
+	// on; nil makes the server create its own. Pass a shared registry to
+	// co-expose other layers' metrics (the durable engine's, via
+	// durable.Options.Metrics) on this server's /metrics endpoint. The
+	// server registers fixed metric names, so two Servers must not share
+	// one registry.
+	Metrics *obs.Registry
+	// DisableMetrics leaves GET /metrics unmounted. Instrumentation still
+	// runs (the /stats counters are the same atomics); only the Prometheus
+	// exposition endpoint is withheld.
+	DisableMetrics bool
+	// SlowQueryThreshold enables the slow-query log: every /query taking at
+	// least this long is appended to SlowQueryLog as one JSON line
+	// (slowQueryRecord). 0 disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is where slow-query records go; nil with a threshold set
+	// means os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 // defaults the zero fields.
@@ -137,10 +166,18 @@ type Server struct {
 	reasoner *reason.Reasoner
 	cache    *resultCache
 	mux      *http.ServeMux
+	root     http.Handler // mux wrapped in the instrumentation middleware
 	start    time.Time
 
 	queries   atomic.Int64
 	mutations atomic.Int64
+
+	reg  *obs.Registry
+	m    serverMetrics
+	slow *slowQueryLog
+
+	ridPrefix string
+	ridSeq    atomic.Int64
 }
 
 // New materializes the base corpus to a fixpoint under the rule set and
@@ -162,23 +199,39 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: materializing the corpus: %w", err)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	slowW := cfg.SlowQueryLog
+	if slowW == nil {
+		slowW = os.Stderr
+	}
 	s := &Server{
 		cfg:      cfg,
 		reasoner: r,
 		cache:    newResultCache(cfg.CacheMaxBytes, cfg.CacheShards),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		reg:      reg,
+		slow:     newSlowQueryLog(cfg.SlowQueryThreshold, slowW),
 	}
+	s.ridPrefix = ridPrefixFor(s.start)
 	res := r.View().NewResolver()
 	r.SetOnDelta(func(added, removed []store.IDTriple) {
 		s.cache.invalidate(res, added, removed)
 	})
+	s.registerMetrics(reg)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/triples", s.handleTriples)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	if !cfg.DisableMetrics {
+		s.mux.Handle("/metrics", reg.Handler())
+	}
+	s.root = s.instrument(s.mux)
 	return s, nil
 }
 
@@ -188,9 +241,14 @@ func New(cfg Config) (*Server, error) {
 // invalidation owns that hook.
 func (s *Server) Reasoner() *reason.Reasoner { return s.reasoner }
 
-// Handler returns the http.Handler serving every endpoint, for mounting
-// under a custom http.Server or hitting directly in tests and benchmarks.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the http.Handler serving every endpoint (wrapped in the
+// request-ID and per-handler accounting middleware), for mounting under a
+// custom http.Server or hitting directly in tests and benchmarks.
+func (s *Server) Handler() http.Handler { return s.root }
+
+// Metrics returns the observability registry this server instruments
+// itself on — the one GET /metrics serves.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts down
 // gracefully: in-flight requests get up to shutdownGrace to finish before
@@ -202,7 +260,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // otherwise.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -199,6 +199,31 @@ func (s *Store) Len() int {
 	return int(s.size.Load())
 }
 
+// NumShards returns the shard count of each permutation index family — the
+// range of valid ShardTripleCount arguments.
+func (s *Store) NumShards() int { return numShards }
+
+// ShardTripleCount returns the number of triples whose subject hashes to
+// SPO shard i — the observability layer's view of write-skew across shards
+// (a hot subject shows up as one shard far above the mean). It walks the
+// shard's trailing sets under its read lock, so it costs the shard's size
+// and briefly blocks writers to that shard; scrape-time use only.
+func (s *Store) ShardTripleCount(i int) int {
+	if i < 0 || i >= numShards {
+		return 0
+	}
+	sh := &s.spo[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	n := 0
+	for _, e := range sh.m {
+		for j := range e.entries {
+			n += e.entries[j].trail.len()
+		}
+	}
+	return n
+}
+
 // Contains reports whether the triple is present.
 func (s *Store) Contains(t Triple) bool {
 	e, ok := s.syms.lookupTriple(t)

@@ -33,6 +33,7 @@ var Packages = []string{
 	"repro/internal/query/exec",
 	"repro/internal/reason",
 	"repro/internal/server",
+	"repro/internal/obs",
 }
 
 func run(pass *analysis.Pass) (any, error) {
