@@ -11,6 +11,7 @@
 //	ontoserve -annotations data.triples [-f ontology.tbox] [-rules extra.rules]
 //	ontoserve -annotations data.triples -addr 127.0.0.1:0 -cache 512 -timeout 2s
 //	ontoserve -paper -data-dir /var/lib/ontoserve [-fsync batch] [-checkpoint-mib 128]
+//	ontoserve -replicate-from http://primary:8080 [-addr :8081]
 //
 // -paper serves the paper's own example corpus (the quickest way to poke
 // the API); otherwise -annotations names a store snapshot (one JSON triple
@@ -33,6 +34,18 @@
 // picks the durability/latency trade (always, batch, off), -fsync-interval
 // the batch cadence, and -checkpoint-mib how much log growth triggers
 // compaction into a fresh segment; POST /checkpoint forces one.
+//
+// -replicate-from makes the process a read replica of another ontoserve
+// (repro/internal/repl): it boots from the primary's GET /repl/snapshot,
+// follows GET /repl/deltas, re-derives the inferred overlay locally, and
+// serves queries read-only — POST /triples and POST /checkpoint answer 403
+// naming the primary, and /healthz reports the replication lag so load
+// balancers can eject stale nodes. A replica takes no corpus flags and no
+// -data-dir (the primary is the source of truth; a restarted replica
+// re-snapshots), but -rules and -f still apply and MUST match the
+// primary's so both sides derive the same overlay. On a primary,
+// -repl-retain sizes the delta window replicas can catch up from without
+// re-snapshotting.
 //
 // -metrics (on by default) exposes the process's instruments — traffic
 // counters, latency histograms, WAL/checkpoint state, reasoner and cache
@@ -70,6 +83,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/reason"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/tboxio"
@@ -100,8 +114,10 @@ func run(args []string, stderr io.Writer) int {
 	slowQuery := fs.Duration("slow-query", 0, "log queries at least this slow as ndjson records (0 disables the slow-query log)")
 	slowQueryLog := fs.String("slow-query-log", "", "file the slow-query log appends to; empty logs to stderr")
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof on its own listener (empty disables profiling)")
+	replicateFrom := fs.String("replicate-from", "", "primary base URL to replicate from; makes this process a read-only replica")
+	replRetain := fs.Int("repl-retain", 0, "delta frames the primary retains for replica catch-up (0 picks the default, negative disables the feed endpoints)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: ontoserve (-paper | -annotations <file>) [-f <tbox>] [-rules <file>] [-addr host:port] [options]\n")
+		fmt.Fprintf(stderr, "usage: ontoserve (-paper | -annotations <file> | -replicate-from <url>) [-f <tbox>] [-rules <file>] [-addr host:port] [options]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -116,8 +132,16 @@ func run(args []string, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if !*paper && *annotations == "" {
-		fmt.Fprintln(stderr, "ontoserve: need a corpus; pass -paper or -annotations")
+	if !*paper && *annotations == "" && *replicateFrom == "" {
+		fmt.Fprintln(stderr, "ontoserve: need a corpus; pass -paper, -annotations or -replicate-from")
+		fs.Usage()
+		return 2
+	}
+	if *replicateFrom != "" && (*paper || *annotations != "" || *dataDir != "") {
+		// A replica's corpus is the primary's snapshot and nothing else, and
+		// it keeps no durable state (a restarted replica re-snapshots);
+		// seeding or journaling it locally would fork it from the primary.
+		fmt.Fprintln(stderr, "ontoserve: -replicate-from excludes -paper, -annotations and -data-dir (the primary is the source of truth)")
 		fs.Usage()
 		return 2
 	}
@@ -131,8 +155,21 @@ func run(args []string, stderr io.Writer) int {
 
 	// The base store exists before any corpus loading so that, with a data
 	// directory, durable.Open can recover into it and install its journal
-	// first — every triple loaded afterwards flows through the log.
+	// first — every triple loaded afterwards flows through the log. A
+	// replica's base comes from the primary's snapshot instead.
 	base := store.New()
+	var rep *repl.Replica
+	if *replicateFrom != "" {
+		var err error
+		rep, err = repl.New(repl.Options{Primary: *replicateFrom, Logger: logger})
+		if err != nil {
+			fmt.Fprintf(stderr, "ontoserve: %v\n", err)
+			return 1
+		}
+		base = rep.Base()
+		logger.Printf("booted from %s at generation %d (%d asserted triples)",
+			*replicateFrom, rep.Status().AppliedGeneration, base.Len())
+	}
 	var eng *durable.Engine
 	if *dataDir != "" {
 		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
@@ -160,8 +197,8 @@ func run(args []string, stderr io.Writer) int {
 	// state, the log is the single source of truth: re-asserting the corpus
 	// on every boot would resurrect corpus triples a client durably removed
 	// through POST /triples.
-	seed := eng == nil || eng.LastSeq() == 0
-	if !seed {
+	seed := rep == nil && (eng == nil || eng.LastSeq() == 0)
+	if eng != nil && eng.LastSeq() != 0 {
 		logger.Printf("data directory already holds state; corpus flags configure the ontology and rules but seed no triples (wipe %s to reseed)", *dataDir)
 	}
 	cfg, err := buildConfig(base, seed, *paper, *annotations, *file, *rulesFile)
@@ -174,6 +211,11 @@ func run(args []string, stderr io.Writer) int {
 		// and crash the durability handlers.
 		cfg.Durable = eng
 	}
+	if rep != nil {
+		// Same typed-nil trap as Durable: only assign a live replica.
+		cfg.Replica = rep
+	}
+	cfg.ReplRetain = *replRetain
 	cfg.QueryTimeout = *timeout
 	cfg.MaxSolutions = *maxSolutions
 	cfg.CacheMaxBytes = int64(*cacheMiB) << 20
@@ -230,6 +272,14 @@ func run(args []string, stderr io.Writer) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if rep != nil {
+		// The feed loop applies deltas through the server's reasoner, which
+		// re-derives the inferred overlay and invalidates the query cache
+		// exactly as a local mutation would. Run retries every failure
+		// itself and returns only when ctx is done.
+		go func() { _ = rep.Run(ctx, srv.Reasoner()) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

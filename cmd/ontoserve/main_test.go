@@ -117,4 +117,19 @@ func TestRunFlagErrors(t *testing.T) {
 	if code := run([]string{}, &stderr); code != 2 {
 		t.Fatalf("run with no corpus = %d, want 2", code)
 	}
+	// A replica's corpus is the primary's snapshot: every local corpus or
+	// durability flag is a configuration conflict, not a boot.
+	for _, args := range [][]string{
+		{"-replicate-from", "http://p:1", "-paper"},
+		{"-replicate-from", "http://p:1", "-annotations", "x.triples"},
+		{"-replicate-from", "http://p:1", "-data-dir", t.TempDir()},
+	} {
+		stderr.Reset()
+		if code := run(args, &stderr); code != 2 {
+			t.Fatalf("run with %v = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "replicate-from") {
+			t.Fatalf("conflict error does not explain itself: %s", stderr.String())
+		}
+	}
 }

@@ -2,6 +2,7 @@ package reason
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,7 @@ type Reasoner struct {
 	source  []Rule
 	stats   Stats
 	onDelta func(added, removed []store.IDTriple)
+	onEvent func(Delta)
 	// gen counts content-changing writes: it advances exactly when the delta
 	// hook would fire, so any two reads bracketing an unchanged generation
 	// saw the same materialization. The replica tier's staleness signal.
@@ -94,6 +96,47 @@ func (r *Reasoner) RegisterMetrics(reg *obs.Registry) {
 	})
 }
 
+// Delta is the generation-keyed record of one content-changing write — the
+// event the replication tier replays. Added and Removed are the same
+// conservative view-level supersets SetOnDelta reports (asserted and
+// inferred changes together, provenance flips in both lists).
+// AssertedAdded and AssertedRemoved are the subset that entered or left the
+// asserted base store: exactly the mutations a replica must re-apply through
+// its own reasoner to converge, since the inferred overlay is a
+// deterministic function of the base and the rule set. Gen is the
+// materialization generation the write produced; consecutive events carry
+// consecutive generations, which is what lets a replica detect dropped or
+// duplicated events with one comparison. Reset marks a Rematerialize: the
+// extent of the change is unknowable (all four lists are nil) and consumers
+// holding derived state must rebuild it from scratch.
+type Delta struct {
+	// Gen is the generation after this write; events form a dense chain.
+	Gen uint64
+	// Added and Removed cover every triple whose membership in the base or
+	// the overlay may have changed (see SetOnDelta for the exact contract).
+	Added, Removed []store.IDTriple
+	// AssertedAdded and AssertedRemoved are the base-store changes alone:
+	// the replayable mutation stream.
+	AssertedAdded, AssertedRemoved []store.IDTriple
+	// Reset marks an unknown-extent change (Rematerialize); the lists are
+	// nil and consumers must assume anything may have changed.
+	Reset bool
+}
+
+// SetOnEvent installs a hook invoked with the Delta of every
+// content-changing write, after the SetOnDelta hook. It is the
+// generation-keyed, provenance-split form of SetOnDelta — the serving
+// layer's replication feed subscribes here — and runs under the same
+// contract: synchronously on the writing goroutine with the write lock
+// held, slices owned by the reasoner and valid only for the duration of the
+// call, no Reasoner methods from inside the hook. Both hooks may be
+// installed at once; a nil hook disables it.
+func (r *Reasoner) SetOnEvent(hook func(Delta)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onEvent = hook
+}
+
 // SetOnDelta installs a hook invoked after every write (Add, AddBatch,
 // Remove, Rematerialize) that may have changed the contents of the base
 // store or the overlay, with the id triples that entered and left them —
@@ -124,13 +167,19 @@ func (r *Reasoner) SetOnDelta(hook func(added, removed []store.IDTriple)) {
 	r.onDelta = hook
 }
 
-// notify fires the delta hook if one is installed. Callers hold r.mu and
-// guarantee at least one of the lists is meaningful (both nil is the
-// Rematerialize "everything may have changed" signal).
-func (r *Reasoner) notify(added, removed []store.IDTriple) {
-	r.gen.Add(1)
+// notify advances the generation and fires the installed hooks. Callers
+// hold r.mu and guarantee the delta is meaningful: either Reset is set with
+// all lists nil (the Rematerialize "everything may have changed" signal) or
+// at least one list carries a change. The generation is assigned here so
+// events always carry a dense chain of generations, whatever mix of write
+// paths produced them.
+func (r *Reasoner) notify(d Delta) {
+	d.Gen = r.gen.Add(1)
 	if r.onDelta != nil {
-		r.onDelta(added, removed)
+		r.onDelta(d.Added, d.Removed)
+	}
+	if r.onEvent != nil {
+		r.onEvent(d)
 	}
 }
 
@@ -196,7 +245,7 @@ func (r *Reasoner) Rematerialize() {
 	// The extent of the change is unknowable here (the base was edited
 	// behind the reasoner's back); nil lists tell receivers to assume
 	// everything may have changed.
-	r.notify(nil, nil)
+	r.notify(Delta{Reset: true})
 }
 
 // overlayTriples materializes the overlay's id triples.
@@ -308,11 +357,18 @@ func (r *Reasoner) Add(t store.Triple) (bool, error) {
 		// consequence is already materialized. The flip still moved the
 		// triple between the members, so the hook fires with it in both
 		// lists (entered the base, left the overlay).
-		r.notify([]store.IDTriple{idt}, []store.IDTriple{idt})
+		r.notify(Delta{
+			Added:         []store.IDTriple{idt},
+			Removed:       []store.IDTriple{idt},
+			AssertedAdded: []store.IDTriple{idt},
+		})
 		return true, nil
 	}
 	derived := r.propagate([]store.IDTriple{idt})
-	r.notify(append(derived, idt), nil)
+	r.notify(Delta{
+		Added:         append(derived, idt),
+		AssertedAdded: []store.IDTriple{idt},
+	})
 	return true, nil
 }
 
@@ -352,7 +408,16 @@ func (r *Reasoner) AddBatch(ts []store.Triple) (int, error) {
 	}
 	derived := r.propagate(delta)
 	if len(delta) > 0 || len(flips) > 0 {
-		r.notify(append(append(delta, derived...), flips...), flips)
+		// The asserted delta is every fresh base insertion — the non-flip
+		// batch triples plus the flips — copied before the view-level list
+		// is assembled in place over delta's backing array.
+		asserted := make([]store.IDTriple, 0, len(delta)+len(flips))
+		asserted = append(append(asserted, delta...), flips...)
+		r.notify(Delta{
+			Added:         append(append(delta, derived...), flips...),
+			Removed:       flips,
+			AssertedAdded: asserted,
+		})
 	}
 	return added, nil
 }
@@ -435,8 +500,29 @@ func (r *Reasoner) Remove(t store.Triple) bool {
 	r.stats.Rederived += len(restored)
 	r.stats.Derived += len(restored)
 	derived := r.propagate(restored)
-	r.notify(append(restored, derived...), append(markedList, idt))
+	r.notify(Delta{
+		Added:           append(restored, derived...),
+		Removed:         append(markedList, idt),
+		AssertedRemoved: []store.IDTriple{idt},
+	})
 	return true
+}
+
+// SnapshotBase writes the asserted base store's snapshot (Store.Snapshot's
+// byte-stable sorted format) to w under the reasoner's write lock and
+// returns the generation the bytes correspond to: because writes and their
+// generation advances are serialized by the same lock, the pair is exactly
+// consistent — a replica that restores the snapshot and then applies the
+// events with generations above the returned one reconstructs the primary's
+// base store precisely. Mutations block for the duration of the write, so
+// callers that serve slow consumers should hand in an in-memory buffer and
+// stream it out after SnapshotBase returns, as the serving layer's
+// /repl/snapshot handler does.
+func (r *Reasoner) SnapshotBase(w io.Writer) (gen uint64, n int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, err = r.base.Snapshot(w)
+	return r.gen.Load(), n, err
 }
 
 // encode resolves a triple to ids without interning.

@@ -1,0 +1,316 @@
+package repl_test
+
+// Fault-injection tests: the feed transport misbehaves (connections die
+// mid-delta, long-poll responses are dropped or duplicated), the replica
+// process is SIGKILLed mid-apply, and a stalled consumer parks on the feed
+// — the replica must reconnect, never apply a generation twice, and
+// converge; the primary must keep serving mutations throughout.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/reason"
+	"repro/internal/repl"
+)
+
+// faultTransport wraps a transport and injects deterministic failures on
+// /repl/deltas requests: every cycle of four polls sees one dropped
+// request (transport error before it is sent), one response truncated
+// mid-body (the connection dying mid-delta), and one response replayed
+// verbatim from the previous poll (a duplicated long-poll response, so the
+// replica receives frames it has already applied). Snapshot requests pass
+// through untouched.
+type faultTransport struct {
+	inner http.RoundTripper
+
+	mu    sync.Mutex
+	polls int
+	last  []byte // previous successful deltas response body
+
+	drops, truncates, duplicates int
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !strings.Contains(req.URL.Path, "/repl/deltas") {
+		return ft.inner.RoundTrip(req)
+	}
+	ft.mu.Lock()
+	n := ft.polls
+	ft.polls++
+	last := ft.last
+	ft.mu.Unlock()
+
+	switch n % 4 {
+	case 1: // drop: the request never reaches the primary
+		ft.mu.Lock()
+		ft.drops++
+		ft.mu.Unlock()
+		return nil, fmt.Errorf("faultTransport: injected connection failure")
+	case 2: // duplicate: replay the previous response body verbatim
+		if last != nil {
+			ft.mu.Lock()
+			ft.duplicates++
+			ft.mu.Unlock()
+			return &http.Response{
+				StatusCode: http.StatusOK,
+				Status:     "200 OK",
+				Header:     http.Header{"Content-Type": []string{"application/x-ndjson"}},
+				Body:       io.NopCloser(bytes.NewReader(last)),
+				Request:    req,
+			}, nil
+		}
+	}
+	resp, err := ft.inner.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	ft.mu.Lock()
+	ft.last = append([]byte(nil), body...)
+	ft.mu.Unlock()
+	if n%4 == 3 && len(body) > 1 {
+		// Truncate: the connection dies mid-delta. The replica sees a
+		// stream with no trailer (or a torn JSON line) and must retry from
+		// its applied generation.
+		ft.mu.Lock()
+		ft.truncates++
+		ft.mu.Unlock()
+		body = body[:len(body)/2]
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	return resp, nil
+}
+
+// TestFaultInjectionFeed drives a mutation schedule while the replica's
+// transport drops, truncates and duplicates feed responses. The replica
+// must converge to the primary byte-for-byte, having applied every
+// generation exactly once (witnessed by its event count matching the
+// primary's frame count — a double-applied frame would desynchronize the
+// two), with reconnects recorded in its status.
+func TestFaultInjectionFeed(t *testing.T) {
+	psrv, ts := newPrimary(t, 0)
+	ft := &faultTransport{inner: http.DefaultTransport}
+	rep, applier := newReplica(t, ts.URL, repl.Options{
+		Client:   &http.Client{Transport: ft},
+		PollWait: 50 * time.Millisecond,
+	})
+
+	// Count the replica's apply events: one per content-changing write,
+	// exactly as the primary emits one frame per write. Installing the
+	// hook before Run starts means every applied frame is counted.
+	var mu sync.Mutex
+	applies := 0
+	applier.SetOnEvent(func(reason.Delta) {
+		mu.Lock()
+		applies++
+		mu.Unlock()
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = rep.Run(ctx, applier) }()
+	defer func() { cancel(); <-done }()
+
+	bootGen := rep.Status().AppliedGeneration
+	m := newMutator(97, psrv.Reasoner())
+	changes := 0
+	for i := 0; i < 60; i++ {
+		if m.step(t) {
+			changes++
+		}
+		if i%10 == 9 {
+			time.Sleep(20 * time.Millisecond) // let faults interleave with feed pages
+		}
+	}
+	gen := psrv.Reasoner().Generation()
+	waitApplied(t, rep, gen)
+
+	if want, got := viewSnapshot(t, psrv.Reasoner()), viewSnapshot(t, applier); !bytes.Equal(want, got) {
+		t.Fatalf("replica diverged under fault injection: primary %d bytes, replica %d bytes", len(want), len(got))
+	}
+	mu.Lock()
+	applied := applies
+	mu.Unlock()
+	if wantFrames := int(gen - bootGen); applied != wantFrames {
+		t.Fatalf("replica applied %d events for %d primary frames — a frame was applied twice or skipped", applied, wantFrames)
+	}
+	st := rep.Status()
+	if st.Reconnects == 0 {
+		t.Fatal("fault injection produced no recorded reconnects")
+	}
+	ft.mu.Lock()
+	t.Logf("faults injected: %d drops, %d truncates, %d duplicates; %d reconnects, %d changes",
+		ft.drops, ft.truncates, ft.duplicates, st.Reconnects, changes)
+	ft.mu.Unlock()
+}
+
+// TestStalledConsumerDoesNotBlockPrimary parks a consumer on the feed that
+// never reads its response and then times a burst of mutations: the
+// primary's mutation path only appends to the bounded retention buffer, so
+// it must finish promptly no matter what any replica is doing.
+func TestStalledConsumerDoesNotBlockPrimary(t *testing.T) {
+	psrv, ts := newPrimary(t, 4)
+
+	// A raw connection that sends the poll request and then never reads:
+	// the rudest possible consumer.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /repl/deltas?from=0&wait=25s HTTP/1.1\r\nHost: primary\r\n\r\n")
+
+	m := newMutator(13, psrv.Reasoner())
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		m.step(t)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("mutations took %v behind a stalled feed consumer", elapsed)
+	}
+	// The feed evicted history past the stalled consumer instead of
+	// waiting for it.
+	if gen := psrv.Reasoner().Generation(); gen < 50 {
+		t.Fatalf("only %d generations applied", gen)
+	}
+}
+
+// helperEnv marks the re-executed test binary as the replica child process.
+const helperEnv = "REPL_TEST_HELPER_PRIMARY"
+
+// TestHelperReplicaProcess is not a test: it is the body of the replica
+// child process TestReplicaSIGKILL spawns (the standard re-exec helper
+// pattern). It boots a replica off the primary named in the environment,
+// follows the feed, and reports its applied generation on stdout until it
+// is killed.
+func TestHelperReplicaProcess(t *testing.T) {
+	primary := os.Getenv(helperEnv)
+	if primary == "" {
+		t.Skip("helper process body, not a test")
+	}
+	rep, err := repl.New(repl.Options{Primary: primary, PollWait: 50 * time.Millisecond})
+	if err != nil {
+		fmt.Println("boot-error", err)
+		os.Exit(1)
+	}
+	applier, err := reason.Materialize(rep.Base(), reason.RDFSRules())
+	if err != nil {
+		fmt.Println("boot-error", err)
+		os.Exit(1)
+	}
+	go func() { _ = rep.Run(context.Background(), applier) }()
+	for {
+		fmt.Println("applied", rep.Status().AppliedGeneration)
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicaSIGKILL runs a replica in a separate OS process, SIGKILLs it
+// mid-apply while mutations are flowing, and checks that (a) the primary
+// keeps serving mutations unperturbed and (b) a replacement replica boots
+// fresh and converges — the stateless-replica recovery story: there is no
+// on-disk state to corrupt, so recovery from SIGKILL is a clean boot.
+func TestReplicaSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	psrv, ts := newPrimary(t, 0)
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=^TestHelperReplicaProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"="+ts.URL)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// Feed mutations while watching the child's applied generation; kill it
+	// the moment it reports real progress — mid-apply, by construction,
+	// since more history is still flowing when the signal lands.
+	m := newMutator(23, psrv.Reasoner())
+	progress := make(chan uint64, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 2 && fields[0] == "applied" {
+				if g, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+					progress <- g
+				}
+			}
+		}
+		close(progress)
+	}()
+
+	killed := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !killed {
+		if time.Now().After(deadline) {
+			t.Fatal("child replica never reported applied progress")
+		}
+		for i := 0; i < 3; i++ {
+			m.step(t)
+		}
+		select {
+		case g, ok := <-progress:
+			if ok && g >= 3 {
+				if err := cmd.Process.Kill(); err != nil { // SIGKILL
+					t.Fatal(err)
+				}
+				killed = true
+			}
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	_, _ = cmd.Process.Wait()
+
+	// The primary must be unperturbed: mutations keep applying.
+	genBefore := psrv.Reasoner().Generation()
+	for i := 0; i < 20; i++ {
+		m.step(t)
+	}
+	if psrv.Reasoner().Generation() <= genBefore {
+		t.Fatal("primary stopped applying mutations after the replica was killed")
+	}
+
+	// A replacement replica boots fresh and converges byte-for-byte.
+	rep, applier := newReplica(t, ts.URL, repl.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = rep.Run(ctx, applier) }()
+	defer func() { cancel(); <-done }()
+	waitApplied(t, rep, psrv.Reasoner().Generation())
+	if want, got := viewSnapshot(t, psrv.Reasoner()), viewSnapshot(t, applier); !bytes.Equal(want, got) {
+		t.Fatal("replacement replica diverged from primary")
+	}
+}

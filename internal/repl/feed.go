@@ -1,0 +1,183 @@
+package repl
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// DefaultRetain is the delta-frame retention a primary uses when the
+// operator does not pick one: enough for a replica to ride out transient
+// disconnects at typical mutation rates without re-snapshotting, small
+// enough that a write-heavy primary is not holding gigabytes of history.
+const DefaultRetain = 1024
+
+// Feed is the primary-side delta retention buffer: the reasoner's event
+// hook appends one Frame per content-changing write, and the /repl/deltas
+// handler reads frames back by generation, long-polling for new ones. It
+// retains the most recent frames up to its retention cap; a replica that
+// falls further behind than that is told its position is gone (Since
+// reports gapped) and must re-snapshot.
+//
+// Appends never block on readers — the buffer is bounded, eviction is
+// immediate, and waiting pollers are woken by a channel close — so a slow,
+// stalled or dead replica can never hold up the primary's mutation path.
+// All methods are safe for concurrent use. Frames handed out by Since are
+// shared, immutable history: neither the feed nor callers may mutate them.
+type Feed struct {
+	mu      sync.Mutex
+	frames  []Frame       // dense ascending generations; frames[0] is the oldest retained
+	latest  uint64        // generation of the newest appended frame (0 before any)
+	retain  int           // max frames retained
+	wake    chan struct{} // closed and replaced on every append, waking long-pollers
+	appends int64         // frames ever appended
+	dropped int64         // frames ever evicted by retention
+	triples int64         // triples across retained frames (memory signal)
+}
+
+// NewFeed returns a feed retaining up to retain frames; retain < 1 is
+// raised to 1 (a feed that retains nothing could never serve a single
+// delta and every poll would demand a re-snapshot).
+func NewFeed(retain int) *Feed {
+	if retain < 1 {
+		retain = 1
+	}
+	return &Feed{retain: retain, wake: make(chan struct{})}
+}
+
+// Append publishes one frame. Frames must arrive in generation order with
+// dense generations — the reasoner's event hook guarantees that — but the
+// feed defends itself against a discontinuity (a hook installed late, a
+// consumer wired to a restarted reasoner) by dropping its history and
+// restarting the chain at the new frame, which forces every replica behind
+// the discontinuity onto the re-snapshot path instead of silently serving
+// a forked history.
+func (f *Feed) Append(fr Frame) {
+	f.mu.Lock()
+	if f.latest != 0 && fr.Gen != f.latest+1 {
+		// Discontinuity: truncate history so no replica can be handed a
+		// chain that skips generations.
+		f.dropped += int64(len(f.frames))
+		f.frames = f.frames[:0]
+		f.triples = 0
+	}
+	f.frames = append(f.frames, fr)
+	f.triples += int64(len(fr.Add) + len(fr.Remove))
+	f.latest = fr.Gen
+	f.appends++
+	for len(f.frames) > f.retain {
+		// Evict by re-slicing only: Since hands out subslices of this
+		// buffer, so evicted elements must not be written to. The evicted
+		// frame stays reachable through the backing array until append's
+		// next reallocation (at most ~retain appends later), which bounds
+		// the overhang at one retention window.
+		f.triples -= int64(len(f.frames[0].Add) + len(f.frames[0].Remove))
+		f.frames = f.frames[1:]
+		f.dropped++
+	}
+	wake := f.wake
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+	close(wake)
+}
+
+// Since returns up to max retained frames with generations above from, in
+// order, together with the latest generation and the oldest retained frame
+// generation. gapped reports that the caller's position has fallen out of
+// the retained window — frames it needs were evicted — and it must
+// re-snapshot; a caller at from == latest simply gets zero frames.
+// max <= 0 means no cap.
+func (f *Feed) Since(from uint64, max int) (frames []Frame, latest, oldest uint64, gapped bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	latest = f.latest
+	oldest = f.oldestLocked()
+	if from+1 < oldest {
+		return nil, latest, oldest, true
+	}
+	if from >= latest {
+		return nil, latest, oldest, false
+	}
+	// frames[0] has generation oldest; the first frame the caller needs has
+	// generation from+1.
+	i := int(from + 1 - oldest)
+	out := f.frames[i:]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out, latest, oldest, false
+}
+
+// oldestLocked returns the oldest retained frame generation, or latest+1
+// when nothing is retained. Callers hold f.mu.
+func (f *Feed) oldestLocked() uint64 {
+	if len(f.frames) == 0 {
+		return f.latest + 1
+	}
+	return f.frames[0].Gen
+}
+
+// WaitSince is Since with a long poll: when the caller is already caught up
+// (zero frames, no gap) it waits up to wait for a new frame before
+// answering, returning early when ctx is done. A gap is reported
+// immediately — waiting cannot close it.
+func (f *Feed) WaitSince(ctx context.Context, from uint64, wait time.Duration, max int) (frames []Frame, latest, oldest uint64, gapped bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		frames, latest, oldest, gapped = f.Since(from, max)
+		if gapped || len(frames) > 0 || wait <= 0 {
+			return frames, latest, oldest, gapped
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return frames, latest, oldest, gapped
+		}
+		f.mu.Lock()
+		wake := f.wake
+		f.mu.Unlock()
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return frames, latest, oldest, gapped
+		case <-timer.C:
+			// One last read so a frame that raced the timer is not missed.
+			return f.Since(from, max)
+		case <-wake:
+			timer.Stop()
+		}
+	}
+}
+
+// FeedStats is the feed's observable state, reported under /stats and as
+// /metrics gauges on a primary.
+type FeedStats struct {
+	// Latest is the newest published generation; Oldest the oldest frame
+	// still retained (Latest+1 when none is).
+	Latest uint64 `json:"latest_generation"`
+	Oldest uint64 `json:"oldest_generation"`
+	// Frames and Triples size the retained window; Retain is its cap in
+	// frames.
+	Frames  int   `json:"frames"`
+	Triples int64 `json:"triples"`
+	Retain  int   `json:"retain"`
+	// Appends counts frames ever published; Dropped counts frames evicted
+	// from retention (Appends - Dropped - Frames is always 0).
+	Appends int64 `json:"appends"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Stats snapshots the feed's counters.
+func (f *Feed) Stats() FeedStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FeedStats{
+		Latest:  f.latest,
+		Oldest:  f.oldestLocked(),
+		Frames:  len(f.frames),
+		Triples: f.triples,
+		Retain:  f.retain,
+		Appends: f.appends,
+		Dropped: f.dropped,
+	}
+}

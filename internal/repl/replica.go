@@ -1,0 +1,492 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/reason"
+	"repro/internal/store"
+)
+
+// Wire constants shared by the primary's handlers and the replica client.
+const (
+	// SnapshotPath and DeltasPath are the primary's replication endpoints.
+	SnapshotPath = "/repl/snapshot"
+	DeltasPath   = "/repl/deltas"
+	// GenerationHeader carries the generation a /repl/snapshot response is
+	// exactly consistent with.
+	GenerationHeader = "X-Repl-Generation"
+	// TriplesHeader carries the triple count of a /repl/snapshot response.
+	TriplesHeader = "X-Repl-Triples"
+)
+
+// Options configures a Replica. Primary is the only required field.
+type Options struct {
+	// Primary is the primary's base URL (e.g. "http://10.0.0.5:8080").
+	Primary string
+	// Client is the HTTP client used for every request; nil picks a default
+	// with no overall timeout (long polls outlive any sane client timeout —
+	// per-request deadlines come from contexts instead).
+	Client *http.Client
+	// PollWait is the long-poll wait hint sent with every /repl/deltas
+	// request; the primary caps it server-side. Default 25s.
+	PollWait time.Duration
+	// MaxFrames caps the frames requested per poll. Default 1024.
+	MaxFrames int
+	// BackoffMin and BackoffMax bound the reconnect backoff: the delay
+	// starts at BackoffMin, doubles per consecutive failure, is capped at
+	// BackoffMax, and each sleep is jittered ±50% so a fleet of replicas
+	// that lost the same primary does not reconnect in lockstep. Defaults
+	// 100ms and 5s.
+	BackoffMin, BackoffMax time.Duration
+	// SnapshotTimeout bounds one snapshot fetch (boot and re-snapshot).
+	// Default 2m.
+	SnapshotTimeout time.Duration
+	// Logger, when set, receives connection lifecycle messages (reconnects,
+	// re-snapshots); nil is silent.
+	Logger *log.Logger
+}
+
+// defaults fills the zero fields.
+func (o *Options) defaults() {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 25 * time.Second
+	}
+	if o.MaxFrames <= 0 {
+		o.MaxFrames = 1024
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = o.BackoffMin
+	}
+	if o.SnapshotTimeout <= 0 {
+		o.SnapshotTimeout = 2 * time.Minute
+	}
+}
+
+// Status is a replica's replication state, as reported under /stats and
+// /healthz and exported as /metrics gauges. Lag is the staleness bound the
+// serving tier advertises: how many primary generations this replica has
+// yet to apply.
+type Status struct {
+	// Primary is the primary's base URL.
+	Primary string `json:"primary"`
+	// Connected reports that the most recent feed request succeeded.
+	Connected bool `json:"connected"`
+	// AppliedGeneration is the primary generation this replica has applied
+	// through; PrimaryGeneration is the primary's latest known generation
+	// (from the last feed trailer); Lag is the difference.
+	AppliedGeneration uint64 `json:"applied_generation"`
+	PrimaryGeneration uint64 `json:"primary_generation"`
+	Lag               uint64 `json:"lag_generations"`
+	// Reconnects counts feed connections that failed and were retried;
+	// Resnapshots counts full re-snapshot recoveries (boot excluded).
+	Reconnects  int64 `json:"reconnects"`
+	Resnapshots int64 `json:"resnapshots"`
+	// LastError is the most recent connection or apply error, cleared on
+	// the next successful poll.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Replica is the client side of the replication tier: it boots from the
+// primary's snapshot (New), then follows the delta feed (Run), applying
+// each frame through the local reasoner's incremental-maintenance path so
+// the replica's materialized view — and its query cache invalidation —
+// stay exactly as fresh as the feed. Create with New, hand the base store
+// to server.New, then call Run with the server's reasoner.
+//
+// A replica is stateless across restarts by design: it keeps nothing on
+// disk, so a crashed or SIGKILLed replica process simply boots again from
+// a fresh snapshot — there is no recovery state machine to get wrong, and
+// a replica can never serve a corrupt hybrid of two histories.
+type Replica struct {
+	opts    Options
+	base    *store.Store
+	applier *reason.Reasoner
+
+	mu  sync.Mutex
+	st  Status
+	rng *rand.Rand
+}
+
+// errWindowPassed marks feed positions the primary no longer retains (410
+// responses and mid-stream chain breaks); Run answers it by re-snapshotting.
+var errWindowPassed = errors.New("repl: position past the primary's retained delta window")
+
+// New validates the options, fetches the primary's snapshot, and returns a
+// replica whose Base store holds exactly the primary's asserted corpus at
+// the snapshot generation. The caller materializes that store (server.New
+// does) and then calls Run to start following the feed.
+func New(opts Options) (*Replica, error) {
+	opts.defaults()
+	if opts.Primary == "" {
+		return nil, fmt.Errorf("repl: Options.Primary is required")
+	}
+	if _, err := url.Parse(opts.Primary); err != nil {
+		return nil, fmt.Errorf("repl: primary URL %q: %w", opts.Primary, err)
+	}
+	opts.Primary = strings.TrimRight(opts.Primary, "/")
+	r := &Replica{
+		opts: opts,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	base, gen, err := r.fetchSnapshot(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("repl: booting from %s: %w", opts.Primary, err)
+	}
+	r.base = base
+	r.st = Status{Primary: opts.Primary, AppliedGeneration: gen, PrimaryGeneration: gen}
+	return r, nil
+}
+
+// Base returns the store restored from the boot snapshot. Hand it to
+// server.New as Config.Base; after Run starts, all writes to it flow from
+// the feed through the reasoner.
+func (r *Replica) Base() *store.Store { return r.base }
+
+// Status snapshots the replica's replication state.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st
+}
+
+// Run follows the primary's delta feed until ctx is done, applying every
+// frame through applier — the reasoner materializing the replica's base
+// store — in generation order. Frames at or below the applied generation
+// are skipped (a generation is never applied twice); a chain break, a 410
+// from the primary, or a Reset frame triggers a full re-snapshot; transport
+// errors reconnect with capped exponential backoff and ±50% jitter. Run
+// only returns when ctx is done — every failure mode retries — and always
+// returns nil; it is meant to be launched as `go rep.Run(ctx, reasoner)`
+// next to the serving loop.
+func (r *Replica) Run(ctx context.Context, applier *reason.Reasoner) error {
+	if applier.Base() != r.base {
+		// Fail fast: applying the feed through a reasoner over a different
+		// store would fork the replica from the snapshot it booted from.
+		panic("repl: Run's applier does not materialize the replica's base store")
+	}
+	r.applier = applier
+	backoff := r.opts.BackoffMin
+	for ctx.Err() == nil {
+		err := r.poll(ctx)
+		switch {
+		case err == nil:
+			backoff = r.opts.BackoffMin
+		case errors.Is(err, errWindowPassed):
+			r.logf("past the retained delta window; re-snapshotting from %s", r.opts.Primary)
+			if rerr := r.resnapshot(ctx); rerr != nil {
+				r.recordError(rerr)
+				backoff = r.sleep(ctx, backoff)
+			} else {
+				backoff = r.opts.BackoffMin
+			}
+		case ctx.Err() != nil:
+			return nil
+		default:
+			r.recordError(err)
+			backoff = r.sleep(ctx, backoff)
+		}
+	}
+	return nil
+}
+
+// sleep waits for the jittered backoff (or ctx) and returns the next,
+// doubled-and-capped backoff. The jitter is ±50% of the current delay.
+func (r *Replica) sleep(ctx context.Context, backoff time.Duration) time.Duration {
+	r.mu.Lock()
+	jitter := time.Duration(r.rng.Int63n(int64(backoff) + 1))
+	r.mu.Unlock()
+	delay := backoff/2 + jitter // uniform in [backoff/2, 3*backoff/2]
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+	next := backoff * 2
+	if next > r.opts.BackoffMax {
+		next = r.opts.BackoffMax
+	}
+	return next
+}
+
+// poll runs one feed round: request the frames above the applied
+// generation, apply them in order, and record the trailer's view of the
+// primary. A nil return means the round succeeded (even with zero frames);
+// errWindowPassed demands a re-snapshot; anything else is a transport or
+// protocol error worth a backoff and retry.
+func (r *Replica) poll(ctx context.Context) error {
+	applied := r.Status().AppliedGeneration
+	u := fmt.Sprintf("%s%s?from=%d&wait=%s&max=%d",
+		r.opts.Primary, DeltasPath, applied, r.opts.PollWait, r.opts.MaxFrames)
+	// The request deadline dominates the long-poll wait so a healthy
+	// primary can hold the poll open, while a wedged connection still
+	// times out instead of stalling replication forever.
+	reqCtx, cancel := context.WithTimeout(ctx, r.opts.PollWait+30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return errWindowPassed
+	default:
+		return fmt.Errorf("repl: %s: unexpected status %s", DeltasPath, resp.Status)
+	}
+
+	// Frames stream as whitespace-separated JSON objects; json.Decoder
+	// imposes no line-length limit, so a frame carrying a full mutation
+	// batch decodes the same as a one-triple frame.
+	dec := json.NewDecoder(resp.Body)
+	sawTrailer := false
+	for {
+		var ln feedLine
+		if err := dec.Decode(&ln); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("repl: decoding feed: %w", err)
+		}
+		if sawTrailer {
+			return fmt.Errorf("repl: feed frame after the trailer")
+		}
+		if ln.Done {
+			sawTrailer = true
+			r.setPrimaryGen(ln.Gen)
+			continue
+		}
+		fr := ln.Frame
+		if err := validateFrame(fr); err != nil {
+			return err
+		}
+		switch {
+		case fr.Gen <= applied:
+			// A replayed or duplicated frame: already applied, never apply
+			// a generation twice.
+			continue
+		case fr.Gen != applied+1:
+			// The chain skipped a generation mid-stream; the safe recovery
+			// is the same as a retention gap.
+			return errWindowPassed
+		case fr.Reset:
+			// The primary rematerialized with unknown extent; only a fresh
+			// snapshot can re-establish equivalence.
+			return errWindowPassed
+		}
+		if err := r.apply(fr); err != nil {
+			return err
+		}
+		applied = fr.Gen
+		r.setApplied(applied)
+	}
+	if !sawTrailer {
+		return fmt.Errorf("repl: feed stream ended without a trailer")
+	}
+	r.markConnected()
+	return nil
+}
+
+// apply replays one frame through the reasoner's incremental-maintenance
+// path: assertions via AddBatch (one semi-naive propagation for the whole
+// frame), retractions via Remove (delete-and-rederive) — exactly the paths
+// the primary's own write took, which is what makes the replica's
+// materialization converge to the primary's.
+func (r *Replica) apply(fr Frame) error {
+	if len(fr.Add) > 0 {
+		batch := make([]store.Triple, len(fr.Add))
+		for i, t := range fr.Add {
+			batch[i] = t.Triple()
+		}
+		if _, err := r.applier.AddBatch(batch); err != nil {
+			return fmt.Errorf("repl: applying frame %d: %w", fr.Gen, err)
+		}
+	}
+	for _, t := range fr.Remove {
+		r.applier.Remove(t.Triple())
+	}
+	return nil
+}
+
+// fetchSnapshot retrieves the primary's base snapshot into a fresh store
+// and returns it with the generation it is consistent with. The restore is
+// staged through the fresh store in full before anything is returned, so a
+// truncated or malformed snapshot can never leak a partial corpus.
+func (r *Replica) fetchSnapshot(ctx context.Context) (*store.Store, uint64, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, r.opts.SnapshotTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, r.opts.Primary+SnapshotPath, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("repl: %s: unexpected status %s (is the primary serving a replication feed?)", SnapshotPath, resp.Status)
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get(GenerationHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: snapshot response lacks a valid %s header: %w", GenerationHeader, err)
+	}
+	scratch := store.New()
+	n, err := store.Restore(scratch, resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: restoring snapshot: %w", err)
+	}
+	if want := resp.Header.Get(TriplesHeader); want != "" {
+		if wn, werr := strconv.Atoi(want); werr == nil && wn != n {
+			return nil, 0, fmt.Errorf("repl: snapshot advertised %d triples but restored %d (truncated response?)", wn, n)
+		}
+	}
+	return scratch, gen, nil
+}
+
+// resnapshot re-establishes equivalence with the primary after the feed
+// position was lost: fetch a fresh snapshot, diff it against the replica's
+// current asserted store, and apply the difference through the reasoner —
+// removals first, then assertions — so the materialized view is maintained
+// incrementally and the replica keeps serving (slightly stale, then
+// converged) queries throughout. The diff is set-based, so it lands on the
+// snapshot's exact state no matter what suffix of history the replica
+// missed.
+func (r *Replica) resnapshot(ctx context.Context) error {
+	target, gen, err := r.fetchSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	adds, removes := diffTriples(r.applier.Base().Triples(), target.Triples())
+	for _, t := range removes {
+		r.applier.Remove(t)
+	}
+	if len(adds) > 0 {
+		if _, err := r.applier.AddBatch(adds); err != nil {
+			return fmt.Errorf("repl: applying re-snapshot diff: %w", err)
+		}
+	}
+	r.mu.Lock()
+	r.st.AppliedGeneration = gen
+	if r.st.PrimaryGeneration < gen {
+		r.st.PrimaryGeneration = gen
+	}
+	r.st.Lag = r.st.PrimaryGeneration - r.st.AppliedGeneration
+	r.st.Resnapshots++
+	r.mu.Unlock()
+	r.logf("re-snapshot complete: generation %d, %d added, %d removed", gen, len(adds), len(removes))
+	return nil
+}
+
+// diffTriples computes target − current (adds) and current − target
+// (removes) by one merge walk; both inputs are in the store's canonical
+// sorted export order (Store.Triples).
+func diffTriples(current, target []store.Triple) (adds, removes []store.Triple) {
+	i, j := 0, 0
+	for i < len(current) && j < len(target) {
+		switch {
+		case current[i] == target[j]:
+			i++
+			j++
+		case tripleLess(current[i], target[j]):
+			removes = append(removes, current[i])
+			i++
+		default:
+			adds = append(adds, target[j])
+			j++
+		}
+	}
+	removes = append(removes, current[i:]...)
+	adds = append(adds, target[j:]...)
+	return adds, removes
+}
+
+// tripleLess is the store's canonical triple order (subject, predicate,
+// object lexicographic), matching Store.Triples' export order.
+func tripleLess(t, u store.Triple) bool {
+	if t.Subject != u.Subject {
+		return t.Subject < u.Subject
+	}
+	if t.Predicate != u.Predicate {
+		return t.Predicate < u.Predicate
+	}
+	return t.Object < u.Object
+}
+
+// setApplied records a newly applied generation.
+func (r *Replica) setApplied(gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st.AppliedGeneration = gen
+	if r.st.PrimaryGeneration < gen {
+		r.st.PrimaryGeneration = gen
+	}
+	r.st.Lag = r.st.PrimaryGeneration - r.st.AppliedGeneration
+}
+
+// setPrimaryGen records the primary's latest generation from a trailer.
+func (r *Replica) setPrimaryGen(gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gen > r.st.PrimaryGeneration {
+		r.st.PrimaryGeneration = gen
+	}
+	if r.st.PrimaryGeneration >= r.st.AppliedGeneration {
+		r.st.Lag = r.st.PrimaryGeneration - r.st.AppliedGeneration
+	}
+}
+
+// markConnected records a successful poll.
+func (r *Replica) markConnected() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st.Connected = true
+	r.st.LastError = ""
+}
+
+// recordError records a failed poll or re-snapshot and counts the
+// reconnect the caller is about to attempt.
+func (r *Replica) recordError(err error) {
+	r.logf("feed error (will reconnect): %v", err)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st.Connected = false
+	r.st.LastError = err.Error()
+	r.st.Reconnects++
+}
+
+// logf forwards to the configured logger, if any.
+func (r *Replica) logf(format string, args ...any) {
+	if r.opts.Logger != nil {
+		r.opts.Logger.Printf("repl: "+format, args...)
+	}
+}

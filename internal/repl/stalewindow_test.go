@@ -1,0 +1,79 @@
+package repl_test
+
+// Stale-window test: a replica paused for longer than the primary's
+// retained delta window must detect the gap (the dense generation chain
+// breaks at its resume point), re-snapshot, and converge — never serve
+// silently-forked state.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/repl"
+)
+
+// TestStaleWindowResnapshot pauses a replica, pushes more history than the
+// primary retains, and resumes: the resume poll answers 410 Gone, the
+// replica re-snapshots (diffing onto the fresh state through its own
+// reasoner), and the views converge byte-for-byte.
+func TestStaleWindowResnapshot(t *testing.T) {
+	const retain = 4
+	psrv, ts := newPrimary(t, retain)
+	rep, applier := newReplica(t, ts.URL, repl.Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = rep.Run(ctx, applier) }()
+
+	// Phase 1: normal streaming replication, in lockstep so the tiny
+	// retention window is never outrun while the stream is healthy.
+	m := newMutator(59, psrv.Reasoner())
+	for i := 0; i < 6; i++ {
+		m.step(t)
+		waitApplied(t, rep, psrv.Reasoner().Generation())
+	}
+	if rep.Status().Resnapshots != 0 {
+		t.Fatal("streaming catch-up should not have re-snapshotted")
+	}
+
+	// Phase 2: pause the replica and out-run the retained window.
+	cancel()
+	<-done
+	pausedAt := rep.Status().AppliedGeneration
+	changed := 0
+	for changed < 3*retain {
+		if m.step(t) {
+			changed++
+		}
+	}
+	primaryGen := psrv.Reasoner().Generation()
+	if primaryGen-pausedAt <= retain {
+		t.Fatalf("schedule advanced only %d generations, want > %d", primaryGen-pausedAt, retain)
+	}
+
+	// Phase 3: resume. The replica's position is gone from the window; it
+	// must detect the gap and recover through a fresh snapshot.
+	ctx, cancel = context.WithCancel(context.Background())
+	done = make(chan struct{})
+	go func() { defer close(done); _ = rep.Run(ctx, applier) }()
+	defer func() { cancel(); <-done }()
+
+	waitApplied(t, rep, primaryGen)
+	st := rep.Status()
+	if st.Resnapshots == 0 {
+		t.Fatal("replica resumed past the retained window without re-snapshotting")
+	}
+	if want, got := viewSnapshot(t, psrv.Reasoner()), viewSnapshot(t, applier); !bytes.Equal(want, got) {
+		t.Fatalf("replica view diverged after re-snapshot: primary %d bytes, replica %d bytes", len(want), len(got))
+	}
+
+	// Phase 4: streaming replication keeps working after the recovery.
+	for i := 0; i < 5; i++ {
+		m.step(t)
+	}
+	waitApplied(t, rep, psrv.Reasoner().Generation())
+	if want, got := viewSnapshot(t, psrv.Reasoner()), viewSnapshot(t, applier); !bytes.Equal(want, got) {
+		t.Fatal("replica diverged after post-recovery mutations")
+	}
+}

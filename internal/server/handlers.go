@@ -191,6 +191,10 @@ type StatsResponse struct {
 	// Durability is the durable engine's state; absent on servers running
 	// purely in memory.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Replication is the node's replication role and state: the delta feed's
+	// retention window on a primary, the catch-up status (applied
+	// generation, lag, reconnects) on a replica.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 	// Queries and Mutations count requests served since start.
 	Queries   int64 `json:"queries"`
 	Mutations int64 `json:"mutations"`
@@ -208,6 +212,10 @@ type HealthResponse struct {
 	// Triples is the materialized view's current size, a cheap liveness
 	// payload (O(1) on the disjoint view).
 	Triples int `json:"triples"`
+	// Replication is present on read replicas only: the catch-up status,
+	// with lag_generations as the staleness bound, so load balancers can
+	// eject nodes that have fallen too far behind their primary.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.
@@ -646,6 +654,9 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.rejectOnReplica(w) {
+		return
+	}
 	s.mutations.Add(1)
 	mstart := time.Now()
 	defer func() { s.m.mutationSeconds.Since(mstart) }()
@@ -730,6 +741,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Cache:         s.cache.stats(),
 		Durability:    dur,
+		Replication:   s.replicationStats(),
 		Queries:       s.queries.Load(),
 		Mutations:     s.mutations.Load(),
 		UptimeMS:      time.Since(s.start).Milliseconds(),
@@ -743,6 +755,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.rejectOnReplica(w) {
 		return
 	}
 	if s.cfg.Durable == nil {
@@ -762,7 +777,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, HealthResponse{Status: "ok", Triples: s.reasoner.View().Len()})
+	h := HealthResponse{Status: "ok", Triples: s.reasoner.View().Len()}
+	if s.cfg.Replica != nil {
+		h.Replication = s.replicationStats()
+	}
+	writeJSON(w, h)
 }
 
 // handleSnapshot is GET /snapshot: stream the materialized view as JSON

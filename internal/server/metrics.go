@@ -45,6 +45,7 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 
 	s.cache.registerMetrics(reg)
 	s.reasoner.RegisterMetrics(reg)
+	s.registerReplMetrics(reg)
 
 	// Store-level gauges: sizes the scrape reads straight off the engine.
 	base := s.reasoner.Base()
@@ -135,6 +136,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	known := map[string]bool{
 		"/query": true, "/triples": true, "/stats": true, "/healthz": true,
 		"/snapshot": true, "/checkpoint": true, "/metrics": true,
+		"/repl/snapshot": true, "/repl/deltas": true,
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rid := r.Header.Get(requestIDHeader)

@@ -1,0 +1,224 @@
+package server
+
+// Tests for the server side of the replication tier: the primary's feed
+// endpoints, the replica's read-only mode (403s naming the primary), and
+// the replication blocks of /stats and /healthz.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/repl"
+	"repro/internal/store"
+)
+
+// stubReplica feeds a fixed status into the server's replica surfaces.
+type stubReplica struct{ st repl.Status }
+
+func (s stubReplica) Status() repl.Status { return s.st }
+
+// replTestBase builds a tiny asserted store.
+func replTestBase(t *testing.T) *store.Store {
+	t.Helper()
+	base := store.New()
+	_, err := base.AddBatch([]store.Triple{
+		{Subject: "item-0", Predicate: store.TypePredicate, Object: "c0"},
+		{Subject: "c0", Predicate: "subClassOf", Object: "c1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// do runs one request through the full handler chain.
+func do(t *testing.T, s *Server, method, target string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, r)
+	return rec
+}
+
+func TestReplicaRejectsWrites(t *testing.T) {
+	s, err := New(Config{
+		Base:    replTestBase(t),
+		Replica: stubReplica{st: repl.Status{Primary: "http://primary.example:8080", Lag: 3, Connected: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutation, _ := json.Marshal(MutateRequest{Add: []TripleJSON{{Subject: "x", Predicate: "type", Object: "c0"}}})
+	for _, tc := range []struct {
+		target string
+		body   []byte
+	}{
+		{"/triples", mutation},
+		{"/checkpoint", nil},
+	} {
+		rec := do(t, s, http.MethodPost, tc.target, tc.body)
+		if rec.Code != http.StatusForbidden {
+			t.Fatalf("POST %s on a replica: got %d, want 403 (%s)", tc.target, rec.Code, rec.Body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Fatalf("POST %s: non-JSON 403 body %q", tc.target, rec.Body)
+		}
+		if !strings.Contains(er.Error, "http://primary.example:8080") {
+			t.Fatalf("POST %s: 403 error does not name the primary: %q", tc.target, er.Error)
+		}
+	}
+	// Reads still serve.
+	q, _ := json.Marshal(QueryRequest{BGP: "?x type c1"})
+	if rec := do(t, s, http.MethodPost, "/query", q); rec.Code != http.StatusOK {
+		t.Fatalf("replica refused a read: %d %s", rec.Code, rec.Body)
+	}
+	// A replica serves no feed of its own (replicas do not chain).
+	if rec := do(t, s, http.MethodGet, "/repl/snapshot", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /repl/snapshot on a replica: got %d, want 404", rec.Code)
+	}
+}
+
+func TestReplicaHealthAndStatsReportLag(t *testing.T) {
+	st := repl.Status{Primary: "http://p:1", AppliedGeneration: 40, PrimaryGeneration: 47, Lag: 7, Reconnects: 2}
+	s, err := New(Config{Base: replTestBase(t), Replica: stubReplica{st: st}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	rec := do(t, s, http.MethodGet, "/healthz", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Replication == nil || health.Replication.Role != "replica" {
+		t.Fatalf("healthz replication block = %+v", health.Replication)
+	}
+	if health.Replication.Replica.Lag != 7 {
+		t.Fatalf("healthz lag = %d, want 7", health.Replication.Replica.Lag)
+	}
+
+	var stats StatsResponse
+	rec = do(t, s, http.MethodGet, "/stats", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	r := stats.Replication
+	if r == nil || r.Role != "replica" || r.Replica == nil {
+		t.Fatalf("stats replication block = %+v", r)
+	}
+	if r.Replica.AppliedGeneration != 40 || r.Replica.Lag != 7 || r.Replica.Reconnects != 2 {
+		t.Fatalf("stats replica status = %+v", r.Replica)
+	}
+}
+
+func TestPrimaryReplSnapshot(t *testing.T) {
+	s, err := New(Config{Base: replTestBase(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, http.MethodGet, "/repl/snapshot", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /repl/snapshot: %d %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(repl.GenerationHeader); got != "0" {
+		t.Fatalf("%s = %q, want 0 before any mutation", repl.GenerationHeader, got)
+	}
+	if got := rec.Header().Get(repl.TriplesHeader); got != "2" {
+		t.Fatalf("%s = %q, want 2", repl.TriplesHeader, got)
+	}
+	// The body is a restorable store snapshot of the asserted base only.
+	scratch := store.New()
+	n, err := store.Restore(scratch, rec.Body)
+	if err != nil || n != 2 {
+		t.Fatalf("restoring the snapshot: n=%d err=%v", n, err)
+	}
+
+	// The generation header moves with the engine.
+	if _, err := s.Reasoner().AddBatch([]store.Triple{{Subject: "item-1", Predicate: store.TypePredicate, Object: "c0"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := do(t, s, http.MethodGet, "/repl/snapshot", nil).Header().Get(repl.GenerationHeader); got != "1" {
+		t.Fatalf("%s after one mutation = %q, want 1", repl.GenerationHeader, got)
+	}
+}
+
+func TestPrimaryReplDeltas(t *testing.T) {
+	s, err := New(Config{Base: replTestBase(t), ReplRetain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An up-to-date poll with no wait returns just the trailer.
+	rec := do(t, s, http.MethodGet, "/repl/deltas?from=0", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty poll: %d %s", rec.Code, rec.Body)
+	}
+	fr, tr, err := repl.DecodeLine(bytes.TrimSpace(rec.Body.Bytes()))
+	if err != nil || fr != nil || tr == nil || tr.Gen != 0 {
+		t.Fatalf("empty poll line: frame=%v trailer=%v err=%v", fr, tr, err)
+	}
+
+	if _, err := s.Reasoner().AddBatch([]store.Triple{{Subject: "item-9", Predicate: store.TypePredicate, Object: "c0"}}); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, s, http.MethodGet, "/repl/deltas?from=0", nil)
+	lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("poll after one mutation returned %d lines: %s", len(lines), rec.Body)
+	}
+	fr, _, err = repl.DecodeLine(lines[0])
+	if err != nil || fr == nil {
+		t.Fatalf("first line is not a frame: %v", err)
+	}
+	if fr.Gen != 1 || len(fr.Add) != 1 || fr.Add[0].S != "item-9" {
+		t.Fatalf("frame = %+v", fr)
+	}
+	_, tr, err = repl.DecodeLine(lines[1])
+	if err != nil || tr == nil || tr.Gen != 1 {
+		t.Fatalf("trailer = %+v err=%v", tr, err)
+	}
+
+	// Outrun the 2-frame window: from=0 is now gone.
+	for i := 0; i < 3; i++ {
+		if !s.Reasoner().Remove(store.Triple{Subject: "item-9", Predicate: store.TypePredicate, Object: "c0"}) {
+			if _, err := s.Reasoner().AddBatch([]store.Triple{{Subject: "item-9", Predicate: store.TypePredicate, Object: "c0"}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if rec := do(t, s, http.MethodGet, "/repl/deltas?from=0", nil); rec.Code != http.StatusGone {
+		t.Fatalf("poll behind the window: got %d, want 410 (%s)", rec.Code, rec.Body)
+	}
+
+	// Bad parameters are 400s.
+	for _, target := range []string{"/repl/deltas", "/repl/deltas?from=x", "/repl/deltas?from=0&wait=x", "/repl/deltas?from=0&max=0"} {
+		if rec := do(t, s, http.MethodGet, target, nil); rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET %s: got %d, want 400", target, rec.Code)
+		}
+	}
+}
+
+func TestPrimaryFeedDisabled(t *testing.T) {
+	s, err := New(Config{Base: replTestBase(t), ReplRetain: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, s, http.MethodGet, "/repl/snapshot", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled feed still mounted: %d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(do(t, s, http.MethodGet, "/stats", nil).Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replication == nil || stats.Replication.Role != "primary" || stats.Replication.Feed != nil {
+		t.Fatalf("replication block with the feed disabled = %+v", stats.Replication)
+	}
+}

@@ -14,6 +14,12 @@
 //	GET  /snapshot   — stream the materialized view as JSON lines
 //	POST /checkpoint — compact the write-ahead log into a segment (durable servers)
 //
+// A primary additionally serves the replication feed (GET /repl/snapshot,
+// GET /repl/deltas — see repro/internal/repl); a server configured as a
+// read replica (Config.Replica) rejects POST /triples and POST /checkpoint
+// with 403 naming the primary, and reports its catch-up lag under /stats,
+// /healthz and /metrics.
+//
 // POST /query?explain=1 runs the query in EXPLAIN ANALYZE form: instead of
 // streaming solutions it evaluates the BGP with a planner/executor trace
 // attached and returns one JSON object describing the candidate join
@@ -50,6 +56,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/reason"
+	"repro/internal/repl"
 	"repro/internal/store"
 )
 
@@ -128,6 +135,20 @@ type Config struct {
 	// SlowQueryLog is where slow-query records go; nil with a threshold set
 	// means os.Stderr.
 	SlowQueryLog io.Writer
+	// ReplRetain sizes the primary's delta-feed retention window in frames
+	// (GET /repl/deltas can serve a replica that is at most this many
+	// generations behind; further back it must re-snapshot). 0 picks
+	// repl.DefaultRetain; negative disables the feed endpoints entirely.
+	// Ignored on a replica.
+	ReplRetain int
+	// Replica, when set, makes this server a read replica: POST /triples and
+	// POST /checkpoint answer 403 naming the primary, the /repl feed
+	// endpoints are not mounted (replicas do not chain), and the replication
+	// block of /stats, /healthz and /metrics reports the replica's catch-up
+	// status from this source. The caller boots the repl.Replica, passes its
+	// Base store as Config.Base, and runs its feed loop against the returned
+	// server's Reasoner.
+	Replica ReplicaSource
 }
 
 // defaults the zero fields.
@@ -165,6 +186,7 @@ type Server struct {
 	cfg      Config
 	reasoner *reason.Reasoner
 	cache    *resultCache
+	feed     *repl.Feed // primary-side delta retention; nil on replicas and with ReplRetain < 0
 	mux      *http.ServeMux
 	root     http.Handler // mux wrapped in the instrumentation middleware
 	start    time.Time
@@ -181,11 +203,11 @@ type Server struct {
 }
 
 // New materializes the base corpus to a fixpoint under the rule set and
-// returns a Server ready to accept requests. The reasoner's delta hook is
-// claimed for cache invalidation — callers must not call SetOnDelta on the
-// returned server's Reasoner — and every later write must flow through
-// POST /triples or the Reasoner's own methods, never the base store
-// directly.
+// returns a Server ready to accept requests. The reasoner's event hook is
+// claimed for cache invalidation and the replication feed — callers must
+// not call SetOnEvent on the returned server's Reasoner — and every later
+// write must flow through POST /triples or the Reasoner's own methods,
+// never the base store directly.
 func New(cfg Config) (*Server, error) {
 	if cfg.Base == nil {
 		return nil, fmt.Errorf("server: Config.Base is required")
@@ -217,10 +239,7 @@ func New(cfg Config) (*Server, error) {
 		slow:     newSlowQueryLog(cfg.SlowQueryThreshold, slowW),
 	}
 	s.ridPrefix = ridPrefixFor(s.start)
-	res := r.View().NewResolver()
-	r.SetOnDelta(func(added, removed []store.IDTriple) {
-		s.cache.invalidate(res, added, removed)
-	})
+	r.SetOnEvent(s.setupReplication(r.View().NewResolver()))
 	s.registerMetrics(reg)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/triples", s.handleTriples)
@@ -228,6 +247,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	if s.feed != nil {
+		s.mux.HandleFunc(repl.SnapshotPath, s.handleReplSnapshot)
+		s.mux.HandleFunc(repl.DeltasPath, s.handleReplDeltas)
+	}
 	if !cfg.DisableMetrics {
 		s.mux.Handle("/metrics", reg.Handler())
 	}
@@ -236,9 +259,9 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Reasoner exposes the engine the server fronts, for in-process callers
-// (tests, examples) that want to inspect or mutate the corpus without going
-// through HTTP. Do not call SetOnDelta on it — the server's cache
-// invalidation owns that hook.
+// (tests, examples, a replica's feed loop) that want to inspect or mutate
+// the corpus without going through HTTP. Do not call SetOnEvent on it —
+// the server's cache invalidation and replication feed own that hook.
 func (s *Server) Reasoner() *reason.Reasoner { return s.reasoner }
 
 // Handler returns the http.Handler serving every endpoint (wrapped in the

@@ -34,6 +34,7 @@ var Packages = []string{
 	"repro/internal/reason",
 	"repro/internal/server",
 	"repro/internal/obs",
+	"repro/internal/repl",
 }
 
 func run(pass *analysis.Pass) (any, error) {
