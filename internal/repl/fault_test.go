@@ -36,9 +36,10 @@ import (
 type faultTransport struct {
 	inner http.RoundTripper
 
-	mu    sync.Mutex
-	polls int
-	last  []byte // previous successful deltas response body
+	mu      sync.Mutex
+	polls   int
+	last    []byte      // previous successful deltas response body
+	lastHdr http.Header // ... and its headers (a real duplicate carries both)
 
 	drops, truncates, duplicates int
 }
@@ -50,7 +51,7 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	ft.mu.Lock()
 	n := ft.polls
 	ft.polls++
-	last := ft.last
+	last, lastHdr := ft.last, ft.lastHdr
 	ft.mu.Unlock()
 
 	switch n % 4 {
@@ -59,7 +60,7 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		ft.drops++
 		ft.mu.Unlock()
 		return nil, fmt.Errorf("faultTransport: injected connection failure")
-	case 2: // duplicate: replay the previous response body verbatim
+	case 2: // duplicate: replay the previous response verbatim, headers included
 		if last != nil {
 			ft.mu.Lock()
 			ft.duplicates++
@@ -67,7 +68,7 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 			return &http.Response{
 				StatusCode: http.StatusOK,
 				Status:     "200 OK",
-				Header:     http.Header{"Content-Type": []string{"application/x-ndjson"}},
+				Header:     lastHdr.Clone(),
 				Body:       io.NopCloser(bytes.NewReader(last)),
 				Request:    req,
 			}, nil
@@ -84,6 +85,7 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	ft.mu.Lock()
 	ft.last = append([]byte(nil), body...)
+	ft.lastHdr = resp.Header.Clone()
 	ft.mu.Unlock()
 	if n%4 == 3 && len(body) > 1 {
 		// Truncate: the connection dies mid-delta. The replica sees a

@@ -2,6 +2,9 @@ package repl
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -25,6 +28,8 @@ const DefaultRetain = 1024
 // All methods are safe for concurrent use. Frames handed out by Since are
 // shared, immutable history: neither the feed nor callers may mutate them.
 type Feed struct {
+	epoch string // random identifier minted at NewFeed, immutable thereafter
+
 	mu      sync.Mutex
 	frames  []Frame       // dense ascending generations; frames[0] is the oldest retained
 	latest  uint64        // generation of the newest appended frame (0 before any)
@@ -37,13 +42,35 @@ type Feed struct {
 
 // NewFeed returns a feed retaining up to retain frames; retain < 1 is
 // raised to 1 (a feed that retains nothing could never serve a single
-// delta and every poll would demand a re-snapshot).
+// delta and every poll would demand a re-snapshot). Every feed mints a
+// fresh random epoch: the identifier replicas pin to detect that the
+// generation chain they were following belongs to a dead history (a
+// restarted primary's counter restarts from zero).
 func NewFeed(retain int) *Feed {
 	if retain < 1 {
 		retain = 1
 	}
-	return &Feed{retain: retain, wake: make(chan struct{})}
+	return &Feed{epoch: newEpoch(), retain: retain, wake: make(chan struct{})}
 }
+
+// newEpoch mints a random feed identifier. Uniqueness across primary boots
+// is all that matters; 8 random bytes make an accidental collision with a
+// replica's pinned epoch vanishingly unlikely.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand read failures are effectively impossible on supported
+		// platforms; a nanosecond timestamp still satisfies the only
+		// requirement (distinct across boots).
+		return strconv.FormatInt(time.Now().UnixNano(), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Epoch returns the feed's boot identifier. It is carried on every
+// replication response (the X-Repl-Epoch header) so replicas can detect a
+// primary restart and re-snapshot instead of converging on a fork.
+func (f *Feed) Epoch() string { return f.epoch }
 
 // Append publishes one frame. Frames must arrive in generation order with
 // dense generations — the reasoner's event hook guarantees that — but the
@@ -56,9 +83,12 @@ func (f *Feed) Append(fr Frame) {
 	f.mu.Lock()
 	if f.latest != 0 && fr.Gen != f.latest+1 {
 		// Discontinuity: truncate history so no replica can be handed a
-		// chain that skips generations.
+		// chain that skips generations. Drop the backing array too — Since
+		// hands out subslices of it, so re-slicing to length zero and
+		// appending in place would overwrite frames a poller may still be
+		// encoding outside the lock.
 		f.dropped += int64(len(f.frames))
-		f.frames = f.frames[:0]
+		f.frames = nil
 		f.triples = 0
 	}
 	f.frames = append(f.frames, fr)
@@ -124,6 +154,14 @@ func (f *Feed) oldestLocked() uint64 {
 func (f *Feed) WaitSince(ctx context.Context, from uint64, wait time.Duration, max int) (frames []Frame, latest, oldest uint64, gapped bool) {
 	deadline := time.Now().Add(wait)
 	for {
+		// Capture the wake channel BEFORE reading: a frame appended after
+		// the read closes this captured channel, so the select below cannot
+		// sleep through it. Capturing after the read would leave a window
+		// where an append closes the old channel unobserved and the poller
+		// waits out the full deadline for a frame that already arrived.
+		f.mu.Lock()
+		wake := f.wake
+		f.mu.Unlock()
 		frames, latest, oldest, gapped = f.Since(from, max)
 		if gapped || len(frames) > 0 || wait <= 0 {
 			return frames, latest, oldest, gapped
@@ -132,9 +170,6 @@ func (f *Feed) WaitSince(ctx context.Context, from uint64, wait time.Duration, m
 		if remaining <= 0 {
 			return frames, latest, oldest, gapped
 		}
-		f.mu.Lock()
-		wake := f.wake
-		f.mu.Unlock()
 		timer := time.NewTimer(remaining)
 		select {
 		case <-ctx.Done():
@@ -152,6 +187,9 @@ func (f *Feed) WaitSince(ctx context.Context, from uint64, wait time.Duration, m
 // FeedStats is the feed's observable state, reported under /stats and as
 // /metrics gauges on a primary.
 type FeedStats struct {
+	// Epoch identifies this feed's lifetime; it changes when the primary
+	// restarts, which is what tells replicas their generation chain died.
+	Epoch string `json:"epoch"`
 	// Latest is the newest published generation; Oldest the oldest frame
 	// still retained (Latest+1 when none is).
 	Latest uint64 `json:"latest_generation"`
@@ -172,6 +210,7 @@ func (f *Feed) Stats() FeedStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return FeedStats{
+		Epoch:   f.epoch,
 		Latest:  f.latest,
 		Oldest:  f.oldestLocked(),
 		Frames:  len(f.frames),

@@ -71,6 +71,45 @@ func TestFeedDiscontinuity(t *testing.T) {
 	}
 }
 
+// TestFeedEpoch: every feed mints a distinct, non-empty epoch — the
+// identifier that lets a replica tell a restarted primary's generation
+// chain from the one it booted from — and reports it in its stats.
+func TestFeedEpoch(t *testing.T) {
+	a, b := NewFeed(4), NewFeed(4)
+	if a.Epoch() == "" || b.Epoch() == "" {
+		t.Fatalf("empty epoch: a=%q b=%q", a.Epoch(), b.Epoch())
+	}
+	if a.Epoch() == b.Epoch() {
+		t.Fatalf("two feeds minted the same epoch %q", a.Epoch())
+	}
+	if st := a.Stats(); st.Epoch != a.Epoch() {
+		t.Fatalf("stats epoch %q != feed epoch %q", st.Epoch, a.Epoch())
+	}
+}
+
+// TestFeedDiscontinuityFreshBacking: frames handed out by Since are shared,
+// immutable history, so the discontinuity truncation must drop the backing
+// array rather than re-slice it — an in-place restart of the chain would
+// overwrite frames a poller is still encoding outside the lock.
+func TestFeedDiscontinuityFreshBacking(t *testing.T) {
+	f := NewFeed(8)
+	f.Append(addFrame(1))
+	f.Append(addFrame(2))
+	handed, _, _, _ := f.Since(0, 0)
+	snap := make([]Frame, len(handed))
+	copy(snap, handed)
+
+	f.Append(addFrame(9)) // discontinuity: truncates and restarts the chain
+
+	for i := range handed {
+		if handed[i].Gen != snap[i].Gen || len(handed[i].Add) != len(snap[i].Add) ||
+			handed[i].Add[0] != snap[i].Add[0] {
+			t.Fatalf("handed-out frame %d mutated by the discontinuity: got %+v, want %+v",
+				i, handed[i], snap[i])
+		}
+	}
+}
+
 // TestFeedWaitSince: a long poll parked on an up-to-date feed is woken by
 // the next append.
 func TestFeedWaitSince(t *testing.T) {
@@ -90,6 +129,27 @@ func TestFeedWaitSince(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("append did not wake the poller")
+	}
+}
+
+// TestFeedWaitSinceAppendRace: an append landing anywhere around the
+// poll's empty read must wake the poller promptly — WaitSince captures the
+// wake channel before reading precisely so no append can fall unobserved
+// between the read and the wait.
+func TestFeedWaitSinceAppendRace(t *testing.T) {
+	f := NewFeed(8)
+	var gen uint64
+	for i := 0; i < 50; i++ {
+		gen++
+		go f.Append(addFrame(gen))
+		start := time.Now()
+		frames, _, _, _ := f.WaitSince(context.Background(), gen-1, 3*time.Second, 0)
+		if len(frames) == 0 {
+			t.Fatalf("iteration %d: poll returned empty with a concurrent append", i)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("iteration %d: poll took %v to observe a concurrent append", i, elapsed)
+		}
 	}
 }
 

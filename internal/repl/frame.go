@@ -9,11 +9,13 @@
 //	GET /repl/snapshot            — the asserted base store in Store.Snapshot's
 //	                                sorted ndjson form; the X-Repl-Generation
 //	                                response header carries the generation the
-//	                                bytes are exactly consistent with.
+//	                                bytes are exactly consistent with, and
+//	                                X-Repl-Epoch the primary's boot epoch.
 //	GET /repl/deltas?from=G       — the delta frames with generations above G,
 //	                                one JSON object per line, closed by a
 //	                                trailer line; &wait=25s long-polls until a
 //	                                frame arrives, &max caps frames per response.
+//	                                X-Repl-Epoch carries the primary's epoch.
 //	                                410 Gone when G has fallen out of the
 //	                                primary's retained window.
 //
@@ -26,6 +28,17 @@
 // snapshot included. Generations form a dense chain (each frame's Gen is
 // its predecessor's plus one), which is how a replica detects dropped and
 // duplicated frames with a single comparison.
+//
+// Generations alone cannot distinguish histories: they restart from zero
+// when a primary process restarts, so frame N of the new history is not
+// frame N of the old one. Every feed response therefore also carries the
+// primary's epoch — a random identifier minted once per feed lifetime — in
+// the X-Repl-Epoch header, and a replica pins the epoch its snapshot came
+// from. An epoch change means the generation chain the replica was
+// following no longer exists, and the only safe recovery is a fresh
+// snapshot; the replica checks the header before decoding a single frame,
+// so a restarted primary can never splice its new history onto a replica's
+// old state.
 //
 // The Feed type is the primary-side retention buffer between the reasoner's
 // delta hook and the HTTP handlers; the Replica type is the client-side
@@ -102,9 +115,10 @@ type feedLine struct {
 // DecodeLine parses one line of a /repl/deltas response into either a frame
 // or the trailer (exactly one of the two results is non-nil on success).
 // Beyond JSON well-formedness it enforces the frame invariants the replica
-// relies on: a generation is present, triples have no empty component, and
-// a Reset frame carries no triples. It never panics on arbitrary input —
-// FuzzDecodeLine holds it to that.
+// relies on: a generation is present, triples have no empty component, at
+// most one of Add and Remove is populated, and a Reset frame carries no
+// triples. It never panics on arbitrary input — FuzzDecodeLine holds it to
+// that.
 func DecodeLine(line []byte) (*Frame, *Trailer, error) {
 	var ln feedLine
 	if err := json.Unmarshal(line, &ln); err != nil {
@@ -127,6 +141,13 @@ func validateFrame(fr Frame) error {
 	}
 	if fr.Reset && (len(fr.Add) > 0 || len(fr.Remove) > 0) {
 		return fmt.Errorf("repl: reset frame at generation %d carries triples", fr.Gen)
+	}
+	if len(fr.Add) > 0 && len(fr.Remove) > 0 {
+		// A reasoner write is an assertion batch or a retraction, never
+		// both; Replica.apply replays Add before Remove, so a two-sided
+		// frame would be replayed in an order that never occurred on the
+		// primary. Reject it rather than fork.
+		return fmt.Errorf("repl: frame at generation %d carries both adds and removes", fr.Gen)
 	}
 	for _, side := range [2][]WireTriple{fr.Add, fr.Remove} {
 		for _, t := range side {

@@ -44,6 +44,7 @@ func TestDecodeLineRejects(t *testing.T) {
 		{"empty component", `{"gen":3,"add":[{"s":"a","p":"","o":"c"}]}`},
 		{"empty remove component", `{"gen":3,"remove":[{"s":"","p":"b","o":"c"}]}`},
 		{"reset with triples", `{"gen":3,"reset":true,"add":[{"s":"a","p":"b","o":"c"}]}`},
+		{"both adds and removes", `{"gen":3,"add":[{"s":"a","p":"b","o":"c"}],"remove":[{"s":"x","p":"y","o":"z"}]}`},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if fr, tr, err := DecodeLine([]byte(tc.line)); err == nil {
@@ -84,6 +85,7 @@ func FuzzDecodeLine(f *testing.F) {
 	f.Add([]byte(`{"gen":1,"add":[{"s":"a","p":"b","o":"c"}]}`))
 	f.Add([]byte(`{"gen":2,"remove":[{"s":"a","p":"b","o":"c"}]}`))
 	f.Add([]byte(`{"gen":3,"reset":true}`))
+	f.Add([]byte(`{"gen":4,"add":[{"s":"a","p":"b","o":"c"}],"remove":[{"s":"x","p":"y","o":"z"}]}`))
 	f.Add([]byte(`{"done":true,"gen":42,"oldest":30}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`null`))
@@ -107,6 +109,9 @@ func FuzzDecodeLine(f *testing.F) {
 		}
 		if fr.Reset && (len(fr.Add) > 0 || len(fr.Remove) > 0) {
 			t.Fatalf("accepted reset frame with triples: %s", line)
+		}
+		if len(fr.Add) > 0 && len(fr.Remove) > 0 {
+			t.Fatalf("accepted frame with both adds and removes: %s", line)
 		}
 		for _, tr := range append(append([]WireTriple{}, fr.Add...), fr.Remove...) {
 			if tr.S == "" || tr.P == "" || tr.O == "" {

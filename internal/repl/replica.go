@@ -29,6 +29,12 @@ const (
 	GenerationHeader = "X-Repl-Generation"
 	// TriplesHeader carries the triple count of a /repl/snapshot response.
 	TriplesHeader = "X-Repl-Triples"
+	// EpochHeader carries the primary's feed epoch on every replication
+	// response. Generations restart from zero when a primary restarts, so a
+	// replica pins the epoch its snapshot came from and re-snapshots the
+	// moment a feed response carries a different one — before applying a
+	// single frame of the new history.
+	EpochHeader = "X-Repl-Epoch"
 )
 
 // Options configures a Replica. Primary is the only required field.
@@ -90,6 +96,10 @@ func (o *Options) defaults() {
 type Status struct {
 	// Primary is the primary's base URL.
 	Primary string `json:"primary"`
+	// PrimaryEpoch is the primary feed epoch this replica's state belongs
+	// to, pinned at snapshot time; a feed response with a different epoch
+	// forces a re-snapshot.
+	PrimaryEpoch string `json:"primary_epoch,omitempty"`
 	// Connected reports that the most recent feed request succeeded.
 	Connected bool `json:"connected"`
 	// AppliedGeneration is the primary generation this replica has applied
@@ -128,8 +138,12 @@ type Replica struct {
 	rng *rand.Rand
 }
 
-// errWindowPassed marks feed positions the primary no longer retains (410
-// responses and mid-stream chain breaks); Run answers it by re-snapshotting.
+// errWindowPassed marks feed positions that no longer name a point in the
+// primary's live history: 410 responses, mid-stream chain breaks, an epoch
+// change (the primary restarted and its generation counter with it), or a
+// latest generation behind the replica's applied one. Run answers every
+// form of it the same way — re-snapshot, the only operation that
+// re-establishes equivalence without trusting the lost position.
 var errWindowPassed = errors.New("repl: position past the primary's retained delta window")
 
 // New validates the options, fetches the primary's snapshot, and returns a
@@ -149,12 +163,12 @@ func New(opts Options) (*Replica, error) {
 		opts: opts,
 		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	base, gen, err := r.fetchSnapshot(context.Background())
+	base, gen, epoch, err := r.fetchSnapshot(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("repl: booting from %s: %w", opts.Primary, err)
 	}
 	r.base = base
-	r.st = Status{Primary: opts.Primary, AppliedGeneration: gen, PrimaryGeneration: gen}
+	r.st = Status{Primary: opts.Primary, PrimaryEpoch: epoch, AppliedGeneration: gen, PrimaryGeneration: gen}
 	return r, nil
 }
 
@@ -174,7 +188,9 @@ func (r *Replica) Status() Status {
 // frame through applier — the reasoner materializing the replica's base
 // store — in generation order. Frames at or below the applied generation
 // are skipped (a generation is never applied twice); a chain break, a 410
-// from the primary, or a Reset frame triggers a full re-snapshot; transport
+// from the primary, a primary epoch change (the primary restarted, so its
+// generation chain is a new history), or a Reset frame triggers a full
+// re-snapshot; transport
 // errors reconnect with capped exponential backoff and ±50% jitter. Run
 // only returns when ctx is done — every failure mode retries — and always
 // returns nil; it is meant to be launched as `go rep.Run(ctx, reasoner)`
@@ -193,7 +209,7 @@ func (r *Replica) Run(ctx context.Context, applier *reason.Reasoner) error {
 		case err == nil:
 			backoff = r.opts.BackoffMin
 		case errors.Is(err, errWindowPassed):
-			r.logf("past the retained delta window; re-snapshotting from %s", r.opts.Primary)
+			r.logf("feed position lost (%v); re-snapshotting from %s", err, r.opts.Primary)
 			if rerr := r.resnapshot(ctx); rerr != nil {
 				r.recordError(rerr)
 				backoff = r.sleep(ctx, backoff)
@@ -236,7 +252,8 @@ func (r *Replica) sleep(ctx context.Context, backoff time.Duration) time.Duratio
 // errWindowPassed demands a re-snapshot; anything else is a transport or
 // protocol error worth a backoff and retry.
 func (r *Replica) poll(ctx context.Context) error {
-	applied := r.Status().AppliedGeneration
+	st := r.Status()
+	applied, epoch := st.AppliedGeneration, st.PrimaryEpoch
 	u := fmt.Sprintf("%s%s?from=%d&wait=%s&max=%d",
 		r.opts.Primary, DeltasPath, applied, r.opts.PollWait, r.opts.MaxFrames)
 	// The request deadline dominates the long-poll wait so a healthy
@@ -263,6 +280,14 @@ func (r *Replica) poll(ctx context.Context) error {
 	default:
 		return fmt.Errorf("repl: %s: unexpected status %s", DeltasPath, resp.Status)
 	}
+	// The epoch gate comes before a single frame is decoded: a restarted
+	// primary restarts its generation counter, so its frames describe a
+	// different history whose generation numbers can collide with the one
+	// this replica booted from. Only a snapshot re-anchors the replica.
+	if got := resp.Header.Get(EpochHeader); got != epoch {
+		return fmt.Errorf("repl: primary epoch changed from %q to %q (primary restarted?): %w",
+			epoch, got, errWindowPassed)
+	}
 
 	// Frames stream as whitespace-separated JSON objects; json.Decoder
 	// imposes no line-length limit, so a frame carrying a full mutation
@@ -282,6 +307,18 @@ func (r *Replica) poll(ctx context.Context) error {
 		}
 		if ln.Done {
 			sawTrailer = true
+			// Belt-and-braces behind the epoch gate: a primary whose latest
+			// generation sits behind what this replica already applied, or
+			// whose trailer is internally inconsistent, is describing a
+			// history this replica is not on. Never converge on it.
+			if ln.Gen < applied {
+				return fmt.Errorf("repl: primary's latest generation %d is behind applied %d (history rewound): %w",
+					ln.Gen, applied, errWindowPassed)
+			}
+			if ln.Oldest > ln.Gen+1 {
+				return fmt.Errorf("repl: malformed trailer: oldest retained %d past latest %d: %w",
+					ln.Oldest, ln.Gen, errWindowPassed)
+			}
 			r.setPrimaryGen(ln.Gen)
 			continue
 		}
@@ -338,39 +375,44 @@ func (r *Replica) apply(fr Frame) error {
 }
 
 // fetchSnapshot retrieves the primary's base snapshot into a fresh store
-// and returns it with the generation it is consistent with. The restore is
-// staged through the fresh store in full before anything is returned, so a
-// truncated or malformed snapshot can never leak a partial corpus.
-func (r *Replica) fetchSnapshot(ctx context.Context) (*store.Store, uint64, error) {
+// and returns it with the generation and feed epoch it is consistent with.
+// The restore is staged through the fresh store in full before anything is
+// returned, so a truncated or malformed snapshot can never leak a partial
+// corpus.
+func (r *Replica) fetchSnapshot(ctx context.Context) (*store.Store, uint64, string, error) {
 	reqCtx, cancel := context.WithTimeout(ctx, r.opts.SnapshotTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, r.opts.Primary+SnapshotPath, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("repl: %s: unexpected status %s (is the primary serving a replication feed?)", SnapshotPath, resp.Status)
+		return nil, 0, "", fmt.Errorf("repl: %s: unexpected status %s (is the primary serving a replication feed?)", SnapshotPath, resp.Status)
 	}
 	gen, err := strconv.ParseUint(resp.Header.Get(GenerationHeader), 10, 64)
 	if err != nil {
-		return nil, 0, fmt.Errorf("repl: snapshot response lacks a valid %s header: %w", GenerationHeader, err)
+		return nil, 0, "", fmt.Errorf("repl: snapshot response lacks a valid %s header: %w", GenerationHeader, err)
+	}
+	epoch := resp.Header.Get(EpochHeader)
+	if epoch == "" {
+		return nil, 0, "", fmt.Errorf("repl: snapshot response lacks an %s header (is the primary serving a replication feed?)", EpochHeader)
 	}
 	scratch := store.New()
 	n, err := store.Restore(scratch, resp.Body)
 	if err != nil {
-		return nil, 0, fmt.Errorf("repl: restoring snapshot: %w", err)
+		return nil, 0, "", fmt.Errorf("repl: restoring snapshot: %w", err)
 	}
 	if want := resp.Header.Get(TriplesHeader); want != "" {
 		if wn, werr := strconv.Atoi(want); werr == nil && wn != n {
-			return nil, 0, fmt.Errorf("repl: snapshot advertised %d triples but restored %d (truncated response?)", wn, n)
+			return nil, 0, "", fmt.Errorf("repl: snapshot advertised %d triples but restored %d (truncated response?)", wn, n)
 		}
 	}
-	return scratch, gen, nil
+	return scratch, gen, epoch, nil
 }
 
 // resnapshot re-establishes equivalence with the primary after the feed
@@ -382,7 +424,7 @@ func (r *Replica) fetchSnapshot(ctx context.Context) (*store.Store, uint64, erro
 // snapshot's exact state no matter what suffix of history the replica
 // missed.
 func (r *Replica) resnapshot(ctx context.Context) error {
-	target, gen, err := r.fetchSnapshot(ctx)
+	target, gen, epoch, err := r.fetchSnapshot(ctx)
 	if err != nil {
 		return err
 	}
@@ -396,14 +438,21 @@ func (r *Replica) resnapshot(ctx context.Context) error {
 		}
 	}
 	r.mu.Lock()
+	r.st.PrimaryEpoch = epoch
 	r.st.AppliedGeneration = gen
-	if r.st.PrimaryGeneration < gen {
-		r.st.PrimaryGeneration = gen
-	}
-	r.st.Lag = r.st.PrimaryGeneration - r.st.AppliedGeneration
+	// The snapshot is the freshest primary state this replica has seen; a
+	// higher generation recorded earlier may belong to a dead epoch, so
+	// the primary-generation reference resets with the position.
+	r.st.PrimaryGeneration = gen
+	r.st.Lag = 0
 	r.st.Resnapshots++
+	// A served snapshot is proof of contact: report connected now rather
+	// than after the next poll round, which may hold a long poll open for
+	// the full wait before it completes.
+	r.st.Connected = true
+	r.st.LastError = ""
 	r.mu.Unlock()
-	r.logf("re-snapshot complete: generation %d, %d added, %d removed", gen, len(adds), len(removes))
+	r.logf("re-snapshot complete: epoch %s, generation %d, %d added, %d removed", epoch, gen, len(adds), len(removes))
 	return nil
 }
 

@@ -96,7 +96,8 @@ func (s *Server) rejectOnReplica(w http.ResponseWriter) bool {
 
 // handleReplSnapshot is GET /repl/snapshot: the asserted base store in
 // Store.Snapshot's sorted ndjson form, with the generation it is exactly
-// consistent with in the X-Repl-Generation header. The snapshot is staged
+// consistent with in the X-Repl-Generation header and the feed epoch the
+// generation belongs to in X-Repl-Epoch. The snapshot is staged
 // into memory under the reasoner's write lock (so no mutation can slip
 // between the bytes and the generation) and then streamed outside it, so a
 // slow replica never blocks the primary's mutation path — the same
@@ -115,15 +116,18 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", ndjsonType)
 	w.Header().Set(repl.GenerationHeader, strconv.FormatUint(gen, 10))
 	w.Header().Set(repl.TriplesHeader, strconv.Itoa(n))
+	w.Header().Set(repl.EpochHeader, s.feed.Epoch())
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	_, _ = w.Write(buf.Bytes())
 }
 
 // handleReplDeltas is GET /repl/deltas?from=G: the delta frames with
-// generations above G, one JSON object per line, closed by a trailer line.
-// &wait long-polls up to maxPollWait when the caller is already caught up;
-// &max caps the frames per response. 410 Gone says G has fallen out of the
-// retained window and the caller must re-snapshot.
+// generations above G, one JSON object per line, closed by a trailer line,
+// with the feed epoch in X-Repl-Epoch so a replica can tell this history
+// from a previous boot's. &wait long-polls up to maxPollWait when the
+// caller is already caught up; &max caps the frames per response. 410 Gone
+// says G has fallen out of the retained window and the caller must
+// re-snapshot.
 func (s *Server) handleReplDeltas(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
@@ -166,6 +170,7 @@ func (s *Server) handleReplDeltas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", ndjsonType)
+	w.Header().Set(repl.EpochHeader, s.feed.Epoch())
 	enc := json.NewEncoder(w) // Encode appends the newline: ndjson for free
 	for _, fr := range frames {
 		if err := enc.Encode(fr); err != nil {

@@ -135,6 +135,10 @@ func TestPrimaryReplSnapshot(t *testing.T) {
 	if got := rec.Header().Get(repl.TriplesHeader); got != "2" {
 		t.Fatalf("%s = %q, want 2", repl.TriplesHeader, got)
 	}
+	epoch := rec.Header().Get(repl.EpochHeader)
+	if epoch == "" {
+		t.Fatalf("snapshot response lacks the %s header", repl.EpochHeader)
+	}
 	// The body is a restorable store snapshot of the asserted base only.
 	scratch := store.New()
 	n, err := store.Restore(scratch, rec.Body)
@@ -146,8 +150,13 @@ func TestPrimaryReplSnapshot(t *testing.T) {
 	if _, err := s.Reasoner().AddBatch([]store.Triple{{Subject: "item-1", Predicate: store.TypePredicate, Object: "c0"}}); err != nil {
 		t.Fatal(err)
 	}
-	if got := do(t, s, http.MethodGet, "/repl/snapshot", nil).Header().Get(repl.GenerationHeader); got != "1" {
+	rec = do(t, s, http.MethodGet, "/repl/snapshot", nil)
+	if got := rec.Header().Get(repl.GenerationHeader); got != "1" {
 		t.Fatalf("%s after one mutation = %q, want 1", repl.GenerationHeader, got)
+	}
+	// The epoch is stable across requests within one primary process.
+	if got := rec.Header().Get(repl.EpochHeader); got != epoch {
+		t.Fatalf("%s changed between requests: %q then %q", repl.EpochHeader, epoch, got)
 	}
 }
 
@@ -160,6 +169,9 @@ func TestPrimaryReplDeltas(t *testing.T) {
 	rec := do(t, s, http.MethodGet, "/repl/deltas?from=0", nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("empty poll: %d %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(repl.EpochHeader); got == "" {
+		t.Fatalf("deltas response lacks the %s header", repl.EpochHeader)
 	}
 	fr, tr, err := repl.DecodeLine(bytes.TrimSpace(rec.Body.Bytes()))
 	if err != nil || fr != nil || tr == nil || tr.Gen != 0 {
