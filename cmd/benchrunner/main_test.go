@@ -16,6 +16,9 @@ pkg: repro
 cpu: Some CPU @ 2.10GHz
 BenchmarkQueryJoin3 	   42172	     29176 ns/op	       158.0 solutions/query	    2522 B/op	      30 allocs/op
 BenchmarkParallelLeafScan/gomaxprocs-4         	     208	   5913576 ns/op	  16911576 triples/s
+BenchmarkRecover1e6/bulk         	       3	 528847193 ns/op	   1890909 triples/s
+BenchmarkRecover1e6/replay       	       3	2674470484 ns/op	    373906 triples/s
+BenchmarkCheckpointDelta         	     138	   8035965 ns/op	     47958 segbytes/op
 PASS
 ok  	repro	3.972s
 `
@@ -23,8 +26,8 @@ ok  	repro	3.972s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(records) != 2 {
-		t.Fatalf("parsed %d records, want 2: %+v", len(records), records)
+	if len(records) != 5 {
+		t.Fatalf("parsed %d records, want 5: %+v", len(records), records)
 	}
 	if records[0].Name != "BenchmarkQueryJoin3" || records[0].Iterations != 42172 {
 		t.Fatalf("record 0 = %+v", records[0])
@@ -37,6 +40,17 @@ ok  	repro	3.972s
 	}
 	if got := records[1].Metrics["triples/s"]; got != 16911576 {
 		t.Fatalf("triples/s = %v, want 16911576", got)
+	}
+	// The recovery benchmarks carry the headline bulk-vs-replay ratio; both
+	// variants and the O(delta) checkpoint metric must survive the parse.
+	if records[2].Name != "BenchmarkRecover1e6/bulk" || records[3].Name != "BenchmarkRecover1e6/replay" {
+		t.Fatalf("recovery records = %q, %q", records[2].Name, records[3].Name)
+	}
+	if bulk, replay := records[2].Metrics["ns/op"], records[3].Metrics["ns/op"]; replay/bulk < 1 {
+		t.Fatalf("replay (%v ns/op) should dwarf bulk (%v ns/op) in the fixture", replay, bulk)
+	}
+	if got := records[4].Metrics["segbytes/op"]; got != 47958 {
+		t.Fatalf("segbytes/op = %v, want 47958", got)
 	}
 }
 

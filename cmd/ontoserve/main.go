@@ -110,6 +110,8 @@ func run(args []string, stderr io.Writer) int {
 	fsyncMode := fs.String("fsync", "always", "when the log reaches stable storage: always (group commit per mutation), batch (background interval), off (rotation and close only)")
 	fsyncInterval := fs.Duration("fsync-interval", durable.DefaultBatchInterval, "background fsync cadence under -fsync batch")
 	checkpointMiB := fs.Int("checkpoint-mib", 64, "log growth in MiB that triggers automatic compaction into a segment (negative disables; POST /checkpoint still works)")
+	mergeRatio := fs.Float64("merge-ratio", 0, "size-tiered merge trigger: fold young segments into an older one once it is at most this many times their combined size (0 picks the default, negative disables background merges)")
+	maxSegments := fs.Int("max-segments", 0, "segment count that forces a full merge into one base segment regardless of -merge-ratio (0 picks the default, negative disables)")
 	metrics := fs.Bool("metrics", true, "expose the Prometheus text scrape at GET /metrics")
 	slowQuery := fs.Duration("slow-query", 0, "log queries at least this slow as ndjson records (0 disables the slow-query log)")
 	slowQueryLog := fs.String("slow-query-log", "", "file the slow-query log appends to; empty logs to stderr")
@@ -182,14 +184,16 @@ func run(args []string, stderr io.Writer) int {
 			Fsync:           policy,
 			BatchInterval:   *fsyncInterval,
 			CheckpointBytes: int64(*checkpointMiB) << 20,
+			MergeRatio:      *mergeRatio,
+			MaxSegments:     *maxSegments,
 			Metrics:         reg,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "ontoserve: opening %s: %v\n", *dataDir, err)
 			return 1
 		}
-		logger.Printf("recovered %d triples from %s (log seq %d, fsync=%s)",
-			base.Len(), *dataDir, eng.LastSeq(), policy)
+		logger.Printf("recovered %d triples from %s in %.3fs (%d segment tiers, log seq %d, fsync=%s)",
+			base.Len(), *dataDir, eng.RecoveryDuration().Seconds(), eng.Stats().Segments, eng.LastSeq(), policy)
 	}
 
 	// Corpus flags seed the store only when the data directory is pristine

@@ -1,14 +1,17 @@
 // Package durable is the store's crash-safe persistence engine: a write-ahead
-// log in front of the in-memory triple store, periodically compacted into
-// immutable segment files.
+// log in front of the in-memory triple store, compacted into generational
+// (tiered) delta segment files.
 //
 // The engine journals every acknowledged mutation — at dictionary-id level,
 // through the store's Journal hook — before reporting it committed, batching
-// concurrent committers behind one fsync (group commit). A background
-// checkpoint dumps the whole store into a segment file and truncates the log
-// behind it, so startup cost is bounded: recovery loads the newest segment
-// and replays only the log tail, truncating the torn frame a crash may have
-// left mid-write.
+// concurrent committers behind one fsync (group commit). A checkpoint retires
+// one window of the log by folding it into a young delta segment (cost
+// proportional to what changed, not to the corpus), and a size-ratio-triggered
+// background merge folds young segments into older generations, applying
+// tombstoned removes, so the chain stays short. Recovery chains the segments,
+// folds them in memory, bulk-restores the result through the store's
+// RestoreSorted fast path, and replays only the log tail — startup cost is
+// dominated by sequential segment I/O, not index mutation.
 //
 // Typical use:
 //
@@ -27,8 +30,6 @@ package durable
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -103,11 +104,37 @@ type Options struct {
 	// grown past it; DefaultCheckpointBytes if zero, negative disables
 	// automatic checkpoints (Checkpoint can still be called directly).
 	CheckpointBytes int64
+	// MergeRatio is the size-separation factor of the background merge: a
+	// checkpoint schedules a merge when an older segment is at most
+	// MergeRatio times the combined size of everything younger (see
+	// pickMergeRun). DefaultMergeRatio if zero, negative disables background
+	// merges entirely — the chain then only grows, which tests use for
+	// deterministic tier layouts.
+	MergeRatio float64
+	// MaxSegments force-merges the whole chain once it holds more than this
+	// many segments; DefaultMaxSegments if zero, negative disables the cap.
+	// Ignored while MergeRatio is negative.
+	MaxSegments int
 	// Metrics, when non-nil, registers the engine's instruments on the given
 	// registry: fsync latency and group-commit size distributions, WAL
-	// frame/byte counters, checkpoint duration and compaction ratio, and
-	// gauges over the durability state. Nil disables all observation.
+	// frame/byte counters, checkpoint/merge durations, compaction ratio,
+	// segment-chain gauges, write amplification, and recovery time. Nil
+	// disables all observation.
 	Metrics *obs.Registry
+}
+
+// TierStats describes one live segment of the chain, oldest first in
+// Stats.Tiers.
+type TierStats struct {
+	// Start and End are the WAL seq window the segment folds.
+	Start, End uint64
+	// Triples is the segment's net adds, Tombstones its net removes.
+	Triples    int
+	Tombstones int
+	// DictNames is how many dictionary ids the segment's window minted.
+	DictNames int
+	// Bytes is the segment file size.
+	Bytes int64
 }
 
 // Stats is a point-in-time report of the engine's durability state, the
@@ -125,55 +152,87 @@ type Stats struct {
 	Fsyncs int64
 	// WALBytes is the log growth since the last checkpoint.
 	WALBytes int64
-	// Segments is the number of segment files (0 before the first
-	// checkpoint, 1 after — older segments are deleted once superseded).
+	// Segments is the number of live segment files — the tiers of the chain.
 	Segments int
 	// SegmentSeq is the seq the newest segment covers through.
 	SegmentSeq uint64
+	// Tiers describes each live segment, oldest first.
+	Tiers []TierStats
 	// Checkpoints counts completed checkpoints this process.
 	Checkpoints int64
+	// Merges counts completed background merges this process, and
+	// LastMergeDuration is the wall time of the most recent one.
+	Merges            int64
+	LastMergeDuration time.Duration
+	// WALAppendedBytes, CheckpointBytes and MergeBytes are this process's
+	// cumulative physical writes: log appends, checkpoint segment dumps,
+	// and merge rewrites. WriteAmplification is their sum over
+	// WALAppendedBytes — how many bytes hit disk per logical log byte
+	// (1.0 = no segment overhead yet; 0 while nothing has been appended).
+	WALAppendedBytes   int64
+	CheckpointBytes    int64
+	MergeBytes         int64
+	WriteAmplification float64
+	// RecoverySeconds is how long Open spent rebuilding the store from the
+	// directory (segment fold + bulk restore + tail replay).
+	RecoverySeconds float64
 	// Err is the engine's sticky error, "" while healthy. Once set, commits
 	// fail and the engine needs a restart (and recovery) to trust its log.
 	Err string
 }
 
 // Engine is the durability engine: it implements store.Journal, owns the
-// log writer and the checkpoint lifecycle, and is what Open installs on the
-// store. Safe for concurrent use.
+// log writer and the checkpoint/merge lifecycle, and is what Open installs
+// on the store. Safe for concurrent use.
 type Engine struct {
 	st   *store.Store
 	opts Options
 	w    *walWriter
 
-	// ckptMu serializes checkpoints (manual and automatic).
+	// ckptMu serializes the segment-chain writers: checkpoints (manual and
+	// automatic) and background merges. Always taken before mu.
 	ckptMu sync.Mutex
 
-	// mu guards the segment/checkpoint counters below.
-	mu          sync.Mutex
-	segSeq      uint64
-	segments    int
-	checkpoints int64
-	ckptErr     error // last checkpoint failure, cleared by a later success
+	// mu guards the segment chain and the counters below.
+	mu           sync.Mutex
+	tiers        []segMeta
+	dictCovered  store.SymbolID // dictionary ids folded into the chain
+	checkpoints  int64
+	merges       int64
+	lastMergeDur time.Duration
+	ckptBytes    int64 // cumulative segment bytes written by checkpoints
+	mergeBytes   int64 // cumulative segment bytes written by merges
+	ckptErr      error // last checkpoint/merge failure, cleared by a later success
 
-	ckptC chan struct{} // pokes the background goroutine; capacity 1
-	done  chan struct{}
-	wg    sync.WaitGroup
-	once  sync.Once
+	recoveryDur time.Duration // set once in Open, read-only afterwards
+
+	ckptC  chan struct{} // pokes the background goroutine; capacity 1
+	mergeC chan struct{} // merge-needed poke; capacity 1
+	done   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	// mergeHook, when non-nil, runs right before a merge publishes its
+	// output — after the fold, before the rename. Tests use it to park a
+	// merge mid-flight and prove Close waits for (or cleanly aborts) it.
+	// Set it before any mutation traffic; the background goroutine reads it
+	// unsynchronized.
+	mergeHook func()
 
 	// Metric handles, nil without Options.Metrics (observations are
-	// nil-safe): checkpoint wall time and the last checkpoint's compaction
-	// ratio (segment bytes per superseded log byte).
-	mCkptSeconds *obs.Histogram
-	mCompaction  *obs.Gauge
+	// nil-safe).
+	mCkptSeconds  *obs.Histogram
+	mMergeSeconds *obs.Histogram
+	mCompaction   *obs.Gauge
 }
 
 // Open recovers the data directory into st (which must be a fresh, empty
 // store — recovery rebuilds both its dictionary and its triples, and the ids
 // in the directory's files are only meaningful from an empty dictionary),
 // installs the engine as the store's journal, and starts the background
-// fsync/checkpoint goroutine. On a pristine directory it simply starts a new
-// log. The caller must Close the engine to release the log file and flush
-// the tail.
+// fsync/checkpoint/merge goroutine. On a pristine directory it simply starts
+// a new log. The caller must Close the engine to release the log file and
+// flush the tail.
 func Open(st *store.Store, opts Options) (*Engine, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("durable: Options.Dir is required")
@@ -187,22 +246,31 @@ func Open(st *store.Store, opts Options) (*Engine, error) {
 	if opts.CheckpointBytes == 0 {
 		opts.CheckpointBytes = DefaultCheckpointBytes
 	}
+	if opts.MergeRatio == 0 {
+		opts.MergeRatio = DefaultMergeRatio
+	}
+	if opts.MaxSegments == 0 {
+		opts.MaxSegments = DefaultMaxSegments
+	}
 	if err := ensureDir(opts.Dir); err != nil {
 		return nil, err
 	}
+	recStart := time.Now()
 	rec, err := recoverDir(st, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		st:     st,
-		opts:   opts,
-		w:      newWALWriter(opts.Dir, opts.Fsync, rec.file, rec.lastSeq, rec.fileFirst),
-		segSeq: rec.segSeq,
-		ckptC:  make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		st:          st,
+		opts:        opts,
+		w:           newWALWriter(opts.Dir, opts.Fsync, rec.file, rec.lastSeq, rec.fileFirst),
+		tiers:       rec.tiers,
+		dictCovered: rec.dictCovered,
+		recoveryDur: time.Since(recStart),
+		ckptC:       make(chan struct{}, 1),
+		mergeC:      make(chan struct{}, 1),
+		done:        make(chan struct{}),
 	}
-	e.segments = rec.segments
 	if opts.Metrics != nil {
 		// Before the journal attaches and the background goroutine starts:
 		// nothing else can touch the handles yet, so plain assignment is safe
@@ -212,6 +280,14 @@ func Open(st *store.Store, opts Options) (*Engine, error) {
 	st.SetJournal(e)
 	e.wg.Add(1)
 	go e.background()
+	// Recovery may have left an unbalanced chain (many young segments from
+	// a crash-happy run); let the background goroutine even it out.
+	e.mu.Lock()
+	_, needMerge := e.pickMergeLocked()
+	e.mu.Unlock()
+	if needMerge {
+		e.pokeMerge()
+	}
 	return e, nil
 }
 
@@ -222,8 +298,10 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	e.w.mCommitFrames = reg.Histogram("onto_wal_commit_frames", "Frames drained per group commit.", obs.SizeBuckets())
 	e.w.mFrames = reg.Counter("onto_wal_frames_total", "Frames appended to the write-ahead log.")
 	e.w.mBytes = reg.Counter("onto_wal_bytes_total", "Bytes appended to the write-ahead log.")
-	e.mCkptSeconds = reg.Histogram("onto_checkpoint_seconds", "Checkpoint wall time (rotate, dump, cleanup).", obs.LatencyBuckets())
+	e.mCkptSeconds = reg.Histogram("onto_checkpoint_seconds", "Checkpoint wall time (rotate, fold, dump, cleanup).", obs.LatencyBuckets())
+	e.mMergeSeconds = reg.Histogram("onto_durable_merge_seconds", "Background segment-merge wall time.", obs.LatencyBuckets())
 	e.mCompaction = reg.Gauge("onto_checkpoint_compaction_ratio", "Last checkpoint's segment bytes per superseded log byte.")
+	reg.Gauge("onto_durable_recovery_seconds", "Wall time Open spent rebuilding the store from the data directory.").Set(e.recoveryDur.Seconds())
 	reg.GaugeFunc("onto_wal_seq", "Sequence number of the last journaled record.", func() float64 {
 		return float64(e.Stats().Seq)
 	})
@@ -233,8 +311,20 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("onto_wal_window_bytes", "Log growth since the last checkpoint.", func() float64 {
 		return float64(e.Stats().WALBytes)
 	})
-	reg.GaugeFunc("onto_segments", "Live segment files.", func() float64 {
+	reg.GaugeFunc("onto_segments", "Live segment files (tiers of the chain).", func() float64 {
 		return float64(e.Stats().Segments)
+	})
+	reg.GaugeFunc("onto_durable_segment_bytes", "Combined size of the live segment chain.", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		var n int64
+		for _, t := range e.tiers {
+			n += t.bytes
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("onto_durable_write_amplification", "Physical bytes written (log + segments) per logical log byte this process.", func() float64 {
+		return e.Stats().WriteAmplification
 	})
 	reg.CounterFunc("onto_wal_fsyncs_total", "Fsync syscalls on the log.", func() float64 {
 		return float64(e.Stats().Fsyncs)
@@ -242,11 +332,18 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("onto_checkpoints_total", "Completed checkpoints this process.", func() float64 {
 		return float64(e.Stats().Checkpoints)
 	})
+	reg.CounterFunc("onto_durable_merges_total", "Completed background segment merges this process.", func() float64 {
+		return float64(e.Stats().Merges)
+	})
 }
 
 // LastSeq returns the seq of the last journaled record — right after Open,
 // the seq recovery replayed through.
 func (e *Engine) LastSeq() uint64 { return e.w.currentSeq() }
+
+// RecoveryDuration returns how long Open spent rebuilding the store from the
+// data directory.
+func (e *Engine) RecoveryDuration() time.Duration { return e.recoveryDur }
 
 // Err returns the engine's sticky log error — nil while every commit has
 // succeeded. Once non-nil it never clears: the log cannot vouch for its tail,
@@ -286,8 +383,20 @@ func (e *Engine) JournalCommit() error {
 	return err
 }
 
+// pokeMerge schedules a background merge pass, coalescing with any pending
+// poke.
+func (e *Engine) pokeMerge() {
+	select {
+	case e.mergeC <- struct{}{}:
+	default:
+	}
+}
+
 // background is the engine's single service goroutine: interval fsync under
-// FsyncBatch, and checkpoints when the log outgrows its budget.
+// FsyncBatch, checkpoints when the log outgrows its budget, and segment
+// merges when the chain loses its size separation. Running merges here —
+// not on their own goroutine — is what lets Close's wg.Wait promise that no
+// merge is mid-flight when it returns.
 func (e *Engine) background() {
 	defer e.wg.Done()
 	var tick <-chan time.Time
@@ -310,23 +419,28 @@ func (e *Engine) background() {
 				e.ckptErr = err
 				e.mu.Unlock()
 			}
+		case <-e.mergeC:
+			e.runMerges()
 		}
 	}
 }
 
-// Checkpoint compacts the log: it rotates the WAL, dumps the store into a
-// new segment covering everything up to the rotation point, and deletes the
-// log files and older segment the new segment supersedes. Mutations proceed
-// concurrently — the dump is fuzzy, which is safe because replay is
-// idempotent (see recover.go). A checkpoint with an empty log window is a
-// no-op.
+// Checkpoint retires the current log window: it rotates the WAL, folds the
+// retired window's records into a new young delta segment (last event per
+// triple wins, so an add-then-remove folds to a tombstone), appends it to the
+// chain, and deletes the log files the segment supersedes. Cost is
+// proportional to the window — the live store is never read — and mutations
+// proceed concurrently throughout. A checkpoint with an empty window is a
+// no-op. If the new segment breaks the chain's size separation, a background
+// merge is scheduled.
 func (e *Engine) Checkpoint() error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 	e.mu.Lock() //ontolint:ignore lockcheck fixed one-way order: ckptMu is always taken before mu and mu critical sections never take ckptMu, so the nesting cannot deadlock
-	lastSeg := e.segSeq
+	lastEnd := e.coveredLocked()
+	dictNext := e.dictCovered
 	e.mu.Unlock()
-	if e.w.currentSeq() == lastSeg {
+	if e.w.currentSeq() == lastEnd {
 		return nil // nothing journaled since the last checkpoint
 	}
 	var ckptStart time.Time
@@ -340,57 +454,80 @@ func (e *Engine) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	// Dump triples BEFORE reading the dictionary length: ids are minted
-	// before the triples using them are inserted, so every id visible in the
-	// triple scan is below a DictLen read after the scan. The other order
-	// could dump a triple whose ids the dumped dictionary lacks.
-	var triples []store.IDTriple
-	e.st.QueryIDFunc(store.IDPattern{}, func(t store.IDTriple) bool {
-		triples = append(triples, t)
-		return true
-	})
-	n := e.st.DictLen()
-	res := e.st.NewResolver()
-	dict := make([]string, n)
-	for i := range dict {
-		dict[i] = res.Name(store.SymbolID(i))
+	win, err := readWALWindow(e.opts.Dir, lastEnd, covered, dictNext)
+	if err != nil {
+		// The segment was never written and the rotated files remain on
+		// disk, so recovery still sees an intact log; the checkpoint just
+		// failed.
+		return err
 	}
-	if err := writeSegment(e.opts.Dir, covered, dict, triples); err != nil {
+	seg := segmentData{
+		start:     lastEnd + 1,
+		end:       covered,
+		dictFirst: dictNext,
+		dict:      win.names,
+		adds:      win.adds,
+		removes:   win.removes,
+	}
+	if seg.start == 1 {
+		seg.removes = nil // a patch against the empty state removes nothing
+	}
+	size, err := writeSegment(e.opts.Dir, seg)
+	if err != nil {
 		return err
 	}
 	if e.mCompaction != nil && walBytes > 0 {
-		if fi, err := os.Stat(filepath.Join(e.opts.Dir, segFileName(covered))); err == nil {
-			e.mCompaction.Set(float64(fi.Size()) / float64(walBytes))
-		}
+		e.mCompaction.Set(float64(size) / float64(walBytes))
 	}
-	// The new segment supersedes the old one and every log file that ends at
-	// or before the rotation point. Deletion failures are reported but the
-	// checkpoint itself has succeeded — recovery deletes leftovers too.
-	cleanupErr := e.cleanup(lastSeg, covered)
+	// The new segment supersedes every log file that ends at or before the
+	// rotation point. Deletion failures are reported but the checkpoint
+	// itself has succeeded — recovery deletes leftovers too.
+	cleanupErr := e.cleanupWAL(covered)
 	e.mu.Lock() //ontolint:ignore lockcheck fixed one-way order: ckptMu is always taken before mu and mu critical sections never take ckptMu, so the nesting cannot deadlock
-	e.segSeq = covered
-	e.segments = 1
+	e.tiers = append(e.tiers, metaOf(seg, size))
+	e.dictCovered += store.SymbolID(len(win.names))
 	e.checkpoints++
+	e.ckptBytes += size
 	e.ckptErr = cleanupErr
+	_, needMerge := e.pickMergeLocked()
 	e.mu.Unlock()
 	if e.mCkptSeconds != nil {
 		e.mCkptSeconds.Since(ckptStart)
 	}
+	if needMerge {
+		e.pokeMerge()
+	}
 	return cleanupErr
 }
 
-// cleanup deletes the files a checkpoint at covered supersedes: the previous
-// segment and the wal files that start at or before covered (rotation
-// guarantees they also end there).
-func (e *Engine) cleanup(prevSeg, covered uint64) error {
-	var firstErr error
-	if e.segments > 0 && prevSeg != covered {
-		if err := removeFile(e.opts.Dir, segFileName(prevSeg)); err != nil {
-			firstErr = err
-		}
+// coveredLocked returns the seq the chain covers through. Callers hold mu.
+func (e *Engine) coveredLocked() uint64 {
+	if len(e.tiers) == 0 {
+		return 0
 	}
+	return e.tiers[len(e.tiers)-1].end
+}
+
+// pickMergeLocked runs the merge policy over the current chain, returning
+// the index the merge run would start at. Callers hold mu.
+func (e *Engine) pickMergeLocked() (int, bool) {
+	if e.opts.MergeRatio < 0 {
+		return 0, false
+	}
+	sizes := make([]int64, len(e.tiers))
+	for i, t := range e.tiers {
+		sizes[i] = t.bytes
+	}
+	return pickMergeRun(sizes, e.opts.MergeRatio, e.opts.MaxSegments)
+}
+
+// cleanupWAL deletes the log files a checkpoint at covered supersedes: every
+// wal file that starts at or before covered (rotation guarantees it also
+// ends there).
+func (e *Engine) cleanupWAL(covered uint64) error {
 	firsts, err := walFilesThrough(e.opts.Dir, covered)
-	if err != nil && firstErr == nil {
+	var firstErr error
+	if err != nil {
 		firstErr = err
 	}
 	for _, first := range firsts {
@@ -401,14 +538,129 @@ func (e *Engine) cleanup(prevSeg, covered uint64) error {
 	return firstErr
 }
 
+// runMerges folds chain suffixes until the merge policy is satisfied or the
+// engine is closing. It runs on the background goroutine, under ckptMu, so
+// checkpoints and merges serialize and Close's wg.Wait covers any merge in
+// flight.
+func (e *Engine) runMerges() {
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		e.ckptMu.Lock()
+		e.mu.Lock() //ontolint:ignore lockcheck fixed one-way order: ckptMu is always taken before mu and mu critical sections never take ckptMu, so the nesting cannot deadlock
+		i, ok := e.pickMergeLocked()
+		var run []segMeta
+		if ok {
+			run = append(run, e.tiers[i:]...)
+		}
+		e.mu.Unlock()
+		if !ok {
+			e.ckptMu.Unlock()
+			return
+		}
+		err := e.mergeRun(i, run)
+		e.ckptMu.Unlock()
+		if err != nil {
+			e.mu.Lock()
+			e.ckptErr = err
+			e.mu.Unlock()
+			return
+		}
+	}
+}
+
+// mergeRun folds the chain suffix starting at tier index i into one segment:
+// load each input, compose the patches, publish the merged file atomically,
+// then delete the inputs. A crash or close at ANY point is safe: before the
+// rename the merged .tmp is garbage recovery deletes (the merge is simply
+// not-yet-merged); after it, the inputs are leftovers recovery recognizes as
+// subsumed by the wider merged window and deletes. Close aborts cleanly at
+// the checkpoints between I/O steps, never leaving a .tmp behind.
+func (e *Engine) mergeRun(i int, metas []segMeta) error {
+	start := time.Now()
+	var merged segmentData
+	for k, m := range metas {
+		select {
+		case <-e.done:
+			return nil // closing: abort before any output exists
+		default:
+		}
+		seg, err := loadSegment(e.opts.Dir + "/" + segmentName(m.start, m.end))
+		if err != nil {
+			return fmt.Errorf("durable: merge reading input: %w", err)
+		}
+		if k == 0 {
+			merged = seg
+			continue
+		}
+		if merged, err = foldSegments(merged, seg); err != nil {
+			return err
+		}
+	}
+	if hook := e.mergeHook; hook != nil {
+		hook()
+	}
+	select {
+	case <-e.done:
+		return nil // closing: nothing written yet, inputs intact
+	default:
+	}
+	size, err := writeSegment(e.opts.Dir, merged)
+	if err != nil {
+		return err
+	}
+	// Inputs are now subsumed; deletion failures are reported but recovery
+	// would clean them up too.
+	var cleanupErr error
+	for _, m := range metas {
+		if err := removeFile(e.opts.Dir, segmentName(m.start, m.end)); err != nil && cleanupErr == nil {
+			cleanupErr = err
+		}
+	}
+	dur := time.Since(start)
+	e.mu.Lock() //ontolint:ignore lockcheck fixed one-way order: ckptMu is always taken before mu and mu critical sections never take ckptMu, so the nesting cannot deadlock
+	e.tiers = append(e.tiers[:i:i], metaOf(merged, size))
+	e.merges++
+	e.lastMergeDur = dur
+	e.mergeBytes += size
+	e.ckptErr = cleanupErr
+	e.mu.Unlock()
+	if e.mMergeSeconds != nil {
+		e.mMergeSeconds.Since(start)
+	}
+	return cleanupErr
+}
+
 // Stats returns a point-in-time durability report.
 func (e *Engine) Stats() Stats {
 	var st Stats
 	e.w.snapshotStats(&st)
+	st.RecoverySeconds = e.recoveryDur.Seconds()
 	e.mu.Lock()
-	st.Segments = e.segments
-	st.SegmentSeq = e.segSeq
+	st.Segments = len(e.tiers)
+	st.SegmentSeq = e.coveredLocked()
+	st.Tiers = make([]TierStats, len(e.tiers))
+	for i, t := range e.tiers {
+		st.Tiers[i] = TierStats{
+			Start:      t.start,
+			End:        t.end,
+			Triples:    t.adds,
+			Tombstones: t.removes,
+			DictNames:  t.dictCount,
+			Bytes:      t.bytes,
+		}
+	}
 	st.Checkpoints = e.checkpoints
+	st.Merges = e.merges
+	st.LastMergeDuration = e.lastMergeDur
+	st.CheckpointBytes = e.ckptBytes
+	st.MergeBytes = e.mergeBytes
+	if st.WALAppendedBytes > 0 {
+		st.WriteAmplification = float64(st.WALAppendedBytes+e.ckptBytes+e.mergeBytes) / float64(st.WALAppendedBytes)
+	}
 	if st.Err == "" && e.ckptErr != nil {
 		st.Err = e.ckptErr.Error()
 	}
@@ -416,11 +668,12 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// Close stops the background goroutine, flushes and fsyncs the log tail,
-// closes it, and detaches the engine from the store — a cleanly closed
-// engine never loses an acknowledged mutation, whatever the fsync policy.
-// The store remains usable in memory afterwards, but new mutations are no
-// longer journaled.
+// Close stops the background goroutine — waiting for any in-flight
+// checkpoint or merge to finish or abort cleanly, so shutdown never leaves a
+// .tmp behind — flushes and fsyncs the log tail, closes it, and detaches the
+// engine from the store. A cleanly closed engine never loses an acknowledged
+// mutation, whatever the fsync policy. The store remains usable in memory
+// afterwards, but new mutations are no longer journaled.
 //
 // Closing while mutations are in flight is not a data race (the store reads
 // its journal atomically, once per mutation), and the log is closed BEFORE

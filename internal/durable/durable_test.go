@@ -102,7 +102,9 @@ func TestOpenRequiresDir(t *testing.T) {
 func TestCheckpointCompactsAndRecovers(t *testing.T) {
 	dir := t.TempDir()
 	st := store.New()
-	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1})
+	// MergeRatio -1: no background merges, so the tier layout is exactly what
+	// the checkpoints produced.
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1, MergeRatio: -1})
 	var first, second []store.Triple
 	for i := 0; i < 400; i++ {
 		first = append(first, testTriple(i))
@@ -141,8 +143,9 @@ func TestCheckpointCompactsAndRecovers(t *testing.T) {
 		t.Fatalf("after checkpoint the directory holds %d segments and %d log files, want 1 and 1", segs, wals)
 	}
 
-	// Mutate past the checkpoint, checkpoint again (supersedes the first),
-	// mutate more, and verify recovery sees segment + tail.
+	// Mutate past the checkpoint, checkpoint again (a second, young delta
+	// segment joins the chain), mutate more, and verify recovery sees
+	// chain + tail.
 	if _, err := st.AddBatch(second[:200]); err != nil {
 		t.Fatal(err)
 	}
@@ -150,8 +153,14 @@ func TestCheckpointCompactsAndRecovers(t *testing.T) {
 	if err := eng.Checkpoint(); err != nil {
 		t.Fatalf("second Checkpoint: %v", err)
 	}
-	if got := eng.Stats().Segments; got != 1 {
-		t.Fatalf("Segments = %d after second checkpoint, want 1 (superseded segment deleted)", got)
+	stats = eng.Stats()
+	if stats.Segments != 2 || len(stats.Tiers) != 2 {
+		t.Fatalf("Segments = %d (tiers %d) after second checkpoint, want a 2-segment chain", stats.Segments, len(stats.Tiers))
+	}
+	// The second segment is a delta: it carries only the window's net changes,
+	// including the tombstone for the removed triple.
+	if y := stats.Tiers[1]; y.Start != stats.Tiers[0].End+1 || y.Triples != 200 || y.Tombstones != 1 {
+		t.Fatalf("young tier %+v, want 200 adds and 1 tombstone starting at seq %d", y, stats.Tiers[0].End+1)
 	}
 	if _, err := st.AddBatch(second[200:]); err != nil {
 		t.Fatal(err)
@@ -437,20 +446,25 @@ func TestOverCapSealedFrameIsAnError(t *testing.T) {
 // it promises.
 func TestLoadSegmentRejectsOverflowedTripleCount(t *testing.T) {
 	dir := t.TempDir()
-	dict := []string{"s", "p", "o"}
-	triples := []store.IDTriple{{S: 0, P: 1, O: 2}, {S: 2, P: 1, O: 0}}
-	if err := writeSegment(dir, 7, dict, triples); err != nil {
+	seg := segmentData{
+		start:     1,
+		end:       7,
+		dictFirst: 0,
+		dict:      []string{"s", "p", "o"},
+		adds:      []store.IDTriple{{S: 0, P: 1, O: 2}, {S: 2, P: 1, O: 0}},
+	}
+	if _, err := writeSegment(dir, seg); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, segFileName(7))
+	path := filepath.Join(dir, segmentName(1, 7))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The triple count sits right before the triple runs and the 12-byte
-	// footer. 12*(count + 2^62) = 12*count + 3*2^64 ≡ 12*count (mod 2^64),
-	// so the patched count defeats any multiplication-based check.
-	countOff := len(data) - (4 + len(segTrailer)) - 12*len(triples) - 8
+	// The add count sits right before the add run, the (empty) remove run and
+	// the 12-byte footer. 12*(count + 2^62) = 12*count + 3*2^64 ≡ 12*count
+	// (mod 2^64), so the patched count defeats any multiplication-based check.
+	countOff := len(data) - (4 + len(segTrailer)) - 8 - 12*len(seg.adds) - 8
 	count := binary.LittleEndian.Uint64(data[countOff:])
 	binary.LittleEndian.PutUint64(data[countOff:], count+1<<62)
 	body := data[:len(data)-(4+len(segTrailer))]
@@ -458,7 +472,7 @@ func TestLoadSegmentRejectsOverflowedTripleCount(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := loadSegment(path); err == nil {
+	if _, err := loadSegment(path); err == nil {
 		t.Fatal("loadSegment accepted a wrapped triple count")
 	}
 }
@@ -668,7 +682,7 @@ func TestForeignFileIsAnError(t *testing.T) {
 
 func TestLeftoverTmpIsDeleted(t *testing.T) {
 	dir := t.TempDir()
-	tmp := filepath.Join(dir, segFileName(9)+".tmp")
+	tmp := filepath.Join(dir, segmentName(1, 9)+".tmp")
 	if err := os.WriteFile(tmp, []byte("half a checkpoint"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -685,25 +699,37 @@ func TestLeftoverTmpIsDeleted(t *testing.T) {
 
 func TestSegmentRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	dict := []string{"s0", "p0", "o0", "o1"}
-	triples := []store.IDTriple{{S: 0, P: 1, O: 3}, {S: 0, P: 1, O: 2}}
-	if err := writeSegment(dir, 42, dict, triples); err != nil {
+	seg := segmentData{
+		start:     8,
+		end:       42,
+		dictFirst: 2,
+		dict:      []string{"s0", "p0", "o0", "o1"},
+		adds:      []store.IDTriple{{S: 2, P: 3, O: 4}, {S: 2, P: 3, O: 5}},
+		removes:   []store.IDTriple{{S: 0, P: 1, O: 2}},
+	}
+	size, err := writeSegment(dir, seg)
+	if err != nil {
 		t.Fatalf("writeSegment: %v", err)
 	}
-	path := filepath.Join(dir, segFileName(42))
-	seq, gotDict, gotTriples, err := loadSegment(path)
+	path := filepath.Join(dir, segmentName(8, 42))
+	got, err := loadSegment(path)
 	if err != nil {
 		t.Fatalf("loadSegment: %v", err)
 	}
-	if seq != 42 {
-		t.Fatalf("seq = %d, want 42", seq)
+	if got.start != 8 || got.end != 42 || got.dictFirst != 2 {
+		t.Fatalf("window = [%d, %d] dictFirst %d, want [8, 42] dictFirst 2", got.start, got.end, got.dictFirst)
 	}
-	if len(gotDict) != len(dict) || gotDict[3] != "o1" {
-		t.Fatalf("dict = %v", gotDict)
+	if got.size != size {
+		t.Fatalf("loaded size %d, written size %d", got.size, size)
 	}
-	// writeSegment sorts.
-	if len(gotTriples) != 2 || gotTriples[0] != (store.IDTriple{S: 0, P: 1, O: 2}) {
-		t.Fatalf("triples = %v", gotTriples)
+	if len(got.dict) != 4 || got.dict[3] != "o1" {
+		t.Fatalf("dict = %v", got.dict)
+	}
+	if len(got.adds) != 2 || got.adds[1] != (store.IDTriple{S: 2, P: 3, O: 5}) {
+		t.Fatalf("adds = %v", got.adds)
+	}
+	if len(got.removes) != 1 || got.removes[0] != (store.IDTriple{S: 0, P: 1, O: 2}) {
+		t.Fatalf("removes = %v", got.removes)
 	}
 
 	data, err := os.ReadFile(path)
@@ -722,7 +748,7 @@ func TestSegmentRoundTrip(t *testing.T) {
 		if err := os.WriteFile(path, bad, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, _, err := loadSegment(path); err == nil {
+		if _, err := loadSegment(path); err == nil {
 			t.Fatalf("loadSegment accepted a %s segment", corrupt.name)
 		}
 	}

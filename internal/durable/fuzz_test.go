@@ -52,10 +52,30 @@ func FuzzDecodeRecord(f *testing.F) {
 	})
 }
 
+// fuzzChainSegments is the fixed two-tier segment chain the recovery fuzzer
+// lays down in front of the fuzzed log tail: a base segment and a young delta
+// whose tombstone reaches into it.
+func fuzzChainSegments() []segmentData {
+	return []segmentData{
+		{
+			start: 1, end: 2, dictFirst: 0,
+			dict: []string{"s", "p", "o"},
+			adds: []store.IDTriple{{S: 0, P: 1, O: 2}},
+		},
+		{
+			start: 3, end: 4, dictFirst: 3,
+			dict:    []string{"q"},
+			adds:    []store.IDTriple{{S: 0, P: 1, O: 3}},
+			removes: []store.IDTriple{{S: 0, P: 1, O: 2}},
+		},
+	}
+}
+
 // FuzzRecoverLog feeds arbitrary bytes to the whole recovery path as a log
-// tail: recovery must either succeed (torn tails are legal in the last file)
-// or fail with an error — never panic, and never leave the store in a state
-// the decoder did not explicitly apply.
+// tail — once over a bare directory, once behind a two-segment tier chain:
+// recovery must either succeed (torn tails are legal in the last file) or
+// fail with an error — never panic, and never leave the store in a state the
+// decoder did not explicitly apply.
 func FuzzRecoverLog(f *testing.F) {
 	var seed []byte
 	seed = appendFrame(seed, encodeDict(nil, 1, 0, []string{"s", "p", "o"}))
@@ -63,16 +83,109 @@ func FuzzRecoverLog(f *testing.F) {
 	f.Add(seed)
 	f.Add(seed[:len(seed)-3])
 	f.Add([]byte{})
+	// A tail that chains correctly onto the segment fixture (first seq 5,
+	// re-adding the tombstoned triple), so the fuzzer explores the
+	// chain-plus-valid-tail path too, not only early rejections.
+	var chained []byte
+	chained = appendFrame(chained, encodeAdd(nil, 5, []store.IDTriple{{S: 0, P: 1, O: 2}}))
+	chained = appendFrame(chained, encodeRemove(nil, 6, store.IDTriple{S: 0, P: 1, O: 3}))
+	f.Add(chained)
+	// Serialize the segment fixture ONCE (writeSegment fsyncs; per-exec that
+	// would throttle the fuzzer to disk speed) and copy the bytes per exec.
+	segDir := f.TempDir()
+	type segFile struct {
+		name string
+		data []byte
+	}
+	var segFiles []segFile
+	for _, seg := range fuzzChainSegments() {
+		if _, err := writeSegment(segDir, seg); err != nil {
+			f.Fatal(err)
+		}
+		name := segmentName(seg.start, seg.end)
+		data, err := os.ReadFile(filepath.Join(segDir, name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		segFiles = append(segFiles, segFile{name, data})
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, walFileName(1)), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
+		rec, err := recoverDir(store.New(), dir)
+		if err == nil {
+			rec.file.Close()
+		}
+
+		// Same bytes as the tail of a segment-chain directory: the chain
+		// covers seqs 1..4, so the tail file starts at 5 and the fuzzed data
+		// must chain densely from there (or be refused).
+		chainDir := t.TempDir()
+		for _, sf := range segFiles {
+			if err := os.WriteFile(filepath.Join(chainDir, sf.name), sf.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(chainDir, walFileName(5)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 		st := store.New()
-		rec, err := recoverDir(st, dir)
+		rec, err = recoverDir(st, chainDir)
 		if err != nil {
 			return
 		}
 		rec.file.Close()
+		// Whatever the tail did, the chain's fold must have held: the base
+		// add is tombstoned unless the tail explicitly re-added it.
+		if st.Len() < 1 {
+			t.Fatalf("chain recovery lost the young segment's add (store holds %d triples)", st.Len())
+		}
+	})
+}
+
+// FuzzLoadSegment throws arbitrary bytes at the segment loader: whatever the
+// input, it must return cleanly — segments are published atomically, so the
+// loader treats every violation as corruption, and none may panic or
+// over-allocate past the bytes actually present.
+func FuzzLoadSegment(f *testing.F) {
+	dir := f.TempDir()
+	for _, seg := range fuzzChainSegments() {
+		if _, err := writeSegment(dir, seg); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(seg.start, seg.end)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-7])
+	}
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, segmentName(1, 2))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := loadSegment(path)
+		if err != nil {
+			return
+		}
+		// An accepted segment must satisfy the invariants every consumer
+		// assumes: sorted runs within the dictionary bound.
+		bound := seg.dictFirst + store.SymbolID(len(seg.dict))
+		for _, run := range [][]store.IDTriple{seg.adds, seg.removes} {
+			for i, tr := range run {
+				if tr.S >= bound || tr.P >= bound || tr.O >= bound {
+					t.Fatalf("accepted segment references id beyond its %d-id prefix", bound)
+				}
+				if i > 0 && !tripleLess(run[i-1], tr) {
+					t.Fatal("accepted segment has an unsorted run")
+				}
+			}
+		}
 	})
 }

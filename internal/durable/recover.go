@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,18 +13,27 @@ import (
 	"repro/internal/store"
 )
 
-// This file is startup recovery: scan the data directory, load the latest
-// segment into the store, replay the WAL tail beyond it, truncate the torn
-// tail a crash may have left, and hand back an open log file positioned for
-// appending. The state machine, in order:
+// This file is startup recovery: scan the data directory, chain the delta
+// segments, fold them into one state, bulk-restore it into the store, replay
+// the WAL tail beyond the chain, truncate the torn tail a crash may have
+// left, and hand back an open log file positioned for appending. The state
+// machine, in order:
 //
-//	scan      classify directory entries: seg-*.seg, wal-*.wal, leftovers
-//	clean     delete *.tmp (unpublished checkpoints) and anything the last
-//	          completed checkpoint made obsolete (older segments, wal files
-//	          entirely ≤ the segment's seq)
-//	load      read the newest segment; intern its dictionary in id order —
-//	          which reproduces ids 0..n-1 exactly, because the store mints
-//	          dense append-only ids — then bulk-insert its triple runs
+//	scan      classify directory entries: seg-*-*.seg, wal-*.wal, leftovers
+//	clean     delete *.tmp (unpublished checkpoints and torn merges — a torn
+//	          merge is simply not-yet-merged, its inputs still present) and
+//	          every segment subsumed by a wider merged segment (leftover
+//	          inputs of a merge that crashed between publish and cleanup)
+//	chain     order segments by window; they must tile seqs 1..N contiguously
+//	          — a gap or partial overlap is corruption, reported, never
+//	          papered over
+//	fold      apply the chain oldest→newest in memory: concatenate the
+//	          dictionary windows, subtract each segment's tombstones, union
+//	          its adds — producing one sorted triple set
+//	restore   store.RestoreSorted builds the dictionary and all three index
+//	          families directly from the folded state: per-shard goroutines,
+//	          no per-triple locks, no dedup probing. This is the bulk fast
+//	          path; the per-record mutation path below is only for the tail.
 //	replay    walk the remaining wal files in ascending order, applying
 //	          records and checking the seq chain stays dense
 //	truncate  a frame that fails its CRC in the LAST file is a torn tail:
@@ -37,20 +47,21 @@ import (
 //	reopen    open the last wal file for appending (creating wal-<lastSeq+1>
 //	          if the tail is empty), ready for the writer.
 //
-// Replay is idempotent against the fuzzy checkpoint: a segment dumped
-// concurrently with mutations may already contain the effects of tail
-// records, so dictionary records verify-or-intern (ids already present must
-// resolve to the same name) and triple records re-apply as set operations.
+// Unlike the PR-7 full-dump design, segments are exact WAL folds — a
+// checkpoint never reads the live store — so the chain and the tail never
+// overlap: every tail record's seq is beyond the chain. Replay keeps its
+// verify-or-intern dictionary handling anyway; it is what lets recovery
+// diagnose a log that disagrees with its segments instead of corrupting ids.
 
 // recovered is what recoverDir hands the engine: the store is loaded, the
 // log tail is clean, and file is the wal file to keep appending to.
 type recovered struct {
-	lastSeq   uint64 // seq of the last record applied (0 = pristine directory)
-	file      *os.File
-	fileFirst uint64 // first seq of file (its name)
-	segSeq    uint64 // seq of the loaded segment, 0 if none
-	segments  int    // segment files present (0 or 1 after cleanup)
-	walFiles  int    // wal files present, file included
+	lastSeq     uint64 // seq of the last record applied (0 = pristine directory)
+	file        *os.File
+	fileFirst   uint64         // first seq of file (its name)
+	tiers       []segMeta      // the live segment chain, oldest→newest
+	dictCovered store.SymbolID // dictionary ids covered by the chain
+	walFiles    int            // wal files present, file included
 }
 
 // ensureDir creates the data directory if it is missing.
@@ -87,16 +98,20 @@ func walFilesThrough(dir string, covered uint64) ([]uint64, error) {
 	return firsts, nil
 }
 
+// parseSeq parses one fixed-width 16-digit sequence field.
+func parseSeq(s string) (uint64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("durable: sequence field %q is not 16 digits", s)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
 // parseSeqName extracts the sequence number from a "prefix-%016d.ext" name.
 func parseSeqName(name, prefix, ext string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
 		return 0, false
 	}
-	mid := name[len(prefix) : len(name)-len(ext)]
-	if len(mid) != 16 {
-		return 0, false
-	}
-	n, err := strconv.ParseUint(mid, 10, 64)
+	n, err := parseSeq(name[len(prefix) : len(name)-len(ext)])
 	if err != nil {
 		return 0, false
 	}
@@ -112,22 +127,27 @@ func recoverDir(st *store.Store, dir string) (recovered, error) {
 	if err != nil {
 		return rec, fmt.Errorf("durable: scanning data directory: %w", err)
 	}
-	var segSeqs, walSeqs []uint64
+	type segWindow struct {
+		start, end uint64
+	}
+	var segs []segWindow
+	var walSeqs []uint64
 	for _, e := range entries {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
-			// An unpublished checkpoint: a crash hit between temp write and
-			// rename. The WAL behind it is intact, so it is pure garbage.
+			// An unpublished checkpoint or a torn merge: a crash hit between
+			// temp write and rename. The inputs (WAL window or merge inputs)
+			// are intact, so the temp file is pure garbage.
 			if err := os.Remove(filepath.Join(dir, name)); err != nil {
 				return rec, fmt.Errorf("durable: removing leftover %s: %w", name, err)
 			}
 		case strings.HasSuffix(name, ".seg"):
-			n, ok := parseSeqName(name, "seg-", ".seg")
+			start, end, ok := parseSegmentName(name)
 			if !ok {
 				return rec, fmt.Errorf("durable: unrecognized segment file name %q in data directory", name)
 			}
-			segSeqs = append(segSeqs, n)
+			segs = append(segs, segWindow{start, end})
 		case strings.HasSuffix(name, ".wal"):
 			n, ok := parseSeqName(name, "wal-", ".wal")
 			if !ok {
@@ -138,46 +158,84 @@ func recoverDir(st *store.Store, dir string) (recovered, error) {
 			return rec, fmt.Errorf("durable: unexpected file %q in data directory; refusing to treat %s as a WAL directory", name, dir)
 		}
 	}
-	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	// Chain the segments. Sorting by (start asc, end desc) puts the widest
+	// segment at each position first, so a merged segment is preferred over
+	// the narrower inputs it folded — those fall inside the chosen coverage
+	// and are deleted as leftovers of the merge's interrupted cleanup. A
+	// segment that straddles the chosen coverage boundary, or a hole between
+	// windows, cannot be produced by any crash of this engine and is
+	// reported as corruption.
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].start != segs[j].start {
+			return segs[i].start < segs[j].start
+		}
+		return segs[i].end > segs[j].end
+	})
+	chain := segs[:0]
+	covered := uint64(0)
+	for _, sg := range segs {
+		switch {
+		case sg.end <= covered:
+			if err := removeFile(dir, segmentName(sg.start, sg.end)); err != nil {
+				return rec, fmt.Errorf("durable: removing merged-away segment: %w", err)
+			}
+		case sg.start == covered+1:
+			chain = append(chain, sg)
+			covered = sg.end
+		case sg.start <= covered:
+			return rec, fmt.Errorf("durable: segment %s overlaps the chain covering through seq %d; the segment set is corrupt", segmentName(sg.start, sg.end), covered)
+		default:
+			return rec, fmt.Errorf("durable: segment %s does not follow seq %d; a segment is missing", segmentName(sg.start, sg.end), covered)
+		}
+	}
 	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
 
-	// Load the newest segment; every older one (and every wal file wholly
-	// covered by it — rotation happens before the dump, so a file whose first
-	// seq is ≤ the segment's seq also ends at or before it) is a leftover of
-	// an interrupted cleanup.
-	if len(segSeqs) > 0 {
-		rec.segSeq = segSeqs[len(segSeqs)-1]
-		rec.segments = 1
-		for _, n := range segSeqs[:len(segSeqs)-1] {
-			if err := os.Remove(filepath.Join(dir, segFileName(n))); err != nil {
-				return rec, fmt.Errorf("durable: removing superseded segment: %w", err)
-			}
-		}
-		path := filepath.Join(dir, segFileName(rec.segSeq))
-		seq, dict, triples, err := loadSegment(path)
-		if err != nil {
-			return rec, err
-		}
-		if seq != rec.segSeq {
-			return rec, fmt.Errorf("durable: segment %s claims internal seq %d", filepath.Base(path), seq)
-		}
-		for i, name := range dict {
-			id, err := st.Intern(name)
+	// Fold the chain oldest→newest and bulk-restore the result in one shot.
+	if len(chain) > 0 {
+		// The fold and restore allocate the decoded segments, the folded
+		// state, three shard-bucket families, and the index arenas in quick
+		// succession while the live heap (the store being built) grows
+		// underneath — any GC cycle in that window re-scans a near-final
+		// heap just to reclaim the previous phase's scratch (~17% of boot
+		// at 1e6 triples). Boot is single-purpose and every allocation here
+		// is either the final store or scratch proportional to it, so the
+		// peak is O(chain) regardless; suspend collection for the window
+		// and restore it before the engine goes live.
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		var dict []string
+		var state []store.IDTriple
+		for _, sg := range chain {
+			path := filepath.Join(dir, segmentName(sg.start, sg.end))
+			seg, err := loadSegment(path)
 			if err != nil {
-				return rec, fmt.Errorf("durable: segment dictionary entry %d: %w", i, err)
+				return rec, err
 			}
-			if id != store.SymbolID(i) {
-				return rec, fmt.Errorf("durable: segment dictionary entry %d interned as id %d (duplicate name in segment?)", i, id)
+			if seg.start != sg.start || seg.end != sg.end {
+				return rec, fmt.Errorf("durable: segment %s claims internal window [%d, %d]", segmentName(sg.start, sg.end), seg.start, seg.end)
 			}
+			if seg.dictFirst != store.SymbolID(len(dict)) {
+				return rec, fmt.Errorf("durable: segment %s starts its dictionary at id %d but the chain has minted %d ids", segmentName(sg.start, sg.end), seg.dictFirst, len(dict))
+			}
+			if dict == nil {
+				dict = seg.dict // common single-base-segment case: no copy
+			} else {
+				dict = append(dict, seg.dict...)
+			}
+			state = applySegment(state, seg)
+			rec.tiers = append(rec.tiers, metaOf(seg, seg.size))
 		}
-		if _, err := st.AddIDBatch(triples); err != nil {
-			return rec, fmt.Errorf("durable: loading segment triples: %w", err)
+		if err := st.RestoreSorted(dict, state); err != nil {
+			return rec, fmt.Errorf("durable: loading segment chain: %w", err)
 		}
-		rec.lastSeq = rec.segSeq
+		rec.dictCovered = store.SymbolID(len(dict))
+		rec.lastSeq = covered
 	}
+
+	// Log files wholly behind the chain are leftovers of an interrupted
+	// checkpoint cleanup: their records are already folded into a segment.
 	keep := walSeqs[:0]
 	for _, n := range walSeqs {
-		if n <= rec.segSeq && rec.segSeq != 0 {
+		if n <= covered && covered != 0 {
 			if err := os.Remove(filepath.Join(dir, walFileName(n))); err != nil {
 				return rec, fmt.Errorf("durable: removing log file behind the checkpoint: %w", err)
 			}
@@ -275,9 +333,10 @@ func replayFile(st *store.Store, res store.Resolver, path string, prevSeq uint64
 	return prevSeq, nil
 }
 
-// applyRecord applies one decoded record. Application is idempotent — the
-// fuzzy checkpoint may have captured this record's effects already — so
-// dictionary entries verify-or-intern and triple records are set operations.
+// applyRecord applies one decoded record. Dictionary entries verify-or-intern
+// — an id already minted (by the segment chain or an earlier record) must
+// resolve to the same name, or the log and segments disagree about what the
+// id means — and triple records are set operations, so replay is idempotent.
 func applyRecord(st *store.Store, res store.Resolver, r record) error {
 	switch r.typ {
 	case recDict:
@@ -285,9 +344,6 @@ func applyRecord(st *store.Store, res store.Resolver, r record) error {
 			id := r.first + store.SymbolID(i)
 			switch n := store.SymbolID(st.DictLen()); {
 			case id < n:
-				// Already present (from the segment or an earlier record):
-				// the name must agree, or the log and segment disagree about
-				// what the id means.
 				if got := res.Name(id); got != name {
 					return fmt.Errorf("dictionary id %d is %q but the log says %q", id, got, name)
 				}

@@ -8,48 +8,93 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"repro/internal/store"
 )
 
-// This file is the checkpoint format: an immutable segment file holding a
-// whole store — interned dictionary plus sorted id-triple runs — loadable on
-// startup without re-parsing a line of JSON. A segment named seg-N captures
-// the store's state with every WAL record ≤ N applied, so recovery loads the
-// latest segment and replays only the log tail beyond N.
+// This file is the segment format: an immutable delta file produced by
+// compacting one window of the WAL. A segment named seg-<start>-<end> is a
+// patch covering log records start..end: the dictionary names those records
+// minted (ids dictFirst..dictFirst+count-1), the triples whose last event in
+// the window was an insert (adds), and the triples whose last event was a
+// removal (tombstones). Applying a chain of segments oldest→newest — subtract
+// each segment's tombstones, union its adds — reproduces exactly the state
+// the WAL prefix through the newest segment's end would build.
+//
+// Delta segments are what make checkpoints O(changed bytes) instead of
+// O(corpus): a checkpoint folds only the WAL window it retires, and a
+// background merge (see tier.go) folds young segments into older generations
+// so the chain stays short. The oldest segment of a chain always starts at
+// seq 1, and a segment starting at 1 carries no tombstones — a patch against
+// the empty state has nothing to remove.
 //
 // Layout (integers little-endian):
 //
-//	magic   "ONTOSEG1"                       8 bytes
-//	seq     uint64                           the log seq the segment covers through
-//	dict    count uint32,
-//	        count × (uvarint n, n bytes)     names in id order: ids 0..count-1
-//	triples count uint64,
-//	        count × (s, p, o uint32)         sorted by (s, p, o)
-//	crc     uint32                           CRC-32C of everything above
-//	trailer "ONTOSEGE"                       8 bytes
+//	magic     "ONTOSEG2"                       8 bytes
+//	start     uint64                           first WAL seq the segment covers
+//	end       uint64                           last WAL seq the segment covers
+//	dictFirst uint32                           id of the first name below
+//	dict      count uint32,
+//	          count × (uvarint n, n bytes)     names for ids dictFirst..dictFirst+count-1
+//	adds      count uint64,
+//	          count × (s, p, o uint32)         net inserts, sorted by (s, p, o)
+//	removes   count uint64,
+//	          count × (s, p, o uint32)         net removals (tombstones), sorted
+//	crc       uint32                           CRC-32C of everything above
+//	trailer   "ONTOSEGE"                       8 bytes
 //
-// The dictionary is written in id order so loading it into a fresh store by
-// interning name after name reproduces ids 0..count-1 exactly — the property
-// that lets the replayed log tail keep speaking the same ids. The triple
-// runs are sorted so the file is deterministic for a given state and loads
-// as one pre-deduplicated batch.
+// Both triple runs are strictly sorted and reference only ids below
+// dictFirst+count of the whole chain prefix — properties the loader verifies,
+// because every consumer (the fold in tier.go, store.RestoreSorted) depends
+// on them.
 //
-// A segment becomes visible atomically: it is written to a .tmp name,
-// fsynced, renamed into place, and the directory fsynced. Readers therefore
-// never see a half-written seg- file; a crash mid-checkpoint leaves a .tmp
-// that recovery deletes.
+// A segment becomes visible atomically: written to a .tmp name, fsynced,
+// renamed into place, directory fsynced. Readers never see a half-written
+// seg- file; a crash mid-checkpoint or mid-merge leaves a .tmp that recovery
+// deletes — a torn merge is simply not-yet-merged, its inputs still on disk.
 
-// Segment magic strings.
+// Segment magic strings. ONTOSEG1 (the PR-7 full-dump format) is gone:
+// a directory holding one is from a build this engine predates, and the
+// loader reports its magic as unrecognized rather than misreading it.
 const (
-	segMagic   = "ONTOSEG1"
+	segMagic   = "ONTOSEG2"
 	segTrailer = "ONTOSEGE"
 )
 
-// segFileName names the segment covering the log through seq.
-func segFileName(seq uint64) string {
-	return fmt.Sprintf("seg-%016d.seg", seq)
+// segmentData is one decoded (or about-to-be-written) delta segment.
+type segmentData struct {
+	start, end uint64 // WAL seq window [start, end], start ≥ 1
+	dictFirst  store.SymbolID
+	dict       []string
+	adds       []store.IDTriple // sorted (S, P, O), strictly ascending
+	removes    []store.IDTriple // sorted tombstones; empty when start == 1
+	size       int64            // file size; set by loadSegment, informative only
+}
+
+// segmentName names the segment covering WAL records start..end. Both bounds
+// are in the name so a merged segment never collides with its inputs and
+// recovery can chain tiers without opening every file.
+func segmentName(start, end uint64) string {
+	return fmt.Sprintf("seg-%016d-%016d.seg", start, end)
+}
+
+// parseSegmentName extracts the window from a "seg-%016d-%016d.seg" name.
+func parseSegmentName(name string) (start, end uint64, ok bool) {
+	const prefix, ext = "seg-", ".seg"
+	if len(name) != len(prefix)+16+1+16+len(ext) {
+		return 0, 0, false
+	}
+	if name[:len(prefix)] != prefix || name[len(name)-len(ext):] != ext || name[len(prefix)+16] != '-' {
+		return 0, 0, false
+	}
+	var err error
+	if start, err = parseSeq(name[len(prefix) : len(prefix)+16]); err != nil {
+		return 0, 0, false
+	}
+	if end, err = parseSeq(name[len(prefix)+17 : len(prefix)+33]); err != nil {
+		return 0, 0, false
+	}
+	return start, end, true
 }
 
 // crcWriter feeds every written byte to both the file and the running
@@ -65,27 +110,15 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// writeSegment atomically writes the segment file for a store state: dict is
-// the id→name mapping (index = id), triples the id-level triple set. It
-// sorts triples in place. On success the file seg-<seq>.seg is durably in
-// dir.
-func writeSegment(dir string, seq uint64, dict []string, triples []store.IDTriple) (retErr error) {
-	sort.Slice(triples, func(i, j int) bool {
-		a, b := triples[i], triples[j]
-		if a.S != b.S {
-			return a.S < b.S
-		}
-		if a.P != b.P {
-			return a.P < b.P
-		}
-		return a.O < b.O
-	})
-
-	final := filepath.Join(dir, segFileName(seq))
+// writeSegment atomically writes seg's file into dir, returning its size.
+// The caller guarantees the triple runs are sorted (checkpoint and merge
+// folds produce them sorted); the loader verifies it on the way back in.
+func writeSegment(dir string, seg segmentData) (size int64, retErr error) {
+	final := filepath.Join(dir, segmentName(seg.start, seg.end))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return fmt.Errorf("durable: creating segment: %w", err)
+		return 0, fmt.Errorf("durable: creating segment: %w", err)
 	}
 	defer func() {
 		if retErr != nil {
@@ -97,129 +130,181 @@ func writeSegment(dir string, seq uint64, dict []string, triples []store.IDTripl
 	bw := bufio.NewWriterSize(f, 1<<20)
 	cw := &crcWriter{w: bw}
 	var scratch [12]byte
-
-	if _, err := cw.Write([]byte(segMagic)); err != nil {
-		return fmt.Errorf("durable: writing segment: %w", err)
+	write := func(p []byte) error {
+		if retErr == nil {
+			if _, err := cw.Write(p); err != nil {
+				retErr = fmt.Errorf("durable: writing segment: %w", err)
+			}
+		}
+		return retErr
 	}
-	binary.LittleEndian.PutUint64(scratch[:8], seq)
-	if _, err := cw.Write(scratch[:8]); err != nil {
-		return fmt.Errorf("durable: writing segment: %w", err)
-	}
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(dict)))
-	if _, err := cw.Write(scratch[:4]); err != nil {
-		return fmt.Errorf("durable: writing segment: %w", err)
-	}
+	_ = write([]byte(segMagic))
+	binary.LittleEndian.PutUint64(scratch[:8], seg.start)
+	_ = write(scratch[:8])
+	binary.LittleEndian.PutUint64(scratch[:8], seg.end)
+	_ = write(scratch[:8])
+	binary.LittleEndian.PutUint32(scratch[:4], seg.dictFirst)
+	_ = write(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(seg.dict)))
+	_ = write(scratch[:4])
 	var varint [binary.MaxVarintLen64]byte
-	for _, name := range dict {
+	for _, name := range seg.dict {
 		n := binary.PutUvarint(varint[:], uint64(len(name)))
-		if _, err := cw.Write(varint[:n]); err != nil {
-			return fmt.Errorf("durable: writing segment dictionary: %w", err)
-		}
-		if _, err := io.WriteString(cw, name); err != nil {
-			return fmt.Errorf("durable: writing segment dictionary: %w", err)
+		_ = write(varint[:n])
+		_ = write([]byte(name))
+	}
+	writeRun := func(ts []store.IDTriple) {
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(len(ts)))
+		_ = write(scratch[:8])
+		for _, t := range ts {
+			binary.LittleEndian.PutUint32(scratch[0:], t.S)
+			binary.LittleEndian.PutUint32(scratch[4:], t.P)
+			binary.LittleEndian.PutUint32(scratch[8:], t.O)
+			if write(scratch[:12]) != nil {
+				return
+			}
 		}
 	}
-	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(triples)))
-	if _, err := cw.Write(scratch[:8]); err != nil {
-		return fmt.Errorf("durable: writing segment: %w", err)
-	}
-	for _, t := range triples {
-		binary.LittleEndian.PutUint32(scratch[0:], t.S)
-		binary.LittleEndian.PutUint32(scratch[4:], t.P)
-		binary.LittleEndian.PutUint32(scratch[8:], t.O)
-		if _, err := cw.Write(scratch[:12]); err != nil {
-			return fmt.Errorf("durable: writing segment triples: %w", err)
-		}
+	writeRun(seg.adds)
+	writeRun(seg.removes)
+	if retErr != nil {
+		return 0, retErr
 	}
 	// Footer: CRC of everything above, then the trailer magic. Written to the
 	// buffered writer directly — the CRC must not hash itself.
 	binary.LittleEndian.PutUint32(scratch[:4], cw.crc)
 	if _, err := bw.Write(scratch[:4]); err != nil {
-		return fmt.Errorf("durable: writing segment footer: %w", err)
+		return 0, fmt.Errorf("durable: writing segment footer: %w", err)
 	}
 	if _, err := bw.WriteString(segTrailer); err != nil {
-		return fmt.Errorf("durable: writing segment footer: %w", err)
+		return 0, fmt.Errorf("durable: writing segment footer: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("durable: flushing segment: %w", err)
+		return 0, fmt.Errorf("durable: flushing segment: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		return fmt.Errorf("durable: fsyncing segment: %w", err)
+		return 0, fmt.Errorf("durable: fsyncing segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("durable: sizing segment: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("durable: closing segment: %w", err)
+		return 0, fmt.Errorf("durable: closing segment: %w", err)
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("durable: publishing segment: %w", err)
+		return 0, fmt.Errorf("durable: publishing segment: %w", err)
 	}
-	return syncDir(dir)
+	return fi.Size(), syncDir(dir)
 }
 
-// loadSegment reads and verifies a segment file, returning the log seq it
-// covers through, its dictionary in id order, and its sorted triples. Any
-// framing violation — bad magic, bad CRC, truncation, an id out of
-// dictionary range — is an error: segments are published atomically, so a
-// damaged one means real corruption, never a torn write to tolerate.
-func loadSegment(path string) (seq uint64, dict []string, triples []store.IDTriple, err error) {
+// loadSegment reads and verifies one segment file. Any framing violation —
+// bad magic, bad CRC, truncation, an unsorted run, an id at or beyond
+// dictFirst+count — is an error: segments are published atomically, so a
+// damaged one means real corruption, never a torn write to tolerate. The id
+// bound is against the chain prefix the window ends at (dictFirst+count), so
+// a segment may freely reference names minted by older segments.
+func loadSegment(path string) (segmentData, error) {
+	var seg segmentData
+	base := filepath.Base(path)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("durable: reading segment: %w", err)
+		return seg, fmt.Errorf("durable: reading segment: %w", err)
 	}
-	const header = len(segMagic) + 8 + 4
+	seg.size = int64(len(data))
+	const header = len(segMagic) + 8 + 8 + 4 + 4
 	const footer = 4 + len(segTrailer)
-	if len(data) < header+8+footer {
-		return 0, nil, nil, fmt.Errorf("durable: segment %s is %d bytes, too short to be valid", filepath.Base(path), len(data))
+	if len(data) < header+8+8+footer {
+		return seg, fmt.Errorf("durable: segment %s is %d bytes, too short to be valid", base, len(data))
 	}
 	if string(data[:len(segMagic)]) != segMagic {
-		return 0, nil, nil, fmt.Errorf("durable: segment %s has a bad magic header", filepath.Base(path))
+		return seg, fmt.Errorf("durable: segment %s has a bad magic header", base)
 	}
 	if string(data[len(data)-len(segTrailer):]) != segTrailer {
-		return 0, nil, nil, fmt.Errorf("durable: segment %s has a bad trailer (truncated checkpoint?)", filepath.Base(path))
+		return seg, fmt.Errorf("durable: segment %s has a bad trailer (truncated checkpoint?)", base)
 	}
 	body := data[:len(data)-footer]
 	wantCRC := binary.LittleEndian.Uint32(data[len(body):])
 	if crc32.Checksum(body, castagnoli) != wantCRC {
-		return 0, nil, nil, fmt.Errorf("durable: segment %s fails its checksum", filepath.Base(path))
+		return seg, fmt.Errorf("durable: segment %s fails its checksum", base)
 	}
 
-	seq = binary.LittleEndian.Uint64(body[len(segMagic):])
-	dictCount := int(binary.LittleEndian.Uint32(body[len(segMagic)+8:]))
+	seg.start = binary.LittleEndian.Uint64(body[len(segMagic):])
+	seg.end = binary.LittleEndian.Uint64(body[len(segMagic)+8:])
+	if seg.start < 1 || seg.end < seg.start {
+		return seg, fmt.Errorf("durable: segment %s claims window [%d, %d]", base, seg.start, seg.end)
+	}
+	seg.dictFirst = binary.LittleEndian.Uint32(body[len(segMagic)+16:])
+	dictCount := int(binary.LittleEndian.Uint32(body[len(segMagic)+20:]))
+	if uint64(seg.dictFirst)+uint64(dictCount) > 1<<32-1 {
+		return seg, fmt.Errorf("durable: segment %s dictionary window %d+%d overflows the id space", base, seg.dictFirst, dictCount)
+	}
 	rest := body[header:]
-	if dictCount > len(rest) {
-		return 0, nil, nil, fmt.Errorf("durable: segment %s claims %d dictionary names in %d bytes", filepath.Base(path), dictCount, len(rest))
+	if dictCount > len(rest) { // every name costs ≥1 length byte
+		return seg, fmt.Errorf("durable: segment %s claims %d dictionary names in %d bytes", base, dictCount, len(rest))
 	}
-	dict = make([]string, 0, dictCount)
+	// Walk the varint-framed names once to find where the dictionary ends,
+	// then convert that whole region to a single string and slice every name
+	// out of it. Converting per name would allocate one heap object per name
+	// — for a million-name segment that is a million tiny objects the GC
+	// re-scans on every cycle for the life of the store; one backing blob is
+	// one object (the varint bytes ride along unreferenced, a few bytes per
+	// name of slack).
+	dictEnd := 0
 	for i := 0; i < dictCount; i++ {
-		n, w := binary.Uvarint(rest)
-		if w <= 0 || n > uint64(len(rest)-w) {
-			return 0, nil, nil, fmt.Errorf("durable: segment %s: dictionary name %d overruns the file", filepath.Base(path), i)
+		n, w := binary.Uvarint(rest[dictEnd:])
+		if w <= 0 || n > uint64(len(rest)-dictEnd-w) {
+			return seg, fmt.Errorf("durable: segment %s: dictionary name %d overruns the file", base, i)
 		}
-		dict = append(dict, string(rest[w:w+int(n)]))
-		rest = rest[w+int(n):]
+		dictEnd += w + int(n)
 	}
-	if len(rest) < 8 {
-		return 0, nil, nil, fmt.Errorf("durable: segment %s is truncated before its triple count", filepath.Base(path))
+	blob := string(rest[:dictEnd])
+	seg.dict = make([]string, 0, dictCount)
+	for off := 0; off < dictEnd; {
+		n, w := binary.Uvarint(rest[off:])
+		seg.dict = append(seg.dict, blob[off+w:off+w+int(n)])
+		off += w + int(n)
 	}
-	tripleCount := binary.LittleEndian.Uint64(rest)
-	rest = rest[8:]
-	// Validate by division, not multiplication: 12*tripleCount would wrap
-	// for a corrupt count near 2^64, sneak past an equality check, and turn
-	// the allocation below into a panic instead of a clean error.
-	if len(rest)%12 != 0 || tripleCount != uint64(len(rest)/12) {
-		return 0, nil, nil, fmt.Errorf("durable: segment %s claims %d triples but carries %d bytes", filepath.Base(path), tripleCount, len(rest))
-	}
-	triples = make([]store.IDTriple, 0, tripleCount)
-	n := store.SymbolID(dictCount)
-	for i := uint64(0); i < tripleCount; i++ {
-		t := store.IDTriple{
-			S: binary.LittleEndian.Uint32(rest[12*i:]),
-			P: binary.LittleEndian.Uint32(rest[12*i+4:]),
-			O: binary.LittleEndian.Uint32(rest[12*i+8:]),
+	rest = rest[dictEnd:]
+	idBound := seg.dictFirst + store.SymbolID(dictCount)
+	readRun := func(what string) ([]store.IDTriple, error) {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("durable: segment %s is truncated before its %s count", base, what)
 		}
-		if t.S >= n || t.P >= n || t.O >= n {
-			return 0, nil, nil, fmt.Errorf("durable: segment %s: triple %d references id beyond its %d-name dictionary", filepath.Base(path), i, dictCount)
+		count := binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+		// Validate by division, not multiplication: 12*count would wrap for
+		// a corrupt count near 2^64, sneak past a comparison, and turn the
+		// allocation below into a panic instead of a clean error.
+		if uint64(len(rest))/12 < count {
+			return nil, fmt.Errorf("durable: segment %s claims %d %s triples but carries %d bytes", base, count, what, len(rest))
 		}
-		triples = append(triples, t)
+		ts := make([]store.IDTriple, 0, count)
+		for i := uint64(0); i < count; i++ {
+			t := store.IDTriple{
+				S: binary.LittleEndian.Uint32(rest[12*i:]),
+				P: binary.LittleEndian.Uint32(rest[12*i+4:]),
+				O: binary.LittleEndian.Uint32(rest[12*i+8:]),
+			}
+			if t.S >= idBound || t.P >= idBound || t.O >= idBound {
+				return nil, fmt.Errorf("durable: segment %s: %s triple %d references id beyond the %d-id dictionary prefix", base, what, i, idBound)
+			}
+			if i > 0 && !tripleLess(ts[i-1], t) {
+				return nil, fmt.Errorf("durable: segment %s: %s run not strictly sorted at triple %d", base, what, i)
+			}
+			ts = append(ts, t)
+		}
+		rest = rest[12*count:]
+		return ts, nil
 	}
-	return seq, dict, triples, nil
+	if seg.adds, err = readRun("add"); err != nil {
+		return seg, err
+	}
+	if seg.removes, err = readRun("remove"); err != nil {
+		return seg, err
+	}
+	if len(rest) != 0 {
+		return seg, fmt.Errorf("durable: segment %s has %d trailing bytes", base, len(rest))
+	}
+	return seg, nil
 }

@@ -1,0 +1,354 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file tests the tiering machinery end to end: the patch algebra under
+// merge compaction, tombstones crossing segment boundaries, recovery over
+// merged-plus-leftover and damaged chains, the replay-vs-chain equivalence
+// property, and the Close-during-merge contract.
+
+// scriptStep applies the deterministic i-th mutation step: a 40-triple batch,
+// and every third step a couple of removals reaching back into earlier steps.
+func scriptStep(t *testing.T, st *store.Store, i int) {
+	t.Helper()
+	var batch []store.Triple
+	for j := 0; j < 40; j++ {
+		batch = append(batch, testTriple(i*40+j))
+	}
+	if _, err := st.AddBatch(batch); err != nil {
+		t.Fatalf("script step %d: %v", i, err)
+	}
+	if i%3 == 2 {
+		for _, back := range []int{i*40 - 1, i*40 - 17} {
+			if !st.Remove(testTriple(back)) {
+				t.Fatalf("script step %d: Remove(%d) found nothing", i, back)
+			}
+		}
+	}
+}
+
+// waitForChain polls until the engine's chain settles at want segments (the
+// background merge is asynchronous) or the deadline passes.
+func waitForChain(t *testing.T, eng *Engine, want int) Stats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats := eng.Stats()
+		if stats.Err != "" {
+			t.Fatalf("engine error while waiting for the merge: %s", stats.Err)
+		}
+		if stats.Segments == want {
+			return stats
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chain stuck at %d segments, want %d: %+v", stats.Segments, want, stats)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestMergeCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1})
+	for i := 0; i < 4; i++ {
+		scriptStep(t, st, i)
+		if err := eng.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	// Four similar-sized young segments violate the default 4× separation, so
+	// the background merge must fold them into one base segment.
+	stats := waitForChain(t, eng, 1)
+	if stats.Merges == 0 || stats.LastMergeDuration <= 0 {
+		t.Fatalf("chain merged but Merges = %d, LastMergeDuration = %v", stats.Merges, stats.LastMergeDuration)
+	}
+	base := stats.Tiers[0]
+	if base.Start != 1 || base.End != stats.SegmentSeq {
+		t.Fatalf("base tier covers [%d, %d], want [1, %d]", base.Start, base.End, stats.SegmentSeq)
+	}
+	if base.Tombstones != 0 {
+		t.Fatalf("base tier carries %d tombstones; a patch against the empty state removes nothing", base.Tombstones)
+	}
+	if base.Triples != st.Len() {
+		t.Fatalf("base tier holds %d triples, store holds %d", base.Triples, st.Len())
+	}
+	if stats.MergeBytes == 0 || stats.WriteAmplification <= 1 {
+		t.Fatalf("merge accounting missing: %+v", stats)
+	}
+	want := snapshotString(t, st)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff})
+	defer eng2.Close()
+	if snapshotString(t, st2) != want {
+		t.Fatal("recovery over the merged chain diverges from the pre-close state")
+	}
+}
+
+// TestTombstoneOverOldAdd pins the cross-segment removal contract both ways:
+// a younger segment's tombstone must suppress an older segment's add during
+// chain recovery, and a merge folding the two must drop the pair entirely.
+func TestTombstoneOverOldAdd(t *testing.T) {
+	dir := t.TempDir()
+	victim := testTriple(5)
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1, MergeRatio: -1})
+	scriptStep(t, st, 0)
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Remove(victim) {
+		t.Fatalf("Remove(%v) found nothing", victim)
+	}
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotString(t, st)
+	if got := eng.Stats(); got.Segments != 2 || got.Tiers[1].Tombstones != 1 {
+		t.Fatalf("chain %+v, want 2 tiers with 1 young tombstone", got)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unmerged: recovery must apply the young tombstone over the old add.
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff, MergeRatio: -1})
+	if st2.Contains(victim) {
+		t.Fatal("chain recovery resurrected a tombstoned triple")
+	}
+	if snapshotString(t, st2) != want {
+		t.Fatal("chain recovery diverges from the pre-close state")
+	}
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Merged: an enormous ratio makes the tiny tombstone segment mergeable
+	// into the big one; Open schedules the merge itself. The fold must erase
+	// the add/tombstone pair.
+	st3 := store.New()
+	eng3 := mustOpen(t, st3, Options{Dir: dir, Fsync: FsyncOff, MergeRatio: 1e12})
+	defer eng3.Close()
+	stats := waitForChain(t, eng3, 1)
+	if st3.Contains(victim) {
+		t.Fatal("merge resurrected a tombstoned triple")
+	}
+	if base := stats.Tiers[0]; base.Tombstones != 0 || base.Triples != st3.Len() {
+		t.Fatalf("merged base tier %+v, want %d triples and no tombstones", base, st3.Len())
+	}
+	if snapshotString(t, st3) != want {
+		t.Fatal("post-merge recovery diverges from the pre-close state")
+	}
+}
+
+// TestRecoveryPrefersMergedSegment stages the directory a crash between a
+// merge's publish and its input cleanup leaves behind: the merged segment AND
+// its narrower inputs. Recovery must chain the merged one and delete the
+// leftovers.
+func TestRecoveryPrefersMergedSegment(t *testing.T) {
+	dir := t.TempDir()
+	older := segmentData{
+		start: 1, end: 5, dictFirst: 0,
+		dict: []string{"a", "b", "c"},
+		adds: []store.IDTriple{{S: 0, P: 1, O: 2}},
+	}
+	newer := segmentData{
+		start: 6, end: 10, dictFirst: 3,
+		dict:    []string{"d"},
+		adds:    []store.IDTriple{{S: 0, P: 1, O: 3}},
+		removes: []store.IDTriple{{S: 0, P: 1, O: 2}},
+	}
+	merged, err := foldSegments(older, newer)
+	if err != nil {
+		t.Fatalf("foldSegments: %v", err)
+	}
+	if len(merged.removes) != 0 || len(merged.adds) != 1 || merged.adds[0] != (store.IDTriple{S: 0, P: 1, O: 3}) {
+		t.Fatalf("fold produced adds %v removes %v", merged.adds, merged.removes)
+	}
+	for _, seg := range []segmentData{older, newer, merged} {
+		if _, err := writeSegment(dir, seg); err != nil {
+			t.Fatalf("writeSegment([%d, %d]): %v", seg.start, seg.end, err)
+		}
+	}
+	st := store.New()
+	rec, err := recoverDir(st, dir)
+	if err != nil {
+		t.Fatalf("recoverDir: %v", err)
+	}
+	rec.file.Close()
+	if len(rec.tiers) != 1 || rec.tiers[0].start != 1 || rec.tiers[0].end != 10 {
+		t.Fatalf("recovered tiers %+v, want the single merged [1, 10] segment", rec.tiers)
+	}
+	if rec.lastSeq != 10 {
+		t.Fatalf("lastSeq = %d, want 10", rec.lastSeq)
+	}
+	if st.Len() != 1 || !st.Contains(store.Triple{Subject: "a", Predicate: "b", Object: "d"}) {
+		t.Fatalf("recovered store holds %d triples", st.Len())
+	}
+	for _, leftover := range []string{segmentName(1, 5), segmentName(6, 10)} {
+		if _, err := os.Stat(filepath.Join(dir, leftover)); !os.IsNotExist(err) {
+			t.Fatalf("recovery kept the merged-away input %s", leftover)
+		}
+	}
+}
+
+func TestDamagedChainIsAnError(t *testing.T) {
+	base := segmentData{
+		start: 1, end: 5, dictFirst: 0,
+		dict: []string{"a", "b", "c"},
+		adds: []store.IDTriple{{S: 0, P: 1, O: 2}},
+	}
+	for _, tc := range []struct {
+		name string
+		next segmentData
+		want string
+	}{
+		{"gap", segmentData{start: 8, end: 10, dictFirst: 3, dict: []string{"d"}, adds: []store.IDTriple{{S: 0, P: 1, O: 3}}}, "missing"},
+		{"overlap", segmentData{start: 4, end: 10, dictFirst: 3, dict: []string{"d"}, adds: []store.IDTriple{{S: 0, P: 1, O: 3}}}, "overlap"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for _, seg := range []segmentData{base, tc.next} {
+				if _, err := writeSegment(dir, seg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := recoverDir(store.New(), dir)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("recoverDir over a %s chain: %v, want a %q error", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReplayAndChainRecoveryAgree is the equivalence property the whole tier
+// design rests on: the same mutation script recovered through pure WAL
+// replay, through an unmerged segment chain, and through a fully merged
+// chain must produce byte-identical stores (canonical Snapshot) — and
+// identical dictionaries, since tombstone ids only mean anything if every
+// path mints the same ids.
+func TestReplayAndChainRecoveryAgree(t *testing.T) {
+	const steps = 9
+	run := func(opts Options, ckptEvery int, mergedTo int) (string, string) {
+		dir := t.TempDir()
+		opts.Dir = dir
+		opts.Fsync = FsyncOff
+		opts.CheckpointBytes = -1
+		st := store.New()
+		eng := mustOpen(t, st, opts)
+		for i := 0; i < steps; i++ {
+			scriptStep(t, st, i)
+			if ckptEvery > 0 && i%ckptEvery == ckptEvery-1 {
+				if err := eng.Checkpoint(); err != nil {
+					t.Fatalf("checkpoint at step %d: %v", i, err)
+				}
+			}
+		}
+		if mergedTo > 0 {
+			waitForChain(t, eng, mergedTo)
+		}
+		live := snapshotString(t, st)
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st2 := store.New()
+		eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff, MergeRatio: -1})
+		defer eng2.Close()
+		if got := snapshotString(t, st2); got != live {
+			t.Fatal("recovered snapshot differs from the live store it journaled")
+		}
+		res := st2.NewResolver()
+		var dict strings.Builder
+		for i := 0; i < st2.DictLen(); i++ {
+			fmt.Fprintf(&dict, "%d=%s\n", i, res.Name(store.SymbolID(i)))
+		}
+		return snapshotString(t, st2), dict.String()
+	}
+	replaySnap, replayDict := run(Options{MergeRatio: -1}, 0, 0)   // WAL only
+	chainSnap, chainDict := run(Options{MergeRatio: -1}, 3, 0)     // segments + tail, unmerged
+	mergedSnap, mergedDict := run(Options{MergeRatio: 1e12}, 3, 1) // fully merged base
+	if chainSnap != replaySnap || mergedSnap != replaySnap {
+		t.Fatal("replay, chain and merged recoveries disagree on the store state")
+	}
+	if chainDict != replayDict || mergedDict != replayDict {
+		t.Fatal("replay, chain and merged recoveries disagree on id assignment")
+	}
+}
+
+// TestCloseWaitsForMerge pins the shutdown contract: Close must not return
+// while a background merge is mid-flight — it waits for the merge to notice
+// the shutdown and abort cleanly — and the abort leaves no .tmp and a chain
+// recovery reproduces exactly.
+func TestCloseWaitsForMerge(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	eng := mustOpen(t, st, Options{Dir: dir, Fsync: FsyncOff, CheckpointBytes: -1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	eng.mergeHook = func() {
+		close(entered)
+		<-release
+	}
+	for i := 0; i < 2; i++ {
+		scriptStep(t, st, i)
+		if err := eng.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two similar-sized segments put the chain out of separation; the second
+	// checkpoint scheduled the merge, which is now parked in the hook.
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("background merge never started")
+	}
+	want := snapshotString(t, st)
+	closed := make(chan error, 1)
+	go func() { closed <- eng.Close() }()
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while the merge was still parked in its hook", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned after the merge was released")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("shutdown left %s behind", e.Name())
+		}
+	}
+	st2 := store.New()
+	eng2 := mustOpen(t, st2, Options{Dir: dir, Fsync: FsyncOff, MergeRatio: -1})
+	defer eng2.Close()
+	if got := eng2.Stats().Segments; got != 2 {
+		t.Fatalf("aborted merge left %d segments, want the 2 untouched inputs", got)
+	}
+	if snapshotString(t, st2) != want {
+		t.Fatal("recovery after an aborted merge diverges from the pre-close state")
+	}
+}

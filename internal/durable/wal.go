@@ -59,6 +59,7 @@ type walWriter struct {
 
 	fileFirst  uint64 // first seq the current file can hold (its name)
 	totalBytes int64  // bytes appended since the last rotation (checkpoint trigger)
+	appended   int64  // bytes appended over the writer's lifetime (write-amplification denominator)
 
 	lastFsync time.Time
 	fsyncs    int64
@@ -139,6 +140,7 @@ func newWALWriter(dir string, policy FsyncPolicy, f *os.File, lastSeq, fileFirst
 func (w *walWriter) stageLocked() {
 	w.buf = appendFrame(w.buf, w.scratch)
 	w.totalBytes += int64(frameHeader + len(w.scratch))
+	w.appended += int64(frameHeader + len(w.scratch))
 	w.pendingFrames++
 	w.mFrames.Inc()
 	w.mBytes.Add(int64(frameHeader + len(w.scratch)))
@@ -444,6 +446,7 @@ func (w *walWriter) snapshotStats(st *Stats) {
 	st.Seq = w.seq
 	st.DurableSeq = w.durableSeq
 	st.WALBytes = w.totalBytes
+	st.WALAppendedBytes = w.appended
 	st.LastFsync = w.lastFsync
 	st.Fsyncs = w.fsyncs
 	if w.err != nil {

@@ -143,31 +143,74 @@ type DurabilityStats struct {
 	Fsyncs int64 `json:"fsyncs"`
 	// WALBytes is the log growth since the last checkpoint.
 	WALBytes int64 `json:"wal_bytes"`
-	// Segments is the number of segment files (0 before the first
-	// checkpoint, 1 after).
+	// Segments is the number of live segment files — the tiers of the
+	// generational chain (0 before the first checkpoint).
 	Segments int `json:"segments"`
 	// SegmentSeq is the WAL seq the newest segment covers through.
 	SegmentSeq uint64 `json:"segment_seq"`
+	// SegmentTiers describes each live segment oldest-first: its WAL seq
+	// window, net triples and tombstones, dictionary names, and file bytes.
+	SegmentTiers []TierStats `json:"segment_tiers,omitempty"`
 	// Checkpoints counts completed checkpoints since the server started.
 	Checkpoints int64 `json:"checkpoints"`
+	// Merges counts completed background tier merges since the server
+	// started; LastMergeMS is the wall time of the most recent one.
+	Merges      int64 `json:"merges"`
+	LastMergeMS int64 `json:"last_merge_ms"`
+	// WriteAmplification is (log appends + checkpoint dumps + merge
+	// rewrites) / log appends — physical bytes written per logical log
+	// byte this process. 0 until something has been appended.
+	WriteAmplification float64 `json:"write_amplification"`
+	// RecoverySeconds is how long boot recovery spent rebuilding the store
+	// (segment fold + bulk restore + WAL tail replay).
+	RecoverySeconds float64 `json:"recovery_seconds"`
 	// Error is the engine's sticky error; once set, mutations fail with 500
 	// and the process needs a restart (and recovery) to trust its log.
 	Error string `json:"error,omitempty"`
 }
 
+// TierStats is one live segment of the durability chain, as reported in
+// DurabilityStats.SegmentTiers.
+type TierStats struct {
+	// Start and End are the WAL seq window the segment folds.
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Triples and Tombstones are the segment's net adds and removes;
+	// the base tier (start 1) never carries tombstones.
+	Triples    int `json:"triples"`
+	Tombstones int `json:"tombstones"`
+	// Bytes is the segment's file size.
+	Bytes int64 `json:"bytes"`
+}
+
 // durabilityStats converts the engine's report to the wire form.
 func durabilityStats(eng DurabilityEngine) *DurabilityStats {
 	d := eng.Stats()
+	tiers := make([]TierStats, 0, len(d.Tiers))
+	for _, t := range d.Tiers {
+		tiers = append(tiers, TierStats{
+			Start:      t.Start,
+			End:        t.End,
+			Triples:    t.Triples,
+			Tombstones: t.Tombstones,
+			Bytes:      t.Bytes,
+		})
+	}
 	return &DurabilityStats{
-		Seq:            d.Seq,
-		DurableSeq:     d.DurableSeq,
-		LastFsyncAgoMS: time.Since(d.LastFsync).Milliseconds(),
-		Fsyncs:         d.Fsyncs,
-		WALBytes:       d.WALBytes,
-		Segments:       d.Segments,
-		SegmentSeq:     d.SegmentSeq,
-		Checkpoints:    d.Checkpoints,
-		Error:          d.Err,
+		Seq:                d.Seq,
+		DurableSeq:         d.DurableSeq,
+		LastFsyncAgoMS:     time.Since(d.LastFsync).Milliseconds(),
+		Fsyncs:             d.Fsyncs,
+		WALBytes:           d.WALBytes,
+		Segments:           d.Segments,
+		SegmentSeq:         d.SegmentSeq,
+		SegmentTiers:       tiers,
+		Checkpoints:        d.Checkpoints,
+		Merges:             d.Merges,
+		LastMergeMS:        d.LastMergeDuration.Milliseconds(),
+		WriteAmplification: d.WriteAmplification,
+		RecoverySeconds:    d.RecoverySeconds,
+		Error:              d.Err,
 	}
 }
 

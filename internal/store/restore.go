@@ -1,0 +1,297 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the recovery fast path: RestoreSorted rebuilds an empty store
+// from the dictionary and triple set a durable-segment chain recovers, without
+// going through the mutation path at all. The per-triple path (AddIDBatch →
+// insertBatch) exists to be safe against concurrent readers and duplicate
+// inserts; recovery needs neither — the store is private until restore
+// returns and segment chains carry each triple exactly once, already sorted —
+// so restore can build every index level by direct append: no per-triple lock
+// acquisition, no dedup probing, no incremental spill-map growth. Boot cost
+// becomes sequential segment I/O plus three bucket-and-append passes.
+
+// RestoreSorted bulk-loads an empty store from a recovered dictionary and a
+// sorted triple set. dict[i] becomes the name of SymbolID i (reproducing the
+// interning order a segment chain recorded), and triples must be strictly
+// ascending in (S, P, O) order — therefore duplicate-free — with every
+// component id below len(dict). The slices are retained; callers must not
+// mutate them afterwards.
+//
+// The store must be empty and journal-free: restore bypasses the mutation
+// path, so nothing is journaled (recovery runs before the engine attaches
+// its journal) and no locks are relied on for visibility. The caller owns
+// the store exclusively until RestoreSorted returns; afterwards it is safe
+// for concurrent use as usual.
+func (s *Store) RestoreSorted(dict []string, triples []IDTriple) error {
+	if s.Len() != 0 || s.DictLen() != 0 {
+		return fmt.Errorf("store: RestoreSorted needs an empty store, not %d triples and %d dictionary entries", s.Len(), s.DictLen())
+	}
+	if s.getJournal() != nil {
+		return fmt.Errorf("store: RestoreSorted bypasses the mutation path and would not journal; detach the journal first")
+	}
+	n := SymbolID(len(dict))
+	for i, t := range triples {
+		if t.S >= n || t.P >= n || t.O >= n {
+			return fmt.Errorf("store: restore triple %d %v references an id outside the %d-name dictionary", i, t, n)
+		}
+		if i > 0 && !idTripleLess(triples[i-1], t) {
+			return fmt.Errorf("store: restore triples not in strict (S, P, O) order at index %d: %v after %v", i, t, triples[i-1])
+		}
+	}
+	// One map operation per name: insert unconditionally and let the final
+	// length expose duplicates (a repeated name collapses two inserts into
+	// one entry). Probing for the duplicate up front would double the string
+	// hashing on the hot path to improve only the error message, so the
+	// second pass that names the offender runs only after a failure.
+	ids := make(map[string]uint32, len(dict))
+	for i, name := range dict {
+		if name == "" {
+			return fmt.Errorf("store: restore dictionary id %d is the empty string", i)
+		}
+		ids[name] = uint32(i)
+	}
+	if len(ids) != len(dict) {
+		seen := make(map[string]uint32, len(dict))
+		for i, name := range dict {
+			if prev, dup := seen[name]; dup {
+				return fmt.Errorf("store: restore dictionary repeats %q as ids %d and %d", name, prev, i)
+			}
+			seen[name] = uint32(i)
+		}
+	}
+	s.syms.mu.Lock()
+	s.syms.ids = ids
+	s.syms.names = dict
+	s.syms.mu.Unlock()
+
+	// Build the three permutation families concurrently, each family's
+	// shards in parallel. Bucketing rotates every triple into the family's
+	// own (lead, mid, trail) frame up front, so the sort and build loops
+	// touch plain struct fields instead of calling accessor closures per
+	// element — on a multi-million-triple restore those calls are the
+	// difference between memory-bound and call-bound. The SPO family
+	// receives the input ordering directly (bucketing is stable, so each
+	// bucket stays (lead, mid)-sorted); POS and OSP buckets are re-sorted
+	// inside the shard's goroutine.
+	var wg sync.WaitGroup
+	build := func(fam *indexFamily, rot rotation, presorted bool) {
+		buckets := bucketByShard(triples, rot)
+		for i := range fam {
+			wg.Add(1)
+			go func(sh *shard, bucket []IDTriple) {
+				defer wg.Done()
+				if !presorted {
+					radixSortByLeadMid(bucket)
+				}
+				buildShardSorted(sh, bucket)
+			}(&fam[i], buckets[i])
+		}
+	}
+	build(&s.spo, rotSPO, true)
+	build(&s.pos, rotPOS, false)
+	build(&s.osp, rotOSP, false)
+	wg.Wait()
+	s.size.Store(int64(len(triples)))
+	return nil
+}
+
+// idTripleLess orders id triples by (S, P, O).
+func idTripleLess(a, b IDTriple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+// rotation names the component permutation a family's buckets are built in:
+// which original component becomes the (lead, mid, trail) = (S, P, O) frame.
+type rotation int
+
+const (
+	rotSPO rotation = iota // identity: lead S, mid P, trail O
+	rotPOS                 // lead P, mid O, trail S
+	rotOSP                 // lead O, mid S, trail P
+)
+
+// bucketByShard splits ts into numShards slices by the shard of the permuted
+// leading component, rotating every triple into the family's frame on the way
+// in and preserving relative order. Two counted passes, so every bucket is
+// allocated at its exact final size. The rotation is dispatched once per pass
+// rather than per element — a closure call per triple here costs more than
+// the copy itself.
+func bucketByShard(ts []IDTriple, rot rotation) [numShards][]IDTriple {
+	var counts [numShards]int
+	switch rot {
+	case rotSPO:
+		for _, t := range ts {
+			counts[shardOf(t.S)]++
+		}
+	case rotPOS:
+		for _, t := range ts {
+			counts[shardOf(t.P)]++
+		}
+	case rotOSP:
+		for _, t := range ts {
+			counts[shardOf(t.O)]++
+		}
+	}
+	var buckets [numShards][]IDTriple
+	for i := range buckets {
+		buckets[i] = make([]IDTriple, 0, counts[i])
+	}
+	switch rot {
+	case rotSPO:
+		for _, t := range ts {
+			i := shardOf(t.S)
+			buckets[i] = append(buckets[i], t)
+		}
+	case rotPOS:
+		for _, t := range ts {
+			i := shardOf(t.P)
+			buckets[i] = append(buckets[i], IDTriple{S: t.P, P: t.O, O: t.S})
+		}
+	case rotOSP:
+		for _, t := range ts {
+			i := shardOf(t.O)
+			buckets[i] = append(buckets[i], IDTriple{S: t.O, P: t.S, O: t.P})
+		}
+	}
+	return buckets
+}
+
+// radixSortByLeadMid sorts a permuted bucket by (lead, mid) = (S, P) — an
+// LSD byte-radix sort, stable, so runs equal in (lead, mid) keep their input
+// order and the trailing sets of a pre-sorted input come out sorted too.
+// Comparison sorting here is the restore path's biggest CPU sink (a
+// comparator closure per decision); counting passes replace it with O(n) per
+// byte, and passes whose byte is constant across the bucket (the common case
+// for the high bytes of 32-bit ids) are skipped entirely.
+func radixSortByLeadMid(ts []IDTriple) {
+	n := len(ts)
+	if n < 2 {
+		return
+	}
+	src, dst := ts, make([]IDTriple, n)
+	for pass := 0; pass < 8; pass++ {
+		shift := (pass % 4) * 8
+		fromLead := pass >= 4
+		digit := func(t IDTriple) byte {
+			if fromLead {
+				return byte(t.S >> shift)
+			}
+			return byte(t.P >> shift)
+		}
+		var counts [256]int
+		for _, t := range src {
+			counts[digit(t)]++
+		}
+		if counts[digit(src[0])] == n {
+			continue // every key shares this byte; the pass is a no-op
+		}
+		sum := 0
+		for d := range counts {
+			c := counts[d]
+			counts[d] = sum
+			sum += c
+		}
+		if fromLead {
+			for _, t := range src {
+				d := byte(t.S >> shift)
+				dst[counts[d]] = t
+				counts[d]++
+			}
+		} else {
+			for _, t := range src {
+				d := byte(t.P >> shift)
+				dst[counts[d]] = t
+				counts[d]++
+			}
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ts[0] {
+		copy(ts, src)
+	}
+}
+
+// buildShardSorted populates one empty shard from its permuted bucket, which
+// is sorted by (lead, mid) = (S, P) with the trail in O. Runs sharing a lead
+// become one leadEntry, runs sharing (lead, mid) one trailing set, and every
+// level is carved out of three arena allocations sized by a counting pass —
+// for a family like OSP, whose lead is near-unique, per-entry allocation
+// would mean millions of tiny objects for the GC to trace. Each sub-slice is
+// capped at its run boundary (arena[i:j:j]), so a later append on a live
+// entry reallocates instead of clobbering its neighbor. Spill indexes are
+// built once, after each level's final size is known, instead of
+// incrementally as the mutation path must.
+func buildShardSorted(sh *shard, bucket []IDTriple) {
+	// The shard is not shared until RestoreSorted returns, but take the
+	// lock anyway: it is one acquisition per shard and keeps the builder
+	// honest under the race detector if a caller ever leaks the store early.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	leads, pairs := 0, 0
+	var prevL, prevM uint32
+	for i, t := range bucket {
+		if i == 0 || t.S != prevL {
+			leads++
+			pairs++
+		} else if t.P != prevM {
+			pairs++
+		}
+		prevL, prevM = t.S, t.P
+	}
+	leadArena := make([]leadEntry, leads)
+	midArena := make([]midTrail, pairs)
+	elemArena := make([]uint32, len(bucket))
+	sh.m = make(map[uint32]*leadEntry, leads)
+	li, mi := 0, 0
+	for i := 0; i < len(bucket); {
+		l := bucket[i].S
+		j := i
+		for j < len(bucket) && bucket[j].S == l {
+			j++
+		}
+		e := &leadArena[li]
+		li++
+		m0 := mi
+		for k := i; k < j; {
+			m := bucket[k].P
+			k2 := k
+			// The run scan already touches each triple; peel the trail
+			// column into the element arena on the way past rather than in
+			// a separate full pass over the bucket.
+			for k2 < j && bucket[k2].P == m {
+				elemArena[k2] = bucket[k2].O
+				k2++
+			}
+			set := idSet{elems: elemArena[k:k2:k2]}
+			if k2-k > setSpill {
+				set.idx = make(map[uint32]int32, k2-k)
+				for p, v := range set.elems {
+					set.idx[v] = int32(p)
+				}
+			}
+			midArena[mi] = midTrail{mid: m, trail: set}
+			mi++
+			k = k2
+		}
+		e.entries = midArena[m0:mi:mi]
+		if mi-m0 > midSpill {
+			e.idx = make(map[uint32]int32, mi-m0)
+			for p := range e.entries {
+				e.idx[e.entries[p].mid] = int32(p)
+			}
+		}
+		sh.m[l] = e
+		i = j
+	}
+}
